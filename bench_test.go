@@ -1,0 +1,459 @@
+// Package adminrefine's root benchmark suite regenerates the quantitative
+// side of every experiment in EXPERIMENTS.md with testing.B. Each group
+// names the experiment it backs:
+//
+//	L1  BenchmarkOrderingDepth, BenchmarkOrderingPolicySize, BenchmarkClosureBuild
+//	E6  BenchmarkWeakerSet
+//	F1  BenchmarkReachability, BenchmarkSessionCheck
+//	F2  BenchmarkStrictAuthorize, BenchmarkTransition
+//	F3  BenchmarkRefinedAuthorize
+//	T1  BenchmarkNonAdminRefines, BenchmarkSimulateWeakening, BenchmarkBoundedAdminRefines
+//	C1  BenchmarkFlexibility, BenchmarkSaturation
+//	S1  BenchmarkMonitorSubmit, BenchmarkWALAppend, BenchmarkWALReplay
+//	H1  BenchmarkHRUSafety
+//	--  BenchmarkParse, BenchmarkPrint, BenchmarkPolicyClone (substrate costs)
+//
+// Run: go test -bench=. -benchmem
+package adminrefine
+
+import (
+	"fmt"
+	"testing"
+
+	"adminrefine/internal/analysis"
+	"adminrefine/internal/command"
+	"adminrefine/internal/core"
+	"adminrefine/internal/graph"
+	"adminrefine/internal/hru"
+	"adminrefine/internal/model"
+	"adminrefine/internal/monitor"
+	"adminrefine/internal/parser"
+	"adminrefine/internal/policy"
+	"adminrefine/internal/storage"
+	"adminrefine/internal/workload"
+)
+
+// --- L1: tractability of the privilege ordering -------------------------
+
+func BenchmarkOrderingDepth(b *testing.B) {
+	const chainLen = 64
+	p := workload.Chain(chainLen)
+	for _, depth := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			d := core.NewDecider(p)
+			strong, weak := workload.NestedPair(chainLen, depth)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.ResetMemo()
+				if !d.Weaker(strong, weak) {
+					b.Fatal("pair not ordered")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkOrderingPolicySize(b *testing.B) {
+	for _, n := range []int{16, 256, 1024} {
+		b.Run(fmt.Sprintf("roles=%d", n), func(b *testing.B) {
+			p := workload.Chain(n)
+			d := core.NewDecider(p)
+			strong, weak := workload.NestedPair(n, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.ResetMemo()
+				if !d.Weaker(strong, weak) {
+					b.Fatal("pair not ordered")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkClosureBuild(b *testing.B) {
+	for _, n := range []int{16, 256, 1024} {
+		b.Run(fmt.Sprintf("roles=%d", n), func(b *testing.B) {
+			p := workload.Chain(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.NewDecider(p)
+			}
+		})
+	}
+}
+
+// --- E6: weaker-set enumeration ------------------------------------------
+
+func BenchmarkWeakerSet(b *testing.B) {
+	p := policy.New()
+	p.DeclareRole("r1")
+	p.DeclareRole("r2")
+	if _, err := p.GrantPrivilege("r2", model.Grant(model.Role("r1"), model.Role("r2"))); err != nil {
+		b.Fatal(err)
+	}
+	base := model.Grant(model.Role("r1"), model.Role("r2"))
+	for _, bound := range []int{2, 4, 6} {
+		b.Run(fmt.Sprintf("bound=%d", bound), func(b *testing.B) {
+			d := core.NewDecider(p)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := d.WeakerSet(base, bound); len(got) != bound {
+					b.Fatalf("weaker set size %d", len(got))
+				}
+			}
+		})
+	}
+}
+
+// --- F1: policy reachability and sessions --------------------------------
+
+func BenchmarkReachability(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("hospital=%d", n), func(b *testing.B) {
+			p := workload.Hospital(n)
+			from := model.User("nurseuser_0")
+			to := model.Perm("read", "t1_0")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !p.Reaches(from, to) {
+					b.Fatal("unreachable")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSessionCheck(b *testing.B) {
+	m := monitor.New(policy.Figure1(), monitor.ModeStrict)
+	s, err := m.CreateSession(policy.UserDiana)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.ActivateRole(s.ID, policy.RoleNurse); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := m.CheckAccess(s.ID, "read", "t1")
+		if err != nil || !ok {
+			b.Fatal("access check failed")
+		}
+	}
+}
+
+// --- F2/F3: authorization and the transition function --------------------
+
+func BenchmarkStrictAuthorize(b *testing.B) {
+	p := policy.Figure2()
+	c := command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleStaff))
+	auth := command.Strict{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := auth.Authorize(p, c); !ok {
+			b.Fatal("denied")
+		}
+	}
+}
+
+func BenchmarkRefinedAuthorize(b *testing.B) {
+	p := policy.Figure2()
+	c := command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleDBUsr2))
+	auth := core.NewRefinedAuthorizer(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := auth.Authorize(p, c); !ok {
+			b.Fatal("denied")
+		}
+	}
+}
+
+func BenchmarkTransition(b *testing.B) {
+	base := policy.Figure2()
+	grant := command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleStaff))
+	revoke := command.Revoke(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleStaff))
+	auth := command.Strict{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		command.Step(base, grant, auth)
+		command.Step(base, revoke, auth)
+	}
+}
+
+// --- T1: refinement checking ---------------------------------------------
+
+func BenchmarkNonAdminRefines(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("hospital=%d", n), func(b *testing.B) {
+			phi := workload.Hospital(n)
+			psi := phi.Clone()
+			psi.Deassign("nurseuser_0", "nurse_0")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !core.NonAdminRefines(phi, psi) {
+					b.Fatal("not a refinement")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSimulateWeakening(b *testing.B) {
+	phi := policy.Figure2()
+	w := core.Weakening{
+		Role:   policy.RoleHR,
+		Strong: policy.PrivHRAssignBobStaff,
+		Weak:   model.Grant(model.User(policy.UserBob), model.Role(policy.RoleDBUsr2)),
+	}
+	queue := workload.Queue(phi, 8, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := core.SimulateWeakening(phi, w, queue); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBoundedAdminRefines(b *testing.B) {
+	phi := policy.Figure2()
+	w := core.Weakening{
+		Role:   policy.RoleHR,
+		Strong: policy.PrivHRAssignBobStaff,
+		Weak:   model.Grant(model.User(policy.UserBob), model.Role(policy.RoleDBUsr2)),
+	}
+	psi, err := core.WeakenAssignment(phi, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alpha := core.RelevantCommands(phi, psi, []string{policy.UserJane})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.BoundedAdminRefines(phi, psi, core.BoundedAdminOptions{MaxLen: 1, Alphabet: alpha})
+		if !res.Holds {
+			b.Fatal("refinement rejected")
+		}
+	}
+}
+
+// --- C1: flexibility and saturation ---------------------------------------
+
+func BenchmarkFlexibility(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("hospital=%d", n), func(b *testing.B) {
+			p := workload.Hospital(n)
+			universe := analysis.UAUniverse(p, "jane")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep := analysis.Flexibility(p, universe)
+				if rep.UnsafeExtras != 0 {
+					b.Fatal("unsafe extras")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSaturation(b *testing.B) {
+	p := policy.Figure2()
+	alpha := core.RelevantCommands(p, nil, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := analysis.CanEverObtain(p, policy.UserBob, policy.PermReadT1, command.Strict{}, alpha)
+		if !res.Reachable {
+			b.Fatal("escalation lost")
+		}
+	}
+}
+
+// --- S1: monitor and WAL ---------------------------------------------------
+
+func BenchmarkMonitorSubmit(b *testing.B) {
+	queue := workload.Queue(workload.Hospital(8), 64, 5)
+	for _, mode := range []monitor.Mode{monitor.ModeStrict, monitor.ModeRefined} {
+		b.Run(mode.String(), func(b *testing.B) {
+			m := monitor.New(workload.Hospital(8), mode)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Submit(queue[i%len(queue)])
+			}
+		})
+	}
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	dir := b.TempDir()
+	st, _, _, err := storage.Open(dir, storage.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	entry := monitor.AuditEntry{
+		Seq:     1,
+		Cmd:     command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleStaff)),
+		Outcome: command.Applied,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		entry.Seq = i + 1
+		if err := st.Append(entry); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWALReplay(b *testing.B) {
+	dir := b.TempDir()
+	st, _, _, err := storage.Open(dir, storage.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Compact(workload.Hospital(4)); err != nil {
+		b.Fatal(err)
+	}
+	m := monitor.New(workload.Hospital(4), monitor.ModeStrict)
+	st.Attach(m, nil)
+	m.SubmitQueue(workload.Queue(workload.Hospital(4), 500, 9))
+	st.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s2, _, rec, err := storage.Open(dir, storage.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec.Records != 500 {
+			b.Fatalf("replayed %d", rec.Records)
+		}
+		s2.Close()
+	}
+}
+
+// --- H1: HRU state-space growth --------------------------------------------
+
+func BenchmarkHRUSafety(b *testing.B) {
+	for _, n := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("subjects=%d", n), func(b *testing.B) {
+			sys := hru.GrantSystem([]hru.Right{"read"})
+			subjects := make([]string, n)
+			for i := range subjects {
+				subjects[i] = fmt.Sprintf("s%d", i)
+			}
+			sys.Subjects = subjects
+			sys.Objects = []string{"file"}
+			m := hru.Matrix{}
+			m.Enter("s0", "file", "grant")
+			m.Enter("s0", "file", "read")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := hru.BoundedSafety(sys, m, "absent", "file", "read", 3)
+				if res.Leaks {
+					b.Fatal("phantom leak")
+				}
+			}
+		})
+	}
+}
+
+// --- substrate costs --------------------------------------------------------
+
+func BenchmarkParse(b *testing.B) {
+	src := parser.Print(policy.Figure2(), nil)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrint(b *testing.B) {
+	p := policy.Figure2()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if parser.Print(p, nil) == "" {
+			b.Fatal("empty print")
+		}
+	}
+}
+
+func BenchmarkPolicyClone(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("hospital=%d", n), func(b *testing.B) {
+			p := workload.Hospital(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if p.Clone().NumEdges() != p.NumEdges() {
+					b.Fatal("clone diverged")
+				}
+			}
+		})
+	}
+}
+
+// --- ablations: the design choices DESIGN.md calls out ----------------------
+
+// BenchmarkOrderingWarm measures the memo-hit path (no ResetMemo): repeated
+// queries against a long-lived Decider are effectively map lookups. Compare
+// with BenchmarkOrderingDepth, which measures cold decisions.
+func BenchmarkOrderingWarm(b *testing.B) {
+	const chainLen = 64
+	p := workload.Chain(chainLen)
+	d := core.NewDecider(p)
+	strong, weak := workload.NestedPair(chainLen, 64)
+	if !d.Weaker(strong, weak) {
+		b.Fatal("pair not ordered")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !d.Weaker(strong, weak) {
+			b.Fatal("pair not ordered")
+		}
+	}
+}
+
+// BenchmarkReachabilityModes contrasts per-query DFS (what Policy.Reaches
+// does) with the materialised closure the Decider uses — the justification
+// for building the closure once per policy generation.
+func BenchmarkReachabilityModes(b *testing.B) {
+	p := workload.Chain(1024)
+	g := p.Graph()
+	from := g.Lookup(model.Role("c0000").Key())
+	to := g.Lookup(model.Role("c1023").Key())
+	b.Run("dfs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !g.ReachesID(from, to) {
+				b.Fatal("unreachable")
+			}
+		}
+	})
+	b.Run("closure", func(b *testing.B) {
+		c := graph.NewClosure(g)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !c.Reaches(from, to) {
+				b.Fatal("unreachable")
+			}
+		}
+	})
+}
+
+func BenchmarkAssignableRoles(b *testing.B) {
+	p := workload.Hospital(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := analysis.AssignableRoles(p, "jane", "flex_0"); len(got) == 0 {
+			b.Fatal("no options")
+		}
+	}
+}
+
+func BenchmarkBoundedObtain(b *testing.B) {
+	p := policy.Figure2()
+	alpha := core.RelevantCommands(p, nil, []string{policy.UserAlice, policy.UserJane})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := analysis.BoundedObtain(p, policy.UserBob, policy.PermReadT1, command.Strict{}, alpha, 2)
+		if !res.Reachable {
+			b.Fatal("escalation lost")
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Command rbacctl is the administration tool for RPL policy files: it
+// validates, formats, queries and executes administrative RBAC policies, and
+// answers privilege-ordering and refinement questions. Run `rbacctl help`
+// for the subcommand list.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"adminrefine/internal/cli"
+)
+
+func main() {
+	if err := cli.Rbacctl(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,91 @@
+// Comparison: the same administrative question asked of four models — the
+// paper's ordering-refined policies, ARBAC97 ranges, Crampton & Loizou's
+// administrative scope, and Wang & Osborn's role-graph domains. The question
+// is the flexworker one: which (user, role) assignments may Jane (HR)
+// perform on a scaled hospital?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adminrefine/internal/analysis"
+	"adminrefine/internal/arbac"
+	"adminrefine/internal/domains"
+	"adminrefine/internal/scope"
+	"adminrefine/internal/workload"
+)
+
+func main() {
+	const nDepts = 3
+	p := workload.Hospital(nDepts)
+	fmt.Printf("scaled hospital: %d departments, %d roles, %d users\n\n",
+		nDepts, len(p.Roles()), len(p.Users()))
+
+	// The paper's model: strict Definition 5 vs the ordering (§4.1).
+	rep := analysis.Flexibility(p, analysis.UAUniverse(p, "jane"))
+	fmt.Printf("paper, strict Def. 5:      %3d assignments (explicit privileges only)\n", rep.Strict)
+	fmt.Printf("paper, ordering-refined:   %3d assignments (%d derived extras, %d unsafe)\n",
+		rep.Refined, len(rep.RefinedOnly), rep.UnsafeExtras)
+
+	// ARBAC97: jane needs explicitly configured ranges per department.
+	sys := arbac.NewSystem(p.Clone())
+	sys.AddAdminRole("HRadmin")
+	sys.AssignAdmin("jane", "HRadmin")
+	for d := 0; d < nDepts; d++ {
+		sys.Assign = append(sys.Assign, arbac.CanAssign{
+			AdminRole: "HRadmin",
+			Range:     arbac.Range{Low: fmt.Sprintf("staff_%d", d), High: fmt.Sprintf("staff_%d", d)},
+		})
+	}
+	count := 0
+	for _, u := range p.Users() {
+		for _, r := range p.Roles() {
+			if _, ok := sys.CanAssignUser("jane", u, r); ok {
+				count++
+			}
+		}
+	}
+	fmt.Printf("ARBAC97 point ranges:      %3d assignments (any user, configured roles only)\n", count)
+
+	// Administrative scope: authority follows hierarchy position; HR is not
+	// above the medical roles, so Jane gets nothing.
+	scopeCount := 0
+	for range p.Users() {
+		for _, r := range p.Roles() {
+			if scope.CanAssignUser(p, "jane", r) {
+				scopeCount++
+			}
+		}
+	}
+	fmt.Printf("administrative scope:      %3d assignments (HR holds no hierarchy position)\n", scopeCount)
+
+	// Role-graph domains: Jane owns no domain.
+	ds := domains.NewSystem(p.Clone())
+	if err := ds.AddDomain("security", "SO", "", "SO", "HR"); err != nil {
+		log.Fatal(err)
+	}
+	for d := 0; d < nDepts; d++ {
+		members := []string{
+			fmt.Sprintf("staff_%d", d), fmt.Sprintf("nurse_%d", d),
+			fmt.Sprintf("dbusr1_%d", d), fmt.Sprintf("dbusr2_%d", d), fmt.Sprintf("dbusr3_%d", d),
+		}
+		if err := ds.AddDomain(fmt.Sprintf("dept_%d", d), members[0], "security", members...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	domCount := 0
+	for range p.Users() {
+		for _, r := range p.Roles() {
+			if ds.Administers("jane", r) {
+				domCount++
+			}
+		}
+	}
+	fmt.Printf("role-graph domains:        %3d assignments (jane owns no domain)\n\n", domCount)
+
+	fmt.Println("reading: the ordering derives per-user downward flexibility from each")
+	fmt.Println("explicit privilege with zero configuration and zero safety loss; the")
+	fmt.Println("baselines either need manual range/domain engineering or tie authority")
+	fmt.Println("to hierarchy position. Run `rbacbench -exp C1` for the full table.")
+}

@@ -1,0 +1,67 @@
+// Delegation: the paper's Example 6 and Remark 2. A policy in which role r2
+// may add members to r1's parent — (r2, ¤(r1,r2)) ∈ PA — makes the set of
+// privileges weaker than ¤(r1,r2) infinite: each extra nesting of the grant
+// connective is weaker again. The enumeration must therefore be bounded;
+// Remark 2 conjectures the longest RH chain as the practical bound, because
+// deeper nestings only add redundant administrative hops.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adminrefine/internal/core"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+)
+
+func main() {
+	p := policy.New()
+	p.DeclareRole("r1")
+	p.DeclareRole("r2")
+	if _, err := p.GrantPrivilege("r2", model.Grant(model.Role("r1"), model.Role("r2"))); err != nil {
+		log.Fatal(err)
+	}
+	d := core.NewDecider(p)
+	base := model.Grant(model.Role("r1"), model.Role("r2"))
+
+	fmt.Println("policy: (r2, ¤(r1,r2)) ∈ PA — members of r2 can make members of r1 member too")
+	fmt.Printf("privilege under study: %s\n\n", base)
+
+	// The infinite chain, finitely truncated.
+	fmt.Println("weaker-set growth with the nesting bound:")
+	for bound := 1; bound <= 6; bound++ {
+		ws := d.WeakerSet(base, bound)
+		fmt.Printf("  bound %d: %2d weaker privileges, deepest: %s\n", bound, len(ws), ws[len(ws)-1])
+	}
+
+	// Each chain element is weaker than the original (transitively), and the
+	// derivation for the first hop goes through the privilege vertex.
+	p1 := model.Grant(model.Role("r1"), base)
+	p2 := model.Grant(model.Role("r1"), p1)
+	fmt.Printf("\n%s Ã %s: %v\n", base, p1, d.Weaker(base, p1))
+	fmt.Printf("%s Ã %s: %v (transitivity)\n", base, p2, d.Weaker(base, p2))
+	fmt.Printf("one-step relation on the composite: %v (Definition 8 as printed is not transitive)\n",
+		d.WeakerOneStep(base, p2))
+
+	dv, ok := d.Explain(base, p1)
+	if !ok {
+		log.Fatal("derivation lost")
+	}
+	fmt.Println("\nderivation of the first hop:")
+	fmt.Println(dv)
+
+	// Remark 2's bound: with an empty RH the redundant tail is cut entirely.
+	bound := core.DefaultNestBound(p, base)
+	fmt.Printf("\nRemark 2 default bound = depth(%d) + longest RH chain(%d) = %d\n",
+		base.Depth(), p.LongestRoleChain(), bound)
+	fmt.Printf("weaker set at the default bound: %v\n", d.WeakerSet(base, bound))
+
+	// Against a policy with a hierarchy, the bound widens accordingly.
+	p2pol := policy.Figure2()
+	d2 := core.NewDecider(p2pol)
+	strong := policy.PrivHRAssignBobStaff
+	b2 := core.DefaultNestBound(p2pol, strong)
+	fmt.Printf("\nFigure 2, %s: Remark 2 bound = %d, |weaker set| = %d\n",
+		strong, b2, len(d2.WeakerSet(strong, b2)))
+}

@@ -1,0 +1,72 @@
+// Quickstart: build the paper's Figure 1 hospital policy with the policy
+// API, ask reachability questions, and run sessions through the reference
+// monitor. This is the smallest end-to-end tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adminrefine/internal/model"
+	"adminrefine/internal/monitor"
+	"adminrefine/internal/policy"
+)
+
+func main() {
+	// A non-administrative RBAC policy φ = (UA, RH, PA) — Definition 1.
+	p := policy.New()
+
+	// UA: Diana may act as nurse or staff.
+	p.Assign("diana", "nurse")
+	p.Assign("diana", "staff")
+
+	// RH: senior → junior edges carry privilege inheritance.
+	p.AddInherit("staff", "nurse")
+	p.AddInherit("staff", "dbusr2")
+	p.AddInherit("nurse", "dbusr1")
+	p.AddInherit("nurse", "prntusr")
+	p.AddInherit("dbusr2", "dbusr1")
+
+	// PA: user privileges (action, object) assigned to roles.
+	must(p.GrantPrivilege("dbusr1", model.Perm("read", "t1")))
+	must(p.GrantPrivilege("dbusr1", model.Perm("read", "t2")))
+	must(p.GrantPrivilege("dbusr2", model.Perm("write", "t3")))
+	must(p.GrantPrivilege("nurse", model.Perm("prnt", "black")))
+	must(p.GrantPrivilege("prntusr", model.Perm("prnt", "color")))
+
+	// Reachability v →φ v' answers every authorization question.
+	fmt.Println("diana can activate:", p.RolesActivatableBy("diana"))
+	fmt.Println("nurse privileges:  ", p.AuthorizedPerms(model.Role("nurse")))
+	fmt.Println("staff privileges:  ", p.AuthorizedPerms(model.Role("staff")))
+
+	// Sessions give least privilege: Diana activates only what she needs.
+	m := monitor.New(p, monitor.ModeStrict)
+	sess, err := m.CreateSession("diana")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.ActivateRole(sess.ID, "nurse"); err != nil {
+		log.Fatal(err)
+	}
+	show(m, sess.ID, "read", "t1")  // true: nurse reaches dbusr1
+	show(m, sess.ID, "write", "t3") // false: t3 needs staff or dbusr2
+
+	if err := m.ActivateRole(sess.ID, "staff"); err != nil {
+		log.Fatal(err)
+	}
+	show(m, sess.ID, "write", "t3") // true now
+}
+
+func show(m *monitor.Monitor, sid int, action, object string) {
+	ok, err := m.CheckAccess(sid, action, object)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session may (%s,%s): %v\n", action, object, ok)
+}
+
+func must(_ bool, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

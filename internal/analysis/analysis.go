@@ -1,0 +1,186 @@
+// Package analysis provides policy analyses built on the core machinery:
+//
+//   - Flexibility: how many commands of a bounded universe each
+//     authorization regime (strict Definition 5 vs ordering-refined §4.1)
+//     accepts, together with a per-command Theorem 1 safety audit of the
+//     refined-only extras (experiment C1).
+//   - Grant saturation: the least fixpoint of grant-only administration,
+//     answering "can user u ever obtain permission q?" exactly for
+//     monotone (¤-only) alphabets — the tractable fragment of the safety
+//     problem that is undecidable in the general HRU setting.
+package analysis
+
+import (
+	"sort"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/core"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+)
+
+// FlexibilityReport compares authorization regimes over one command
+// universe.
+type FlexibilityReport struct {
+	// Universe is the number of distinct commands considered.
+	Universe int
+	// Strict counts commands authorized by the literal Definition 5 check.
+	Strict int
+	// Refined counts commands authorized by the ordering-refined check;
+	// always ≥ Strict.
+	Refined int
+	// RefinedOnly lists the commands the refined regime adds.
+	RefinedOnly []command.Command
+	// UnsafeExtras counts refined-only commands whose outcome is NOT
+	// refinement-dominated by the outcome of exercising the held stronger
+	// privilege — Theorem 1 predicts zero.
+	UnsafeExtras int
+}
+
+// Flexibility evaluates both regimes over the universe and audits every
+// refined-only command against Theorem 1: executing the weaker command must
+// leave the policy a non-administrative refinement of executing the
+// justifying stronger privilege's own command.
+func Flexibility(p *policy.Policy, universe []command.Command) FlexibilityReport {
+	rep := FlexibilityReport{Universe: len(universe)}
+	strict := command.Strict{}
+	d := core.NewDecider(p)
+	for _, c := range universe {
+		if err := c.Validate(); err != nil {
+			continue
+		}
+		_, sok := strict.Authorize(p, c)
+		if sok {
+			rep.Strict++
+			rep.Refined++
+			continue
+		}
+		target, _ := c.Privilege()
+		held, rok := d.HeldStronger(c.Actor, target)
+		if !rok {
+			continue
+		}
+		rep.Refined++
+		rep.RefinedOnly = append(rep.RefinedOnly, c)
+		if !weakerOutcomeRefines(p, c, held) {
+			rep.UnsafeExtras++
+		}
+	}
+	return rep
+}
+
+// weakerOutcomeRefines checks the Theorem 1 prediction for one refined-only
+// command: φ ∪ strong-edge º φ ∪ weak-edge.
+func weakerOutcomeRefines(p *policy.Policy, weak command.Command, held model.Privilege) bool {
+	ha, ok := held.(model.AdminPrivilege)
+	if !ok {
+		return false
+	}
+	strongCmd := command.Command{Actor: weak.Actor, Op: ha.Op, From: ha.Src, To: ha.Dst}
+	phiStrong := p.Clone()
+	if _, err := command.Apply(phiStrong, strongCmd); err != nil {
+		return false
+	}
+	phiWeak := p.Clone()
+	if _, err := command.Apply(phiWeak, weak); err != nil {
+		return false
+	}
+	return core.NonAdminRefines(phiStrong, phiWeak)
+}
+
+// UAUniverse builds the user-assignment command universe for an actor: one
+// grant command per (user, role) pair of the policy. This is the universe
+// the baseline models (ARBAC97, administrative scope, domains) can also
+// answer, making cross-model flexibility comparable.
+func UAUniverse(p *policy.Policy, actor string) []command.Command {
+	var out []command.Command
+	users, roles := p.Users(), p.Roles()
+	for _, u := range users {
+		for _, r := range roles {
+			out = append(out, command.Grant(actor, model.User(u), model.Role(r)))
+		}
+	}
+	return out
+}
+
+// SaturationResult reports a grant-only saturation run.
+type SaturationResult struct {
+	// Final is the saturated policy (input is never mutated).
+	Final *policy.Policy
+	// Steps is the sequence of applied commands, in application order.
+	Steps []command.Command
+	// Rounds is the number of fixpoint iterations.
+	Rounds int
+}
+
+// SaturateGrants computes the least fixpoint of the grant-only fragment:
+// repeatedly applies every currently-authorized ¤ command from the alphabet
+// until nothing changes. Because grants only add edges and both reachability
+// and (by monotonicity of the rules in →φ) the privilege ordering only grow
+// with edges, the fixpoint is exact for the given alphabet: a permission is
+// obtainable iff it is reachable in the saturated policy.
+//
+// Revocation commands in the alphabet are ignored — with ♦ the problem
+// loses monotonicity (cf. HRU) and needs bounded search instead
+// (core.BoundedAdminRefines explores that space for refinement questions).
+func SaturateGrants(p *policy.Policy, auth command.Authorizer, alphabet []command.Command) SaturationResult {
+	cur := p.Clone()
+	res := SaturationResult{}
+	// Deduplicate and keep only grants.
+	seen := map[string]struct{}{}
+	var grants []command.Command
+	for _, c := range alphabet {
+		if c.Op != model.OpGrant || c.Validate() != nil {
+			continue
+		}
+		if _, dup := seen[c.Key()]; dup {
+			continue
+		}
+		seen[c.Key()] = struct{}{}
+		grants = append(grants, c)
+	}
+	sort.Slice(grants, func(i, j int) bool { return grants[i].Key() < grants[j].Key() })
+
+	for {
+		res.Rounds++
+		changed := false
+		for _, c := range grants {
+			if cur.HasEdge(c.From, c.To) {
+				continue
+			}
+			if _, ok := auth.Authorize(cur, c); !ok {
+				continue
+			}
+			if ch, err := command.Apply(cur, c); err == nil && ch {
+				res.Steps = append(res.Steps, c)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	res.Final = cur
+	return res
+}
+
+// EscalationResult answers a CanEverObtain query.
+type EscalationResult struct {
+	Reachable bool
+	// Witness is the grant sequence that saturates the policy; when
+	// Reachable, replaying it makes the permission reachable.
+	Witness []command.Command
+	Rounds  int
+}
+
+// CanEverObtain reports whether the user can come to hold the permission
+// after some sequence of grant-only commands from the alphabet, under the
+// given authorizer. Exact for the grant-only fragment (see SaturateGrants).
+func CanEverObtain(p *policy.Policy, user string, perm model.UserPrivilege, auth command.Authorizer, alphabet []command.Command) EscalationResult {
+	sat := SaturateGrants(p, auth, alphabet)
+	return EscalationResult{
+		Reachable: sat.Final.Reaches(model.User(user), perm),
+		Witness:   sat.Steps,
+		Rounds:    sat.Rounds,
+	}
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"testing"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/core"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+	"adminrefine/internal/workload"
+)
+
+func TestFlexibilityFigure2(t *testing.T) {
+	p := policy.Figure2()
+	universe := UAUniverse(p, policy.UserJane)
+	rep := Flexibility(p, universe)
+
+	if rep.Universe != len(universe) {
+		t.Fatalf("universe = %d", rep.Universe)
+	}
+	// Strict: Jane can assign exactly bob→staff and joe→nurse.
+	if rep.Strict != 2 {
+		t.Fatalf("strict = %d, want 2", rep.Strict)
+	}
+	// Refined adds the down-set of staff for bob (nurse, prntusr, dbusr1,
+	// dbusr2) and of nurse for joe (prntusr, dbusr1): 6 extras.
+	if rep.Refined != 8 {
+		t.Fatalf("refined = %d, want 8 (extras: %v)", rep.Refined, rep.RefinedOnly)
+	}
+	if len(rep.RefinedOnly) != rep.Refined-rep.Strict {
+		t.Fatalf("refined-only list = %d", len(rep.RefinedOnly))
+	}
+	// Theorem 1: no unsafe extras, ever.
+	if rep.UnsafeExtras != 0 {
+		t.Fatalf("unsafe extras = %d", rep.UnsafeExtras)
+	}
+}
+
+func TestFlexibilityRandomizedNeverUnsafe(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		p := workload.Random(workload.DefaultConfig(seed))
+		for _, u := range p.Users()[:3] {
+			rep := Flexibility(p, UAUniverse(p, u))
+			if rep.Refined < rep.Strict {
+				t.Fatalf("seed %d: refined < strict", seed)
+			}
+			if rep.UnsafeExtras != 0 {
+				t.Fatalf("seed %d actor %s: %d unsafe extras", seed, u, rep.UnsafeExtras)
+			}
+		}
+	}
+}
+
+func TestFlexibilityHospitalScales(t *testing.T) {
+	small := workload.Hospital(2)
+	big := workload.Hospital(6)
+	rs := Flexibility(small, UAUniverse(small, "jane"))
+	rb := Flexibility(big, UAUniverse(big, "jane"))
+	if rb.Refined <= rs.Refined || rb.Strict <= rs.Strict {
+		t.Fatalf("flexibility did not scale: %+v vs %+v", rs, rb)
+	}
+	// The refined/strict ratio stays > 1: the ordering keeps paying off.
+	if rb.Refined == rb.Strict {
+		t.Fatal("no refined gain on the hospital workload")
+	}
+}
+
+func TestSaturateGrantsDelegationChain(t *testing.T) {
+	// Alice holds ¤(staff, ¤(bob,staff)). Saturation must discover the
+	// two-step escalation: delegate to staff, then a staff member (diana)
+	// appoints bob; finally bob reads t1 via staff → nurse → dbusr1.
+	p := policy.Figure2()
+	alphabet := core.RelevantCommands(p, nil, nil)
+	perm := policy.PermReadT1
+
+	if p.Reaches(model.User(policy.UserBob), perm) {
+		t.Fatal("bob already reads t1")
+	}
+	res := CanEverObtain(p, policy.UserBob, perm, command.Strict{}, alphabet)
+	if !res.Reachable {
+		t.Fatal("escalation not found")
+	}
+	if res.Rounds < 2 {
+		t.Fatalf("rounds = %d, want >= 2 (two-step delegation)", res.Rounds)
+	}
+	// The witness replays to a policy where bob reads t1.
+	replay := p.Clone()
+	for _, c := range res.Witness {
+		if _, err := command.Apply(replay, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !replay.Reaches(model.User(policy.UserBob), perm) {
+		t.Fatal("witness does not replay to the leak")
+	}
+	// The input policy is untouched.
+	if p.Reaches(model.User(policy.UserBob), perm) {
+		t.Fatal("input policy mutated")
+	}
+}
+
+func TestSaturateGrantsRespectsAuthorizer(t *testing.T) {
+	// Diana alone (no admin privileges) cannot escalate: restrict the
+	// alphabet to her commands and saturation is a no-op.
+	p := policy.Figure2()
+	alphabet := core.RelevantCommands(p, nil, []string{policy.UserDiana})
+	res := CanEverObtain(p, policy.UserBob, policy.PermReadT1, command.Strict{}, alphabet)
+	if res.Reachable {
+		t.Fatal("diana escalated without privileges")
+	}
+	if len(res.Witness) != 0 {
+		t.Fatalf("witness = %v", res.Witness)
+	}
+}
+
+func TestSaturateGrantsIgnoresRevocations(t *testing.T) {
+	p := policy.Figure2()
+	p.Assign(policy.UserJoe, policy.RoleNurse)
+	alphabet := []command.Command{
+		command.Revoke(policy.UserJane, model.User(policy.UserJoe), model.Role(policy.RoleNurse)),
+	}
+	sat := SaturateGrants(p, command.Strict{}, alphabet)
+	if len(sat.Steps) != 0 {
+		t.Fatal("revocation applied during grant saturation")
+	}
+	if !sat.Final.HasEdge(model.User(policy.UserJoe), model.Role(policy.RoleNurse)) {
+		t.Fatal("revocation leaked into saturation")
+	}
+}
+
+func TestRefinedSaturationFindsMore(t *testing.T) {
+	// Under the refined authorizer, jane can place bob directly into
+	// dbusr2 even when the alphabet lacks the staff assignment — the
+	// ordering supplies the weaker command's authorization.
+	p := policy.Figure2()
+	direct := command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleDBUsr2))
+	alphabet := []command.Command{direct}
+
+	strictSat := SaturateGrants(p, command.Strict{}, alphabet)
+	if len(strictSat.Steps) != 0 {
+		t.Fatal("strict saturation applied the refined-only command")
+	}
+	refinedSat := SaturateGrants(p, core.NewRefinedAuthorizer(p), alphabet)
+	if len(refinedSat.Steps) != 1 {
+		t.Fatalf("refined saturation steps = %v", refinedSat.Steps)
+	}
+	if !refinedSat.Final.Reaches(model.User(policy.UserBob), policy.PermWriteT3) {
+		t.Fatal("bob cannot write t3 after refined saturation")
+	}
+}
+
+func TestUAUniverseShape(t *testing.T) {
+	p := policy.Figure2()
+	u := UAUniverse(p, policy.UserJane)
+	want := len(p.Users()) * len(p.Roles())
+	if len(u) != want {
+		t.Fatalf("universe size = %d, want %d", len(u), want)
+	}
+	for _, c := range u {
+		if c.Actor != policy.UserJane || c.Op != model.OpGrant {
+			t.Fatalf("bad universe command %v", c)
+		}
+	}
+}

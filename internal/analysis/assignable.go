@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"adminrefine/internal/command"
+	"adminrefine/internal/core"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+)
+
+// Assignment describes one authorized user-assignment option for an actor,
+// with its justification.
+type Assignment struct {
+	Role string
+	// Strict reports whether literal Definition 5 authorizes it; when false
+	// the ordering supplied the authorization.
+	Strict bool
+	// Justification is the privilege that authorizes the command: the
+	// command's own privilege when Strict, otherwise the held stronger one.
+	Justification model.Privilege
+}
+
+// AssignableRoles lists every role the actor may assign the user to under
+// the refined regime, flagging which of them Definition 5 already allows.
+// This is the monitor-side answer to "where can Jane put Bob?" — the
+// practical question behind Example 4.
+func AssignableRoles(p *policy.Policy, actor, user string) []Assignment {
+	d := core.NewDecider(p)
+	strict := command.Strict{}
+	var out []Assignment
+	for _, r := range p.Roles() {
+		c := command.Grant(actor, model.User(user), model.Role(r))
+		if just, ok := strict.Authorize(p, c); ok {
+			out = append(out, Assignment{Role: r, Strict: true, Justification: just})
+			continue
+		}
+		target, err := c.Privilege()
+		if err != nil {
+			continue
+		}
+		if held, ok := d.HeldStronger(actor, target); ok {
+			out = append(out, Assignment{Role: r, Strict: false, Justification: held})
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"testing"
+
+	"adminrefine/internal/policy"
+	"adminrefine/internal/workload"
+)
+
+func TestAssignableRolesExample4(t *testing.T) {
+	p := policy.Figure2()
+	opts := AssignableRoles(p, policy.UserJane, policy.UserBob)
+	byRole := map[string]Assignment{}
+	for _, o := range opts {
+		byRole[o.Role] = o
+	}
+	if len(opts) != 5 {
+		t.Fatalf("options = %v", opts)
+	}
+	staff, ok := byRole[policy.RoleStaff]
+	if !ok || !staff.Strict {
+		t.Errorf("staff option = %+v", staff)
+	}
+	db2, ok := byRole[policy.RoleDBUsr2]
+	if !ok || db2.Strict {
+		t.Errorf("dbusr2 option = %+v", db2)
+	}
+	if db2.Justification == nil || db2.Justification.Key() != policy.PrivHRAssignBobStaff.Key() {
+		t.Errorf("dbusr2 justification = %v", db2.Justification)
+	}
+	if _, ok := byRole[policy.RoleSO]; ok {
+		t.Error("jane can place bob into SO")
+	}
+
+	// Diana has no administrative privileges at all.
+	if got := AssignableRoles(p, policy.UserDiana, policy.UserBob); len(got) != 0 {
+		t.Errorf("diana's options = %v", got)
+	}
+	// Joe is only mentioned in joe-specific privileges: jane cannot place
+	// bob via them, but can place joe into nurse and below.
+	joeOpts := AssignableRoles(p, policy.UserJane, policy.UserJoe)
+	found := false
+	for _, o := range joeOpts {
+		if o.Role == policy.RoleNurse && o.Strict {
+			found = true
+		}
+		if o.Role == policy.RoleStaff {
+			t.Errorf("jane can place joe into staff: %+v", o)
+		}
+	}
+	if !found {
+		t.Errorf("joe options = %v", joeOpts)
+	}
+}
+
+func TestAssignableRolesConsistentWithFlexibility(t *testing.T) {
+	// AssignableRoles and Flexibility count the same thing per user.
+	p := workload.Hospital(3)
+	total := 0
+	for _, u := range p.Users() {
+		total += len(AssignableRoles(p, "jane", u))
+	}
+	rep := Flexibility(p, UAUniverse(p, "jane"))
+	if total != rep.Refined {
+		t.Fatalf("AssignableRoles total %d != Flexibility refined %d", total, rep.Refined)
+	}
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"encoding/json"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+)
+
+// BoundedResult reports a bounded reachability search over policy states.
+type BoundedResult struct {
+	// Reachable reports whether the goal was reached within the depth bound.
+	Reachable bool
+	// Witness is the command sequence reaching it.
+	Witness []command.Command
+	// StatesExplored counts distinct policy states visited.
+	StatesExplored int
+	// Exhausted reports that the depth bound cut the search off; a negative
+	// answer is then only valid up to the bound. When false, the search
+	// reached a fixpoint and the negative answer is exact for the alphabet.
+	Exhausted bool
+}
+
+// BoundedObtain answers the general safety question with revocations in the
+// alphabet: can the user come to hold the permission within maxDepth
+// commands drawn from the alphabet, under the given authorizer? Unlike
+// SaturateGrants this explores the full (exponential) state space with
+// breadth-first search and state deduplication — the RBAC analogue of the
+// bounded HRU safety search (experiment H1), included to show exactly where
+// tractability ends once ♦ breaks monotonicity.
+func BoundedObtain(p *policy.Policy, user string, perm model.UserPrivilege, auth command.Authorizer, alphabet []command.Command, maxDepth int) BoundedResult {
+	res := BoundedResult{}
+	goal := func(st *policy.Policy) bool {
+		return st.Reaches(model.User(user), perm)
+	}
+	hash := func(st *policy.Policy) string {
+		data, err := json.Marshal(st)
+		if err != nil {
+			return "err:" + err.Error()
+		}
+		return string(data)
+	}
+
+	type node struct {
+		pol   *policy.Policy
+		trace []command.Command
+	}
+	start := p.Clone()
+	res.StatesExplored = 1
+	if goal(start) {
+		res.Reachable = true
+		return res
+	}
+	seen := map[string]struct{}{hash(start): {}}
+	frontier := []node{{pol: start}}
+
+	for depth := 0; depth < maxDepth; depth++ {
+		var next []node
+		for _, nd := range frontier {
+			for _, c := range alphabet {
+				if _, ok := auth.Authorize(nd.pol, c); !ok {
+					continue
+				}
+				cl := nd.pol.Clone()
+				changed, err := command.Apply(cl, c)
+				if err != nil || !changed {
+					continue
+				}
+				k := hash(cl)
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				res.StatesExplored++
+				trace := append(append([]command.Command{}, nd.trace...), c)
+				if goal(cl) {
+					res.Reachable = true
+					res.Witness = trace
+					return res
+				}
+				next = append(next, node{pol: cl, trace: trace})
+			}
+		}
+		if len(next) == 0 {
+			return res // fixpoint: exact negative
+		}
+		frontier = next
+	}
+	res.Exhausted = true
+	return res
+}

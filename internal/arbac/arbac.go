@@ -1,0 +1,260 @@
+// Package arbac implements a URA97-style baseline: the user-role assignment
+// fragment of ARBAC97 (Sandhu, Bhamidipati & Munawer, TISSEC 1999), the
+// model the paper's related-work section positions itself against. ARBAC97
+// assigns administrative authority to a separate hierarchy of administrative
+// roles and expresses it as can_assign(admin role, precondition, role range)
+// and can_revoke(admin role, role range) rules.
+//
+// The comparison experiment C1 (EXPERIMENTS.md) encodes the same scenarios
+// in this model and in the paper's privilege-based model, and contrasts how
+// many safe administrative commands each authorizes: ARBAC97's flexibility
+// is bounded by explicitly configured ranges, whereas the privilege ordering
+// derives implicit downward authority from each granted privilege.
+package arbac
+
+import (
+	"fmt"
+	"sort"
+
+	"adminrefine/internal/graph"
+	"adminrefine/internal/policy"
+)
+
+// Precondition is a URA97 prerequisite condition: a conjunction of positive
+// and negated role memberships evaluated against the regular policy
+// (u →φ r for positive literals, ¬(u →φ r) for negative ones).
+type Precondition struct {
+	Pos []string
+	Neg []string
+}
+
+// Satisfied evaluates the condition for a user against the policy.
+func (c Precondition) Satisfied(p *policy.Policy, user string) bool {
+	for _, r := range c.Pos {
+		if !p.CanActivate(user, r) {
+			return false
+		}
+	}
+	for _, r := range c.Neg {
+		if p.CanActivate(user, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the condition, "true" when empty.
+func (c Precondition) String() string {
+	if len(c.Pos) == 0 && len(c.Neg) == 0 {
+		return "true"
+	}
+	s := ""
+	for _, r := range c.Pos {
+		if s != "" {
+			s += " ∧ "
+		}
+		s += r
+	}
+	for _, r := range c.Neg {
+		if s != "" {
+			s += " ∧ "
+		}
+		s += "¬" + r
+	}
+	return s
+}
+
+// Range is a role range [Low, High] in the regular role hierarchy: the roles
+// r with High ⊒ r ⊒ Low (reachability in the senior→junior RH graph).
+// Open bounds exclude the endpoint, as in URA97's (Low, High] notation.
+type Range struct {
+	Low      string
+	High     string
+	OpenLow  bool
+	OpenHigh bool
+}
+
+// Contains reports whether the role lies in the range under the policy's
+// hierarchy.
+func (r Range) Contains(p *policy.Policy, role string) bool {
+	top := r.High
+	bottom := r.Low
+	if !p.ReachesKey(roleKey(top), roleKey(role)) {
+		return false
+	}
+	if !p.ReachesKey(roleKey(role), roleKey(bottom)) {
+		return false
+	}
+	if r.OpenHigh && role == top {
+		return false
+	}
+	if r.OpenLow && role == bottom {
+		return false
+	}
+	return true
+}
+
+// String renders the range in URA97 interval notation.
+func (r Range) String() string {
+	lb, rb := "[", "]"
+	if r.OpenLow {
+		lb = "("
+	}
+	if r.OpenHigh {
+		rb = ")"
+	}
+	return fmt.Sprintf("%s%s, %s%s", lb, r.Low, r.High, rb)
+}
+
+func roleKey(name string) string { return "r:" + name }
+
+// CanAssign is a URA97 can_assign rule.
+type CanAssign struct {
+	AdminRole string
+	Cond      Precondition
+	Range     Range
+}
+
+// CanRevoke is a URA97 can_revoke rule.
+type CanRevoke struct {
+	AdminRole string
+	Range     Range
+}
+
+// System couples a regular RBAC policy with an ARBAC97 administrative state:
+// an administrative role hierarchy, administrative user assignments, and the
+// can_assign / can_revoke relations.
+type System struct {
+	// Policy is the regular policy being administered. Only its UA/RH/PA
+	// parts are used; administrative privileges inside it are ignored by
+	// this baseline.
+	Policy *policy.Policy
+
+	adminUA map[string]map[string]struct{} // user -> admin roles
+	arh     *graph.Digraph                 // admin role hierarchy, senior → junior
+
+	Assign []CanAssign
+	Revoke []CanRevoke
+
+	// PRA97 rules (see pra.go).
+	AssignP []CanAssignP
+	RevokeP []CanRevokeP
+}
+
+// NewSystem wraps a policy with an empty administrative state.
+func NewSystem(p *policy.Policy) *System {
+	return &System{
+		Policy:  p,
+		adminUA: make(map[string]map[string]struct{}),
+		arh:     graph.New(),
+	}
+}
+
+// AddAdminRole declares an administrative role.
+func (s *System) AddAdminRole(name string) { s.arh.AddVertex(name) }
+
+// AddAdminInherit adds a senior → junior edge in the administrative role
+// hierarchy.
+func (s *System) AddAdminInherit(senior, junior string) {
+	s.arh.AddEdge(senior, junior)
+}
+
+// AssignAdmin puts a user into an administrative role.
+func (s *System) AssignAdmin(user, adminRole string) {
+	s.arh.AddVertex(adminRole)
+	m, ok := s.adminUA[user]
+	if !ok {
+		m = make(map[string]struct{})
+		s.adminUA[user] = m
+	}
+	m[adminRole] = struct{}{}
+}
+
+// AdminRolesOf returns the administrative roles the user occupies, directly
+// or through the administrative hierarchy, sorted.
+func (s *System) AdminRolesOf(user string) []string {
+	seen := map[string]struct{}{}
+	for ar := range s.adminUA[user] {
+		id := s.arh.Lookup(ar)
+		if id == graph.NoVertex {
+			seen[ar] = struct{}{}
+			continue
+		}
+		reach := s.arh.ReachableFrom(id)
+		for i, in := range reach {
+			if in {
+				seen[s.arh.Key(i)] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for ar := range seen {
+		out = append(out, ar)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CanAssignUser reports whether the actor may assign the user to the role:
+// some can_assign rule must name an admin role the actor occupies, the user
+// must satisfy its precondition, and the role must lie in its range. The
+// justifying rule is returned.
+func (s *System) CanAssignUser(actor, user, role string) (CanAssign, bool) {
+	admins := s.AdminRolesOf(actor)
+	for _, rule := range s.Assign {
+		if !contains(admins, rule.AdminRole) {
+			continue
+		}
+		if !rule.Cond.Satisfied(s.Policy, user) {
+			continue
+		}
+		if !rule.Range.Contains(s.Policy, role) {
+			continue
+		}
+		return rule, true
+	}
+	return CanAssign{}, false
+}
+
+// CanRevokeUser reports whether the actor may revoke the user from the role.
+func (s *System) CanRevokeUser(actor, user, role string) (CanRevoke, bool) {
+	admins := s.AdminRolesOf(actor)
+	for _, rule := range s.Revoke {
+		if !contains(admins, rule.AdminRole) {
+			continue
+		}
+		if !rule.Range.Contains(s.Policy, role) {
+			continue
+		}
+		return rule, true
+	}
+	return CanRevoke{}, false
+}
+
+// AssignUser performs the assignment after checking authorization.
+func (s *System) AssignUser(actor, user, role string) error {
+	if _, ok := s.CanAssignUser(actor, user, role); !ok {
+		return fmt.Errorf("arbac: %s may not assign %s to %s", actor, user, role)
+	}
+	s.Policy.Assign(user, role)
+	return nil
+}
+
+// RevokeUser performs the revocation after checking authorization. URA97's
+// weak revocation removes only the explicit membership.
+func (s *System) RevokeUser(actor, user, role string) error {
+	if _, ok := s.CanRevokeUser(actor, user, role); !ok {
+		return fmt.Errorf("arbac: %s may not revoke %s from %s", actor, user, role)
+	}
+	s.Policy.Deassign(user, role)
+	return nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,230 @@
+package arbac
+
+import (
+	"testing"
+
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+)
+
+// hospitalSystem encodes the Figure 2 scenario in ARBAC97 terms: a single
+// administrative role HRadmin with can_assign(HRadmin, true, [staff,staff])
+// and can_revoke(HRadmin, [nurse,nurse]) — the explicit authority HR holds
+// in the paper's model, without the ordering's implicit downward authority.
+func hospitalSystem() *System {
+	s := NewSystem(policy.Figure1())
+	s.AddAdminRole("HRadmin")
+	s.AssignAdmin("jane", "HRadmin")
+	s.Assign = []CanAssign{{
+		AdminRole: "HRadmin",
+		Cond:      Precondition{},
+		Range:     Range{Low: "staff", High: "staff"},
+	}}
+	s.Revoke = []CanRevoke{{
+		AdminRole: "HRadmin",
+		Range:     Range{Low: "nurse", High: "nurse"},
+	}}
+	return s
+}
+
+func TestCanAssignPointRange(t *testing.T) {
+	s := hospitalSystem()
+	if _, ok := s.CanAssignUser("jane", "bob", "staff"); !ok {
+		t.Fatal("jane cannot assign bob to staff")
+	}
+	// The point range [staff,staff] does NOT cover dbusr2 — the flexworker
+	// flexibility of Example 4 requires explicit range configuration in
+	// ARBAC97, unlike the paper's derived ordering.
+	if _, ok := s.CanAssignUser("jane", "bob", "dbusr2"); ok {
+		t.Fatal("point range unexpectedly covers dbusr2")
+	}
+	// Non-admins cannot assign.
+	if _, ok := s.CanAssignUser("diana", "bob", "staff"); ok {
+		t.Fatal("diana can assign")
+	}
+}
+
+func TestDownRangeMatchesOrderingFlexibility(t *testing.T) {
+	// With the down-range (dbusr1, staff] ARBAC97 can approximate the
+	// downward flexibility the ordering derives automatically.
+	s := hospitalSystem()
+	s.Assign = []CanAssign{{
+		AdminRole: "HRadmin",
+		Range:     Range{Low: "dbusr1", High: "staff", OpenLow: true},
+	}}
+	for _, role := range []string{"staff", "nurse", "dbusr2"} {
+		if _, ok := s.CanAssignUser("jane", "bob", role); !ok {
+			t.Errorf("down-range misses %s", role)
+		}
+	}
+	// But only approximate: a range is an interval, so it needs BOTH bounds
+	// to dominate/be dominated. prntusr is below staff but incomparable with
+	// dbusr1, so no [dbusr1, staff] range covers it — whereas the paper's
+	// ordering covers the full down-set of staff (experiment C1 quantifies
+	// this gap).
+	if _, ok := s.CanAssignUser("jane", "bob", "prntusr"); ok {
+		t.Error("interval range unexpectedly covers the incomparable prntusr")
+	}
+	if _, ok := s.CanAssignUser("jane", "bob", "dbusr1"); ok {
+		t.Error("open lower bound includes dbusr1")
+	}
+	if _, ok := s.CanAssignUser("jane", "bob", "SO"); ok {
+		t.Error("range includes an unrelated senior role")
+	}
+}
+
+func TestPreconditions(t *testing.T) {
+	s := hospitalSystem()
+	s.Assign = []CanAssign{{
+		AdminRole: "HRadmin",
+		Cond:      Precondition{Pos: []string{"nurse"}, Neg: []string{"SO"}},
+		Range:     Range{Low: "staff", High: "staff"},
+	}}
+	// Diana is a nurse (and not SO): eligible.
+	if _, ok := s.CanAssignUser("jane", "diana", "staff"); !ok {
+		t.Fatal("precondition rejected eligible user")
+	}
+	// Bob is not a nurse: ineligible.
+	if _, ok := s.CanAssignUser("jane", "bob", "staff"); ok {
+		t.Fatal("precondition accepted ineligible user")
+	}
+	// Negative literal: make diana SO and she becomes ineligible.
+	s.Policy.Assign("diana", "SO")
+	if _, ok := s.CanAssignUser("jane", "diana", "staff"); ok {
+		t.Fatal("negative precondition not enforced")
+	}
+	if got := (Precondition{Pos: []string{"a"}, Neg: []string{"b"}}).String(); got != "a ∧ ¬b" {
+		t.Errorf("precondition string = %q", got)
+	}
+	if got := (Precondition{}).String(); got != "true" {
+		t.Errorf("empty precondition string = %q", got)
+	}
+}
+
+func TestAssignRevokeMutateThePolicy(t *testing.T) {
+	s := hospitalSystem()
+	if err := s.AssignUser("jane", "bob", "staff"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Policy.CanActivate("bob", "staff") {
+		t.Fatal("assignment did not take effect")
+	}
+	if err := s.AssignUser("jane", "bob", "SO"); err == nil {
+		t.Fatal("unauthorized assignment succeeded")
+	}
+	// Revocation range covers nurse only.
+	s.Policy.Assign("joe", "nurse")
+	if err := s.RevokeUser("jane", "joe", "nurse"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Policy.CanActivate("joe", "nurse") {
+		t.Fatal("revocation did not take effect")
+	}
+	if err := s.RevokeUser("jane", "bob", "staff"); err == nil {
+		t.Fatal("out-of-range revocation succeeded")
+	}
+}
+
+func TestAdminHierarchy(t *testing.T) {
+	s := hospitalSystem()
+	s.AddAdminRole("SSO")
+	s.AddAdminInherit("SSO", "HRadmin")
+	s.AssignAdmin("alice", "SSO")
+	// Alice inherits HRadmin through the administrative hierarchy.
+	if _, ok := s.CanAssignUser("alice", "bob", "staff"); !ok {
+		t.Fatal("admin hierarchy inheritance failed")
+	}
+	roles := s.AdminRolesOf("alice")
+	if len(roles) != 2 {
+		t.Fatalf("alice's admin roles = %v", roles)
+	}
+}
+
+func TestRangeNotation(t *testing.T) {
+	r := Range{Low: "a", High: "b", OpenLow: true}
+	if got := r.String(); got != "(a, b]" {
+		t.Errorf("range string = %q", got)
+	}
+	r2 := Range{Low: "a", High: "b", OpenHigh: true}
+	if got := r2.String(); got != "[a, b)" {
+		t.Errorf("range string = %q", got)
+	}
+	// Open high bound excludes the top role.
+	p := policy.Figure1()
+	rr := Range{Low: "dbusr1", High: "staff", OpenHigh: true}
+	if rr.Contains(p, "staff") {
+		t.Error("open high bound includes staff")
+	}
+	if !rr.Contains(p, "dbusr2") {
+		t.Error("interior role excluded")
+	}
+	// Unknown roles are never contained.
+	if (Range{Low: "x", High: "y"}).Contains(p, "ghost") {
+		t.Error("unknown role contained")
+	}
+}
+
+func TestPRA97PermissionAssignment(t *testing.T) {
+	s := hospitalSystem()
+	perm := model.Perm("read", "t4")
+	// dbusr1 already carries the clinical reads; PRA97 lets HRadmin attach
+	// new reads to roles in (dbusr1, staff], provided the permission is not
+	// already reachable from staff (a no-duplication prerequisite).
+	s.AssignP = []CanAssignP{{
+		AdminRole: "HRadmin",
+		Cond:      PermCond{Neg: []string{"staff"}},
+		Range:     Range{Low: "dbusr1", High: "staff", OpenLow: true},
+	}}
+	s.RevokeP = []CanRevokeP{{
+		AdminRole: "HRadmin",
+		Range:     Range{Low: "dbusr1", High: "staff"},
+	}}
+
+	if err := s.AssignPerm("jane", perm, "dbusr2"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Policy.Reaches(model.Role("staff"), perm) {
+		t.Fatal("assignment ineffective")
+	}
+	// Now the negative prerequisite blocks a second attachment.
+	if err := s.AssignPerm("jane", perm, "nurse"); err == nil {
+		t.Fatal("duplicate attachment allowed despite ¬staff prerequisite")
+	}
+	// Out-of-range target.
+	if err := s.AssignPerm("jane", model.Perm("x", "y"), "SO"); err == nil {
+		t.Fatal("out-of-range permission assignment allowed")
+	}
+	// Non-admin actor.
+	if err := s.AssignPerm("diana", model.Perm("x", "y"), "dbusr2"); err == nil {
+		t.Fatal("non-admin permission assignment allowed")
+	}
+	// Revocation restores the original state.
+	if err := s.RevokePerm("jane", perm, "dbusr2"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Policy.Reaches(model.Role("staff"), perm) {
+		t.Fatal("revocation ineffective")
+	}
+	if err := s.RevokePerm("diana", perm, "dbusr2"); err == nil {
+		t.Fatal("non-admin revocation allowed")
+	}
+}
+
+func TestPRA97PositivePrerequisite(t *testing.T) {
+	s := hospitalSystem()
+	// Positive prerequisite: only permissions already held by dbusr1 may be
+	// promoted into the range.
+	s.AssignP = []CanAssignP{{
+		AdminRole: "HRadmin",
+		Cond:      PermCond{Pos: []string{"dbusr1"}},
+		Range:     Range{Low: "nurse", High: "staff"},
+	}}
+	held := model.Perm("read", "t1") // dbusr1 reaches it
+	if _, ok := s.CanAssignPerm("jane", held, "nurse"); !ok {
+		t.Fatal("positive prerequisite rejected a held permission")
+	}
+	fresh := model.Perm("read", "t9")
+	if _, ok := s.CanAssignPerm("jane", fresh, "nurse"); ok {
+		t.Fatal("positive prerequisite accepted an unheld permission")
+	}
+}

@@ -1,0 +1,103 @@
+package arbac
+
+import (
+	"fmt"
+
+	"adminrefine/internal/model"
+)
+
+// PRA97 — the permission-role assignment fragment of ARBAC97. can_assignp
+// and can_revokep mirror the user-assignment rules: an administrative role
+// may attach or detach permissions to/from roles within a range, guarded by
+// a prerequisite condition over the permission's current role membership.
+
+// PermCond is a PRA97 prerequisite: the permission must (Pos) / must not
+// (Neg) currently be reachable from the named roles.
+type PermCond struct {
+	Pos []string
+	Neg []string
+}
+
+// Satisfied evaluates the condition for a permission against the policy.
+func (c PermCond) Satisfied(s *System, perm model.UserPrivilege) bool {
+	for _, r := range c.Pos {
+		if !s.Policy.Reaches(model.Role(r), perm) {
+			return false
+		}
+	}
+	for _, r := range c.Neg {
+		if s.Policy.Reaches(model.Role(r), perm) {
+			return false
+		}
+	}
+	return true
+}
+
+// CanAssignP is a PRA97 can_assignp rule.
+type CanAssignP struct {
+	AdminRole string
+	Cond      PermCond
+	Range     Range
+}
+
+// CanRevokeP is a PRA97 can_revokep rule.
+type CanRevokeP struct {
+	AdminRole string
+	Range     Range
+}
+
+// CanAssignPerm reports whether the actor may attach the permission to the
+// role under some can_assignp rule.
+func (s *System) CanAssignPerm(actor string, perm model.UserPrivilege, role string) (CanAssignP, bool) {
+	admins := s.AdminRolesOf(actor)
+	for _, rule := range s.AssignP {
+		if !contains(admins, rule.AdminRole) {
+			continue
+		}
+		if !rule.Cond.Satisfied(s, perm) {
+			continue
+		}
+		if !rule.Range.Contains(s.Policy, role) {
+			continue
+		}
+		return rule, true
+	}
+	return CanAssignP{}, false
+}
+
+// CanRevokePerm reports whether the actor may detach the permission from the
+// role under some can_revokep rule.
+func (s *System) CanRevokePerm(actor string, perm model.UserPrivilege, role string) (CanRevokeP, bool) {
+	admins := s.AdminRolesOf(actor)
+	for _, rule := range s.RevokeP {
+		if !contains(admins, rule.AdminRole) {
+			continue
+		}
+		if !rule.Range.Contains(s.Policy, role) {
+			continue
+		}
+		return rule, true
+	}
+	return CanRevokeP{}, false
+}
+
+// AssignPerm performs the permission assignment after authorization.
+func (s *System) AssignPerm(actor string, perm model.UserPrivilege, role string) error {
+	if _, ok := s.CanAssignPerm(actor, perm, role); !ok {
+		return fmt.Errorf("arbac: %s may not assign %s to %s", actor, perm, role)
+	}
+	if _, err := s.Policy.GrantPrivilege(role, perm); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RevokePerm performs the permission revocation after authorization (weak
+// revocation: only the direct assignment is removed).
+func (s *System) RevokePerm(actor string, perm model.UserPrivilege, role string) error {
+	if _, ok := s.CanRevokePerm(actor, perm, role); !ok {
+		return fmt.Errorf("arbac: %s may not revoke %s from %s", actor, perm, role)
+	}
+	s.Policy.RevokePrivilege(role, perm)
+	return nil
+}

@@ -1,0 +1,137 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"adminrefine/internal/monitor"
+	"adminrefine/internal/parser"
+)
+
+const checksFile = "testdata/flexworker-checks.rpl"
+
+func TestCheckSubcommandRefined(t *testing.T) {
+	out, err := ctl(t, "check", "-refined", checksFile)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "8 checks, 0 failed") {
+		t.Fatalf("output = %q", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("unexpected failures:\n%s", out)
+	}
+}
+
+func TestCheckSubcommandStrictFails(t *testing.T) {
+	// In strict mode Jane's do-command is denied, so the first assertion
+	// (bob reaches write t3) fails while the pure ordering facts still hold.
+	out, err := ctl(t, "check", checksFile)
+	if err == nil {
+		t.Fatalf("strict check unexpectedly passed:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "1 failed") {
+		t.Fatalf("output = %q", out)
+	}
+	if !strings.Contains(out, "expect reaches bob (write,t3)") {
+		t.Fatalf("failure not attributed to the right check:\n%s", out)
+	}
+}
+
+func TestCheckSubcommandErrors(t *testing.T) {
+	if _, err := ctl(t, "check"); err == nil {
+		t.Fatal("argless check accepted")
+	}
+	if _, err := ctl(t, "check", fig2); err == nil {
+		t.Fatal("check of file without expects accepted")
+	}
+}
+
+func TestEvaluateChecksAPI(t *testing.T) {
+	doc, err := parser.ParseFile(checksFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict := EvaluateChecks(doc, monitor.ModeStrict)
+	refined := EvaluateChecks(doc, monitor.ModeRefined)
+	if len(strict) != 8 || len(refined) != 8 {
+		t.Fatalf("result counts %d/%d", len(strict), len(refined))
+	}
+	// EvaluateChecks must not mutate the document's policy.
+	if doc.Policy.Reaches(doc.Checks[0].From, doc.Checks[0].To) {
+		t.Fatal("document policy mutated by evaluation")
+	}
+	passStrict, passRefined := 0, 0
+	for i := range strict {
+		if strict[i].Pass {
+			passStrict++
+		}
+		if refined[i].Pass {
+			passRefined++
+		}
+	}
+	if passStrict != 7 || passRefined != 8 {
+		t.Fatalf("pass counts strict=%d refined=%d", passStrict, passRefined)
+	}
+}
+
+func TestCanAssignCLI(t *testing.T) {
+	out, err := ctl(t, "can-assign", fig2, "jane", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"staff", "strict (Def. 5)", "dbusr2", "ordering (§4.1)", "grant(bob, staff)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("can-assign output missing %q:\n%s", want, out)
+		}
+	}
+	out, err = ctl(t, "can-assign", fig2, "diana", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "may not assign") {
+		t.Errorf("empty result output = %q", out)
+	}
+	if _, err := ctl(t, "can-assign", fig2, "ghost", "bob"); err == nil {
+		t.Error("unknown actor accepted")
+	}
+	if _, err := ctl(t, "can-assign", fig2, "jane", "phantom"); err == nil {
+		t.Error("unknown user accepted")
+	}
+	if _, err := ctl(t, "can-assign", fig2); err == nil {
+		t.Error("missing args accepted")
+	}
+}
+
+func TestWeakenCLI(t *testing.T) {
+	// Declarative file: prints the weakened policy.
+	out, err := ctl(t, "weaken", fig2, "HR", "grant(bob, staff)", "grant(bob, dbusr2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "grant HR grant(bob, dbusr2)") {
+		t.Fatalf("weakened policy missing new assignment:\n%s", out)
+	}
+	if strings.Contains(out, "grant HR grant(bob, staff)") {
+		t.Fatalf("weakened policy retains old assignment:\n%s", out)
+	}
+
+	// Script file: prints the Theorem 1 simulation.
+	out, err = ctl(t, "weaken", run2, "HR", "grant(bob, staff)", "grant(bob, dbusr2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"translate", "mirror", "Theorem 1): true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("simulation output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Non-weaker replacement is rejected.
+	if _, err := ctl(t, "weaken", fig2, "HR", "grant(bob, dbusr2)", "grant(bob, staff)"); err == nil {
+		t.Fatal("non-weaker replacement accepted")
+	}
+	if _, err := ctl(t, "weaken", fig2, "HR"); err == nil {
+		t.Fatal("missing args accepted")
+	}
+}

@@ -1,0 +1,269 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fig2 = "testdata/figure2.rpl"
+const run2 = "testdata/example2-run.rpl"
+
+func ctl(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := Rbacctl(&buf, args)
+	return buf.String(), err
+}
+
+func TestValidate(t *testing.T) {
+	out, err := ctl(t, "validate", fig2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ok: 5 users, 8 roles") {
+		t.Fatalf("output = %q", out)
+	}
+	if _, err := ctl(t, "validate", "testdata/missing.rpl"); err == nil {
+		t.Fatal("missing file validated")
+	}
+	if _, err := ctl(t, "validate"); err == nil {
+		t.Fatal("argless validate accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	out, err := ctl(t, "stats", fig2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"users", "roles", "max privilege nesting", "longest RH chain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFmtIdempotent(t *testing.T) {
+	out1, err := ctl(t, "fmt", fig2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(t.TempDir(), "roundtrip.rpl")
+	if err := os.WriteFile(tmp, []byte(out1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out2, err := ctl(t, "fmt", tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != out2 {
+		t.Fatal("fmt not idempotent")
+	}
+}
+
+func TestDot(t *testing.T) {
+	out, err := ctl(t, "dot", fig2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "->") {
+		t.Fatalf("dot output = %q", out[:80])
+	}
+}
+
+func TestQuery(t *testing.T) {
+	out, err := ctl(t, "query", fig2, "diana", "staff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "true") || !strings.Contains(out, "path: diana -> staff") {
+		t.Fatalf("query output = %q", out)
+	}
+	out, err = ctl(t, "query", fig2, "jane", "staff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "false") {
+		t.Fatalf("query output = %q", out)
+	}
+	// Permission target.
+	out, err = ctl(t, "query", fig2, "diana", "(read, t1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "true") {
+		t.Fatalf("perm query output = %q", out)
+	}
+	if _, err := ctl(t, "query", fig2, "ghost", "staff"); err == nil {
+		t.Fatal("unknown vertex accepted")
+	}
+}
+
+func TestWeakerCLIExample5(t *testing.T) {
+	out, err := ctl(t, "weaker", fig2, "grant(bob, staff)", "grant(bob, dbusr2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "true") || !strings.Contains(out, "rule 2") {
+		t.Fatalf("weaker output = %q", out)
+	}
+	// Nested derivation shows rule 3.
+	out, err = ctl(t, "weaker", fig2,
+		"grant(staff, grant(bob, staff))", "grant(staff, grant(bob, dbusr2))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rule 3") {
+		t.Fatalf("nested weaker output = %q", out)
+	}
+	// Negative query.
+	out, err = ctl(t, "weaker", fig2, "grant(bob, dbusr2)", "grant(bob, staff)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "false") {
+		t.Fatalf("negative weaker output = %q", out)
+	}
+}
+
+func TestWeakerSetCLI(t *testing.T) {
+	out, err := ctl(t, "weaker-set", fig2, "grant(bob, staff)", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "5 privileges") {
+		t.Fatalf("weaker-set output = %q", out)
+	}
+	// Default bound comes from Remark 2.
+	out, err = ctl(t, "weaker-set", fig2, "grant(bob, staff)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "nesting bound 3") {
+		t.Fatalf("default bound output = %q", out)
+	}
+}
+
+func TestRunScript(t *testing.T) {
+	out, err := ctl(t, "run", run2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "denied") {
+		t.Fatalf("strict run should deny diana and the direct dbusr2 grant:\n%s", out)
+	}
+	// Count denials: diana's self-promotion AND jane's direct dbusr2 grant.
+	if got := strings.Count(out, "denied"); got != 2 {
+		t.Fatalf("denied count = %d, want 2:\n%s", got, out)
+	}
+
+	out, err = ctl(t, "run", "-refined", run2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refined mode authorizes the direct dbusr2 grant; only diana denied.
+	if got := strings.Count(out, "denied"); got != 1 {
+		t.Fatalf("refined denied count = %d, want 1:\n%s", got, out)
+	}
+	if !strings.Contains(out, "grant(bob, staff)") {
+		t.Fatalf("refined run should show the justification:\n%s", out)
+	}
+}
+
+func TestRefinesCLI(t *testing.T) {
+	// ψ: figure2 minus diana→staff (a refinement).
+	psi := filepath.Join(t.TempDir(), "psi.rpl")
+	data, err := os.ReadFile(fig2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smaller := strings.Replace(string(data), "assign diana staff\n", "", 1)
+	if err := os.WriteFile(psi, []byte(smaller), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctl(t, "refines", fig2, psi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Definition 6): true") {
+		t.Fatalf("refines output = %q", out)
+	}
+	// Converse direction must report violations.
+	out, err = ctl(t, "refines", psi, fig2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Definition 6): false") || !strings.Contains(out, "violation") {
+		t.Fatalf("converse refines output = %q", out)
+	}
+	// Bounded admin check.
+	out, err = ctl(t, "refines", fig2, psi, "-admin", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Definition 7") {
+		t.Fatalf("admin refines output = %q", out)
+	}
+}
+
+func TestUsageAndUnknown(t *testing.T) {
+	if _, err := ctl(t); err == nil {
+		t.Fatal("no-arg invocation accepted")
+	}
+	if _, err := ctl(t, "frobnicate"); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	out, err := ctl(t, "help")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "usage: rbacctl") {
+		t.Fatalf("help output = %q", out)
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment ID %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"F1", "F2", "F3", "E5", "E6", "T1", "L1", "C1", "S1", "H1", "A1"} {
+		if !ids[want] {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RunExperiment(&buf, "nosuch"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestExperimentsRun executes every experiment; each one self-checks its
+// claims and returns an error on divergence, so this is the top-level
+// integration test of the whole reproduction.
+func TestExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped in -short")
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatalf("experiment failed: %v\noutput so far:\n%s", err, buf.String())
+			}
+			if buf.Len() == 0 {
+				t.Fatal("experiment produced no output")
+			}
+		})
+	}
+}

@@ -1,0 +1,539 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"adminrefine/internal/analysis"
+	"adminrefine/internal/core"
+	"adminrefine/internal/model"
+	"adminrefine/internal/monitor"
+	"adminrefine/internal/parser"
+	"adminrefine/internal/policy"
+)
+
+// tempDir creates a scratch directory for experiment S1.
+func tempDir() (string, error) { return os.MkdirTemp("", "adminrefine-s1-*") }
+
+// Rbacctl dispatches one rbacctl invocation: args holds the subcommand and
+// its operands. Output goes to w; the error return carries usage problems
+// and negative results requested to be fatal.
+func Rbacctl(w io.Writer, args []string) error {
+	if len(args) == 0 {
+		return usageError()
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "validate":
+		return ctlValidate(w, rest)
+	case "stats":
+		return ctlStats(w, rest)
+	case "fmt":
+		return ctlFmt(w, rest)
+	case "dot":
+		return ctlDot(w, rest)
+	case "query":
+		return ctlQuery(w, rest)
+	case "weaker":
+		return ctlWeaker(w, rest)
+	case "weaker-set":
+		return ctlWeakerSet(w, rest)
+	case "run":
+		return ctlRun(w, rest)
+	case "refines":
+		return ctlRefines(w, rest)
+	case "check":
+		return ctlCheck(w, rest)
+	case "can-assign":
+		return ctlCanAssign(w, rest)
+	case "weaken":
+		return ctlWeaken(w, rest)
+	case "help":
+		printUsage(w)
+		return nil
+	default:
+		return fmt.Errorf("rbacctl: unknown subcommand %q\n%s", sub, usage)
+	}
+}
+
+const usage = `usage: rbacctl <subcommand> [args]
+
+  validate <policy.rpl>                     parse and validate a policy file
+  stats <policy.rpl>                        print policy size statistics
+  fmt <policy.rpl>                          print the canonical form
+  dot <policy.rpl>                          export Graphviz DOT
+  query <policy.rpl> <from> <to>            reachability v ->φ v' (names resolve
+                                            as user first, then role)
+  weaker <policy.rpl> <strong> <weak>       decide the privilege ordering Ãφ
+                                            (privileges in RPL syntax) and
+                                            print the derivation
+  weaker-set <policy.rpl> <priv> [bound]    enumerate weaker privileges
+                                            (default bound: Remark 2)
+  run [-refined] <file.rpl>                 execute the file's do-commands
+                                            through the reference monitor
+  refines <phi.rpl> <psi.rpl> [-admin N]    check φ º ψ (Definition 6), and
+                                            with -admin N the bounded
+                                            Definition 7 up to queue length N
+  check [-refined] <file.rpl>               run the file's do-commands, then
+                                            evaluate its expect assertions
+  can-assign <policy.rpl> <actor> <user>    list the roles the actor may
+                                            assign the user to, strict and
+                                            ordering-derived
+  weaken <file.rpl> <role> <strong> <weak>  apply Theorem 1: replace the
+                                            assignment (role, strong) by the
+                                            weaker privilege; prints the new
+                                            policy, or — if the file has
+                                            do-commands — the constructive
+                                            simulation of the run
+`
+
+func usageError() error { return fmt.Errorf("rbacctl: missing subcommand\n%s", usage) }
+
+func printUsage(w io.Writer) { fmt.Fprint(w, usage) }
+
+func loadPolicy(path string) (*parser.Document, error) {
+	return parser.ParseFile(path)
+}
+
+func ctlValidate(w io.Writer, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("rbacctl validate: want one file argument")
+	}
+	doc, err := loadPolicy(args[0])
+	if err != nil {
+		return err
+	}
+	if err := doc.Policy.Validate(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ok: %d users, %d roles, %d edges, %d commands\n",
+		len(doc.Policy.Users()), len(doc.Policy.Roles()), doc.Policy.NumEdges(), len(doc.Queue))
+	return nil
+}
+
+func ctlStats(w io.Writer, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("rbacctl stats: want one file argument")
+	}
+	doc, err := loadPolicy(args[0])
+	if err != nil {
+		return err
+	}
+	s := doc.Policy.Stats()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "users\t%d\n", s.Users)
+	fmt.Fprintf(tw, "roles\t%d\n", s.Roles)
+	fmt.Fprintf(tw, "UA edges\t%d\n", s.UA)
+	fmt.Fprintf(tw, "RH edges\t%d\n", s.RH)
+	fmt.Fprintf(tw, "PA edges\t%d\n", s.PA)
+	fmt.Fprintf(tw, "user privilege vertices\t%d\n", s.UserPrivVertices)
+	fmt.Fprintf(tw, "admin privilege vertices\t%d\n", s.AdminPrivVertices)
+	fmt.Fprintf(tw, "max privilege nesting\t%d\n", s.MaxPrivilegeDepth)
+	fmt.Fprintf(tw, "longest RH chain (Remark 2 bound)\t%d\n", s.LongestRoleChainInRH)
+	return tw.Flush()
+}
+
+func ctlFmt(w io.Writer, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("rbacctl fmt: want one file argument")
+	}
+	doc, err := loadPolicy(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, parser.Print(doc.Policy, doc.Queue))
+	return nil
+}
+
+func ctlDot(w io.Writer, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("rbacctl dot: want one file argument")
+	}
+	doc, err := loadPolicy(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, doc.Policy.DOT(args[0]))
+	return nil
+}
+
+// resolveVertex interprets a name against the policy: declared user first,
+// then role; "(a,b)" parses as a permission.
+func resolveVertex(p *policy.Policy, name string) (model.Vertex, error) {
+	if strings.HasPrefix(name, "(") {
+		pr, err := parsePrivArg(name)
+		if err != nil {
+			return nil, err
+		}
+		return pr, nil
+	}
+	switch {
+	case p.HasUser(name) && p.HasRole(name):
+		return nil, fmt.Errorf("%q is both a user and a role; qualify with user: or role:", name)
+	case strings.HasPrefix(name, "user:"):
+		return model.User(strings.TrimPrefix(name, "user:")), nil
+	case strings.HasPrefix(name, "role:"):
+		return model.Role(strings.TrimPrefix(name, "role:")), nil
+	case p.HasUser(name):
+		return model.User(name), nil
+	case p.HasRole(name):
+		return model.Role(name), nil
+	default:
+		return nil, fmt.Errorf("%q is not a declared user or role", name)
+	}
+}
+
+// parsePrivArg parses a privilege given as a standalone command-line
+// argument, reusing the RPL parser by wrapping it in a grant statement over
+// a scratch role universe. Entities inside the privilege must be
+// self-describing, so the caller's policy declarations are spliced in.
+func parsePrivArg(src string) (model.Privilege, error) {
+	doc, err := parser.Parse("roles ·scratch·\ngrant ·scratch· " + src + "\n")
+	if err != nil {
+		return nil, fmt.Errorf("privilege %q: %w", src, err)
+	}
+	for _, e := range doc.Policy.EdgesOf(policy.EdgePA) {
+		return e.To.(model.Privilege), nil
+	}
+	return nil, fmt.Errorf("privilege %q: nothing parsed", src)
+}
+
+// parsePrivWithPolicy parses a privilege argument in the context of a policy
+// file's declarations (so grant(bob, staff) resolves bob as a user).
+func parsePrivWithPolicy(p *policy.Policy, src string) (model.Privilege, error) {
+	var b strings.Builder
+	if us := p.Users(); len(us) > 0 {
+		b.WriteString("users ")
+		for i, u := range us {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(quoteArg(u))
+		}
+		b.WriteByte('\n')
+	}
+	rs := append([]string{"·scratch·"}, p.Roles()...)
+	b.WriteString("roles ")
+	for i, r := range rs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(quoteArg(r))
+	}
+	b.WriteByte('\n')
+	b.WriteString("grant ·scratch· " + src + "\n")
+	doc, err := parser.Parse(b.String())
+	if err != nil {
+		return nil, fmt.Errorf("privilege %q: %w", src, err)
+	}
+	for _, e := range doc.Policy.EdgesOf(policy.EdgePA) {
+		return e.To.(model.Privilege), nil
+	}
+	return nil, fmt.Errorf("privilege %q: nothing parsed", src)
+}
+
+func quoteArg(s string) string {
+	return `"` + strings.ReplaceAll(strings.ReplaceAll(s, `\`, `\\`), `"`, `\"`) + `"`
+}
+
+func ctlQuery(w io.Writer, args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("rbacctl query: want <policy.rpl> <from> <to>")
+	}
+	doc, err := loadPolicy(args[0])
+	if err != nil {
+		return err
+	}
+	from, err := resolveVertex(doc.Policy, args[1])
+	if err != nil {
+		return err
+	}
+	to, err := resolveVertex(doc.Policy, args[2])
+	if err != nil {
+		return err
+	}
+	ok := doc.Policy.Reaches(from, to)
+	fmt.Fprintf(w, "%s ->φ %s: %v\n", from, to, ok)
+	if ok {
+		path := doc.Policy.Path(from, to)
+		strs := make([]string, len(path))
+		for i, v := range path {
+			strs[i] = v.String()
+		}
+		fmt.Fprintf(w, "path: %s\n", strings.Join(strs, " -> "))
+	}
+	return nil
+}
+
+func ctlWeaker(w io.Writer, args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("rbacctl weaker: want <policy.rpl> <strong-priv> <weak-priv>")
+	}
+	doc, err := loadPolicy(args[0])
+	if err != nil {
+		return err
+	}
+	strong, err := parsePrivWithPolicy(doc.Policy, args[1])
+	if err != nil {
+		return err
+	}
+	weak, err := parsePrivWithPolicy(doc.Policy, args[2])
+	if err != nil {
+		return err
+	}
+	d := core.NewDecider(doc.Policy)
+	dv, ok := d.Explain(strong, weak)
+	fmt.Fprintf(w, "%s Ãφ %s: %v\n", strong, weak, ok)
+	if ok {
+		fmt.Fprintf(w, "%s\n", dv)
+	}
+	return nil
+}
+
+func ctlWeakerSet(w io.Writer, args []string) error {
+	if len(args) != 2 && len(args) != 3 {
+		return fmt.Errorf("rbacctl weaker-set: want <policy.rpl> <priv> [bound]")
+	}
+	doc, err := loadPolicy(args[0])
+	if err != nil {
+		return err
+	}
+	priv, err := parsePrivWithPolicy(doc.Policy, args[1])
+	if err != nil {
+		return err
+	}
+	bound := core.DefaultNestBound(doc.Policy, priv)
+	if len(args) == 3 {
+		if _, err := fmt.Sscanf(args[2], "%d", &bound); err != nil {
+			return fmt.Errorf("rbacctl weaker-set: bad bound %q", args[2])
+		}
+	}
+	d := core.NewDecider(doc.Policy)
+	ws := d.WeakerSet(priv, bound)
+	fmt.Fprintf(w, "weaker than %s (nesting bound %d): %d privileges\n", priv, bound, len(ws))
+	for _, pr := range ws {
+		fmt.Fprintf(w, "  %s\n", pr)
+	}
+	return nil
+}
+
+func ctlRun(w io.Writer, args []string) error {
+	mode := monitor.ModeStrict
+	if len(args) > 0 && args[0] == "-refined" {
+		mode = monitor.ModeRefined
+		args = args[1:]
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("rbacctl run: want [-refined] <file.rpl>")
+	}
+	doc, err := loadPolicy(args[0])
+	if err != nil {
+		return err
+	}
+	m := monitor.New(doc.Policy.Clone(), mode)
+	results := m.SubmitQueue(doc.Queue)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "command\toutcome\tjustification\n")
+	for _, r := range results {
+		j := ""
+		if r.Justification != nil {
+			j = r.Justification.String()
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", r.Cmd, r.Outcome, j)
+	}
+	tw.Flush()
+	removed, added := doc.Policy.Diff(m.Policy())
+	fmt.Fprintf(w, "\nfinal policy: +%d/-%d edges vs input\n", len(added), len(removed))
+	return nil
+}
+
+func ctlRefines(w io.Writer, args []string) error {
+	var adminLen int
+	var files []string
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-admin" && i+1 < len(args) {
+			if _, err := fmt.Sscanf(args[i+1], "%d", &adminLen); err != nil {
+				return fmt.Errorf("rbacctl refines: bad -admin value %q", args[i+1])
+			}
+			i++
+			continue
+		}
+		files = append(files, args[i])
+	}
+	if len(files) != 2 {
+		return fmt.Errorf("rbacctl refines: want <phi.rpl> <psi.rpl> [-admin N]")
+	}
+	phiDoc, err := loadPolicy(files[0])
+	if err != nil {
+		return err
+	}
+	psiDoc, err := loadPolicy(files[1])
+	if err != nil {
+		return err
+	}
+	phi, psi := phiDoc.Policy, psiDoc.Policy
+	ok := core.NonAdminRefines(phi, psi)
+	fmt.Fprintf(w, "φ º ψ (Definition 6): %v\n", ok)
+	if !ok {
+		for _, v := range core.NonAdminViolations(phi, psi, 5) {
+			fmt.Fprintf(w, "  violation: %s\n", v)
+		}
+	}
+	if adminLen > 0 {
+		res := core.BoundedAdminRefines(phi, psi, core.BoundedAdminOptions{MaxLen: adminLen})
+		fmt.Fprintf(w, "φ º† ψ bounded to length %d (Definition 7, printed direction): %v over %d queues\n",
+			adminLen, res.Holds, res.QueuesExplored)
+		if res.Truncated {
+			fmt.Fprintf(w, "  warning: responder frontier truncated; a negative answer may be spurious\n")
+		}
+		if !res.Holds {
+			fmt.Fprintf(w, "  counterexample: %s\n", res.Counterexample)
+		}
+	}
+	return nil
+}
+
+// CheckResult is one evaluated `expect` assertion.
+type CheckResult struct {
+	Check parser.Check
+	Got   bool
+	Pass  bool
+}
+
+// EvaluateChecks runs the document's command queue on a clone of its policy
+// under the given mode and evaluates every expect assertion against the
+// resulting state.
+func EvaluateChecks(doc *parser.Document, mode monitor.Mode) []CheckResult {
+	m := monitor.New(doc.Policy.Clone(), mode)
+	m.SubmitQueue(doc.Queue)
+	final := m.Policy()
+	d := core.NewDecider(final)
+	out := make([]CheckResult, 0, len(doc.Checks))
+	for _, c := range doc.Checks {
+		var got bool
+		switch c.Kind {
+		case parser.CheckReaches:
+			got = final.Reaches(c.From, c.To)
+		case parser.CheckWeaker:
+			got = d.Weaker(c.Strong, c.Weak)
+		}
+		out = append(out, CheckResult{Check: c, Got: got, Pass: got != c.Negated})
+	}
+	return out
+}
+
+func ctlCheck(w io.Writer, args []string) error {
+	mode := monitor.ModeStrict
+	if len(args) > 0 && args[0] == "-refined" {
+		mode = monitor.ModeRefined
+		args = args[1:]
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("rbacctl check: want [-refined] <file.rpl>")
+	}
+	doc, err := loadPolicy(args[0])
+	if err != nil {
+		return err
+	}
+	if len(doc.Checks) == 0 {
+		return fmt.Errorf("rbacctl check: %s contains no expect statements", args[0])
+	}
+	results := EvaluateChecks(doc, mode)
+	failed := 0
+	for _, r := range results {
+		status := "PASS"
+		if !r.Pass {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(w, "%s  line %d: %s (got %v)\n", status, r.Check.Line, r.Check, r.Got)
+	}
+	fmt.Fprintf(w, "%d checks, %d failed [%s mode]\n", len(results), failed, mode)
+	if failed > 0 {
+		return fmt.Errorf("rbacctl check: %d of %d assertions failed", failed, len(results))
+	}
+	return nil
+}
+
+func ctlCanAssign(w io.Writer, args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("rbacctl can-assign: want <policy.rpl> <actor> <user>")
+	}
+	doc, err := loadPolicy(args[0])
+	if err != nil {
+		return err
+	}
+	actor, user := args[1], args[2]
+	if !doc.Policy.HasUser(actor) {
+		return fmt.Errorf("actor %q is not a declared user", actor)
+	}
+	if !doc.Policy.HasUser(user) {
+		return fmt.Errorf("user %q is not a declared user", user)
+	}
+	options := analysis.AssignableRoles(doc.Policy, actor, user)
+	if len(options) == 0 {
+		fmt.Fprintf(w, "%s may not assign %s to any role\n", actor, user)
+		return nil
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "role\tregime\tjustified by\n")
+	for _, o := range options {
+		regime := "strict (Def. 5)"
+		if !o.Strict {
+			regime = "ordering (§4.1)"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", o.Role, regime, o.Justification)
+	}
+	return tw.Flush()
+}
+
+func ctlWeaken(w io.Writer, args []string) error {
+	if len(args) != 4 {
+		return fmt.Errorf("rbacctl weaken: want <file.rpl> <role> <strong-priv> <weak-priv>")
+	}
+	doc, err := loadPolicy(args[0])
+	if err != nil {
+		return err
+	}
+	strong, err := parsePrivWithPolicy(doc.Policy, args[2])
+	if err != nil {
+		return err
+	}
+	weak, err := parsePrivWithPolicy(doc.Policy, args[3])
+	if err != nil {
+		return err
+	}
+	wk := core.Weakening{Role: args[1], Strong: strong, Weak: weak}
+	if len(doc.Queue) == 0 {
+		psi, err := core.WeakenAssignment(doc.Policy, wk)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "# Theorem 1 weakening: %s\n", wk)
+		fmt.Fprint(w, parser.Print(psi, nil))
+		return nil
+	}
+	phiF, psiF, steps, err := core.SimulateWeakening(doc.Policy, wk, doc.Queue)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "weakening: %s\n\n", wk)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "φ command\tψ response\tkind\tφ outcome\tψ outcome\n")
+	for _, s := range steps {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", s.PhiCmd, s.PsiCmd, s.Kind, s.PhiStep.Outcome, s.PsiStep.Outcome)
+	}
+	tw.Flush()
+	ok := core.NonAdminRefines(phiF, psiF)
+	fmt.Fprintf(w, "\nfinal states satisfy φ' º ψ' (Theorem 1): %v\n", ok)
+	if !ok {
+		for _, v := range core.NonAdminViolations(phiF, psiF, 5) {
+			fmt.Fprintf(w, "  violation: %s\n", v)
+		}
+		return fmt.Errorf("rbacctl weaken: refinement violated")
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package command
+
+import (
+	"math/rand"
+	"testing"
+
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+)
+
+// TestTransitionTotalityRandomized drives the transition function with
+// arbitrary (including ill-formed) commands and checks the Definition 5
+// totality guarantees: every command is consumed, the policy never becomes
+// invalid, and denied/ill-formed commands never change it.
+func TestTransitionTotalityRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	names := []string{"diana", "alice", "jane", "bob", "joe", "ghost", ""}
+	roles := []string{"SO", "HR", "staff", "nurse", "dbusr1", "dbusr2", "phantom"}
+
+	randVertex := func() model.Vertex {
+		switch rng.Intn(4) {
+		case 0:
+			return model.User(names[rng.Intn(len(names))])
+		case 1:
+			return model.Role(roles[rng.Intn(len(roles))])
+		case 2:
+			return model.Perm("act", "obj")
+		default:
+			return model.Grant(model.User(names[rng.Intn(len(names))]), model.Role(roles[rng.Intn(len(roles))]))
+		}
+	}
+
+	p := policy.Figure2()
+	for i := 0; i < 3000; i++ {
+		c := Command{
+			Actor: names[rng.Intn(len(names))],
+			Op:    model.Op(rng.Intn(4)), // includes invalid ops
+			From:  randVertex(),
+			To:    randVertex(),
+		}
+		before := p.Clone()
+		res := Step(p, c, Strict{})
+		switch res.Outcome {
+		case Denied, IllFormed, AppliedNoChange:
+			if !p.Equal(before) {
+				t.Fatalf("command %v with outcome %v changed the policy", c, res.Outcome)
+			}
+		case Applied:
+			if p.Equal(before) {
+				t.Fatalf("command %v reported applied but nothing changed", c)
+			}
+			if res.Justification == nil {
+				t.Fatalf("applied command %v lacks justification", c)
+			}
+		default:
+			t.Fatalf("command %v produced unknown outcome %v", c, res.Outcome)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("policy invalid after %v: %v", c, err)
+		}
+	}
+}
+
+// TestRunDeterministic re-runs the same queue and requires identical traces
+// and final states.
+func TestRunDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var q Queue
+	names := []string{"jane", "alice", "diana"}
+	targets := []string{"staff", "nurse", "dbusr2"}
+	for i := 0; i < 40; i++ {
+		op := model.OpGrant
+		if rng.Intn(3) == 0 {
+			op = model.OpRevoke
+		}
+		q = append(q, Command{
+			Actor: names[rng.Intn(len(names))],
+			Op:    op,
+			From:  model.User("bob"),
+			To:    model.Role(targets[rng.Intn(len(targets))]),
+		})
+	}
+	f1, t1 := RunOn(policy.Figure2(), q, Strict{})
+	f2, t2 := RunOn(policy.Figure2(), q, Strict{})
+	if !f1.Equal(f2) {
+		t.Fatal("same queue produced different final policies")
+	}
+	for i := range t1 {
+		if t1[i].Outcome != t2[i].Outcome {
+			t.Fatalf("step %d outcomes differ: %v vs %v", i, t1[i].Outcome, t2[i].Outcome)
+		}
+	}
+}
+
+// TestGrantRevokeInverse checks that an authorized grant followed by the
+// matching authorized revoke restores the original policy.
+func TestGrantRevokeInverse(t *testing.T) {
+	p := policy.Figure2()
+	before := p.Clone()
+	g := Grant(policy.UserJane, model.User(policy.UserJoe), model.Role(policy.RoleNurse))
+	r := Revoke(policy.UserJane, model.User(policy.UserJoe), model.Role(policy.RoleNurse))
+	if res := Step(p, g, Strict{}); res.Outcome != Applied {
+		t.Fatalf("grant outcome %v", res.Outcome)
+	}
+	if res := Step(p, r, Strict{}); res.Outcome != Applied {
+		t.Fatalf("revoke outcome %v", res.Outcome)
+	}
+	if !p.Equal(before) {
+		t.Fatal("grant;revoke did not restore the policy")
+	}
+}

@@ -1,0 +1,195 @@
+// Package constraints implements the ANSI RBAC standard's separation-of-duty
+// constraints as an optional layer over the paper's model. The paper
+// restricts itself to General Hierarchical RBAC ("we do not assume any
+// features that go beyond [it], such as constraints") but its footnote 4
+// points at the constraint-centric related work; this package supplies the
+// standard's two constraint families so deployments can combine them with
+// administrative refinement:
+//
+//   - SSD (static separation of duty): a user may be an authorized member of
+//     fewer than n roles from a named conflicting set, evaluated against
+//     UA ∪ RH (the standard's hierarchical SSD).
+//   - DSD (dynamic separation of duty): a session may have fewer than n
+//     roles from the set active simultaneously.
+//
+// A Set guards policy changes (reject administrative commands whose
+// resulting policy violates SSD) and session activations (reject activations
+// violating DSD). The monitor integrates it via monitor.WithConstraints.
+package constraints
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/policy"
+)
+
+// Kind distinguishes static from dynamic constraints.
+type Kind uint8
+
+const (
+	// SSD constrains authorized role membership.
+	SSD Kind = iota + 1
+	// DSD constrains simultaneous activation within one session.
+	DSD
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == DSD {
+		return "DSD"
+	}
+	return "SSD"
+}
+
+// Constraint is one separation-of-duty rule: out of Roles, fewer than N may
+// be held (SSD) or active (DSD) together. N must be at least 2 and at most
+// len(Roles), as in the standard.
+type Constraint struct {
+	Name  string
+	Kind  Kind
+	Roles []string
+	N     int
+}
+
+// Validate checks the standard's well-formedness conditions.
+func (c Constraint) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("constraint: empty name")
+	}
+	if len(c.Roles) < 2 {
+		return fmt.Errorf("constraint %s: needs at least two roles", c.Name)
+	}
+	if c.N < 2 || c.N > len(c.Roles) {
+		return fmt.Errorf("constraint %s: cardinality %d out of range [2,%d]", c.Name, c.N, len(c.Roles))
+	}
+	seen := map[string]bool{}
+	for _, r := range c.Roles {
+		if seen[r] {
+			return fmt.Errorf("constraint %s: duplicate role %s", c.Name, r)
+		}
+		seen[r] = true
+	}
+	return nil
+}
+
+// String renders the constraint.
+func (c Constraint) String() string {
+	return fmt.Sprintf("%s %s({%s}, %d)", c.Kind, c.Name, strings.Join(c.Roles, ", "), c.N)
+}
+
+// Violation reports one breached constraint.
+type Violation struct {
+	Constraint Constraint
+	// User is the offending user (SSD) or session owner (DSD).
+	User string
+	// Held lists the conflicting roles held/activated.
+	Held []string
+}
+
+// Error renders the violation as an error message.
+func (v Violation) Error() string {
+	return fmt.Sprintf("%s violated by %s: holds %s (at most %d allowed)",
+		v.Constraint, v.User, strings.Join(v.Held, ", "), v.Constraint.N-1)
+}
+
+// Set is a collection of constraints guarding one policy.
+type Set struct {
+	cons []Constraint
+}
+
+// NewSet validates and collects constraints.
+func NewSet(cs ...Constraint) (*Set, error) {
+	s := &Set{}
+	for _, c := range cs {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		s.cons = append(s.cons, c)
+	}
+	return s, nil
+}
+
+// Constraints returns the rules in declaration order.
+func (s *Set) Constraints() []Constraint { return append([]Constraint(nil), s.cons...) }
+
+// CheckPolicy evaluates every SSD constraint against the policy: for each
+// user, the authorized (hierarchy-closed) membership must stay below each
+// constraint's cardinality. It returns all violations, deterministically
+// ordered.
+func (s *Set) CheckPolicy(p *policy.Policy) []Violation {
+	var out []Violation
+	for _, c := range s.cons {
+		if c.Kind != SSD {
+			continue
+		}
+		for _, u := range p.Users() {
+			var held []string
+			for _, r := range c.Roles {
+				if p.CanActivate(u, r) {
+					held = append(held, r)
+				}
+			}
+			if len(held) >= c.N {
+				sort.Strings(held)
+				out = append(out, Violation{Constraint: c, User: u, Held: held})
+			}
+		}
+	}
+	return out
+}
+
+// CheckActivation evaluates every DSD constraint against a proposed active
+// role set (the session's current roles plus the one being activated).
+func (s *Set) CheckActivation(user string, active []string) []Violation {
+	activeSet := map[string]bool{}
+	for _, r := range active {
+		activeSet[r] = true
+	}
+	var out []Violation
+	for _, c := range s.cons {
+		if c.Kind != DSD {
+			continue
+		}
+		var held []string
+		for _, r := range c.Roles {
+			if activeSet[r] {
+				held = append(held, r)
+			}
+		}
+		if len(held) >= c.N {
+			sort.Strings(held)
+			out = append(out, Violation{Constraint: c, User: user, Held: held})
+		}
+	}
+	return out
+}
+
+// GuardCommand reports whether applying the command to the policy would
+// introduce a *new* SSD violation, without mutating the policy. Violations
+// already present before the command (pre-existing debt) do not block
+// unrelated changes. The monitor calls this before Definition 5's
+// transition; a violating command is treated like an unauthorized one
+// (consumed without effect).
+func (s *Set) GuardCommand(p *policy.Policy, c command.Command) []Violation {
+	if c.Validate() != nil {
+		return nil // ill-formed commands never reach the policy anyway
+	}
+	trial := p.Clone()
+	if _, err := command.Apply(trial, c); err != nil {
+		return nil
+	}
+	existing := map[string]bool{}
+	for _, v := range s.CheckPolicy(p) {
+		existing[v.Constraint.Name+"\x00"+v.User] = true
+	}
+	var out []Violation
+	for _, v := range s.CheckPolicy(trial) {
+		if !existing[v.Constraint.Name+"\x00"+v.User] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

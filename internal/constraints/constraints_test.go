@@ -1,0 +1,151 @@
+package constraints
+
+import (
+	"strings"
+	"testing"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+)
+
+func TestConstraintValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Constraint
+		ok   bool
+	}{
+		{"valid", Constraint{Name: "x", Kind: SSD, Roles: []string{"a", "b"}, N: 2}, true},
+		{"empty name", Constraint{Kind: SSD, Roles: []string{"a", "b"}, N: 2}, false},
+		{"one role", Constraint{Name: "x", Kind: SSD, Roles: []string{"a"}, N: 2}, false},
+		{"n too small", Constraint{Name: "x", Kind: SSD, Roles: []string{"a", "b"}, N: 1}, false},
+		{"n too big", Constraint{Name: "x", Kind: SSD, Roles: []string{"a", "b"}, N: 3}, false},
+		{"dup roles", Constraint{Name: "x", Kind: SSD, Roles: []string{"a", "a"}, N: 2}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.c.Validate()
+			if c.ok && err != nil {
+				t.Fatalf("rejected: %v", err)
+			}
+			if !c.ok && err == nil {
+				t.Fatal("accepted")
+			}
+		})
+	}
+	if _, err := NewSet(Constraint{Name: "bad", Kind: SSD, Roles: []string{"a"}, N: 2}); err == nil {
+		t.Fatal("NewSet accepted invalid constraint")
+	}
+}
+
+// hospitalSoD: prescribing and dispensing must not be combined; the roles
+// ride on the Figure 1 hierarchy.
+func hospitalSoD(t *testing.T) (*policy.Policy, *Set) {
+	t.Helper()
+	p := policy.Figure1()
+	p.DeclareRole("pharmacist")
+	s, err := NewSet(
+		Constraint{Name: "rx", Kind: SSD, Roles: []string{"nurse", "pharmacist"}, N: 2},
+		Constraint{Name: "ward", Kind: DSD, Roles: []string{policy.RoleDBUsr1, policy.RoleDBUsr2}, N: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, s
+}
+
+func TestCheckPolicySSD(t *testing.T) {
+	p, s := hospitalSoD(t)
+	if vs := s.CheckPolicy(p); len(vs) != 0 {
+		t.Fatalf("clean policy violates: %v", vs)
+	}
+	// Assign diana to pharmacist: she is already an authorized nurse member
+	// (directly and via staff), so SSD(nurse, pharmacist) trips.
+	p.Assign(policy.UserDiana, "pharmacist")
+	vs := s.CheckPolicy(p)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v", vs)
+	}
+	if vs[0].User != policy.UserDiana || vs[0].Constraint.Name != "rx" {
+		t.Errorf("violation = %+v", vs[0])
+	}
+	if !strings.Contains(vs[0].Error(), "rx") {
+		t.Errorf("error = %q", vs[0].Error())
+	}
+}
+
+func TestSSDIsHierarchyAware(t *testing.T) {
+	// The standard's hierarchical SSD counts authorized membership: a user
+	// assigned to a senior role conflicts through inheritance.
+	p := policy.New()
+	p.AddInherit("chief", "nurse")
+	p.DeclareRole("pharmacist")
+	s, err := NewSet(Constraint{Name: "rx", Kind: SSD, Roles: []string{"nurse", "pharmacist"}, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Assign("eve", "chief")
+	p.Assign("eve", "pharmacist")
+	if vs := s.CheckPolicy(p); len(vs) != 1 {
+		t.Fatalf("hierarchical SSD missed the violation: %v", vs)
+	}
+}
+
+func TestGuardCommand(t *testing.T) {
+	p, s := hospitalSoD(t)
+	// Assigning diana to pharmacist WOULD violate: guard flags it, policy
+	// remains untouched.
+	c := command.Grant("anyone", model.User(policy.UserDiana), model.Role("pharmacist"))
+	vs := s.GuardCommand(p, c)
+	if len(vs) != 1 {
+		t.Fatalf("guard violations = %v", vs)
+	}
+	if p.CanActivate(policy.UserDiana, "pharmacist") {
+		t.Fatal("guard mutated the policy")
+	}
+	// Assigning bob (not a nurse) is fine.
+	ok := command.Grant("anyone", model.User(policy.UserBob), model.Role("pharmacist"))
+	if vs := s.GuardCommand(p, ok); len(vs) != 0 {
+		t.Fatalf("clean command flagged: %v", vs)
+	}
+	// Ill-formed commands are ignored.
+	bad := command.Grant("anyone", model.User("x"), model.User("y"))
+	if vs := s.GuardCommand(p, bad); vs != nil {
+		t.Fatalf("ill-formed command produced violations: %v", vs)
+	}
+}
+
+func TestCheckActivationDSD(t *testing.T) {
+	_, s := hospitalSoD(t)
+	if vs := s.CheckActivation("diana", []string{policy.RoleDBUsr1}); len(vs) != 0 {
+		t.Fatalf("single activation flagged: %v", vs)
+	}
+	vs := s.CheckActivation("diana", []string{policy.RoleDBUsr1, policy.RoleDBUsr2})
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v", vs)
+	}
+	if vs[0].Constraint.Kind != DSD {
+		t.Errorf("violation kind = %v", vs[0].Constraint.Kind)
+	}
+	// SSD constraints do not fire on activation.
+	if vs := s.CheckActivation("diana", []string{"nurse", "pharmacist"}); len(vs) != 0 {
+		t.Fatalf("SSD fired on activation: %v", vs)
+	}
+}
+
+func TestKindAndStrings(t *testing.T) {
+	if SSD.String() != "SSD" || DSD.String() != "DSD" {
+		t.Fatal("kind names wrong")
+	}
+	c := Constraint{Name: "rx", Kind: SSD, Roles: []string{"a", "b"}, N: 2}
+	if got := c.String(); got != "SSD rx({a, b}, 2)" {
+		t.Errorf("String = %q", got)
+	}
+	s, err := NewSet(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Constraints()) != 1 {
+		t.Fatal("Constraints accessor wrong")
+	}
+}

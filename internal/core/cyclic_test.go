@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+)
+
+// The paper's footnote 3 deliberately does not assume RH is a partial order
+// (citing Li et al.'s critique of the ANSI standard): cyclic hierarchies
+// must be handled, with mutually-reachable roles becoming equivalent. These
+// tests pin that behaviour across the stack.
+
+func cyclicPolicy(t *testing.T) *policy.Policy {
+	t.Helper()
+	p := policy.New()
+	// a and b form a cycle; c hangs below b.
+	p.AddInherit("a", "b")
+	p.AddInherit("b", "a")
+	p.AddInherit("b", "c")
+	if _, err := p.GrantPrivilege("c", model.Perm("read", "t")); err != nil {
+		t.Fatal(err)
+	}
+	p.Assign("u", "a")
+	if _, err := p.GrantPrivilege("adm", model.Grant(model.User("x"), model.Role("a"))); err != nil {
+		t.Fatal(err)
+	}
+	p.Assign("admin", "adm")
+	return p
+}
+
+func TestCyclicHierarchyReachability(t *testing.T) {
+	p := cyclicPolicy(t)
+	// Both cycle members reach each other and the junior role's privileges.
+	for _, pair := range [][2]string{{"a", "b"}, {"b", "a"}} {
+		if !p.Reaches(model.Role(pair[0]), model.Role(pair[1])) {
+			t.Errorf("%s does not reach %s", pair[0], pair[1])
+		}
+	}
+	if !p.Reaches(model.User("u"), model.Perm("read", "t")) {
+		t.Error("user through cycle cannot read")
+	}
+	if p.LongestRoleChain() != 1 {
+		t.Errorf("LongestRoleChain = %d, want 1 (cycle condenses)", p.LongestRoleChain())
+	}
+}
+
+func TestCyclicHierarchyOrdering(t *testing.T) {
+	p := cyclicPolicy(t)
+	d := NewDecider(p)
+	x := model.User("x")
+	// ¤(x,a) and ¤(x,b) are mutually weaker: the cycle makes them
+	// equivalent under the ordering.
+	pa := model.Grant(x, model.Role("a"))
+	pb := model.Grant(x, model.Role("b"))
+	if !d.Weaker(pa, pb) || !d.Weaker(pb, pa) {
+		t.Fatal("cycle members not ordering-equivalent")
+	}
+	// Both dominate ¤(x,c); neither is dominated by it.
+	pc := model.Grant(x, model.Role("c"))
+	if !d.Weaker(pa, pc) || !d.Weaker(pb, pc) {
+		t.Fatal("cycle members do not dominate junior")
+	}
+	if d.Weaker(pc, pa) {
+		t.Fatal("junior dominates cycle member")
+	}
+	// The refined authorizer accepts the equivalent command.
+	cmd := command.Grant("admin", x, model.Role("b"))
+	if _, ok := NewRefinedAuthorizer(p).Authorize(p, cmd); !ok {
+		t.Fatal("refined authorizer rejected cycle-equivalent command")
+	}
+	// And the weakening is a (mutual) refinement.
+	psi, err := WeakenAssignment(p, Weakening{Role: "adm", Strong: pa, Weak: pb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MutuallyNonAdminRefine(p, psi) {
+		t.Fatal("cycle-equivalent weakening changed user privileges")
+	}
+}
+
+func TestCyclicWeakerSetTerminates(t *testing.T) {
+	p := cyclicPolicy(t)
+	d := NewDecider(p)
+	ws := d.WeakerSet(model.Grant(model.User("x"), model.Role("a")), 2)
+	// Enumeration over a cyclic hierarchy must terminate and include both
+	// cycle members.
+	keys := map[string]bool{}
+	for _, w := range ws {
+		keys[w.Key()] = true
+	}
+	if !keys[model.Grant(model.User("x"), model.Role("b")).Key()] {
+		t.Errorf("weaker set misses the cycle twin: %v", ws)
+	}
+	if !keys[model.Grant(model.User("x"), model.Role("c")).Key()] {
+		t.Errorf("weaker set misses the junior: %v", ws)
+	}
+}

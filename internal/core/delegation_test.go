@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+)
+
+// The paper's §5 positions the model against PBDM (Zhang, Oh & Sandhu,
+// SACMAT 2003): "The PDBM model defines a cascaded delegation. This form of
+// delegation is also expressible in our grammar (by nesting the ¤
+// connective). In the PBDM model, however, each delegation requires the
+// addition of a separate role ... In our model the administrative privileges
+// are assigned to roles just like the ordinary privileges. It is not
+// required to add any additional roles."
+//
+// This test realises a three-level cascade purely by nesting, with zero
+// auxiliary roles: the CISO may give department heads the right to give team
+// leads the right to appoint an operator.
+func TestCascadedDelegationWithoutExtraRoles(t *testing.T) {
+	p := policy.New()
+	p.Assign("carol", "ciso")
+	p.Assign("dave", "depthead")
+	p.Assign("lea", "teamlead")
+	p.DeclareUser("oscar")
+	p.DeclareRole("operator")
+	if _, err := p.GrantPrivilege("operator", model.Perm("op", "console")); err != nil {
+		t.Fatal(err)
+	}
+
+	appoint := model.Grant(model.User("oscar"), model.Role("operator")) // ¤(oscar, operator)
+	level2 := model.Grant(model.Role("teamlead"), appoint)              // ¤(teamlead, ¤(oscar, operator))
+	level3 := model.Grant(model.Role("depthead"), level2)               // ¤(depthead, ¤(teamlead, ¤(oscar, operator)))
+	if _, err := p.GrantPrivilege("ciso", level3); err != nil {
+		t.Fatal(err)
+	}
+	rolesBefore := len(p.Roles())
+
+	// Nobody below the CISO can act yet.
+	strict := command.Strict{}
+	appointCmd := command.Grant("lea", model.User("oscar"), model.Role("operator"))
+	if _, ok := strict.Authorize(p, appointCmd); ok {
+		t.Fatal("team lead could appoint before the cascade")
+	}
+
+	// The cascade unwinds one administrative step per level.
+	steps := command.Queue{
+		command.Grant("carol", model.Role("depthead"), level2), // CISO → dept head
+		command.Grant("dave", model.Role("teamlead"), appoint), // dept head → team lead
+		appointCmd, // team lead appoints oscar
+	}
+	for i, c := range steps {
+		res := command.Step(p, c, strict)
+		if res.Outcome != command.Applied {
+			t.Fatalf("cascade step %d (%v) outcome = %v", i+1, c, res.Outcome)
+		}
+	}
+	if !p.Reaches(model.User("oscar"), model.Perm("op", "console")) {
+		t.Fatal("cascade did not reach the operator permission")
+	}
+	// The PBDM contrast: no auxiliary delegation roles were created.
+	if got := len(p.Roles()); got != rolesBefore {
+		t.Fatalf("cascade created %d extra roles", got-rolesBefore)
+	}
+	// Each step had to wait for the previous one: replaying out of order is
+	// denied (footnote 5's order-sensitivity, unlike HRU collusion).
+	p2 := policy.New()
+	p2.Assign("carol", "ciso")
+	p2.Assign("dave", "depthead")
+	p2.Assign("lea", "teamlead")
+	p2.DeclareRole("operator")
+	if _, err := p2.GrantPrivilege("ciso", level3); err != nil {
+		t.Fatal(err)
+	}
+	if res := command.Step(p2, steps[1], strict); res.Outcome != command.Denied {
+		t.Fatalf("out-of-order cascade step outcome = %v", res.Outcome)
+	}
+
+	// And the ordering composes with the cascade: the CISO's nested
+	// privilege dominates the variant that appoints oscar one level lower…
+	p3 := p.Clone()
+	p3.AddInherit("operator", "junior-operator")
+	d := NewDecider(p3)
+	weakAppoint := model.Grant(model.User("oscar"), model.Role("junior-operator"))
+	weakL3 := model.Grant(model.Role("depthead"), model.Grant(model.Role("teamlead"), weakAppoint))
+	if !d.Weaker(level3, weakL3) {
+		t.Fatal("nested cascade privilege does not dominate its junior variant")
+	}
+}

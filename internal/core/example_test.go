@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"fmt"
+
+	"adminrefine/internal/core"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+)
+
+// The paper's Example 5: Jane's privilege to add Bob to staff implicitly
+// authorizes adding him to the junior dbusr2 role.
+func ExampleDecider_Weaker() {
+	p := policy.Figure2()
+	d := core.NewDecider(p)
+
+	strong := model.Grant(model.User("bob"), model.Role("staff"))
+	weak := model.Grant(model.User("bob"), model.Role("dbusr2"))
+
+	fmt.Println(d.Weaker(strong, weak))
+	fmt.Println(d.Weaker(weak, strong))
+	// Output:
+	// true
+	// false
+}
+
+// Derivations explain ordering decisions and can be re-checked.
+func ExampleDecider_Explain() {
+	p := policy.Figure2()
+	d := core.NewDecider(p)
+
+	strong := model.Grant(model.Role("staff"), model.Grant(model.User("bob"), model.Role("staff")))
+	weak := model.Grant(model.Role("staff"), model.Grant(model.User("bob"), model.Role("dbusr2")))
+
+	dv, ok := d.Explain(strong, weak)
+	fmt.Println(ok)
+	fmt.Println(dv)
+	// Output:
+	// true
+	// grant(staff, grant(bob, staff))  Ã  grant(staff, grant(bob, dbusr2))   [rule 3 (nested privilege)]
+	//   grant(bob, staff)  Ã  grant(bob, dbusr2)   [rule 2 (edge privilege)]
+}
+
+// Theorem 1: replacing a privilege assignment by a weaker one refines the
+// policy; the weakened policy grants exactly the same user privileges.
+func ExampleWeakenAssignment() {
+	phi := policy.Figure2()
+	psi, err := core.WeakenAssignment(phi, core.Weakening{
+		Role:   "HR",
+		Strong: model.Grant(model.User("bob"), model.Role("staff")),
+		Weak:   model.Grant(model.User("bob"), model.Role("dbusr2")),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(core.NonAdminRefines(phi, psi))
+	fmt.Println(core.NonAdminRefines(psi, phi))
+	// Output:
+	// true
+	// true
+}
+
+// Example 6: the weaker set is infinite, so enumeration takes a nesting
+// bound; each extra unit of budget admits one more chain element.
+func ExampleDecider_WeakerSet() {
+	p := policy.New()
+	p.DeclareRole("r1")
+	p.DeclareRole("r2")
+	p.GrantPrivilege("r2", model.Grant(model.Role("r1"), model.Role("r2")))
+
+	d := core.NewDecider(p)
+	base := model.Grant(model.Role("r1"), model.Role("r2"))
+	for bound := 1; bound <= 3; bound++ {
+		fmt.Println(len(d.WeakerSet(base, bound)))
+	}
+	// Output:
+	// 1
+	// 2
+	// 3
+}

@@ -1,0 +1,334 @@
+// Package core implements the paper's primary contribution: the privilege
+// ordering Ãφ on administrative privileges (Definition 8), its decision
+// procedure (Lemma 1), the refinement relations º (Definition 6) and º†
+// (Definition 7), the constructive simulation behind Theorem 1, and the
+// ordering-refined command authorizer that the paper's Example 4 motivates.
+//
+// # The ordering
+//
+// Definition 8 declares Ãφ the smallest relation with
+//
+//	(1) p Ãφ p
+//	(2) ¤(v2,v3) Ãφ ¤(v1,v4)  if v1 →φ v2 and v3 →φ v4
+//	(3) ¤(v2,p1) Ãφ ¤(v1,p2)  if v1 →φ v2 and p1 Ãφ p2
+//
+// and §4.1 asserts the relation is reflexive and transitive. The paper's own
+// Example 6 applies rule (2) with v4 a privilege *vertex* of the policy
+// graph and chains derivations transitively; we therefore decide the
+// smallest preorder closed under the rules, with rule (2) ranging over
+// privilege vertices (see DESIGN.md D3/D4 for the analysis). WeakerOneStep
+// retains the literal, non-transitive reading for comparison.
+//
+// Revocation privileges (♦) are ordered only by equality: the paper's §6
+// explicitly leaves a revocation ordering to future work.
+package core
+
+import (
+	"adminrefine/internal/graph"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+)
+
+// Decider answers p Ãφ q queries against one policy, caching the policy's
+// reachability closure and memoising subterm decisions. A Decider detects
+// policy mutation via the policy generation counter and rebuilds its caches,
+// so it is safe to keep one Decider per long-lived policy. Not safe for
+// concurrent use.
+type Decider struct {
+	pol *policy.Policy
+
+	gen          uint64
+	closure      *graph.Closure
+	privVerts    []model.Privilege
+	privVertIDs  []termID
+	privVertKeys []string
+	memo         map[[2]termID]int8
+
+	// Privilege terms are hash-consed into dense termIDs so that structural
+	// equality is an integer comparison and memoisation never hashes a whole
+	// nested term. Each level of a term contributes one table entry keyed by
+	// its own small payload plus the child's id, so interning a depth-d term
+	// costs O(d) once and the ordering recursion stays linear (Lemma 1).
+	terms    map[levelKey]termID
+	children []termID // termID -> id of the nested privilege, or noChild
+}
+
+// termID identifies a hash-consed privilege term inside one Decider.
+type termID int32
+
+// noChild marks a term whose destination is not a privilege.
+const noChild termID = -1
+
+// levelKey identifies one grammar level: the payload string encodes the
+// constructor and its non-privilege operands; child is the interned nested
+// privilege, if any.
+type levelKey struct {
+	payload string
+	child   termID
+}
+
+// NewDecider builds a Decider for the policy.
+func NewDecider(p *policy.Policy) *Decider {
+	d := &Decider{pol: p, terms: make(map[levelKey]termID)}
+	d.refresh()
+	return d
+}
+
+func (d *Decider) refresh() {
+	d.gen = d.pol.Generation()
+	d.closure = graph.NewClosure(d.pol.Graph())
+	d.privVerts = d.pol.PrivilegeVertices()
+	d.memo = make(map[[2]termID]int8)
+	d.privVertIDs = make([]termID, len(d.privVerts))
+	d.privVertKeys = make([]string, len(d.privVerts))
+	for i, pv := range d.privVerts {
+		d.privVertIDs[i] = d.id(pv)
+		d.privVertKeys[i] = pv.Key()
+	}
+}
+
+// id interns a privilege term, returning its dense identifier. Two terms
+// receive the same id iff they are structurally identical.
+func (d *Decider) id(p model.Privilege) termID {
+	switch t := p.(type) {
+	case model.UserPrivilege:
+		return d.intern(levelKey{payload: "q\x00" + t.Action + "\x00" + t.Object, child: noChild})
+	case model.AdminPrivilege:
+		switch dst := t.Dst.(type) {
+		case model.Entity:
+			return d.intern(levelKey{
+				payload: "e\x00" + t.Op.Symbol() + "\x00" + t.Src.Key() + "\x00" + dst.Key(),
+				child:   noChild,
+			})
+		case model.Privilege:
+			return d.intern(levelKey{
+				payload: "n\x00" + t.Op.Symbol() + "\x00" + t.Src.Key(),
+				child:   d.id(dst),
+			})
+		}
+	}
+	// Ungrammatical terms (nil or foreign destinations) never equal anything:
+	// give each occurrence a fresh id.
+	id := termID(len(d.children))
+	d.children = append(d.children, noChild)
+	return id
+}
+
+func (d *Decider) intern(key levelKey) termID {
+	if id, ok := d.terms[key]; ok {
+		return id
+	}
+	id := termID(len(d.children))
+	d.terms[key] = id
+	d.children = append(d.children, key.child)
+	return id
+}
+
+func (d *Decider) check() {
+	if d.gen != d.pol.Generation() {
+		d.refresh()
+	}
+}
+
+// ResetMemo clears the memoisation table while keeping the reachability
+// closure and the interning tables. Benchmarks use it to measure cold
+// decision cost without paying the closure build on every iteration.
+func (d *Decider) ResetMemo() {
+	d.check()
+	d.memo = make(map[[2]termID]int8)
+}
+
+// reaches reports v →φ v' over canonical keys using the cached closure.
+func (d *Decider) reaches(fromKey, toKey string) bool {
+	if fromKey == toKey {
+		return true
+	}
+	g := d.pol.Graph()
+	f, t := g.Lookup(fromKey), g.Lookup(toKey)
+	if f == graph.NoVertex || t == graph.NoVertex {
+		return false
+	}
+	return d.closure.Reaches(f, t)
+}
+
+// Weaker reports p Ãφ q: q is (possibly equal to or) weaker than p, so a
+// holder of p is implicitly authorized for q. This is the transitive
+// preorder of DESIGN.md D3.
+func (d *Decider) Weaker(p, q model.Privilege) bool {
+	d.check()
+	return d.weaker(p, q)
+}
+
+func (d *Decider) weaker(p, q model.Privilege) bool {
+	if p == nil || q == nil {
+		return false
+	}
+	return d.weakerID(p, q, d.id(p), d.id(q))
+}
+
+// weakerID is the memoised core; pid/qid are the interned ids of p/q, so
+// rule (1) and the memo lookup are integer operations.
+func (d *Decider) weakerID(p, q model.Privilege, pid, qid termID) bool {
+	if pid == qid {
+		return true // rule (1)
+	}
+	key := [2]termID{pid, qid}
+	if v, ok := d.memo[key]; ok {
+		return v > 0
+	}
+	res := d.weakerUncached(p, q, pid, qid)
+	if res {
+		d.memo[key] = 1
+	} else {
+		d.memo[key] = -1
+	}
+	return res
+}
+
+func (d *Decider) weakerUncached(p, q model.Privilege, pid, qid termID) bool {
+	qa, ok := q.(model.AdminPrivilege)
+	if !ok {
+		// q is a user privilege: only rule (1) applies, already checked.
+		return false
+	}
+	if qa.Op != model.OpGrant {
+		// ♦ privileges are ordered by equality only.
+		return false
+	}
+	pa, ok := p.(model.AdminPrivilege)
+	if !ok || pa.Op != model.OpGrant {
+		return false
+	}
+	// q = ¤(x, y), p = ¤(a, b): rules (2)/(3) require x →φ a ...
+	if !d.reaches(qa.Src.Key(), pa.Src.Key()) {
+		return false
+	}
+	// ... and the destination of p to dominate the destination of q.
+	return d.below(pa.Dst, qa.Dst, d.children[pid], d.children[qid])
+}
+
+// below captures the destination side of the rules: b dominates y when a
+// derivation chain can rewrite destination b into destination y. bid/yid are
+// the interned ids of b/y when they are privileges (noChild otherwise).
+func (d *Decider) below(b, y model.Vertex, bid, yid termID) bool {
+	switch yt := y.(type) {
+	case model.Entity:
+		be, ok := b.(model.Entity)
+		if !ok {
+			// A privilege destination never rewrites back to an entity.
+			return false
+		}
+		return d.reaches(be.Key(), yt.Key()) // rule (2): v3 →φ v4
+	case model.Privilege:
+		if bp, ok := b.(model.Privilege); ok {
+			return d.weakerID(bp, yt, bid, yid) // rule (3): p1 Ãφ p2
+		}
+		// b is an entity and y a privilege term: rule (2) can hop from the
+		// vertex b to any privilege vertex P' of the policy graph that b
+		// reaches (Example 6), after which rule (3) chains P' Ãφ y.
+		be := b.(model.Entity)
+		beKey := be.Key()
+		for i, pv := range d.privVerts {
+			if d.reaches(beKey, d.privVertKeys[i]) && d.weakerID(pv, yt, d.privVertIDs[i], yid) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// WeakerOneStep decides the literal, non-transitive reading of Definition 8:
+// a single application of rule (1), (2) or (3), with rule (3) recursing into
+// the same relation, and rule (2) ranging over privilege vertices exactly as
+// Example 6 requires. Provided for the DESIGN.md D3 gap analysis; Weaker is
+// the relation every other component uses.
+func (d *Decider) WeakerOneStep(p, q model.Privilege) bool {
+	d.check()
+	return d.oneStep(p, q)
+}
+
+func (d *Decider) oneStep(p, q model.Privilege) bool {
+	if p == nil || q == nil {
+		return false
+	}
+	if d.id(p) == d.id(q) {
+		return true // rule (1)
+	}
+	qa, ok := q.(model.AdminPrivilege)
+	if !ok || qa.Op != model.OpGrant {
+		return false
+	}
+	pa, ok := p.(model.AdminPrivilege)
+	if !ok || pa.Op != model.OpGrant {
+		return false
+	}
+	if !d.reaches(qa.Src.Key(), pa.Src.Key()) {
+		return false
+	}
+	// Rule (2): both destinations are graph vertices with v3 →φ v4. The
+	// destination of q may be an entity or a privilege vertex; a privilege
+	// destination of q only qualifies when it is literally a vertex of φ
+	// reachable from p's destination vertex.
+	if be, ok := pa.Dst.(model.Entity); ok {
+		switch yt := qa.Dst.(type) {
+		case model.Entity:
+			return d.reaches(be.Key(), yt.Key())
+		case model.Privilege:
+			ytKey := yt.Key()
+			return d.pol.Graph().Lookup(ytKey) != graph.NoVertex &&
+				d.reaches(be.Key(), ytKey)
+		}
+		return false
+	}
+	// Rule (3): both destinations are privilege terms with p1 Ãφ p2 (the
+	// premise refers to the relation being defined, hence the recursion).
+	bp, ok := pa.Dst.(model.Privilege)
+	if !ok {
+		return false
+	}
+	yp, ok := qa.Dst.(model.Privilege)
+	if !ok {
+		return false
+	}
+	return d.oneStep(bp, yp)
+}
+
+// Weaker is a convenience wrapper constructing a throwaway Decider. Use a
+// Decider directly for repeated queries against one policy.
+func Weaker(p *policy.Policy, strong, weak model.Privilege) bool {
+	return NewDecider(p).Weaker(strong, weak)
+}
+
+// HeldStronger reports whether user u holds (reaches) some privilege h of
+// the policy with h Ãφ q, returning the first such h. This is the paper's
+// implicit authorization: "users with administrative privileges are
+// implicitly authorized for weaker administrative privileges" (§4.1).
+func (d *Decider) HeldStronger(user string, q model.Privilege) (model.Privilege, bool) {
+	d.check()
+	uk := model.User(user).Key()
+	qid := d.id(q)
+	for i, h := range d.privVerts {
+		if d.reaches(uk, d.privVertKeys[i]) && d.weakerID(h, q, d.privVertIDs[i], qid) {
+			return h, true
+		}
+	}
+	return nil, false
+}
+
+// StrongerHeldBy returns all privilege vertices of the policy reachable by
+// the user that are at least as strong as q, sorted by key order of the
+// policy's privilege vertices. Used by analyses and explanations.
+func (d *Decider) StrongerHeldBy(user string, q model.Privilege) []model.Privilege {
+	d.check()
+	uk := model.User(user).Key()
+	var out []model.Privilege
+	qid := d.id(q)
+	for i, h := range d.privVerts {
+		if d.reaches(uk, d.privVertKeys[i]) && d.weakerID(h, q, d.privVertIDs[i], qid) {
+			out = append(out, h)
+		}
+	}
+	return out
+}

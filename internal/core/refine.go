@@ -1,0 +1,364 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+)
+
+// Violation is one witness against non-administrative refinement: the
+// entity v reaches user privilege p in the candidate refinement but not in
+// the original policy.
+type Violation struct {
+	Entity model.Entity
+	Perm   model.UserPrivilege
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s %s gains %s", v.Entity.Kind, v.Entity, v.Perm)
+}
+
+// NonAdminRefines decides Definition 6: ψ is a non-administrative refinement
+// of φ (φ º ψ) iff for every v ∈ U ∪ R and every user privilege p ∈ P,
+// v →ψ p implies v →φ p. Administrative privileges do not participate:
+// Definition 6 quantifies over user privileges only.
+func NonAdminRefines(phi, psi *policy.Policy) bool {
+	return len(NonAdminViolations(phi, psi, 1)) == 0
+}
+
+// NonAdminViolations returns up to max witnesses against φ º ψ (all of them
+// when max <= 0), deterministically ordered.
+func NonAdminViolations(phi, psi *policy.Policy, max int) []Violation {
+	var out []Violation
+	// Only entities of ψ can gain anything; entities absent from ψ's graph
+	// reach no privilege in ψ.
+	ents := make([]model.Entity, 0, 16)
+	for _, u := range psi.Users() {
+		ents = append(ents, model.User(u))
+	}
+	for _, r := range psi.Roles() {
+		ents = append(ents, model.Role(r))
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Key() < ents[j].Key() })
+	for _, v := range ents {
+		for _, q := range psi.AuthorizedPerms(v) {
+			if !phi.Reaches(v, q) {
+				out = append(out, Violation{Entity: v, Perm: q})
+				if max > 0 && len(out) >= max {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MutuallyNonAdminRefine reports φ º ψ and ψ º φ: the two policies grant
+// exactly the same user privileges.
+func MutuallyNonAdminRefine(phi, psi *policy.Policy) bool {
+	return NonAdminRefines(phi, psi) && NonAdminRefines(psi, phi)
+}
+
+// RelevantCommands builds a finite command alphabet for bounded analyses of
+// Definition 7: for every administrative privilege term occurring in either
+// policy (as a PA† vertex) and every subterm of it, and for every actor, the
+// command exercising that (sub)term. The alphabet is deduplicated and
+// deterministically ordered. If actors is empty, the union of the policies'
+// users is taken.
+func RelevantCommands(phi, psi *policy.Policy, actors []string) []command.Command {
+	if len(actors) == 0 {
+		seen := map[string]struct{}{}
+		for _, p := range []*policy.Policy{phi, psi} {
+			if p == nil {
+				continue
+			}
+			for _, u := range p.Users() {
+				seen[u] = struct{}{}
+			}
+		}
+		for u := range seen {
+			actors = append(actors, u)
+		}
+		sort.Strings(actors)
+	}
+	type edge struct {
+		op       model.Op
+		from, to model.Vertex
+	}
+	edges := map[string]edge{}
+	addTerm := func(t model.Privilege) {
+		for _, sub := range model.Subterms(t) {
+			a, ok := sub.(model.AdminPrivilege)
+			if !ok {
+				continue
+			}
+			e := edge{op: a.Op, from: a.Src, to: a.Dst}
+			edges[a.Key()] = e
+		}
+	}
+	for _, p := range []*policy.Policy{phi, psi} {
+		if p == nil {
+			continue
+		}
+		for _, pv := range p.PrivilegeVertices() {
+			addTerm(pv)
+		}
+	}
+	keys := make([]string, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []command.Command
+	for _, actor := range actors {
+		for _, k := range keys {
+			e := edges[k]
+			out = append(out, command.Command{Actor: actor, Op: e.op, From: e.from, To: e.to})
+		}
+	}
+	return out
+}
+
+// noopCommand returns a well-formed command for the actor that is denied in
+// any policy built from the fixed universes: it exercises an edge whose
+// privilege mentions vertices no policy assigns anything to. Issuing it is
+// the "do nothing" response available to the refining policy in Definition 7
+// (the third case of Definition 5 consumes it without effect).
+func noopCommand(actor string) command.Command {
+	return command.Grant(actor,
+		model.User("·noop-user·"), model.Role("·noop-role·"))
+}
+
+// AdminCounterexample reports a φ-run that the candidate refinement ψ could
+// not answer within the search bounds.
+type AdminCounterexample struct {
+	Queue      command.Queue
+	FinalPhi   *policy.Policy
+	Violations []Violation // against the closest ψ-final state found
+}
+
+// String summarises the counterexample.
+func (c *AdminCounterexample) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "queue %s leaves no refining response", c.Queue)
+	for _, v := range c.Violations {
+		fmt.Fprintf(&b, "; %s", v)
+	}
+	return b.String()
+}
+
+// Direction selects which reading of Definition 7 a bounded check uses.
+// The printed definition quantifies over runs of φ and asks ψ to respond
+// ("for any queue cq there is cq' ... 〈cq,φ〉⇒*〈ε,φ'〉, 〈cq',ψ〉⇒*〈ε,ψ'〉,
+// φ' º ψ'"), while the paper's informal gloss — "if ψ allows a certain
+// policy change then either the same policy change is also allowed by φ, or
+// it results in a safer policy" — quantifies over runs of ψ and asks φ to
+// respond. The constructive pairing in Theorem 1's proof validates both
+// readings (see DESIGN.md D5), so the checker supports both.
+type Direction uint8
+
+const (
+	// DirPaper is the printed Definition 7: ∀ φ-run ∃ ψ-response with
+	// φ' º ψ'.
+	DirPaper Direction = iota
+	// DirSimulation is the informal reading: ∀ ψ-run ∃ φ-response with
+	// φ' º ψ'.
+	DirSimulation
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == DirSimulation {
+		return "simulation (∀ψ ∃φ)"
+	}
+	return "paper (∀φ ∃ψ)"
+}
+
+// BoundedAdminOptions configures BoundedAdminRefines.
+type BoundedAdminOptions struct {
+	// MaxLen bounds the length of leader command queues explored (default 2).
+	MaxLen int
+	// Alphabet is the leader command alphabet; when nil, RelevantCommands of
+	// the two policies is used.
+	Alphabet []command.Command
+	// ResponseAlphabet is the responder alphabet; when nil, the leader
+	// alphabet is reused. The responder may always answer with a no-op.
+	ResponseAlphabet []command.Command
+	// MaxStates caps the responder reachable-state frontier per step (safety
+	// valve against exponential blow-up; 0 means 4096). When the cap fires
+	// the result records Truncated and a counterexample is only advisory.
+	MaxStates int
+	// Direction selects the Definition 7 reading (default DirPaper).
+	Direction Direction
+	// Authorizer decides command authorization in both runs; nil means the
+	// literal Definition 5 (command.Strict). Pass a RefinedAuthorizer to ask
+	// whether refinement survives the ordering-based regime of §4.1.
+	Authorizer command.Authorizer
+}
+
+func (o *BoundedAdminOptions) defaults(phi, psi *policy.Policy) {
+	if o.MaxLen == 0 {
+		o.MaxLen = 2
+	}
+	if o.Alphabet == nil {
+		o.Alphabet = RelevantCommands(phi, psi, nil)
+	}
+	if o.ResponseAlphabet == nil {
+		o.ResponseAlphabet = o.Alphabet
+	}
+	if o.MaxStates == 0 {
+		o.MaxStates = 4096
+	}
+}
+
+// AdminResult is the outcome of a bounded Definition 7 check.
+type AdminResult struct {
+	// Holds reports whether every explored leader run had a refining
+	// response.
+	Holds bool
+	// Counterexample is the offending leader run when Holds is false.
+	Counterexample *AdminCounterexample
+	// Truncated reports whether the responder frontier hit MaxStates at any
+	// point; if so, a negative result may be spurious.
+	Truncated bool
+	// QueuesExplored counts the leader queues (including the empty one).
+	QueuesExplored int
+}
+
+// BoundedAdminRefines checks Definition 7 (φ º† ψ) exhaustively over all
+// leader command queues up to MaxLen drawn from the alphabet. Under
+// DirPaper the leader is φ and for each run 〈cq, φ〉⇒*〈ε, φ'〉 a response
+// queue cq' with matching actors per position must reach some ψ' with
+// φ' º ψ'; under DirSimulation the roles swap (ψ leads, φ responds), with
+// the same final condition φ' º ψ'.
+//
+// A positive answer is evidence up to the bounds (Definition 7 quantifies
+// over unboundedly many queues); a counterexample is a genuine refutation
+// for the definition restricted to the alphabet unless Truncated is set,
+// since the response search is exhaustive over the response alphabet plus
+// no-ops. Both policies are treated as immutable; all runs use clones.
+func BoundedAdminRefines(phi, psi *policy.Policy, opts BoundedAdminOptions) AdminResult {
+	opts.defaults(phi, psi)
+	result := AdminResult{Holds: true}
+	if !NonAdminRefines(phi, psi) {
+		// cq = cq' = ε must already work (paper: º† implies º).
+		result.Holds = false
+		result.QueuesExplored = 1
+		result.Counterexample = &AdminCounterexample{
+			Queue:      nil,
+			FinalPhi:   phi.Clone(),
+			Violations: NonAdminViolations(phi, psi, 3),
+		}
+		return result
+	}
+
+	// refines checks φ' º ψ' with the leader/follower states mapped per
+	// direction.
+	leader, follower := phi, psi
+	refines := func(leaderSt, followerSt *policy.Policy) bool {
+		return NonAdminRefines(leaderSt, followerSt)
+	}
+	violations := func(leaderSt, followerSt *policy.Policy) []Violation {
+		return NonAdminViolations(leaderSt, followerSt, 3)
+	}
+	if opts.Direction == DirSimulation {
+		leader, follower = psi, phi
+		refines = func(leaderSt, followerSt *policy.Policy) bool {
+			return NonAdminRefines(followerSt, leaderSt)
+		}
+		violations = func(leaderSt, followerSt *policy.Policy) []Violation {
+			return NonAdminViolations(followerSt, leaderSt, 3)
+		}
+	}
+
+	type state struct {
+		pol *policy.Policy
+		key string
+	}
+	hash := func(p *policy.Policy) string {
+		data, err := p.MarshalJSON()
+		if err != nil {
+			return fmt.Sprintf("err:%v", err)
+		}
+		return string(data)
+	}
+	var auth command.Authorizer = command.Strict{}
+	if opts.Authorizer != nil {
+		auth = opts.Authorizer
+	}
+
+	var rec func(prefix command.Queue, leaderCur *policy.Policy, frontier []state) *AdminCounterexample
+	rec = func(prefix command.Queue, leaderCur *policy.Policy, frontier []state) *AdminCounterexample {
+		result.QueuesExplored++
+		// Check the current (possibly empty) queue: some follower state must
+		// satisfy the refinement condition.
+		ok := false
+		for _, st := range frontier {
+			if refines(leaderCur, st.pol) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			ce := &AdminCounterexample{Queue: append(command.Queue(nil), prefix...), FinalPhi: leaderCur.Clone()}
+			if len(frontier) > 0 {
+				ce.Violations = violations(leaderCur, frontier[0].pol)
+			}
+			return ce
+		}
+		if len(prefix) >= opts.MaxLen {
+			return nil
+		}
+		for _, c := range opts.Alphabet {
+			leaderNext := leaderCur.Clone()
+			command.Step(leaderNext, c, auth)
+			// Advance the follower frontier with every same-actor response,
+			// including the no-op (a denied command leaves the state put).
+			nextSeen := map[string]*policy.Policy{}
+			addState := func(p *policy.Policy) {
+				k := hash(p)
+				if _, dup := nextSeen[k]; !dup {
+					nextSeen[k] = p
+				}
+			}
+			for _, st := range frontier {
+				addState(st.pol)
+				for _, rc := range opts.ResponseAlphabet {
+					if rc.Actor != c.Actor {
+						continue
+					}
+					cl := st.pol.Clone()
+					res := command.Step(cl, rc, auth)
+					if res.Outcome == command.Applied {
+						addState(cl)
+					}
+				}
+			}
+			next := make([]state, 0, len(nextSeen))
+			for k, p := range nextSeen {
+				if len(next) >= opts.MaxStates {
+					result.Truncated = true
+					break
+				}
+				next = append(next, state{pol: p, key: k})
+			}
+			sort.Slice(next, func(i, j int) bool { return next[i].key < next[j].key })
+			if ce := rec(append(prefix, c), leaderNext, next); ce != nil {
+				return ce
+			}
+		}
+		return nil
+	}
+
+	initial := []state{{pol: follower.Clone(), key: hash(follower)}}
+	if ce := rec(nil, leader.Clone(), initial); ce != nil {
+		result.Holds = false
+		result.Counterexample = ce
+	}
+	return result
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"adminrefine/internal/command"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+)
+
+// RefinedAuthorizer implements the paper's practical proposal (§4.1,
+// Example 4): a command cmd(u, a, v, v') is authorized when u holds any
+// privilege h with h Ãφ a(v, v'). By rule (1) every privilege is at least as
+// strong as itself, so the refined authorizer accepts a strict superset of
+// the commands Definition 5 accepts, and by Theorem 1 every extra command it
+// accepts leads to a policy that an allowed strict command refines.
+//
+// RefinedAuthorizer satisfies command.Authorizer. It owns a Decider and may
+// be reused across policy mutations (the Decider self-invalidates), but is
+// not safe for concurrent use.
+type RefinedAuthorizer struct {
+	d *Decider
+}
+
+// NewRefinedAuthorizer builds the ordering-refined authorizer for a policy.
+func NewRefinedAuthorizer(p *policy.Policy) *RefinedAuthorizer {
+	return &RefinedAuthorizer{d: NewDecider(p)}
+}
+
+// Decider exposes the underlying ordering decider (shared caches).
+func (r *RefinedAuthorizer) Decider() *Decider { return r.d }
+
+// Authorize implements command.Authorizer. The justification is the held
+// stronger privilege.
+func (r *RefinedAuthorizer) Authorize(p *policy.Policy, c command.Command) (model.Privilege, bool) {
+	target, err := c.Privilege()
+	if err != nil {
+		return nil, false
+	}
+	if r.d.pol != p {
+		// Authorizing against a different policy object: use a fresh decider.
+		return NewDecider(p).HeldStronger(c.Actor, target)
+	}
+	return r.d.HeldStronger(c.Actor, target)
+}
+
+// Name implements command.Authorizer.
+func (r *RefinedAuthorizer) Name() string { return "refined" }

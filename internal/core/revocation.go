@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+)
+
+// This file explores the paper's stated open problem (§6): "Revocation
+// privileges are included in our model, but we have not identified (yet) a
+// separate ordering for revocation privileges." We formulate the natural
+// candidate rules a reader might propose and hunt for soundness
+// counterexamples with the bounded Definition 7 checker — turning the open
+// problem into a counterexample-guided experiment (EXPERIMENTS.md A1).
+
+// RevocationRule is a candidate ordering rule of the shape
+//
+//	♦(v2,v3) Ã ♦(v1,v4)  if <premise over →φ>
+//
+// mirroring the grant rules of Definition 8 in different orientations.
+type RevocationRule uint8
+
+const (
+	// RevSamePremises transplants rule (2) verbatim: v1 →φ v2 and v3 →φ v4.
+	RevSamePremises RevocationRule = iota + 1
+	// RevInverted flips both premises: v2 →φ v1 and v4 →φ v3 (revoking from
+	// a more senior pair as the "weaker" act).
+	RevInverted
+	// RevSourceOnly keeps the destination fixed: v1 →φ v2 and v4 = v3.
+	RevSourceOnly
+	// RevTargetDown keeps the source fixed and moves the destination down:
+	// v1 = v2 and v3 →φ v4.
+	RevTargetDown
+)
+
+// String names the rule.
+func (r RevocationRule) String() string {
+	switch r {
+	case RevSamePremises:
+		return "same premises as rule 2 (v1→v2, v3→v4)"
+	case RevInverted:
+		return "inverted premises (v2→v1, v4→v3)"
+	case RevSourceOnly:
+		return "source only (v1→v2, v4=v3)"
+	case RevTargetDown:
+		return "target down (v1=v2, v3→v4)"
+	default:
+		return fmt.Sprintf("RevocationRule(%d)", uint8(r))
+	}
+}
+
+// AllRevocationRules lists the candidates in canonical order.
+func AllRevocationRules() []RevocationRule {
+	return []RevocationRule{RevSamePremises, RevInverted, RevSourceOnly, RevTargetDown}
+}
+
+// WeakerRevocation decides the candidate relation strong Ã weak for two
+// flat revocation privileges under the given rule (plus reflexivity).
+func (d *Decider) WeakerRevocation(rule RevocationRule, strong, weak model.AdminPrivilege) bool {
+	d.check()
+	if strong.Op != model.OpRevoke || weak.Op != model.OpRevoke {
+		return false
+	}
+	if strong.Key() == weak.Key() {
+		return true
+	}
+	sd, ok1 := strong.DstEntity()
+	wd, ok2 := weak.DstEntity()
+	if !ok1 || !ok2 {
+		return false // nested ♦ candidates are out of scope for the flat rules
+	}
+	v2, v3 := strong.Src, sd
+	v1, v4 := weak.Src, wd
+	switch rule {
+	case RevSamePremises:
+		return d.reaches(v1.Key(), v2.Key()) && d.reaches(v3.Key(), v4.Key())
+	case RevInverted:
+		return d.reaches(v2.Key(), v1.Key()) && d.reaches(v4.Key(), v3.Key())
+	case RevSourceOnly:
+		return v4 == v3 && d.reaches(v1.Key(), v2.Key())
+	case RevTargetDown:
+		return v1 == v2 && d.reaches(v3.Key(), v4.Key())
+	default:
+		return false
+	}
+}
+
+// RevocationFinding reports the outcome of probing one candidate rule in one
+// Definition 7 direction.
+type RevocationFinding struct {
+	Rule      RevocationRule
+	Direction Direction
+	// Trials is the number of (policy, weakening) instances checked.
+	Trials int
+	// Sound reports whether no counterexample was found within the bounds.
+	Sound bool
+	// Counterexample describes the first violation: the policy seed, the
+	// replacement performed, and the offending leader queue.
+	Counterexample string
+}
+
+// revCandidate finds a ♦ assignment in the policy and a strictly different
+// replacement admitted by the rule.
+func revCandidate(p *policy.Policy, d *Decider, rule RevocationRule) (role string, strong, weak model.AdminPrivilege, ok bool) {
+	entities := make([]model.Entity, 0, 16)
+	for _, u := range p.Users() {
+		entities = append(entities, model.User(u))
+	}
+	for _, r := range p.Roles() {
+		entities = append(entities, model.Role(r))
+	}
+	for _, e := range p.EdgesOf(policy.EdgePA) {
+		pv, isAdmin := e.To.(model.AdminPrivilege)
+		if !isAdmin || pv.Op != model.OpRevoke {
+			continue
+		}
+		if _, flat := pv.DstEntity(); !flat {
+			continue
+		}
+		for _, v1 := range entities {
+			for _, r := range p.Roles() {
+				cand := model.AdminPrivilege{Op: model.OpRevoke, Src: v1, Dst: model.Role(r)}
+				if cand.Validate() != nil || cand.Key() == pv.Key() {
+					continue
+				}
+				if d.WeakerRevocation(rule, pv, cand) {
+					return e.From.String(), pv, cand, true
+				}
+			}
+		}
+	}
+	return "", model.AdminPrivilege{}, model.AdminPrivilege{}, false
+}
+
+// ExploreRevocationOrdering probes every candidate rule in the given
+// direction over randomly generated policies: for each instance it replaces
+// one ♦ assignment by a rule-weaker one and runs the bounded Definition 7
+// check. Truncated checks are discarded (a negative there is not a genuine
+// counterexample). The generator is the exported seam so tests and the A1
+// experiment share instances.
+func ExploreRevocationOrdering(dir Direction, trials, maxLen int, gen func(seed int64) *policy.Policy) []RevocationFinding {
+	var out []RevocationFinding
+	for _, rule := range AllRevocationRules() {
+		finding := RevocationFinding{Rule: rule, Direction: dir, Sound: true}
+		for seed := int64(0); finding.Trials < trials && seed < int64(trials*6); seed++ {
+			phi := gen(seed)
+			d := NewDecider(phi)
+			role, strong, weak, ok := revCandidate(phi, d, rule)
+			if !ok {
+				continue
+			}
+			psi := phi.Clone()
+			psi.RevokePrivilege(role, strong)
+			if _, err := psi.GrantPrivilege(role, weak); err != nil {
+				continue
+			}
+			finding.Trials++
+			alpha := RelevantCommands(phi, psi, nil)
+			if len(alpha) > 40 {
+				alpha = alpha[:40]
+			}
+			res := BoundedAdminRefines(phi, psi, BoundedAdminOptions{
+				MaxLen: maxLen, Alphabet: alpha, Direction: dir, MaxStates: 256,
+			})
+			if res.Truncated {
+				finding.Trials--
+				continue
+			}
+			if !res.Holds {
+				finding.Sound = false
+				finding.Counterexample = fmt.Sprintf(
+					"seed %d: replace (%s, %s) by (%s, %s); %s",
+					seed, role, strong, role, weak, res.Counterexample)
+				break
+			}
+		}
+		out = append(out, finding)
+	}
+	return out
+}
+
+// RevocationProbePolicy builds the small policy family used to probe the
+// candidate rules: a three-role chain top → mid → bot carrying one
+// permission, a member user on mid, and an administrator holding exactly one
+// ♦ privilege — user-assignment flavoured on even seeds, hierarchy-edge
+// flavoured on odd seeds. With a single ♦ in play, a policy that loses its
+// exact revocation power cannot track the original's revocations, which is
+// what the candidate rules must survive under the printed Definition 7.
+func RevocationProbePolicy(seed int64) *policy.Policy {
+	p := policy.New()
+	p.AddInherit("top", "mid")
+	p.AddInherit("mid", "bot")
+	if _, err := p.GrantPrivilege("bot", model.Perm("read", "doc")); err != nil {
+		panic(err)
+	}
+	p.Assign("u", "mid")
+	p.Assign("adm", "admrole")
+	var strong model.AdminPrivilege
+	if seed%2 == 0 {
+		strong = model.Revoke(model.User("u"), model.Role("mid"))
+	} else {
+		strong = model.Revoke(model.Role("mid"), model.Role("bot"))
+	}
+	if _, err := p.GrantPrivilege("admrole", strong); err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"adminrefine/internal/model"
+)
+
+func TestWeakerRevocationRules(t *testing.T) {
+	p := RevocationProbePolicy(0)
+	d := NewDecider(p)
+	u, mid, bot, top := model.User("u"), model.Role("mid"), model.Role("bot"), model.Role("top")
+
+	strong := model.Revoke(u, mid)
+	cases := []struct {
+		rule RevocationRule
+		weak model.AdminPrivilege
+		want bool
+	}{
+		{RevSamePremises, model.Revoke(u, bot), true},  // u→u, mid→bot
+		{RevSamePremises, model.Revoke(u, top), false}, // mid does not reach top
+		{RevInverted, model.Revoke(u, top), true},      // u→u, top→mid... inverted: v4→v3 means top→mid ✓
+		{RevInverted, model.Revoke(u, bot), false},     // bot does not reach mid
+		{RevTargetDown, model.Revoke(u, bot), true},    // same source, mid→bot
+		{RevSourceOnly, model.Revoke(u, bot), false},   // destination moved
+		{RevSamePremises, strong, true},                // reflexivity
+	}
+	for _, c := range cases {
+		if got := d.WeakerRevocation(c.rule, strong, c.weak); got != c.want {
+			t.Errorf("%v: %v Ã %v = %v, want %v", c.rule, strong, c.weak, got, c.want)
+		}
+	}
+	// Role-sourced strong privilege for RevSourceOnly.
+	p2 := RevocationProbePolicy(1)
+	d2 := NewDecider(p2)
+	strong2 := model.Revoke(mid, bot)
+	if !d2.WeakerRevocation(RevSourceOnly, strong2, model.Revoke(top, bot)) {
+		t.Error("RevSourceOnly rejected top→mid source move")
+	}
+	// Grants never participate.
+	if d.WeakerRevocation(RevSamePremises, strong, model.Revoke(u, mid)) != true {
+		t.Error("reflexivity broken")
+	}
+	g := model.Grant(u, mid)
+	if d.WeakerRevocation(RevSamePremises, g, model.Revoke(u, bot)) {
+		t.Error("grant accepted by revocation rule")
+	}
+}
+
+// TestRevocationOrderingExploration is the paper's §6 open problem run as a
+// counterexample hunt: under the printed Definition 7 every natural
+// candidate rule for ordering ♦ privileges is unsound (the weakened policy
+// cannot track the original's revocations), while under the informal
+// simulation reading every candidate is sound within the bounds (a policy
+// that revokes differently can only do less). This is exactly why the paper
+// ships with an equality-only revocation ordering.
+func TestRevocationOrderingExploration(t *testing.T) {
+	const trials = 2
+	paper := ExploreRevocationOrdering(DirPaper, trials, 1, RevocationProbePolicy)
+	if len(paper) != len(AllRevocationRules()) {
+		t.Fatalf("findings = %d", len(paper))
+	}
+	for _, f := range paper {
+		if f.Trials == 0 {
+			t.Errorf("[paper] rule %v: no instances probed", f.Rule)
+			continue
+		}
+		if f.Sound {
+			t.Errorf("[paper] rule %v survived %d trials; expected a counterexample", f.Rule, f.Trials)
+		}
+		if !strings.Contains(f.Counterexample, "replace") {
+			t.Errorf("[paper] rule %v: counterexample lacks detail: %q", f.Rule, f.Counterexample)
+		}
+	}
+
+	sim := ExploreRevocationOrdering(DirSimulation, trials, 1, RevocationProbePolicy)
+	for _, f := range sim {
+		if f.Trials == 0 {
+			t.Errorf("[simulation] rule %v: no instances probed", f.Rule)
+			continue
+		}
+		if !f.Sound {
+			t.Errorf("[simulation] rule %v falsified: %s", f.Rule, f.Counterexample)
+		}
+	}
+}
+
+func TestRevocationProbePolicyShape(t *testing.T) {
+	for seed := int64(0); seed < 2; seed++ {
+		p := RevocationProbePolicy(seed)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !p.Reaches(model.User("u"), model.Perm("read", "doc")) {
+			t.Fatalf("seed %d: member cannot read", seed)
+		}
+		revs := 0
+		for _, pv := range p.PrivilegeVertices() {
+			if a, ok := pv.(model.AdminPrivilege); ok && a.Op == model.OpRevoke {
+				revs++
+			}
+		}
+		if revs != 1 {
+			t.Fatalf("seed %d: %d revocation privileges, want exactly 1", seed, revs)
+		}
+	}
+}
+
+func TestRevocationRuleStrings(t *testing.T) {
+	for _, r := range AllRevocationRules() {
+		if s := r.String(); s == "" || strings.HasPrefix(s, "RevocationRule(") {
+			t.Errorf("rule %d has no name", r)
+		}
+	}
+	if !strings.Contains(RevocationRule(99).String(), "RevocationRule(") {
+		t.Error("unknown rule not diagnostic")
+	}
+}

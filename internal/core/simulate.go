@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+)
+
+// Weakening describes one application of Theorem 1: the privilege assignment
+// (Role, Strong) ∈ PA† of φ is replaced by (Role, Weak), where
+// Strong Ãφ Weak, producing ψ = (φ \ (r,p)) ∪ (r,q).
+type Weakening struct {
+	Role   string
+	Strong model.Privilege
+	Weak   model.Privilege
+}
+
+// String renders the weakening.
+func (w Weakening) String() string {
+	return fmt.Sprintf("replace (%s, %s) by (%s, %s)", w.Role, w.Strong, w.Role, w.Weak)
+}
+
+// WeakenAssignment builds ψ from φ per Theorem 1. It verifies that the
+// assignment exists and that Strong Ãφ Weak holds, returning an error
+// otherwise. φ is not mutated.
+func WeakenAssignment(phi *policy.Policy, w Weakening) (*policy.Policy, error) {
+	role := model.Role(w.Role)
+	if !phi.HasEdge(role, w.Strong) {
+		return nil, fmt.Errorf("weaken: policy has no assignment (%s, %s)", w.Role, w.Strong)
+	}
+	if !Weaker(phi, w.Strong, w.Weak) {
+		return nil, fmt.Errorf("weaken: %s is not weaker than %s in the policy", w.Weak, w.Strong)
+	}
+	psi := phi.Clone()
+	psi.RevokePrivilege(w.Role, w.Strong)
+	if _, err := psi.GrantPrivilege(w.Role, w.Weak); err != nil {
+		return nil, fmt.Errorf("weaken: granting weak privilege: %w", err)
+	}
+	return psi, nil
+}
+
+// SimulationStep records how the simulator answered one φ-command.
+type SimulationStep struct {
+	PhiCmd  command.Command
+	PsiCmd  command.Command
+	Kind    string // "mirror", "translate", "noop"
+	PhiStep command.StepResult
+	PsiStep command.StepResult
+}
+
+// SimulateWeakening plays the constructive strategy from the proof of
+// Theorem 1: it executes the φ-queue on φ and produces, command by command,
+// a same-actor response queue for ψ:
+//
+//   - a φ-command that ψ authorizes as-is is mirrored (it did not depend on
+//     the replaced privilege);
+//   - a φ-command authorized exactly by the replaced privilege p = a(v2,v3)
+//     is answered by the weaker command a(v1,v4) drawn from q (the proof's
+//     case 2/3 response);
+//   - anything else is answered by a denied no-op command, keeping ψ
+//     strictly safer.
+//
+// It returns the final policies, the per-step log, and the response queue.
+// Neither input policy is mutated.
+func SimulateWeakening(phi *policy.Policy, w Weakening, queue command.Queue) (phiFinal, psiFinal *policy.Policy, steps []SimulationStep, err error) {
+	psi0, err := WeakenAssignment(phi, w)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	phiCur, psiCur := phi.Clone(), psi0.Clone()
+	strict := command.Strict{}
+	strongKey := w.Strong.Key()
+
+	for _, c := range queue {
+		st := SimulationStep{PhiCmd: c}
+		// Advance φ first (its run is the universally quantified one).
+		phiAuthorized := false
+		if c.Validate() == nil {
+			_, phiAuthorized = strict.Authorize(phiCur, c)
+		}
+		st.PhiStep = command.Step(phiCur, c, strict)
+
+		// Choose ψ's answer.
+		var resp command.Command
+		switch {
+		case c.Validate() != nil:
+			// Ill-formed commands are consumed without effect everywhere;
+			// mirroring keeps the actor sequence aligned.
+			resp, st.Kind = c, "mirror"
+		default:
+			if _, ok := strict.Authorize(psiCur, c); ok {
+				resp, st.Kind = c, "mirror"
+			} else if phiAuthorized {
+				target, _ := c.Privilege()
+				if target.Key() == strongKey {
+					// The command exercised exactly the replaced privilege:
+					// answer with the weaker command from q.
+					if qa, ok := w.Weak.(model.AdminPrivilege); ok {
+						resp = command.Command{Actor: c.Actor, Op: qa.Op, From: qa.Src, To: qa.Dst}
+						st.Kind = "translate"
+					} else {
+						// p Ãφ q with q a user privilege forces p = q, so
+						// this branch cannot fire for a valid Weakening;
+						// answer safely anyway.
+						resp, st.Kind = noopCommand(c.Actor), "noop"
+					}
+				} else {
+					// Authorized in φ through state divergence: ψ declines.
+					resp, st.Kind = noopCommand(c.Actor), "noop"
+				}
+			} else {
+				// Denied in φ; ψ declines too.
+				resp, st.Kind = noopCommand(c.Actor), "noop"
+			}
+		}
+		st.PsiCmd = resp
+		st.PsiStep = command.Step(psiCur, resp, strict)
+		steps = append(steps, st)
+	}
+	return phiCur, psiCur, steps, nil
+}
+
+// ResponseQueue extracts the ψ-side queue from a simulation log.
+func ResponseQueue(steps []SimulationStep) command.Queue {
+	q := make(command.Queue, len(steps))
+	for i, s := range steps {
+		q[i] = s.PsiCmd
+	}
+	return q
+}

@@ -1,0 +1,135 @@
+// Package domains implements the role-graph administrative-domains baseline
+// of Wang & Osborn (DBSec 2003), cited in the paper's introduction: the role
+// graph is partitioned into administrative domains, each owned by exactly
+// one administrator role; an administrator may modify precisely the roles of
+// their own domain (and, transitively, of domains nested inside it).
+package domains
+
+import (
+	"fmt"
+	"sort"
+
+	"adminrefine/internal/policy"
+)
+
+// Domain is one administrative domain: an owner role and the set of member
+// roles it administers. Domains may nest via Parent.
+type Domain struct {
+	Name    string
+	Owner   string
+	Members map[string]struct{}
+	Parent  string // empty for the root domain
+}
+
+// System is a partition of a policy's roles into administrative domains.
+type System struct {
+	Policy  *policy.Policy
+	domains map[string]*Domain
+	// roleDomain maps each role to the domain containing it.
+	roleDomain map[string]string
+}
+
+// NewSystem creates an empty partition over the policy.
+func NewSystem(p *policy.Policy) *System {
+	return &System{
+		Policy:     p,
+		domains:    make(map[string]*Domain),
+		roleDomain: make(map[string]string),
+	}
+}
+
+// AddDomain declares a domain. The owner need not be a member.
+func (s *System) AddDomain(name, owner, parent string, members ...string) error {
+	if _, dup := s.domains[name]; dup {
+		return fmt.Errorf("domains: duplicate domain %q", name)
+	}
+	d := &Domain{Name: name, Owner: owner, Parent: parent, Members: make(map[string]struct{})}
+	for _, m := range members {
+		if prev, taken := s.roleDomain[m]; taken {
+			return fmt.Errorf("domains: role %q already in domain %q", m, prev)
+		}
+		d.Members[m] = struct{}{}
+		s.roleDomain[m] = name
+	}
+	s.domains[name] = d
+	return nil
+}
+
+// Validate checks that every role of the policy belongs to exactly one
+// domain and that parents exist.
+func (s *System) Validate() error {
+	for _, r := range s.Policy.Roles() {
+		if _, ok := s.roleDomain[r]; !ok {
+			return fmt.Errorf("domains: role %q belongs to no domain", r)
+		}
+	}
+	for _, d := range s.domains {
+		if d.Parent != "" {
+			if _, ok := s.domains[d.Parent]; !ok {
+				return fmt.Errorf("domains: domain %q has unknown parent %q", d.Name, d.Parent)
+			}
+		}
+	}
+	return nil
+}
+
+// DomainOf returns the domain containing the role.
+func (s *System) DomainOf(role string) (*Domain, bool) {
+	name, ok := s.roleDomain[role]
+	if !ok {
+		return nil, false
+	}
+	return s.domains[name], true
+}
+
+// Administers reports whether the actor may administer the role: some role
+// the actor can activate must own the role's domain or one of its ancestor
+// domains.
+func (s *System) Administers(actor, role string) bool {
+	d, ok := s.DomainOf(role)
+	if !ok {
+		return false
+	}
+	owners := map[string]struct{}{}
+	for cur := d; cur != nil; {
+		owners[cur.Owner] = struct{}{}
+		if cur.Parent == "" {
+			break
+		}
+		cur = s.domains[cur.Parent]
+	}
+	for _, r := range s.Policy.RolesActivatableBy(actor) {
+		if _, ok := owners[r]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// AssignUser performs a domain-checked user assignment.
+func (s *System) AssignUser(actor, user, role string) error {
+	if !s.Administers(actor, role) {
+		return fmt.Errorf("domains: %s does not administer %s", actor, role)
+	}
+	s.Policy.Assign(user, role)
+	return nil
+}
+
+// RevokeUser performs a domain-checked user revocation.
+func (s *System) RevokeUser(actor, user, role string) error {
+	if !s.Administers(actor, role) {
+		return fmt.Errorf("domains: %s does not administer %s", actor, role)
+	}
+	s.Policy.Deassign(user, role)
+	return nil
+}
+
+// Domains lists the declared domains, sorted by name.
+func (s *System) Domains() []*Domain {
+	out := make([]*Domain, 0, len(s.domains))
+	for _, d := range s.domains {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

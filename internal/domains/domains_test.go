@@ -1,0 +1,107 @@
+package domains
+
+import (
+	"testing"
+
+	"adminrefine/internal/policy"
+)
+
+// figure2Domains partitions the Figure 2 roles into a security domain (SO,
+// HR) owned by SO and a medical domain owned by staff, nested under it.
+func figure2Domains(t *testing.T) *System {
+	t.Helper()
+	s := NewSystem(policy.Figure2())
+	if err := s.AddDomain("security", "SO", "", "SO", "HR"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddDomain("medical", "staff", "security",
+		"staff", "nurse", "prntusr", "dbusr1", "dbusr2", "dbusr3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDomainPartition(t *testing.T) {
+	s := figure2Domains(t)
+	d, ok := s.DomainOf("nurse")
+	if !ok || d.Name != "medical" {
+		t.Fatalf("DomainOf(nurse) = %v, %v", d, ok)
+	}
+	if _, ok := s.DomainOf("ghost"); ok {
+		t.Fatal("unknown role has a domain")
+	}
+	if got := len(s.Domains()); got != 2 {
+		t.Fatalf("domains = %d", got)
+	}
+}
+
+func TestDuplicateAndOverlapRejected(t *testing.T) {
+	s := NewSystem(policy.Figure2())
+	if err := s.AddDomain("a", "SO", "", "SO"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddDomain("a", "SO", ""); err == nil {
+		t.Fatal("duplicate domain accepted")
+	}
+	if err := s.AddDomain("b", "HR", "", "SO"); err == nil {
+		t.Fatal("overlapping membership accepted")
+	}
+}
+
+func TestValidateCompleteness(t *testing.T) {
+	s := NewSystem(policy.Figure2())
+	if err := s.AddDomain("partial", "SO", "", "SO", "HR"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("partial partition validated")
+	}
+	s2 := NewSystem(policy.Figure2())
+	if err := s2.AddDomain("orphan", "SO", "missing-parent", "SO"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Validate(); err == nil {
+		t.Fatal("unknown parent validated")
+	}
+}
+
+func TestAdministers(t *testing.T) {
+	s := figure2Domains(t)
+	// Diana activates staff, which owns the medical domain.
+	if !s.Administers(policy.UserDiana, "nurse") {
+		t.Error("diana does not administer nurse")
+	}
+	// Alice's SO owns security, the PARENT of medical: nested authority.
+	if !s.Administers(policy.UserAlice, "nurse") {
+		t.Error("alice does not administer the nested medical domain")
+	}
+	// Jane (HR) owns nothing.
+	if s.Administers(policy.UserJane, "nurse") {
+		t.Error("jane administers nurse")
+	}
+	if s.Administers(policy.UserJane, "ghost") {
+		t.Error("unknown role administered")
+	}
+}
+
+func TestAssignRevoke(t *testing.T) {
+	s := figure2Domains(t)
+	if err := s.AssignUser(policy.UserDiana, policy.UserBob, "nurse"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Policy.CanActivate(policy.UserBob, "nurse") {
+		t.Fatal("assignment ineffective")
+	}
+	if err := s.RevokeUser(policy.UserDiana, policy.UserBob, "nurse"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Policy.CanActivate(policy.UserBob, "nurse") {
+		t.Fatal("revocation ineffective")
+	}
+	if err := s.AssignUser(policy.UserJane, policy.UserBob, "nurse"); err == nil {
+		t.Fatal("unauthorized assignment succeeded")
+	}
+}

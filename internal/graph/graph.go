@@ -1,0 +1,529 @@
+// Package graph provides the directed-graph substrate on which policies are
+// interpreted. The paper treats an RBAC policy φ as the directed graph of its
+// edges UA ∪ RH ∪ PA† and bases every definition on path reachability
+// v →φ v'. This package supplies exactly that machinery: mutable digraphs
+// over interned vertex keys, reflexive-transitive reachability, transitive
+// closure, strongly connected components, condensation, longest chains
+// (used for the Remark 2 nesting bound) and DOT export.
+//
+// Vertices are interned: callers add string keys and receive dense integer
+// IDs, which keeps reachability queries allocation-free on the hot path.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NoVertex is returned by Lookup for unknown keys.
+const NoVertex = -1
+
+// Digraph is a mutable directed graph over interned string vertices.
+// The zero value is not usable; call New.
+type Digraph struct {
+	ids   map[string]int
+	keys  []string
+	succ  [][]int
+	pred  [][]int
+	edges map[[2]int]struct{}
+
+	// generation increments on every mutation; cached closures check it.
+	generation uint64
+}
+
+// New returns an empty digraph.
+func New() *Digraph {
+	return &Digraph{
+		ids:   make(map[string]int),
+		edges: make(map[[2]int]struct{}),
+	}
+}
+
+// Clone returns an independent deep copy of g.
+func (g *Digraph) Clone() *Digraph {
+	c := &Digraph{
+		ids:   make(map[string]int, len(g.ids)),
+		keys:  append([]string(nil), g.keys...),
+		succ:  make([][]int, len(g.succ)),
+		pred:  make([][]int, len(g.pred)),
+		edges: make(map[[2]int]struct{}, len(g.edges)),
+	}
+	for k, v := range g.ids {
+		c.ids[k] = v
+	}
+	for i := range g.succ {
+		c.succ[i] = append([]int(nil), g.succ[i]...)
+	}
+	for i := range g.pred {
+		c.pred[i] = append([]int(nil), g.pred[i]...)
+	}
+	for e := range g.edges {
+		c.edges[e] = struct{}{}
+	}
+	return c
+}
+
+// AddVertex interns key and returns its ID; existing keys return their
+// original ID.
+func (g *Digraph) AddVertex(key string) int {
+	if id, ok := g.ids[key]; ok {
+		return id
+	}
+	id := len(g.keys)
+	g.ids[key] = id
+	g.keys = append(g.keys, key)
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	g.generation++
+	return id
+}
+
+// Lookup returns the ID of key, or NoVertex if it was never added.
+func (g *Digraph) Lookup(key string) int {
+	if id, ok := g.ids[key]; ok {
+		return id
+	}
+	return NoVertex
+}
+
+// Key returns the string key of vertex id.
+func (g *Digraph) Key(id int) string {
+	if id < 0 || id >= len(g.keys) {
+		return ""
+	}
+	return g.keys[id]
+}
+
+// NumVertices returns the number of interned vertices.
+func (g *Digraph) NumVertices() int { return len(g.keys) }
+
+// NumEdges returns the number of distinct directed edges.
+func (g *Digraph) NumEdges() int { return len(g.edges) }
+
+// Generation returns a counter that changes whenever the graph mutates.
+// Callers caching reachability results can use it for invalidation.
+func (g *Digraph) Generation() uint64 { return g.generation }
+
+// AddEdge inserts the edge from→to (vertices are interned on demand).
+// It reports whether the edge was new.
+func (g *Digraph) AddEdge(from, to string) bool {
+	f, t := g.AddVertex(from), g.AddVertex(to)
+	return g.AddEdgeID(f, t)
+}
+
+// AddEdgeID inserts the edge f→t by vertex IDs, reporting whether it was new.
+func (g *Digraph) AddEdgeID(f, t int) bool {
+	if _, ok := g.edges[[2]int{f, t}]; ok {
+		return false
+	}
+	g.edges[[2]int{f, t}] = struct{}{}
+	g.succ[f] = append(g.succ[f], t)
+	g.pred[t] = append(g.pred[t], f)
+	g.generation++
+	return true
+}
+
+// RemoveEdge deletes the edge from→to if present, reporting whether it
+// existed. Vertices are never removed (universes are fixed; see DESIGN.md D6).
+func (g *Digraph) RemoveEdge(from, to string) bool {
+	f, t := g.Lookup(from), g.Lookup(to)
+	if f == NoVertex || t == NoVertex {
+		return false
+	}
+	return g.RemoveEdgeID(f, t)
+}
+
+// RemoveEdgeID deletes the edge f→t by IDs, reporting whether it existed.
+func (g *Digraph) RemoveEdgeID(f, t int) bool {
+	if _, ok := g.edges[[2]int{f, t}]; !ok {
+		return false
+	}
+	delete(g.edges, [2]int{f, t})
+	g.succ[f] = removeOne(g.succ[f], t)
+	g.pred[t] = removeOne(g.pred[t], f)
+	g.generation++
+	return true
+}
+
+func removeOne(s []int, x int) []int {
+	for i, v := range s {
+		if v == x {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// HasEdge reports whether the edge from→to is present.
+func (g *Digraph) HasEdge(from, to string) bool {
+	f, t := g.Lookup(from), g.Lookup(to)
+	if f == NoVertex || t == NoVertex {
+		return false
+	}
+	_, ok := g.edges[[2]int{f, t}]
+	return ok
+}
+
+// Successors returns the direct successors of vertex id (do not mutate).
+func (g *Digraph) Successors(id int) []int { return g.succ[id] }
+
+// Predecessors returns the direct predecessors of vertex id (do not mutate).
+func (g *Digraph) Predecessors(id int) []int { return g.pred[id] }
+
+// Edges returns all edges as ID pairs in deterministic order.
+func (g *Digraph) Edges() [][2]int {
+	out := make([][2]int, 0, len(g.edges))
+	for e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Reaches reports v →φ v' as a reflexive-transitive reachability query
+// (DESIGN.md D1): true when from == to or a directed path exists.
+func (g *Digraph) Reaches(from, to string) bool {
+	f, t := g.Lookup(from), g.Lookup(to)
+	if f == NoVertex || t == NoVertex {
+		// An unknown vertex reaches only itself.
+		return from == to
+	}
+	return g.ReachesID(f, t)
+}
+
+// ReachesID is Reaches over vertex IDs.
+func (g *Digraph) ReachesID(f, t int) bool {
+	if f == t {
+		return true
+	}
+	// Iterative DFS with an explicit stack; policies are sparse so this
+	// outperforms materialising a closure for one-off queries.
+	visited := make([]bool, len(g.keys))
+	stack := make([]int, 0, 16)
+	stack = append(stack, f)
+	visited[f] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.succ[v] {
+			if w == t {
+				return true
+			}
+			if !visited[w] {
+				visited[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return false
+}
+
+// ReachableFrom returns the set of vertex IDs reachable from id, including
+// id itself, as a boolean slice indexed by vertex ID.
+func (g *Digraph) ReachableFrom(id int) []bool {
+	visited := make([]bool, len(g.keys))
+	if id < 0 || id >= len(g.keys) {
+		return visited
+	}
+	stack := []int{id}
+	visited[id] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.succ[v] {
+			if !visited[w] {
+				visited[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return visited
+}
+
+// Path returns one directed path from→to as vertex keys (inclusive), or nil
+// if none exists. A reflexive query returns the single-vertex path. Used by
+// authorization explanations.
+func (g *Digraph) Path(from, to string) []string {
+	f, t := g.Lookup(from), g.Lookup(to)
+	if from == to && from != "" {
+		return []string{from}
+	}
+	if f == NoVertex || t == NoVertex {
+		return nil
+	}
+	prev := make([]int, len(g.keys))
+	for i := range prev {
+		prev[i] = -2 // unvisited
+	}
+	prev[f] = -1 // root
+	queue := []int{f}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.succ[v] {
+			if prev[w] != -2 {
+				continue
+			}
+			prev[w] = v
+			if w == t {
+				var rev []int
+				for x := t; x != -1; x = prev[x] {
+					rev = append(rev, x)
+				}
+				out := make([]string, len(rev))
+				for i := range rev {
+					out[i] = g.keys[rev[len(rev)-1-i]]
+				}
+				return out
+			}
+			queue = append(queue, w)
+		}
+	}
+	return nil
+}
+
+// Closure is a materialised reflexive-transitive closure snapshot of a
+// Digraph, valid for the generation at which it was built.
+type Closure struct {
+	g          *Digraph
+	generation uint64
+	n          int
+	bits       []uint64 // n rows of ceil(n/64) words
+	words      int
+}
+
+// NewClosure materialises the reflexive-transitive closure of g. Queries
+// against a stale closure (after g mutated) panic, to surface invalidation
+// bugs early.
+func NewClosure(g *Digraph) *Closure {
+	n := g.NumVertices()
+	words := (n + 63) / 64
+	c := &Closure{g: g, generation: g.generation, n: n, bits: make([]uint64, n*words), words: words}
+	// Propagate in reverse topological order of the SCC condensation so each
+	// row is computed once.
+	comp, order := g.SCC()
+	_ = comp
+	// order lists SCC representatives in reverse topological order already.
+	for _, scc := range order {
+		// Union of all successors' rows into this SCC's row, then set members.
+		row := make([]uint64, words)
+		for _, v := range scc {
+			row[v/64] |= 1 << (v % 64)
+		}
+		for _, v := range scc {
+			for _, w := range g.succ[v] {
+				wrow := c.bits[w*words : (w+1)*words]
+				inSCC := false
+				for _, u := range scc {
+					if u == w {
+						inSCC = true
+						break
+					}
+				}
+				if inSCC {
+					continue
+				}
+				for i := 0; i < words; i++ {
+					row[i] |= wrow[i]
+				}
+			}
+		}
+		for _, v := range scc {
+			copy(c.bits[v*words:(v+1)*words], row)
+		}
+	}
+	return c
+}
+
+// Reaches reports reflexive-transitive reachability using the materialised
+// closure.
+func (c *Closure) Reaches(f, t int) bool {
+	if c.generation != c.g.generation {
+		panic("graph: stale closure used after mutation")
+	}
+	if f == t {
+		return true
+	}
+	if f < 0 || t < 0 || f >= c.n || t >= c.n {
+		return false
+	}
+	return c.bits[f*c.words+t/64]&(1<<(t%64)) != 0
+}
+
+// SCC computes strongly connected components with Tarjan's algorithm.
+// comp maps each vertex ID to its component index; the returned components
+// are listed in reverse topological order (every edge goes from a later
+// component to an earlier one in the list).
+func (g *Digraph) SCC() (comp []int, components [][]int) {
+	n := len(g.keys)
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var next int
+
+	// Iterative Tarjan to avoid recursion depth limits on long chains.
+	type frame struct {
+		v, childIdx int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		call := []frame{{root, 0}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(call) > 0 {
+			fr := &call[len(call)-1]
+			v := fr.v
+			if fr.childIdx < len(g.succ[v]) {
+				w := g.succ[v][fr.childIdx]
+				fr.childIdx++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{w, 0})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = len(components)
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				components = append(components, scc)
+			}
+		}
+	}
+	return comp, components
+}
+
+// LongestChain returns the number of edges on the longest simple path in the
+// SCC condensation of g, with every vertex of a non-trivial SCC contributing
+// its component once. For an acyclic role hierarchy this is the length of
+// the longest chain in RH, the bound Remark 2 conjectures for nesting
+// enumeration.
+func (g *Digraph) LongestChain() int {
+	comp, components := g.SCC()
+	k := len(components)
+	// Build condensation adjacency.
+	adj := make(map[int]map[int]struct{}, k)
+	for e := range g.edges {
+		cf, ct := comp[e[0]], comp[e[1]]
+		if cf == ct {
+			continue
+		}
+		m, ok := adj[cf]
+		if !ok {
+			m = make(map[int]struct{})
+			adj[cf] = m
+		}
+		m[ct] = struct{}{}
+	}
+	// components are in reverse topological order: successors of a component
+	// have smaller indices, so a single pass suffices.
+	longest := make([]int, k)
+	best := 0
+	for i := 0; i < k; i++ {
+		for j := range adj[i] {
+			if longest[j]+1 > longest[i] {
+				longest[i] = longest[j] + 1
+			}
+		}
+		if longest[i] > best {
+			best = longest[i]
+		}
+	}
+	return best
+}
+
+// IsAcyclic reports whether g has no directed cycles (self-loops count as
+// cycles).
+func (g *Digraph) IsAcyclic() bool {
+	for e := range g.edges {
+		if e[0] == e[1] {
+			return false
+		}
+	}
+	_, components := g.SCC()
+	return len(components) == g.NumVertices()
+}
+
+// TopoSort returns vertex IDs in a topological order, or an error if g is
+// cyclic.
+func (g *Digraph) TopoSort() ([]int, error) {
+	if !g.IsAcyclic() {
+		return nil, fmt.Errorf("graph: cycle detected, no topological order")
+	}
+	_, components := g.SCC()
+	out := make([]int, 0, g.NumVertices())
+	// components are in reverse topological order; flatten reversed.
+	for i := len(components) - 1; i >= 0; i-- {
+		out = append(out, components[i][0])
+	}
+	return out, nil
+}
+
+// DOT renders the graph in Graphviz DOT syntax. labels may be nil, in which
+// case vertex keys are used; attr may annotate edges (keyed "from\x00to").
+func (g *Digraph) DOT(name string, labels map[string]string, attr map[string]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n")
+	for id, key := range g.keys {
+		label := key
+		if labels != nil {
+			if l, ok := labels[key]; ok {
+				label = l
+			}
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", id, label)
+	}
+	for _, e := range g.Edges() {
+		extra := ""
+		if attr != nil {
+			if a, ok := attr[g.keys[e[0]]+"\x00"+g.keys[e[1]]]; ok {
+				extra = " [" + a + "]"
+			}
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d%s;\n", e[0], e[1], extra)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

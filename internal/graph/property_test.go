@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+// edgeList is a quick-generatable random graph description.
+type edgeList struct {
+	N     int
+	Edges [][2]int
+}
+
+// Generate implements quick.Generator.
+func (edgeList) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := 2 + rng.Intn(10)
+	e := rng.Intn(3 * n)
+	el := edgeList{N: n}
+	for i := 0; i < e; i++ {
+		el.Edges = append(el.Edges, [2]int{rng.Intn(n), rng.Intn(n)})
+	}
+	return reflect.ValueOf(el)
+}
+
+func (el edgeList) build() *Digraph {
+	g := New()
+	for i := 0; i < el.N; i++ {
+		g.AddVertex("v" + strconv.Itoa(i))
+	}
+	for _, e := range el.Edges {
+		g.AddEdgeID(e[0], e[1])
+	}
+	return g
+}
+
+func TestQuickReachabilityIsPreorder(t *testing.T) {
+	f := func(el edgeList, a, b, c uint8) bool {
+		g := el.build()
+		x, y, z := int(a)%el.N, int(b)%el.N, int(c)%el.N
+		// Reflexive.
+		if !g.ReachesID(x, x) {
+			return false
+		}
+		// Transitive.
+		if g.ReachesID(x, y) && g.ReachesID(y, z) && !g.ReachesID(x, z) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickClosureAgreesWithDFS(t *testing.T) {
+	f := func(el edgeList) bool {
+		g := el.build()
+		c := NewClosure(g)
+		for i := 0; i < el.N; i++ {
+			for j := 0; j < el.N; j++ {
+				if c.Reaches(i, j) != g.ReachesID(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPathIsWitness(t *testing.T) {
+	f := func(el edgeList, a, b uint8) bool {
+		g := el.build()
+		from := "v" + strconv.Itoa(int(a)%el.N)
+		to := "v" + strconv.Itoa(int(b)%el.N)
+		path := g.Path(from, to)
+		if g.Reaches(from, to) != (path != nil) {
+			return false
+		}
+		if path == nil {
+			return true
+		}
+		if path[0] != from || path[len(path)-1] != to {
+			return false
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if !g.HasEdge(path[i], path[i+1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSCCPartition(t *testing.T) {
+	f := func(el edgeList) bool {
+		g := el.build()
+		comp, components := g.SCC()
+		// Every vertex in exactly one component.
+		seen := make([]int, el.N)
+		for ci, scc := range components {
+			for _, v := range scc {
+				seen[v]++
+				if comp[v] != ci {
+					return false
+				}
+			}
+		}
+		for _, s := range seen {
+			if s != 1 {
+				return false
+			}
+		}
+		// Same component iff mutually reachable.
+		for i := 0; i < el.N; i++ {
+			for j := 0; j < el.N; j++ {
+				mutual := g.ReachesID(i, j) && g.ReachesID(j, i)
+				if mutual != (comp[i] == comp[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRemoveEdgeRestores(t *testing.T) {
+	// Adding then removing an absent edge restores reachability everywhere.
+	f := func(el edgeList, a, b uint8) bool {
+		g := el.build()
+		x, y := int(a)%el.N, int(b)%el.N
+		if g.HasEdge("v"+strconv.Itoa(x), "v"+strconv.Itoa(y)) {
+			return true
+		}
+		before := make([][]bool, el.N)
+		for i := range before {
+			before[i] = g.ReachableFrom(i)
+		}
+		g.AddEdgeID(x, y)
+		g.RemoveEdgeID(x, y)
+		for i := range before {
+			after := g.ReachableFrom(i)
+			for j := range after {
+				if before[i][j] != after[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,306 @@
+// Package hru implements the Harrison–Ruzzo–Ullman protection model
+// (CACM 1976), which the paper's footnote 5 contrasts with its
+// order-sensitive command queues. An HRU system is an access matrix over
+// subjects and objects plus a fixed set of guarded commands; the safety
+// question — "can right r ever leak into cell (s,o)?" — is undecidable in
+// general, so this package offers a bounded breadth-first safety search.
+// Experiment H1 contrasts its exponential state growth with the paper's
+// polynomial privilege-ordering decision.
+package hru
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Right is an access right, e.g. "own", "read", "grant".
+type Right string
+
+// Matrix is the access matrix: subject → object → set of rights. Subjects
+// are also objects (they appear as columns when rights over subjects are
+// granted).
+type Matrix map[string]map[string]map[Right]struct{}
+
+// Clone deep-copies the matrix.
+func (m Matrix) Clone() Matrix {
+	c := make(Matrix, len(m))
+	for s, row := range m {
+		cr := make(map[string]map[Right]struct{}, len(row))
+		for o, rights := range row {
+			rs := make(map[Right]struct{}, len(rights))
+			for r := range rights {
+				rs[r] = struct{}{}
+			}
+			cr[o] = rs
+		}
+		c[s] = cr
+	}
+	return c
+}
+
+// Has reports whether right r is in cell (s, o).
+func (m Matrix) Has(s, o string, r Right) bool {
+	row, ok := m[s]
+	if !ok {
+		return false
+	}
+	cell, ok := row[o]
+	if !ok {
+		return false
+	}
+	_, ok = cell[r]
+	return ok
+}
+
+// Enter places right r into cell (s, o).
+func (m Matrix) Enter(s, o string, r Right) {
+	row, ok := m[s]
+	if !ok {
+		row = make(map[string]map[Right]struct{})
+		m[s] = row
+	}
+	cell, ok := row[o]
+	if !ok {
+		cell = make(map[Right]struct{})
+		row[o] = cell
+	}
+	cell[r] = struct{}{}
+}
+
+// Delete removes right r from cell (s, o).
+func (m Matrix) Delete(s, o string, r Right) {
+	if row, ok := m[s]; ok {
+		if cell, ok := row[o]; ok {
+			delete(cell, r)
+		}
+	}
+}
+
+// key returns a canonical string for state deduplication.
+func (m Matrix) key() string {
+	var parts []string
+	for s, row := range m {
+		for o, cell := range row {
+			if len(cell) == 0 {
+				continue
+			}
+			rights := make([]string, 0, len(cell))
+			for r := range cell {
+				rights = append(rights, string(r))
+			}
+			sort.Strings(rights)
+			parts = append(parts, s+"\x01"+o+"\x01"+strings.Join(rights, ","))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\x02")
+}
+
+// OpKind is a primitive operation kind.
+type OpKind uint8
+
+const (
+	// OpEnter enters a right into a cell.
+	OpEnter OpKind = iota + 1
+	// OpDelete deletes a right from a cell.
+	OpDelete
+)
+
+// Op is a primitive operation over command parameters: the S and O fields
+// name formal parameters resolved at call time.
+type Op struct {
+	Kind  OpKind
+	Right Right
+	S, O  string // formal parameter names
+}
+
+// Cond is one conjunct of a command guard: right ∈ (S, O).
+type Cond struct {
+	Right Right
+	S, O  string // formal parameter names
+}
+
+// Command is a guarded HRU command with named formal parameters.
+type Command struct {
+	Name   string
+	Params []string
+	Conds  []Cond
+	Ops    []Op
+}
+
+// System is an HRU protection system: an initial matrix, the subject and
+// object universes (finite here — we do not model create, which is the
+// source of undecidability; bounded search over a finite universe is the
+// point of the comparison), and the command suite.
+type System struct {
+	Subjects []string
+	Objects  []string
+	Commands []Command
+}
+
+// Execute applies the command with actual arguments to a copy of m,
+// returning (newMatrix, true) when the guard holds, or (nil, false).
+func (sys *System) Execute(m Matrix, cmd Command, args map[string]string) (Matrix, bool) {
+	for _, p := range cmd.Params {
+		if _, ok := args[p]; !ok {
+			return nil, false
+		}
+	}
+	for _, c := range cmd.Conds {
+		if !m.Has(args[c.S], args[c.O], c.Right) {
+			return nil, false
+		}
+	}
+	out := m.Clone()
+	for _, op := range cmd.Ops {
+		switch op.Kind {
+		case OpEnter:
+			out.Enter(args[op.S], args[op.O], op.Right)
+		case OpDelete:
+			out.Delete(args[op.S], args[op.O], op.Right)
+		}
+	}
+	return out, true
+}
+
+// SafetyResult reports the outcome of a bounded safety search.
+type SafetyResult struct {
+	// Leaks reports whether the target right can reach the target cell
+	// within the depth bound.
+	Leaks bool
+	// Witness is one command sequence demonstrating the leak.
+	Witness []string
+	// StatesExplored counts distinct matrices visited.
+	StatesExplored int
+	// Exhausted reports whether the search ran out of depth (a negative
+	// answer is then only valid up to the bound).
+	Exhausted bool
+}
+
+// BoundedSafety answers the HRU safety question by breadth-first search over
+// matrix states up to maxDepth command applications, instantiating command
+// parameters over the declared subject/object universes.
+func BoundedSafety(sys *System, initial Matrix, s, o string, r Right, maxDepth int) SafetyResult {
+	type node struct {
+		m     Matrix
+		trace []string
+	}
+	res := SafetyResult{}
+	if initial.Has(s, o, r) {
+		res.Leaks = true
+		res.StatesExplored = 1
+		return res
+	}
+	seen := map[string]struct{}{initial.key(): {}}
+	frontier := []node{{m: initial}}
+	res.StatesExplored = 1
+	universe := append(append([]string{}, sys.Subjects...), sys.Objects...)
+
+	for depth := 0; depth < maxDepth; depth++ {
+		var next []node
+		for _, nd := range frontier {
+			for _, cmd := range sys.Commands {
+				assignments := enumerate(cmd.Params, sys.Subjects, universe)
+				for _, args := range assignments {
+					m2, ok := sys.Execute(nd.m, cmd, args)
+					if !ok {
+						continue
+					}
+					k := m2.key()
+					if _, dup := seen[k]; dup {
+						continue
+					}
+					seen[k] = struct{}{}
+					res.StatesExplored++
+					trace := append(append([]string{}, nd.trace...), callString(cmd, args))
+					if m2.Has(s, o, r) {
+						res.Leaks = true
+						res.Witness = trace
+						return res
+					}
+					next = append(next, node{m: m2, trace: trace})
+				}
+			}
+		}
+		if len(next) == 0 {
+			return res // fixpoint: the negative answer is exact
+		}
+		frontier = next
+	}
+	res.Exhausted = true
+	return res
+}
+
+// enumerate produces all parameter assignments: by convention the first
+// parameter ranges over subjects (the acting subject), the rest over the
+// whole universe.
+func enumerate(params []string, subjects, universe []string) []map[string]string {
+	if len(params) == 0 {
+		return []map[string]string{{}}
+	}
+	out := []map[string]string{{}}
+	for i, p := range params {
+		domain := universe
+		if i == 0 {
+			domain = subjects
+		}
+		var grown []map[string]string
+		for _, partial := range out {
+			for _, v := range domain {
+				m := make(map[string]string, len(partial)+1)
+				for k, val := range partial {
+					m[k] = val
+				}
+				m[p] = v
+				grown = append(grown, m)
+			}
+		}
+		out = grown
+	}
+	return out
+}
+
+func callString(cmd Command, args map[string]string) string {
+	vals := make([]string, len(cmd.Params))
+	for i, p := range cmd.Params {
+		vals[i] = args[p]
+	}
+	return fmt.Sprintf("%s(%s)", cmd.Name, strings.Join(vals, ","))
+}
+
+// GrantSystem builds the classic two-command HRU system used in experiment
+// H1: owners may grant any right they hold over an object to another
+// subject ("transfer"), and holders of the special "grant" right may pass
+// rights on. It mirrors the delegation flavour of the paper's nested ¤
+// privileges in matrix form.
+func GrantSystem(rights []Right) *System {
+	sys := &System{}
+	for _, r := range rights {
+		r := r
+		sys.Commands = append(sys.Commands,
+			Command{
+				Name:   "transfer_" + string(r),
+				Params: []string{"s1", "s2", "obj"},
+				Conds: []Cond{
+					{Right: "own", S: "s1", O: "obj"},
+					{Right: r, S: "s1", O: "obj"},
+				},
+				Ops: []Op{{Kind: OpEnter, Right: r, S: "s2", O: "obj"}},
+			},
+			Command{
+				Name:   "delegate_" + string(r),
+				Params: []string{"s1", "s2", "obj"},
+				Conds: []Cond{
+					{Right: "grant", S: "s1", O: "obj"},
+					{Right: r, S: "s1", O: "obj"},
+				},
+				Ops: []Op{
+					{Kind: OpEnter, Right: r, S: "s2", O: "obj"},
+					{Kind: OpEnter, Right: "grant", S: "s2", O: "obj"},
+				},
+			},
+		)
+	}
+	return sys
+}

@@ -1,0 +1,150 @@
+package hru
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoSubjectSystem() (*System, Matrix) {
+	sys := GrantSystem([]Right{"read"})
+	sys.Subjects = []string{"alice", "bob"}
+	sys.Objects = []string{"file"}
+	m := Matrix{}
+	m.Enter("alice", "file", "own")
+	m.Enter("alice", "file", "read")
+	return sys, m
+}
+
+func TestMatrixOps(t *testing.T) {
+	m := Matrix{}
+	if m.Has("a", "o", "read") {
+		t.Fatal("empty matrix has rights")
+	}
+	m.Enter("a", "o", "read")
+	if !m.Has("a", "o", "read") {
+		t.Fatal("entered right missing")
+	}
+	c := m.Clone()
+	c.Delete("a", "o", "read")
+	if !m.Has("a", "o", "read") {
+		t.Fatal("clone delete affected original")
+	}
+	if c.Has("a", "o", "read") {
+		t.Fatal("delete ineffective")
+	}
+	m.Delete("zz", "o", "read") // deleting from absent cells is a no-op
+	if m.key() == c.key() {
+		t.Fatal("distinct matrices share a key")
+	}
+}
+
+func TestExecuteGuard(t *testing.T) {
+	sys, m := twoSubjectSystem()
+	transfer := sys.Commands[0] // transfer_read
+	// Alice owns the file: may transfer read to Bob.
+	m2, ok := sys.Execute(m, transfer, map[string]string{"s1": "alice", "s2": "bob", "obj": "file"})
+	if !ok {
+		t.Fatal("guarded command refused despite satisfied guard")
+	}
+	if !m2.Has("bob", "file", "read") {
+		t.Fatal("transfer ineffective")
+	}
+	if m.Has("bob", "file", "read") {
+		t.Fatal("execute mutated input matrix")
+	}
+	// Bob owns nothing: his transfer is refused.
+	if _, ok := sys.Execute(m, transfer, map[string]string{"s1": "bob", "s2": "alice", "obj": "file"}); ok {
+		t.Fatal("guard not enforced")
+	}
+	// Missing parameters are refused.
+	if _, ok := sys.Execute(m, transfer, map[string]string{"s1": "alice"}); ok {
+		t.Fatal("missing parameters accepted")
+	}
+}
+
+func TestBoundedSafetyFindsLeak(t *testing.T) {
+	sys, m := twoSubjectSystem()
+	res := BoundedSafety(sys, m, "bob", "file", "read", 3)
+	if !res.Leaks {
+		t.Fatal("reachable leak not found")
+	}
+	if len(res.Witness) == 0 || !strings.Contains(res.Witness[0], "transfer_read") {
+		t.Fatalf("witness = %v", res.Witness)
+	}
+	if res.StatesExplored < 2 {
+		t.Fatalf("states explored = %d", res.StatesExplored)
+	}
+}
+
+func TestBoundedSafetyExactNegative(t *testing.T) {
+	// Without own or grant rights, no command fires: the search reaches a
+	// fixpoint and the negative answer is exact (Exhausted = false).
+	sys := GrantSystem([]Right{"read"})
+	sys.Subjects = []string{"alice", "bob"}
+	sys.Objects = []string{"file"}
+	m := Matrix{}
+	m.Enter("alice", "file", "read") // read but no own/grant
+	res := BoundedSafety(sys, m, "bob", "file", "read", 5)
+	if res.Leaks {
+		t.Fatal("phantom leak")
+	}
+	if res.Exhausted {
+		t.Fatal("fixpoint search reported exhaustion")
+	}
+}
+
+func TestBoundedSafetyImmediate(t *testing.T) {
+	sys, m := twoSubjectSystem()
+	res := BoundedSafety(sys, m, "alice", "file", "read", 1)
+	if !res.Leaks || len(res.Witness) != 0 {
+		t.Fatal("initially-present right not detected")
+	}
+}
+
+func TestDelegationChainLeak(t *testing.T) {
+	// grant-right delegation chains: alice -> bob -> carol, mirroring the
+	// nested ¤ privileges of the paper in matrix form.
+	sys := GrantSystem([]Right{"read"})
+	sys.Subjects = []string{"alice", "bob", "carol"}
+	sys.Objects = []string{"file"}
+	m := Matrix{}
+	m.Enter("alice", "file", "grant")
+	m.Enter("alice", "file", "read")
+	res := BoundedSafety(sys, m, "carol", "file", "read", 3)
+	if !res.Leaks {
+		t.Fatal("two-hop delegation leak not found")
+	}
+	// Depth 1 cannot reach carol... actually one delegate_read(alice, carol,
+	// file) suffices — verify the witness instead.
+	if len(res.Witness) == 0 {
+		t.Fatal("no witness")
+	}
+
+	// Now deny alice the grant right: no leak at any depth (fixpoint).
+	m2 := Matrix{}
+	m2.Enter("alice", "file", "read")
+	res2 := BoundedSafety(sys, m2, "carol", "file", "read", 4)
+	if res2.Leaks || res2.Exhausted {
+		t.Fatalf("unexpected result %+v", res2)
+	}
+}
+
+func TestStateGrowth(t *testing.T) {
+	// More subjects → strictly more states explored at the same depth; the
+	// H1 experiment quantifies this blow-up.
+	counts := make([]int, 0, 3)
+	for _, n := range []int{2, 3, 4} {
+		sys := GrantSystem([]Right{"read"})
+		subjects := []string{"alice", "bob", "carol", "dave"}[:n]
+		sys.Subjects = subjects
+		sys.Objects = []string{"file"}
+		m := Matrix{}
+		m.Enter("alice", "file", "grant")
+		m.Enter("alice", "file", "read")
+		res := BoundedSafety(sys, m, "nosuch", "file", "read", 3)
+		counts = append(counts, res.StatesExplored)
+	}
+	if !(counts[0] < counts[1] && counts[1] < counts[2]) {
+		t.Fatalf("state counts not growing: %v", counts)
+	}
+}

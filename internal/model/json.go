@@ -1,0 +1,172 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// privWire is the JSON wire form of a privilege term. Exactly one of Perm
+// and Admin is set.
+type privWire struct {
+	Perm  *permWire  `json:"perm,omitempty"`
+	Admin *adminWire `json:"admin,omitempty"`
+}
+
+type permWire struct {
+	Action string `json:"action"`
+	Object string `json:"object"`
+}
+
+type adminWire struct {
+	Op      string    `json:"op"` // "grant" or "revoke"
+	SrcKind string    `json:"srcKind"`
+	Src     string    `json:"src"`
+	DstRole string    `json:"dstRole,omitempty"`
+	DstPriv *privWire `json:"dstPriv,omitempty"`
+}
+
+func toWire(p Privilege) (*privWire, error) {
+	switch t := p.(type) {
+	case UserPrivilege:
+		return &privWire{Perm: &permWire{Action: t.Action, Object: t.Object}}, nil
+	case AdminPrivilege:
+		w := &adminWire{Op: t.Op.String(), SrcKind: t.Src.Kind.String(), Src: t.Src.Name}
+		switch d := t.Dst.(type) {
+		case Entity:
+			w.DstRole = d.Name
+		case Privilege:
+			inner, err := toWire(d)
+			if err != nil {
+				return nil, err
+			}
+			w.DstPriv = inner
+		default:
+			return nil, fmt.Errorf("marshal privilege: unsupported destination %T", t.Dst)
+		}
+		return &privWire{Admin: w}, nil
+	default:
+		return nil, fmt.Errorf("marshal privilege: unsupported type %T", p)
+	}
+}
+
+func fromWire(w *privWire) (Privilege, error) {
+	switch {
+	case w == nil:
+		return nil, fmt.Errorf("unmarshal privilege: empty term")
+	case w.Perm != nil && w.Admin != nil:
+		return nil, fmt.Errorf("unmarshal privilege: both perm and admin set")
+	case w.Perm != nil:
+		q := Perm(w.Perm.Action, w.Perm.Object)
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+		return q, nil
+	case w.Admin != nil:
+		a := w.Admin
+		var op Op
+		switch a.Op {
+		case "grant":
+			op = OpGrant
+		case "revoke":
+			op = OpRevoke
+		default:
+			return nil, fmt.Errorf("unmarshal privilege: unknown op %q", a.Op)
+		}
+		var kind Kind
+		switch a.SrcKind {
+		case "user":
+			kind = KindUser
+		case "role":
+			kind = KindRole
+		default:
+			return nil, fmt.Errorf("unmarshal privilege: unknown source kind %q", a.SrcKind)
+		}
+		src := Entity{Kind: kind, Name: a.Src}
+		var dst Vertex
+		switch {
+		case a.DstRole != "" && a.DstPriv != nil:
+			return nil, fmt.Errorf("unmarshal privilege: both dstRole and dstPriv set")
+		case a.DstRole != "":
+			dst = Role(a.DstRole)
+		case a.DstPriv != nil:
+			inner, err := fromWire(a.DstPriv)
+			if err != nil {
+				return nil, err
+			}
+			dst = inner
+		default:
+			return nil, fmt.Errorf("unmarshal privilege: no destination")
+		}
+		return NewAdmin(op, src, dst)
+	default:
+		return nil, fmt.Errorf("unmarshal privilege: neither perm nor admin set")
+	}
+}
+
+// vertexWire is the JSON wire form of a Vertex: exactly one of Entity and
+// Priv is set.
+type vertexWire struct {
+	Kind string    `json:"kind,omitempty"` // "user" or "role"
+	Name string    `json:"name,omitempty"`
+	Priv *privWire `json:"priv,omitempty"`
+}
+
+// MarshalVertex encodes an entity or privilege vertex as JSON.
+func MarshalVertex(v Vertex) ([]byte, error) {
+	switch t := v.(type) {
+	case Entity:
+		return json.Marshal(vertexWire{Kind: t.Kind.String(), Name: t.Name})
+	case Privilege:
+		w, err := toWire(t)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(vertexWire{Priv: w})
+	default:
+		return nil, fmt.Errorf("marshal vertex: unsupported type %T", v)
+	}
+}
+
+// UnmarshalVertex decodes an entity or privilege vertex from JSON.
+func UnmarshalVertex(data []byte) (Vertex, error) {
+	var w vertexWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, err
+	}
+	switch {
+	case w.Priv != nil && w.Name != "":
+		return nil, fmt.Errorf("unmarshal vertex: both entity and privilege set")
+	case w.Priv != nil:
+		return fromWire(w.Priv)
+	case w.Name != "":
+		switch w.Kind {
+		case "user":
+			return User(w.Name), nil
+		case "role":
+			return Role(w.Name), nil
+		default:
+			return nil, fmt.Errorf("unmarshal vertex: unknown kind %q", w.Kind)
+		}
+	default:
+		return nil, fmt.Errorf("unmarshal vertex: empty")
+	}
+}
+
+// MarshalPrivilege encodes a privilege term as JSON.
+func MarshalPrivilege(p Privilege) ([]byte, error) {
+	w, err := toWire(p)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalPrivilege decodes a privilege term from JSON and validates it
+// against the grammar.
+func UnmarshalPrivilege(data []byte) (Privilege, error) {
+	var w privWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, err
+	}
+	return fromWire(&w)
+}

@@ -1,0 +1,44 @@
+package monitor_test
+
+import (
+	"fmt"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/model"
+	"adminrefine/internal/monitor"
+	"adminrefine/internal/policy"
+)
+
+// The flexworker flow end to end: strict mode denies the least-privilege
+// assignment, refined mode applies it.
+func ExampleMonitor_Submit() {
+	direct := command.Grant("jane", model.User("bob"), model.Role("dbusr2"))
+
+	strict := monitor.New(policy.Figure2(), monitor.ModeStrict)
+	fmt.Println(strict.Submit(direct).Outcome)
+
+	refined := monitor.New(policy.Figure2(), monitor.ModeRefined)
+	fmt.Println(refined.Submit(direct).Outcome)
+	// Output:
+	// denied
+	// applied
+}
+
+// Sessions activate roles selectively — the standard's least-privilege
+// mechanism from the paper's §2.
+func ExampleMonitor_CheckAccess() {
+	m := monitor.New(policy.Figure1(), monitor.ModeStrict)
+	s, _ := m.CreateSession("diana")
+	m.ActivateRole(s.ID, "nurse")
+
+	read, _ := m.CheckAccess(s.ID, "read", "t1")
+	write, _ := m.CheckAccess(s.ID, "write", "t3")
+	fmt.Println(read, write)
+
+	m.ActivateRole(s.ID, "staff")
+	write, _ = m.CheckAccess(s.ID, "write", "t3")
+	fmt.Println(write)
+	// Output:
+	// true false
+	// true
+}

@@ -1,0 +1,334 @@
+// Package monitor implements the RBAC reference monitor of the paper's §2–3:
+// sessions with selective role activation (the standard's least-privilege
+// mechanism), access checks, and the administrative interface that executes
+// commands through the transition function of Definition 5.
+//
+// The monitor serialises all access with an internal mutex, making it safe
+// for concurrent use. Administrative authorization is pluggable: a monitor
+// runs either in strict mode (literal Definition 5) or refined mode (the
+// ordering-based implicit authorization of §4.1). Every administrative
+// action is recorded in an audit log; package storage can persist the log
+// as a write-ahead journal.
+package monitor
+
+import (
+	"fmt"
+	"sync"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/constraints"
+	"adminrefine/internal/core"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+)
+
+// Mode selects the administrative authorization regime.
+type Mode uint8
+
+const (
+	// ModeStrict authorizes commands by the literal Definition 5 check.
+	ModeStrict Mode = iota
+	// ModeRefined additionally grants every privilege weaker (Ãφ) than a
+	// held one, per §4.1.
+	ModeRefined
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeRefined {
+		return "refined"
+	}
+	return "strict"
+}
+
+// Session is a user session with an explicitly activated role set. The
+// monitor re-validates activations against the current policy on every
+// access check, so policy changes take effect immediately (revocation
+// semantics: a revoked role silently stops contributing privileges).
+type Session struct {
+	ID     int
+	User   string
+	active map[string]struct{} // role names
+}
+
+// ActiveRoles returns the activated role names (unsorted copy).
+func (s *Session) ActiveRoles() []string {
+	out := make([]string, 0, len(s.active))
+	for r := range s.active {
+		out = append(out, r)
+	}
+	return out
+}
+
+// AuditEntry records one administrative command processed by the monitor.
+type AuditEntry struct {
+	Seq           int
+	Cmd           command.Command
+	Outcome       command.Outcome
+	Mode          Mode
+	Justification model.Privilege // nil unless applied
+	// Reason carries a denial explanation beyond Definition 5, e.g. a
+	// separation-of-duty constraint violation.
+	Reason string
+}
+
+// String renders the entry.
+func (e AuditEntry) String() string {
+	s := fmt.Sprintf("#%d %s [%s] %s", e.Seq, e.Cmd, e.Mode, e.Outcome)
+	if e.Justification != nil {
+		s += " via " + e.Justification.String()
+	}
+	if e.Reason != "" {
+		s += " (" + e.Reason + ")"
+	}
+	return s
+}
+
+// Monitor is a concurrency-safe RBAC reference monitor over one policy.
+type Monitor struct {
+	mu       sync.Mutex
+	pol      *policy.Policy
+	mode     Mode
+	auth     command.Authorizer
+	sessions map[int]*Session
+	nextSID  int
+	audit    []AuditEntry
+	// observers are notified after each applied command (e.g. the WAL).
+	observers []func(AuditEntry)
+	// cons optionally guards commands (SSD) and activations (DSD).
+	cons *constraints.Set
+}
+
+// New builds a monitor owning the policy. The policy must not be mutated
+// behind the monitor's back.
+func New(p *policy.Policy, mode Mode) *Monitor {
+	m := &Monitor{pol: p, mode: mode, sessions: make(map[int]*Session), nextSID: 1}
+	if mode == ModeRefined {
+		m.auth = core.NewRefinedAuthorizer(p)
+	} else {
+		m.auth = command.Strict{}
+	}
+	return m
+}
+
+// Mode returns the monitor's authorization mode.
+func (m *Monitor) Mode() Mode { return m.mode }
+
+// SetConstraints installs (or clears, with nil) a separation-of-duty
+// constraint set. SSD constraints veto administrative commands whose
+// resulting policy would violate them — the command is consumed without
+// effect, like an unauthorized one; DSD constraints veto role activations.
+// The current policy is not retro-checked: use cons.CheckPolicy to audit it.
+func (m *Monitor) SetConstraints(cons *constraints.Set) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cons = cons
+}
+
+// Observe registers a callback invoked (under the monitor lock) for every
+// processed administrative command. Storage hooks the WAL here.
+func (m *Monitor) Observe(fn func(AuditEntry)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.observers = append(m.observers, fn)
+}
+
+// Policy returns a snapshot clone of the current policy.
+func (m *Monitor) Policy() *policy.Policy {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pol.Clone()
+}
+
+// PolicyStats returns current policy statistics without cloning.
+func (m *Monitor) PolicyStats() policy.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pol.Stats()
+}
+
+// CreateSession starts a session for the user with no roles activated.
+func (m *Monitor) CreateSession(user string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if user == "" {
+		return nil, fmt.Errorf("monitor: empty user")
+	}
+	s := &Session{ID: m.nextSID, User: user, active: make(map[string]struct{})}
+	m.nextSID++
+	m.sessions[s.ID] = s
+	return s, nil
+}
+
+// DeleteSession ends a session.
+func (m *Monitor) DeleteSession(id int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.sessions[id]; !ok {
+		return fmt.Errorf("monitor: no session %d", id)
+	}
+	delete(m.sessions, id)
+	return nil
+}
+
+// ActivateRole activates a role in the session. Permitted iff u →φ r (§2).
+func (m *Monitor) ActivateRole(sessionID int, role string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[sessionID]
+	if !ok {
+		return fmt.Errorf("monitor: no session %d", sessionID)
+	}
+	if !m.pol.CanActivate(s.User, role) {
+		return fmt.Errorf("monitor: user %s may not activate role %s", s.User, role)
+	}
+	if m.cons != nil {
+		proposed := append(s.ActiveRoles(), role)
+		if vs := m.cons.CheckActivation(s.User, proposed); len(vs) > 0 {
+			return fmt.Errorf("monitor: activation rejected: %s", vs[0].Error())
+		}
+	}
+	s.active[role] = struct{}{}
+	return nil
+}
+
+// DropRole deactivates a role in the session (least privilege in action).
+func (m *Monitor) DropRole(sessionID int, role string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[sessionID]
+	if !ok {
+		return fmt.Errorf("monitor: no session %d", sessionID)
+	}
+	if _, ok := s.active[role]; !ok {
+		return fmt.Errorf("monitor: role %s not active in session %d", role, sessionID)
+	}
+	delete(s.active, role)
+	return nil
+}
+
+// CheckAccess reports whether the session may perform (action, object): some
+// activated role r that is still activatable (u →φ r under the current
+// policy) must reach the user privilege (r →φ p).
+func (m *Monitor) CheckAccess(sessionID int, action, object string) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[sessionID]
+	if !ok {
+		return false, fmt.Errorf("monitor: no session %d", sessionID)
+	}
+	perm := model.Perm(action, object)
+	for role := range s.active {
+		if !m.pol.CanActivate(s.User, role) {
+			continue // assignment revoked since activation
+		}
+		if m.pol.Reaches(model.Role(role), perm) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// SessionPerms returns the user privileges currently granted to the session
+// through its active, still-valid roles.
+func (m *Monitor) SessionPerms(sessionID int) ([]model.UserPrivilege, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[sessionID]
+	if !ok {
+		return nil, fmt.Errorf("monitor: no session %d", sessionID)
+	}
+	seen := map[string]model.UserPrivilege{}
+	for role := range s.active {
+		if !m.pol.CanActivate(s.User, role) {
+			continue
+		}
+		for _, q := range m.pol.AuthorizedPerms(model.Role(role)) {
+			seen[q.Key()] = q
+		}
+	}
+	out := make([]model.UserPrivilege, 0, len(seen))
+	for _, q := range seen {
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// Submit processes one administrative command through the transition
+// function, appends an audit entry, and returns the step result.
+func (m *Monitor) Submit(c command.Command) command.StepResult {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.submitLocked(c)
+}
+
+func (m *Monitor) submitLocked(c command.Command) command.StepResult {
+	var res command.StepResult
+	reason := ""
+	if m.cons != nil {
+		if vs := m.cons.GuardCommand(m.pol, c); len(vs) > 0 {
+			res = command.StepResult{Cmd: c, Outcome: command.Denied}
+			reason = vs[0].Error()
+		}
+	}
+	if reason == "" {
+		res = command.Step(m.pol, c, m.auth)
+	}
+	entry := AuditEntry{
+		Seq:           len(m.audit) + 1,
+		Cmd:           c,
+		Outcome:       res.Outcome,
+		Mode:          m.mode,
+		Justification: res.Justification,
+		Reason:        reason,
+	}
+	m.audit = append(m.audit, entry)
+	for _, fn := range m.observers {
+		fn(entry)
+	}
+	return res
+}
+
+// SubmitQueue processes a whole command queue (the run ⇒* of Definition 5).
+func (m *Monitor) SubmitQueue(q command.Queue) []command.StepResult {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]command.StepResult, 0, len(q))
+	for _, c := range q {
+		out = append(out, m.submitLocked(c))
+	}
+	return out
+}
+
+// Audit returns a copy of the audit log.
+func (m *Monitor) Audit() []AuditEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]AuditEntry(nil), m.audit...)
+}
+
+// Explain describes why a command would be authorized or denied right now,
+// without executing it. In refined mode the explanation includes the held
+// stronger privilege and its derivation.
+func (m *Monitor) Explain(c command.Command) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := c.Validate(); err != nil {
+		return fmt.Sprintf("ill-formed: %v", err)
+	}
+	target, _ := c.Privilege()
+	if just, ok := (command.Strict{}).Authorize(m.pol, c); ok {
+		return fmt.Sprintf("authorized (strict): %s reaches %s", c.Actor, just)
+	}
+	if m.mode == ModeRefined {
+		d := core.NewDecider(m.pol)
+		if held, ok := d.HeldStronger(c.Actor, target); ok {
+			dv, okd := d.Explain(held, target)
+			if okd {
+				return fmt.Sprintf("authorized (refined): %s holds %s and\n%s", c.Actor, held, dv)
+			}
+			return fmt.Sprintf("authorized (refined): %s holds %s Ã %s", c.Actor, held, target)
+		}
+	}
+	return fmt.Sprintf("denied: %s holds no privilege at least as strong as %s", c.Actor, target)
+}

@@ -1,0 +1,342 @@
+package monitor
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/constraints"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+)
+
+func TestSessionLifecycle(t *testing.T) {
+	m := New(policy.Figure1(), ModeStrict)
+	s, err := m.CreateSession(policy.UserDiana)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CreateSession(""); err == nil {
+		t.Fatal("empty user session created")
+	}
+
+	// Diana activates nurse: reads t1, cannot write t3 (Example 1).
+	if err := m.ActivateRole(s.ID, policy.RoleNurse); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := m.CheckAccess(s.ID, "read", "t1"); !ok {
+		t.Error("nurse session cannot read t1")
+	}
+	if ok, _ := m.CheckAccess(s.ID, "write", "t3"); ok {
+		t.Error("nurse session can write t3")
+	}
+
+	// Activating staff adds the write privilege.
+	if err := m.ActivateRole(s.ID, policy.RoleStaff); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := m.CheckAccess(s.ID, "write", "t3"); !ok {
+		t.Error("staff session cannot write t3")
+	}
+
+	// Dropping staff removes it again (least privilege).
+	if err := m.DropRole(s.ID, policy.RoleStaff); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := m.CheckAccess(s.ID, "write", "t3"); ok {
+		t.Error("dropped role still grants access")
+	}
+	if err := m.DropRole(s.ID, policy.RoleStaff); err == nil {
+		t.Error("double drop accepted")
+	}
+
+	if err := m.DeleteSession(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DeleteSession(s.ID); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if _, err := m.CheckAccess(s.ID, "read", "t1"); err == nil {
+		t.Fatal("access check on deleted session succeeded")
+	}
+}
+
+func TestActivationRequiresAssignment(t *testing.T) {
+	m := New(policy.Figure1(), ModeStrict)
+	s, _ := m.CreateSession(policy.UserDiana)
+	// Diana is not assigned to (and does not reach) SO.
+	if err := m.ActivateRole(s.ID, policy.RoleSO); err == nil {
+		t.Fatal("activated unassigned role")
+	}
+	// She may activate junior roles through the hierarchy: staff → dbusr2.
+	if err := m.ActivateRole(s.ID, policy.RoleDBUsr2); err != nil {
+		t.Fatalf("hierarchical activation failed: %v", err)
+	}
+	if ok, _ := m.CheckAccess(s.ID, "write", "t3"); !ok {
+		t.Error("dbusr2 session cannot write t3")
+	}
+	// Least privilege: dbusr2 alone gives no print access.
+	if ok, _ := m.CheckAccess(s.ID, "prnt", "black"); ok {
+		t.Error("dbusr2 session can print")
+	}
+	if err := m.ActivateRole(999, policy.RoleNurse); err == nil {
+		t.Error("activation on unknown session accepted")
+	}
+}
+
+func TestRevocationInvalidatesSessions(t *testing.T) {
+	p := policy.Figure2()
+	p.Assign(policy.UserJoe, policy.RoleNurse)
+	m := New(p, ModeStrict)
+	s, _ := m.CreateSession(policy.UserJoe)
+	if err := m.ActivateRole(s.ID, policy.RoleNurse); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := m.CheckAccess(s.ID, "read", "t1"); !ok {
+		t.Fatal("joe cannot read t1")
+	}
+	// Jane revokes Joe from nurse; the active session loses access at once.
+	res := m.Submit(command.Revoke(policy.UserJane, model.User(policy.UserJoe), model.Role(policy.RoleNurse)))
+	if res.Outcome != command.Applied {
+		t.Fatalf("revocation outcome: %v", res.Outcome)
+	}
+	if ok, _ := m.CheckAccess(s.ID, "read", "t1"); ok {
+		t.Fatal("revoked session still has access")
+	}
+	perms, err := m.SessionPerms(s.ID)
+	if err != nil || len(perms) != 0 {
+		t.Fatalf("revoked session perms = %v, %v", perms, err)
+	}
+}
+
+func TestSubmitModes(t *testing.T) {
+	direct := command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleDBUsr2))
+
+	strict := New(policy.Figure2(), ModeStrict)
+	if res := strict.Submit(direct); res.Outcome != command.Denied {
+		t.Fatalf("strict outcome = %v, want denied", res.Outcome)
+	}
+
+	refined := New(policy.Figure2(), ModeRefined)
+	res := refined.Submit(direct)
+	if res.Outcome != command.Applied {
+		t.Fatalf("refined outcome = %v, want applied", res.Outcome)
+	}
+	if res.Justification == nil || res.Justification.Key() != policy.PrivHRAssignBobStaff.Key() {
+		t.Errorf("justification = %v", res.Justification)
+	}
+	if !refined.Policy().HasEdge(model.User(policy.UserBob), model.Role(policy.RoleDBUsr2)) {
+		t.Fatal("edge not added in refined mode")
+	}
+}
+
+func TestAuditLog(t *testing.T) {
+	m := New(policy.Figure2(), ModeStrict)
+	q := command.Queue{
+		command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleStaff)),
+		command.Grant(policy.UserDiana, model.User(policy.UserBob), model.Role(policy.RoleSO)),
+	}
+	m.SubmitQueue(q)
+	audit := m.Audit()
+	if len(audit) != 2 {
+		t.Fatalf("audit entries = %d", len(audit))
+	}
+	if audit[0].Seq != 1 || audit[1].Seq != 2 {
+		t.Error("audit sequence numbers wrong")
+	}
+	if audit[0].Outcome != command.Applied || audit[1].Outcome != command.Denied {
+		t.Errorf("audit outcomes = %v, %v", audit[0].Outcome, audit[1].Outcome)
+	}
+	if !strings.Contains(audit[0].String(), "via") {
+		t.Errorf("applied entry should name justification: %s", audit[0])
+	}
+	// Observers see entries in order.
+	m2 := New(policy.Figure2(), ModeStrict)
+	var seen []AuditEntry
+	m2.Observe(func(e AuditEntry) { seen = append(seen, e) })
+	m2.SubmitQueue(q)
+	if len(seen) != 2 {
+		t.Fatalf("observer saw %d entries", len(seen))
+	}
+}
+
+func TestExplain(t *testing.T) {
+	m := New(policy.Figure2(), ModeRefined)
+	direct := command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleDBUsr2))
+	exp := m.Explain(direct)
+	if !strings.Contains(exp, "refined") || !strings.Contains(exp, "grant(bob, staff)") {
+		t.Errorf("refined explanation = %q", exp)
+	}
+	strictCmd := command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleStaff))
+	exp = m.Explain(strictCmd)
+	if !strings.Contains(exp, "strict") {
+		t.Errorf("strict explanation = %q", exp)
+	}
+	denied := command.Grant(policy.UserDiana, model.User(policy.UserBob), model.Role(policy.RoleSO))
+	exp = m.Explain(denied)
+	if !strings.Contains(exp, "denied") {
+		t.Errorf("denied explanation = %q", exp)
+	}
+	ill := command.Grant(policy.UserJane, model.User(policy.UserBob), model.User(policy.UserJoe))
+	if exp := m.Explain(ill); !strings.Contains(exp, "ill-formed") {
+		t.Errorf("ill-formed explanation = %q", exp)
+	}
+	// Explain never mutates.
+	if m.Policy().HasEdge(model.User(policy.UserBob), model.Role(policy.RoleDBUsr2)) {
+		t.Fatal("Explain mutated the policy")
+	}
+}
+
+func TestMonitorEquivalentToDirectTransition(t *testing.T) {
+	// Running a queue through the monitor must produce exactly the policy
+	// the bare transition function produces.
+	q := command.Queue{
+		command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleStaff)),
+		command.Grant(policy.UserJane, model.User(policy.UserJoe), model.Role(policy.RoleNurse)),
+		command.Revoke(policy.UserJane, model.User(policy.UserJoe), model.Role(policy.RoleNurse)),
+		command.Grant(policy.UserAlice, model.Role(policy.RoleStaff), policy.PrivHRAssignBobStaff),
+	}
+	m := New(policy.Figure2(), ModeStrict)
+	m.SubmitQueue(q)
+	direct, _ := command.RunOn(policy.Figure2(), q, command.Strict{})
+	if !m.Policy().Equal(direct) {
+		t.Fatal("monitor state diverged from direct transition")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	m := New(policy.Figure2(), ModeRefined)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := m.CreateSession(policy.UserDiana)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := m.ActivateRole(s.ID, policy.RoleNurse); err != nil {
+				t.Error(err)
+			}
+			for j := 0; j < 50; j++ {
+				if _, err := m.CheckAccess(s.ID, "read", "t1"); err != nil {
+					t.Error(err)
+				}
+				if i%2 == 0 {
+					m.Submit(command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleDBUsr2)))
+				} else {
+					m.Submit(command.Revoke(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleDBUsr2)))
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(m.Audit()); got != 8*50 {
+		t.Fatalf("audit entries = %d, want %d", got, 8*50)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeStrict.String() != "strict" || ModeRefined.String() != "refined" {
+		t.Fatal("mode names wrong")
+	}
+	m := New(policy.New(), ModeRefined)
+	if m.Mode() != ModeRefined {
+		t.Fatal("mode accessor wrong")
+	}
+}
+
+func TestPolicyStats(t *testing.T) {
+	m := New(policy.Figure2(), ModeStrict)
+	s := m.PolicyStats()
+	if s.Roles != 8 || s.Users != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestConstraintsSSDGuard(t *testing.T) {
+	// Conflict: nobody may combine nurse duties with dbusr3 (revocation
+	// administration). Joe starts in dbusr3, so Jane's otherwise-authorized
+	// appointment of Joe as nurse must be vetoed by the SSD guard.
+	p := policy.Figure2()
+	p.Assign(policy.UserJoe, policy.RoleDBUsr3)
+	m := New(p, ModeStrict)
+	cs, err := constraints.NewSet(constraints.Constraint{
+		Name: "nurse-vs-db3", Kind: constraints.SSD,
+		Roles: []string{policy.RoleNurse, policy.RoleDBUsr3}, N: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetConstraints(cs)
+
+	// Appointing Bob to staff is unrelated to the conflict: fine.
+	res := m.Submit(command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleStaff)))
+	if res.Outcome != command.Applied {
+		t.Fatalf("clean command outcome = %v (%s)", res.Outcome, m.Audit()[0].Reason)
+	}
+	// Appointing Joe as nurse would combine the conflicting roles: vetoed
+	// even though Definition 5 authorizes it (HR holds ¤(joe,nurse)).
+	res = m.Submit(command.Grant(policy.UserJane, model.User(policy.UserJoe), model.Role(policy.RoleNurse)))
+	if res.Outcome != command.Denied {
+		t.Fatalf("SSD-violating command outcome = %v", res.Outcome)
+	}
+	if m.Policy().CanActivate(policy.UserJoe, policy.RoleNurse) {
+		t.Fatal("vetoed command changed the policy")
+	}
+	audit := m.Audit()
+	last := audit[len(audit)-1]
+	if !strings.Contains(last.Reason, "nurse-vs-db3") {
+		t.Fatalf("audit reason = %q", last.Reason)
+	}
+	if !strings.Contains(last.String(), "nurse-vs-db3") {
+		t.Fatalf("audit string = %q", last.String())
+	}
+	// Clearing the constraints lifts the veto.
+	m.SetConstraints(nil)
+	if res := m.Submit(command.Grant(policy.UserJane, model.User(policy.UserJoe), model.Role(policy.RoleNurse))); res.Outcome != command.Applied {
+		t.Fatalf("post-clear outcome = %v", res.Outcome)
+	}
+}
+
+func TestConstraintsDSDActivation(t *testing.T) {
+	m := New(policy.Figure1(), ModeStrict)
+	cs, err := constraints.NewSet(constraints.Constraint{
+		Name: "db-duties", Kind: constraints.DSD,
+		Roles: []string{policy.RoleDBUsr1, policy.RoleDBUsr2}, N: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetConstraints(cs)
+	s, _ := m.CreateSession(policy.UserDiana)
+	if err := m.ActivateRole(s.ID, policy.RoleDBUsr1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ActivateRole(s.ID, policy.RoleDBUsr2); err == nil {
+		t.Fatal("DSD-violating activation accepted")
+	}
+	// Dropping the first role unblocks the second.
+	if err := m.DropRole(s.ID, policy.RoleDBUsr1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ActivateRole(s.ID, policy.RoleDBUsr2); err != nil {
+		t.Fatalf("activation after drop failed: %v", err)
+	}
+	// SSD constraints do not restrict activation.
+	m2 := New(policy.Figure1(), ModeStrict)
+	cs2, _ := constraints.NewSet(constraints.Constraint{
+		Name: "static-only", Kind: constraints.SSD,
+		Roles: []string{policy.RoleDBUsr1, policy.RoleDBUsr2}, N: 2,
+	})
+	m2.SetConstraints(cs2)
+	s2, _ := m2.CreateSession(policy.UserDiana)
+	if err := m2.ActivateRole(s2.ID, policy.RoleDBUsr1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.ActivateRole(s2.ID, policy.RoleDBUsr2); err != nil {
+		t.Fatalf("SSD blocked activation: %v", err)
+	}
+}

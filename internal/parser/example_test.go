@@ -1,0 +1,34 @@
+package parser_test
+
+import (
+	"fmt"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/parser"
+)
+
+// A policy file with commands parses into a policy, a queue, and checks.
+func ExampleParse() {
+	doc, err := parser.Parse(`
+users jane, bob
+roles HR, staff, nurse
+assign jane HR
+inherit staff nurse
+grant HR grant(bob, staff)
+do jane grant bob staff
+expect reaches bob staff
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(len(doc.Policy.Roles()), "roles,", len(doc.Queue), "command,", len(doc.Checks), "check")
+
+	final, trace := command.RunOn(doc.Policy, doc.Queue, command.Strict{})
+	fmt.Println(trace[0].Outcome)
+	fmt.Println(final.CanActivate("bob", "nurse"))
+	// Output:
+	// 3 roles, 1 command, 1 check
+	// applied
+	// true
+}

@@ -1,0 +1,185 @@
+// Package parser implements RPL ("RBAC policy language"), a small concrete
+// syntax for the paper's administrative policies and command queues. The
+// privilege grammar of Definition 2 needs a readable notation once
+// privileges nest — RPL is that notation:
+//
+//	# declarations (either explicit or inferred from positions)
+//	users diana, jane, alice
+//	roles SO, HR, staff, nurse
+//
+//	# edges
+//	assign diana nurse              # (diana, nurse) ∈ UA
+//	inherit staff nurse             # (staff, nurse) ∈ RH, senior first
+//	grant dbusr1 (read, t1)         # (dbusr1, (read,t1)) ∈ PA
+//	grant HR grant(bob, staff)      # (HR, ¤(bob,staff)) ∈ PA†
+//	grant HR revoke(joe, nurse)     # (HR, ♦(joe,nurse)) ∈ PA†
+//	grant SO grant(staff, grant(bob, staff))   # nesting to any depth
+//
+//	# commands (Definition 4), executed in order by `rbacctl run`
+//	do jane grant bob staff         # cmd(jane, ¤, bob, staff)
+//	do jane revoke joe nurse        # cmd(jane, ♦, joe, nurse)
+//
+// Identifier kinds are resolved in two passes: every position that is
+// unambiguously a user (assign source, do actor) or a role (assign target,
+// inherit endpoints, grant statement subject, privilege destinations)
+// declares its identifier; privilege sources then resolve against the
+// declared sets, and must be unambiguous.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	default:
+		return "token"
+	}
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// SyntaxError reports a lexical or grammatical error with its position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenises the input. Comments run from '#' to end of line. Identifiers
+// may contain letters, digits, '_', '-', '.' and '·'. Double-quoted strings
+// permit arbitrary names (with \" and \\ escapes).
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i+k] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", line, col})
+			advance(1)
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", line, col})
+			advance(1)
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", line, col})
+			advance(1)
+		case c == '"':
+			startLine, startCol := line, col
+			advance(1)
+			var b strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\\' && i+1 < len(src) {
+					b.WriteByte(src[i+1])
+					advance(2)
+					continue
+				}
+				if src[i] == '"' {
+					advance(1)
+					closed = true
+					break
+				}
+				if src[i] == '\n' {
+					return nil, errAt(startLine, startCol, "unterminated string")
+				}
+				b.WriteByte(src[i])
+				advance(1)
+			}
+			if !closed {
+				return nil, errAt(startLine, startCol, "unterminated string")
+			}
+			toks = append(toks, token{tokString, b.String(), startLine, startCol})
+		case isIdentByte(c):
+			startLine, startCol := line, col
+			j := i
+			for j < len(src) && (isIdentByte(src[j]) || src[j] >= 0x80) {
+				j++
+			}
+			text := src[i:j]
+			advance(j - i)
+			toks = append(toks, token{tokIdent, text, startLine, startCol})
+		default:
+			r := rune(c)
+			if r > unicode.MaxASCII {
+				// Multi-byte runes are allowed inside identifiers; treat the
+				// whole UTF-8 sequence as identifier content.
+				startLine, startCol := line, col
+				j := i
+				for j < len(src) && (src[j] >= 0x80 || isIdentByte(src[j])) {
+					j++
+				}
+				text := src[i:j]
+				advance(j - i)
+				toks = append(toks, token{tokIdent, text, startLine, startCol})
+				continue
+			}
+			return nil, errAt(line, col, "unexpected character %q", string(c))
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line, col})
+	return toks, nil
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '-' || c == '.'
+}

@@ -1,0 +1,583 @@
+package parser
+
+import (
+	"fmt"
+	"os"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+)
+
+// Document is the result of parsing an RPL source: a policy, the command
+// queue of its `do` statements, and the assertions of its `expect`
+// statements (either may be empty).
+type Document struct {
+	Policy *policy.Policy
+	Queue  command.Queue
+	Checks []Check
+}
+
+// CheckKind enumerates the assertion forms of the `expect` statement.
+type CheckKind uint8
+
+const (
+	// CheckReaches asserts v →φ v' (or its negation).
+	CheckReaches CheckKind = iota + 1
+	// CheckWeaker asserts strong Ãφ weak (or its negation).
+	CheckWeaker
+)
+
+// Check is one `expect` assertion, evaluated against the policy after the
+// file's command queue has run:
+//
+//	expect reaches diana staff
+//	expect not reaches jane (write, t3)
+//	expect weaker grant(bob, staff) grant(bob, dbusr2)
+//	expect not weaker grant(bob, dbusr2) grant(bob, staff)
+type Check struct {
+	Kind    CheckKind
+	Negated bool
+	// From/To are set for CheckReaches.
+	From model.Vertex
+	To   model.Vertex
+	// Strong/Weak are set for CheckWeaker.
+	Strong model.Privilege
+	Weak   model.Privilege
+	Line   int
+}
+
+// String renders the check in RPL syntax.
+func (c Check) String() string {
+	neg := ""
+	if c.Negated {
+		neg = "not "
+	}
+	switch c.Kind {
+	case CheckReaches:
+		return fmt.Sprintf("expect %sreaches %s %s", neg, c.From, c.To)
+	case CheckWeaker:
+		return fmt.Sprintf("expect %sweaker %s %s", neg, c.Strong, c.Weak)
+	default:
+		return "expect ?"
+	}
+}
+
+// statement ASTs, produced by pass one and elaborated in pass two.
+
+type stmtKind uint8
+
+const (
+	stmtUsers stmtKind = iota + 1
+	stmtRoles
+	stmtAssign
+	stmtInherit
+	stmtGrant
+	stmtDo
+	stmtExpect
+)
+
+type privExpr struct {
+	// perm is set for "(action, object)".
+	perm *[2]string
+	// op/src/dst are set for "grant(src, dst)" / "revoke(src, dst)".
+	op      model.Op
+	src     string
+	dstName string    // destination identifier (role), or
+	dstPriv *privExpr // nested privilege
+	line    int
+	col     int
+}
+
+type stmt struct {
+	kind  stmtKind
+	names []string  // users/roles lists
+	a, b  string    // assign/inherit operands; grant subject in a
+	priv  *privExpr // grant privilege
+	// do statement parts:
+	actor  string
+	op     model.Op
+	from   string
+	toName string
+	toPriv *privExpr
+	// expect statement parts:
+	negated   bool
+	checkKind CheckKind
+	priv2     *privExpr // second privilege of expect weaker
+	line      int
+	col       int
+}
+
+// Parse parses RPL source into a policy and command queue.
+func Parse(src string) (*Document, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmts, err := p.parseStatements()
+	if err != nil {
+		return nil, err
+	}
+	return elaborate(stmts)
+}
+
+// ParseFile parses the RPL file at path.
+func ParseFile(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s:%w", path, err)
+	}
+	return doc, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, errAt(t.line, t.col, "expected %s, found %q", kind, t.text)
+	}
+	return t, nil
+}
+
+// name accepts an identifier or quoted string as a name.
+func (p *parser) name() (string, int, int, error) {
+	t := p.next()
+	if t.kind != tokIdent && t.kind != tokString {
+		return "", t.line, t.col, errAt(t.line, t.col, "expected a name, found %s", t.kind)
+	}
+	if t.text == "" {
+		return "", t.line, t.col, errAt(t.line, t.col, "empty name")
+	}
+	return t.text, t.line, t.col, nil
+}
+
+func (p *parser) parseStatements() ([]stmt, error) {
+	var out []stmt
+	for {
+		t := p.peek()
+		if t.kind == tokEOF {
+			return out, nil
+		}
+		if t.kind != tokIdent {
+			return nil, errAt(t.line, t.col, "expected a statement keyword, found %s", t.kind)
+		}
+		switch t.text {
+		case "users", "roles":
+			p.next()
+			names, err := p.nameList()
+			if err != nil {
+				return nil, err
+			}
+			k := stmtUsers
+			if t.text == "roles" {
+				k = stmtRoles
+			}
+			out = append(out, stmt{kind: k, names: names, line: t.line, col: t.col})
+		case "assign", "inherit":
+			p.next()
+			a, _, _, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			b, _, _, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			k := stmtAssign
+			if t.text == "inherit" {
+				k = stmtInherit
+			}
+			out = append(out, stmt{kind: k, a: a, b: b, line: t.line, col: t.col})
+		case "grant":
+			p.next()
+			subject, _, _, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			pe, err := p.parsePriv()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, stmt{kind: stmtGrant, a: subject, priv: pe, line: t.line, col: t.col})
+		case "do":
+			p.next()
+			st := stmt{kind: stmtDo, line: t.line, col: t.col}
+			actor, _, _, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			st.actor = actor
+			opTok := p.next()
+			switch opTok.text {
+			case "grant":
+				st.op = model.OpGrant
+			case "revoke":
+				st.op = model.OpRevoke
+			default:
+				return nil, errAt(opTok.line, opTok.col, "expected grant or revoke, found %q", opTok.text)
+			}
+			from, _, _, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			st.from = from
+			// Target: a privilege expression or a bare name.
+			if p.isPrivStart() {
+				pe, err := p.parsePriv()
+				if err != nil {
+					return nil, err
+				}
+				st.toPriv = pe
+			} else {
+				to, _, _, err := p.name()
+				if err != nil {
+					return nil, err
+				}
+				st.toName = to
+			}
+			out = append(out, st)
+		case "expect":
+			p.next()
+			st := stmt{kind: stmtExpect, line: t.line, col: t.col}
+			if p.peek().kind == tokIdent && p.peek().text == "not" {
+				p.next()
+				st.negated = true
+			}
+			kw := p.next()
+			switch kw.text {
+			case "reaches":
+				st.checkKind = CheckReaches
+				from, _, _, err := p.name()
+				if err != nil {
+					return nil, err
+				}
+				st.from = from
+				if p.isPrivStart() {
+					pe, err := p.parsePriv()
+					if err != nil {
+						return nil, err
+					}
+					st.toPriv = pe
+				} else {
+					to, _, _, err := p.name()
+					if err != nil {
+						return nil, err
+					}
+					st.toName = to
+				}
+			case "weaker":
+				st.checkKind = CheckWeaker
+				pe1, err := p.parsePriv()
+				if err != nil {
+					return nil, err
+				}
+				pe2, err := p.parsePriv()
+				if err != nil {
+					return nil, err
+				}
+				st.priv = pe1
+				st.priv2 = pe2
+			default:
+				return nil, errAt(kw.line, kw.col, "expected reaches or weaker, found %q", kw.text)
+			}
+			out = append(out, st)
+		default:
+			return nil, errAt(t.line, t.col, "unknown statement %q", t.text)
+		}
+	}
+}
+
+func (p *parser) nameList() ([]string, error) {
+	var names []string
+	n, _, _, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	names = append(names, n)
+	for p.peek().kind == tokComma {
+		p.next()
+		n, _, _, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, n)
+	}
+	return names, nil
+}
+
+// isPrivStart reports whether the upcoming tokens begin a privilege
+// expression: '(' (a permission) or grant/revoke followed by '('.
+func (p *parser) isPrivStart() bool {
+	t := p.peek()
+	if t.kind == tokLParen {
+		return true
+	}
+	if t.kind == tokIdent && (t.text == "grant" || t.text == "revoke") {
+		return p.toks[p.pos+1].kind == tokLParen
+	}
+	return false
+}
+
+func (p *parser) parsePriv() (*privExpr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokLParen:
+		// (action, object)
+		p.next()
+		action, _, _, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		object, _, _, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		perm := [2]string{action, object}
+		return &privExpr{perm: &perm, line: t.line, col: t.col}, nil
+	case t.kind == tokIdent && (t.text == "grant" || t.text == "revoke"):
+		p.next()
+		op := model.OpGrant
+		if t.text == "revoke" {
+			op = model.OpRevoke
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		src, _, _, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		pe := &privExpr{op: op, src: src, line: t.line, col: t.col}
+		if p.isPrivStart() {
+			inner, err := p.parsePriv()
+			if err != nil {
+				return nil, err
+			}
+			pe.dstPriv = inner
+		} else {
+			dst, _, _, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			pe.dstName = dst
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return pe, nil
+	default:
+		return nil, errAt(t.line, t.col, "expected a privilege, found %q", t.text)
+	}
+}
+
+// elaborate runs the two resolution passes over the statement list.
+func elaborate(stmts []stmt) (*Document, error) {
+	users := map[string]bool{}
+	roles := map[string]bool{}
+
+	declareUser := func(n string) { users[n] = true }
+	declareRole := func(n string) { roles[n] = true }
+
+	// Pass one: collect declarations from unambiguous positions.
+	var collectPriv func(pe *privExpr)
+	collectPriv = func(pe *privExpr) {
+		if pe == nil || pe.perm != nil {
+			return
+		}
+		if pe.dstName != "" {
+			declareRole(pe.dstName)
+		}
+		collectPriv(pe.dstPriv)
+	}
+	for _, s := range stmts {
+		switch s.kind {
+		case stmtUsers:
+			for _, n := range s.names {
+				declareUser(n)
+			}
+		case stmtRoles:
+			for _, n := range s.names {
+				declareRole(n)
+			}
+		case stmtAssign:
+			declareUser(s.a)
+			declareRole(s.b)
+		case stmtInherit:
+			declareRole(s.a)
+			declareRole(s.b)
+		case stmtGrant:
+			declareRole(s.a)
+			collectPriv(s.priv)
+		case stmtDo:
+			declareUser(s.actor)
+			if s.toName != "" {
+				declareRole(s.toName)
+			}
+			collectPriv(s.toPriv)
+		case stmtExpect:
+			// expect operands must already be declared elsewhere; only
+			// privilege destinations auto-declare, as in grant.
+			collectPriv(s.toPriv)
+			collectPriv(s.priv)
+			collectPriv(s.priv2)
+		}
+	}
+
+	// resolve an identifier that may be a user or a role.
+	resolve := func(n string, line, col int) (model.Entity, error) {
+		isU, isR := users[n], roles[n]
+		switch {
+		case isU && isR:
+			return model.Entity{}, errAt(line, col, "name %q is declared as both a user and a role; rename one", n)
+		case isU:
+			return model.User(n), nil
+		case isR:
+			return model.Role(n), nil
+		default:
+			return model.Entity{}, errAt(line, col, "name %q is not declared as a user or role", n)
+		}
+	}
+
+	var buildPriv func(pe *privExpr) (model.Privilege, error)
+	buildPriv = func(pe *privExpr) (model.Privilege, error) {
+		if pe.perm != nil {
+			q := model.Perm(pe.perm[0], pe.perm[1])
+			if err := q.Validate(); err != nil {
+				return nil, errAt(pe.line, pe.col, "%v", err)
+			}
+			return q, nil
+		}
+		src, err := resolve(pe.src, pe.line, pe.col)
+		if err != nil {
+			return nil, err
+		}
+		var dst model.Vertex
+		if pe.dstPriv != nil {
+			inner, err := buildPriv(pe.dstPriv)
+			if err != nil {
+				return nil, err
+			}
+			dst = inner
+		} else {
+			dst = model.Role(pe.dstName)
+		}
+		adm, err := model.NewAdmin(pe.op, src, dst)
+		if err != nil {
+			return nil, errAt(pe.line, pe.col, "%v", err)
+		}
+		return adm, nil
+	}
+
+	// Pass two: build the policy and queue.
+	doc := &Document{Policy: policy.New()}
+	for n := range users {
+		doc.Policy.DeclareUser(n)
+	}
+	for n := range roles {
+		doc.Policy.DeclareRole(n)
+	}
+	for _, s := range stmts {
+		switch s.kind {
+		case stmtAssign:
+			if roles[s.a] {
+				return nil, errAt(s.line, s.col, "assign source %q is a role; assign takes a user", s.a)
+			}
+			doc.Policy.Assign(s.a, s.b)
+		case stmtInherit:
+			if users[s.a] || users[s.b] {
+				return nil, errAt(s.line, s.col, "inherit takes two roles")
+			}
+			doc.Policy.AddInherit(s.a, s.b)
+		case stmtGrant:
+			if users[s.a] {
+				return nil, errAt(s.line, s.col, "grant subject %q is a user; privileges are assigned to roles", s.a)
+			}
+			pr, err := buildPriv(s.priv)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := doc.Policy.GrantPrivilege(s.a, pr); err != nil {
+				return nil, errAt(s.line, s.col, "%v", err)
+			}
+		case stmtDo:
+			from, err := resolve(s.from, s.line, s.col)
+			if err != nil {
+				return nil, err
+			}
+			var to model.Vertex
+			if s.toPriv != nil {
+				pr, err := buildPriv(s.toPriv)
+				if err != nil {
+					return nil, err
+				}
+				to = pr
+			} else {
+				to = model.Role(s.toName)
+			}
+			c := command.Command{Actor: s.actor, Op: s.op, From: from, To: to}
+			if err := c.Validate(); err != nil {
+				return nil, errAt(s.line, s.col, "%v", err)
+			}
+			doc.Queue = append(doc.Queue, c)
+		case stmtExpect:
+			ck := Check{Kind: s.checkKind, Negated: s.negated, Line: s.line}
+			switch s.checkKind {
+			case CheckReaches:
+				from, err := resolve(s.from, s.line, s.col)
+				if err != nil {
+					return nil, err
+				}
+				ck.From = from
+				if s.toPriv != nil {
+					pr, err := buildPriv(s.toPriv)
+					if err != nil {
+						return nil, err
+					}
+					ck.To = pr
+				} else {
+					to, err := resolve(s.toName, s.line, s.col)
+					if err != nil {
+						return nil, err
+					}
+					ck.To = to
+				}
+			case CheckWeaker:
+				strong, err := buildPriv(s.priv)
+				if err != nil {
+					return nil, err
+				}
+				weak, err := buildPriv(s.priv2)
+				if err != nil {
+					return nil, err
+				}
+				ck.Strong, ck.Weak = strong, weak
+			}
+			doc.Checks = append(doc.Checks, ck)
+		}
+	}
+	if err := doc.Policy.Validate(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}

@@ -1,0 +1,339 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+)
+
+const figure2RPL = `
+# Figure 2: Alice's administrative hospital policy.
+users diana, alice, jane, bob, joe
+roles SO, HR, staff, nurse, prntusr, dbusr1, dbusr2, dbusr3
+
+assign diana nurse
+assign diana staff
+assign alice SO
+assign jane HR
+
+inherit staff nurse
+inherit staff dbusr2
+inherit nurse dbusr1
+inherit nurse prntusr
+inherit dbusr2 dbusr1
+inherit SO HR
+
+grant dbusr1 (read, t1)
+grant dbusr1 (read, t2)
+grant dbusr2 (write, t3)
+grant nurse (prnt, black)
+grant prntusr (prnt, color)
+
+grant HR grant(bob, staff)
+grant HR grant(joe, nurse)
+grant HR revoke(joe, nurse)
+grant SO grant(staff, grant(bob, staff))
+grant dbusr3 revoke(dbusr2, dbusr1)
+`
+
+func TestParseFigure2MatchesFixture(t *testing.T) {
+	doc, err := Parse(figure2RPL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Queue) != 0 {
+		t.Fatalf("declarative file produced commands: %v", doc.Queue)
+	}
+	want := policy.Figure2()
+	if !doc.Policy.Equal(want) {
+		removed, added := want.Diff(doc.Policy)
+		t.Fatalf("parsed policy differs from fixture:\nmissing %v\nextra %v", removed, added)
+	}
+}
+
+func TestParseCommands(t *testing.T) {
+	src := figure2RPL + `
+do jane grant bob staff
+do jane revoke joe nurse
+do alice grant staff grant(bob, staff)
+do jane grant dbusr1 (read, t3)
+do jane grant staff nurse
+`
+	doc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Queue) != 5 {
+		t.Fatalf("queue length = %d", len(doc.Queue))
+	}
+	c0 := doc.Queue[0]
+	if c0.Actor != "jane" || c0.Op != model.OpGrant ||
+		c0.From.Key() != model.User("bob").Key() || c0.To.Key() != model.Role("staff").Key() {
+		t.Errorf("command 0 = %v", c0)
+	}
+	if doc.Queue[1].Op != model.OpRevoke {
+		t.Errorf("command 1 op = %v", doc.Queue[1].Op)
+	}
+	// Command 2 targets a privilege.
+	if _, ok := doc.Queue[2].To.(model.AdminPrivilege); !ok {
+		t.Errorf("command 2 target = %T", doc.Queue[2].To)
+	}
+	// Command 3 grants a permission to a role.
+	if _, ok := doc.Queue[3].To.(model.UserPrivilege); !ok {
+		t.Errorf("command 3 target = %T", doc.Queue[3].To)
+	}
+	// Command 4 is an RH edge command (role from-vertex).
+	if e, ok := doc.Queue[4].From.(model.Entity); !ok || !e.IsRole() {
+		t.Errorf("command 4 from = %v", doc.Queue[4].From)
+	}
+
+	// The parsed queue must execute exactly like the hand-built fixture run.
+	final, trace := command.RunOn(doc.Policy, doc.Queue, command.Strict{})
+	if trace[0].Outcome != command.Applied {
+		t.Errorf("jane's appoint denied: %v", trace[0].Outcome)
+	}
+	if !final.HasEdge(model.User("bob"), model.Role("staff")) {
+		t.Error("bob not staff after run")
+	}
+}
+
+func TestRoundTripFigure2(t *testing.T) {
+	orig := policy.Figure2()
+	text := Print(orig, nil)
+	doc, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nsource:\n%s", err, text)
+	}
+	if !doc.Policy.Equal(orig) {
+		removed, added := orig.Diff(doc.Policy)
+		t.Fatalf("round trip changed policy:\nmissing %v\nextra %v", removed, added)
+	}
+	// Printing is deterministic and idempotent.
+	if text2 := Print(doc.Policy, nil); text2 != text {
+		t.Fatal("printing not canonical")
+	}
+}
+
+func TestRoundTripWithQueue(t *testing.T) {
+	doc, err := Parse(figure2RPL + "\ndo jane grant bob staff\ndo alice grant staff grant(bob, staff)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Print(doc.Policy, doc.Queue)
+	doc2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v", err)
+	}
+	if len(doc2.Queue) != len(doc.Queue) {
+		t.Fatalf("queue round trip: %d -> %d", len(doc.Queue), len(doc2.Queue))
+	}
+	for i := range doc.Queue {
+		if doc.Queue[i].Key() != doc2.Queue[i].Key() {
+			t.Errorf("command %d changed: %v -> %v", i, doc.Queue[i], doc2.Queue[i])
+		}
+	}
+}
+
+func TestQuotedNamesAndEscapes(t *testing.T) {
+	src := `
+users "alice smith", "bob \"the builder\""
+roles "night shift", grant
+assign "alice smith" "night shift"
+grant "night shift" ("read, write", "table(1)")
+do "bob \"the builder\"" grant "alice smith" "grant"
+`
+	doc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Policy.HasUser("alice smith") || !doc.Policy.HasRole("night shift") {
+		t.Fatal("quoted names not declared")
+	}
+	if !doc.Policy.HasRole("grant") {
+		t.Fatal("keyword-named role not declared")
+	}
+	perm := model.Perm("read, write", "table(1)")
+	if !doc.Policy.Reaches(model.Role("night shift"), perm) {
+		t.Fatal("quoted permission missing")
+	}
+	// Round trip with hostile names.
+	text := Print(doc.Policy, doc.Queue)
+	doc2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("hostile round trip: %v\n%s", err, text)
+	}
+	if !doc2.Policy.Equal(doc.Policy) {
+		t.Fatal("hostile round trip changed policy")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{"unknown statement", "frobnicate x y", "unknown statement"},
+		{"missing operand", "assign diana", "expected a name"},
+		{"unterminated string", `users "alice`, "unterminated string"},
+		{"bad char", "users alice; roles x", "unexpected character"},
+		{"undeclared priv source", "roles r\ngrant r grant(ghost, r)", "not declared"},
+		{"ambiguous name", "users x\nroles x, r\ngrant r grant(x, r)", "both a user and a role"},
+		{"assign role as user", "roles r1, r2\nusers u\nassign r1 r2", "assign takes a user"},
+		{"inherit user", "users u\nroles r\ninherit u r", "inherit takes two roles"},
+		{"grant to user", "users u\nroles r\ngrant u (a, b)", "privileges are assigned to roles"},
+		{"ungrammatical nested", "users u\nroles r\ngrant r grant(u, (a, b))", "role destination"},
+		{"bad do op", "users u\nroles r\ndo u frob r r", "expected grant or revoke"},
+		{"do undeclared from", "users u\nroles r\ndo u grant ghost r", "not declared"},
+		{"unclosed priv", "roles r\ngrant r (a, b", "expected ')'"},
+		{"missing comma", "roles r\ngrant r (a b)", "expected ','"},
+		{"empty priv", "roles r\ngrant r", "expected a privilege"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("no error for %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err.Error(), c.want)
+			}
+		})
+	}
+}
+
+func TestErrorsCarryPositions(t *testing.T) {
+	_, err := Parse("users alice\nroles r\nfrobnicate")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line != 3 || se.Col != 1 {
+		t.Fatalf("position = %d:%d, want 3:1", se.Line, se.Col)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "# leading comment\n\n   users   alice # trailing\n\t\nroles r # another\nassign alice r\n"
+	doc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Policy.HasUser("alice") || !doc.Policy.CanActivate("alice", "r") {
+		t.Fatal("comment handling broke parsing")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	doc, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Policy.NumEdges() != 0 || len(doc.Queue) != 0 {
+		t.Fatal("empty input produced content")
+	}
+	doc, err = Parse("# only a comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Policy.NumEdges() != 0 {
+		t.Fatal("comment-only input produced content")
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("users u\nroles r0, r\n")
+	b.WriteString("grant r ")
+	depth := 30
+	for i := 0; i < depth; i++ {
+		b.WriteString("grant(r, ")
+	}
+	b.WriteString("grant(u, r0)")
+	b.WriteString(strings.Repeat(")", depth))
+	b.WriteByte('\n')
+	doc, err := Parse(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	privs := doc.Policy.PrivilegeVertices()
+	if len(privs) != 1 {
+		t.Fatalf("privileges = %d", len(privs))
+	}
+	if got := privs[0].Depth(); got != depth+1 {
+		t.Fatalf("depth = %d, want %d", got, depth+1)
+	}
+	// Round trip preserves deep nesting.
+	doc2, err := Parse(Print(doc.Policy, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !doc2.Policy.Equal(doc.Policy) {
+		t.Fatal("deep nesting round trip failed")
+	}
+}
+
+func TestRoundTripRandomizedPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		p := randomPolicy(rng)
+		text := Print(p, nil)
+		doc, err := Parse(text)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, text)
+		}
+		if !doc.Policy.Equal(p) {
+			removed, added := p.Diff(doc.Policy)
+			t.Fatalf("trial %d: round trip diff: missing %v extra %v", trial, removed, added)
+		}
+	}
+}
+
+// randomPolicy builds a random policy with users, roles, hierarchy, perms
+// and nested admin privileges, including names needing quoting.
+func randomPolicy(rng *rand.Rand) *policy.Policy {
+	p := policy.New()
+	nRoles := 3 + rng.Intn(5)
+	roles := make([]string, nRoles)
+	for i := range roles {
+		roles[i] = "role" + string(rune('A'+i))
+		if rng.Intn(5) == 0 {
+			roles[i] = "odd name " + roles[i]
+		}
+		p.DeclareRole(roles[i])
+	}
+	users := []string{"u1", "u2", "strange \"user\""}
+	for _, u := range users {
+		p.Assign(u, roles[rng.Intn(nRoles)])
+	}
+	for i := 0; i < nRoles; i++ {
+		for j := i + 1; j < nRoles; j++ {
+			if rng.Intn(3) == 0 {
+				p.AddInherit(roles[i], roles[j])
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		q := model.Perm("act", "obj"+string(rune('0'+i)))
+		if _, err := p.GrantPrivilege(roles[rng.Intn(nRoles)], q); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		var inner model.Privilege = model.Grant(model.User(users[rng.Intn(len(users))]), model.Role(roles[rng.Intn(nRoles)]))
+		for k := 0; k < rng.Intn(3); k++ {
+			inner = model.Grant(model.Role(roles[rng.Intn(nRoles)]), inner)
+		}
+		if _, err := p.GrantPrivilege(roles[rng.Intn(nRoles)], inner); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}

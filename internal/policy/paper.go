@@ -1,0 +1,101 @@
+package policy
+
+import "adminrefine/internal/model"
+
+// This file reconstructs the paper's running hospital example (Figures 1–3).
+// The figure text in the published PDF is partially garbled; DESIGN.md D2
+// documents the reconstruction and checks it against every statement in
+// Examples 1–5:
+//
+//   - Example 1: as nurse, Diana reads t1 and t2; as staff she can also
+//     write t3.
+//   - Example 4: "there is also a role below staff called nurse"; Bob needs
+//     dbusr2 privileges; activating staff or nurse would yield excessive
+//     (medical) privileges.
+//   - Example 5: staff →φ dbusr2 must hold for the ordering derivation
+//     ¤(bob,staff) Ãφ ¤(bob,dbusr2).
+
+// Figure-1/2 vocabulary, exported so tests and examples share one spelling.
+const (
+	RoleSO      = "SO" // security officer (Alice's role, Figure 2)
+	RoleHR      = "HR" // human resources (Jane's role, Figure 2)
+	RoleStaff   = "staff"
+	RoleNurse   = "nurse"
+	RolePrntUsr = "prntusr"
+	RoleDBUsr1  = "dbusr1"
+	RoleDBUsr2  = "dbusr2"
+	RoleDBUsr3  = "dbusr3"
+
+	UserDiana = "diana"
+	UserAlice = "alice"
+	UserJane  = "jane"
+	UserBob   = "bob"
+	UserJoe   = "joe"
+)
+
+// Figure-1 user privileges.
+var (
+	PermReadT1    = model.Perm("read", "t1")
+	PermReadT2    = model.Perm("read", "t2")
+	PermWriteT3   = model.Perm("write", "t3")
+	PermPrntBlack = model.Perm("prnt", "black")
+	PermPrntColor = model.Perm("prnt", "color")
+)
+
+// Figure1 builds the non-administrative hospital policy of Figure 1 /
+// Example 1.
+func Figure1() *Policy {
+	p := New()
+	// UA: Diana may activate nurse or staff.
+	p.Assign(UserDiana, RoleNurse)
+	p.Assign(UserDiana, RoleStaff)
+	// RH (senior → junior).
+	p.AddInherit(RoleStaff, RoleNurse)
+	p.AddInherit(RoleStaff, RoleDBUsr2)
+	p.AddInherit(RoleNurse, RoleDBUsr1)
+	p.AddInherit(RoleNurse, RolePrntUsr)
+	p.AddInherit(RoleDBUsr2, RoleDBUsr1)
+	// PA: user privileges.
+	mustGrant(p, RoleDBUsr1, PermReadT1)
+	mustGrant(p, RoleDBUsr1, PermReadT2)
+	mustGrant(p, RoleDBUsr2, PermWriteT3)
+	mustGrant(p, RoleNurse, PermPrntBlack)
+	mustGrant(p, RolePrntUsr, PermPrntColor)
+	return p
+}
+
+// Administrative privileges appearing in Figure 2 and Examples 2–5.
+var (
+	// HR may appoint Bob to staff and appoint/dismiss Joe as nurse.
+	PrivHRAssignBobStaff = model.Grant(model.User(UserBob), model.Role(RoleStaff))
+	PrivHRAssignJoeNurse = model.Grant(model.User(UserJoe), model.Role(RoleNurse))
+	PrivHRRevokeJoeNurse = model.Revoke(model.User(UserJoe), model.Role(RoleNurse))
+	// Alice (SO) may give staff the privilege to appoint Bob to staff
+	// (Example 5's nested privilege ¤(staff, ¤(bob, staff))).
+	PrivSOGrantStaffAppoint = model.Grant(model.Role(RoleStaff), model.Grant(model.User(UserBob), model.Role(RoleStaff)))
+	// dbusr3 may cut dbusr2's inheritance of dbusr1 — the reconstruction of
+	// the figure's "mayRevoke(dbusr1, ·)" revocation privilege protecting the
+	// health-record tables (DESIGN.md D2).
+	PrivDB3RevokeInherit = model.Revoke(model.Role(RoleDBUsr2), model.Role(RoleDBUsr1))
+)
+
+// Figure2 builds Alice's administrative policy of Figure 2 / Example 2:
+// Figure 1 extended with the SO and HR roles and administrative privileges.
+func Figure2() *Policy {
+	p := Figure1()
+	p.Assign(UserAlice, RoleSO)
+	p.Assign(UserJane, RoleHR)
+	p.AddInherit(RoleSO, RoleHR)
+	mustGrant(p, RoleHR, PrivHRAssignBobStaff)
+	mustGrant(p, RoleHR, PrivHRAssignJoeNurse)
+	mustGrant(p, RoleHR, PrivHRRevokeJoeNurse)
+	mustGrant(p, RoleSO, PrivSOGrantStaffAppoint)
+	mustGrant(p, RoleDBUsr3, PrivDB3RevokeInherit)
+	return p
+}
+
+func mustGrant(p *Policy, role string, priv model.Privilege) {
+	if _, err := p.GrantPrivilege(role, priv); err != nil {
+		panic("policy: paper fixture privilege invalid: " + err.Error())
+	}
+}

@@ -1,0 +1,92 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAssignedVsAuthorizedUsers(t *testing.T) {
+	p := Figure2()
+	// nurse: diana is directly assigned; nobody else.
+	if got := p.AssignedUsers(RoleNurse); !reflect.DeepEqual(got, []string{UserDiana}) {
+		t.Errorf("AssignedUsers(nurse) = %v", got)
+	}
+	// dbusr1 has no direct members, but diana reaches it via the hierarchy.
+	if got := p.AssignedUsers(RoleDBUsr1); len(got) != 0 {
+		t.Errorf("AssignedUsers(dbusr1) = %v", got)
+	}
+	if got := p.AuthorizedUsers(RoleDBUsr1); !reflect.DeepEqual(got, []string{UserDiana}) {
+		t.Errorf("AuthorizedUsers(dbusr1) = %v", got)
+	}
+	// HR: jane directly; alice via SO → HR.
+	if got := p.AuthorizedUsers(RoleHR); !reflect.DeepEqual(got, []string{UserAlice, UserJane}) {
+		t.Errorf("AuthorizedUsers(HR) = %v", got)
+	}
+}
+
+func TestAssignedRoles(t *testing.T) {
+	p := Figure2()
+	if got := p.AssignedRoles(UserDiana); !reflect.DeepEqual(got, []string{RoleNurse, RoleStaff}) {
+		t.Errorf("AssignedRoles(diana) = %v", got)
+	}
+	if got := p.AssignedRoles(UserBob); len(got) != 0 {
+		t.Errorf("AssignedRoles(bob) = %v", got)
+	}
+	// Direct vs activatable: diana activates 5 roles but is assigned to 2.
+	if len(p.RolesActivatableBy(UserDiana)) <= len(p.AssignedRoles(UserDiana)) {
+		t.Error("activatable set should strictly contain assigned set here")
+	}
+}
+
+func TestPermReview(t *testing.T) {
+	p := Figure2()
+	if got := p.UsersWithPerm(PermWriteT3); !reflect.DeepEqual(got, []string{UserDiana}) {
+		t.Errorf("UsersWithPerm(write t3) = %v", got)
+	}
+	roles := p.RolesWithPerm(PermWriteT3)
+	want := []string{RoleDBUsr2, RoleStaff}
+	if !reflect.DeepEqual(roles, want) {
+		t.Errorf("RolesWithPerm(write t3) = %v, want %v", roles, want)
+	}
+	if got := p.UsersWithPerm(PermReadT1); len(got) != 1 {
+		t.Errorf("UsersWithPerm(read t1) = %v", got)
+	}
+}
+
+func TestDirectPrivileges(t *testing.T) {
+	p := Figure2()
+	hr := p.DirectPrivileges(RoleHR)
+	if len(hr) != 3 {
+		t.Fatalf("DirectPrivileges(HR) = %v", hr)
+	}
+	// nurse holds only its print privilege directly; reads come from dbusr1.
+	nurse := p.DirectPrivileges(RoleNurse)
+	if len(nurse) != 1 || nurse[0].Key() != PermPrntBlack.Key() {
+		t.Errorf("DirectPrivileges(nurse) = %v", nurse)
+	}
+	if got := p.DirectPrivileges("ghost"); len(got) != 0 {
+		t.Errorf("DirectPrivileges(ghost) = %v", got)
+	}
+}
+
+func TestSeniorsJuniors(t *testing.T) {
+	p := Figure2()
+	if got := p.Juniors(RoleStaff); !reflect.DeepEqual(got, []string{RoleDBUsr1, RoleDBUsr2, RoleNurse, RolePrntUsr}) {
+		t.Errorf("Juniors(staff) = %v", got)
+	}
+	if got := p.Seniors(RoleDBUsr1); !reflect.DeepEqual(got, []string{RoleDBUsr2, RoleNurse, RoleStaff}) {
+		t.Errorf("Seniors(dbusr1) = %v", got)
+	}
+	if got := p.Seniors(RoleSO); len(got) != 0 {
+		t.Errorf("Seniors(SO) = %v", got)
+	}
+	if got := p.Juniors("ghost"); got != nil {
+		t.Errorf("Juniors(ghost) = %v", got)
+	}
+	// UA/PA edges must not leak into the role graph: diana is not a senior.
+	for _, s := range p.Seniors(RoleNurse) {
+		if s == UserDiana {
+			t.Error("user appeared among seniors")
+		}
+	}
+}

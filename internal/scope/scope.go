@@ -1,0 +1,95 @@
+// Package scope implements the administrative-scope baseline of Crampton &
+// Loizou ("Administrative scope: a foundation for role-based administrative
+// models", TISSEC 2003), discussed in the paper's related work. A role r is
+// within the administrative scope of an administrator role a when every
+// ancestor of r is comparable to a — intuitively, changes to r cannot leak
+// influence past a.
+//
+// Formally, with ↑r the ancestors of r and ↓a the descendants of a in the
+// role hierarchy (both reflexive):
+//
+//	r ∈ scope(a)  iff  r ∈ ↓a  and  ↑r ⊆ ↑a ∪ ↓a
+//
+// Strict scope additionally excludes a itself. Administrators may assign
+// users to, revoke users from, and edit the hierarchy below, roles in their
+// scope.
+package scope
+
+import (
+	"sort"
+
+	"adminrefine/internal/graph"
+	"adminrefine/internal/policy"
+)
+
+// Admin answers administrative-scope queries against one policy's role
+// hierarchy. Build with New; rebuild after the hierarchy changes.
+type Admin struct {
+	g     *graph.Digraph // RH only, senior → junior
+	roles []string
+}
+
+// New extracts the role hierarchy from the policy.
+func New(p *policy.Policy) *Admin {
+	a := &Admin{g: graph.New(), roles: p.Roles()}
+	for _, r := range a.roles {
+		a.g.AddVertex(r)
+	}
+	for _, e := range p.EdgesOf(policy.EdgeRH) {
+		a.g.AddEdge(e.From.String(), e.To.String())
+	}
+	return a
+}
+
+// InScope reports whether role lies in the administrative scope of admin.
+func (a *Admin) InScope(admin, role string) bool {
+	aid, rid := a.g.Lookup(admin), a.g.Lookup(role)
+	if aid == graph.NoVertex || rid == graph.NoVertex {
+		return admin == role
+	}
+	// role must be a descendant of admin.
+	if !a.g.ReachesID(aid, rid) {
+		return false
+	}
+	// Every ancestor of role must be comparable to admin: an ancestor x with
+	// neither x ⊒ a nor a ⊒ x breaks containment.
+	for x := 0; x < a.g.NumVertices(); x++ {
+		if !a.g.ReachesID(x, rid) {
+			continue // not an ancestor of role
+		}
+		if !a.g.ReachesID(aid, x) && !a.g.ReachesID(x, aid) {
+			return false
+		}
+	}
+	return true
+}
+
+// InStrictScope is InScope excluding the administrator itself.
+func (a *Admin) InStrictScope(admin, role string) bool {
+	return admin != role && a.InScope(admin, role)
+}
+
+// Scope returns the administrative scope of admin, sorted.
+func (a *Admin) Scope(admin string) []string {
+	var out []string
+	for _, r := range a.roles {
+		if a.InScope(admin, r) {
+			out = append(out, r)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CanAssignUser reports whether actor (via one of their roles) may assign a
+// user to the target role: some role of the actor must have the target in
+// its strict administrative scope.
+func CanAssignUser(p *policy.Policy, actor, role string) bool {
+	a := New(p)
+	for _, ar := range p.RolesActivatableBy(actor) {
+		if a.InStrictScope(ar, role) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,107 @@
+package scope
+
+import (
+	"reflect"
+	"testing"
+
+	"adminrefine/internal/policy"
+)
+
+func TestScopeOnFigure1(t *testing.T) {
+	p := policy.Figure1()
+	a := New(p)
+
+	// staff sits at the top of the Figure 1 hierarchy fragment: every role
+	// below it has all ancestors inside ↓staff ∪ ↑staff.
+	want := []string{"dbusr1", "dbusr2", "nurse", "prntusr", "staff"}
+	if got := a.Scope("staff"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("scope(staff) = %v, want %v", got, want)
+	}
+
+	// nurse does NOT have dbusr1 in scope: dbusr1 has the ancestor dbusr2,
+	// which is incomparable with nurse.
+	if a.InScope("nurse", "dbusr1") {
+		t.Error("dbusr1 in scope(nurse) despite incomparable ancestor dbusr2")
+	}
+	// prntusr's only ancestors are nurse and staff, both above nurse — so it
+	// is in nurse's scope.
+	if !a.InScope("nurse", "prntusr") {
+		t.Error("prntusr not in scope(nurse)")
+	}
+}
+
+func TestStrictScopeExcludesSelf(t *testing.T) {
+	p := policy.Figure1()
+	a := New(p)
+	if !a.InScope("staff", "staff") {
+		t.Error("reflexive scope missing")
+	}
+	if a.InStrictScope("staff", "staff") {
+		t.Error("strict scope includes the administrator")
+	}
+	if !a.InStrictScope("staff", "nurse") {
+		t.Error("strict scope misses nurse")
+	}
+}
+
+func TestScopeWithSO(t *testing.T) {
+	p := policy.Figure2()
+	a := New(p)
+	// SO's only descendant is HR (plus itself); the medical hierarchy is
+	// incomparable with SO.
+	want := []string{"HR", "SO"}
+	if got := a.Scope("SO"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("scope(SO) = %v, want %v", got, want)
+	}
+	if a.InScope("SO", "staff") {
+		t.Error("staff wrongly in scope(SO)")
+	}
+}
+
+func TestCanAssignUser(t *testing.T) {
+	p := policy.Figure2()
+	// Diana can activate staff, and nurse is in staff's strict scope.
+	if !CanAssignUser(p, policy.UserDiana, policy.RoleNurse) {
+		t.Error("diana (staff) cannot administer nurse under scope")
+	}
+	// Jane's only role is HR, whose strict scope is empty.
+	if CanAssignUser(p, policy.UserJane, policy.RoleNurse) {
+		t.Error("jane administers nurse despite empty scope")
+	}
+	// Unknown actors administer nothing.
+	if CanAssignUser(p, "ghost", policy.RoleNurse) {
+		t.Error("unknown actor administers roles")
+	}
+}
+
+func TestUnknownRoles(t *testing.T) {
+	p := policy.Figure1()
+	a := New(p)
+	if a.InScope("staff", "ghost") || a.InScope("ghost", "staff") {
+		t.Error("unknown role in scope")
+	}
+	if !a.InScope("ghost", "ghost") {
+		t.Error("reflexive scope on unknown role should hold")
+	}
+	if got := a.Scope("ghost"); len(got) != 0 {
+		t.Errorf("scope(ghost) = %v", got)
+	}
+}
+
+func TestScopeDiamond(t *testing.T) {
+	// Diamond: top → {l, r} → bottom. bottom has ancestors l and r, which
+	// are incomparable with each other, so bottom is in scope(top) but not
+	// in scope(l) or scope(r).
+	p := policy.New()
+	p.AddInherit("top", "l")
+	p.AddInherit("top", "r")
+	p.AddInherit("l", "bottom")
+	p.AddInherit("r", "bottom")
+	a := New(p)
+	if !a.InScope("top", "bottom") {
+		t.Error("bottom not in scope(top)")
+	}
+	if a.InScope("l", "bottom") || a.InScope("r", "bottom") {
+		t.Error("bottom in scope of an incomparable parent")
+	}
+}

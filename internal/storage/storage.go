@@ -1,0 +1,361 @@
+// Package storage persists the reference monitor's state: a snapshot of the
+// policy plus a write-ahead log of applied administrative commands. The
+// monitor's audit stream is appended to the log before results are returned
+// (hook it up with Store.Attach), and Open recovers the policy by loading
+// the snapshot and replaying the log. Compaction writes a fresh snapshot and
+// truncates the log.
+//
+// Log format: a fixed header followed by length-prefixed records,
+//
+//	"ARWAL1\n" | rec* , rec = len(u32 LE) | crc32(u32 LE, IEEE) | payload
+//
+// where payload is the JSON of a Record. A torn tail (incomplete or
+// corrupt final record, e.g. after a crash mid-append) is detected by the
+// CRC and truncated away on open; Recovery reports how many bytes were
+// dropped.
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/model"
+	"adminrefine/internal/monitor"
+	"adminrefine/internal/policy"
+)
+
+const logMagic = "ARWAL1\n"
+
+// Record is one logged administrative command with its outcome.
+type Record struct {
+	Seq     int             `json:"seq"`
+	Actor   string          `json:"actor"`
+	Op      string          `json:"op"` // "grant" or "revoke"
+	From    json.RawMessage `json:"from"`
+	To      json.RawMessage `json:"to"`
+	Outcome string          `json:"outcome"` // "applied", "nochange", "denied", "illformed"
+}
+
+func encodeOutcome(o command.Outcome) string {
+	switch o {
+	case command.Applied:
+		return "applied"
+	case command.AppliedNoChange:
+		return "nochange"
+	case command.Denied:
+		return "denied"
+	default:
+		return "illformed"
+	}
+}
+
+// NewRecord converts an audit entry into a loggable record.
+func NewRecord(e monitor.AuditEntry) (Record, error) {
+	from, err := model.MarshalVertex(e.Cmd.From)
+	if err != nil {
+		return Record{}, fmt.Errorf("storage: encode from vertex: %w", err)
+	}
+	to, err := model.MarshalVertex(e.Cmd.To)
+	if err != nil {
+		return Record{}, fmt.Errorf("storage: encode to vertex: %w", err)
+	}
+	return Record{
+		Seq:     e.Seq,
+		Actor:   e.Cmd.Actor,
+		Op:      e.Cmd.Op.String(),
+		From:    from,
+		To:      to,
+		Outcome: encodeOutcome(e.Outcome),
+	}, nil
+}
+
+// Command reconstructs the administrative command of the record.
+func (r Record) Command() (command.Command, error) {
+	from, err := model.UnmarshalVertex(r.From)
+	if err != nil {
+		return command.Command{}, fmt.Errorf("storage: record %d from: %w", r.Seq, err)
+	}
+	to, err := model.UnmarshalVertex(r.To)
+	if err != nil {
+		return command.Command{}, fmt.Errorf("storage: record %d to: %w", r.Seq, err)
+	}
+	var op model.Op
+	switch r.Op {
+	case "grant":
+		op = model.OpGrant
+	case "revoke":
+		op = model.OpRevoke
+	default:
+		return command.Command{}, fmt.Errorf("storage: record %d: unknown op %q", r.Seq, r.Op)
+	}
+	return command.Command{Actor: r.Actor, Op: op, From: from, To: to}, nil
+}
+
+// Recovery summarises what Open found on disk.
+type Recovery struct {
+	// SnapshotLoaded reports whether a snapshot file existed.
+	SnapshotLoaded bool
+	// Records is the number of log records replayed.
+	Records int
+	// Applied is the number of replayed records that mutated the policy.
+	Applied int
+	// DroppedBytes counts torn-tail bytes truncated from the log.
+	DroppedBytes int
+}
+
+// Options configures a Store.
+type Options struct {
+	// Sync forces an fsync after every append (slow, durable). Default off.
+	Sync bool
+}
+
+// Store is a directory-backed policy store: snapshot.json + wal.log.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+	f    *os.File
+	seq  int
+}
+
+// snapshotMeta wraps the policy snapshot with its log position.
+type snapshotMeta struct {
+	Seq    int             `json:"seq"`
+	Policy json.RawMessage `json:"policy"`
+}
+
+// Open opens (or initialises) the store in dir, returning the recovered
+// policy. The policy starts empty when the directory holds no state.
+func Open(dir string, opts Options) (*Store, *policy.Policy, Recovery, error) {
+	var rec Recovery
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, rec, err
+	}
+	pol := policy.New()
+	seq := 0
+
+	// Load snapshot if present.
+	snapPath := filepath.Join(dir, "snapshot.json")
+	if data, err := os.ReadFile(snapPath); err == nil {
+		var meta snapshotMeta
+		if err := json.Unmarshal(data, &meta); err != nil {
+			return nil, nil, rec, fmt.Errorf("storage: corrupt snapshot: %w", err)
+		}
+		if err := json.Unmarshal(meta.Policy, pol); err != nil {
+			return nil, nil, rec, fmt.Errorf("storage: corrupt snapshot policy: %w", err)
+		}
+		seq = meta.Seq
+		rec.SnapshotLoaded = true
+	} else if !os.IsNotExist(err) {
+		return nil, nil, rec, err
+	}
+
+	// Replay the log.
+	logPath := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(logPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, rec, err
+	}
+	validEnd, records, err := readAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, rec, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, rec, err
+	}
+	if fi.Size() > validEnd {
+		rec.DroppedBytes = int(fi.Size() - validEnd)
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, nil, rec, err
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, rec, err
+	}
+	for _, r := range records {
+		if r.Seq <= seq {
+			continue // already covered by the snapshot
+		}
+		rec.Records++
+		if r.Outcome == "applied" || r.Outcome == "nochange" {
+			c, err := r.Command()
+			if err != nil {
+				f.Close()
+				return nil, nil, rec, err
+			}
+			changed, err := command.Apply(pol, c)
+			if err != nil {
+				f.Close()
+				return nil, nil, rec, fmt.Errorf("storage: replaying record %d: %w", r.Seq, err)
+			}
+			if changed {
+				rec.Applied++
+			}
+		}
+		seq = r.Seq
+	}
+
+	s := &Store{dir: dir, opts: opts, f: f, seq: seq}
+	return s, pol, rec, nil
+}
+
+// readAll parses records from the start of the log, returning the offset of
+// the end of the last valid record. A missing or wrong magic on a non-empty
+// file is an error; a torn tail simply ends the scan.
+func readAll(f *os.File) (validEnd int64, records []Record, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(data) == 0 {
+		// Fresh log: write the magic.
+		if _, err := f.Write([]byte(logMagic)); err != nil {
+			return 0, nil, err
+		}
+		return int64(len(logMagic)), nil, nil
+	}
+	if len(data) < len(logMagic) || string(data[:len(logMagic)]) != logMagic {
+		return 0, nil, fmt.Errorf("storage: wal.log has no valid header")
+	}
+	off := len(logMagic)
+	for {
+		if off+8 > len(data) {
+			break // torn length/crc header
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n > 1<<28 { // implausible record: treat as torn tail
+			break
+		}
+		if off+8+int(n) > len(data) {
+			break // torn payload
+		}
+		payload := data[off+8 : off+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break // corrupt tail
+		}
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			break // undecodable tail
+		}
+		records = append(records, r)
+		off += 8 + int(n)
+	}
+	return int64(off), records, nil
+}
+
+// Append logs one audit entry. Safe for concurrent use.
+func (s *Store) Append(e monitor.AuditEntry) error {
+	r, err := NewRecord(e)
+	if err != nil {
+		return err
+	}
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("storage: store closed")
+	}
+	if _, err := s.f.Write(buf); err != nil {
+		return err
+	}
+	if s.opts.Sync {
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
+	}
+	if r.Seq > s.seq {
+		s.seq = r.Seq
+	}
+	return nil
+}
+
+// Attach subscribes the store to a monitor's audit stream. Append errors are
+// delivered to onErr (which may be nil to ignore them — not recommended
+// outside tests).
+func (s *Store) Attach(m *monitor.Monitor, onErr func(error)) {
+	m.Observe(func(e monitor.AuditEntry) {
+		if err := s.Append(e); err != nil && onErr != nil {
+			onErr(err)
+		}
+	})
+}
+
+// Compact writes a snapshot of the policy at the current sequence number and
+// truncates the log. The snapshot is written atomically (temp file + rename)
+// so a crash mid-compaction never loses state.
+func (s *Store) Compact(p *policy.Policy) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("storage: store closed")
+	}
+	polData, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	meta, err := json.Marshal(snapshotMeta{Seq: s.seq, Policy: polData})
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, "snapshot.json.tmp")
+	if err := os.WriteFile(tmp, meta, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, "snapshot.json")); err != nil {
+		return err
+	}
+	// Truncate the log to just the header.
+	if err := s.f.Truncate(int64(len(logMagic))); err != nil {
+		return err
+	}
+	if _, err := s.f.Seek(0, io.SeekEnd); err != nil {
+		return err
+	}
+	if s.opts.Sync {
+		return s.f.Sync()
+	}
+	return nil
+}
+
+// Seq returns the highest sequence number seen.
+func (s *Store) Seq() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Close releases the log file handle.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

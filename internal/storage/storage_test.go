@@ -1,0 +1,318 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/model"
+	"adminrefine/internal/monitor"
+	"adminrefine/internal/policy"
+)
+
+// runScenario drives a monitor attached to a store in dir and returns the
+// final in-memory policy.
+func runScenario(t *testing.T, dir string, mode monitor.Mode) *policy.Policy {
+	t.Helper()
+	s, pol, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Fresh store: seed with Figure 2.
+	if pol.NumEdges() == 0 {
+		pol = policy.Figure2()
+	}
+	m := monitor.New(pol, mode)
+	s.Attach(m, func(err error) { t.Errorf("append: %v", err) })
+	m.SubmitQueue(command.Queue{
+		command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleStaff)),
+		command.Grant(policy.UserJane, model.User(policy.UserJoe), model.Role(policy.RoleNurse)),
+		command.Grant(policy.UserDiana, model.User(policy.UserDiana), model.Role(policy.RoleSO)), // denied
+		command.Revoke(policy.UserJane, model.User(policy.UserJoe), model.Role(policy.RoleNurse)),
+	})
+	return m.Policy()
+}
+
+func TestReplayReproducesState(t *testing.T) {
+	dir := t.TempDir()
+
+	// First run: seed + commands, but the snapshot was never written, so
+	// recovery must replay from an empty policy... seed the snapshot first.
+	s, _, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(policy.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	want := runScenario(t, dir, monitor.ModeStrict)
+
+	// Recovery: snapshot + log replay must reproduce the exact policy.
+	s2, got, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !rec.SnapshotLoaded {
+		t.Error("snapshot not loaded")
+	}
+	if rec.Records != 4 {
+		t.Errorf("replayed %d records, want 4", rec.Records)
+	}
+	if rec.Applied != 3 {
+		t.Errorf("applied %d records, want 3", rec.Applied)
+	}
+	if !got.Equal(want) {
+		removed, added := want.Diff(got)
+		t.Fatalf("recovered policy differs: missing %v extra %v", removed, added)
+	}
+}
+
+func TestCompactionPreservesState(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(policy.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	want := runScenario(t, dir, monitor.ModeStrict)
+
+	// Compact with the live policy, then recover: log should be empty.
+	s2, got, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Compact(got); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+
+	s3, got3, rec3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if rec3.Records != 0 {
+		t.Errorf("post-compaction replay saw %d records", rec3.Records)
+	}
+	if !got3.Equal(want) {
+		t.Fatal("post-compaction recovery differs")
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(policy.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	runScenario(t, dir, monitor.ModeStrict)
+
+	// Simulate a crash mid-append: chop bytes off the log tail.
+	logPath := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(logPath, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, got, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery failed on torn tail: %v", err)
+	}
+	defer s2.Close()
+	if rec.DroppedBytes == 0 {
+		t.Error("no bytes reported dropped")
+	}
+	if rec.Records != 3 {
+		t.Errorf("replayed %d records, want 3 (last record torn)", rec.Records)
+	}
+	// The state reflects the first three commands only.
+	if !got.HasEdge(model.User(policy.UserJoe), model.Role(policy.RoleNurse)) {
+		t.Error("torn-tail recovery lost the applied grant")
+	}
+	// Appending after recovery works and the log stays valid.
+	m := monitor.New(got, monitor.ModeStrict)
+	s2.Attach(m, func(err error) { t.Errorf("append: %v", err) })
+	m.Submit(command.Revoke(policy.UserJane, model.User(policy.UserJoe), model.Role(policy.RoleNurse)))
+	s2.Close()
+	if _, _, rec3, err := Open(dir, Options{}); err != nil {
+		t.Fatal(err)
+	} else if rec3.DroppedBytes != 0 {
+		t.Error("log corrupt after post-recovery append")
+	}
+}
+
+func TestCorruptPayloadDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(policy.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	runScenario(t, dir, monitor.ModeStrict)
+
+	// Flip a byte inside the last record's payload: CRC must catch it.
+	logPath := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xFF
+	if err := os.WriteFile(logPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.DroppedBytes == 0 {
+		t.Fatal("corrupt record not dropped")
+	}
+	if rec.Records != 3 {
+		t.Errorf("replayed %d records, want 3", rec.Records)
+	}
+}
+
+func TestMissingHeaderRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal.log"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("header-less log accepted")
+	}
+}
+
+func TestCorruptSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "snapshot.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+func TestRefinedModeReplay(t *testing.T) {
+	// Refined-mode decisions (Jane's ordering-authorized command) replay
+	// identically: the log stores effects, not authorization mode.
+	dir := t.TempDir()
+	s, _, _, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(policy.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	pol := policy.Figure2()
+	m := monitor.New(pol, monitor.ModeRefined)
+	s.Attach(m, func(err error) { t.Errorf("append: %v", err) })
+	res := m.Submit(command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleDBUsr2)))
+	if res.Outcome != command.Applied {
+		t.Fatalf("refined submit outcome: %v", res.Outcome)
+	}
+	want := m.Policy()
+	s.Close()
+
+	_, got, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Records != 1 || rec.Applied != 1 {
+		t.Errorf("recovery = %+v", rec)
+	}
+	if !got.Equal(want) {
+		t.Fatal("refined-mode state not reproduced")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	e := monitor.AuditEntry{Seq: 1, Cmd: command.Grant("u", model.User("a"), model.Role("b")), Outcome: command.Applied}
+	if err := s.Append(e); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := s.Compact(policy.New()); err == nil {
+		t.Fatal("compact after close succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close errored: %v", err)
+	}
+}
+
+func TestSeqTracking(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Seq() != 0 {
+		t.Fatal("fresh store has nonzero seq")
+	}
+	pol := policy.Figure2()
+	m := monitor.New(pol, monitor.ModeStrict)
+	s.Attach(m, nil)
+	m.Submit(command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleStaff)))
+	m.Submit(command.Grant(policy.UserJane, model.User(policy.UserJoe), model.Role(policy.RoleNurse)))
+	if s.Seq() != 2 {
+		t.Fatalf("seq = %d, want 2", s.Seq())
+	}
+}
+
+func TestSnapshotSkipsOldRecords(t *testing.T) {
+	// Records already covered by the snapshot's seq must not be re-applied.
+	dir := t.TempDir()
+	s, _, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := policy.Figure2()
+	m := monitor.New(pol, monitor.ModeStrict)
+	s.Attach(m, nil)
+	m.Submit(command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleStaff)))
+	// Snapshot covers seq 1, but the log still contains record 1 (Compact
+	// truncates, so emulate a snapshot-without-truncate by writing the
+	// snapshot file directly through a second store call sequence).
+	if err := s.Compact(m.Policy()); err != nil {
+		t.Fatal(err)
+	}
+	// New command after compaction.
+	m.Submit(command.Grant(policy.UserJane, model.User(policy.UserJoe), model.Role(policy.RoleNurse)))
+	want := m.Policy()
+	s.Close()
+
+	_, got, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Records != 1 {
+		t.Errorf("replayed %d records, want 1", rec.Records)
+	}
+	if !got.Equal(want) {
+		t.Fatal("state mismatch")
+	}
+}
