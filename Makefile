@@ -1,0 +1,34 @@
+# Repo verification targets. `make check` is the CI gate: it builds, vets,
+# runs the full test suite, the race-detector pass over the concurrent
+# engine, and a short smoke of the incremental-churn benchmark so perf
+# regressions in the incremental path fail fast.
+
+GO ?= go
+
+.PHONY: check build vet test race bench-smoke bench-json bench
+
+check: build vet test race bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The engine is the concurrency-critical surface; graph/core feed it.
+race:
+	$(GO) test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/
+
+bench-smoke:
+	$(GO) test -run XXX -bench Incremental -benchtime=100x .
+
+# Full benchmark sweep (slow).
+bench:
+	$(GO) test -run XXX -bench . -benchmem .
+
+# Machine-readable perf trajectory, consumed across PRs.
+bench-json:
+	$(GO) run ./cmd/rbacbench -benchjson BENCH_1.json

@@ -11,6 +11,8 @@
 //	C1  BenchmarkFlexibility, BenchmarkSaturation
 //	S1  BenchmarkMonitorSubmit, BenchmarkWALAppend, BenchmarkWALReplay
 //	H1  BenchmarkHRUSafety
+//	P1  BenchmarkIncrementalGrant, BenchmarkSnapshotAuthorizeParallel,
+//	    BenchmarkSnapshotAuthorizeUnderWriter
 //	--  BenchmarkParse, BenchmarkPrint, BenchmarkPolicyClone (substrate costs)
 //
 // Run: go test -bench=. -benchmem
@@ -18,11 +20,14 @@ package adminrefine
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"adminrefine/internal/analysis"
+	"adminrefine/internal/cli"
 	"adminrefine/internal/command"
 	"adminrefine/internal/core"
+	"adminrefine/internal/engine"
 	"adminrefine/internal/graph"
 	"adminrefine/internal/hru"
 	"adminrefine/internal/model"
@@ -434,6 +439,95 @@ func BenchmarkReachabilityModes(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- P1: incremental closure maintenance and concurrent snapshots ----------
+
+// BenchmarkIncrementalGrant measures grant-then-query churn at 1024 roles:
+// each iteration submits one authorized UA grant and then answers one
+// refined authorization query against the resulting state.
+//
+//   - engine-incremental: the internal/engine snapshot engine; closures and
+//     memos refresh incrementally from the mutation delta.
+//   - seed-rebuild: the rebuild-everything baseline (the seed behaviour) — a
+//     single long-lived decider that rebuilds closure, memo and
+//     privilege-vertex tables on every generation change, exactly as before
+//     this engine existed.
+//
+// The acceptance target is ≥10x between the two. The bodies live in
+// cli.BenchSpecs so the rbacbench-emitted BENCH JSON measures identical code.
+func BenchmarkIncrementalGrant(b *testing.B) {
+	for _, spec := range cli.BenchSpecs() {
+		if sub, ok := strings.CutPrefix(spec.Name, "IncrementalGrant/"); ok {
+			b.Run(sub, spec.F)
+		}
+	}
+}
+
+// churnCommands precomputes a slab of churn commands so the parallel
+// benchmarks measure the engine, not fmt.Sprintf.
+func churnCommands(n, users, roles int) []command.Command {
+	out := make([]command.Command, n)
+	for i := range out {
+		out[i] = workload.ChurnGrant(i, users, roles)
+	}
+	return out
+}
+
+// BenchmarkSnapshotAuthorizeParallel measures lock-free read throughput:
+// GOMAXPROCS goroutines authorize against engine snapshots with no writer
+// running. Each worker keeps a pooled decider warm, so throughput scales
+// with available cores (run with -cpu 1,2,4,... on a multi-core host; on a
+// single-CPU host the per-op cost simply stays flat, which is the no-
+// contention signature). The body lives in cli.BenchSpecs so the
+// rbacbench-emitted BENCH JSON measures identical code.
+func BenchmarkSnapshotAuthorizeParallel(b *testing.B) {
+	for _, spec := range cli.BenchSpecs() {
+		if strings.HasPrefix(spec.Name, "SnapshotAuthorizeParallel/") {
+			spec.F(b)
+		}
+	}
+}
+
+// BenchmarkSnapshotAuthorizeUnderWriter is the mixed case: readers authorize
+// while one background writer churns grants through the engine.
+func BenchmarkSnapshotAuthorizeUnderWriter(b *testing.B) {
+	const roles, users = 256, 256
+	e := engine.New(workload.ChurnPolicy(roles, users), engine.Refined)
+	cmds := churnCommands(4096, users, roles)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// The writer walks the unbounded churn stream (users×roles distinct
+		// pairs) so it keeps publishing state changes for the whole run
+		// instead of saturating the precomputed slab.
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				e.Submit(workload.ChurnGrant(i, users, roles))
+			}
+		}
+	}()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			s := e.Snapshot()
+			if _, ok := s.Authorize(cmds[i%len(cmds)]); !ok {
+				s.Close()
+				b.Error("query denied")
+				return
+			}
+			s.Close()
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
 }
 
 func BenchmarkAssignableRoles(b *testing.B) {

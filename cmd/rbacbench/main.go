@@ -1,9 +1,12 @@
 // Command rbacbench regenerates the paper's evaluation artifacts: each
-// experiment of EXPERIMENTS.md prints its table or trace to stdout.
+// experiment of EXPERIMENTS.md prints its table or trace to stdout. It can
+// also emit the machine-readable perf trajectory consumed across PRs.
 //
-//	rbacbench -exp all      # run everything
-//	rbacbench -exp F3       # the flexworker example
-//	rbacbench -list         # list experiments
+//	rbacbench -exp all                # run everything
+//	rbacbench -exp F3                 # the flexworker example
+//	rbacbench -exp P1                 # incremental engine churn + snapshots
+//	rbacbench -list                   # list experiments
+//	rbacbench -benchjson BENCH_1.json # run registered benchmarks, write JSON
 package main
 
 import (
@@ -15,14 +18,33 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment ID to run (F1 F2 F3 E5 E6 T1 L1 C1 S1 H1 A1, or all)")
+	exp := flag.String("exp", "all", "experiment ID to run (F1 F2 F3 E5 E6 T1 L1 C1 S1 H1 A1 P1, or all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	benchJSON := flag.String("benchjson", "", "run the registered benchmarks and write results (name -> ns/op, allocs/op) to this file, e.g. BENCH_1.json")
 	flag.Parse()
 
 	if *list {
 		for _, e := range cli.Experiments() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
+		return
+	}
+	if *benchJSON != "" {
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := cli.WriteBenchJSON(f, os.Stdout); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
 		return
 	}
 	if err := cli.RunExperiment(os.Stdout, *exp); err != nil {

@@ -1,0 +1,3 @@
+module adminrefine
+
+go 1.24

@@ -1,0 +1,233 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"text/tabwriter"
+	"time"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/core"
+	"adminrefine/internal/engine"
+	"adminrefine/internal/graph"
+	"adminrefine/internal/workload"
+)
+
+// runP1 is the incremental-engine experiment: it replays the same
+// grant-then-query churn through the snapshot engine and through the
+// rebuild-everything baseline, checks that both paths agree on every outcome
+// and on the final policy, reports the speedup, and smoke-tests concurrent
+// snapshot reads under writer churn.
+func runP1(w io.Writer) error {
+	const roles, users, ops = 256, 256, 300
+
+	// Baseline: one long-lived decider that rebuilds closure, memo and
+	// privilege-vertex tables on every generation change (the seed path).
+	basePol := workload.ChurnPolicy(roles, users)
+	baseAuth := core.NewRefinedAuthorizer(basePol)
+	baseAuth.Decider().SetIncremental(false)
+	baseOutcomes := make([]command.Outcome, ops)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		res := command.Step(basePol, workload.ChurnGrant(i, users, roles), baseAuth)
+		baseOutcomes[i] = res.Outcome
+		q := workload.ChurnGrant(i+1, users, roles)
+		priv, err := q.Privilege()
+		if err != nil {
+			return err
+		}
+		if _, ok := baseAuth.Decider().HeldStronger(q.Actor, priv); !ok {
+			return fmt.Errorf("baseline churn query %d denied", i)
+		}
+	}
+	baseDur := time.Since(start)
+
+	// Incremental: the snapshot engine.
+	eng := engine.New(workload.ChurnPolicy(roles, users), engine.Refined)
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		res := eng.Submit(workload.ChurnGrant(i, users, roles))
+		if res.Outcome != baseOutcomes[i] {
+			return fmt.Errorf("op %d: engine outcome %v, baseline %v", i, res.Outcome, baseOutcomes[i])
+		}
+		s := eng.Snapshot()
+		_, ok := s.Authorize(workload.ChurnGrant(i+1, users, roles))
+		s.Close()
+		if !ok {
+			return fmt.Errorf("engine churn query %d denied", i)
+		}
+	}
+	incDur := time.Since(start)
+
+	s := eng.Snapshot()
+	same := s.Policy().Equal(basePol)
+	s.Close()
+	if !same {
+		return fmt.Errorf("engine and baseline final policies diverged")
+	}
+
+	speedup := float64(baseDur) / float64(incDur)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "path\tops\ttotal\tper op\n")
+	fmt.Fprintf(tw, "seed-rebuild\t%d\t%v\t%v\n", ops, baseDur.Round(time.Microsecond), (baseDur / ops).Round(time.Microsecond))
+	fmt.Fprintf(tw, "engine-incremental\t%d\t%v\t%v\n", ops, incDur.Round(time.Microsecond), (incDur / ops).Round(time.Microsecond))
+	tw.Flush()
+	fmt.Fprintf(w, "\nspeedup: %.1fx (outcomes and final policies identical)\n", speedup)
+	if speedup < 2 {
+		return fmt.Errorf("incremental path only %.1fx faster than rebuild baseline", speedup)
+	}
+
+	// Concurrency smoke: snapshot readers under writer churn.
+	var wg sync.WaitGroup
+	errc := make(chan error, 5)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var lastGen uint64
+			for i := 0; i < 200; i++ {
+				snap := eng.Snapshot()
+				gen := snap.Generation()
+				if gen < lastGen {
+					errc <- fmt.Errorf("generation went backwards: %d -> %d", lastGen, gen)
+					snap.Close()
+					return
+				}
+				lastGen = gen
+				if _, ok := snap.Authorize(workload.ChurnGrant(i+g, users, roles)); !ok {
+					errc <- fmt.Errorf("reader %d lost authorization", g)
+					snap.Close()
+					return
+				}
+				snap.Close()
+			}
+		}(g)
+	}
+	for i := 0; i < 100; i++ {
+		eng.Submit(workload.ChurnGrant(ops+i, users, roles))
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "concurrency smoke: 4 readers x 200 snapshot reads under 100 writer transitions: ok\n")
+	return nil
+}
+
+// BenchResult is one machine-readable benchmark measurement.
+type BenchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+}
+
+// BenchSpec names one registered benchmark closure.
+type BenchSpec struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// BenchSpecs returns the benchmarks rbacbench can run standalone (via
+// testing.Benchmark) to emit the cross-PR perf trajectory. The root go-test
+// benchmarks of the same names delegate to these specs, so the BENCH JSON
+// and `go test -bench` always measure identical code.
+func BenchSpecs() []BenchSpec {
+	const roles, users = 1024, 1024
+	return []BenchSpec{
+		{"IncrementalGrant/engine-incremental/roles=1024", func(b *testing.B) {
+			e := engine.New(workload.ChurnPolicy(roles, users), engine.Refined)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res := e.Submit(workload.ChurnGrant(i, users, roles)); res.Outcome == command.Denied || res.Outcome == command.IllFormed {
+					b.Fatalf("churn grant rejected: %v", res.Outcome)
+				}
+				s := e.Snapshot()
+				if _, ok := s.Authorize(workload.ChurnGrant(i+1, users, roles)); !ok {
+					b.Fatal("query denied")
+				}
+				s.Close()
+			}
+		}},
+		{"IncrementalGrant/seed-rebuild/roles=1024", func(b *testing.B) {
+			p := workload.ChurnPolicy(roles, users)
+			auth := core.NewRefinedAuthorizer(p)
+			auth.Decider().SetIncremental(false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res := command.Step(p, workload.ChurnGrant(i, users, roles), auth); res.Outcome == command.Denied || res.Outcome == command.IllFormed {
+					b.Fatalf("churn grant rejected: %v", res.Outcome)
+				}
+				q := workload.ChurnGrant(i+1, users, roles)
+				priv, err := q.Privilege()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, ok := auth.Decider().HeldStronger(q.Actor, priv); !ok {
+					b.Fatal("query denied")
+				}
+			}
+		}},
+		{"SnapshotAuthorizeParallel/roles=256", func(b *testing.B) {
+			e := engine.New(workload.ChurnPolicy(256, 256), engine.Refined)
+			// Precompute the command slab so the measurement matches the root
+			// benchmark: the engine, not fmt.Sprintf.
+			cmds := make([]command.Command, 4096)
+			for i := range cmds {
+				cmds[i] = workload.ChurnGrant(i, 256, 256)
+			}
+			s := e.Snapshot()
+			s.Authorize(cmds[0])
+			s.Close()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					s := e.Snapshot()
+					if _, ok := s.Authorize(cmds[i%len(cmds)]); !ok {
+						s.Close()
+						b.Error("query denied")
+						return
+					}
+					s.Close()
+					i++
+				}
+			})
+		}},
+		{"ClosureBuild/roles=1024", func(b *testing.B) {
+			p := workload.Chain(1024)
+			g := p.Graph()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				graph.NewClosure(g)
+			}
+		}},
+	}
+}
+
+// WriteBenchJSON runs every registered benchmark with testing.Benchmark and
+// writes the results as a flat JSON map (benchmark name → measurement), the
+// machine-readable perf trajectory consumed across PRs (BENCH_1.json).
+func WriteBenchJSON(out io.Writer, progress io.Writer) error {
+	results := make(map[string]BenchResult, len(BenchSpecs()))
+	for _, spec := range BenchSpecs() {
+		r := testing.Benchmark(spec.F)
+		results[spec.Name] = BenchResult{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "%-50s %12.0f ns/op %8d allocs/op\n",
+				spec.Name, results[spec.Name].NsPerOp, results[spec.Name].AllocsPerOp)
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

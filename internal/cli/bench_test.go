@@ -1,0 +1,50 @@
+package cli
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestBenchSpecsRegistry(t *testing.T) {
+	specs := BenchSpecs()
+	if len(specs) < 3 {
+		t.Fatalf("only %d bench specs registered", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if s.Name == "" || s.F == nil {
+			t.Fatalf("incomplete spec %+v", s)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate bench spec %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	for _, want := range []string{
+		"IncrementalGrant/engine-incremental/roles=1024",
+		"IncrementalGrant/seed-rebuild/roles=1024",
+		"SnapshotAuthorizeParallel/roles=256",
+	} {
+		if !seen[want] {
+			t.Fatalf("missing bench spec %q", want)
+		}
+	}
+}
+
+func TestBenchResultJSONShape(t *testing.T) {
+	data, err := json.Marshal(map[string]BenchResult{
+		"X": {NsPerOp: 1.5, AllocsPerOp: 2, BytesPerOp: 3, N: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]map[string]float64
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"ns_per_op", "allocs_per_op"} {
+		if _, ok := back["X"][key]; !ok {
+			t.Fatalf("BENCH json missing %q field: %s", key, data)
+		}
+	}
+}

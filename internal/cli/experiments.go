@@ -64,6 +64,8 @@ func Experiments() []Experiment {
 			"Bounded HRU safety explodes exponentially in subjects; the ordering decision stays polynomial.", runH1},
 		{"A1", "Open problem (§6): candidate revocation orderings",
 			"Every natural ♦-ordering rule is falsified under the printed Definition 7 and survives under the simulation reading — equality-only is the right call.", runA1},
+		{"P1", "Incremental engine: churn speedup and concurrent snapshots",
+			"Incremental closure/memo maintenance beats the rebuild-everything baseline on grant-then-query churn (≥10x at scale; the experiment gates on ≥2x to tolerate loaded CI) with identical outcomes, and snapshot reads stay consistent under writer churn.", runP1},
 	}
 }
 
@@ -116,7 +118,7 @@ func RunExperiment(w io.Writer, id string) error {
 			return runOne(w, e)
 		}
 	}
-	return fmt.Errorf("unknown experiment %q (use one of F1 F2 F3 E5 E6 T1 L1 C1 S1 H1 A1, or all)", id)
+	return fmt.Errorf("unknown experiment %q (use one of F1 F2 F3 E5 E6 T1 L1 C1 S1 H1 A1 P1, or all)", id)
 }
 
 func runOne(w io.Writer, e Experiment) error {

@@ -21,6 +21,27 @@
 //
 // Revocation privileges (♦) are ordered only by equality: the paper's §6
 // explicitly leaves a revocation ordering to future work.
+//
+// # Incremental maintenance
+//
+// A Decider survives policy mutation without rebuilding from scratch. Its
+// caches fall into three invalidation classes:
+//
+//   - The hash-consing tables (terms/children and the per-term vertex-id
+//     caches) are policy-independent: a term's identity never changes, and
+//     graph vertex ids are append-only, so the interner survives every
+//     mutation unconditionally.
+//   - The reachability closure is maintained incrementally: edge insertions
+//     OR bit-rows forward through the predecessor worklist (graph.Closure);
+//     edge removals trigger a scoped rebuild of the closure only.
+//   - The memo is split by polarity. Ãφ is monotone in →φ, so a purely
+//     additive policy delta can only flip negative answers: positive memo
+//     entries survive, negative ones are dropped. Any removal clears both.
+//
+// The privilege-vertex list is re-derived only when the graph's vertex count
+// changes (vertices are never removed; see DESIGN.md D6). SetIncremental
+// disables all of this and restores the rebuild-everything behaviour, which
+// benchmarks use as the baseline.
 package core
 
 import (
@@ -31,18 +52,30 @@ import (
 
 // Decider answers p Ãφ q queries against one policy, caching the policy's
 // reachability closure and memoising subterm decisions. A Decider detects
-// policy mutation via the policy generation counter and rebuilds its caches,
-// so it is safe to keep one Decider per long-lived policy. Not safe for
+// policy mutation via the policy generation counter and refreshes its caches
+// incrementally (see the package comment for what survives), so it is safe
+// and cheap to keep one Decider per long-lived policy. Not safe for
 // concurrent use.
 type Decider struct {
 	pol *policy.Policy
 
+	// incremental enables delta-based refresh; when false every policy
+	// mutation rebuilds closure, memo and privilege-vertex tables in full
+	// (the seed behaviour, kept as a benchmark baseline).
+	incremental bool
+
 	gen          uint64
 	closure      *graph.Closure
+	numVerts     int
 	privVerts    []model.Privilege
 	privVertIDs  []termID
 	privVertKeys []string
-	memo         map[[2]termID]int8
+	privVertGIDs []int32 // graph vertex ids of the privilege vertices
+
+	// memo is split by polarity so additive policy deltas can drop the
+	// (possibly flipped) negatives in O(1) while keeping the positives.
+	memoPos map[[2]termID]struct{}
+	memoNeg map[[2]termID]struct{}
 
 	// Privilege terms are hash-consed into dense termIDs so that structural
 	// equality is an integer comparison and memoisation never hashes a whole
@@ -51,6 +84,17 @@ type Decider struct {
 	// costs O(d) once and the ordering recursion stays linear (Lemma 1).
 	terms    map[levelKey]termID
 	children []termID // termID -> id of the nested privilege, or noChild
+
+	// Per-term vertex-id caches: the graph ids of an admin term's source and
+	// (entity) destination, so the hot reachability checks are two integer
+	// comparisons plus a bit test with no string-map lookups. vidNone marks
+	// terms without that operand; vidUnresolved marks operands whose vertex
+	// was not in the graph at interning time and is re-looked-up lazily
+	// (vertex ids are append-only, so a resolved id never goes stale).
+	srcKeys []string
+	srcVIDs []int32
+	dstKeys []string
+	dstVIDs []int32
 }
 
 // termID identifies a hash-consed privilege term inside one Decider.
@@ -58,6 +102,14 @@ type termID int32
 
 // noChild marks a term whose destination is not a privilege.
 const noChild termID = -1
+
+const (
+	// vidNone marks a term level without that vertex operand.
+	vidNone int32 = -1
+	// vidUnresolved marks an operand whose vertex was absent from the graph
+	// when last looked up; it is retried on use.
+	vidUnresolved int32 = -2
+)
 
 // levelKey identifies one grammar level: the payload string encodes the
 // constructor and its non-privilege operands; child is the interned nested
@@ -67,24 +119,47 @@ type levelKey struct {
 	child   termID
 }
 
-// NewDecider builds a Decider for the policy.
+// NewDecider builds a Decider for the policy with incremental cache
+// maintenance enabled.
 func NewDecider(p *policy.Policy) *Decider {
-	d := &Decider{pol: p, terms: make(map[levelKey]termID)}
+	d := &Decider{pol: p, terms: make(map[levelKey]termID), incremental: true}
 	d.refresh()
 	return d
 }
 
+// SetIncremental toggles incremental cache maintenance. Disabling it makes
+// every refresh rebuild the closure, memo and privilege-vertex tables from
+// scratch — the rebuild-everything baseline the benchmarks compare against.
+func (d *Decider) SetIncremental(on bool) { d.incremental = on }
+
 func (d *Decider) refresh() {
-	d.gen = d.pol.Generation()
-	d.closure = graph.NewClosure(d.pol.Graph())
-	d.privVerts = d.pol.PrivilegeVertices()
-	d.memo = make(map[[2]termID]int8)
-	d.privVertIDs = make([]termID, len(d.privVerts))
-	d.privVertKeys = make([]string, len(d.privVerts))
-	for i, pv := range d.privVerts {
-		d.privVertIDs[i] = d.id(pv)
-		d.privVertKeys[i] = pv.Key()
+	g := d.pol.Graph()
+	additive := false
+	if d.incremental && d.closure != nil {
+		additive = d.closure.Update()
+	} else {
+		d.closure = graph.NewClosure(g)
 	}
+	if additive && d.memoPos != nil {
+		// Ãφ is monotone in →φ: growth can only flip negatives.
+		d.memoNeg = make(map[[2]termID]struct{})
+	} else {
+		d.memoPos = make(map[[2]termID]struct{})
+		d.memoNeg = make(map[[2]termID]struct{})
+	}
+	if !d.incremental || d.privVerts == nil || g.NumVertices() != d.numVerts {
+		d.numVerts = g.NumVertices()
+		d.privVerts = d.pol.PrivilegeVertices()
+		d.privVertIDs = make([]termID, len(d.privVerts))
+		d.privVertKeys = make([]string, len(d.privVerts))
+		d.privVertGIDs = make([]int32, len(d.privVerts))
+		for i, pv := range d.privVerts {
+			d.privVertIDs[i] = d.id(pv)
+			d.privVertKeys[i] = pv.Key()
+			d.privVertGIDs[i] = int32(g.Lookup(d.privVertKeys[i]))
+		}
+	}
+	d.gen = d.pol.Generation()
 }
 
 // id interns a privilege term, returning its dense identifier. Two terms
@@ -92,36 +167,91 @@ func (d *Decider) refresh() {
 func (d *Decider) id(p model.Privilege) termID {
 	switch t := p.(type) {
 	case model.UserPrivilege:
-		return d.intern(levelKey{payload: "q\x00" + t.Action + "\x00" + t.Object, child: noChild})
+		return d.intern(levelKey{payload: "q\x00" + t.Action + "\x00" + t.Object, child: noChild}, "", "")
 	case model.AdminPrivilege:
 		switch dst := t.Dst.(type) {
 		case model.Entity:
 			return d.intern(levelKey{
 				payload: "e\x00" + t.Op.Symbol() + "\x00" + t.Src.Key() + "\x00" + dst.Key(),
 				child:   noChild,
-			})
+			}, t.Src.Key(), dst.Key())
 		case model.Privilege:
 			return d.intern(levelKey{
 				payload: "n\x00" + t.Op.Symbol() + "\x00" + t.Src.Key(),
 				child:   d.id(dst),
-			})
+			}, t.Src.Key(), "")
 		}
 	}
 	// Ungrammatical terms (nil or foreign destinations) never equal anything:
 	// give each occurrence a fresh id.
 	id := termID(len(d.children))
 	d.children = append(d.children, noChild)
+	d.srcKeys = append(d.srcKeys, "")
+	d.srcVIDs = append(d.srcVIDs, vidNone)
+	d.dstKeys = append(d.dstKeys, "")
+	d.dstVIDs = append(d.dstVIDs, vidNone)
 	return id
 }
 
-func (d *Decider) intern(key levelKey) termID {
+func (d *Decider) intern(key levelKey, srcKey, dstKey string) termID {
 	if id, ok := d.terms[key]; ok {
 		return id
 	}
 	id := termID(len(d.children))
 	d.terms[key] = id
 	d.children = append(d.children, key.child)
+	d.srcKeys = append(d.srcKeys, srcKey)
+	d.srcVIDs = append(d.srcVIDs, vidOf(d.pol, srcKey))
+	d.dstKeys = append(d.dstKeys, dstKey)
+	d.dstVIDs = append(d.dstVIDs, vidOf(d.pol, dstKey))
 	return id
+}
+
+func vidOf(p *policy.Policy, key string) int32 {
+	if key == "" {
+		return vidNone
+	}
+	if v := p.Graph().Lookup(key); v != graph.NoVertex {
+		return int32(v)
+	}
+	return vidUnresolved
+}
+
+// resolveVID returns the cached graph vertex id of a term operand, retrying
+// the lookup for operands that were absent at interning time (the vertex may
+// have been added since). Resolved ids are permanent: vertices are never
+// removed.
+func (d *Decider) resolveVID(vids []int32, keys []string, id termID) int32 {
+	v := vids[id]
+	if v != vidUnresolved {
+		return v
+	}
+	if g := d.pol.Graph().Lookup(keys[id]); g != graph.NoVertex {
+		vids[id] = int32(g)
+		return int32(g)
+	}
+	return vidUnresolved
+}
+
+// srcReaches reports Src(from) →φ Src(to) over cached vertex ids. Operands
+// missing from the graph reach only themselves.
+func (d *Decider) srcReaches(from, to termID) bool {
+	f := d.resolveVID(d.srcVIDs, d.srcKeys, from)
+	t := d.resolveVID(d.srcVIDs, d.srcKeys, to)
+	if f >= 0 && t >= 0 {
+		return d.closure.Reaches(int(f), int(t))
+	}
+	return d.srcKeys[from] == d.srcKeys[to]
+}
+
+// dstReaches reports Dst(from) →φ Dst(to) for entity destinations.
+func (d *Decider) dstReaches(from, to termID) bool {
+	f := d.resolveVID(d.dstVIDs, d.dstKeys, from)
+	t := d.resolveVID(d.dstVIDs, d.dstKeys, to)
+	if f >= 0 && t >= 0 {
+		return d.closure.Reaches(int(f), int(t))
+	}
+	return d.dstKeys[from] == d.dstKeys[to]
 }
 
 func (d *Decider) check() {
@@ -135,10 +265,13 @@ func (d *Decider) check() {
 // decision cost without paying the closure build on every iteration.
 func (d *Decider) ResetMemo() {
 	d.check()
-	d.memo = make(map[[2]termID]int8)
+	d.memoPos = make(map[[2]termID]struct{})
+	d.memoNeg = make(map[[2]termID]struct{})
 }
 
 // reaches reports v →φ v' over canonical keys using the cached closure.
+// Cold-path callers (derivations, enumeration) use it; the decision
+// procedure itself runs on cached vertex ids.
 func (d *Decider) reaches(fromKey, toKey string) bool {
 	if fromKey == toKey {
 		return true
@@ -173,14 +306,17 @@ func (d *Decider) weakerID(p, q model.Privilege, pid, qid termID) bool {
 		return true // rule (1)
 	}
 	key := [2]termID{pid, qid}
-	if v, ok := d.memo[key]; ok {
-		return v > 0
+	if _, ok := d.memoPos[key]; ok {
+		return true
+	}
+	if _, ok := d.memoNeg[key]; ok {
+		return false
 	}
 	res := d.weakerUncached(p, q, pid, qid)
 	if res {
-		d.memo[key] = 1
+		d.memoPos[key] = struct{}{}
 	} else {
-		d.memo[key] = -1
+		d.memoNeg[key] = struct{}{}
 	}
 	return res
 }
@@ -200,36 +336,39 @@ func (d *Decider) weakerUncached(p, q model.Privilege, pid, qid termID) bool {
 		return false
 	}
 	// q = ¤(x, y), p = ¤(a, b): rules (2)/(3) require x →φ a ...
-	if !d.reaches(qa.Src.Key(), pa.Src.Key()) {
+	if !d.srcReaches(qid, pid) {
 		return false
 	}
 	// ... and the destination of p to dominate the destination of q.
-	return d.below(pa.Dst, qa.Dst, d.children[pid], d.children[qid])
+	return d.below(pa.Dst, qa.Dst, pid, qid)
 }
 
-// below captures the destination side of the rules: b dominates y when a
-// derivation chain can rewrite destination b into destination y. bid/yid are
-// the interned ids of b/y when they are privileges (noChild otherwise).
-func (d *Decider) below(b, y model.Vertex, bid, yid termID) bool {
+// below captures the destination side of the rules: b = Dst(pid) dominates
+// y = Dst(qid) when a derivation chain can rewrite destination b into
+// destination y.
+func (d *Decider) below(b, y model.Vertex, pid, qid termID) bool {
 	switch yt := y.(type) {
 	case model.Entity:
-		be, ok := b.(model.Entity)
-		if !ok {
+		if _, ok := b.(model.Entity); !ok {
 			// A privilege destination never rewrites back to an entity.
 			return false
 		}
-		return d.reaches(be.Key(), yt.Key()) // rule (2): v3 →φ v4
+		return d.dstReaches(pid, qid) // rule (2): v3 →φ v4
 	case model.Privilege:
 		if bp, ok := b.(model.Privilege); ok {
-			return d.weakerID(bp, yt, bid, yid) // rule (3): p1 Ãφ p2
+			return d.weakerID(bp, yt, d.children[pid], d.children[qid]) // rule (3): p1 Ãφ p2
 		}
 		// b is an entity and y a privilege term: rule (2) can hop from the
 		// vertex b to any privilege vertex P' of the policy graph that b
 		// reaches (Example 6), after which rule (3) chains P' Ãφ y.
-		be := b.(model.Entity)
-		beKey := be.Key()
+		bv := d.resolveVID(d.dstVIDs, d.dstKeys, pid)
+		if bv < 0 {
+			return false // b is not a vertex of the policy graph
+		}
+		yid := d.children[qid]
 		for i, pv := range d.privVerts {
-			if d.reaches(beKey, d.privVertKeys[i]) && d.weakerID(pv, yt, d.privVertIDs[i], yid) {
+			if d.closure.Reaches(int(bv), int(d.privVertGIDs[i])) &&
+				d.weakerID(pv, yt, d.privVertIDs[i], yid) {
 				return true
 			}
 		}
@@ -301,16 +440,34 @@ func Weaker(p *policy.Policy, strong, weak model.Privilege) bool {
 	return NewDecider(p).Weaker(strong, weak)
 }
 
+// Holds reports the literal Definition 5 authorization condition: user u
+// reaches the privilege vertex q in the policy graph. It answers from the
+// cached closure, so repeated strict checks avoid the per-query DFS that
+// policy.Reaches performs.
+func (d *Decider) Holds(user string, q model.Privilege) bool {
+	d.check()
+	g := d.pol.Graph()
+	uv := g.Lookup(model.User(user).Key())
+	pv := g.Lookup(q.Key())
+	if uv == graph.NoVertex || pv == graph.NoVertex {
+		return false
+	}
+	return d.closure.Reaches(uv, pv)
+}
+
 // HeldStronger reports whether user u holds (reaches) some privilege h of
 // the policy with h Ãφ q, returning the first such h. This is the paper's
 // implicit authorization: "users with administrative privileges are
 // implicitly authorized for weaker administrative privileges" (§4.1).
 func (d *Decider) HeldStronger(user string, q model.Privilege) (model.Privilege, bool) {
 	d.check()
-	uk := model.User(user).Key()
+	uv := d.pol.Graph().Lookup(model.User(user).Key())
+	if uv == graph.NoVertex {
+		return nil, false
+	}
 	qid := d.id(q)
 	for i, h := range d.privVerts {
-		if d.reaches(uk, d.privVertKeys[i]) && d.weakerID(h, q, d.privVertIDs[i], qid) {
+		if d.closure.Reaches(uv, int(d.privVertGIDs[i])) && d.weakerID(h, q, d.privVertIDs[i], qid) {
 			return h, true
 		}
 	}
@@ -322,11 +479,14 @@ func (d *Decider) HeldStronger(user string, q model.Privilege) (model.Privilege,
 // policy's privilege vertices. Used by analyses and explanations.
 func (d *Decider) StrongerHeldBy(user string, q model.Privilege) []model.Privilege {
 	d.check()
-	uk := model.User(user).Key()
+	uv := d.pol.Graph().Lookup(model.User(user).Key())
+	if uv == graph.NoVertex {
+		return nil
+	}
 	var out []model.Privilege
 	qid := d.id(q)
 	for i, h := range d.privVerts {
-		if d.reaches(uk, d.privVertKeys[i]) && d.weakerID(h, q, d.privVertIDs[i], qid) {
+		if d.closure.Reaches(uv, int(d.privVertGIDs[i])) && d.weakerID(h, q, d.privVertIDs[i], qid) {
 			out = append(out, h)
 		}
 	}

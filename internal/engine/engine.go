@@ -1,0 +1,282 @@
+// Package engine provides a mutation-aware, concurrency-safe authorization
+// engine over an administrative RBAC policy: unbounded concurrent readers
+// evaluate Authorize / Weaker / HeldStronger queries lock-free against an
+// immutable Snapshot, while a single writer applies grant/revoke transitions
+// and publishes new snapshots behind an atomic pointer.
+//
+// The design is copy-on-write at replica granularity with RCU-style
+// reclamation: the engine keeps a small set of policy replicas, exactly one
+// of which is published at a time. A mutation is applied to a quiescent
+// spare replica (first catching it up on the mutations it missed, replayed
+// from a bounded log), which is then published with one atomic store. The
+// previous replica becomes the next spare once its readers drain; a replica
+// is only ever mutated when its reader count is zero. Decider caches attached
+// to a replica survive publication cycles and refresh incrementally (see
+// internal/core), so a grant costs O(delta), not a closure rebuild.
+//
+// See README.md in this package for the invalidation rules: what survives a
+// mutation and what does not.
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/core"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+)
+
+// Mode selects the authorization regime snapshots decide under.
+type Mode uint8
+
+const (
+	// Strict authorizes by the literal Definition 5 check.
+	Strict Mode = iota
+	// Refined additionally grants every privilege weaker (Ãφ) than a held
+	// one, per §4.1.
+	Refined
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Refined {
+		return "refined"
+	}
+	return "strict"
+}
+
+// maxEngineLog bounds the engine's replay log; when exceeded the oldest half
+// is dropped and replicas that were behind the dropped window resynchronise
+// by cloning the current state.
+const maxEngineLog = 4096
+
+// replica is one materialisation of the policy state. Invariant: a replica
+// is mutated only while unpublished and with zero readers.
+type replica struct {
+	pol  *policy.Policy
+	auth command.Authorizer
+	pos  int // engine log position pol reflects
+	refs atomic.Int64
+	pool *sync.Pool // *core.Decider bound to pol, one per concurrent reader
+}
+
+func newReplica(p *policy.Policy, mode Mode, pos int) *replica {
+	r := &replica{}
+	r.rebind(p, mode, pos)
+	return r
+}
+
+// rebind points the replica at a fresh policy materialisation, discarding
+// decider caches bound to the old one. Only called on quiescent replicas.
+func (r *replica) rebind(p *policy.Policy, mode Mode, pos int) {
+	r.pol = p
+	r.pos = pos
+	if mode == Refined {
+		r.auth = core.NewRefinedAuthorizer(p)
+	} else {
+		r.auth = core.NewStrictAuthorizer(p)
+	}
+	r.pool = &sync.Pool{New: func() any { return core.NewDecider(p) }}
+}
+
+// Engine owns the policy state and coordinates one writer with any number of
+// lock-free readers.
+type Engine struct {
+	mu   sync.Mutex // serialises writers
+	mode Mode
+	cur  atomic.Pointer[Snapshot]
+
+	// log holds the applied mutations; log[i] moved the engine generation
+	// from logBase+i to logBase+i+1. Replicas catch up by replaying their
+	// suffix.
+	log      []command.Command
+	logBase  int
+	replicas []*replica
+}
+
+// New builds an engine, taking ownership of the policy: the caller must not
+// mutate p afterwards.
+func New(p *policy.Policy, mode Mode) *Engine {
+	e := &Engine{mode: mode}
+	r := newReplica(p, mode, 0)
+	e.replicas = []*replica{r}
+	e.cur.Store(&Snapshot{e: e, r: r, gen: 0})
+	return e
+}
+
+// Mode returns the engine's authorization mode.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// Generation returns the number of applied (state-changing) transitions.
+func (e *Engine) Generation() uint64 {
+	return e.cur.Load().gen
+}
+
+// Snapshot returns the current published snapshot with a reader reference
+// held. The caller must Close it; until then the snapshot is immutable and
+// all its methods are safe for concurrent use with the writer and with other
+// readers.
+func (e *Engine) Snapshot() *Snapshot {
+	for {
+		s := e.cur.Load()
+		s.r.refs.Add(1)
+		if e.cur.Load() == s {
+			return s
+		}
+		// The snapshot was republished between the load and the reference;
+		// back off so the writer can reclaim the replica, and retry.
+		s.r.refs.Add(-1)
+	}
+}
+
+// Submit executes one administrative command through the transition function
+// (Definition 5) against the current state, publishing a new snapshot when
+// the policy changed.
+func (e *Engine) Submit(c command.Command) command.StepResult {
+	res, _ := e.SubmitGuarded(c, nil)
+	return res
+}
+
+// SubmitGuarded is Submit with a veto hook: guard runs against the
+// up-to-date pre-state under the writer lock, and a non-nil error denies the
+// command without effect (the error is returned for audit trails).
+// Constraint sets (SSD) hook in here.
+func (e *Engine) SubmitGuarded(c command.Command, guard func(pre *policy.Policy) error) (command.StepResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	cur := e.cur.Load()
+	next := e.writable(cur)
+	e.catchUp(next)
+	if guard != nil {
+		if err := guard(next.pol); err != nil {
+			return command.StepResult{Cmd: c, Outcome: command.Denied}, err
+		}
+	}
+	res := command.Step(next.pol, c, next.auth)
+	if res.Outcome != command.Applied {
+		// State unchanged: keep the current snapshot published; next stays a
+		// caught-up spare.
+		return res, nil
+	}
+	e.log = append(e.log, c)
+	e.trimLog()
+	next.pos = e.logBase + len(e.log)
+	e.cur.Store(&Snapshot{e: e, r: next, gen: uint64(next.pos)})
+	return res, nil
+}
+
+// writable returns a quiescent replica distinct from the published one,
+// cloning the current state when every spare is still pinned by readers.
+func (e *Engine) writable(cur *Snapshot) *replica {
+	for _, r := range e.replicas {
+		if r != cur.r && r.refs.Load() == 0 {
+			return r
+		}
+	}
+	r := newReplica(cur.r.pol.Clone(), e.mode, cur.r.pos)
+	e.replicas = append(e.replicas, r)
+	return r
+}
+
+// catchUp replays the mutations r missed. A replica behind the trimmed log
+// window resynchronises by cloning the published state.
+func (e *Engine) catchUp(r *replica) {
+	head := e.logBase + len(e.log)
+	if r.pos == head {
+		return
+	}
+	if r.pos < e.logBase {
+		cur := e.cur.Load().r
+		r.rebind(cur.pol.Clone(), e.mode, head)
+		return
+	}
+	for i := r.pos - e.logBase; i < len(e.log); i++ {
+		// Replay the effect only: the command was already authorized when it
+		// entered the log.
+		command.Apply(r.pol, e.log[i])
+	}
+	r.pos = head
+}
+
+func (e *Engine) trimLog() {
+	if len(e.log) < maxEngineLog {
+		return
+	}
+	drop := len(e.log) / 2
+	e.log = append(e.log[:0], e.log[drop:]...)
+	e.logBase += drop
+}
+
+// Snapshot is an immutable view of the policy at one engine generation:
+// policy, reachability closure and decider caches. All methods are safe for
+// concurrent use by multiple goroutines until Close releases the reader
+// reference; using a snapshot after Close is a bug.
+type Snapshot struct {
+	e   *Engine
+	r   *replica
+	gen uint64
+}
+
+// Close releases the reader reference, allowing the writer to recycle the
+// underlying replica.
+func (s *Snapshot) Close() { s.r.refs.Add(-1) }
+
+// Generation identifies the engine state the snapshot reflects. Generations
+// are monotone: a snapshot acquired later never observes a smaller one.
+func (s *Snapshot) Generation() uint64 { return s.gen }
+
+// Policy exposes the snapshot's policy for read-only use. Mutating it is a
+// bug (it would corrupt concurrent readers).
+func (s *Snapshot) Policy() *policy.Policy { return s.r.pol }
+
+// decider borrows a per-reader decider from the replica's pool. Deciders
+// carry warm closures and memo tables across queries and publication cycles,
+// refreshing incrementally when the replica was advanced in between.
+func (s *Snapshot) decider() *core.Decider {
+	return s.r.pool.Get().(*core.Decider)
+}
+
+func (s *Snapshot) release(d *core.Decider) { s.r.pool.Put(d) }
+
+// Authorize reports whether the command is authorized under the engine's
+// mode, returning the justifying privilege. It never mutates policy state.
+func (s *Snapshot) Authorize(c command.Command) (model.Privilege, bool) {
+	priv, err := c.Privilege()
+	if err != nil {
+		return nil, false
+	}
+	d := s.decider()
+	defer s.release(d)
+	if s.e.mode == Refined {
+		return d.HeldStronger(c.Actor, priv)
+	}
+	if d.Holds(c.Actor, priv) {
+		return priv, true
+	}
+	return nil, false
+}
+
+// Weaker reports p Ãφ q under the snapshot's policy.
+func (s *Snapshot) Weaker(p, q model.Privilege) bool {
+	d := s.decider()
+	defer s.release(d)
+	return d.Weaker(p, q)
+}
+
+// HeldStronger reports whether the user holds a privilege at least as strong
+// as q, returning the first witness.
+func (s *Snapshot) HeldStronger(user string, q model.Privilege) (model.Privilege, bool) {
+	d := s.decider()
+	defer s.release(d)
+	return d.HeldStronger(user, q)
+}
+
+// Explain decides strong Ãφ weak and produces a derivation witness.
+func (s *Snapshot) Explain(strong, weak model.Privilege) (*core.Derivation, bool) {
+	d := s.decider()
+	defer s.release(d)
+	return d.Explain(strong, weak)
+}

@@ -30,6 +30,51 @@ type Digraph struct {
 
 	// generation increments on every mutation; cached closures check it.
 	generation uint64
+
+	// log records recent mutations so cached closures can catch up
+	// incrementally instead of rebuilding. log[i] is the mutation that moved
+	// the generation from logBase+i to logBase+i+1; the log is trimmed once
+	// it exceeds maxMutationLog, after which closures older than the window
+	// fall back to a full rebuild.
+	log     []mutation
+	logBase uint64
+}
+
+// mutation is one logged graph change.
+type mutation struct {
+	kind mutKind
+	f, t int32
+}
+
+type mutKind uint8
+
+const (
+	mutAddVertex mutKind = iota // f = new vertex id
+	mutAddEdge                  // f -> t inserted
+	mutRemoveEdge               // f -> t deleted
+)
+
+// maxMutationLog bounds the mutation log; when exceeded, the oldest half is
+// dropped and closures that were behind the dropped window rebuild in full.
+const maxMutationLog = 8192
+
+func (g *Digraph) record(m mutation) {
+	if len(g.log) >= maxMutationLog {
+		drop := len(g.log) / 2
+		g.log = append(g.log[:0], g.log[drop:]...)
+		g.logBase += uint64(drop)
+	}
+	g.log = append(g.log, m)
+	g.generation++
+}
+
+// logSince returns the mutations applied after generation gen, or ok=false
+// when the log no longer covers that point (the caller must rebuild).
+func (g *Digraph) logSince(gen uint64) ([]mutation, bool) {
+	if gen < g.logBase || gen > g.generation {
+		return nil, false
+	}
+	return g.log[gen-g.logBase:], true
 }
 
 // New returns an empty digraph.
@@ -40,14 +85,20 @@ func New() *Digraph {
 	}
 }
 
-// Clone returns an independent deep copy of g.
+// Clone returns an independent deep copy of g. The generation counter and
+// mutation log are copied too, so incremental-closure bookkeeping on the
+// clone behaves identically to the original's (a Closure itself pins the
+// *Digraph it was built on and is never transferable between graphs).
 func (g *Digraph) Clone() *Digraph {
 	c := &Digraph{
-		ids:   make(map[string]int, len(g.ids)),
-		keys:  append([]string(nil), g.keys...),
-		succ:  make([][]int, len(g.succ)),
-		pred:  make([][]int, len(g.pred)),
-		edges: make(map[[2]int]struct{}, len(g.edges)),
+		ids:        make(map[string]int, len(g.ids)),
+		keys:       append([]string(nil), g.keys...),
+		succ:       make([][]int, len(g.succ)),
+		pred:       make([][]int, len(g.pred)),
+		edges:      make(map[[2]int]struct{}, len(g.edges)),
+		generation: g.generation,
+		log:        append([]mutation(nil), g.log...),
+		logBase:    g.logBase,
 	}
 	for k, v := range g.ids {
 		c.ids[k] = v
@@ -75,7 +126,7 @@ func (g *Digraph) AddVertex(key string) int {
 	g.keys = append(g.keys, key)
 	g.succ = append(g.succ, nil)
 	g.pred = append(g.pred, nil)
-	g.generation++
+	g.record(mutation{kind: mutAddVertex, f: int32(id)})
 	return id
 }
 
@@ -120,7 +171,7 @@ func (g *Digraph) AddEdgeID(f, t int) bool {
 	g.edges[[2]int{f, t}] = struct{}{}
 	g.succ[f] = append(g.succ[f], t)
 	g.pred[t] = append(g.pred[t], f)
-	g.generation++
+	g.record(mutation{kind: mutAddEdge, f: int32(f), t: int32(t)})
 	return true
 }
 
@@ -142,7 +193,7 @@ func (g *Digraph) RemoveEdgeID(f, t int) bool {
 	delete(g.edges, [2]int{f, t})
 	g.succ[f] = removeOne(g.succ[f], t)
 	g.pred[t] = removeOne(g.pred[t], f)
-	g.generation++
+	g.record(mutation{kind: mutRemoveEdge, f: int32(f), t: int32(t)})
 	return true
 }
 
@@ -290,46 +341,71 @@ func (g *Digraph) Path(from, to string) []string {
 }
 
 // Closure is a materialised reflexive-transitive closure snapshot of a
-// Digraph, valid for the generation at which it was built.
+// Digraph, valid for the generation at which it was built or last updated.
+//
+// A Closure is incrementally maintainable: Update replays the digraph's
+// mutation log since the closure's generation. Edge insertions are applied
+// by OR-ing the target's bit-row into the source's row and propagating the
+// change to every (transitive) predecessor whose row grows, via a worklist
+// over the predecessor lists — a monotone fixpoint that is correct even when
+// the new edge merges strongly connected components. New vertices append a
+// reflexive row while they fit the allocated row stride. Edge removals are
+// not monotone, so they (and log-window overruns or stride overflow) fall
+// back to a full rebuild.
+//
+// A Closure is not safe for concurrent use with Update; concurrent Reaches
+// calls on a quiescent closure are safe.
 type Closure struct {
 	g          *Digraph
 	generation uint64
 	n          int
-	bits       []uint64 // n rows of ceil(n/64) words
-	words      int
+	bits       []uint64 // n rows of `words` words each
+	words      int      // row stride; allocated with headroom for vertex growth
+
+	// scratch state reused across incremental updates.
+	inWork []bool
+	work   []int
 }
 
 // NewClosure materialises the reflexive-transitive closure of g. Queries
 // against a stale closure (after g mutated) panic, to surface invalidation
-// bugs early.
+// bugs early; call Update to catch up incrementally instead.
 func NewClosure(g *Digraph) *Closure {
+	c := &Closure{g: g}
+	c.rebuild()
+	return c
+}
+
+// rebuild recomputes the closure from scratch at the digraph's current
+// generation, in reverse topological order of the SCC condensation so each
+// row is computed once.
+func (c *Closure) rebuild() {
+	g := c.g
 	n := g.NumVertices()
-	words := (n + 63) / 64
-	c := &Closure{g: g, generation: g.generation, n: n, bits: make([]uint64, n*words), words: words}
-	// Propagate in reverse topological order of the SCC condensation so each
-	// row is computed once.
+	// Allocate the row stride with headroom so vertex additions can be
+	// applied incrementally without re-laying-out every row.
+	words := (n + n/2 + 64 + 63) / 64
+	c.generation = g.generation
+	c.n = n
+	c.words = words
+	c.bits = make([]uint64, n*words)
 	comp, order := g.SCC()
-	_ = comp
-	// order lists SCC representatives in reverse topological order already.
+	row := make([]uint64, words) // scratch row shared across SCCs
 	for _, scc := range order {
-		// Union of all successors' rows into this SCC's row, then set members.
-		row := make([]uint64, words)
+		for i := range row {
+			row[i] = 0
+		}
+		// Union of all out-of-SCC successors' rows, then the members.
 		for _, v := range scc {
 			row[v/64] |= 1 << (v % 64)
 		}
+		cid := comp[scc[0]]
 		for _, v := range scc {
 			for _, w := range g.succ[v] {
-				wrow := c.bits[w*words : (w+1)*words]
-				inSCC := false
-				for _, u := range scc {
-					if u == w {
-						inSCC = true
-						break
-					}
-				}
-				if inSCC {
+				if comp[w] == cid {
 					continue
 				}
+				wrow := c.bits[w*words : (w+1)*words]
 				for i := 0; i < words; i++ {
 					row[i] |= wrow[i]
 				}
@@ -339,8 +415,110 @@ func NewClosure(g *Digraph) *Closure {
 			copy(c.bits[v*words:(v+1)*words], row)
 		}
 	}
-	return c
 }
+
+// Update brings the closure up to date with its digraph. It reports whether
+// the delta was purely additive — i.e. it was applied incrementally and
+// reachability only grew. A false return means a full rebuild happened
+// (edge removal, log window exceeded, or row-stride overflow); the closure
+// is current either way.
+func (c *Closure) Update() (additive bool) {
+	if c.generation == c.g.generation {
+		return true
+	}
+	entries, ok := c.g.logSince(c.generation)
+	if !ok {
+		c.rebuild()
+		return false
+	}
+	for _, m := range entries {
+		if m.kind == mutRemoveEdge {
+			c.rebuild()
+			return false
+		}
+		if m.kind == mutAddVertex && int(m.f) >= c.words*64 {
+			c.rebuild()
+			return false
+		}
+	}
+	for _, m := range entries {
+		switch m.kind {
+		case mutAddVertex:
+			c.growTo(int(m.f) + 1)
+		case mutAddEdge:
+			c.addEdge(int(m.f), int(m.t))
+		}
+	}
+	c.generation = c.g.generation
+	return true
+}
+
+// growTo appends reflexive rows for vertices [c.n, n). Vertex additions are
+// logged in id order, so rows stay contiguous.
+func (c *Closure) growTo(n int) {
+	for v := c.n; v < n; v++ {
+		row := make([]uint64, c.words)
+		row[v/64] |= 1 << (v % 64)
+		c.bits = append(c.bits, row...)
+	}
+	if n > c.n {
+		c.n = n
+	}
+}
+
+// addEdge ORs t's row into f's row and propagates to every predecessor whose
+// row changes. Rows grow monotonically, so the worklist converges; cycles
+// (SCC merges) simply saturate the merged component's rows.
+func (c *Closure) addEdge(f, t int) {
+	words := c.words
+	if !c.orRow(f, c.bits[t*words:(t+1)*words]) {
+		return
+	}
+	if cap(c.inWork) < c.n {
+		c.inWork = make([]bool, c.n+c.n/2+8)
+	}
+	inWork := c.inWork[:cap(c.inWork)]
+	work := c.work[:0]
+	work = append(work, f)
+	inWork[f] = true
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[v] = false
+		vrow := c.bits[v*words : (v+1)*words]
+		for _, p := range c.g.pred[v] {
+			// Predecessor lists reflect the digraph's head state, which may
+			// include vertices added later in the log window being replayed;
+			// their rows do not exist yet. Skipping them is sound: a later
+			// vertex's edges all appear after its AddVertex entry, so its row
+			// is fully rebuilt by the remaining replay.
+			if p >= c.n {
+				continue
+			}
+			if c.orRow(p, vrow) && !inWork[p] {
+				inWork[p] = true
+				work = append(work, p)
+			}
+		}
+	}
+	c.work = work
+}
+
+// orRow ORs src into vertex v's row, reporting whether any bit changed.
+func (c *Closure) orRow(v int, src []uint64) bool {
+	row := c.bits[v*c.words : (v+1)*c.words]
+	changed := false
+	for i, w := range src {
+		if nv := row[i] | w; nv != row[i] {
+			row[i] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Generation returns the digraph generation the closure is valid for.
+func (c *Closure) Generation() uint64 { return c.generation }
 
 // Reaches reports reflexive-transitive reachability using the materialised
 // closure.

@@ -3,12 +3,16 @@
 // mechanism), access checks, and the administrative interface that executes
 // commands through the transition function of Definition 5.
 //
-// The monitor serialises all access with an internal mutex, making it safe
-// for concurrent use. Administrative authorization is pluggable: a monitor
-// runs either in strict mode (literal Definition 5) or refined mode (the
-// ordering-based implicit authorization of §4.1). Every administrative
-// action is recorded in an audit log; package storage can persist the log
-// as a write-ahead journal.
+// Policy state lives in an internal/engine Engine: administrative commands
+// are serialised through the engine's single writer, while access checks and
+// other read-only queries evaluate against immutable lock-free snapshots, so
+// heavy read traffic never contends with session bookkeeping or with the
+// writer. The monitor's own mutex only guards sessions, the audit log,
+// observers and the constraint set. Administrative authorization is
+// pluggable: a monitor runs either in strict mode (literal Definition 5) or
+// refined mode (the ordering-based implicit authorization of §4.1). Every
+// administrative action is recorded in an audit log; package storage can
+// persist the log as a write-ahead journal.
 package monitor
 
 import (
@@ -17,7 +21,7 @@ import (
 
 	"adminrefine/internal/command"
 	"adminrefine/internal/constraints"
-	"adminrefine/internal/core"
+	"adminrefine/internal/engine"
 	"adminrefine/internal/model"
 	"adminrefine/internal/policy"
 )
@@ -39,6 +43,13 @@ func (m Mode) String() string {
 		return "refined"
 	}
 	return "strict"
+}
+
+func (m Mode) engineMode() engine.Mode {
+	if m == ModeRefined {
+		return engine.Refined
+	}
+	return engine.Strict
 }
 
 // Session is a user session with an explicitly activated role set. The
@@ -86,10 +97,10 @@ func (e AuditEntry) String() string {
 
 // Monitor is a concurrency-safe RBAC reference monitor over one policy.
 type Monitor struct {
+	eng  *engine.Engine
+	mode Mode
+
 	mu       sync.Mutex
-	pol      *policy.Policy
-	mode     Mode
-	auth     command.Authorizer
 	sessions map[int]*Session
 	nextSID  int
 	audit    []AuditEntry
@@ -100,19 +111,24 @@ type Monitor struct {
 }
 
 // New builds a monitor owning the policy. The policy must not be mutated
-// behind the monitor's back.
+// behind the monitor's back (the engine takes ownership of it).
 func New(p *policy.Policy, mode Mode) *Monitor {
-	m := &Monitor{pol: p, mode: mode, sessions: make(map[int]*Session), nextSID: 1}
-	if mode == ModeRefined {
-		m.auth = core.NewRefinedAuthorizer(p)
-	} else {
-		m.auth = command.Strict{}
+	return &Monitor{
+		eng:      engine.New(p, mode.engineMode()),
+		mode:     mode,
+		sessions: make(map[int]*Session),
+		nextSID:  1,
 	}
-	return m
 }
 
 // Mode returns the monitor's authorization mode.
 func (m *Monitor) Mode() Mode { return m.mode }
+
+// Snapshot returns a lock-free read-only view of the current policy state
+// for read-heavy services (see internal/engine.Snapshot). The caller must
+// Close it. Writes are not exposed: all mutations go through Submit so the
+// constraint guard and audit log mediate every command.
+func (m *Monitor) Snapshot() *engine.Snapshot { return m.eng.Snapshot() }
 
 // SetConstraints installs (or clears, with nil) a separation-of-duty
 // constraint set. SSD constraints veto administrative commands whose
@@ -135,16 +151,16 @@ func (m *Monitor) Observe(fn func(AuditEntry)) {
 
 // Policy returns a snapshot clone of the current policy.
 func (m *Monitor) Policy() *policy.Policy {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.pol.Clone()
+	s := m.eng.Snapshot()
+	defer s.Close()
+	return s.Policy().Clone()
 }
 
 // PolicyStats returns current policy statistics without cloning.
 func (m *Monitor) PolicyStats() policy.Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.pol.Stats()
+	s := m.eng.Snapshot()
+	defer s.Close()
+	return s.Policy().Stats()
 }
 
 // CreateSession starts a session for the user with no roles activated.
@@ -173,13 +189,15 @@ func (m *Monitor) DeleteSession(id int) error {
 
 // ActivateRole activates a role in the session. Permitted iff u →φ r (§2).
 func (m *Monitor) ActivateRole(sessionID int, role string) error {
+	snap := m.eng.Snapshot()
+	defer snap.Close()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s, ok := m.sessions[sessionID]
 	if !ok {
 		return fmt.Errorf("monitor: no session %d", sessionID)
 	}
-	if !m.pol.CanActivate(s.User, role) {
+	if !snap.Policy().CanActivate(s.User, role) {
 		return fmt.Errorf("monitor: user %s may not activate role %s", s.User, role)
 	}
 	if m.cons != nil {
@@ -207,22 +225,36 @@ func (m *Monitor) DropRole(sessionID int, role string) error {
 	return nil
 }
 
-// CheckAccess reports whether the session may perform (action, object): some
-// activated role r that is still activatable (u →φ r under the current
-// policy) must reach the user privilege (r →φ p).
-func (m *Monitor) CheckAccess(sessionID int, action, object string) (bool, error) {
+// sessionView copies the session's user and active roles under the lock so
+// policy evaluation can proceed against a snapshot without holding it.
+func (m *Monitor) sessionView(sessionID int) (user string, roles []string, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s, ok := m.sessions[sessionID]
 	if !ok {
-		return false, fmt.Errorf("monitor: no session %d", sessionID)
+		return "", nil, fmt.Errorf("monitor: no session %d", sessionID)
 	}
+	return s.User, s.ActiveRoles(), nil
+}
+
+// CheckAccess reports whether the session may perform (action, object): some
+// activated role r that is still activatable (u →φ r under the current
+// policy) must reach the user privilege (r →φ p). The policy evaluation runs
+// lock-free against the current snapshot.
+func (m *Monitor) CheckAccess(sessionID int, action, object string) (bool, error) {
+	user, roles, err := m.sessionView(sessionID)
+	if err != nil {
+		return false, err
+	}
+	snap := m.eng.Snapshot()
+	defer snap.Close()
+	pol := snap.Policy()
 	perm := model.Perm(action, object)
-	for role := range s.active {
-		if !m.pol.CanActivate(s.User, role) {
+	for _, role := range roles {
+		if !pol.CanActivate(user, role) {
 			continue // assignment revoked since activation
 		}
-		if m.pol.Reaches(model.Role(role), perm) {
+		if pol.Reaches(model.Role(role), perm) {
 			return true, nil
 		}
 	}
@@ -232,18 +264,19 @@ func (m *Monitor) CheckAccess(sessionID int, action, object string) (bool, error
 // SessionPerms returns the user privileges currently granted to the session
 // through its active, still-valid roles.
 func (m *Monitor) SessionPerms(sessionID int) ([]model.UserPrivilege, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s, ok := m.sessions[sessionID]
-	if !ok {
-		return nil, fmt.Errorf("monitor: no session %d", sessionID)
+	user, roles, err := m.sessionView(sessionID)
+	if err != nil {
+		return nil, err
 	}
+	snap := m.eng.Snapshot()
+	defer snap.Close()
+	pol := snap.Policy()
 	seen := map[string]model.UserPrivilege{}
-	for role := range s.active {
-		if !m.pol.CanActivate(s.User, role) {
+	for _, role := range roles {
+		if !pol.CanActivate(user, role) {
 			continue
 		}
-		for _, q := range m.pol.AuthorizedPerms(model.Role(role)) {
+		for _, q := range pol.AuthorizedPerms(model.Role(role)) {
 			seen[q.Key()] = q
 		}
 	}
@@ -263,16 +296,18 @@ func (m *Monitor) Submit(c command.Command) command.StepResult {
 }
 
 func (m *Monitor) submitLocked(c command.Command) command.StepResult {
-	var res command.StepResult
-	reason := ""
-	if m.cons != nil {
-		if vs := m.cons.GuardCommand(m.pol, c); len(vs) > 0 {
-			res = command.StepResult{Cmd: c, Outcome: command.Denied}
-			reason = vs[0].Error()
+	res, gerr := m.eng.SubmitGuarded(c, func(pre *policy.Policy) error {
+		if m.cons == nil {
+			return nil
 		}
-	}
-	if reason == "" {
-		res = command.Step(m.pol, c, m.auth)
+		if vs := m.cons.GuardCommand(pre, c); len(vs) > 0 {
+			return vs[0]
+		}
+		return nil
+	})
+	reason := ""
+	if gerr != nil {
+		reason = gerr.Error()
 	}
 	entry := AuditEntry{
 		Seq:           len(m.audit) + 1,
@@ -309,21 +344,21 @@ func (m *Monitor) Audit() []AuditEntry {
 
 // Explain describes why a command would be authorized or denied right now,
 // without executing it. In refined mode the explanation includes the held
-// stronger privilege and its derivation.
+// stronger privilege and its derivation. Evaluation is lock-free against the
+// current snapshot.
 func (m *Monitor) Explain(c command.Command) string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if err := c.Validate(); err != nil {
 		return fmt.Sprintf("ill-formed: %v", err)
 	}
+	snap := m.eng.Snapshot()
+	defer snap.Close()
 	target, _ := c.Privilege()
-	if just, ok := (command.Strict{}).Authorize(m.pol, c); ok {
+	if just, ok := (command.Strict{}).Authorize(snap.Policy(), c); ok {
 		return fmt.Sprintf("authorized (strict): %s reaches %s", c.Actor, just)
 	}
 	if m.mode == ModeRefined {
-		d := core.NewDecider(m.pol)
-		if held, ok := d.HeldStronger(c.Actor, target); ok {
-			dv, okd := d.Explain(held, target)
+		if held, ok := snap.HeldStronger(c.Actor, target); ok {
+			dv, okd := snap.Explain(held, target)
 			if okd {
 				return fmt.Sprintf("authorized (refined): %s holds %s and\n%s", c.Actor, held, dv)
 			}

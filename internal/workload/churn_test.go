@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"testing"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/engine"
+)
+
+func TestChurnGrantsAuthorized(t *testing.T) {
+	const roles, users = 16, 8
+	e := engine.New(ChurnPolicy(roles, users), engine.Refined)
+	seen := map[string]bool{}
+	for i := 0; i < roles*users; i++ {
+		c := ChurnGrant(i, users, roles)
+		if seen[c.Key()] {
+			t.Fatalf("command %d repeats before the pair space is exhausted: %s", i, c)
+		}
+		seen[c.Key()] = true
+		if res := e.Submit(c); res.Outcome != command.Applied {
+			t.Fatalf("churn grant %d not applied: %v", i, res.Outcome)
+		}
+	}
+	// After exhausting the pair space the stream repeats as no-ops.
+	if res := e.Submit(ChurnGrant(roles*users, users, roles)); res.Outcome != command.AppliedNoChange {
+		t.Fatalf("wrapped churn grant outcome = %v", res.Outcome)
+	}
+	s := e.Snapshot()
+	defer s.Close()
+	if !s.Policy().CanActivate(churnUser(0), chainRole(roles-1)) {
+		t.Fatal("churned assignment missing")
+	}
+}
+
+func TestChurnDeassign(t *testing.T) {
+	const roles, users = 4, 4
+	p := ChurnPolicy(roles, users)
+	e := engine.New(p.Clone(), engine.Refined)
+	e.Submit(ChurnGrant(3, users, roles))
+	// Policy-level churn mirrors the command stream.
+	p2 := ChurnPolicy(roles, users)
+	c := ChurnGrant(3, users, roles)
+	if ok, _ := command.Apply(p2, c); !ok {
+		t.Fatal("apply failed")
+	}
+	if !ChurnDeassign(p2, 3, users, roles) {
+		t.Fatal("deassign did not find the churned edge")
+	}
+	if ChurnDeassign(p2, 3, users, roles) {
+		t.Fatal("double deassign succeeded")
+	}
+}

@@ -212,6 +212,45 @@ func mustGrant(p *policy.Policy, role string, priv model.Privilege) {
 	}
 }
 
+// ChurnPolicy builds the grant-then-query churn fixture the incremental
+// engine benchmarks run on: a Chain(nRoles) role hierarchy, nUsers member
+// users, and an administrator "churnadmin" whose single held privilege
+// ¤(member, c0000) authorizes — under the refined regime of §4.1 — assigning
+// any member user to any chain role (rule 2: u →φ member for every member,
+// and the chain top c0000 reaches every chain role). Every ChurnGrant
+// command is therefore authorized, and each one is a pure UA-edge addition:
+// the closure delta is one bit-row OR with no predecessors to propagate to,
+// the worst possible case for a rebuild-everything baseline and the best for
+// the incremental path.
+func ChurnPolicy(nRoles, nUsers int) *policy.Policy {
+	p := Chain(nRoles)
+	p.Assign("churnadmin", "churnadmins")
+	mustGrant(p, "churnadmins", model.Grant(model.Role("member"), model.Role(chainRole(0))))
+	for i := 0; i < nUsers; i++ {
+		p.Assign(churnUser(i), "member")
+	}
+	return p
+}
+
+func churnUser(i int) string { return fmt.Sprintf("cu%04d", i) }
+
+// ChurnGrant returns the i-th command of the churn stream: churnadmin
+// assigns a member user to a chain role, cycling through the nUsers×nRoles
+// distinct (user, role) pairs before repeating.
+func ChurnGrant(i, nUsers, nRoles int) command.Command {
+	u := churnUser(i % nUsers)
+	r := chainRole((i / nUsers) % nRoles)
+	return command.Grant("churnadmin", model.User(u), model.Role(r))
+}
+
+// ChurnDeassign returns the policy-level undo of ChurnGrant(i): removing the
+// same UA edge. Revocation commands are not ordering-authorizable (the paper
+// leaves a ♦ ordering open), so mixed churn drives removals through the
+// policy directly rather than through the transition function.
+func ChurnDeassign(p *policy.Policy, i, nUsers, nRoles int) bool {
+	return p.Deassign(churnUser(i%nUsers), chainRole((i/nUsers)%nRoles))
+}
+
 // Queue samples n commands from the policy's relevant command alphabet
 // (administrative privilege terms and their subterms across all users),
 // deterministically from the seed.

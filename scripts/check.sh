@@ -1,0 +1,13 @@
+#!/bin/sh
+# CI gate without make: build + vet + tests + engine race pass + a short
+# incremental-benchmark smoke so regressions in the incremental path fail
+# fast. Mirrors `make check`.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/
+go test -run XXX -bench Incremental -benchtime=100x .
