@@ -18,9 +18,10 @@ vet:
 test:
 	$(GO) test ./...
 
-# The engine is the concurrency-critical surface; graph/core feed it.
+# The engine/tenant/server stack is the concurrency-critical surface;
+# graph/core feed it.
 race:
-	$(GO) test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/
+	$(GO) test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/tenant/ ./internal/server/
 
 bench-smoke:
 	$(GO) test -run XXX -bench Incremental -benchtime=100x .
@@ -29,6 +30,9 @@ bench-smoke:
 bench:
 	$(GO) test -run XXX -bench . -benchmem .
 
-# Machine-readable perf trajectory, consumed across PRs.
+# Machine-readable perf trajectory, consumed across PRs. Override the output
+# path with BENCH_JSON=..., or narrow the run with BENCH_FILTER=substring.
+BENCH_JSON ?= BENCH_2.json
+BENCH_FILTER ?=
 bench-json:
-	$(GO) run ./cmd/rbacbench -benchjson BENCH_1.json
+	$(GO) run ./cmd/rbacbench -benchjson $(BENCH_JSON) -benchfilter '$(BENCH_FILTER)'

@@ -13,6 +13,7 @@
 //	H1  BenchmarkHRUSafety
 //	P1  BenchmarkIncrementalGrant, BenchmarkSnapshotAuthorizeParallel,
 //	    BenchmarkSnapshotAuthorizeUnderWriter
+//	P2  BenchmarkMultiTenantAuthorize, BenchmarkBatchVsSingle (tenant service)
 //	--  BenchmarkParse, BenchmarkPrint, BenchmarkPolicyClone (substrate costs)
 //
 // Run: go test -bench=. -benchmem
@@ -528,6 +529,32 @@ func BenchmarkSnapshotAuthorizeUnderWriter(b *testing.B) {
 	b.StopTimer()
 	close(stop)
 	<-done
+}
+
+// --- P2: multi-tenant service -----------------------------------------------
+
+// BenchmarkMultiTenantAuthorize measures steady-state authorization through
+// the sharded tenant registry: 32 disk-backed tenants, Zipf-skewed tenant
+// picks (hot head, cold tail), one query per op. The body lives in
+// cli.BenchSpecs so the rbacbench-emitted BENCH JSON measures identical code.
+func BenchmarkMultiTenantAuthorize(b *testing.B) {
+	for _, spec := range cli.BenchSpecs() {
+		if sub, ok := strings.CutPrefix(spec.Name, "MultiTenantAuthorize/"); ok {
+			b.Run(sub, spec.F)
+		}
+	}
+}
+
+// BenchmarkBatchVsSingle contrasts N single Authorize calls with one
+// AuthorizeBatch of N, normalised per query: the batch amortises tenant
+// resolution, snapshot acquisition and decider pool traffic across the
+// batch, so per-query cost drops as the batch grows.
+func BenchmarkBatchVsSingle(b *testing.B) {
+	for _, spec := range cli.BenchSpecs() {
+		if sub, ok := strings.CutPrefix(spec.Name, "BatchVsSingle/"); ok {
+			b.Run(sub, spec.F)
+		}
+	}
 }
 
 func BenchmarkAssignableRoles(b *testing.B) {

@@ -6,7 +6,8 @@
 //	rbacbench -exp F3                 # the flexworker example
 //	rbacbench -exp P1                 # incremental engine churn + snapshots
 //	rbacbench -list                   # list experiments
-//	rbacbench -benchjson BENCH_1.json # run registered benchmarks, write JSON
+//	rbacbench -benchjson BENCH_2.json # run registered benchmarks, write JSON
+//	rbacbench -benchjson out.json -benchfilter BatchVsSingle
 package main
 
 import (
@@ -20,7 +21,8 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment ID to run (F1 F2 F3 E5 E6 T1 L1 C1 S1 H1 A1 P1, or all)")
 	list := flag.Bool("list", false, "list experiments and exit")
-	benchJSON := flag.String("benchjson", "", "run the registered benchmarks and write results (name -> ns/op, allocs/op) to this file, e.g. BENCH_1.json")
+	benchJSON := flag.String("benchjson", "", "output path: run the registered benchmarks and write results (name -> ns/op, allocs/op) to this file, e.g. BENCH_2.json")
+	benchFilter := flag.String("benchfilter", "", "with -benchjson: only run benchmarks whose name contains this substring")
 	flag.Parse()
 
 	if *list {
@@ -35,7 +37,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := cli.WriteBenchJSON(f, os.Stdout); err != nil {
+		if err := cli.WriteBenchJSON(f, os.Stdout, *benchFilter); err != nil {
 			f.Close()
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -1,0 +1,279 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/model"
+	"adminrefine/internal/parser"
+	"adminrefine/internal/policy"
+	"adminrefine/internal/server"
+	"adminrefine/internal/tenant"
+)
+
+// TestRbacdHelperProcess is not a test: it is rbacd itself, re-executed from
+// the test binary so the end-to-end test can kill -9 a real process and
+// restart it. Args arrive newline-separated in RBACD_ARGS.
+func TestRbacdHelperProcess(t *testing.T) {
+	if os.Getenv("RBACD_HELPER") != "1" {
+		t.Skip("helper process for TestCrashRecoveryEndToEnd")
+	}
+	if err := run(strings.Split(os.Getenv("RBACD_ARGS"), "\n"), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// daemon is one rbacd child process under test.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+}
+
+func startDaemon(t *testing.T, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestRbacdHelperProcess$")
+	cmd.Env = append(os.Environ(), "RBACD_HELPER=1", "RBACD_ARGS="+strings.Join(args, "\n"))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	// The daemon prints "rbacd: listening on ADDR (...)" once bound.
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if _, addr, ok := strings.Cut(line, "listening on "); ok {
+			host, _, _ := strings.Cut(addr, " ")
+			d := &daemon{cmd: cmd, base: "http://" + host}
+			// Keep draining stdout so the child never blocks on a full pipe.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return d
+		}
+	}
+	t.Fatalf("daemon exited before announcing its address (scan err: %v)", sc.Err())
+	return nil
+}
+
+func (d *daemon) kill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil { // SIGKILL: no shutdown path runs
+		t.Fatal(err)
+	}
+	d.cmd.Wait()
+}
+
+func (d *daemon) terminate(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("graceful shutdown exited with: %v", err)
+	}
+}
+
+func (d *daemon) putPolicy(t *testing.T, name string, p *policy.Policy) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, d.base+"/v1/tenants/"+name+"/policy", strings.NewReader(parser.Print(p, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("put policy %s: status %d", name, resp.StatusCode)
+	}
+}
+
+func (d *daemon) post(t *testing.T, path string, body, out any) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(d.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (d *daemon) stats(t *testing.T, name string) tenant.Stats {
+	t.Helper()
+	resp, err := http.Get(d.base + "/v1/tenants/" + name + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st tenant.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func batchOf(t *testing.T, cmds ...command.Command) server.BatchRequest {
+	t.Helper()
+	var req server.BatchRequest
+	for _, c := range cmds {
+		wc, err := server.EncodeCommand(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Commands = append(req.Commands, wc)
+	}
+	return req
+}
+
+func (d *daemon) authorize(t *testing.T, name string, cmds []command.Command) []bool {
+	t.Helper()
+	var out struct {
+		Results []server.AuthorizeResult `json:"results"`
+	}
+	d.post(t, "/v1/tenants/"+name+"/authorize", batchOf(t, cmds...), &out)
+	got := make([]bool, len(out.Results))
+	for i, r := range out.Results {
+		got[i] = r.Allowed
+	}
+	return got
+}
+
+// TestCrashRecoveryEndToEnd is the acceptance test of the multi-tenant
+// service: start rbacd, drive two tenants with interleaved submits and
+// authorizes, kill the process with SIGKILL, restart it on the same data
+// directory, and assert both tenants recover their exact pre-crash decisions
+// and generations from WAL replay.
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-data", dir, "-mode", "refined"}
+
+	d := startDaemon(t, args...)
+
+	// Two tenants, same base policy, different administrative histories.
+	d.putPolicy(t, "alpha", policy.Figure2())
+	d.putPolicy(t, "beta", policy.Figure2())
+
+	grantStaff := command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleStaff))
+	grantDB2 := command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleDBUsr2))
+	// alice ∈ SO holds ¤(staff, ¤(bob, staff)): she may delegate the
+	// appointment privilege to role staff (the paper's Example 2 chain).
+	delegate := command.Grant(policy.UserAlice, model.Role(policy.RoleStaff), policy.PrivHRAssignBobStaff)
+	grantJoeNurse := command.Grant(policy.UserJane, model.User(policy.UserJoe), model.Role(policy.RoleNurse))
+
+	// Interleave submits and authorizes across the tenants.
+	var sub struct {
+		Results []server.SubmitResult `json:"results"`
+	}
+	d.post(t, "/v1/tenants/alpha/submit", batchOf(t, grantStaff), &sub)
+	if sub.Results[0].Outcome != "applied" {
+		t.Fatalf("alpha submit 1: %+v", sub.Results)
+	}
+	d.post(t, "/v1/tenants/beta/submit", batchOf(t, grantDB2), &sub)
+	if sub.Results[0].Outcome != "applied" {
+		t.Fatalf("beta submit 1: %+v", sub.Results)
+	}
+	d.authorize(t, "alpha", []command.Command{grantDB2})
+	d.post(t, "/v1/tenants/alpha/submit", batchOf(t, delegate, grantJoeNurse), &sub)
+	if sub.Results[0].Outcome != "applied" || sub.Results[1].Outcome != "applied" {
+		t.Fatalf("alpha submit 2: %+v", sub.Results)
+	}
+
+	// The probe set mixes allowed and denied commands; the second probe
+	// diverges between the tenants — in alpha, bob was assigned to staff and
+	// staff was delegated ¤(bob, staff), so bob can now self-appoint; in
+	// beta neither submit happened.
+	probes := []command.Command{
+		grantStaff,
+		command.Grant(policy.UserBob, model.User(policy.UserBob), model.Role(policy.RoleStaff)),
+		command.Revoke(policy.UserJane, model.User(policy.UserJoe), model.Role(policy.RoleNurse)),
+		command.Grant(policy.UserBob, model.User(policy.UserAlice), model.Role(policy.RoleStaff)),
+	}
+	wantAlpha := d.authorize(t, "alpha", probes)
+	wantBeta := d.authorize(t, "beta", probes)
+	if fmt.Sprint(wantAlpha) == fmt.Sprint(wantBeta) {
+		t.Fatalf("tenants should have diverged: alpha %v, beta %v", wantAlpha, wantBeta)
+	}
+	genAlpha := d.stats(t, "alpha").Generation
+	genBeta := d.stats(t, "beta").Generation
+	if genAlpha != 3 || genBeta != 1 {
+		t.Fatalf("pre-crash generations alpha=%d beta=%d, want 3, 1", genAlpha, genBeta)
+	}
+
+	// Crash: SIGKILL, no shutdown hook runs.
+	d.kill(t)
+
+	// Restart on the same data directory; tenants recover lazily.
+	d2 := startDaemon(t, args...)
+	gotAlpha := d2.authorize(t, "alpha", probes)
+	gotBeta := d2.authorize(t, "beta", probes)
+	if fmt.Sprint(gotAlpha) != fmt.Sprint(wantAlpha) {
+		t.Fatalf("alpha decisions changed across crash: %v -> %v", wantAlpha, gotAlpha)
+	}
+	if fmt.Sprint(gotBeta) != fmt.Sprint(wantBeta) {
+		t.Fatalf("beta decisions changed across crash: %v -> %v", wantBeta, gotBeta)
+	}
+	stAlpha := d2.stats(t, "alpha")
+	stBeta := d2.stats(t, "beta")
+	if stAlpha.Generation != genAlpha || stBeta.Generation != genBeta {
+		t.Fatalf("generations changed across crash: alpha %d->%d, beta %d->%d",
+			genAlpha, stAlpha.Generation, genBeta, stBeta.Generation)
+	}
+	if stAlpha.Recovered.Records != 3 {
+		t.Fatalf("alpha replayed %d WAL records, want 3", stAlpha.Recovered.Records)
+	}
+	if !stAlpha.Recovered.SnapshotLoaded {
+		t.Fatal("alpha should have loaded its provisioning snapshot")
+	}
+
+	// Graceful path: SIGTERM drains and compacts, so a third start replays
+	// nothing.
+	d2.terminate(t)
+	d3 := startDaemon(t, args...)
+	st3 := d3.stats(t, "alpha")
+	if st3.Recovered.Records != 0 || !st3.Recovered.SnapshotLoaded {
+		t.Fatalf("post-graceful-shutdown recovery %+v, want compacted snapshot with empty WAL", st3.Recovered)
+	}
+	if st3.Generation != genAlpha {
+		t.Fatalf("generation after compacted restart %d, want %d", st3.Generation, genAlpha)
+	}
+	if got := d3.authorize(t, "alpha", probes); fmt.Sprint(got) != fmt.Sprint(wantAlpha) {
+		t.Fatalf("alpha decisions changed across graceful restart: %v -> %v", wantAlpha, got)
+	}
+	d3.terminate(t)
+}

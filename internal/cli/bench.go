@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"strings"
 	"sync"
 	"testing"
 	"text/tabwriter"
@@ -13,6 +15,7 @@ import (
 	"adminrefine/internal/core"
 	"adminrefine/internal/engine"
 	"adminrefine/internal/graph"
+	"adminrefine/internal/tenant"
 	"adminrefine/internal/workload"
 )
 
@@ -206,15 +209,108 @@ func BenchSpecs() []BenchSpec {
 				graph.NewClosure(g)
 			}
 		}},
+		{"MultiTenantAuthorize/tenants=32/zipf=1.1", func(b *testing.B) {
+			reg, g, cleanup := benchRegistry(b, 32)
+			defer cleanup()
+			// Precompute a skewed op slab so the measurement is the registry
+			// (shard resolve + snapshot + decide), not the generator.
+			type op struct {
+				tenant string
+				cmd    command.Command
+			}
+			ops := make([]op, 4096)
+			for i := range ops {
+				o := g.Next()
+				ops[i] = op{o.Tenant, o.Cmd}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o := ops[i%len(ops)]
+				res, err := reg.Authorize(o.tenant, o.cmd)
+				if err != nil || !res.OK {
+					b.Fatalf("authorize %s: err=%v ok=%v", o.tenant, err, res.OK)
+				}
+			}
+		}},
+		{"BatchVsSingle/single", func(b *testing.B) {
+			reg, g, cleanup := benchRegistry(b, 4)
+			defer cleanup()
+			name, cmds := g.QueryBatch(4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := reg.Authorize(name, cmds[i%len(cmds)])
+				if err != nil || !res.OK {
+					b.Fatalf("authorize: err=%v ok=%v", err, res.OK)
+				}
+			}
+		}},
+		{"BatchVsSingle/batch=32", func(b *testing.B) { benchBatch(b, 32) }},
+		{"BatchVsSingle/batch=256", func(b *testing.B) { benchBatch(b, 256) }},
 	}
 }
 
-// WriteBenchJSON runs every registered benchmark with testing.Benchmark and
-// writes the results as a flat JSON map (benchmark name → measurement), the
-// machine-readable perf trajectory consumed across PRs (BENCH_1.json).
-func WriteBenchJSON(out io.Writer, progress io.Writer) error {
+// benchRegistry stands up a disk-backed registry with every tenant
+// pre-opened (bootstrapped from the churn fixture), so benchmarks measure
+// steady-state serving rather than first-touch recovery.
+func benchRegistry(b *testing.B, tenants int) (*tenant.Registry, *workload.MultiTenantGen, func()) {
+	b.Helper()
+	dir, err := os.MkdirTemp("", "rbacbench-mt")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := workload.DefaultMultiTenant(42)
+	cfg.Tenants = tenants
+	cfg.SubmitFrac = 0 // read-path benchmarks
+	g := workload.NewMultiTenantGen(cfg)
+	reg := tenant.New(tenant.Options{Dir: dir, Mode: engine.Refined, Bootstrap: g.Bootstrap})
+	for i := 0; i < tenants; i++ {
+		if _, err := reg.Authorize(g.TenantName(i), workload.ChurnGrant(0, cfg.Users, cfg.Roles)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return reg, g, func() {
+		reg.Close()
+		os.RemoveAll(dir)
+	}
+}
+
+// benchBatch measures the batched read path at batch size k, normalised per
+// query (b.N counts queries, not batches) so it compares head-to-head with
+// BatchVsSingle/single.
+func benchBatch(b *testing.B, k int) {
+	reg, g, cleanup := benchRegistry(b, 4)
+	defer cleanup()
+	name, cmds := g.QueryBatch(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += k {
+		n := k
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		off := i % (len(cmds) - k)
+		results, err := reg.AuthorizeBatch(name, cmds[off:off+n])
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, res := range results {
+			if !res.OK {
+				b.Fatalf("batch query %d denied", off+j)
+			}
+		}
+	}
+}
+
+// WriteBenchJSON runs the registered benchmarks (all of them, or only those
+// whose name contains filter when it is non-empty) with testing.Benchmark
+// and writes the results as a flat JSON map (benchmark name → measurement),
+// the machine-readable perf trajectory consumed across PRs (BENCH_1.json,
+// BENCH_2.json, …).
+func WriteBenchJSON(out io.Writer, progress io.Writer, filter string) error {
 	results := make(map[string]BenchResult, len(BenchSpecs()))
 	for _, spec := range BenchSpecs() {
+		if filter != "" && !strings.Contains(spec.Name, filter) {
+			continue
+		}
 		r := testing.Benchmark(spec.F)
 		results[spec.Name] = BenchResult{
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),

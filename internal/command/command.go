@@ -168,6 +168,22 @@ func (o Outcome) String() string {
 	}
 }
 
+// WireName is the stable machine encoding of the outcome, shared by the WAL
+// record format and the HTTP API (distinct from the human-facing String).
+// Changing these strings breaks WAL replay compatibility.
+func (o Outcome) WireName() string {
+	switch o {
+	case Applied:
+		return "applied"
+	case AppliedNoChange:
+		return "nochange"
+	case Denied:
+		return "denied"
+	default:
+		return "illformed"
+	}
+}
+
 // StepResult records one ⇒ transition.
 type StepResult struct {
 	Cmd           Command

@@ -14,11 +14,19 @@
 // to a replica survive publication cycles and refresh incrementally (see
 // internal/core), so a grant costs O(delta), not a closure rebuild.
 //
+// Both sides of the engine batch: SubmitBatch applies a whole command queue
+// under one writer-lock acquisition and publishes at most one snapshot, and
+// Snapshot.AuthorizeBatch decides many queries with one borrowed decider.
+// Durability hooks in through SetCommitHook — a WAL append that runs before
+// a state change becomes visible (see storage.OpenEngine) — and NewAt
+// restarts an engine at the generation a store recovered to.
+//
 // See README.md in this package for the invalidation rules: what survives a
 // mutation and what does not.
 package engine
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -81,6 +89,15 @@ func (r *replica) rebind(p *policy.Policy, mode Mode, pos int) {
 	r.pool = &sync.Pool{New: func() any { return core.NewDecider(p) }}
 }
 
+// CommitHook is the engine's durability hook: it runs under the writer lock
+// after a command has been applied to the pre-publish replica and before the
+// new snapshot becomes visible to readers. gen is the generation the commit
+// will publish. A non-nil error aborts the commit — the mutation is rolled
+// back, no snapshot is published, and the error is surfaced from Submit — so
+// a state change is never observable unless its hook (e.g. a WAL append)
+// succeeded first: write-ahead semantics at the engine boundary.
+type CommitHook func(gen uint64, res command.StepResult) error
+
 // Engine owns the policy state and coordinates one writer with any number of
 // lock-free readers.
 type Engine struct {
@@ -94,16 +111,35 @@ type Engine struct {
 	log      []command.Command
 	logBase  int
 	replicas []*replica
+	hook     CommitHook
 }
 
 // New builds an engine, taking ownership of the policy: the caller must not
 // mutate p afterwards.
 func New(p *policy.Policy, mode Mode) *Engine {
-	e := &Engine{mode: mode}
-	r := newReplica(p, mode, 0)
+	return NewAt(p, mode, 0)
+}
+
+// NewAt builds an engine whose state starts at a prior generation — the
+// recovery constructor. A durable store that replayed its WAL into p hands
+// the engine the policy together with the sequence number of the last
+// replayed record, so generations keep counting from where the crashed
+// process left off (see storage.OpenEngine).
+func NewAt(p *policy.Policy, mode Mode, gen uint64) *Engine {
+	e := &Engine{mode: mode, logBase: int(gen)}
+	r := newReplica(p, mode, int(gen))
 	e.replicas = []*replica{r}
-	e.cur.Store(&Snapshot{e: e, r: r, gen: 0})
+	e.cur.Store(&Snapshot{e: e, r: r, gen: gen})
 	return e
+}
+
+// SetCommitHook installs the durability hook invoked for every applied
+// (state-changing) command. Pass nil to clear. The hook must not call back
+// into the engine's write path (it runs under the writer lock).
+func (e *Engine) SetCommitHook(fn CommitHook) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.hook = fn
 }
 
 // Mode returns the engine's authorization mode.
@@ -150,6 +186,67 @@ func (e *Engine) SubmitGuarded(c command.Command, guard func(pre *policy.Policy)
 	cur := e.cur.Load()
 	next := e.writable(cur)
 	e.catchUp(next)
+	res, err := e.stepLocked(next, c, guard)
+	if err != nil || res.Outcome != command.Applied {
+		// State unchanged: keep the current snapshot published; next stays a
+		// caught-up spare.
+		return res, err
+	}
+	e.cur.Store(&Snapshot{e: e, r: next, gen: uint64(next.pos)})
+	return res, nil
+}
+
+// SubmitBatch executes the commands in order through the transition function,
+// each authorized against the state left by its predecessors, and publishes
+// at most one new snapshot covering the whole batch — readers never observe a
+// partially applied batch, and one publication amortises replica ping-pong
+// across many writes. A commit-hook failure stops the batch: the results
+// processed so far (the failed command reported as Denied) are returned
+// together with the hook error, and everything up to the failure is
+// published.
+func (e *Engine) SubmitBatch(cmds []command.Command, guard func(pre *policy.Policy) error) ([]command.StepResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	cur := e.cur.Load()
+	next := e.writable(cur)
+	e.catchUp(next)
+	out := make([]command.StepResult, 0, len(cmds))
+	applied := false
+	var hookErr error
+	for _, c := range cmds {
+		res, err := e.stepLocked(next, c, guard)
+		out = append(out, res)
+		if res.Outcome == command.Applied {
+			applied = true
+		}
+		// A guard veto denies one command and the batch continues; a
+		// commit-hook failure means durability is gone and the batch stops.
+		if _, fatal := err.(*CommitError); fatal {
+			hookErr = err
+			break
+		}
+	}
+	if applied {
+		e.cur.Store(&Snapshot{e: e, r: next, gen: uint64(next.pos)})
+	}
+	return out, hookErr
+}
+
+// CommitError wraps a commit-hook failure so callers can distinguish a
+// durability fault from an authorization denial.
+type CommitError struct{ Err error }
+
+func (e *CommitError) Error() string { return "engine: commit hook: " + e.Err.Error() }
+
+// Unwrap exposes the underlying hook error.
+func (e *CommitError) Unwrap() error { return e.Err }
+
+// stepLocked runs one command against the caught-up spare under the writer
+// lock: guard veto, Definition 5 step, then the commit hook. An applied
+// command whose hook fails is rolled back (the inverse edge change restores
+// the pre-command policy) and reported as Denied with a *CommitError.
+func (e *Engine) stepLocked(next *replica, c command.Command, guard func(pre *policy.Policy) error) (command.StepResult, error) {
 	if guard != nil {
 		if err := guard(next.pol); err != nil {
 			return command.StepResult{Cmd: c, Outcome: command.Denied}, err
@@ -157,15 +254,31 @@ func (e *Engine) SubmitGuarded(c command.Command, guard func(pre *policy.Policy)
 	}
 	res := command.Step(next.pol, c, next.auth)
 	if res.Outcome != command.Applied {
-		// State unchanged: keep the current snapshot published; next stays a
-		// caught-up spare.
 		return res, nil
+	}
+	if e.hook != nil {
+		if err := e.hook(uint64(next.pos+1), res); err != nil {
+			// Undo the edge change: Step reported Applied, so the grant added
+			// an absent edge (undo = remove) or the revoke removed a present
+			// one (undo = add). The replica is unpublished, so the transient
+			// state was never visible to readers.
+			command.Apply(next.pol, inverse(c))
+			return command.StepResult{Cmd: c, Outcome: command.Denied}, &CommitError{Err: err}
+		}
 	}
 	e.log = append(e.log, c)
 	e.trimLog()
-	next.pos = e.logBase + len(e.log)
-	e.cur.Store(&Snapshot{e: e, r: next, gen: uint64(next.pos)})
+	next.pos++
 	return res, nil
+}
+
+// inverse returns the command undoing c's edge change.
+func inverse(c command.Command) command.Command {
+	op := model.OpRevoke
+	if c.Op == model.OpRevoke {
+		op = model.OpGrant
+	}
+	return command.Command{Actor: c.Actor, Op: op, From: c.From, To: c.To}
 }
 
 // writable returns a quiescent replica distinct from the published one,
@@ -244,19 +357,70 @@ func (s *Snapshot) release(d *core.Decider) { s.r.pool.Put(d) }
 // Authorize reports whether the command is authorized under the engine's
 // mode, returning the justifying privilege. It never mutates policy state.
 func (s *Snapshot) Authorize(c command.Command) (model.Privilege, bool) {
-	priv, err := c.Privilege()
-	if err != nil {
-		return nil, false
-	}
 	d := s.decider()
 	defer s.release(d)
+	r := s.authorizeWith(d, c)
+	return r.Justification, r.OK
+}
+
+// AuthzResult is one batched authorization decision.
+type AuthzResult struct {
+	// Justification is the privilege justifying an allowed command (nil when
+	// denied).
+	Justification model.Privilege
+	// OK reports whether the command is authorized.
+	OK bool
+}
+
+// AuthorizeBatch decides every command against this one snapshot with a
+// single borrowed decider, amortising snapshot acquisition and pool traffic
+// across the batch — the read-side analogue of SubmitBatch. The i-th result
+// decides cmds[i]; all decisions are taken at the same generation.
+func (s *Snapshot) AuthorizeBatch(cmds []command.Command) []AuthzResult {
+	d := s.decider()
+	defer s.release(d)
+	out := make([]AuthzResult, len(cmds))
+	for i, c := range cmds {
+		out[i] = s.authorizeWith(d, c)
+	}
+	return out
+}
+
+func (s *Snapshot) authorizeWith(d *core.Decider, c command.Command) AuthzResult {
+	priv, err := c.Privilege()
+	if err != nil {
+		return AuthzResult{}
+	}
 	if s.e.mode == Refined {
-		return d.HeldStronger(c.Actor, priv)
+		just, ok := d.HeldStronger(c.Actor, priv)
+		return AuthzResult{Justification: just, OK: ok}
 	}
 	if d.Holds(c.Actor, priv) {
-		return priv, true
+		return AuthzResult{Justification: priv, OK: true}
 	}
-	return nil, false
+	return AuthzResult{}
+}
+
+// ExplainCommand describes why the command would be authorized or denied at
+// this snapshot, without executing it. In refined mode the explanation
+// includes the held stronger privilege and its Ãφ derivation.
+func (s *Snapshot) ExplainCommand(c command.Command) string {
+	if err := c.Validate(); err != nil {
+		return fmt.Sprintf("ill-formed: %v", err)
+	}
+	target, _ := c.Privilege()
+	if just, ok := (command.Strict{}).Authorize(s.r.pol, c); ok {
+		return fmt.Sprintf("authorized (strict): %s reaches %s", c.Actor, just)
+	}
+	if s.e.mode == Refined {
+		if held, ok := s.HeldStronger(c.Actor, target); ok {
+			if dv, okd := s.Explain(held, target); okd {
+				return fmt.Sprintf("authorized (refined): %s holds %s and\n%s", c.Actor, held, dv)
+			}
+			return fmt.Sprintf("authorized (refined): %s holds %s Ã %s", c.Actor, held, target)
+		}
+	}
+	return fmt.Sprintf("denied: %s holds no privilege at least as strong as %s", c.Actor, target)
 }
 
 // Weaker reports p Ãφ q under the snapshot's policy.

@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -218,5 +220,190 @@ func TestEngineConcurrentAuthorize(t *testing.T) {
 	defer s.Close()
 	if _, ok := s.Authorize(grantCmd(0)); !ok {
 		t.Fatal("root authority lost after churn")
+	}
+}
+
+func TestNewAtStartsAtRecoveredGeneration(t *testing.T) {
+	e := NewAt(churnFixture(4), Refined, 17)
+	if got := e.Generation(); got != 17 {
+		t.Fatalf("generation = %d, want 17", got)
+	}
+	res := e.Submit(grantCmd(0))
+	if res.Outcome != command.Applied {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	if got := e.Generation(); got != 18 {
+		t.Fatalf("generation after submit = %d, want 18", got)
+	}
+}
+
+func TestCommitHookWriteAhead(t *testing.T) {
+	e := New(churnFixture(4), Refined)
+	var gens []uint64
+	e.SetCommitHook(func(gen uint64, res command.StepResult) error {
+		if res.Outcome != command.Applied {
+			t.Errorf("hook saw outcome %v", res.Outcome)
+		}
+		// The hook runs pre-publish: readers must not see the new state yet.
+		if cur := e.Generation(); cur != gen-1 {
+			t.Errorf("hook at gen %d but published generation already %d", gen, cur)
+		}
+		gens = append(gens, gen)
+		return nil
+	})
+	e.Submit(grantCmd(0))
+	e.Submit(grantCmd(0)) // AppliedNoChange: hook must not fire
+	e.Submit(revokeCmd(0))
+	if want := []uint64{1, 2}; len(gens) != 2 || gens[0] != want[0] || gens[1] != want[1] {
+		t.Fatalf("hook generations %v, want %v", gens, want)
+	}
+}
+
+func TestCommitHookFailureRollsBack(t *testing.T) {
+	e := New(churnFixture(4), Refined)
+	fail := false
+	e.SetCommitHook(func(gen uint64, res command.StepResult) error {
+		if fail {
+			return fmt.Errorf("disk full")
+		}
+		return nil
+	})
+	if res := e.Submit(grantCmd(0)); res.Outcome != command.Applied {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	fail = true
+	res, err := e.SubmitGuarded(grantCmd(1), nil)
+	if err == nil {
+		t.Fatal("expected commit error")
+	}
+	var ce *CommitError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T, want *CommitError", err)
+	}
+	if res.Outcome != command.Denied {
+		t.Fatalf("outcome %v, want Denied", res.Outcome)
+	}
+	if e.Generation() != 1 {
+		t.Fatalf("generation advanced to %d despite hook failure", e.Generation())
+	}
+	s := e.Snapshot()
+	defer s.Close()
+	if s.Policy().HasEdge(model.User("u1"), model.Role("top")) {
+		t.Fatal("failed commit left its edge in the policy")
+	}
+	// The engine recovers once the hook does: the same command goes through.
+	fail = false
+	if res := e.Submit(grantCmd(1)); res.Outcome != command.Applied {
+		t.Fatalf("post-recovery outcome %v", res.Outcome)
+	}
+	if e.Generation() != 2 {
+		t.Fatalf("generation = %d, want 2", e.Generation())
+	}
+}
+
+func TestSubmitBatchPublishesOnce(t *testing.T) {
+	e := New(churnFixture(8), Refined)
+	var published []uint64
+	done := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := e.Snapshot()
+				g := s.Generation()
+				s.Close()
+				if len(published) == 0 || published[len(published)-1] != g {
+					published = append(published, g)
+				}
+			}
+		}
+	}()
+
+	cmds := []command.Command{grantCmd(0), grantCmd(1), grantCmd(1), grantCmd(2)}
+	out, err := e.SubmitBatch(cmds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	<-done
+	wantOutcomes := []command.Outcome{command.Applied, command.Applied, command.AppliedNoChange, command.Applied}
+	for i, w := range wantOutcomes {
+		if out[i].Outcome != w {
+			t.Fatalf("cmd %d outcome %v, want %v", i, out[i].Outcome, w)
+		}
+	}
+	if e.Generation() != 3 {
+		t.Fatalf("generation = %d, want 3", e.Generation())
+	}
+	// No intermediate generation was ever observable: the reader saw only 0
+	// and then 3 (a batch publishes at most one snapshot).
+	for _, g := range published {
+		if g != 0 && g != 3 {
+			t.Fatalf("reader observed intermediate generation %d during batch", g)
+		}
+	}
+}
+
+func TestSubmitBatchGuardVetoContinues(t *testing.T) {
+	e := New(churnFixture(4), Refined)
+	calls := 0
+	out, err := e.SubmitBatch([]command.Command{grantCmd(0), grantCmd(1)}, func(pre *policy.Policy) error {
+		calls++
+		if calls == 1 {
+			return fmt.Errorf("vetoed")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("guard veto must not abort the batch: %v", err)
+	}
+	if out[0].Outcome != command.Denied || out[1].Outcome != command.Applied {
+		t.Fatalf("outcomes %v, %v", out[0].Outcome, out[1].Outcome)
+	}
+}
+
+func TestAuthorizeBatchMatchesSingle(t *testing.T) {
+	e := New(churnFixture(8), Refined)
+	e.Submit(grantCmd(0))
+	cmds := []command.Command{
+		grantCmd(1),
+		command.Grant("u1", model.User("u2"), model.Role("top")), // u1 holds nothing
+		revokeCmd(0),
+		{}, // ill-formed
+	}
+	s := e.Snapshot()
+	defer s.Close()
+	batch := s.AuthorizeBatch(cmds)
+	if len(batch) != len(cmds) {
+		t.Fatalf("batch returned %d results", len(batch))
+	}
+	for i, c := range cmds {
+		just, ok := s.Authorize(c)
+		if ok != batch[i].OK {
+			t.Fatalf("cmd %d: batch OK=%v, single OK=%v", i, batch[i].OK, ok)
+		}
+		if ok && just.String() != batch[i].Justification.String() {
+			t.Fatalf("cmd %d: justification %v vs %v", i, batch[i].Justification, just)
+		}
+	}
+}
+
+func TestSnapshotExplainCommand(t *testing.T) {
+	e := New(churnFixture(2), Refined)
+	s := e.Snapshot()
+	defer s.Close()
+	if got := s.ExplainCommand(grantCmd(0)); !strings.Contains(got, "authorized") {
+		t.Fatalf("explain = %q, want authorized", got)
+	}
+	denied := command.Grant("u0", model.User("u1"), model.Role("top"))
+	if got := s.ExplainCommand(denied); !strings.Contains(got, "denied") {
+		t.Fatalf("explain = %q, want denied", got)
+	}
+	if got := s.ExplainCommand(command.Command{}); !strings.Contains(got, "ill-formed") {
+		t.Fatalf("explain = %q, want ill-formed", got)
 	}
 }

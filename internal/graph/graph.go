@@ -49,9 +49,9 @@ type mutation struct {
 type mutKind uint8
 
 const (
-	mutAddVertex mutKind = iota // f = new vertex id
-	mutAddEdge                  // f -> t inserted
-	mutRemoveEdge               // f -> t deleted
+	mutAddVertex  mutKind = iota // f = new vertex id
+	mutAddEdge                   // f -> t inserted
+	mutRemoveEdge                // f -> t deleted
 )
 
 // maxMutationLog bounds the mutation log; when exceeded, the oldest half is

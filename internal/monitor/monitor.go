@@ -347,23 +347,7 @@ func (m *Monitor) Audit() []AuditEntry {
 // stronger privilege and its derivation. Evaluation is lock-free against the
 // current snapshot.
 func (m *Monitor) Explain(c command.Command) string {
-	if err := c.Validate(); err != nil {
-		return fmt.Sprintf("ill-formed: %v", err)
-	}
 	snap := m.eng.Snapshot()
 	defer snap.Close()
-	target, _ := c.Privilege()
-	if just, ok := (command.Strict{}).Authorize(snap.Policy(), c); ok {
-		return fmt.Sprintf("authorized (strict): %s reaches %s", c.Actor, just)
-	}
-	if m.mode == ModeRefined {
-		if held, ok := snap.HeldStronger(c.Actor, target); ok {
-			dv, okd := snap.Explain(held, target)
-			if okd {
-				return fmt.Sprintf("authorized (refined): %s holds %s and\n%s", c.Actor, held, dv)
-			}
-			return fmt.Sprintf("authorized (refined): %s holds %s Ã %s", c.Actor, held, target)
-		}
-	}
-	return fmt.Sprintf("denied: %s holds no privilege at least as strong as %s", c.Actor, target)
+	return snap.ExplainCommand(c)
 }

@@ -1,0 +1,289 @@
+// Package server exposes a tenant.Registry over HTTP/JSON — the deployment
+// shape of a standalone policy server (cmd/rbacd). Every data-plane endpoint
+// is batched: a request carries a list of commands and one round-trip
+// resolves the tenant, acquires one engine snapshot (or one writer pass) and
+// answers them all, so the per-query cost of the network service approaches
+// the in-process engine cost as batches grow.
+//
+// Routes (all under /v1, tenant names per tenant.ValidName):
+//
+//	POST /v1/tenants/{tenant}/authorize  {"commands":[...]} → {"results":[{"allowed":...},...]}
+//	POST /v1/tenants/{tenant}/submit     {"commands":[...]} → {"results":[{"outcome":...},...]}
+//	POST /v1/tenants/{tenant}/explain    {"command":{...}}  → {"explanation":"..."}
+//	PUT  /v1/tenants/{tenant}/policy     RPL source         → 204 (409 once provisioned)
+//	GET  /v1/tenants/{tenant}/stats                         → tenant.Stats
+//	GET  /healthz                                           → liveness + uptime
+//
+// Reads (authorize, explain, stats) of a tenant with no durable state return
+// 404 and never create one; writes (submit, policy) create the tenant.
+//
+// Commands travel as {"actor","op","from","to"} with vertices in the wire
+// form of model.MarshalVertex — the same encoding the WAL uses, so a logged
+// record and a request body agree.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/model"
+	"adminrefine/internal/parser"
+	"adminrefine/internal/tenant"
+)
+
+// maxBodyBytes bounds request bodies (policies and batches alike).
+const maxBodyBytes = 8 << 20
+
+// Server is the HTTP facade over a tenant registry.
+type Server struct {
+	reg   *tenant.Registry
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds the server. The registry stays owned by the caller (close it
+// after the HTTP listener drains).
+func New(reg *tenant.Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/authorize", s.handleAuthorize)
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/submit", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/explain", s.handleExplain)
+	s.mux.HandleFunc("PUT /v1/tenants/{tenant}/policy", s.handlePutPolicy)
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// WireCommand is the JSON form of an administrative command.
+type WireCommand struct {
+	Actor string          `json:"actor"`
+	Op    string          `json:"op"` // "grant" or "revoke"
+	From  json.RawMessage `json:"from"`
+	To    json.RawMessage `json:"to"`
+}
+
+// Command decodes the wire form.
+func (wc WireCommand) Command() (command.Command, error) {
+	var op model.Op
+	switch wc.Op {
+	case "grant":
+		op = model.OpGrant
+	case "revoke":
+		op = model.OpRevoke
+	default:
+		return command.Command{}, fmt.Errorf("unknown op %q (want grant or revoke)", wc.Op)
+	}
+	from, err := model.UnmarshalVertex(wc.From)
+	if err != nil {
+		return command.Command{}, fmt.Errorf("from vertex: %w", err)
+	}
+	to, err := model.UnmarshalVertex(wc.To)
+	if err != nil {
+		return command.Command{}, fmt.Errorf("to vertex: %w", err)
+	}
+	return command.Command{Actor: wc.Actor, Op: op, From: from, To: to}, nil
+}
+
+// EncodeCommand converts a command to its wire form (the client-side helper
+// tests and load drivers use).
+func EncodeCommand(c command.Command) (WireCommand, error) {
+	from, err := model.MarshalVertex(c.From)
+	if err != nil {
+		return WireCommand{}, err
+	}
+	to, err := model.MarshalVertex(c.To)
+	if err != nil {
+		return WireCommand{}, err
+	}
+	return WireCommand{Actor: c.Actor, Op: c.Op.String(), From: from, To: to}, nil
+}
+
+// BatchRequest carries the commands of an authorize or submit call.
+type BatchRequest struct {
+	Commands []WireCommand `json:"commands"`
+}
+
+// AuthorizeResult is one authorization decision on the wire.
+type AuthorizeResult struct {
+	Allowed bool `json:"allowed"`
+	// Justification renders the justifying privilege when allowed.
+	Justification string `json:"justification,omitempty"`
+}
+
+// SubmitResult is one transition outcome on the wire.
+type SubmitResult struct {
+	Outcome       string `json:"outcome"` // applied | nochange | denied | illformed
+	Justification string `json:"justification,omitempty"`
+}
+
+// ExplainRequest carries the command of an explain call.
+type ExplainRequest struct {
+	Command WireCommand `json:"command"`
+}
+
+func (s *Server) decodeBatch(w http.ResponseWriter, r *http.Request) ([]command.Command, bool) {
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return nil, false
+	}
+	if len(req.Commands) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty command batch"))
+		return nil, false
+	}
+	cmds := make([]command.Command, len(req.Commands))
+	for i, wc := range req.Commands {
+		c, err := wc.Command()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("command %d: %w", i, err))
+			return nil, false
+		}
+		cmds[i] = c
+	}
+	return cmds, true
+}
+
+func (s *Server) handleAuthorize(w http.ResponseWriter, r *http.Request) {
+	cmds, ok := s.decodeBatch(w, r)
+	if !ok {
+		return
+	}
+	results, err := s.reg.AuthorizeBatch(r.PathValue("tenant"), cmds)
+	if err != nil {
+		tenantError(w, err)
+		return
+	}
+	out := make([]AuthorizeResult, len(results))
+	for i, res := range results {
+		out[i].Allowed = res.OK
+		if res.Justification != nil {
+			out[i].Justification = res.Justification.String()
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	cmds, ok := s.decodeBatch(w, r)
+	if !ok {
+		return
+	}
+	name := r.PathValue("tenant")
+	results, err := s.reg.SubmitBatch(name, cmds)
+	if err != nil && len(results) == 0 {
+		tenantError(w, err)
+		return
+	}
+	out := make([]SubmitResult, len(results))
+	for i, res := range results {
+		out[i].Outcome = res.Outcome.WireName()
+		if res.Justification != nil {
+			out[i].Justification = res.Justification.String()
+		}
+	}
+	body := map[string]any{"results": out}
+	status := http.StatusOK
+	if err != nil {
+		// Commit-hook (durability) failure mid-batch: report what was
+		// processed together with the fault.
+		body["error"] = err.Error()
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, body)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	c, err := req.Command.Command()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	text, err := s.reg.Explain(r.PathValue("tenant"), c)
+	if err != nil {
+		tenantError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"explanation": text})
+}
+
+func (s *Server) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
+	src, err := io.ReadAll(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	doc, err := parser.Parse(string(src))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("parse policy: %w", err))
+		return
+	}
+	if len(doc.Queue) > 0 || len(doc.Checks) > 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("policy upload must not contain do/expect statements"))
+		return
+	}
+	if err := s.reg.InstallPolicy(r.PathValue("tenant"), doc.Policy); err != nil {
+		if tenant.IsProvisioned(err) {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		tenantError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.reg.Stats(r.PathValue("tenant"))
+	if err != nil {
+		tenantError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime":   time.Since(s.start).Round(time.Millisecond).String(),
+		"resident": s.reg.Resident(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// tenantError maps registry errors onto status codes: bad names are the
+// client's fault, unknown tenants are 404 (reads never create tenants),
+// everything else is the server's.
+func tenantError(w http.ResponseWriter, err error) {
+	switch {
+	case tenant.IsBadName(err):
+		httpError(w, http.StatusBadRequest, err)
+	case tenant.IsNotFound(err):
+		httpError(w, http.StatusNotFound, err)
+	default:
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

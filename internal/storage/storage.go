@@ -1,9 +1,14 @@
-// Package storage persists the reference monitor's state: a snapshot of the
-// policy plus a write-ahead log of applied administrative commands. The
-// monitor's audit stream is appended to the log before results are returned
-// (hook it up with Store.Attach), and Open recovers the policy by loading
-// the snapshot and replaying the log. Compaction writes a fresh snapshot and
-// truncates the log.
+// Package storage persists policy state durably: a snapshot of the policy
+// plus a write-ahead log of applied administrative commands. It serves two
+// consumers. The reference monitor's audit stream is appended to the log via
+// Store.Attach, and Open recovers the policy by loading the snapshot and
+// replaying the log. The snapshot engine attaches through OpenEngine, which
+// recovers an engine.Engine at the logged generation and installs a commit
+// hook so every applied command is durable before its snapshot is published
+// (write-ahead at the engine boundary — the multi-tenant service in
+// internal/tenant runs one such store per tenant). Compaction writes a fresh
+// snapshot and truncates the log; SinceCompact exposes the log growth so
+// callers can trigger compaction on a budget.
 //
 // Log format: a fixed header followed by length-prefixed records,
 //
@@ -26,6 +31,7 @@ import (
 	"sync"
 
 	"adminrefine/internal/command"
+	"adminrefine/internal/engine"
 	"adminrefine/internal/model"
 	"adminrefine/internal/monitor"
 	"adminrefine/internal/policy"
@@ -41,19 +47,6 @@ type Record struct {
 	From    json.RawMessage `json:"from"`
 	To      json.RawMessage `json:"to"`
 	Outcome string          `json:"outcome"` // "applied", "nochange", "denied", "illformed"
-}
-
-func encodeOutcome(o command.Outcome) string {
-	switch o {
-	case command.Applied:
-		return "applied"
-	case command.AppliedNoChange:
-		return "nochange"
-	case command.Denied:
-		return "denied"
-	default:
-		return "illformed"
-	}
 }
 
 // NewRecord converts an audit entry into a loggable record.
@@ -72,7 +65,7 @@ func NewRecord(e monitor.AuditEntry) (Record, error) {
 		Op:      e.Cmd.Op.String(),
 		From:    from,
 		To:      to,
-		Outcome: encodeOutcome(e.Outcome),
+		Outcome: e.Outcome.WireName(),
 	}, nil
 }
 
@@ -123,6 +116,10 @@ type Store struct {
 	opts Options
 	f    *os.File
 	seq  int
+	// sinceCompact counts log records written since the last compaction
+	// (records already in the log at Open count too): the compaction-trigger
+	// signal.
+	sinceCompact int
 }
 
 // snapshotMeta wraps the policy snapshot with its log position.
@@ -207,8 +204,27 @@ func Open(dir string, opts Options) (*Store, *policy.Policy, Recovery, error) {
 		seq = r.Seq
 	}
 
-	s := &Store{dir: dir, opts: opts, f: f, seq: seq}
+	s := &Store{dir: dir, opts: opts, f: f, seq: seq, sinceCompact: len(records)}
 	return s, pol, rec, nil
+}
+
+// OpenEngine opens the store and stands a snapshot engine up on the
+// recovered policy: the engine starts at the recovered generation (the
+// highest logged sequence number) and gets a commit hook that appends every
+// applied command to the WAL before its snapshot is published. A crash at
+// any point recovers, via OpenEngine, to exactly the decisions the last
+// published snapshot served. The engine takes ownership of the recovered
+// policy; close the store only after the engine stops submitting.
+func OpenEngine(dir string, mode engine.Mode, opts Options) (*Store, *engine.Engine, Recovery, error) {
+	s, pol, rec, err := Open(dir, opts)
+	if err != nil {
+		return nil, nil, rec, err
+	}
+	eng := engine.NewAt(pol, mode, uint64(s.Seq()))
+	eng.SetCommitHook(func(gen uint64, res command.StepResult) error {
+		return s.AppendStep(int(gen), res)
+	})
+	return s, eng, rec, nil
 }
 
 // readAll parses records from the start of the log, returning the offset of
@@ -265,6 +281,43 @@ func (s *Store) Append(e monitor.AuditEntry) error {
 	if err != nil {
 		return err
 	}
+	return s.AppendRecord(r)
+}
+
+// NewStepRecord converts an engine step result into a loggable record at the
+// given sequence number (the engine generation the step produced).
+func NewStepRecord(seq int, res command.StepResult) (Record, error) {
+	from, err := model.MarshalVertex(res.Cmd.From)
+	if err != nil {
+		return Record{}, fmt.Errorf("storage: encode from vertex: %w", err)
+	}
+	to, err := model.MarshalVertex(res.Cmd.To)
+	if err != nil {
+		return Record{}, fmt.Errorf("storage: encode to vertex: %w", err)
+	}
+	return Record{
+		Seq:     seq,
+		Actor:   res.Cmd.Actor,
+		Op:      res.Cmd.Op.String(),
+		From:    from,
+		To:      to,
+		Outcome: res.Outcome.WireName(),
+	}, nil
+}
+
+// AppendStep logs one engine step result — the engine commit hook. Safe for
+// concurrent use.
+func (s *Store) AppendStep(seq int, res command.StepResult) error {
+	r, err := NewStepRecord(seq, res)
+	if err != nil {
+		return err
+	}
+	return s.AppendRecord(r)
+}
+
+// AppendRecord logs one record with length-prefix + CRC framing. Safe for
+// concurrent use.
+func (s *Store) AppendRecord(r Record) error {
 	payload, err := json.Marshal(r)
 	if err != nil {
 		return err
@@ -290,7 +343,16 @@ func (s *Store) Append(e monitor.AuditEntry) error {
 	if r.Seq > s.seq {
 		s.seq = r.Seq
 	}
+	s.sinceCompact++
 	return nil
+}
+
+// SinceCompact reports how many log records have accumulated since the last
+// compaction — the signal callers use to trigger Compact on a budget.
+func (s *Store) SinceCompact() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sinceCompact
 }
 
 // Attach subscribes the store to a monitor's audit stream. Append errors are
@@ -335,6 +397,7 @@ func (s *Store) Compact(p *policy.Policy) error {
 	if _, err := s.f.Seek(0, io.SeekEnd); err != nil {
 		return err
 	}
+	s.sinceCompact = 0
 	if s.opts.Sync {
 		return s.f.Sync()
 	}

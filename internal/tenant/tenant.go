@@ -1,0 +1,499 @@
+// Package tenant serves many isolated policies from one process: a sharded
+// registry where each tenant owns a snapshot engine (internal/engine) backed
+// by its own WAL+snapshot store (internal/storage). Tenants are addressed by
+// name, hashed onto N lock-striped shard maps so unrelated tenants never
+// contend on a lock; a tenant is opened lazily — recovered from its on-disk
+// snapshot and WAL — on first touch, and idle tenants are compacted and then
+// LRU-evicted when a shard exceeds its residency budget, so a registry over
+// millions of tenants holds only the working set in memory.
+//
+// The shard lock covers map/LRU bookkeeping plus the first-touch open of a
+// cold tenant (so a tenant recovers exactly once); eviction I/O happens
+// outside it. Once a tenant is resolved, authorization runs lock-free
+// against engine snapshots and submissions serialise only against that
+// tenant's writer. The batched entry points
+// (AuthorizeBatch, SubmitBatch) amortise the resolve + snapshot acquisition
+// across a whole request, which is what makes one network round-trip cheap
+// (see internal/server).
+package tenant
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/engine"
+	"adminrefine/internal/policy"
+	"adminrefine/internal/storage"
+)
+
+// Options configures a Registry.
+type Options struct {
+	// Dir is the root data directory; tenant t persists under Dir/t.
+	Dir string
+	// Mode is the authorization regime every tenant engine runs under.
+	Mode engine.Mode
+	// Shards is the number of lock-striped shard maps (default 8).
+	Shards int
+	// MaxResident caps resident tenants per shard; exceeding it compacts and
+	// evicts the least-recently-used idle tenant (0 = unlimited).
+	MaxResident int
+	// CompactEvery triggers a compaction after this many WAL records
+	// accumulate on a tenant (default 1024; negative disables).
+	CompactEvery int
+	// Sync fsyncs every WAL append (slow, crash-durable). Default off.
+	Sync bool
+	// Bootstrap, when non-nil, seeds a tenant that has no durable state yet:
+	// it is invoked on first touch of an empty tenant and the returned policy
+	// is compacted to disk immediately. Return nil to leave the tenant empty.
+	Bootstrap func(name string) *policy.Policy
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.CompactEvery == 0 {
+		o.CompactEvery = 1024
+	}
+	return o
+}
+
+// Registry is a sharded set of resident tenants over one data directory.
+// All methods are safe for concurrent use.
+type Registry struct {
+	opts   Options
+	shards []*shard
+	closed atomic.Bool
+}
+
+type shard struct {
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	// lru orders resident tenants, front = most recently used. Element
+	// values are *tenant.
+	lru *list.List
+}
+
+// tenant is one resident policy: engine + store + bookkeeping.
+type tenant struct {
+	name string
+	// eng is an atomic pointer because InstallPolicy replaces the engine
+	// while lock-free readers (Authorize, Stats, …) are loading it.
+	eng   atomic.Pointer[engine.Engine]
+	store *storage.Store
+	elem  *list.Element
+	// inuse counts in-flight operations; eviction skips busy tenants.
+	inuse atomic.Int64
+	// subMu serialises submissions and compactions so a compaction always
+	// snapshots the WAL head (no record can land between the policy snapshot
+	// and the log truncation).
+	submu      sync.Mutex
+	recovered  storage.Recovery
+	authorizes atomic.Uint64
+	submits    atomic.Uint64
+	// compactErr remembers the last budget-triggered compaction failure (nil
+	// once one succeeds). Compaction failures are not submit failures — the
+	// WAL already holds every applied record — so they surface via Stats,
+	// not the submit path.
+	compactErr atomic.Pointer[string]
+}
+
+func (t *tenant) engine() *engine.Engine { return t.eng.Load() }
+
+// Stats describes one tenant's current state.
+type Stats struct {
+	Tenant     string `json:"tenant"`
+	Mode       string `json:"mode"`
+	Generation uint64 `json:"generation"`
+	WALSeq     int    `json:"wal_seq"`
+	// SinceCompact is the number of WAL records accumulated since the last
+	// compaction.
+	SinceCompact int          `json:"since_compact"`
+	Policy       policy.Stats `json:"policy"`
+	Authorizes   uint64       `json:"authorizes"`
+	Submits      uint64       `json:"submits"`
+	// Recovered reports what the lazy open found on disk.
+	Recovered storage.Recovery `json:"recovered"`
+	// LastCompactError is the most recent budget-triggered compaction
+	// failure, empty once a compaction succeeds. Failed compactions are
+	// retried on later submits and never fail the submit itself (the WAL
+	// already holds every applied record).
+	LastCompactError string `json:"last_compact_error,omitempty"`
+}
+
+// New builds a registry rooted at opts.Dir. Tenants open lazily; New itself
+// touches no tenant state.
+func New(opts Options) *Registry {
+	opts = opts.withDefaults()
+	r := &Registry{opts: opts, shards: make([]*shard, opts.Shards)}
+	for i := range r.shards {
+		r.shards[i] = &shard{tenants: make(map[string]*tenant), lru: list.New()}
+	}
+	return r
+}
+
+// Sentinels wrapped into returned errors so transports can map them onto
+// status codes without string matching.
+var (
+	errBadName     = errors.New("invalid tenant name")
+	errProvisioned = errors.New("already provisioned")
+	errNotFound    = errors.New("no such tenant")
+)
+
+// IsBadName reports whether err came from an inadmissible tenant name.
+func IsBadName(err error) bool { return errors.Is(err, errBadName) }
+
+// IsNotFound reports whether err came from a read-only touch of a tenant
+// that has no durable state (reads never create tenants; see acquire).
+func IsNotFound(err error) bool { return errors.Is(err, errNotFound) }
+
+// IsProvisioned reports whether err came from installing a policy on a
+// tenant that already has administrative history.
+func IsProvisioned(err error) bool { return errors.Is(err, errProvisioned) }
+
+// ValidName reports whether a tenant name is admissible: 1–64 characters
+// drawn from [A-Za-z0-9_-], so every name maps to a safe directory name.
+func ValidName(name string) bool {
+	if len(name) == 0 || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) shardOf(name string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return r.shards[h.Sum32()%uint32(len(r.shards))]
+}
+
+// acquire resolves (lazily opening) the tenant and pins it against eviction.
+// Callers must release it. Write entry points pass create=true; read-only
+// entry points pass create=false so probing unknown names never mints
+// durable on-disk state (they get errNotFound instead, unless Bootstrap
+// supplies a policy for the name).
+func (r *Registry) acquire(name string, create bool) (*tenant, error) {
+	if r.closed.Load() {
+		return nil, fmt.Errorf("tenant: registry closed")
+	}
+	if !ValidName(name) {
+		return nil, fmt.Errorf("tenant %q: %w", name, errBadName)
+	}
+	sh := r.shardOf(name)
+	sh.mu.Lock()
+	// Re-check under the shard lock: Close sets the flag before sweeping the
+	// shards, so an acquire that raced past the first check cannot insert a
+	// tenant into a shard Close already swept.
+	if r.closed.Load() {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("tenant: registry closed")
+	}
+	t, ok := sh.tenants[name]
+	var evicted []*tenant
+	if !ok {
+		var err error
+		t, err = r.open(name, create)
+		if err != nil {
+			sh.mu.Unlock()
+			return nil, err
+		}
+		sh.tenants[name] = t
+		t.elem = sh.lru.PushFront(t)
+		evicted = r.evictLocked(sh)
+	} else {
+		sh.lru.MoveToFront(t.elem)
+	}
+	t.inuse.Add(1)
+	sh.mu.Unlock()
+	// Compact-and-close of the evicted tenants happens outside the shard
+	// lock: it is disk I/O and must not stall the shard's other tenants.
+	for _, v := range evicted {
+		v.shutdown()
+	}
+	return t, nil
+}
+
+func (t *tenant) release() { t.inuse.Add(-1) }
+
+// open recovers a tenant from its directory (first touch), seeding it via
+// Bootstrap when the name has no durable state yet. With create=false, a
+// name with neither on-disk state nor a Bootstrap policy is not found.
+func (r *Registry) open(name string, create bool) (*tenant, error) {
+	dir := filepath.Join(r.opts.Dir, name)
+	var seed *policy.Policy
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		if r.opts.Bootstrap != nil {
+			seed = r.opts.Bootstrap(name)
+		}
+		if seed == nil && !create {
+			return nil, fmt.Errorf("tenant %s: %w", name, errNotFound)
+		}
+	}
+	st, eng, rec, err := storage.OpenEngine(dir, r.opts.Mode, storage.Options{Sync: r.opts.Sync})
+	if err != nil {
+		return nil, fmt.Errorf("tenant %s: %w", name, err)
+	}
+	t := &tenant{name: name, store: st, recovered: rec}
+	t.eng.Store(eng)
+	if seed != nil && !rec.SnapshotLoaded && rec.Records == 0 {
+		if err := r.install(t, seed); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("tenant %s: bootstrap: %w", name, err)
+		}
+	}
+	return t, nil
+}
+
+// install replaces an empty tenant's state with p, durably (compacted
+// snapshot on disk), and rebuilds the engine over it.
+func (r *Registry) install(t *tenant, p *policy.Policy) error {
+	if err := t.store.Compact(p); err != nil {
+		return err
+	}
+	eng := engine.NewAt(p, r.opts.Mode, t.engine().Generation())
+	st := t.store
+	eng.SetCommitHook(func(gen uint64, res command.StepResult) error {
+		return st.AppendStep(int(gen), res)
+	})
+	t.eng.Store(eng)
+	return nil
+}
+
+// evictLocked shrinks the shard back to its residency budget, walking from
+// the LRU tail and skipping tenants with in-flight operations. It only
+// unlinks victims (map + LRU) — the caller shuts them down after releasing
+// the shard lock; unlinked-with-inuse==0 guarantees exclusivity.
+func (r *Registry) evictLocked(sh *shard) []*tenant {
+	if r.opts.MaxResident <= 0 {
+		return nil
+	}
+	var out []*tenant
+	for e := sh.lru.Back(); e != nil && sh.lru.Len() > r.opts.MaxResident; {
+		prev := e.Prev()
+		t := e.Value.(*tenant)
+		if t.inuse.Load() == 0 {
+			sh.lru.Remove(e)
+			delete(sh.tenants, t.name)
+			out = append(out, t)
+		}
+		e = prev
+	}
+	return out
+}
+
+// shutdown compacts and closes a tenant's store. Called with the tenant
+// unreachable from the maps and no in-flight operations.
+func (t *tenant) shutdown() {
+	t.submu.Lock()
+	defer t.submu.Unlock()
+	if t.store.SinceCompact() > 0 {
+		s := t.engine().Snapshot()
+		// Best-effort: an eviction-time compaction failure loses nothing —
+		// the WAL still holds every applied command.
+		t.store.Compact(s.Policy())
+		s.Close()
+	}
+	t.store.Close()
+}
+
+// maybeCompact compacts the tenant when its WAL grew past the budget. Must
+// run under submu so the snapshot is taken at the WAL head. A failure is
+// recorded for Stats but deliberately not surfaced to the submitter: the
+// commands are already WAL-durable, and the un-reset SinceCompact counter
+// retries compaction on the next submit.
+func (t *tenant) maybeCompact(every int) {
+	if every <= 0 || t.store.SinceCompact() < every {
+		return
+	}
+	s := t.engine().Snapshot()
+	defer s.Close()
+	if err := t.store.Compact(s.Policy()); err != nil {
+		msg := err.Error()
+		t.compactErr.Store(&msg)
+		return
+	}
+	t.compactErr.Store(nil)
+}
+
+// Authorize decides one command for the tenant, lazily opening it.
+func (r *Registry) Authorize(name string, c command.Command) (engine.AuthzResult, error) {
+	t, err := r.acquire(name, false)
+	if err != nil {
+		return engine.AuthzResult{}, err
+	}
+	defer t.release()
+	t.authorizes.Add(1)
+	s := t.engine().Snapshot()
+	defer s.Close()
+	just, ok := s.Authorize(c)
+	return engine.AuthzResult{Justification: just, OK: ok}, nil
+}
+
+// AuthorizeBatch decides every command against one snapshot of the tenant's
+// policy: one registry resolve, one snapshot acquisition, one decider for
+// the whole batch.
+func (r *Registry) AuthorizeBatch(name string, cmds []command.Command) ([]engine.AuthzResult, error) {
+	t, err := r.acquire(name, false)
+	if err != nil {
+		return nil, err
+	}
+	defer t.release()
+	t.authorizes.Add(uint64(len(cmds)))
+	s := t.engine().Snapshot()
+	defer s.Close()
+	return s.AuthorizeBatch(cmds), nil
+}
+
+// Submit executes one administrative command through the tenant's transition
+// function; applied commands are WAL-durable before the result returns.
+func (r *Registry) Submit(name string, c command.Command) (command.StepResult, error) {
+	t, err := r.acquire(name, true)
+	if err != nil {
+		return command.StepResult{}, err
+	}
+	defer t.release()
+	t.submits.Add(1)
+	t.submu.Lock()
+	defer t.submu.Unlock()
+	res, err := t.eng.Load().SubmitGuarded(c, nil)
+	if err != nil {
+		return res, err
+	}
+	t.maybeCompact(r.opts.CompactEvery)
+	return res, nil
+}
+
+// SubmitBatch executes the commands in order under one writer acquisition,
+// publishing at most one new snapshot (see engine.SubmitBatch).
+func (r *Registry) SubmitBatch(name string, cmds []command.Command) ([]command.StepResult, error) {
+	t, err := r.acquire(name, true)
+	if err != nil {
+		return nil, err
+	}
+	defer t.release()
+	t.submits.Add(uint64(len(cmds)))
+	t.submu.Lock()
+	defer t.submu.Unlock()
+	out, err := t.eng.Load().SubmitBatch(cmds, nil)
+	if err != nil {
+		return out, err
+	}
+	t.maybeCompact(r.opts.CompactEvery)
+	return out, nil
+}
+
+// Explain describes why a command would be authorized or denied for the
+// tenant right now, without executing it.
+func (r *Registry) Explain(name string, c command.Command) (string, error) {
+	t, err := r.acquire(name, false)
+	if err != nil {
+		return "", err
+	}
+	defer t.release()
+	s := t.engine().Snapshot()
+	defer s.Close()
+	return s.ExplainCommand(c), nil
+}
+
+// InstallPolicy provisions a tenant with an initial policy. It only
+// succeeds while the tenant has no administrative history (generation 0 and
+// an empty WAL): live tenants evolve exclusively through Submit, so the
+// transition function mediates every later change.
+func (r *Registry) InstallPolicy(name string, p *policy.Policy) error {
+	t, err := r.acquire(name, true)
+	if err != nil {
+		return err
+	}
+	defer t.release()
+	t.submu.Lock()
+	defer t.submu.Unlock()
+	if t.engine().Generation() != 0 || t.store.Seq() != 0 {
+		return fmt.Errorf("tenant %s: %w (generation %d)", name, errProvisioned, t.engine().Generation())
+	}
+	return r.install(t, p)
+}
+
+// Stats reports the tenant's current state, lazily opening it.
+func (r *Registry) Stats(name string) (Stats, error) {
+	t, err := r.acquire(name, false)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer t.release()
+	s := t.engine().Snapshot()
+	defer s.Close()
+	st := Stats{
+		Tenant:       t.name,
+		Mode:         r.opts.Mode.String(),
+		Generation:   s.Generation(),
+		WALSeq:       t.store.Seq(),
+		SinceCompact: t.store.SinceCompact(),
+		Policy:       s.Policy().Stats(),
+		Authorizes:   t.authorizes.Load(),
+		Submits:      t.submits.Load(),
+		Recovered:    t.recovered,
+	}
+	if msg := t.compactErr.Load(); msg != nil {
+		st.LastCompactError = *msg
+	}
+	return st, nil
+}
+
+// Resident reports how many tenants are currently open across all shards.
+func (r *Registry) Resident() int {
+	n := 0
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Evict compacts and closes the tenant if it is resident and idle, reporting
+// whether it was evicted. Busy tenants are left alone.
+func (r *Registry) Evict(name string) bool {
+	sh := r.shardOf(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	t, ok := sh.tenants[name]
+	if !ok || t.inuse.Load() != 0 {
+		return false
+	}
+	sh.lru.Remove(t.elem)
+	delete(sh.tenants, name)
+	t.shutdown()
+	return true
+}
+
+// Close compacts and closes every resident tenant and rejects further
+// operations.
+func (r *Registry) Close() error {
+	if r.closed.Swap(true) {
+		return nil
+	}
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for name, t := range sh.tenants {
+			t.shutdown()
+			delete(sh.tenants, name)
+		}
+		sh.lru.Init()
+		sh.mu.Unlock()
+	}
+	return nil
+}

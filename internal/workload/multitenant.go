@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/policy"
+)
+
+// MultiTenantConfig parameterises the multi-tenant load generator. Real
+// multi-tenant traffic is heavily skewed — a few hot tenants take most of
+// the queries while a long tail sits cold — so tenant selection follows a
+// Zipf distribution over the tenant index.
+type MultiTenantConfig struct {
+	Seed    int64
+	Tenants int
+	// Roles/Users size each tenant's churn fixture (see ChurnPolicy).
+	Roles, Users int
+	// Skew is the Zipf s parameter (> 1; higher = hotter head). 1.1 is a
+	// mild, realistic skew.
+	Skew float64
+	// SubmitFrac is the fraction of operations that are administrative
+	// submits; the rest are authorization queries.
+	SubmitFrac float64
+}
+
+// DefaultMultiTenant returns a mid-sized skewed configuration.
+func DefaultMultiTenant(seed int64) MultiTenantConfig {
+	return MultiTenantConfig{
+		Seed: seed, Tenants: 32, Roles: 64, Users: 64,
+		Skew: 1.1, SubmitFrac: 0.05,
+	}
+}
+
+// TenantOp is one generated operation against one tenant.
+type TenantOp struct {
+	Tenant string
+	// Submit distinguishes an administrative submit from an authorize query.
+	Submit bool
+	Cmd    command.Command
+}
+
+// MultiTenantGen is a deterministic (seeded) generator of skewed
+// multi-tenant traffic: every tenant runs the churn fixture's command
+// stream, and tenants are drawn Zipf-distributed so low indices are hot.
+// Not safe for concurrent use; give each driver goroutine its own generator
+// (same seed = same stream).
+type MultiTenantGen struct {
+	cfg  MultiTenantConfig
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	// ops counts per-tenant generated submits so each tenant walks its own
+	// churn stream position.
+	ops []int
+}
+
+// NewMultiTenantGen builds the generator. Panics on a config with no
+// tenants or a skew ≤ 1 (rand.Zipf's domain).
+func NewMultiTenantGen(cfg MultiTenantConfig) *MultiTenantGen {
+	if cfg.Tenants < 1 {
+		panic("workload: MultiTenantConfig needs at least one tenant")
+	}
+	if cfg.Skew <= 1 {
+		panic("workload: Zipf skew must be > 1")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &MultiTenantGen{
+		cfg:  cfg,
+		rng:  rng,
+		zipf: rand.NewZipf(rng, cfg.Skew, 1, uint64(cfg.Tenants-1)),
+		ops:  make([]int, cfg.Tenants),
+	}
+}
+
+// TenantName names the i-th tenant.
+func (g *MultiTenantGen) TenantName(i int) string { return fmt.Sprintf("t%03d", i) }
+
+// Policy builds the i-th tenant's initial policy — the bootstrap/provision
+// payload. Deterministic in (i, config).
+func (g *MultiTenantGen) Policy(i int) *policy.Policy {
+	return ChurnPolicy(g.cfg.Roles, g.cfg.Users)
+}
+
+// Bootstrap adapts the generator to tenant.Options.Bootstrap: it seeds any
+// tenant named by TenantName and leaves foreign names empty.
+func (g *MultiTenantGen) Bootstrap(name string) *policy.Policy {
+	var i int
+	if _, err := fmt.Sscanf(name, "t%03d", &i); err != nil || i < 0 || i >= g.cfg.Tenants {
+		return nil
+	}
+	return g.Policy(i)
+}
+
+// PickTenant draws a Zipf-distributed tenant index.
+func (g *MultiTenantGen) PickTenant() int { return int(g.zipf.Uint64()) }
+
+// Next generates one operation: a skewed tenant pick plus the next command
+// of that tenant's churn stream (a submit advances the stream; a query
+// probes the next position, which ChurnPolicy always authorizes).
+func (g *MultiTenantGen) Next() TenantOp {
+	i := g.PickTenant()
+	op := TenantOp{Tenant: g.TenantName(i)}
+	if g.rng.Float64() < g.cfg.SubmitFrac {
+		op.Submit = true
+		op.Cmd = ChurnGrant(g.ops[i], g.cfg.Users, g.cfg.Roles)
+		g.ops[i]++
+		return op
+	}
+	op.Cmd = ChurnGrant(g.ops[i], g.cfg.Users, g.cfg.Roles)
+	return op
+}
+
+// QueryBatch generates a batch of n authorization queries against one
+// Zipf-picked tenant — the unit of work the batched service API amortises.
+func (g *MultiTenantGen) QueryBatch(n int) (tenant string, cmds []command.Command) {
+	i := g.PickTenant()
+	cmds = make([]command.Command, n)
+	for j := range cmds {
+		cmds[j] = ChurnGrant(g.ops[i]+j, g.cfg.Users, g.cfg.Roles)
+	}
+	return g.TenantName(i), cmds
+}

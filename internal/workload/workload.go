@@ -1,9 +1,12 @@
 // Package workload generates synthetic policies and command streams for the
-// experiment harness. The paper evaluates its constructions on
-// pencil-and-paper examples only; these deterministic generators supply the
-// scaled instances the EXPERIMENTS.md studies run on (substitution table in
-// DESIGN.md §6). Every generator is a pure function of its parameters and
-// seed, so experiment rows are reproducible.
+// experiment harness and the service benchmarks. The paper evaluates its
+// constructions on pencil-and-paper examples only; these deterministic
+// generators supply the scaled instances the EXPERIMENTS.md studies run on
+// (substitution table in DESIGN.md §6), the churn fixtures the incremental
+// engine benchmarks measure, and the skewed multi-tenant traffic
+// (MultiTenantGen, Zipf-distributed tenant picks) that drives the sharded
+// authorization service end to end. Every generator is a pure function of
+// its parameters and seed, so experiment rows are reproducible.
 package workload
 
 import (

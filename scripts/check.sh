@@ -9,5 +9,5 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/
-go test -run XXX -bench Incremental -benchtime=100x .
+go test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/tenant/ ./internal/server/
+go test -run XXX -bench 'Incremental|BatchVsSingle' -benchtime=100x .
