@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench-json bench
+.PHONY: check build vet test race bench-smoke bench-json bench benchdiff
 
-check: build vet test race bench-smoke
+check: build vet test race bench-smoke benchdiff
 
 build:
 	$(GO) build ./...
@@ -19,12 +19,18 @@ test:
 	$(GO) test ./...
 
 # The engine/tenant/server stack is the concurrency-critical surface;
-# graph/core feed it.
+# graph/core feed it, and decision/command carry the lock-free cache and
+# interner under it.
 race:
-	$(GO) test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/tenant/ ./internal/server/
+	$(GO) test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/tenant/ ./internal/server/ ./internal/decision/ ./internal/command/
 
 bench-smoke:
-	$(GO) test -run XXX -bench Incremental -benchtime=100x .
+	$(GO) test -run XXX -bench 'Incremental|CachedAuthorize|AuthorizeAllocs' -benchtime=100x .
+
+# Regression gate: authorize benchmarks vs the committed BENCH_*.json
+# baseline (>25% ns/op or any allocs/op increase fails).
+benchdiff:
+	scripts/benchdiff.sh
 
 # Full benchmark sweep (slow).
 bench:
@@ -32,7 +38,7 @@ bench:
 
 # Machine-readable perf trajectory, consumed across PRs. Override the output
 # path with BENCH_JSON=..., or narrow the run with BENCH_FILTER=substring.
-BENCH_JSON ?= BENCH_2.json
+BENCH_JSON ?= BENCH_3.json
 BENCH_FILTER ?=
 bench-json:
 	$(GO) run ./cmd/rbacbench -benchjson $(BENCH_JSON) -benchfilter '$(BENCH_FILTER)'

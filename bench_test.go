@@ -14,6 +14,8 @@
 //	P1  BenchmarkIncrementalGrant, BenchmarkSnapshotAuthorizeParallel,
 //	    BenchmarkSnapshotAuthorizeUnderWriter
 //	P2  BenchmarkMultiTenantAuthorize, BenchmarkBatchVsSingle (tenant service)
+//	P3  BenchmarkCachedAuthorize, BenchmarkAuthorizeAllocs (decision cache +
+//	    zero-allocation authorize fast path)
 //	--  BenchmarkParse, BenchmarkPrint, BenchmarkPolicyClone (substrate costs)
 //
 // Run: go test -bench=. -benchmem
@@ -465,16 +467,6 @@ func BenchmarkIncrementalGrant(b *testing.B) {
 	}
 }
 
-// churnCommands precomputes a slab of churn commands so the parallel
-// benchmarks measure the engine, not fmt.Sprintf.
-func churnCommands(n, users, roles int) []command.Command {
-	out := make([]command.Command, n)
-	for i := range out {
-		out[i] = workload.ChurnGrant(i, users, roles)
-	}
-	return out
-}
-
 // BenchmarkSnapshotAuthorizeParallel measures lock-free read throughput:
 // GOMAXPROCS goroutines authorize against engine snapshots with no writer
 // running. Each worker keeps a pooled decider warm, so throughput scales
@@ -495,7 +487,7 @@ func BenchmarkSnapshotAuthorizeParallel(b *testing.B) {
 func BenchmarkSnapshotAuthorizeUnderWriter(b *testing.B) {
 	const roles, users = 256, 256
 	e := engine.New(workload.ChurnPolicy(roles, users), engine.Refined)
-	cmds := churnCommands(4096, users, roles)
+	cmds := workload.CommandSlab(4096, users, roles)
 	stop := make(chan struct{})
 	done := make(chan struct{})
 	go func() {
@@ -552,6 +544,32 @@ func BenchmarkMultiTenantAuthorize(b *testing.B) {
 func BenchmarkBatchVsSingle(b *testing.B) {
 	for _, spec := range cli.BenchSpecs() {
 		if sub, ok := strings.CutPrefix(spec.Name, "BatchVsSingle/"); ok {
+			b.Run(sub, spec.F)
+		}
+	}
+}
+
+// --- P3: decision cache and the zero-allocation authorize path -------------
+
+// BenchmarkCachedAuthorize measures the steady-state cache-hit cost of
+// Snapshot.Authorize: snapshot acquisition, fingerprint lookup and a
+// decision-cache probe per query (target ≤100 ns/op). The body lives in
+// cli.BenchSpecs so the rbacbench-emitted BENCH JSON measures identical code.
+func BenchmarkCachedAuthorize(b *testing.B) {
+	for _, spec := range cli.BenchSpecs() {
+		if sub, ok := strings.CutPrefix(spec.Name, "CachedAuthorize/"); ok {
+			b.Run(sub, spec.F)
+		}
+	}
+}
+
+// BenchmarkAuthorizeAllocs measures the uncached single-query path with the
+// decision cache disabled — the full decision procedure per op. The
+// acceptance target is 0 allocs/op once fingerprint tables are warm; run
+// with -benchmem (or read allocs_per_op in BENCH_3.json).
+func BenchmarkAuthorizeAllocs(b *testing.B) {
+	for _, spec := range cli.BenchSpecs() {
+		if sub, ok := strings.CutPrefix(spec.Name, "AuthorizeAllocs/"); ok {
 			b.Run(sub, spec.F)
 		}
 	}

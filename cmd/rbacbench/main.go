@@ -6,8 +6,14 @@
 //	rbacbench -exp F3                 # the flexworker example
 //	rbacbench -exp P1                 # incremental engine churn + snapshots
 //	rbacbench -list                   # list experiments
-//	rbacbench -benchjson BENCH_2.json # run registered benchmarks, write JSON
+//	rbacbench -benchjson BENCH_3.json # run registered benchmarks, write JSON
 //	rbacbench -benchjson out.json -benchfilter BatchVsSingle
+//	rbacbench -benchdiff BENCH_3.json -benchfilter Authorize,BatchVsSingle
+//
+// -benchdiff re-runs the matching benchmarks and fails (exit 1) when any
+// regresses against the committed baseline: >25% on ns/op (override with
+// -benchtolerance) or any increase in allocs/op. scripts/benchdiff.sh wires
+// this into CI.
 package main
 
 import (
@@ -21,14 +27,24 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment ID to run (F1 F2 F3 E5 E6 T1 L1 C1 S1 H1 A1 P1, or all)")
 	list := flag.Bool("list", false, "list experiments and exit")
-	benchJSON := flag.String("benchjson", "", "output path: run the registered benchmarks and write results (name -> ns/op, allocs/op) to this file, e.g. BENCH_2.json")
-	benchFilter := flag.String("benchfilter", "", "with -benchjson: only run benchmarks whose name contains this substring")
+	benchJSON := flag.String("benchjson", "", "output path: run the registered benchmarks and write results (name -> ns/op, allocs/op) to this file, e.g. BENCH_3.json")
+	benchFilter := flag.String("benchfilter", "", "with -benchjson/-benchdiff: only run benchmarks whose name contains one of these comma-separated substrings")
+	benchDiff := flag.String("benchdiff", "", "baseline path: re-run the matching benchmarks and exit non-zero on a regression vs this committed BENCH_*.json")
+	benchTolerance := flag.Float64("benchtolerance", 25, "with -benchdiff: allowed ns/op regression in percent (allocs/op always compares exactly)")
 	flag.Parse()
 
 	if *list {
 		for _, e := range cli.Experiments() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
+		return
+	}
+	if *benchDiff != "" {
+		if err := cli.BenchDiff(os.Stdout, *benchDiff, *benchFilter, *benchTolerance); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchdiff: no regressions vs %s\n", *benchDiff)
 		return
 	}
 	if *benchJSON != "" {

@@ -57,6 +57,7 @@ func run(args []string, out io.Writer) error {
 		maxResident  = fs.Int("max-resident", 0, "max resident tenants per shard, LRU-evicted beyond it (0 = unlimited)")
 		compactEvery = fs.Int("compact-every", 1024, "WAL records between tenant compactions (negative disables)")
 		sync         = fs.Bool("sync", false, "fsync every WAL append (crash-durable against power loss, slower)")
+		cacheSlots   = fs.Int("cache-slots", 0, "decision-cache slots per tenant engine (0 = default, negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +79,7 @@ func run(args []string, out io.Writer) error {
 		MaxResident:  *maxResident,
 		CompactEvery: *compactEvery,
 		Sync:         *sync,
+		CacheSlots:   *cacheSlots,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -15,6 +17,7 @@ import (
 	"adminrefine/internal/core"
 	"adminrefine/internal/engine"
 	"adminrefine/internal/graph"
+	"adminrefine/internal/model"
 	"adminrefine/internal/tenant"
 	"adminrefine/internal/workload"
 )
@@ -179,10 +182,7 @@ func BenchSpecs() []BenchSpec {
 			e := engine.New(workload.ChurnPolicy(256, 256), engine.Refined)
 			// Precompute the command slab so the measurement matches the root
 			// benchmark: the engine, not fmt.Sprintf.
-			cmds := make([]command.Command, 4096)
-			for i := range cmds {
-				cmds[i] = workload.ChurnGrant(i, 256, 256)
-			}
+			cmds := workload.CommandSlab(4096, 256, 256)
 			s := e.Snapshot()
 			s.Authorize(cmds[0])
 			s.Close()
@@ -246,7 +246,85 @@ func BenchSpecs() []BenchSpec {
 		}},
 		{"BatchVsSingle/batch=32", func(b *testing.B) { benchBatch(b, 32) }},
 		{"BatchVsSingle/batch=256", func(b *testing.B) { benchBatch(b, 256) }},
+		{"CachedAuthorize/hit/roles=256", func(b *testing.B) {
+			// Steady-state cache-hit cost: snapshot acquisition + fingerprint
+			// lookup + decision-cache probe, per query. The slab is warmed so
+			// every measured op hits.
+			e, cmds := benchAuthorizeEngine(b, engine.Refined, true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := e.Snapshot()
+				if _, ok := s.Authorize(cmds[i%len(cmds)]); !ok {
+					b.Fatal("query denied")
+				}
+				s.Close()
+			}
+		}},
+		{"AuthorizeAllocs/refined-uncached/roles=256", func(b *testing.B) {
+			// The uncached single-query path with the decision cache disabled:
+			// full §4.1 ordering decision per op; the acceptance target is
+			// 0 allocs/op once the fingerprint tables are warm.
+			e, cmds := benchAuthorizeEngine(b, engine.Refined, false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := e.Snapshot()
+				if _, ok := s.Authorize(cmds[i%len(cmds)]); !ok {
+					b.Fatal("query denied")
+				}
+				s.Close()
+			}
+		}},
+		{"AuthorizeAllocs/strict-uncached/roles=256", func(b *testing.B) {
+			// Definition 5 without the cache: actor/privilege vertex lookup by
+			// fingerprint plus one closure bit test per op, 0 allocs/op. The
+			// probe is the churn fixture's one strictly-held privilege (the
+			// admin's ¤(member, c0000)), so this measures the allow path.
+			e := engine.New(workload.ChurnPolicy(256, 256), engine.Strict)
+			e.SetCacheSlots(-1)
+			probe := command.Grant("churnadmin", model.Role("member"), model.Role("c0000"))
+			s := e.Snapshot()
+			for i := 0; i < 2; i++ { // doorkeeper pass, then admission
+				if _, ok := s.Authorize(probe); !ok {
+					b.Fatal("strict probe denied")
+				}
+			}
+			s.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := e.Snapshot()
+				if _, ok := s.Authorize(probe); !ok {
+					b.Fatal("query denied")
+				}
+				s.Close()
+			}
+		}},
 	}
+}
+
+// benchAuthorizeEngine builds the shared fixture of the authorize-path
+// benchmarks: a churn engine, a 4096-command slab, and one warm pass so the
+// interner, fingerprint tables and (when enabled) the decision cache are
+// populated before measurement.
+func benchAuthorizeEngine(b *testing.B, mode engine.Mode, cached bool) (*engine.Engine, []command.Command) {
+	b.Helper()
+	e := engine.New(workload.ChurnPolicy(256, 256), mode)
+	if !cached {
+		e.SetCacheSlots(-1)
+	}
+	cmds := workload.CommandSlab(4096, 256, 256)
+	s := e.Snapshot()
+	// Two passes: the first marks every command in the interner doorkeeper,
+	// the second admits and fully resolves it (and fills the cache).
+	for pass := 0; pass < 2; pass++ {
+		for _, c := range cmds {
+			s.Authorize(c)
+		}
+	}
+	s.Close()
+	return e, cmds
 }
 
 // benchRegistry stands up a disk-backed registry with every tenant
@@ -300,17 +378,32 @@ func benchBatch(b *testing.B, k int) {
 	}
 }
 
-// WriteBenchJSON runs the registered benchmarks (all of them, or only those
-// whose name contains filter when it is non-empty) with testing.Benchmark
-// and writes the results as a flat JSON map (benchmark name → measurement),
-// the machine-readable perf trajectory consumed across PRs (BENCH_1.json,
-// BENCH_2.json, …).
-func WriteBenchJSON(out io.Writer, progress io.Writer, filter string) error {
+// matchesFilter reports whether a benchmark name passes the filter: empty
+// matches everything, otherwise the name must contain at least one of the
+// comma-separated substrings.
+func matchesFilter(name, filter string) bool {
+	if filter == "" {
+		return true
+	}
+	for _, part := range strings.Split(filter, ",") {
+		if part != "" && strings.Contains(name, part) {
+			return true
+		}
+	}
+	return false
+}
+
+// runSpecs measures the registered benchmarks passing the filter.
+func runSpecs(progress io.Writer, filter string) map[string]BenchResult {
 	results := make(map[string]BenchResult, len(BenchSpecs()))
 	for _, spec := range BenchSpecs() {
-		if filter != "" && !strings.Contains(spec.Name, filter) {
+		if !matchesFilter(spec.Name, filter) {
 			continue
 		}
+		// Collect the previous spec's garbage (dead engines, registries)
+		// before measuring, so one spec's heap does not tax the next one's
+		// GC and the numbers stay comparable across runs and filters.
+		runtime.GC()
 		r := testing.Benchmark(spec.F)
 		results[spec.Name] = BenchResult{
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
@@ -323,7 +416,112 @@ func WriteBenchJSON(out io.Writer, progress io.Writer, filter string) error {
 				spec.Name, results[spec.Name].NsPerOp, results[spec.Name].AllocsPerOp)
 		}
 	}
+	return results
+}
+
+// WriteBenchJSON runs the registered benchmarks (all of them, or only those
+// matching the comma-separated filter when it is non-empty) with
+// testing.Benchmark and writes the results as a flat JSON map (benchmark
+// name → measurement), the machine-readable perf trajectory consumed across
+// PRs (BENCH_1.json, BENCH_2.json, …).
+func WriteBenchJSON(out io.Writer, progress io.Writer, filter string) error {
+	results := runSpecs(progress, filter)
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(results)
+}
+
+// BenchDiff re-runs the registered benchmarks matching filter and compares
+// them against the committed baseline JSON: it fails (returns an error
+// naming every offender) when a benchmark regresses by more than
+// tolerancePct on ns/op *beyond the run's prevailing skew*, or on allocs/op
+// — exactly for zero-alloc baselines, with a small band for nonzero ones.
+//
+// Skew normalization: shared and hosted machines run uniformly faster or
+// slower than the machine that produced the baseline, which would flap a
+// fixed ns/op band. The median delta across all compared benchmarks
+// estimates that machine-wide skew (a genuine single-benchmark regression
+// barely moves the median), and each benchmark is judged on its delta
+// relative to it. The forgiven skew is capped at +50% so a change that
+// slows everything down still fails. Benchmarks absent from the baseline
+// are reported as new and do not fail the diff.
+func BenchDiff(out io.Writer, baselinePath, filter string, tolerancePct float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("benchdiff: read baseline: %w", err)
+	}
+	var base map[string]BenchResult
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("benchdiff: parse baseline %s: %w", baselinePath, err)
+	}
+	cur := runSpecs(nil, filter)
+	if len(cur) == 0 {
+		return fmt.Errorf("benchdiff: no benchmarks match filter %q", filter)
+	}
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	deltaOf := func(name string) (float64, bool) {
+		want, ok := base[name]
+		if !ok || want.NsPerOp <= 0 {
+			return 0, false
+		}
+		return (cur[name].NsPerOp - want.NsPerOp) / want.NsPerOp * 100, true
+	}
+	var deltas []float64
+	for _, name := range names {
+		if d, ok := deltaOf(name); ok {
+			deltas = append(deltas, d)
+		}
+	}
+	skew := 0.0
+	if len(deltas) > 0 {
+		sort.Float64s(deltas)
+		skew = deltas[len(deltas)/2]
+		if skew < 0 {
+			skew = 0 // a faster machine must not mask regressions
+		}
+		if skew > 50 {
+			skew = 50 // a change that slows everything still fails
+		}
+	}
+	var failures []string
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "machine skew estimate: %+.1f%% (median delta, forgiven up to +50%%)\n", skew)
+	fmt.Fprintf(tw, "benchmark\tbase ns/op\tnow ns/op\tdelta\tbase allocs\tnow allocs\tverdict\n")
+	for _, name := range names {
+		got := cur[name]
+		want, ok := base[name]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t-\t%.0f\t-\t-\t%d\tnew\n", name, got.NsPerOp, got.AllocsPerOp)
+			continue
+		}
+		delta, _ := deltaOf(name)
+		// Zero-alloc baselines are exact — any allocation is a real
+		// regression. Nonzero baselines include amortized growth (slices,
+		// maps) whose per-op rounding shifts with the iteration count
+		// testing.Benchmark lands on, so they get a small band.
+		allocLimit := want.AllocsPerOp
+		if want.AllocsPerOp > 0 {
+			allocLimit += 1 + want.AllocsPerOp/10
+		}
+		verdict := "ok"
+		if got.AllocsPerOp > allocLimit {
+			verdict = "ALLOC REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %d -> %d (limit %d)", name, want.AllocsPerOp, got.AllocsPerOp, allocLimit))
+		} else if delta-skew > tolerancePct {
+			verdict = "NS REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.0f -> %.0f (%+.1f%% vs %+.1f%% skew > %.0f%%)", name, want.NsPerOp, got.NsPerOp, delta, skew, tolerancePct))
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%d\t%d\t%s\n",
+			name, want.NsPerOp, got.NsPerOp, delta, want.AllocsPerOp, got.AllocsPerOp, verdict)
+	}
+	tw.Flush()
+	if len(failures) > 0 {
+		return fmt.Errorf("benchdiff: %d regression(s) vs %s:\n  %s",
+			len(failures), baselinePath, strings.Join(failures, "\n  "))
+	}
+	return nil
 }

@@ -1,0 +1,467 @@
+package command
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"adminrefine/internal/model"
+)
+
+// This file implements command and privilege fingerprinting: dense integer
+// identities assigned once at the system boundary (parse, HTTP decode,
+// workload generation) so the per-query authorization kernel never touches a
+// string-keyed map. A Fingerprint is an *interned id*, not a hash — two
+// commands receive the same fingerprint iff they are structurally identical,
+// so fingerprint equality is command equality with no collision risk, and a
+// (fingerprint, generation) pair is a sound decision-cache key.
+//
+// The Interner is a lock-free-read, locked-write open-addressing index over
+// chunked entry storage: lookups of already-interned values cost one
+// structural hash plus a short probe with zero allocations and no lock,
+// which is what keeps the engine's authorize hot path allocation-free.
+// First-time interning takes a mutex, resolves everything the decision
+// kernel will ever need from the command's strings (canonical
+// actor/privilege keys, the boxed authorizing privilege), and publishes the
+// entry with an atomic slot store, so the cost of string handling is paid
+// once per distinct command, not once per query.
+//
+// Entries live in fixed-size chunks that never move: growth allocates one
+// new chunk and doubles only the uint32 slot index, so interning churn never
+// copies or re-clears the (large) entry structs, *FPInfo pointers stay valid
+// forever, and a reader can follow a slot it observed without coordination.
+
+// Fingerprint is the dense identity of an interned command. Fingerprints
+// start at 1; 0 is never a valid fingerprint.
+type Fingerprint uint32
+
+// PrivID is the dense identity of an interned privilege term. PrivIDs start
+// at 1; 0 means "no privilege" (denied verdicts, ill-formed commands).
+type PrivID uint32
+
+// FPInfo is everything the authorization kernel needs about one interned
+// command, resolved once at intern time. Fields are immutable after
+// publication.
+type FPInfo struct {
+	// FP is the command's fingerprint.
+	FP Fingerprint
+	// Cmd is the interned command.
+	Cmd Command
+	// Priv is the boxed authorizing privilege a(v, v') of Definition 5, nil
+	// when the command is ill-formed (no grammatical privilege speaks about
+	// its edge). Returning this interface value re-uses the one boxing done
+	// at intern time. Its canonical key and interned id are deliberately NOT
+	// precomputed: only strict-mode consumers need them, and they derive
+	// them lazily (Priv.Key(), Interner.PrivilegeID) so refined-mode
+	// interning stays cheap on single-use commands.
+	Priv model.Privilege
+	// ActorKey is the canonical graph key of the actor ("u:<actor>").
+	ActorKey string
+
+	hash uint64
+}
+
+// privEntry is one interned privilege term.
+type privEntry struct {
+	priv model.Privilege
+	hash uint64
+}
+
+const (
+	// chunkBits sizes the entry chunks (4096 entries each).
+	chunkBits = 12
+	chunkLen  = 1 << chunkBits
+	chunkMask = chunkLen - 1
+	// maxChunks bounds each interner side to maxChunks*chunkLen entries
+	// (1<<20) so an adversarial stream of distinct commands cannot grow
+	// memory without bound; commands beyond the cap are served by the
+	// uninterned slow path.
+	maxChunks = 1 << (20 - chunkBits)
+	// minTableSlots is the initial open-addressing index size.
+	minTableSlots = 512
+)
+
+// Interner assigns fingerprints to commands and ids to privilege terms.
+// All methods are safe for concurrent use; lookups of already-interned
+// values are lock-free and allocation-free.
+//
+// Admission is gated by a doorkeeper (the TinyLFU idea): a command is only
+// interned on its *second* sight. Interned state is immortal — entry
+// structs, canonical keys, boxed privileges, per-decider fingerprint tables
+// — so admitting single-use commands would grow the live heap (and the
+// GC's marking bill) linearly with traffic while the cache never hits.
+// First sight marks two bits of the command's structural hash in a compact
+// filter and reports "not interned"; callers fall back to the uninterned
+// decision path, which is exactly as fast as the pre-fingerprint engine.
+// Repeated commands — the only ones a cache can ever help — pay one extra
+// slow decision and are fully resolved from then on. The filter ages by
+// resetting once an eighth of its bits are set, so a long-lived engine's
+// doorkeeper never saturates into admitting everything.
+type Interner struct {
+	mu sync.Mutex
+
+	cmdSlots  atomic.Pointer[slotTable]
+	cmdChunks [maxChunks]atomic.Pointer[[chunkLen]FPInfo]
+	nCmds     int
+
+	privSlots  atomic.Pointer[slotTable]
+	privChunks [maxChunks]atomic.Pointer[[chunkLen]privEntry]
+	nPrivs     int
+
+	door atomic.Pointer[doorkeeper]
+}
+
+// doorBits sizes the doorkeeper filter (2^17 bits = 16 KiB): two bits per
+// sighted command keeps the false-admission rate low into the tens of
+// thousands of distinct one-shot commands between resets.
+const doorBits = 1 << 17
+
+// doorkeeper is a compact atomic Bloom filter over structural command
+// hashes. seen returns whether both probe bits were already set, setting
+// them as a side effect; sets counts newly-set bits to drive aging.
+type doorkeeper struct {
+	bits [doorBits / 64]atomic.Uint64
+	sets atomic.Int64
+}
+
+func (d *doorkeeper) seen(h uint64) bool {
+	i1 := uint32(h) % doorBits
+	i2 := uint32(h>>32) % doorBits
+	newly := int64(0)
+	if setBit(&d.bits[i1/64], uint64(1)<<(i1%64)) {
+		newly++
+	}
+	if setBit(&d.bits[i2/64], uint64(1)<<(i2%64)) {
+		newly++
+	}
+	if newly != 0 {
+		d.sets.Add(newly)
+	}
+	return newly == 0
+}
+
+// setBit sets m in w, reporting whether it was newly set. Implemented as a
+// load + CAS loop rather than atomic.Uint64.Or: go1.24.0 miscompiles two
+// consecutive value-returning Or intrinsics (the first CAS loop clobbers
+// the register holding the receiver base before the second address is
+// formed), and the load-first shape is what this call site wants anyway —
+// the common already-set case stays read-only.
+func setBit(w *atomic.Uint64, m uint64) (newly bool) {
+	for {
+		old := w.Load()
+		if old&m != 0 {
+			return false
+		}
+		if w.CompareAndSwap(old, old|m) {
+			return true
+		}
+	}
+}
+
+// slotTable is one generation of an open-addressing index: values are entry
+// ids (index+1 into the chunked storage, 0 = empty), written with atomic
+// stores after the corresponding entry is fully populated, so a reader that
+// observes a slot observes a complete entry.
+type slotTable struct {
+	slots []uint32
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	it := &Interner{}
+	it.cmdSlots.Store(&slotTable{slots: make([]uint32, minTableSlots)})
+	it.privSlots.Store(&slotTable{slots: make([]uint32, minTableSlots)})
+	it.door.Store(&doorkeeper{})
+	return it
+}
+
+// cmdInfo returns the entry for a published command id (1-based).
+func (it *Interner) cmdInfo(id uint32) *FPInfo {
+	idx := id - 1
+	return &it.cmdChunks[idx>>chunkBits].Load()[idx&chunkMask]
+}
+
+func (it *Interner) privEntryAt(id uint32) *privEntry {
+	idx := id - 1
+	return &it.privChunks[idx>>chunkBits].Load()[idx&chunkMask]
+}
+
+// Command returns the info of an interned command, interning c when the
+// doorkeeper has seen it before. The hit path is lock-free and
+// allocation-free. Returns nil — callers must then fall back to uninterned
+// authorization — on a command's first sight, and permanently once the
+// interner is at capacity.
+func (it *Interner) Command(c Command) *FPInfo {
+	h := hashCommand(c)
+	if info := it.findCmd(it.cmdSlots.Load(), h, c); info != nil {
+		return info
+	}
+	d := it.door.Load()
+	if d.sets.Load() > doorBits/8 {
+		// Age the filter *before* consulting it — a stream of single-use
+		// commands must keep resetting the filter, or its saturation would
+		// fake "second sights" and admit the whole stream.
+		it.ageDoorkeeper(d)
+		d = it.door.Load()
+	}
+	if !d.seen(h) {
+		return nil // first sight: not worth immortal interned state yet
+	}
+	return it.internCommand(h, c)
+}
+
+// ageDoorkeeper swaps in a fresh filter once the current one fills past an
+// eighth of its bits (≤ ~1.5% false-admission rate), bounding spurious
+// interning on long-lived engines. Sighted-once commands forgotten by the
+// reset simply pay one more slow decision before admission.
+func (it *Interner) ageDoorkeeper(old *doorkeeper) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if it.door.Load() == old {
+		it.door.Store(&doorkeeper{})
+	}
+}
+
+func (it *Interner) findCmd(t *slotTable, h uint64, c Command) *FPInfo {
+	mask := uint32(len(t.slots) - 1)
+	for i, n := uint32(h)&mask, 0; n < len(t.slots); i, n = (i+1)&mask, n+1 {
+		v := atomic.LoadUint32(&t.slots[i])
+		if v == 0 {
+			return nil
+		}
+		info := it.cmdInfo(v)
+		if info.hash == h && equalCommand(info.Cmd, c) {
+			return info
+		}
+	}
+	return nil
+}
+
+func (it *Interner) internCommand(h uint64, c Command) *FPInfo {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	t := it.cmdSlots.Load()
+	if info := it.findCmd(t, h, c); info != nil {
+		return info
+	}
+	if it.nCmds >= maxChunks*chunkLen {
+		return nil
+	}
+	if (it.nCmds+1)*4 > len(t.slots)*3 {
+		t = it.growCmdSlots(t)
+	}
+	idx := it.nCmds
+	if idx&chunkMask == 0 {
+		it.cmdChunks[idx>>chunkBits].Store(new([chunkLen]FPInfo))
+	}
+	info := &it.cmdChunks[idx>>chunkBits].Load()[idx&chunkMask]
+	info.FP = Fingerprint(idx + 1)
+	info.Cmd = c
+	info.hash = h
+	info.ActorKey = model.User(c.Actor).Key()
+	if priv, err := c.Privilege(); err == nil {
+		info.Priv = priv
+	}
+	it.nCmds++
+	// Publish: the entry is complete, so the atomic slot store makes it
+	// visible to lock-free readers.
+	storeSlot(t, h, uint32(idx+1))
+	return info
+}
+
+// storeSlot publishes id at h's probe position. Caller holds it.mu.
+func storeSlot(t *slotTable, h uint64, id uint32) {
+	mask := uint32(len(t.slots) - 1)
+	for i := uint32(h) & mask; ; i = (i + 1) & mask {
+		if t.slots[i] == 0 {
+			atomic.StoreUint32(&t.slots[i], id)
+			return
+		}
+	}
+}
+
+// growCmdSlots doubles the command index, rehashing live entries, and
+// publishes the new generation. Entries themselves never move. Caller holds
+// it.mu.
+func (it *Interner) growCmdSlots(old *slotTable) *slotTable {
+	t := &slotTable{slots: make([]uint32, len(old.slots)*2)}
+	for idx := 0; idx < it.nCmds; idx++ {
+		storeSlot(t, it.cmdInfo(uint32(idx+1)).hash, uint32(idx+1))
+	}
+	it.cmdSlots.Store(t)
+	return t
+}
+
+// PrivilegeID interns p (or finds it) and returns its id; 0 for nil p or a
+// full table. The hit path is lock-free and allocation-free.
+func (it *Interner) PrivilegeID(p model.Privilege) PrivID {
+	if p == nil {
+		return 0
+	}
+	h := hashVertex(fnvOffset, p)
+	if id := it.findPriv(it.privSlots.Load(), h, p); id != 0 {
+		return id
+	}
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return it.internPrivLocked(p)
+}
+
+func (it *Interner) findPriv(t *slotTable, h uint64, p model.Privilege) PrivID {
+	mask := uint32(len(t.slots) - 1)
+	for i, n := uint32(h)&mask, 0; n < len(t.slots); i, n = (i+1)&mask, n+1 {
+		v := atomic.LoadUint32(&t.slots[i])
+		if v == 0 {
+			return 0
+		}
+		e := it.privEntryAt(v)
+		if e.hash == h && equalVertex(e.priv, p) {
+			return PrivID(v)
+		}
+	}
+	return 0
+}
+
+// internPrivLocked interns p under it.mu.
+func (it *Interner) internPrivLocked(p model.Privilege) PrivID {
+	h := hashVertex(fnvOffset, p)
+	t := it.privSlots.Load()
+	if id := it.findPriv(t, h, p); id != 0 {
+		return id
+	}
+	if it.nPrivs >= maxChunks*chunkLen {
+		return 0
+	}
+	if (it.nPrivs+1)*4 > len(t.slots)*3 {
+		t = it.growPrivSlots(t)
+	}
+	idx := it.nPrivs
+	if idx&chunkMask == 0 {
+		it.privChunks[idx>>chunkBits].Store(new([chunkLen]privEntry))
+	}
+	e := &it.privChunks[idx>>chunkBits].Load()[idx&chunkMask]
+	e.priv = p
+	e.hash = h
+	it.nPrivs++
+	storeSlot(t, h, uint32(idx+1))
+	return PrivID(idx + 1)
+}
+
+func (it *Interner) growPrivSlots(old *slotTable) *slotTable {
+	t := &slotTable{slots: make([]uint32, len(old.slots)*2)}
+	for idx := 0; idx < it.nPrivs; idx++ {
+		storeSlot(t, it.privEntryAt(uint32(idx+1)).hash, uint32(idx+1))
+	}
+	it.privSlots.Store(t)
+	return t
+}
+
+// Privilege returns the boxed privilege for an id minted by PrivilegeID (or
+// carried in an FPInfo); nil for 0 or unknown ids. Lock-free.
+func (it *Interner) Privilege(id PrivID) model.Privilege {
+	if id == 0 {
+		return nil
+	}
+	idx := uint32(id) - 1
+	if idx >= uint32(maxChunks*chunkLen) {
+		return nil
+	}
+	chunk := it.privChunks[idx>>chunkBits].Load()
+	if chunk == nil {
+		return nil
+	}
+	e := &chunk[idx&chunkMask]
+	if e.priv == nil {
+		return nil // id beyond the published entries of a partial chunk
+	}
+	return e.priv
+}
+
+// Len reports how many distinct commands and privileges are interned.
+func (it *Interner) Len() (cmds, privs int) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return it.nCmds, it.nPrivs
+}
+
+// --- structural hashing and equality (allocation-free) ---------------------
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func hashString(h uint64, s string) uint64 {
+	// Fold 8 bytes per multiply (FNV-1a over words, not bytes): the hot path
+	// hashes every query's actor and vertex names, so halving the multiply
+	// count matters more than byte-exact FNV compatibility.
+	i := 0
+	for ; i+8 <= len(s); i += 8 {
+		w := uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 | uint64(s[i+3])<<24 |
+			uint64(s[i+4])<<32 | uint64(s[i+5])<<40 | uint64(s[i+6])<<48 | uint64(s[i+7])<<56
+		h = (h ^ w) * fnvPrime
+	}
+	for ; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	// Fold in the length and terminate so ("ab","c") and ("a","bc") differ
+	// and the word/byte boundary cannot alias across strings.
+	return hashByte(h^uint64(len(s)), 0xFF)
+}
+
+func hashCommand(c Command) uint64 {
+	h := hashString(fnvOffset, c.Actor)
+	h = hashByte(h, byte(c.Op))
+	h = hashVertex(h, c.From)
+	return hashVertex(h, c.To)
+}
+
+// hashVertex folds a vertex structurally, walking nested privileges without
+// building canonical key strings.
+func hashVertex(h uint64, v model.Vertex) uint64 {
+	switch t := v.(type) {
+	case nil:
+		return hashByte(h, 'n')
+	case model.Entity:
+		return hashString(hashByte(hashByte(h, 'e'), byte(t.Kind)), t.Name)
+	case model.UserPrivilege:
+		return hashString(hashString(hashByte(h, 'q'), t.Action), t.Object)
+	case model.AdminPrivilege:
+		h = hashByte(hashByte(h, 'a'), byte(t.Op))
+		// Hash Src inline: passing the concrete Entity through the Vertex
+		// parameter would box it (and the default branch's Key() call makes
+		// the parameter escape), costing one heap allocation per level.
+		h = hashString(hashByte(hashByte(h, 'e'), byte(t.Src.Kind)), t.Src.Name)
+		return hashVertex(h, t.Dst)
+	default:
+		// Foreign Vertex implementations never occur on the hot path; fall
+		// back to the canonical key (allocates).
+		return hashString(hashByte(h, '?'), v.Key())
+	}
+}
+
+func equalCommand(a, b Command) bool {
+	return a.Actor == b.Actor && a.Op == b.Op &&
+		equalVertex(a.From, b.From) && equalVertex(a.To, b.To)
+}
+
+// equalVertex is structural vertex equality without key construction: the
+// allocation-free equivalent of model.SameVertex for the model's own types.
+func equalVertex(a, b model.Vertex) bool {
+	switch at := a.(type) {
+	case nil:
+		return b == nil
+	case model.Entity:
+		bt, ok := b.(model.Entity)
+		return ok && at == bt
+	case model.UserPrivilege:
+		bt, ok := b.(model.UserPrivilege)
+		return ok && at == bt
+	case model.AdminPrivilege:
+		bt, ok := b.(model.AdminPrivilege)
+		return ok && at.Op == bt.Op && at.Src == bt.Src && equalVertex(at.Dst, bt.Dst)
+	default:
+		return b != nil && model.SameVertex(a, b)
+	}
+}

@@ -1,0 +1,227 @@
+package command
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"adminrefine/internal/model"
+)
+
+// intern admits a command through the doorkeeper: the first sight returns
+// nil by design (single-use commands are not worth immortal interned
+// state), the second sight interns.
+func intern(t *testing.T, it *Interner, c Command) *FPInfo {
+	t.Helper()
+	if info := it.Command(c); info != nil {
+		return info
+	}
+	info := it.Command(c)
+	if info == nil {
+		t.Fatalf("command %v not interned on second sight", c)
+	}
+	return info
+}
+
+func TestDoorkeeperAdmitsOnSecondSight(t *testing.T) {
+	it := NewInterner()
+	c := Grant("jane", model.User("bob"), model.Role("staff"))
+	if info := it.Command(c); info != nil {
+		t.Fatalf("first sight interned: %+v", info)
+	}
+	info := it.Command(c)
+	if info == nil {
+		t.Fatal("second sight not interned")
+	}
+	if again := it.Command(c); again != info {
+		t.Fatal("later sights returned a different info")
+	}
+}
+
+func TestFingerprintIdentity(t *testing.T) {
+	it := NewInterner()
+	a := Grant("jane", model.User("bob"), model.Role("staff"))
+	b := Grant("jane", model.User("bob"), model.Role("staff"))
+	c := Grant("jane", model.User("bob"), model.Role("staf"))
+	ia, ib, ic := intern(t, it, a), intern(t, it, b), intern(t, it, c)
+	if ia.FP != ib.FP {
+		t.Fatalf("equal commands got fingerprints %d and %d", ia.FP, ib.FP)
+	}
+	if ia.FP == ic.FP {
+		t.Fatalf("distinct commands share fingerprint %d", ia.FP)
+	}
+	if ia != ib {
+		t.Fatal("re-interning returned a different info")
+	}
+	if ia.Priv == nil {
+		t.Fatalf("well-formed command lost its privilege: %+v", ia)
+	}
+	pid := it.PrivilegeID(ia.Priv)
+	if pid == 0 {
+		t.Fatal("privilege not internable")
+	}
+	if got := it.Privilege(pid); !model.SamePrivilege(got, ia.Priv) {
+		t.Fatalf("privilege round trip: %v != %v", got, ia.Priv)
+	}
+	if ia.ActorKey != model.User("jane").Key() {
+		t.Fatalf("resolved keys wrong: %+v", ia)
+	}
+}
+
+func TestFingerprintIllFormed(t *testing.T) {
+	it := NewInterner()
+	// Role source for a UA-shaped edge target: no grammatical privilege.
+	bad := Command{Actor: "jane", Op: model.OpGrant, From: model.Perm("read", "t"), To: model.Role("r")}
+	info := intern(t, it, bad)
+	if info.Priv != nil {
+		t.Fatalf("ill-formed command minted a privilege: %+v", info)
+	}
+	if again := it.Command(bad); again.FP != info.FP {
+		t.Fatal("ill-formed command fingerprint unstable")
+	}
+}
+
+func TestFingerprintGrowth(t *testing.T) {
+	it := NewInterner()
+	const n = 3000 // forces several table growths
+	fps := make(map[Fingerprint]Command, n)
+	for i := 0; i < n; i++ {
+		c := Grant(fmt.Sprintf("u%d", i%7), model.User(fmt.Sprintf("v%d", i)), model.Role("r"))
+		info := intern(t, it, c)
+		if prev, dup := fps[info.FP]; dup {
+			t.Fatalf("fingerprint %d assigned to both %v and %v", info.FP, prev, c)
+		}
+		fps[info.FP] = c
+	}
+	// Every command still resolves to its original fingerprint after growth.
+	for fp, c := range fps {
+		if got := it.Command(c); got.FP != fp {
+			t.Fatalf("%v: fingerprint changed %d -> %d across growth", c, fp, got.FP)
+		}
+	}
+	if cmds, _ := it.Len(); cmds != n {
+		t.Fatalf("interned %d commands, want %d", cmds, n)
+	}
+}
+
+func TestPrivilegeInterning(t *testing.T) {
+	it := NewInterner()
+	nested := model.Grant(model.Role("a"), model.Grant(model.User("b"), model.Role("c")))
+	id := it.PrivilegeID(nested)
+	if id == 0 {
+		t.Fatal("privilege not interned")
+	}
+	if it.PrivilegeID(model.Grant(model.Role("a"), model.Grant(model.User("b"), model.Role("c")))) != id {
+		t.Fatal("structurally equal privilege got a new id")
+	}
+	if it.PrivilegeID(model.Revoke(model.Role("a"), model.Grant(model.User("b"), model.Role("c")))) == id {
+		t.Fatal("distinct privilege shares an id")
+	}
+	if it.PrivilegeID(nil) != 0 {
+		t.Fatal("nil privilege interned")
+	}
+	if it.Privilege(0) != nil || it.Privilege(9999) != nil {
+		t.Fatal("bogus ids resolved")
+	}
+}
+
+func TestFingerprintConcurrent(t *testing.T) {
+	it := NewInterner()
+	const goroutines, per = 8, 400
+	var wg sync.WaitGroup
+	got := make([][]Fingerprint, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = make([]Fingerprint, per)
+			for i := 0; i < per; i++ {
+				c := Grant("admin", model.User(fmt.Sprintf("u%d", i)), model.Role(fmt.Sprintf("r%d", i%13)))
+				info := it.Command(c)
+				if info == nil {
+					info = it.Command(c) // doorkeeper: admitted on second sight
+				}
+				if info == nil {
+					// Another goroutine may not have pushed it through yet.
+					info = it.Command(c)
+				}
+				got[g][i] = info.FP
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range got[g] {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("goroutine %d command %d: fp %d != %d", g, i, got[g][i], got[0][i])
+			}
+		}
+	}
+	if cmds, _ := it.Len(); cmds != per {
+		t.Fatalf("interned %d commands, want %d", cmds, per)
+	}
+}
+
+// FuzzCommandFingerprint is the satellite fuzz target: for arbitrary pairs
+// of commands (including nested administrative privileges as edge targets),
+// fingerprints must agree exactly when the commands are structurally equal
+// — interning is identity assignment, not hashing, so distinct commands
+// must never collide.
+func FuzzCommandFingerprint(f *testing.F) {
+	f.Add("jane", true, "bob", "staff", "x", "y", uint8(0), uint8(1))
+	f.Add("jane", true, "bob", "staff", "bob", "staff", uint8(0), uint8(0))
+	f.Add("", false, "", "", "", "", uint8(7), uint8(3))
+	f.Add("a", true, "b,c", "d(e", "f)g", "h:i", uint8(2), uint8(2))
+	f.Fuzz(func(t *testing.T, actor string, grant bool, n1, n2, n3, n4 string, shape1, shape2 uint8) {
+		c1 := fuzzCommand(actor, grant, n1, n2, shape1)
+		c2 := fuzzCommand(actor, grant, n3, n4, shape2)
+		it := NewInterner()
+		i1, i2 := intern(t, it, c1), intern(t, it, c2)
+		same := c1.Key() == c2.Key()
+		if (i1.FP == i2.FP) != same {
+			t.Fatalf("fp equality %v but key equality %v for %v / %v",
+				i1.FP == i2.FP, same, c1, c2)
+		}
+		// Interning is stable, and a second interner agrees on equality.
+		if it.Command(c1).FP != i1.FP || it.Command(c2).FP != i2.FP {
+			t.Fatal("fingerprints unstable across re-interning")
+		}
+		it2 := NewInterner()
+		j2, j1 := intern(t, it2, c2), intern(t, it2, c1) // reversed order
+		if (j1.FP == j2.FP) != same {
+			t.Fatalf("fp equality depends on interning order for %v / %v", c1, c2)
+		}
+		// The resolved privilege must match what the command derives.
+		if priv, err := c1.Privilege(); err == nil {
+			if i1.Priv == nil || i1.Priv.Key() != priv.Key() {
+				t.Fatalf("info privilege %v != derived %v", i1.Priv, priv)
+			}
+		} else if i1.Priv != nil {
+			t.Fatalf("ill-formed command %v minted privilege %v", c1, i1.Priv)
+		}
+	})
+}
+
+// fuzzCommand derives a command from fuzz inputs; shape selects the vertex
+// sorts and nesting of the edge target.
+func fuzzCommand(actor string, grant bool, n1, n2 string, shape uint8) Command {
+	op := model.OpRevoke
+	if grant {
+		op = model.OpGrant
+	}
+	var from, to model.Vertex
+	switch shape % 5 {
+	case 0:
+		from, to = model.User(n1), model.Role(n2)
+	case 1:
+		from, to = model.Role(n1), model.Role(n2)
+	case 2:
+		from, to = model.Role(n1), model.Perm(n1, n2)
+	case 3:
+		from, to = model.Role(n1), model.Grant(model.User(n1), model.Role(n2))
+	default:
+		from = model.Role(n1)
+		to = model.Grant(model.Role(n2), model.Revoke(model.User(n1), model.Role(n2)))
+	}
+	return Command{Actor: actor, Op: op, From: from, To: to}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"adminrefine/internal/command"
+	"adminrefine/internal/graph"
+	"adminrefine/internal/model"
+)
+
+// This file is the fingerprint-indexed authorization fast path: the decision
+// kernel behind Snapshot.Authorize once the boundary has interned the
+// command (see command.Interner). The first query for a fingerprint resolves
+// the strings the Decider needs — actor vertex id, interned privilege term,
+// privilege vertex id — into a dense per-fingerprint table; every later
+// query is integer indexing, closure bit tests and memo lookups, with no
+// string-keyed map hits, no interning writes and no allocations.
+
+// fpState caches what one fingerprint resolves to inside this Decider.
+// Vertex ids are append-only in the graph, and term ids are stable for the
+// Decider's lifetime, so a resolved state never goes stale; operands that
+// were absent from the graph are retried on use (vidUnresolved), exactly
+// like the per-term vertex caches.
+type fpState struct {
+	qid     termID // interned id of the authorizing privilege
+	actVID  int32  // graph vertex id of the actor (u:<actor>)
+	privVID int32  // graph vertex id of the privilege vertex (strict path)
+	privKey string // canonical key of the privilege, for retrying privVID
+	ready   bool
+}
+
+// AuthorizeFP decides the interned command described by info: under
+// refined=false the literal Definition 5 check (actor reaches the privilege
+// vertex), under refined=true the §4.1 ordering check (actor holds a
+// privilege at least as strong). The justification matches HeldStronger /
+// Holds exactly. info.Priv must be non-nil (ill-formed commands are filtered
+// at the boundary).
+func (d *Decider) AuthorizeFP(info *command.FPInfo, refined bool) (model.Privilege, bool) {
+	d.check()
+	fp := int(info.FP)
+	if fp >= len(d.fpTab) {
+		d.growFPTab(fp)
+	}
+	st := &d.fpTab[fp]
+	if !st.ready {
+		st.qid = d.id(info.Priv)
+		st.actVID = vidOf(d.pol, info.ActorKey)
+		if !refined {
+			// Only the strict check addresses the privilege vertex itself;
+			// deriving the canonical key here (not at intern time) keeps
+			// refined-mode interning free of it.
+			st.privKey = info.Priv.Key()
+			st.privVID = vidOf(d.pol, st.privKey)
+		} else {
+			st.privVID = vidUnresolved
+		}
+		st.ready = true
+	}
+	act := st.actVID
+	if act == vidUnresolved {
+		if v := d.pol.Graph().Lookup(info.ActorKey); v != graph.NoVertex {
+			st.actVID = int32(v)
+			act = st.actVID
+		}
+	}
+	if act < 0 {
+		// An actor absent from the graph reaches only itself; no privilege
+		// vertex is an actor, so the command is denied in both regimes.
+		return nil, false
+	}
+	if refined {
+		qid := st.qid
+		for i, h := range d.privVerts {
+			if d.closure.Reaches(int(act), int(d.privVertGIDs[i])) &&
+				d.weakerID(h, info.Priv, d.privVertIDs[i], qid) {
+				return h, true
+			}
+		}
+		return nil, false
+	}
+	pv := st.privVID
+	if pv == vidUnresolved {
+		if st.privKey == "" {
+			st.privKey = info.Priv.Key() // first strict use of a refined-resolved state
+		}
+		if v := d.pol.Graph().Lookup(st.privKey); v != graph.NoVertex {
+			st.privVID = int32(v)
+			pv = st.privVID
+		}
+	}
+	if pv < 0 {
+		return nil, false
+	}
+	if d.closure.Reaches(int(act), int(pv)) {
+		return info.Priv, true
+	}
+	return nil, false
+}
+
+// growFPTab extends the fingerprint table to cover fp (amortised doubling).
+func (d *Decider) growFPTab(fp int) {
+	n := len(d.fpTab) * 2
+	if n <= fp {
+		n = fp + 1
+	}
+	if n < 64 {
+		n = 64
+	}
+	grown := make([]fpState, n)
+	copy(grown, d.fpTab)
+	d.fpTab = grown
+}

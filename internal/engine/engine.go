@@ -27,11 +27,14 @@ package engine
 
 import (
 	"fmt"
+	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"adminrefine/internal/command"
 	"adminrefine/internal/core"
+	"adminrefine/internal/decision"
 	"adminrefine/internal/model"
 	"adminrefine/internal/policy"
 )
@@ -60,6 +63,12 @@ func (m Mode) String() string {
 // by cloning the current state.
 const maxEngineLog = 4096
 
+// deciderRing bounds the pre-bound deciders a replica keeps. Unlike a
+// sync.Pool, ring deciders are never reclaimed by the GC, so the warmth they
+// accumulate (interned terms, fingerprint tables, memo entries) survives for
+// the replica's whole lifetime.
+const deciderRing = 16
+
 // replica is one materialisation of the policy state. Invariant: a replica
 // is mutated only while unpublished and with zero readers.
 type replica struct {
@@ -67,7 +76,17 @@ type replica struct {
 	auth command.Authorizer
 	pos  int // engine log position pol reflects
 	refs atomic.Int64
-	pool *sync.Pool // *core.Decider bound to pol, one per concurrent reader
+
+	// deciders are the replica's pre-bound read deciders: a fixed ring of
+	// lazily-built *core.Decider claimed with one CAS on the claimed bitmask.
+	// Slots are atomic pointers because a claimer initialising its slot races
+	// with other goroutines scanning the ring in release.
+	deciders [deciderRing]atomic.Pointer[core.Decider]
+	claimed  atomic.Uint64
+	ringLen  int
+	// overflow serves readers beyond the ring (oversubscription); entries
+	// are bound to pol like ring deciders.
+	overflow *sync.Pool
 }
 
 func newReplica(p *policy.Policy, mode Mode, pos int) *replica {
@@ -86,7 +105,52 @@ func (r *replica) rebind(p *policy.Policy, mode Mode, pos int) {
 	} else {
 		r.auth = core.NewStrictAuthorizer(p)
 	}
-	r.pool = &sync.Pool{New: func() any { return core.NewDecider(p) }}
+	n := runtime.GOMAXPROCS(0)
+	if n > deciderRing {
+		n = deciderRing
+	}
+	if n < 1 {
+		n = 1
+	}
+	r.ringLen = n
+	for i := range r.deciders {
+		r.deciders[i].Store(nil)
+	}
+	r.claimed.Store(0)
+	r.overflow = &sync.Pool{New: func() any { return core.NewDecider(p) }}
+}
+
+// claim returns a decider bound to the replica's policy for exclusive use by
+// the caller; pair with release. The fast path is one CAS; ring deciders are
+// built lazily on first claim of their slot.
+func (r *replica) claim() *core.Decider {
+	for {
+		m := r.claimed.Load()
+		free := ^m & (uint64(1)<<r.ringLen - 1)
+		if free == 0 {
+			return r.overflow.Get().(*core.Decider)
+		}
+		i := bits.TrailingZeros64(free)
+		if r.claimed.CompareAndSwap(m, m|uint64(1)<<i) {
+			if d := r.deciders[i].Load(); d != nil {
+				return d
+			}
+			d := core.NewDecider(r.pol)
+			r.deciders[i].Store(d)
+			return d
+		}
+	}
+}
+
+// release returns a claimed decider.
+func (r *replica) release(d *core.Decider) {
+	for i := 0; i < r.ringLen; i++ {
+		if r.deciders[i].Load() == d {
+			r.claimed.And(^(uint64(1) << i))
+			return
+		}
+	}
+	r.overflow.Put(d)
 }
 
 // CommitHook is the engine's durability hook: it runs under the writer lock
@@ -112,6 +176,16 @@ type Engine struct {
 	logBase  int
 	replicas []*replica
 	hook     CommitHook
+
+	// interner assigns fingerprints to commands at the read boundary; it is
+	// shared by every replica and survives publication cycles.
+	interner *command.Interner
+	// cache is the generation-tagged decision cache consulted before the
+	// decision kernel runs; swapped atomically by SetCacheSlots.
+	cache atomic.Pointer[decision.Cache]
+	// posFloor / negFloor are the cache validity watermarks (see package
+	// decision): writer-owned, captured into each published Snapshot.
+	posFloor, negFloor uint64
 }
 
 // New builds an engine, taking ownership of the policy: the caller must not
@@ -126,11 +200,48 @@ func New(p *policy.Policy, mode Mode) *Engine {
 // replayed record, so generations keep counting from where the crashed
 // process left off (see storage.OpenEngine).
 func NewAt(p *policy.Policy, mode Mode, gen uint64) *Engine {
-	e := &Engine{mode: mode, logBase: int(gen)}
+	e := &Engine{
+		mode:     mode,
+		logBase:  int(gen),
+		interner: command.NewInterner(),
+		posFloor: gen,
+		negFloor: gen,
+	}
+	e.cache.Store(decision.New(decision.DefaultSlots))
 	r := newReplica(p, mode, int(gen))
 	e.replicas = []*replica{r}
-	e.cur.Store(&Snapshot{e: e, r: r, gen: gen})
+	e.cur.Store(e.snapshotOf(r, gen))
 	return e
+}
+
+// snapshotOf builds a Snapshot over r at generation gen, capturing the
+// current cache pointer and validity floors. Callers publishing it must hold
+// the writer lock (or be constructing the engine).
+func (e *Engine) snapshotOf(r *replica, gen uint64) *Snapshot {
+	return &Snapshot{
+		e:        e,
+		r:        r,
+		gen:      gen,
+		cache:    e.cache.Load(),
+		posFloor: e.posFloor,
+		negFloor: e.negFloor,
+	}
+}
+
+// SetCacheSlots replaces the decision cache with a fresh one of the given
+// slot count (rounded up to a power of two; <= 0 disables caching).
+// Snapshots already published keep using the cache they captured.
+func (e *Engine) SetCacheSlots(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache.Store(decision.New(n))
+	cur := e.cur.Load()
+	e.cur.Store(e.snapshotOf(cur.r, cur.gen))
+}
+
+// CacheStats reports the decision-cache counters.
+func (e *Engine) CacheStats() decision.Stats {
+	return e.cache.Load().Stats()
 }
 
 // SetCommitHook installs the durability hook invoked for every applied
@@ -192,7 +303,7 @@ func (e *Engine) SubmitGuarded(c command.Command, guard func(pre *policy.Policy)
 		// caught-up spare.
 		return res, err
 	}
-	e.cur.Store(&Snapshot{e: e, r: next, gen: uint64(next.pos)})
+	e.cur.Store(e.snapshotOf(next, uint64(next.pos)))
 	return res, nil
 }
 
@@ -228,7 +339,7 @@ func (e *Engine) SubmitBatch(cmds []command.Command, guard func(pre *policy.Poli
 		}
 	}
 	if applied {
-		e.cur.Store(&Snapshot{e: e, r: next, gen: uint64(next.pos)})
+		e.cur.Store(e.snapshotOf(next, uint64(next.pos)))
 	}
 	return out, hookErr
 }
@@ -269,6 +380,14 @@ func (e *Engine) stepLocked(next *replica, c command.Command, guard func(pre *po
 	e.log = append(e.log, c)
 	e.trimLog()
 	next.pos++
+	// Advance the decision-cache validity floors (see package decision): a
+	// grant is additive — Ãφ and Definition 5 reachability are monotone, so
+	// allowed verdicts survive and only denials can flip; a revoke shrinks
+	// the policy, dropping everything.
+	if c.Op == model.OpRevoke {
+		e.posFloor = uint64(next.pos)
+	}
+	e.negFloor = uint64(next.pos)
 	return res, nil
 }
 
@@ -324,13 +443,17 @@ func (e *Engine) trimLog() {
 }
 
 // Snapshot is an immutable view of the policy at one engine generation:
-// policy, reachability closure and decider caches. All methods are safe for
-// concurrent use by multiple goroutines until Close releases the reader
+// policy, reachability closure, decider caches and the decision cache with
+// the validity floors this generation decides under. All methods are safe
+// for concurrent use by multiple goroutines until Close releases the reader
 // reference; using a snapshot after Close is a bug.
 type Snapshot struct {
-	e   *Engine
-	r   *replica
-	gen uint64
+	e        *Engine
+	r        *replica
+	gen      uint64
+	cache    *decision.Cache
+	posFloor uint64
+	negFloor uint64
 }
 
 // Close releases the reader reference, allowing the writer to recycle the
@@ -345,22 +468,73 @@ func (s *Snapshot) Generation() uint64 { return s.gen }
 // bug (it would corrupt concurrent readers).
 func (s *Snapshot) Policy() *policy.Policy { return s.r.pol }
 
-// decider borrows a per-reader decider from the replica's pool. Deciders
-// carry warm closures and memo tables across queries and publication cycles,
-// refreshing incrementally when the replica was advanced in between.
-func (s *Snapshot) decider() *core.Decider {
-	return s.r.pool.Get().(*core.Decider)
-}
+// decider claims a pre-bound decider from the replica's ring. Deciders
+// carry warm closures, memo tables and fingerprint tables across queries
+// and publication cycles, refreshing incrementally when the replica was
+// advanced in between.
+func (s *Snapshot) decider() *core.Decider { return s.r.claim() }
 
-func (s *Snapshot) release(d *core.Decider) { s.r.pool.Put(d) }
+func (s *Snapshot) release(d *core.Decider) { s.r.release(d) }
 
 // Authorize reports whether the command is authorized under the engine's
 // mode, returning the justifying privilege. It never mutates policy state.
+//
+// This is the service's per-query kernel: the command is fingerprinted at
+// the boundary (allocation-free once interned), the decision cache is
+// consulted under the snapshot's validity floors, and only a miss claims a
+// decider and runs the decision procedure. The steady-state path performs
+// no allocations.
 func (s *Snapshot) Authorize(c command.Command) (model.Privilege, bool) {
-	d := s.decider()
-	defer s.release(d)
-	r := s.authorizeWith(d, c)
+	r := s.authorize(c, nil)
 	return r.Justification, r.OK
+}
+
+// authorize decides one command. d is a pre-claimed decider (batch path) or
+// nil, in which case a decider is claimed only if the cache misses.
+func (s *Snapshot) authorize(c command.Command, d *core.Decider) AuthzResult {
+	info := s.e.interner.Command(c)
+	if info == nil {
+		// Interner at capacity and this command unseen: decide uncached.
+		return s.authorizeSlow(c, d)
+	}
+	if info.Priv == nil {
+		return AuthzResult{} // ill-formed: denied in every regime
+	}
+	fp := uint32(info.FP)
+	if just, allowed, ok := s.cache.Get(fp, s.gen, s.posFloor, s.negFloor); ok {
+		if !allowed {
+			return AuthzResult{}
+		}
+		return AuthzResult{Justification: s.e.interner.Privilege(command.PrivID(just)), OK: true}
+	}
+	if d == nil {
+		d = s.r.claim()
+		defer s.r.release(d)
+	}
+	just, ok := d.AuthorizeFP(info, s.e.mode == Refined)
+	if s.cache.Enabled() {
+		pid := command.PrivID(0)
+		if ok {
+			// Both branches are lock-free, allocation-free interner hits in
+			// steady state (witnesses and strict justifications recur).
+			pid = s.e.interner.PrivilegeID(just)
+		}
+		if !ok || pid != 0 {
+			// An allowed verdict whose witness could not be interned (full
+			// table) is unrepresentable in the cache and simply not stored.
+			s.cache.Put(fp, s.gen, ok, uint32(pid))
+		}
+	}
+	return AuthzResult{Justification: just, OK: ok}
+}
+
+// authorizeSlow is the uninterned fallback (interner at capacity).
+func (s *Snapshot) authorizeSlow(c command.Command, d *core.Decider) AuthzResult {
+	if d == nil {
+		d = s.r.claim()
+		defer s.r.release(d)
+	}
+	return s.authorizeWith(d, c)
 }
 
 // AuthzResult is one batched authorization decision.
@@ -373,15 +547,27 @@ type AuthzResult struct {
 }
 
 // AuthorizeBatch decides every command against this one snapshot with a
-// single borrowed decider, amortising snapshot acquisition and pool traffic
-// across the batch — the read-side analogue of SubmitBatch. The i-th result
-// decides cmds[i]; all decisions are taken at the same generation.
+// single claimed decider, amortising snapshot acquisition and decider
+// traffic across the batch — the read-side analogue of SubmitBatch. The
+// i-th result decides cmds[i]; all decisions are taken at the same
+// generation.
 func (s *Snapshot) AuthorizeBatch(cmds []command.Command) []AuthzResult {
+	return s.AuthorizeBatchInto(cmds, nil)
+}
+
+// AuthorizeBatchInto is AuthorizeBatch writing into out's backing array when
+// its capacity suffices, so callers serving request loops can reuse one
+// result buffer across batches instead of allocating per call (see
+// internal/server). It returns out resliced to len(cmds).
+func (s *Snapshot) AuthorizeBatchInto(cmds []command.Command, out []AuthzResult) []AuthzResult {
+	if cap(out) < len(cmds) {
+		out = make([]AuthzResult, len(cmds))
+	}
+	out = out[:len(cmds)]
 	d := s.decider()
 	defer s.release(d)
-	out := make([]AuthzResult, len(cmds))
 	for i, c := range cmds {
-		out[i] = s.authorizeWith(d, c)
+		out[i] = s.authorize(c, d)
 	}
 	return out
 }

@@ -89,6 +89,13 @@ func New() *Digraph {
 // mutation log are copied too, so incremental-closure bookkeeping on the
 // clone behaves identically to the original's (a Closure itself pins the
 // *Digraph it was built on and is never transferable between graphs).
+//
+// The adjacency lists are rebuilt over two flat backing arrays sized from
+// the edge count — one allocation per direction instead of one per vertex —
+// which is what keeps the writer's copy-on-write resync path cheap on large
+// policies. Each per-vertex slice is capacity-clipped, so a later append on
+// the clone reallocates that vertex's list instead of clobbering its
+// neighbour's.
 func (g *Digraph) Clone() *Digraph {
 	c := &Digraph{
 		ids:        make(map[string]int, len(g.ids)),
@@ -103,11 +110,17 @@ func (g *Digraph) Clone() *Digraph {
 	for k, v := range g.ids {
 		c.ids[k] = v
 	}
-	for i := range g.succ {
-		c.succ[i] = append([]int(nil), g.succ[i]...)
+	sbuf := make([]int, 0, len(g.edges))
+	for i, s := range g.succ {
+		n := len(sbuf)
+		sbuf = append(sbuf, s...)
+		c.succ[i] = sbuf[n:len(sbuf):len(sbuf)]
 	}
-	for i := range g.pred {
-		c.pred[i] = append([]int(nil), g.pred[i]...)
+	pbuf := make([]int, 0, len(g.edges))
+	for i, p := range g.pred {
+		n := len(pbuf)
+		pbuf = append(pbuf, p...)
+		c.pred[i] = pbuf[n:len(pbuf):len(pbuf)]
 	}
 	for e := range g.edges {
 		c.edges[e] = struct{}{}

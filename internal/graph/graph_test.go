@@ -286,6 +286,53 @@ func TestClone(t *testing.T) {
 	}
 }
 
+// TestCloneSharedBacking pins the flat-backing Clone: the per-vertex
+// adjacency slices are capacity-clipped segments of two shared arrays, so
+// growing one vertex's list on the clone must not clobber a neighbouring
+// vertex's segment, and clone mutations must never leak into the original.
+func TestCloneSharedBacking(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "x")
+	g.AddEdge("b", "y")
+	g.AddEdge("b", "z")
+	g.AddEdge("c", "x")
+	c := g.Clone()
+	// Extending a's successor list lands in freshly allocated storage, not
+	// in b's segment of the shared backing array.
+	c.AddEdge("a", "w")
+	for _, edge := range [][2]string{{"b", "y"}, {"b", "z"}, {"c", "x"}} {
+		if !c.HasEdge(edge[0], edge[1]) || !reachesList(c, edge[0], edge[1]) {
+			t.Fatalf("clone lost edge %s->%s after growing a sibling list", edge[0], edge[1])
+		}
+	}
+	if reachesList(g, "a", "w") {
+		t.Fatal("clone append leaked into original's adjacency")
+	}
+	// Same check for predecessor lists, exercised via removal + re-add.
+	c.RemoveEdge("b", "y")
+	if !c.HasEdge("b", "z") || reachesList(c, "b", "y") {
+		t.Fatal("swap-delete on clone corrupted the successor segment")
+	}
+	if !g.HasEdge("b", "y") {
+		t.Fatal("clone removal leaked into original")
+	}
+}
+
+// reachesList verifies an edge through the adjacency list itself (not the
+// edge set), catching backing-array corruption that HasEdge would miss.
+func reachesList(g *Digraph, from, to string) bool {
+	f, t := g.Lookup(from), g.Lookup(to)
+	if f == NoVertex || t == NoVertex {
+		return false
+	}
+	for _, w := range g.Successors(f) {
+		if w == t {
+			return true
+		}
+	}
+	return false
+}
+
 func TestEdgesDeterministic(t *testing.T) {
 	g := New()
 	g.AddEdge("c", "a")

@@ -27,9 +27,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"adminrefine/internal/command"
+	"adminrefine/internal/engine"
 	"adminrefine/internal/model"
 	"adminrefine/internal/parser"
 	"adminrefine/internal/tenant"
@@ -37,6 +39,23 @@ import (
 
 // maxBodyBytes bounds request bodies (policies and batches alike).
 const maxBodyBytes = 8 << 20
+
+// batchScratch is the per-request working set of the batched data-plane
+// handlers: decode targets and result buffers recycled through a pool so a
+// steady request stream reuses storage instead of allocating per call. A
+// scratch is only pooled again after the response is written.
+type batchScratch struct {
+	req     BatchRequest
+	cmds    []command.Command
+	results []engine.AuthzResult
+	authOut []AuthorizeResult
+	subOut  []SubmitResult
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func getScratch() *batchScratch  { return scratchPool.Get().(*batchScratch) }
+func putScratch(s *batchScratch) { scratchPool.Put(s) }
 
 // Server is the HTTP facade over a tenant registry.
 type Server struct {
@@ -131,50 +150,76 @@ type ExplainRequest struct {
 	Command WireCommand `json:"command"`
 }
 
-func (s *Server) decodeBatch(w http.ResponseWriter, r *http.Request) ([]command.Command, bool) {
-	var req BatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+// decodeBatch decodes the request body into the scratch's reused command
+// slice. The returned commands alias sc's storage and are valid until the
+// scratch is pooled again.
+func (s *Server) decodeBatch(sc *batchScratch, w http.ResponseWriter, r *http.Request) ([]command.Command, bool) {
+	// Zero the reused elements before decoding: encoding/json merges into
+	// existing slice elements, so without this a command that omits a field
+	// would silently inherit that field from a previous request on the same
+	// pooled scratch.
+	full := sc.req.Commands[:cap(sc.req.Commands)]
+	clear(full)
+	sc.req.Commands = full[:0]
+	if err := json.NewDecoder(r.Body).Decode(&sc.req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return nil, false
 	}
-	if len(req.Commands) == 0 {
+	if len(sc.req.Commands) == 0 {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("empty command batch"))
 		return nil, false
 	}
-	cmds := make([]command.Command, len(req.Commands))
-	for i, wc := range req.Commands {
+	if cap(sc.cmds) < len(sc.req.Commands) {
+		sc.cmds = make([]command.Command, len(sc.req.Commands))
+	}
+	sc.cmds = sc.cmds[:len(sc.req.Commands)]
+	for i, wc := range sc.req.Commands {
 		c, err := wc.Command()
 		if err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("command %d: %w", i, err))
 			return nil, false
 		}
-		cmds[i] = c
+		sc.cmds[i] = c
 	}
-	return cmds, true
+	return sc.cmds, true
+}
+
+// batchResponse is the wire envelope of the batched endpoints.
+type batchResponse struct {
+	Results any    `json:"results"`
+	Error   string `json:"error,omitempty"`
 }
 
 func (s *Server) handleAuthorize(w http.ResponseWriter, r *http.Request) {
-	cmds, ok := s.decodeBatch(w, r)
+	sc := getScratch()
+	defer putScratch(sc)
+	cmds, ok := s.decodeBatch(sc, w, r)
 	if !ok {
 		return
 	}
-	results, err := s.reg.AuthorizeBatch(r.PathValue("tenant"), cmds)
+	results, err := s.reg.AuthorizeBatchInto(r.PathValue("tenant"), cmds, sc.results[:0])
 	if err != nil {
 		tenantError(w, err)
 		return
 	}
-	out := make([]AuthorizeResult, len(results))
+	sc.results = results
+	if cap(sc.authOut) < len(results) {
+		sc.authOut = make([]AuthorizeResult, len(results))
+	}
+	out := sc.authOut[:len(results)]
 	for i, res := range results {
-		out[i].Allowed = res.OK
+		out[i] = AuthorizeResult{Allowed: res.OK}
 		if res.Justification != nil {
 			out[i].Justification = res.Justification.String()
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+	writeJSON(w, http.StatusOK, batchResponse{Results: out})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	cmds, ok := s.decodeBatch(w, r)
+	sc := getScratch()
+	defer putScratch(sc)
+	cmds, ok := s.decodeBatch(sc, w, r)
 	if !ok {
 		return
 	}
@@ -184,19 +229,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		tenantError(w, err)
 		return
 	}
-	out := make([]SubmitResult, len(results))
+	if cap(sc.subOut) < len(results) {
+		sc.subOut = make([]SubmitResult, len(results))
+	}
+	out := sc.subOut[:len(results)]
 	for i, res := range results {
-		out[i].Outcome = res.Outcome.WireName()
+		out[i] = SubmitResult{Outcome: res.Outcome.WireName()}
 		if res.Justification != nil {
 			out[i].Justification = res.Justification.String()
 		}
 	}
-	body := map[string]any{"results": out}
+	body := batchResponse{Results: out}
 	status := http.StatusOK
 	if err != nil {
 		// Commit-hook (durability) failure mid-batch: report what was
 		// processed together with the fault.
-		body["error"] = err.Error()
+		body.Error = err.Error()
 		status = http.StatusInternalServerError
 	}
 	writeJSON(w, status, body)

@@ -311,3 +311,72 @@ func BenchmarkHTTPAuthorizeBatch(b *testing.B) {
 		resp.Body.Close()
 	}
 }
+
+// TestStatsExposesCacheCounters drives repeated authorize batches and
+// verifies the decision-cache hit/miss counters surface on /stats.
+func TestStatsExposesCacheCounters(t *testing.T) {
+	ts := newTestServer(t)
+	if code := putPolicy(t, ts.URL, "acme", policy.Figure2()); code != http.StatusNoContent {
+		t.Fatalf("put policy status %d", code)
+	}
+	probe := command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleStaff))
+	for i := 0; i < 3; i++ {
+		var auth struct {
+			Results []AuthorizeResult `json:"results"`
+		}
+		code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/authorize", wire(t, probe, probe), &auth)
+		if code != http.StatusOK || len(auth.Results) != 2 || !auth.Results[0].Allowed {
+			t.Fatalf("authorize %d: status %d results %+v", i, code, auth.Results)
+		}
+	}
+	var st tenant.Stats
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/tenants/acme/stats", nil, &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Cache.Slots == 0 || st.Cache.Stores == 0 || st.Cache.Hits == 0 {
+		t.Fatalf("stats missing cache counters: %+v", st.Cache)
+	}
+	// 6 queries total; the first is a doorkeeper pass (uncounted), the
+	// second fills, the rest hit.
+	if st.Cache.Hits+st.Cache.Misses < 4 {
+		t.Fatalf("cache counters undercount the queries: %+v", st.Cache)
+	}
+}
+
+// TestPooledScratchDoesNotLeakAcrossRequests pins the decode-scratch reuse:
+// a command that omits fields must fail to decode (or decode to zero
+// values), never inherit actor/op/vertices from a previous request that
+// used the same pooled buffer.
+func TestPooledScratchDoesNotLeakAcrossRequests(t *testing.T) {
+	ts := newTestServer(t)
+	if code := putPolicy(t, ts.URL, "acme", policy.Figure2()); code != http.StatusNoContent {
+		t.Fatalf("put policy status %d", code)
+	}
+	full := command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleStaff))
+	// Drain concurrency: hammer the full request so every pooled scratch has
+	// held jane's command at least once.
+	for i := 0; i < 8; i++ {
+		var auth struct {
+			Results []AuthorizeResult `json:"results"`
+		}
+		if code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/authorize", wire(t, full), &auth); code != http.StatusOK || !auth.Results[0].Allowed {
+			t.Fatalf("seed authorize: status %d %+v", code, auth.Results)
+		}
+	}
+	// An empty command object must be rejected as having an unknown op — not
+	// silently completed with the previous request's fields.
+	for i := 0; i < 8; i++ {
+		var out map[string]any
+		code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/authorize",
+			map[string]any{"commands": []map[string]any{{}}}, &out)
+		if code != http.StatusBadRequest {
+			t.Fatalf("empty command pass %d: status %d body %v (stale scratch leaked)", i, code, out)
+		}
+	}
+	// Same for submit, where a leak would mutate and WAL-persist state.
+	var out map[string]any
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/submit",
+		map[string]any{"commands": []map[string]any{{"op": "grant"}}}, &out); code != http.StatusBadRequest {
+		t.Fatalf("partial command submit: status %d body %v", code, out)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"adminrefine/internal/command"
+	"adminrefine/internal/decision"
 	"adminrefine/internal/engine"
 	"adminrefine/internal/policy"
 	"adminrefine/internal/storage"
@@ -49,6 +50,9 @@ type Options struct {
 	CompactEvery int
 	// Sync fsyncs every WAL append (slow, crash-durable). Default off.
 	Sync bool
+	// CacheSlots sizes each tenant engine's decision cache (rounded up to a
+	// power of two). 0 uses the engine default; negative disables caching.
+	CacheSlots int
 	// Bootstrap, when non-nil, seeds a tenant that has no durable state yet:
 	// it is invoked on first touch of an empty tenant and the returned policy
 	// is compacted to disk immediately. Return nil to leave the tenant empty.
@@ -119,6 +123,9 @@ type Stats struct {
 	Policy       policy.Stats `json:"policy"`
 	Authorizes   uint64       `json:"authorizes"`
 	Submits      uint64       `json:"submits"`
+	// Cache reports the tenant engine's decision-cache counters (hits,
+	// misses, stores, evictions) and capacity.
+	Cache decision.Stats `json:"cache"`
 	// Recovered reports what the lazy open found on disk.
 	Recovered storage.Recovery `json:"recovered"`
 	// LastCompactError is the most recent budget-triggered compaction
@@ -247,6 +254,9 @@ func (r *Registry) open(name string, create bool) (*tenant, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tenant %s: %w", name, err)
 	}
+	if r.opts.CacheSlots != 0 {
+		eng.SetCacheSlots(r.opts.CacheSlots)
+	}
 	t := &tenant{name: name, store: st, recovered: rec}
 	t.eng.Store(eng)
 	if seed != nil && !rec.SnapshotLoaded && rec.Records == 0 {
@@ -265,6 +275,9 @@ func (r *Registry) install(t *tenant, p *policy.Policy) error {
 		return err
 	}
 	eng := engine.NewAt(p, r.opts.Mode, t.engine().Generation())
+	if r.opts.CacheSlots != 0 {
+		eng.SetCacheSlots(r.opts.CacheSlots)
+	}
 	st := t.store
 	eng.SetCommitHook(func(gen uint64, res command.StepResult) error {
 		return st.AppendStep(int(gen), res)
@@ -347,6 +360,13 @@ func (r *Registry) Authorize(name string, c command.Command) (engine.AuthzResult
 // policy: one registry resolve, one snapshot acquisition, one decider for
 // the whole batch.
 func (r *Registry) AuthorizeBatch(name string, cmds []command.Command) ([]engine.AuthzResult, error) {
+	return r.AuthorizeBatchInto(name, cmds, nil)
+}
+
+// AuthorizeBatchInto is AuthorizeBatch writing results into out's backing
+// array when its capacity suffices, so request loops can reuse one buffer
+// across calls (see internal/server).
+func (r *Registry) AuthorizeBatchInto(name string, cmds []command.Command, out []engine.AuthzResult) ([]engine.AuthzResult, error) {
 	t, err := r.acquire(name, false)
 	if err != nil {
 		return nil, err
@@ -355,7 +375,7 @@ func (r *Registry) AuthorizeBatch(name string, cmds []command.Command) ([]engine
 	t.authorizes.Add(uint64(len(cmds)))
 	s := t.engine().Snapshot()
 	defer s.Close()
-	return s.AuthorizeBatch(cmds), nil
+	return s.AuthorizeBatchInto(cmds, out), nil
 }
 
 // Submit executes one administrative command through the tenant's transition
@@ -445,6 +465,7 @@ func (r *Registry) Stats(name string) (Stats, error) {
 		Policy:       s.Policy().Stats(),
 		Authorizes:   t.authorizes.Load(),
 		Submits:      t.submits.Load(),
+		Cache:        t.engine().CacheStats(),
 		Recovered:    t.recovered,
 	}
 	if msg := t.compactErr.Load(); msg != nil {

@@ -325,3 +325,64 @@ func TestInstallPolicySwapIsRaceFree(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+func TestCacheStatsAndOptions(t *testing.T) {
+	reg := churnRegistry(t, t.TempDir(), Options{})
+	defer reg.Close()
+	q := workload.ChurnGrant(0, 16, 16)
+	// Four sights: doorkeeper pass, intern + cache fill, two hits.
+	for i := 0; i < 4; i++ {
+		if res, err := reg.Authorize("t", q); err != nil || !res.OK {
+			t.Fatalf("authorize %d: err=%v ok=%v", i, err, res.OK)
+		}
+	}
+	st, err := reg.Stats("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Slots == 0 || st.Cache.Stores == 0 || st.Cache.Hits < 2 {
+		t.Fatalf("cache counters not surfaced: %+v", st.Cache)
+	}
+
+	// A registry with caching disabled never counts cache traffic.
+	off := churnRegistry(t, t.TempDir(), Options{CacheSlots: -1})
+	defer off.Close()
+	for i := 0; i < 3; i++ {
+		if res, err := off.Authorize("t", q); err != nil || !res.OK {
+			t.Fatalf("uncached authorize %d: err=%v ok=%v", i, err, res.OK)
+		}
+	}
+	st, err = off.Stats("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Slots != 0 || st.Cache.Hits != 0 || st.Cache.Stores != 0 {
+		t.Fatalf("disabled cache counted traffic: %+v", st.Cache)
+	}
+}
+
+func TestAuthorizeBatchIntoReuse(t *testing.T) {
+	reg := churnRegistry(t, t.TempDir(), Options{})
+	defer reg.Close()
+	cmds := make([]command.Command, 8)
+	for i := range cmds {
+		cmds[i] = workload.ChurnGrant(i, 16, 16)
+	}
+	buf := make([]engine.AuthzResult, 0, len(cmds))
+	got, err := reg.AuthorizeBatchInto("t", cmds, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("AuthorizeBatchInto did not reuse the buffer")
+	}
+	ref, err := reg.AuthorizeBatch("t", cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cmds {
+		if got[i].OK != ref[i].OK {
+			t.Fatalf("cmd %d: into %v, fresh %v", i, got[i].OK, ref[i].OK)
+		}
+	}
+}

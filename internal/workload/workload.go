@@ -254,6 +254,18 @@ func ChurnDeassign(p *policy.Policy, i, nUsers, nRoles int) bool {
 	return p.Deassign(churnUser(i%nUsers), chainRole((i/nUsers)%nRoles))
 }
 
+// CommandSlab precomputes the first n commands of the churn stream, so
+// benchmarks measure the authorization path rather than fmt.Sprintf, and
+// repeated passes over the slab exercise the boundary interning and the
+// decision cache exactly as a steady query mix would.
+func CommandSlab(n, nUsers, nRoles int) []command.Command {
+	out := make([]command.Command, n)
+	for i := range out {
+		out[i] = ChurnGrant(i, nUsers, nRoles)
+	}
+	return out
+}
+
 // Queue samples n commands from the policy's relevant command alphabet
 // (administrative privilege terms and their subterms across all users),
 // deterministically from the seed.

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Benchmark regression gate: re-run the authorize-path benchmarks and
+# compare them against the newest committed BENCH_*.json baseline. Fails on
+# a >25% ns/op regression beyond the run's machine-skew estimate (the
+# median delta across all compared benchmarks, so a uniformly slow or fast
+# machine does not flap the gate; override the band with
+# BENCHDIFF_TOLERANCE) or on an allocs/op increase: exact for 0-alloc
+# baselines (the zero-allocation authorize fast path must stay at 0), with
+# a small band for nonzero baselines whose amortized allocations round
+# differently depending on the iteration count.
+#
+# Wired into scripts/check.sh and the GitHub Actions workflow.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+base=$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)
+filter=${BENCHDIFF_FILTER:-Authorize,BatchVsSingle,IncrementalGrant}
+tol=${BENCHDIFF_TOLERANCE:-25}
+
+echo "benchdiff: comparing '$filter' against $base (tolerance ${tol}%)"
+go run ./cmd/rbacbench -benchdiff "$base" -benchfilter "$filter" -benchtolerance "$tol"

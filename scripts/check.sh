@@ -1,7 +1,8 @@
 #!/bin/sh
 # CI gate without make: build + vet + tests + engine race pass + a short
 # incremental-benchmark smoke so regressions in the incremental path fail
-# fast. Mirrors `make check`.
+# fast, then the benchdiff gate comparing the authorize benchmarks against
+# the committed BENCH_*.json baseline. Mirrors `make check`.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -9,5 +10,6 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/tenant/ ./internal/server/
-go test -run XXX -bench 'Incremental|BatchVsSingle' -benchtime=100x .
+go test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/tenant/ ./internal/server/ ./internal/decision/ ./internal/command/
+go test -run XXX -bench 'Incremental|BatchVsSingle|CachedAuthorize|AuthorizeAllocs' -benchtime=100x .
+scripts/benchdiff.sh
