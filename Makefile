@@ -1,13 +1,14 @@
 # Repo verification targets. `make check` is the CI gate: it builds, vets,
-# runs the full test suite, the race-detector pass over the concurrent
-# engine, and a short smoke of the incremental-churn benchmark so perf
-# regressions in the incremental path fail fast.
+# checks formatting, runs the full test suite, the race-detector pass over
+# the concurrent engine + replication stack, and a short smoke of the hot-
+# path benchmarks so perf regressions fail fast. The CI workflow runs the
+# same pieces as a job matrix (build-test / race / bench-gate / lint).
 
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench-json bench benchdiff
+.PHONY: check build vet fmt-check test race bench-smoke bench-json bench benchdiff fuzz-smoke
 
-check: build vet test race bench-smoke benchdiff
+check: build vet fmt-check test race bench-smoke benchdiff
 
 build:
 	$(GO) build ./...
@@ -15,30 +16,44 @@ build:
 vet:
 	$(GO) vet ./...
 
+# gofmt must be a no-op on the whole tree (mirrors the CI lint job, which
+# additionally runs staticcheck — not baked into this container image).
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
-# The engine/tenant/server stack is the concurrency-critical surface;
-# graph/core feed it, and decision/command carry the lock-free cache and
-# interner under it.
+# The engine/tenant/server/replication stack is the concurrency-critical
+# surface; graph/core feed it, and decision/command carry the lock-free
+# cache and interner under it.
 race:
-	$(GO) test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/tenant/ ./internal/server/ ./internal/decision/ ./internal/command/
+	$(GO) test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/tenant/ ./internal/server/ ./internal/replication/ ./internal/decision/ ./internal/command/
 
 bench-smoke:
-	$(GO) test -run XXX -bench 'Incremental|CachedAuthorize|AuthorizeAllocs' -benchtime=100x .
+	$(GO) test -run XXX -bench 'Incremental|CachedAuthorize|AuthorizeAllocs|ReplicatedAuthorize' -benchtime=100x .
 
-# Regression gate: authorize benchmarks vs the committed BENCH_*.json
-# baseline (>25% ns/op or any allocs/op increase fails).
+# Regression gate: authorize benchmarks vs the newest committed BENCH_*.json
+# baseline, selected by highest numeric suffix (>25% ns/op or any allocs/op
+# increase fails).
 benchdiff:
 	scripts/benchdiff.sh
+
+# Short local run of the nightly fuzz targets (see .github/workflows/fuzz.yml).
+fuzz-smoke:
+	$(GO) test ./internal/command/ -fuzz FuzzCommandFingerprint -fuzztime 10s
+	$(GO) test ./internal/storage/ -fuzz FuzzWALDecode -fuzztime 10s
 
 # Full benchmark sweep (slow).
 bench:
 	$(GO) test -run XXX -bench . -benchmem .
 
-# Machine-readable perf trajectory, consumed across PRs. Override the output
-# path with BENCH_JSON=..., or narrow the run with BENCH_FILTER=substring.
-BENCH_JSON ?= BENCH_3.json
+# Machine-readable perf trajectory, consumed across PRs. The default output
+# is one past the newest committed BENCH_<n>.json (numeric suffix, so
+# BENCH_10 sorts after BENCH_2); override with BENCH_JSON=..., or narrow the
+# run with BENCH_FILTER=substring.
+LATEST_BENCH := $(shell ls BENCH_*.json 2>/dev/null | sed -n 's/^BENCH_\([0-9][0-9]*\)\.json$$/\1/p' | sort -n | tail -1)
+BENCH_JSON ?= BENCH_$(shell expr $(LATEST_BENCH) + 1 2>/dev/null || echo 1).json
 BENCH_FILTER ?=
 bench-json:
 	$(GO) run ./cmd/rbacbench -benchjson $(BENCH_JSON) -benchfilter '$(BENCH_FILTER)'

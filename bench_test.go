@@ -575,6 +575,33 @@ func BenchmarkAuthorizeAllocs(b *testing.B) {
 	}
 }
 
+// --- P4: WAL-streaming read replicas ----------------------------------------
+
+// BenchmarkReplicatedAuthorize measures steady-state read throughput on a
+// caught-up follower, per query, against the identical single-node loop: the
+// follower replays the primary's WAL into a plain engine, so its reads must
+// stay within 15% of single-node cost. The bodies live in cli.BenchSpecs so
+// the rbacbench-emitted BENCH JSON measures identical code.
+func BenchmarkReplicatedAuthorize(b *testing.B) {
+	for _, spec := range cli.BenchSpecs() {
+		if sub, ok := strings.CutPrefix(spec.Name, "ReplicatedAuthorize/"); ok {
+			b.Run(sub, spec.F)
+		}
+	}
+}
+
+// BenchmarkReplicationLag measures end-to-end replication latency under
+// churn: one write on the primary until the follower's replayed engine
+// serves that generation (WAL append, long-poll wake, HTTP ship, replay,
+// publication).
+func BenchmarkReplicationLag(b *testing.B) {
+	for _, spec := range cli.BenchSpecs() {
+		if sub, ok := strings.CutPrefix(spec.Name, "ReplicationLag/"); ok {
+			b.Run(sub, spec.F)
+		}
+	}
+}
+
 func BenchmarkAssignableRoles(b *testing.B) {
 	p := workload.Hospital(4)
 	b.ResetTimer()

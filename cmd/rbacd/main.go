@@ -14,9 +14,22 @@
 //	curl         localhost:8270/v1/tenants/acme/stats
 //	curl         localhost:8270/healthz
 //
+// Horizontal read fan-out: a primary streams its per-tenant WAL to follower
+// processes, which serve authorize/explain/stats from replayed engines and
+// answer writes with a 307 redirect to the primary,
+//
+//	rbacd -addr :8270 -data ./primary-data                           # primary
+//	rbacd -addr :8271 -data ./replica-data -role follower \
+//	      -upstream http://localhost:8270                            # follower
+//
+// with read-your-writes via generation tokens: every write response carries
+// the tenant's generation, and a read passing it back as min_generation
+// either waits (bounded) for the follower to catch up or gets 409 — never a
+// stale answer.
+//
 // On SIGINT/SIGTERM the daemon drains in-flight requests, compacts every
 // resident tenant and exits; on SIGKILL the WAL recovers the state on the
-// next start.
+// next start — followers resume pulling from their local WAL position.
 package main
 
 import (
@@ -29,10 +42,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"adminrefine/internal/engine"
+	"adminrefine/internal/replication"
 	"adminrefine/internal/server"
 	"adminrefine/internal/tenant"
 )
@@ -58,6 +73,10 @@ func run(args []string, out io.Writer) error {
 		compactEvery = fs.Int("compact-every", 1024, "WAL records between tenant compactions (negative disables)")
 		sync         = fs.Bool("sync", false, "fsync every WAL append (crash-durable against power loss, slower)")
 		cacheSlots   = fs.Int("cache-slots", 0, "decision-cache slots per tenant engine (0 = default, negative disables)")
+		role         = fs.String("role", "primary", "replication role: primary (serves writes + WAL stream) or follower (replicated reads, writes redirect upstream)")
+		upstream     = fs.String("upstream", "", "primary base URL (required with -role follower), e.g. http://host:8270")
+		pollWait     = fs.Duration("poll-wait", 10*time.Second, "follower: long-poll bound per replication pull")
+		minGenWait   = fs.Duration("min-gen-wait", 2*time.Second, "bound on how long a min_generation read waits for the replica to catch up before 409")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +90,18 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("rbacd: unknown -mode %q (want strict or refined)", *mode)
 	}
+	switch *role {
+	case "primary":
+		if *upstream != "" {
+			return fmt.Errorf("rbacd: -upstream is only meaningful with -role follower")
+		}
+	case "follower":
+		if *upstream == "" {
+			return fmt.Errorf("rbacd: -role follower requires -upstream")
+		}
+	default:
+		return fmt.Errorf("rbacd: unknown -role %q (want primary or follower)", *role)
+	}
 
 	reg := tenant.New(tenant.Options{
 		Dir:          *dataDir,
@@ -82,13 +113,34 @@ func run(args []string, out io.Writer) error {
 		CacheSlots:   *cacheSlots,
 	})
 
+	var follower *replication.Follower
+	if *role == "follower" {
+		follower = replication.NewFollower(reg, replication.FollowerOptions{
+			Upstream: strings.TrimRight(*upstream, "/"),
+			PollWait: *pollWait,
+		})
+	}
+	// Stop the pull loops before the registry so no applier writes into a
+	// closing registry; safe to call on every exit path below.
+	closeAll := func() error {
+		if follower != nil {
+			follower.Close()
+		}
+		return reg.Close()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "rbacd: listening on %s (mode=%s data=%s)\n", ln.Addr(), emode, *dataDir)
+	fmt.Fprintf(out, "rbacd: listening on %s (mode=%s data=%s role=%s)\n", ln.Addr(), emode, *dataDir, *role)
 
-	srv := &http.Server{Handler: server.New(reg)}
+	handler := server.NewWithConfig(server.Config{
+		Registry:   reg,
+		Follower:   follower,
+		MinGenWait: *minGenWait,
+	})
+	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
@@ -97,17 +149,20 @@ func run(args []string, out io.Writer) error {
 	select {
 	case sig := <-stop:
 		fmt.Fprintf(out, "rbacd: %v, draining\n", sig)
+		// Wake parked replication long-polls first, or they eat the drain
+		// budget (Shutdown waits for handlers without cancelling them).
+		handler.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			reg.Close()
+			closeAll()
 			return err
 		}
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
-			reg.Close()
+			closeAll()
 			return err
 		}
 	}
-	return reg.Close()
+	return closeAll()
 }

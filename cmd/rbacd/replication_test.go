@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/model"
+	"adminrefine/internal/replication"
+	"adminrefine/internal/server"
+	"adminrefine/internal/tenant"
+	"adminrefine/internal/workload"
+)
+
+// The e2e replication fixture: the churn policy, whose grant stream is
+// authorized at every step, plus one always-denied probe.
+const churnRoles, churnUsers = 32, 32
+
+func churnGrant(i int) command.Command {
+	return workload.ChurnGrant(i, churnUsers, churnRoles)
+}
+
+func deniedProbe() command.Command {
+	return command.Grant("nobody", model.User("u0001"), model.Role("c0002"))
+}
+
+// followerStats is the follower's stats wire shape: tenant stats plus the
+// replication block.
+type followerStats struct {
+	tenant.Stats
+	Replication *replication.LagStats `json:"replication"`
+}
+
+func (d *daemon) followerStats(t *testing.T, name string) followerStats {
+	t.Helper()
+	resp, err := http.Get(d.base + "/v1/tenants/" + name + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st followerStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// submitGen submits commands and returns outcomes plus the generation token.
+func (d *daemon) submitGen(t *testing.T, name string, cmds ...command.Command) ([]server.SubmitResult, uint64) {
+	t.Helper()
+	var out struct {
+		Results    []server.SubmitResult `json:"results"`
+		Generation uint64                `json:"generation"`
+	}
+	d.post(t, "/v1/tenants/"+name+"/submit", batchOf(t, cmds...), &out)
+	return out.Results, out.Generation
+}
+
+// authorizeMin authorizes with a min_generation token, returning the allowed
+// bits, the generation served, and the HTTP status.
+func (d *daemon) authorizeMin(t *testing.T, name string, minGen uint64, cmds []command.Command) ([]bool, uint64, int) {
+	t.Helper()
+	req := batchOf(t, cmds...)
+	req.MinGeneration = minGen
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(d.base+"/v1/tenants/"+name+"/authorize", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Results    []server.AuthorizeResult `json:"results"`
+		Generation uint64                   `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]bool, len(out.Results))
+	for i, r := range out.Results {
+		got[i] = r.Allowed
+	}
+	return got, out.Generation, resp.StatusCode
+}
+
+func waitForGeneration(t *testing.T, d *daemon, name string, min uint64) followerStats {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	var st followerStats
+	for time.Now().Before(deadline) {
+		st = d.followerStats(t, name)
+		if st.Generation >= min {
+			return st
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("follower stuck at generation %d, want >= %d", st.Generation, min)
+	return st
+}
+
+// TestReplicationEndToEnd is the acceptance test of the replicated service:
+// a primary and a follower process, interleaved writes on the primary, the
+// follower serving identical decisions for every generation it acknowledges,
+// min_generation read-your-writes (wait or 409, never a stale answer),
+// follower SIGKILL → restart → convergence from its local WAL, and reads
+// surviving the primary dropping.
+func TestReplicationEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	primDir, folDir := t.TempDir(), t.TempDir()
+	prim := startDaemon(t, "-addr", "127.0.0.1:0", "-data", primDir, "-mode", "refined")
+	folArgs := []string{"-addr", "127.0.0.1:0", "-data", folDir, "-mode", "refined",
+		"-role", "follower", "-upstream", prim.base, "-poll-wait", "250ms"}
+	fol := startDaemon(t, folArgs...)
+
+	prim.putPolicy(t, "acme", workload.ChurnPolicy(churnRoles, churnUsers))
+
+	// Interleaved writes on the primary; every submit returns its token and
+	// the follower honours it immediately: read-your-writes per generation.
+	var lastGen uint64
+	for i := 0; i < 10; i++ {
+		res, gen := prim.submitGen(t, "acme", churnGrant(i))
+		if res[0].Outcome != "applied" {
+			t.Fatalf("submit %d: %+v", i, res)
+		}
+		if gen != uint64(i+1) {
+			t.Fatalf("submit %d: generation token %d", i, gen)
+		}
+		lastGen = gen
+
+		probes := []command.Command{churnGrant(i + 1), deniedProbe()}
+		got, servedGen, code := fol.authorizeMin(t, "acme", gen, probes)
+		if code != http.StatusOK {
+			t.Fatalf("follower authorize with token %d: status %d", gen, code)
+		}
+		if servedGen < gen {
+			t.Fatalf("follower served generation %d below token %d", servedGen, gen)
+		}
+		want, _, _ := prim.authorizeMin(t, "acme", 0, probes)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("iteration %d: follower %v, primary %v", i, got, want)
+		}
+	}
+
+	// An unreachable token 409s with the replica's generation after the
+	// bounded wait — never a stale 200.
+	if _, _, code := fol.authorizeMin(t, "acme", lastGen+1000, []command.Command{deniedProbe()}); code != http.StatusConflict {
+		t.Fatalf("unreachable min_generation: status %d, want 409", code)
+	}
+
+	// Writes through the follower transparently redirect to the primary.
+	res, gen := fol.submitGen(t, "acme", churnGrant(10))
+	if res[0].Outcome != "applied" || gen != lastGen+1 {
+		t.Fatalf("redirected write: %+v gen %d", res, gen)
+	}
+	lastGen = gen
+
+	// Follower stats carry replication telemetry.
+	st := waitForGeneration(t, fol, "acme", lastGen)
+	if st.Replication == nil || !st.Replication.Healthy {
+		t.Fatalf("follower stats replication block: %+v", st.Replication)
+	}
+
+	// SIGKILL the follower mid-stream, write more, restart it on the same
+	// data directory: it must resume from its local WAL position and
+	// converge to the primary's generations.
+	fol.kill(t)
+	for i := 11; i < 16; i++ {
+		if res, _ := prim.submitGen(t, "acme", churnGrant(i)); res[0].Outcome != "applied" {
+			t.Fatalf("submit %d while follower down: %+v", i, res)
+		}
+	}
+	fol2 := startDaemon(t, folArgs...)
+	st = waitForGeneration(t, fol2, "acme", 16)
+	if st.Generation != 16 {
+		t.Fatalf("restarted follower at generation %d, want 16", st.Generation)
+	}
+	// The restart recovered local state (snapshot and/or WAL records): it
+	// resumed, it did not re-bootstrap from zero.
+	if !st.Recovered.SnapshotLoaded && st.Recovered.Records == 0 {
+		t.Fatalf("restarted follower found no local state: %+v", st.Recovered)
+	}
+	probes := []command.Command{deniedProbe(), churnGrant(3), churnGrant(20)}
+	want, _, _ := prim.authorizeMin(t, "acme", 0, probes)
+	got, _, code := fol2.authorizeMin(t, "acme", 16, probes)
+	if code != http.StatusOK || fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("post-restart decisions: follower %v (status %d), primary %v", got, code, want)
+	}
+
+	// Drop the primary: the follower keeps serving reads from its replayed
+	// state — stale but available.
+	prim.kill(t)
+	got, _, code = fol2.authorizeMin(t, "acme", 0, probes)
+	if code != http.StatusOK || fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("reads with primary down: follower %v (status %d), want %v", got, code, want)
+	}
+	fol2.terminate(t)
+}

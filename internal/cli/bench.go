@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
@@ -18,6 +20,7 @@ import (
 	"adminrefine/internal/engine"
 	"adminrefine/internal/graph"
 	"adminrefine/internal/model"
+	"adminrefine/internal/replication"
 	"adminrefine/internal/tenant"
 	"adminrefine/internal/workload"
 )
@@ -276,6 +279,46 @@ func BenchSpecs() []BenchSpec {
 				s.Close()
 			}
 		}},
+		{"ReplicatedAuthorize/follower-batch=256/roles=256", func(b *testing.B) {
+			// Steady-state read throughput on a caught-up follower, per query,
+			// through the batched serving path: the follower must stay within
+			// 15% of the identical single-node loop (and of the raw
+			// SnapshotAuthorizeParallel engine cost) — replication replays
+			// into a plain engine, so reads cost the same as anywhere else.
+			_, folReg, cleanup := benchReplicatedPair(b)
+			defer cleanup()
+			benchRegistryBatch(b, folReg, "t", 256)
+		}},
+		{"ReplicatedAuthorize/single-batch=256/roles=256", func(b *testing.B) {
+			// The single-node baseline of the follower benchmark above: the
+			// same batched read loop against an unreplicated registry.
+			reg, cleanup := benchChurnRegistry(b)
+			defer cleanup()
+			benchRegistryBatch(b, reg, "t", 256)
+		}},
+		{"ReplicationLag/submit-to-visible/roles=256", func(b *testing.B) {
+			// End-to-end replication latency under churn: each op applies one
+			// write on the primary and blocks until the follower's replayed
+			// engine serves that generation — WAL append, long-poll wake,
+			// HTTP ship, SubmitBatch replay and publication.
+			prim, folReg, cleanup := benchReplicatedPair(b)
+			defer cleanup()
+			start, _, err := folReg.WaitGeneration("t", 0, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := prim.Submit("t", workload.ChurnGrant(benchReplWrites+i, 256, 256))
+				if err != nil || res.Outcome != command.Applied {
+					b.Fatalf("churn submit %d: outcome=%v err=%v", i, res.Outcome, err)
+				}
+				if gen, ok, err := folReg.WaitGeneration("t", start+uint64(i)+1, 10*time.Second); err != nil || !ok {
+					b.Fatalf("follower stuck at generation %d (err %v)", gen, err)
+				}
+			}
+			b.StopTimer()
+		}},
 		{"AuthorizeAllocs/strict-uncached/roles=256", func(b *testing.B) {
 			// Definition 5 without the cache: actor/privilege vertex lookup by
 			// fingerprint plus one closure bit test per op, 0 allocs/op. The
@@ -350,6 +393,112 @@ func benchRegistry(b *testing.B, tenants int) (*tenant.Registry, *workload.Multi
 		reg.Close()
 		os.RemoveAll(dir)
 	}
+}
+
+// benchReplWrites is the churn prefix applied before measurement in the
+// replication benchmarks, so the follower converges on a warm stream.
+const benchReplWrites = 512
+
+// benchChurnRegistry stands up a single-tenant churn registry with the warm
+// write prefix applied — the single-node baseline of the replication
+// benchmarks and the primary of benchReplicatedPair.
+func benchChurnRegistry(b *testing.B) (*tenant.Registry, func()) {
+	b.Helper()
+	dir, err := os.MkdirTemp("", "rbacbench-repl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := tenant.New(tenant.Options{Dir: dir, Mode: engine.Refined})
+	if err := reg.InstallPolicy("t", workload.ChurnPolicy(256, 256)); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < benchReplWrites; i++ {
+		if res, err := reg.Submit("t", workload.ChurnGrant(i, 256, 256)); err != nil || res.Outcome != command.Applied {
+			b.Fatalf("churn prefix %d: outcome=%v err=%v", i, res.Outcome, err)
+		}
+	}
+	return reg, func() {
+		reg.Close()
+		os.RemoveAll(dir)
+	}
+}
+
+// benchReplicatedPair stands up a primary registry behind an HTTP source and
+// a follower replicating tenant "t" from it, converged before return.
+func benchReplicatedPair(b *testing.B) (prim, folReg *tenant.Registry, cleanup func()) {
+	b.Helper()
+	prim, cleanPrim := benchChurnRegistry(b)
+	mux := http.NewServeMux()
+	replication.NewSource(prim, replication.SourceOptions{}).Register(mux)
+	ts := httptest.NewServer(mux)
+	folDir, err := os.MkdirTemp("", "rbacbench-fol")
+	if err != nil {
+		b.Fatal(err)
+	}
+	folReg = tenant.New(tenant.Options{Dir: folDir, Mode: engine.Refined})
+	// Production-shaped long-poll: new records still propagate instantly
+	// (the in-flight pull wakes on the primary's publish broadcast), but an
+	// idle follower only touches the CPU every PollWait — keeping the read
+	// benchmark's background noise at the deployment level, not a test
+	// loop's.
+	fol := replication.NewFollower(folReg, replication.FollowerOptions{
+		Upstream: ts.URL,
+		PollWait: 10 * time.Second,
+		Backoff:  20 * time.Millisecond,
+	})
+	cleanup = func() {
+		fol.Close()
+		ts.Close()
+		folReg.Close()
+		os.RemoveAll(folDir)
+		cleanPrim()
+	}
+	if err := fol.Ensure("t"); err != nil {
+		cleanup()
+		b.Fatal(err)
+	}
+	if gen, ok, err := folReg.WaitGeneration("t", benchReplWrites, 30*time.Second); err != nil || !ok {
+		cleanup()
+		b.Fatalf("follower stuck at generation %d (err %v)", gen, err)
+	}
+	return prim, folReg, cleanup
+}
+
+// benchRegistryBatch measures the per-query cost of the batched read path at
+// batch size k against one tenant (two warm passes first, so the interner
+// and decision cache serve the measured loop).
+func benchRegistryBatch(b *testing.B, reg *tenant.Registry, name string, k int) {
+	b.Helper()
+	cmds := workload.CommandSlab(4096, 256, 256)
+	out := make([]engine.AuthzResult, 0, k)
+	for pass := 0; pass < 2; pass++ {
+		for off := 0; off+k <= len(cmds); off += k {
+			if _, _, err := reg.AuthorizeBatchInto(name, cmds[off:off+k], out[:0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += k {
+		n := k
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		off := i % (len(cmds) - k)
+		results, _, err := reg.AuthorizeBatchInto(name, cmds[off:off+n], out[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, res := range results {
+			if !res.OK {
+				b.Fatalf("query %d denied", off+j)
+			}
+		}
+	}
+	// The callers' deferred teardown closes registries and HTTP servers;
+	// keep that out of the measurement.
+	b.StopTimer()
 }
 
 // benchBatch measures the batched read path at batch size k, normalised per

@@ -26,11 +26,13 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"adminrefine/internal/command"
 	"adminrefine/internal/core"
@@ -186,6 +188,16 @@ type Engine struct {
 	// posFloor / negFloor are the cache validity watermarks (see package
 	// decision): writer-owned, captured into each published Snapshot.
 	posFloor, negFloor uint64
+
+	// published is the generation broadcast: a channel closed (and replaced)
+	// on every snapshot publication, so WaitGeneration blocks without
+	// polling. Swapped under the writer lock, loaded lock-free by waiters.
+	published atomic.Pointer[chan struct{}]
+	// retired marks an engine that was replaced (a registry installed a
+	// policy or a replica snapshot over it): it will never publish again, so
+	// generation waiters return instead of sleeping out their timeout. The
+	// owner re-resolves the successor engine (see tenant.WaitGenerationCtx).
+	retired atomic.Bool
 }
 
 // New builds an engine, taking ownership of the policy: the caller must not
@@ -208,6 +220,8 @@ func NewAt(p *policy.Policy, mode Mode, gen uint64) *Engine {
 		negFloor: gen,
 	}
 	e.cache.Store(decision.New(decision.DefaultSlots))
+	ch := make(chan struct{})
+	e.published.Store(&ch)
 	r := newReplica(p, mode, int(gen))
 	e.replicas = []*replica{r}
 	e.cur.Store(e.snapshotOf(r, gen))
@@ -303,7 +317,7 @@ func (e *Engine) SubmitGuarded(c command.Command, guard func(pre *policy.Policy)
 		// caught-up spare.
 		return res, err
 	}
-	e.cur.Store(e.snapshotOf(next, uint64(next.pos)))
+	e.publishLocked(next)
 	return res, nil
 }
 
@@ -339,9 +353,76 @@ func (e *Engine) SubmitBatch(cmds []command.Command, guard func(pre *policy.Poli
 		}
 	}
 	if applied {
-		e.cur.Store(e.snapshotOf(next, uint64(next.pos)))
+		e.publishLocked(next)
 	}
 	return out, hookErr
+}
+
+// publishLocked makes next the published replica and wakes generation
+// waiters. Caller holds the writer lock.
+func (e *Engine) publishLocked(next *replica) {
+	e.cur.Store(e.snapshotOf(next, uint64(next.pos)))
+	ch := make(chan struct{})
+	old := e.published.Swap(&ch)
+	close(*old)
+}
+
+// WaitGeneration blocks until the engine's generation reaches min or the
+// timeout elapses, returning the generation observed last and whether it
+// satisfies min. A zero or negative timeout polls once without blocking.
+// This is the primitive behind read-your-writes generation tokens: a reader
+// holding a write's (tenant, generation) token waits here before taking a
+// snapshot — once a generation is published, every later Snapshot() observes
+// a generation at least as large.
+func (e *Engine) WaitGeneration(min uint64, timeout time.Duration) (uint64, bool) {
+	return e.WaitGenerationCtx(context.Background(), min, timeout)
+}
+
+// WaitGenerationCtx is WaitGeneration bounded additionally by ctx, so a
+// server can abandon the wait the moment its client disconnects (a
+// replication long-poll must not hold resources for a peer that is gone).
+// It also returns early when the engine is retired (see Retire).
+func (e *Engine) WaitGenerationCtx(ctx context.Context, min uint64, timeout time.Duration) (uint64, bool) {
+	gen := e.Generation()
+	if gen >= min || timeout <= 0 {
+		return gen, gen >= min
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		ch := *e.published.Load()
+		// Re-check after loading the channel: a publication between the
+		// generation check and the load would otherwise be missed (its close
+		// hit the previous channel).
+		if gen = e.Generation(); gen >= min {
+			return gen, true
+		}
+		if e.retired.Load() {
+			return gen, false
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			gen = e.Generation()
+			return gen, gen >= min
+		case <-ctx.Done():
+			gen = e.Generation()
+			return gen, gen >= min
+		}
+	}
+}
+
+// Retire marks the engine as replaced and wakes every generation waiter:
+// this engine will never publish again, so blocked waiters must re-resolve
+// whatever superseded it rather than sleep out their timeout. Reads against
+// already-acquired snapshots stay valid.
+func (e *Engine) Retire() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.retired.Store(true)
+	ch := make(chan struct{})
+	old := e.published.Swap(&ch)
+	close(*old)
 }
 
 // CommitError wraps a commit-hook failure so callers can distinguish a

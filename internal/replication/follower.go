@@ -1,0 +1,527 @@
+package replication
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"adminrefine/internal/storage"
+	"adminrefine/internal/tenant"
+)
+
+// maxPullBody bounds one pull response body. The primary's log is compacted
+// on a budget, so a batch ever approaching this signals a broken peer, not a
+// big backlog (a genuinely far-behind follower gets 410 + snapshot instead).
+const maxPullBody = 64 << 20
+
+// FollowerOptions configures a Follower.
+type FollowerOptions struct {
+	// Upstream is the primary's base URL, e.g. "http://10.0.0.1:8270".
+	Upstream string
+	// PollWait is the long-poll bound each pull asks the primary to hold the
+	// request open for when there is nothing to ship (default 10s).
+	PollWait time.Duration
+	// SyncWait bounds how long Ensure blocks waiting for a tenant's first
+	// sync before reporting the replication error (default 10s).
+	SyncWait time.Duration
+	// Backoff is the initial retry delay after a failed pull, doubled up to
+	// 16x (default 250ms).
+	Backoff time.Duration
+	// IdleAfter retires a tenant's pull loop when no read has touched it for
+	// this long (default 5m): the goroutine and its standing long-poll go
+	// away and the local registry may LRU-evict the tenant. The next read
+	// re-Ensures and replication resumes from the local WAL position.
+	// Negative disables retirement.
+	IdleAfter time.Duration
+	// Client overrides the HTTP client (tests). Its timeout must exceed
+	// PollWait or every idle long-poll errors.
+	Client *http.Client
+}
+
+func (o FollowerOptions) withDefaults() FollowerOptions {
+	if o.PollWait <= 0 {
+		o.PollWait = 10 * time.Second
+	}
+	if o.SyncWait <= 0 {
+		o.SyncWait = 10 * time.Second
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 250 * time.Millisecond
+	}
+	if o.IdleAfter == 0 {
+		o.IdleAfter = 5 * time.Minute
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: o.PollWait + 15*time.Second}
+	}
+	return o
+}
+
+// Follower replicates tenants from an upstream primary into a local
+// registry and tracks per-tenant lag. Tenants replicate lazily: the first
+// read touching a name starts its pull loop (Ensure), mirroring the
+// registry's own lazy open. Reads keep being served from the local replayed
+// state when the upstream drops — stale but available — and the loops
+// reconnect with backoff.
+type Follower struct {
+	reg  *tenant.Registry
+	opts FollowerOptions
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	tenants map[string]*followTenant
+}
+
+// followTenant is one tenant's replication state.
+type followTenant struct {
+	name string
+	// synced is closed when the first sync attempt concludes (either way);
+	// Ensure waits on it, then reads the live fields below.
+	synced    chan struct{}
+	mu        sync.Mutex
+	syncDone  bool
+	syncErr   error // nil once the tenant has local state to serve
+	haveLocal bool
+	// lastTouch is the last time a read Ensured this tenant; the pull loop
+	// retires itself past IdleAfter.
+	lastTouch time.Time
+	gen       uint64
+	head      uint64
+	healthy   bool
+	lastOK    time.Time
+	lastErr   string
+	pulls     uint64
+	bootstr   uint64
+	applied   uint64
+}
+
+// LagStats is one tenant's replication telemetry, surfaced on the follower's
+// stats endpoint.
+type LagStats struct {
+	// Generation is the tenant's local (replayed) generation.
+	Generation uint64 `json:"generation"`
+	// UpstreamHead is the primary's generation at the last successful pull.
+	UpstreamHead uint64 `json:"upstream_head"`
+	// Lag is UpstreamHead - Generation as of the last contact: how many
+	// applied writes the replica still has to replay.
+	Lag uint64 `json:"lag"`
+	// Healthy reports the last pull succeeded; reads keep serving the local
+	// state either way (graceful failover).
+	Healthy     bool   `json:"healthy"`
+	LastContact string `json:"last_contact,omitempty"`
+	Pulls       uint64 `json:"pulls"`
+	Bootstraps  uint64 `json:"bootstraps"`
+	// RecordsApplied counts WAL records replayed into the local engine.
+	RecordsApplied uint64 `json:"records_applied"`
+	LastError      string `json:"last_error,omitempty"`
+}
+
+// NewFollower builds a follower replicating into reg from opts.Upstream.
+// Close it to stop the pull loops.
+func NewFollower(reg *tenant.Registry, opts FollowerOptions) *Follower {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Follower{
+		reg:     reg,
+		opts:    opts.withDefaults(),
+		ctx:     ctx,
+		cancel:  cancel,
+		tenants: make(map[string]*followTenant),
+	}
+}
+
+// Upstream returns the primary's base URL (the follower's redirect target
+// for writes).
+func (f *Follower) Upstream() string { return f.opts.Upstream }
+
+// Close stops every pull loop and waits for them to exit.
+func (f *Follower) Close() {
+	// Cancel under the mutex: Ensure checks ctx.Err() and does wg.Add in the
+	// same critical section, so a loop is either fully registered before the
+	// cancel (Wait covers it) or never started — no Add racing Wait at zero.
+	f.mu.Lock()
+	f.cancel()
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+// Ensure makes sure the tenant is being replicated, starting its pull loop
+// on first touch, and blocks (bounded by SyncWait) until the tenant has
+// local state to serve. It returns nil once reads can be answered locally —
+// including stale-but-available service while the upstream is down — and the
+// replication error otherwise (an upstream miss maps onto tenant.IsNotFound).
+func (f *Follower) Ensure(name string) error {
+	if !tenant.ValidName(name) {
+		// Same sentinel the registry uses, so the transport maps a bad name
+		// to 400 on followers exactly as it does on primaries.
+		return fmt.Errorf("tenant %q: %w", name, tenant.ErrBadName)
+	}
+	f.mu.Lock()
+	ft, ok := f.tenants[name]
+	if !ok {
+		if f.ctx.Err() != nil {
+			f.mu.Unlock()
+			return fmt.Errorf("replication: follower closed")
+		}
+		ft = &followTenant{name: name, synced: make(chan struct{}), lastTouch: time.Now()}
+		f.tenants[name] = ft
+		f.wg.Add(1)
+		go f.run(ft)
+	}
+	f.mu.Unlock()
+	ft.update(func() { ft.lastTouch = time.Now() })
+
+	select {
+	case <-ft.synced:
+	case <-time.After(f.opts.SyncWait):
+	case <-f.ctx.Done():
+	}
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	if ft.haveLocal {
+		return nil
+	}
+	if ft.syncErr != nil {
+		return ft.syncErr
+	}
+	return fmt.Errorf("replication: tenant %s: initial sync timed out after %v (last error: %s)",
+		name, f.opts.SyncWait, ft.lastErr)
+}
+
+// LagStats reports the tenant's replication telemetry (false when the tenant
+// is not replicated here).
+func (f *Follower) LagStats(name string) (LagStats, bool) {
+	f.mu.Lock()
+	ft, ok := f.tenants[name]
+	f.mu.Unlock()
+	if !ok {
+		return LagStats{}, false
+	}
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	st := LagStats{
+		Generation:     ft.gen,
+		UpstreamHead:   ft.head,
+		Healthy:        ft.healthy,
+		Pulls:          ft.pulls,
+		Bootstraps:     ft.bootstr,
+		RecordsApplied: ft.applied,
+		LastError:      ft.lastErr,
+	}
+	if ft.head > ft.gen {
+		st.Lag = ft.head - ft.gen
+	}
+	if !ft.lastOK.IsZero() {
+		st.LastContact = ft.lastOK.UTC().Format(time.RFC3339Nano)
+	}
+	return st, true
+}
+
+// Tenants lists the replicated tenant names.
+func (f *Follower) Tenants() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	names := make([]string, 0, len(f.tenants))
+	for name := range f.tenants {
+		names = append(names, name)
+	}
+	return names
+}
+
+// run is one tenant's pull loop: bootstrap when there is no local state,
+// then long-poll the primary and apply record batches, falling back to a
+// snapshot bootstrap whenever the apply reports out-of-sync or the primary
+// compacted past us (410).
+func (f *Follower) run(ft *followTenant) {
+	defer f.wg.Done()
+
+	// A SIGKILLed follower restarts with durable local state: serve reads
+	// from it immediately (and catch up in the background) so losing the
+	// upstream never takes reads down with it.
+	gen, err := f.localGen(ft.name)
+	switch {
+	case err == nil:
+		ft.update(func() { ft.gen, ft.haveLocal = gen, true })
+		ft.finishSync(nil)
+	case !tenant.IsNotFound(err):
+		ft.update(func() { ft.lastErr = err.Error() })
+	}
+
+	backoff := f.opts.Backoff
+	for f.ctx.Err() == nil {
+		if f.opts.IdleAfter > 0 && time.Since(ft.touched()) > f.opts.IdleAfter && ft.hasLocal() {
+			// No read has wanted this tenant for a while: retire the loop
+			// (and its standing long-poll) so idle tenants cost nothing and
+			// the local registry may evict them. The next read re-Ensures
+			// and replication resumes from the durable local position.
+			// Re-checked under the map lock so an Ensure that just resolved
+			// this entry almost always keeps its loop; the residual window
+			// (Ensure between the check and the delete) only delays resync
+			// until that tenant's next read.
+			f.mu.Lock()
+			if time.Since(ft.touched()) > f.opts.IdleAfter {
+				delete(f.tenants, ft.name)
+				f.mu.Unlock()
+				return
+			}
+			f.mu.Unlock()
+		}
+		advanced, err := f.step(ft)
+		switch {
+		case err == nil:
+			backoff = f.opts.Backoff
+			if !advanced {
+				continue // idle long-poll round; re-poll immediately
+			}
+		case tenant.IsNotFound(err) && !ft.hasLocal():
+			// The tenant does not exist upstream and we hold nothing local:
+			// report not-found and retire the loop so probing bogus names
+			// costs one snapshot round-trip, not a goroutine forever. The
+			// next read retries from scratch.
+			ft.finishSync(err)
+			f.mu.Lock()
+			delete(f.tenants, ft.name)
+			f.mu.Unlock()
+			return
+		default:
+			ft.update(func() { ft.healthy, ft.lastErr = false, err.Error() })
+			ft.finishSync(err)
+			f.sleep(backoff)
+			if backoff < 16*f.opts.Backoff {
+				backoff *= 2
+			}
+		}
+	}
+}
+
+// step performs one replication round: bootstrap if needed, else one pull +
+// apply. advanced reports whether new records were applied (so the caller
+// can distinguish progress from an idle long-poll).
+func (f *Follower) step(ft *followTenant) (advanced bool, err error) {
+	if !ft.hasLocal() {
+		if err := f.bootstrap(ft); err != nil {
+			return false, err
+		}
+		ft.finishSync(nil)
+		return true, nil
+	}
+	gen := ft.generation()
+	res, err := f.pull(ft.name, gen)
+	if err != nil {
+		return false, err
+	}
+	ft.update(func() {
+		ft.pulls++
+		ft.head = res.head
+		ft.healthy = true
+		ft.lastOK = time.Now()
+		ft.lastErr = ""
+	})
+	if res.snapshotNeeded {
+		if err := f.bootstrap(ft); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	if len(res.records) == 0 {
+		// Caught up and idle. Verify the state checksum: generation equality
+		// plus edge-count equality catches the one divergence generations
+		// cannot see (a policy installed at generation 0 after we
+		// bootstrapped the tenant empty).
+		if gen == res.head && res.edges >= 0 {
+			if edges, err := f.localEdges(ft.name); err == nil && edges != res.edges {
+				if err := f.bootstrap(ft); err != nil {
+					return false, err
+				}
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	newGen, err := f.reg.ApplyReplicated(ft.name, res.records)
+	if err != nil {
+		if tenant.IsOutOfSync(err) {
+			if err := f.bootstrap(ft); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+		return false, err
+	}
+	ft.update(func() {
+		ft.applied += uint64(len(res.records))
+		ft.gen = newGen
+	})
+	return true, nil
+}
+
+// pullResult is one decoded pull response.
+type pullResult struct {
+	records        []storage.Record
+	head           uint64
+	edges          int
+	snapshotNeeded bool
+}
+
+// pull performs one long-poll GET against the primary's pull endpoint.
+func (f *Follower) pull(name string, afterSeq uint64) (pullResult, error) {
+	url := fmt.Sprintf("%s/v1/replicate/%s/pull?after_seq=%d&wait_ms=%d",
+		f.opts.Upstream, name, afterSeq, f.opts.PollWait.Milliseconds())
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return pullResult{}, err
+	}
+	resp, err := f.opts.Client.Do(req)
+	if err != nil {
+		return pullResult{}, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusGone:
+	case http.StatusNotFound:
+		return pullResult{}, fmt.Errorf("replication: pull %s: %w", name, tenant.ErrNotFound)
+	default:
+		return pullResult{}, fmt.Errorf("replication: pull %s: upstream status %d", name, resp.StatusCode)
+	}
+	var res pullResult
+	head, err := strconv.ParseUint(resp.Header.Get(HeaderHead), 10, 64)
+	if err != nil {
+		return pullResult{}, fmt.Errorf("replication: pull %s: bad %s header", name, HeaderHead)
+	}
+	res.head = head
+	res.edges = -1
+	if edges, err := strconv.Atoi(resp.Header.Get(HeaderEdges)); err == nil {
+		res.edges = edges
+	}
+	if resp.StatusCode == http.StatusGone {
+		res.snapshotNeeded = true
+		return res, nil
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPullBody))
+	if err != nil {
+		return pullResult{}, fmt.Errorf("replication: pull %s: read body: %w", name, err)
+	}
+	n, records := storage.DecodeFrames(body)
+	if n != len(body) {
+		// A truncated transfer (or a peer exceeding our read limit, which a
+		// well-behaved source never does — it caps batches in whole frames).
+		// The valid prefix is real history either way: apply it so the
+		// replica makes progress, and let the next pull fetch the rest.
+		// Only a body with no whole frame at all is a hard fault.
+		if len(records) == 0 {
+			return pullResult{}, fmt.Errorf("replication: pull %s: %d trailing bytes undecodable", name, len(body)-n)
+		}
+	}
+	res.records = records
+	return res, nil
+}
+
+// bootstrap fetches the primary's snapshot and installs it locally, leaving
+// the tenant at the snapshot's generation.
+func (f *Follower) bootstrap(ft *followTenant) error {
+	url := fmt.Sprintf("%s/v1/replicate/%s/snapshot", f.opts.Upstream, ft.name)
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.opts.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return fmt.Errorf("replication: snapshot %s: %w", ft.name, tenant.ErrNotFound)
+	default:
+		return fmt.Errorf("replication: snapshot %s: upstream status %d", ft.name, resp.StatusCode)
+	}
+	var payload struct {
+		Seq    uint64          `json:"seq"`
+		Policy json.RawMessage `json:"policy"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxPullBody)).Decode(&payload); err != nil {
+		return fmt.Errorf("replication: snapshot %s: decode: %w", ft.name, err)
+	}
+	if err := f.reg.InstallReplicaSnapshot(ft.name, payload.Policy, payload.Seq); err != nil {
+		return err
+	}
+	ft.update(func() {
+		ft.bootstr++
+		ft.gen = payload.Seq
+		if payload.Seq > ft.head {
+			ft.head = payload.Seq
+		}
+		ft.haveLocal = true
+		ft.healthy = true
+		ft.lastOK = time.Now()
+		ft.lastErr = ""
+	})
+	return nil
+}
+
+// localGen reads the tenant's local generation without blocking
+// (tenant.IsNotFound when there is no durable local state).
+func (f *Follower) localGen(name string) (uint64, error) {
+	gen, _, err := f.reg.WaitGeneration(name, 0, 0)
+	return gen, err
+}
+
+// localEdges counts the local policy's edges — the follower half of the
+// pull checksum.
+func (f *Follower) localEdges(name string) (int, error) {
+	return f.reg.EdgeCount(name)
+}
+
+// sleep blocks for d or until the follower closes.
+func (f *Follower) sleep(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-f.ctx.Done():
+	}
+}
+
+func (ft *followTenant) update(fn func()) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	fn()
+}
+
+func (ft *followTenant) hasLocal() bool {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.haveLocal
+}
+
+func (ft *followTenant) generation() uint64 {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.gen
+}
+
+func (ft *followTenant) touched() time.Time {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.lastTouch
+}
+
+// finishSync concludes the first sync attempt: Ensure unblocks and reads
+// the outcome. Later calls only refresh the recorded error.
+func (ft *followTenant) finishSync(err error) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	ft.syncErr = err
+	if !ft.syncDone {
+		ft.syncDone = true
+		close(ft.synced)
+	}
+}

@@ -1,0 +1,190 @@
+// Package replication streams per-tenant write-ahead logs from a primary
+// rbacd process to follower processes over HTTP — horizontal read fan-out
+// for the authorization service. The primary mounts a Source: a long-poll
+// pull endpoint framed exactly like the on-disk WAL (storage.EncodeFrame /
+// storage.DecodeFrames) plus a snapshot bootstrap endpoint for followers
+// that have no local state or fell behind a compaction. Each follower runs a
+// Follower: per-tenant pull loops that feed pulled record batches through
+// engine.SubmitBatch on a local registry (readers never observe a
+// half-applied batch) and persist them to a local WAL, so a SIGKILLed
+// follower resumes from its own log.
+//
+// Consistency is generation-token based, after the paper's generation-
+// ordered refinement semantics: every write on the primary has a generation,
+// followers apply the same records at the same generations, and a reader
+// holding a write's (tenant, generation) token gets read-your-writes on any
+// replica by demanding min_generation (wait bounded, else 409) — no global
+// coordination, staleness bounded exactly the way the decision cache bounds
+// validity.
+//
+// Wire protocol (mounted under the primary's /v1 mux):
+//
+//	GET /v1/replicate/{tenant}/pull?after_seq=N&wait_ms=M
+//	    200: body = WAL frames of the records with seq > N
+//	         X-Replication-Head: primary generation
+//	         X-Replication-Edges: policy edge count at head (state checksum)
+//	    410: the log was compacted past N — bootstrap from /snapshot
+//	    404: no such tenant
+//	GET /v1/replicate/{tenant}/snapshot
+//	    200: {"seq":G,"policy":{...}} — install, then pull from after_seq=G
+package replication
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"adminrefine/internal/storage"
+	"adminrefine/internal/tenant"
+)
+
+// Header names of the pull response.
+const (
+	// HeaderHead carries the primary's generation for the tenant, measured
+	// on one snapshot together with HeaderEdges.
+	HeaderHead = "X-Replication-Head"
+	// HeaderEdges carries the policy edge count at head — the cheap state
+	// checksum a caught-up follower verifies (see tenant.PullResult.Edges).
+	HeaderEdges = "X-Replication-Edges"
+)
+
+// SourceOptions configures the primary's log-shipping endpoints.
+type SourceOptions struct {
+	// MaxWait caps how long one pull may long-poll server-side regardless of
+	// the wait_ms the follower asked for (default 30s).
+	MaxWait time.Duration
+	// MaxBatchBytes caps one pull response's framed payload (default 4 MiB,
+	// comfortably under the follower's read limit). A backlog larger than
+	// the cap ships across several pulls — the follower re-pulls from its
+	// new position immediately — so a response is never truncated mid-frame.
+	MaxBatchBytes int
+}
+
+// Source serves a registry's per-tenant WALs to pulling followers.
+type Source struct {
+	reg  *tenant.Registry
+	opts SourceOptions
+	// done, when closed, aborts in-flight long-polls: http.Server.Shutdown
+	// waits for active handlers but does not cancel their request contexts,
+	// so a draining primary must wake its parked pulls itself (see Close).
+	done chan struct{}
+}
+
+// NewSource builds the log-shipping source over a registry.
+func NewSource(reg *tenant.Registry, opts SourceOptions) *Source {
+	if opts.MaxWait <= 0 {
+		opts.MaxWait = 30 * time.Second
+	}
+	if opts.MaxBatchBytes <= 0 {
+		opts.MaxBatchBytes = 4 << 20
+	}
+	return &Source{reg: reg, opts: opts, done: make(chan struct{})}
+}
+
+// Close wakes every in-flight long-poll so a graceful server shutdown is
+// not held hostage by parked follower pulls. Idempotent.
+func (s *Source) Close() {
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
+}
+
+// Register mounts the replication endpoints on mux.
+func (s *Source) Register(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/replicate/{tenant}/pull", s.handlePull)
+	mux.HandleFunc("GET /v1/replicate/{tenant}/snapshot", s.handleSnapshot)
+}
+
+// SnapshotPayload is the bootstrap document: the tenant's policy at one
+// generation. Its shape mirrors the on-disk snapshot.json.
+type SnapshotPayload struct {
+	Seq    uint64 `json:"seq"`
+	Policy any    `json:"policy"`
+}
+
+func (s *Source) handlePull(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	q := r.URL.Query()
+	afterSeq, err := strconv.ParseUint(q.Get("after_seq"), 10, 64)
+	if err != nil && q.Get("after_seq") != "" {
+		http.Error(w, "bad after_seq", http.StatusBadRequest)
+		return
+	}
+	wait := time.Duration(0)
+	if ms := q.Get("wait_ms"); ms != "" {
+		n, err := strconv.ParseInt(ms, 10, 64)
+		if err != nil || n < 0 {
+			http.Error(w, "bad wait_ms", http.StatusBadRequest)
+			return
+		}
+		wait = time.Duration(n) * time.Millisecond
+	}
+	if wait > s.opts.MaxWait {
+		wait = s.opts.MaxWait
+	}
+	// The long-poll aborts when the follower disconnects (request context)
+	// or the primary drains (Close).
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	go func() {
+		select {
+		case <-s.done:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	res, err := s.reg.PullWAL(ctx, name, afterSeq, wait)
+	if err != nil {
+		sourceError(w, err)
+		return
+	}
+	w.Header().Set(HeaderHead, strconv.FormatUint(res.Head, 10))
+	w.Header().Set(HeaderEdges, strconv.Itoa(res.Edges))
+	if res.SnapshotNeeded {
+		// The log no longer covers after_seq: the follower must bootstrap.
+		w.WriteHeader(http.StatusGone)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	var buf []byte
+	for _, rec := range res.Records {
+		if buf, err = storage.EncodeFrame(buf, rec); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if len(buf) >= s.opts.MaxBatchBytes {
+			// Whole frames only, never a mid-frame cut: the follower applies
+			// this batch and immediately re-pulls the rest from its new
+			// position (Head in the header shows it the remaining lag).
+			break
+		}
+	}
+	w.Write(buf)
+}
+
+func (s *Source) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	seq, policyJSON, err := s.reg.SnapshotDump(name)
+	if err != nil {
+		sourceError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// Assemble by hand so the policy JSON passes through byte-exact.
+	fmt.Fprintf(w, `{"seq":%d,"policy":%s}`, seq, policyJSON)
+}
+
+func sourceError(w http.ResponseWriter, err error) {
+	switch {
+	case tenant.IsBadName(err):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	case tenant.IsNotFound(err):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

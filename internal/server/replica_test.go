@@ -1,0 +1,258 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/engine"
+	"adminrefine/internal/model"
+	"adminrefine/internal/replication"
+	"adminrefine/internal/tenant"
+	"adminrefine/internal/workload"
+)
+
+// replicaPair stands up a primary server and a follower server replicating
+// from it, both over httptest.
+func replicaPair(t *testing.T) (primary, follower *httptest.Server) {
+	t.Helper()
+	primReg := tenant.New(tenant.Options{Dir: t.TempDir(), Mode: engine.Refined})
+	primary = httptest.NewServer(New(primReg))
+	t.Cleanup(func() {
+		primary.Close()
+		primReg.Close()
+	})
+
+	folReg := tenant.New(tenant.Options{Dir: t.TempDir(), Mode: engine.Refined})
+	fol := replication.NewFollower(folReg, replication.FollowerOptions{
+		Upstream: primary.URL,
+		PollWait: 200 * time.Millisecond,
+		Backoff:  20 * time.Millisecond,
+	})
+	follower = httptest.NewServer(NewWithConfig(Config{
+		Registry:   folReg,
+		Follower:   fol,
+		MinGenWait: 3 * time.Second,
+	}))
+	t.Cleanup(func() {
+		follower.Close()
+		fol.Close()
+		folReg.Close()
+	})
+	return primary, follower
+}
+
+type genEnvelope struct {
+	Results    []AuthorizeResult `json:"results"`
+	Generation uint64            `json:"generation"`
+	Error      string            `json:"error,omitempty"`
+}
+
+func TestReadYourWritesAcrossReplicas(t *testing.T) {
+	primary, follower := replicaPair(t)
+	if code := putPolicy(t, primary.URL, "acme", workload.ChurnPolicy(16, 16)); code != http.StatusNoContent {
+		t.Fatalf("put policy: %d", code)
+	}
+
+	// Write on the primary; the response carries the generation token.
+	var sub struct {
+		Results    []SubmitResult `json:"results"`
+		Generation uint64         `json:"generation"`
+	}
+	cmds := wire(t, workload.ChurnGrant(0, 16, 16), workload.ChurnGrant(1, 16, 16))
+	if code := doJSON(t, http.MethodPost, primary.URL+"/v1/tenants/acme/submit", cmds, &sub); code != http.StatusOK {
+		t.Fatalf("submit: %d", code)
+	}
+	if sub.Generation != 2 {
+		t.Fatalf("submit generation token %d, want 2", sub.Generation)
+	}
+
+	// Read on the follower demanding that generation: the follower waits for
+	// replication to catch up and never serves a staler answer.
+	read := wire(t, workload.ChurnGrant(2, 16, 16))
+	read.MinGeneration = sub.Generation
+	var auth genEnvelope
+	if code := doJSON(t, http.MethodPost, follower.URL+"/v1/tenants/acme/authorize", read, &auth); code != http.StatusOK {
+		t.Fatalf("follower authorize: %d", code)
+	}
+	if auth.Generation < sub.Generation {
+		t.Fatalf("follower served generation %d below token %d", auth.Generation, sub.Generation)
+	}
+	if len(auth.Results) != 1 || !auth.Results[0].Allowed {
+		t.Fatalf("follower decision %+v", auth.Results)
+	}
+}
+
+func TestMinGenerationUnreachableIs409(t *testing.T) {
+	primary, follower := replicaPair(t)
+	if code := putPolicy(t, primary.URL, "acme", workload.ChurnPolicy(8, 8)); code != http.StatusNoContent {
+		t.Fatalf("put policy: %d", code)
+	}
+	// Sync the follower once so the tenant exists there.
+	var auth genEnvelope
+	if code := doJSON(t, http.MethodPost, follower.URL+"/v1/tenants/acme/authorize",
+		wire(t, workload.ChurnGrant(0, 8, 8)), &auth); code != http.StatusOK {
+		t.Fatalf("follower warmup authorize: %d", code)
+	}
+
+	// Demand a generation the primary never produced: bounded wait, then 409
+	// with the replica's current generation — never a stale 200.
+	req := wire(t, workload.ChurnGrant(0, 8, 8))
+	req.MinGeneration = 1 << 40
+	var stale struct {
+		Error         string `json:"error"`
+		Generation    uint64 `json:"generation"`
+		MinGeneration uint64 `json:"min_generation"`
+	}
+	code := doJSON(t, http.MethodPost, follower.URL+"/v1/tenants/acme/authorize", req, &stale)
+	if code != http.StatusConflict {
+		t.Fatalf("unreachable min_generation: status %d, want 409", code)
+	}
+	if stale.MinGeneration != req.MinGeneration || stale.Error == "" {
+		t.Fatalf("409 body %+v", stale)
+	}
+}
+
+func TestFollowerRedirectsWrites(t *testing.T) {
+	primary, follower := replicaPair(t)
+	if code := putPolicy(t, primary.URL, "acme", workload.ChurnPolicy(8, 8)); code != http.StatusNoContent {
+		t.Fatalf("put policy: %d", code)
+	}
+
+	// A redirect-following client (the default) transparently writes to the
+	// primary through the follower.
+	var sub struct {
+		Results    []SubmitResult `json:"results"`
+		Generation uint64         `json:"generation"`
+	}
+	code := doJSON(t, http.MethodPost, follower.URL+"/v1/tenants/acme/submit",
+		wire(t, workload.ChurnGrant(0, 8, 8)), &sub)
+	if code != http.StatusOK {
+		t.Fatalf("submit via follower: %d", code)
+	}
+	if len(sub.Results) != 1 || sub.Results[0].Outcome != "applied" || sub.Generation != 1 {
+		t.Fatalf("submit via follower: %+v", sub)
+	}
+
+	// A non-following client sees the 307 and the upstream Location.
+	noRedirect := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	req, err := http.NewRequest(http.MethodPut, follower.URL+"/v1/tenants/acme/policy", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := noRedirect.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("follower PUT policy: status %d, want 307", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != primary.URL+"/v1/tenants/acme/policy" {
+		t.Fatalf("redirect location %q", loc)
+	}
+}
+
+func TestFollowerStatsCarryReplication(t *testing.T) {
+	primary, follower := replicaPair(t)
+	if code := putPolicy(t, primary.URL, "acme", workload.ChurnPolicy(8, 8)); code != http.StatusNoContent {
+		t.Fatalf("put policy: %d", code)
+	}
+	var auth genEnvelope
+	if code := doJSON(t, http.MethodPost, follower.URL+"/v1/tenants/acme/authorize",
+		wire(t, workload.ChurnGrant(0, 8, 8)), &auth); code != http.StatusOK {
+		t.Fatalf("follower authorize: %d", code)
+	}
+
+	resp, err := http.Get(follower.URL + "/v1/tenants/acme/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Tenant      string                `json:"tenant"`
+		Replication *replication.LagStats `json:"replication"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Replication == nil {
+		t.Fatal("follower stats missing replication block")
+	}
+	if !st.Replication.Healthy || st.Replication.Bootstraps == 0 {
+		t.Fatalf("replication stats %+v", st.Replication)
+	}
+
+	// Primary stats stay shaped as before (no replication block) and
+	// healthz names the roles.
+	resp2, err := http.Get(primary.URL + "/v1/tenants/acme/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp2.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["replication"]; ok {
+		t.Fatal("primary stats should not carry a replication block")
+	}
+	var health struct {
+		Role     string `json:"role"`
+		Upstream string `json:"upstream"`
+	}
+	if code := doJSON(t, http.MethodGet, follower.URL+"/healthz", nil, &health); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if health.Role != "follower" || health.Upstream != primary.URL {
+		t.Fatalf("follower healthz %+v", health)
+	}
+}
+
+// TestPrimaryMinGeneration covers the token on a single node: a satisfied
+// token answers immediately, the generation echo matches, and explain
+// honours the token too.
+func TestPrimaryMinGeneration(t *testing.T) {
+	ts := newTestServer(t)
+	if code := putPolicy(t, ts.URL, "acme", workload.ChurnPolicy(8, 8)); code != http.StatusNoContent {
+		t.Fatalf("put policy: %d", code)
+	}
+	var sub struct {
+		Generation uint64 `json:"generation"`
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/submit",
+		wire(t, workload.ChurnGrant(0, 8, 8)), &sub); code != http.StatusOK {
+		t.Fatal("submit failed")
+	}
+	req := wire(t, workload.ChurnGrant(1, 8, 8))
+	req.MinGeneration = sub.Generation
+	var auth genEnvelope
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/authorize", req, &auth); code != http.StatusOK {
+		t.Fatalf("authorize with satisfied token: %d", code)
+	}
+	if auth.Generation != sub.Generation {
+		t.Fatalf("authorize generation %d, want %d", auth.Generation, sub.Generation)
+	}
+
+	exp := ExplainRequest{MinGeneration: sub.Generation}
+	wc, err := EncodeCommand(command.Grant("churnadmin", model.User("u0001"), model.Role("c0001")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp.Command = wc
+	var expOut struct {
+		Explanation string `json:"explanation"`
+		Generation  uint64 `json:"generation"`
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/explain", exp, &expOut); code != http.StatusOK {
+		t.Fatalf("explain with token: %d", code)
+	}
+	if expOut.Generation != sub.Generation || expOut.Explanation == "" {
+		t.Fatalf("explain response %+v", expOut)
+	}
+}

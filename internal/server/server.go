@@ -7,15 +7,30 @@
 //
 // Routes (all under /v1, tenant names per tenant.ValidName):
 //
-//	POST /v1/tenants/{tenant}/authorize  {"commands":[...]} → {"results":[{"allowed":...},...]}
-//	POST /v1/tenants/{tenant}/submit     {"commands":[...]} → {"results":[{"outcome":...},...]}
-//	POST /v1/tenants/{tenant}/explain    {"command":{...}}  → {"explanation":"..."}
-//	PUT  /v1/tenants/{tenant}/policy     RPL source         → 204 (409 once provisioned)
-//	GET  /v1/tenants/{tenant}/stats                         → tenant.Stats
-//	GET  /healthz                                           → liveness + uptime
+//	POST /v1/tenants/{tenant}/authorize  {"commands":[...],"min_generation":G} → {"results":[{"allowed":...},...],"generation":G'}
+//	POST /v1/tenants/{tenant}/submit     {"commands":[...]}                    → {"results":[{"outcome":...},...],"generation":G'}
+//	POST /v1/tenants/{tenant}/explain    {"command":{...},"min_generation":G}  → {"explanation":"...","generation":G'}
+//	PUT  /v1/tenants/{tenant}/policy     RPL source                            → 204 (409 once provisioned)
+//	GET  /v1/tenants/{tenant}/stats                                            → tenant.Stats (+ "replication" on followers)
+//	GET  /healthz                                                              → liveness + uptime + role
+//	GET  /v1/replicate/{tenant}/...                                            → log shipping (primary only; see internal/replication)
 //
 // Reads (authorize, explain, stats) of a tenant with no durable state return
 // 404 and never create one; writes (submit, policy) create the tenant.
+//
+// Generation tokens: every response carries the engine generation it was
+// served at, and every write response's generation is the token for
+// read-your-writes. A read carrying min_generation waits (bounded by
+// Config.MinGenWait) until the serving replica reaches that generation and
+// otherwise fails with 409 and the replica's current generation — never a
+// stale answer. On a primary the generation is current by construction; on a
+// follower it advances as the replication pull loop applies records.
+//
+// Roles: a primary additionally serves the replication source endpoints; a
+// follower (Config.Follower non-nil) serves reads from its replicated state
+// — starting a tenant's replication on first touch — and answers writes with
+// a 307 redirect to the upstream primary, so a client that follows
+// redirects can talk to any replica.
 //
 // Commands travel as {"actor","op","from","to"} with vertices in the wire
 // form of model.MarshalVertex — the same encoding the WAL uses, so a logged
@@ -34,6 +49,7 @@ import (
 	"adminrefine/internal/engine"
 	"adminrefine/internal/model"
 	"adminrefine/internal/parser"
+	"adminrefine/internal/replication"
 	"adminrefine/internal/tenant"
 )
 
@@ -57,24 +73,131 @@ var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
 func getScratch() *batchScratch  { return scratchPool.Get().(*batchScratch) }
 func putScratch(s *batchScratch) { scratchPool.Put(s) }
 
-// Server is the HTTP facade over a tenant registry.
-type Server struct {
-	reg   *tenant.Registry
-	mux   *http.ServeMux
-	start time.Time
+// Config configures a Server beyond its registry.
+type Config struct {
+	// Registry is the tenant registry served (required).
+	Registry *tenant.Registry
+	// Follower, when non-nil, switches the server into replica mode: reads
+	// ensure replication and serve the local replayed state, writes redirect
+	// to the follower's upstream primary.
+	Follower *replication.Follower
+	// MinGenWait bounds how long a read carrying min_generation may block
+	// waiting for the replica to catch up before failing with 409 (default
+	// 2s).
+	MinGenWait time.Duration
+	// ReplicationMaxWait caps the primary's long-poll pull hold (default
+	// 30s; ignored in follower mode).
+	ReplicationMaxWait time.Duration
 }
 
-// New builds the server. The registry stays owned by the caller (close it
-// after the HTTP listener drains).
+// Server is the HTTP facade over a tenant registry — a primary (serving its
+// WAL to followers) or a follower (serving replicated reads).
+type Server struct {
+	reg        *tenant.Registry
+	follower   *replication.Follower
+	source     *replication.Source
+	minGenWait time.Duration
+	mux        *http.ServeMux
+	start      time.Time
+}
+
+// New builds a primary server. The registry stays owned by the caller (close
+// it after the HTTP listener drains).
 func New(reg *tenant.Registry) *Server {
-	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now()}
+	return NewWithConfig(Config{Registry: reg})
+}
+
+// NewWithConfig builds the server in the role cfg implies: a primary mounts
+// the replication source endpoints, a follower (cfg.Follower non-nil)
+// redirects writes upstream instead.
+func NewWithConfig(cfg Config) *Server {
+	if cfg.MinGenWait <= 0 {
+		cfg.MinGenWait = 2 * time.Second
+	}
+	s := &Server{
+		reg:        cfg.Registry,
+		follower:   cfg.Follower,
+		minGenWait: cfg.MinGenWait,
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+	}
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/authorize", s.handleAuthorize)
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/submit", s.handleSubmit)
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/explain", s.handleExplain)
 	s.mux.HandleFunc("PUT /v1/tenants/{tenant}/policy", s.handlePutPolicy)
 	s.mux.HandleFunc("GET /v1/tenants/{tenant}/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.follower == nil {
+		s.source = replication.NewSource(s.reg, replication.SourceOptions{MaxWait: cfg.ReplicationMaxWait})
+		s.source.Register(s.mux)
+	}
 	return s
+}
+
+// Close releases the server's replication resources: on a primary it wakes
+// every parked follower long-poll so http.Server.Shutdown can drain without
+// waiting out their poll budgets (Shutdown does not cancel in-flight request
+// contexts). Call it before or alongside Shutdown.
+func (s *Server) Close() {
+	if s.source != nil {
+		s.source.Close()
+	}
+}
+
+// role names the server's replication role for stats and health.
+func (s *Server) role() string {
+	if s.follower != nil {
+		return "follower"
+	}
+	return "primary"
+}
+
+// ensureReplica starts/joins replication of the tenant in follower mode; a
+// no-op on primaries. It reports whether the request may proceed.
+func (s *Server) ensureReplica(w http.ResponseWriter, name string) bool {
+	if s.follower == nil {
+		return true
+	}
+	if err := s.follower.Ensure(name); err != nil {
+		tenantError(w, err)
+		return false
+	}
+	return true
+}
+
+// awaitGeneration enforces a min_generation token: it waits (bounded by
+// MinGenWait and the request context) for the serving replica to reach min
+// and writes the 409 staleness answer when it cannot — the replica never
+// serves a read older than the client's token.
+func (s *Server) awaitGeneration(w http.ResponseWriter, r *http.Request, name string, min uint64) bool {
+	if min == 0 {
+		return true
+	}
+	gen, ok, err := s.reg.WaitGenerationCtx(r.Context(), name, min, s.minGenWait)
+	if err != nil {
+		tenantError(w, err)
+		return false
+	}
+	if !ok {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error":          fmt.Sprintf("replica at generation %d, need %d", gen, min),
+			"generation":     gen,
+			"min_generation": min,
+		})
+		return false
+	}
+	return true
+}
+
+// redirectUpstream answers a write on a follower: 307 preserves the method
+// and body, so redirect-following clients transparently write to the
+// primary.
+func (s *Server) redirectUpstream(w http.ResponseWriter, r *http.Request) {
+	target := s.follower.Upstream() + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	http.Redirect(w, r, target, http.StatusTemporaryRedirect)
 }
 
 // ServeHTTP implements http.Handler.
@@ -130,6 +253,10 @@ func EncodeCommand(c command.Command) (WireCommand, error) {
 // BatchRequest carries the commands of an authorize or submit call.
 type BatchRequest struct {
 	Commands []WireCommand `json:"commands"`
+	// MinGeneration is the read-your-writes token on authorize: the serving
+	// replica answers at a generation at least this large (waiting bounded)
+	// or fails with 409 — never with a staler state. Ignored on submit.
+	MinGeneration uint64 `json:"min_generation,omitempty"`
 }
 
 // AuthorizeResult is one authorization decision on the wire.
@@ -148,6 +275,8 @@ type SubmitResult struct {
 // ExplainRequest carries the command of an explain call.
 type ExplainRequest struct {
 	Command WireCommand `json:"command"`
+	// MinGeneration is the same consistency token BatchRequest carries.
+	MinGeneration uint64 `json:"min_generation,omitempty"`
 }
 
 // decodeBatch decodes the request body into the scratch's reused command
@@ -157,10 +286,10 @@ func (s *Server) decodeBatch(sc *batchScratch, w http.ResponseWriter, r *http.Re
 	// Zero the reused elements before decoding: encoding/json merges into
 	// existing slice elements, so without this a command that omits a field
 	// would silently inherit that field from a previous request on the same
-	// pooled scratch.
+	// pooled scratch. The scalar fields (MinGeneration) need the same reset.
 	full := sc.req.Commands[:cap(sc.req.Commands)]
 	clear(full)
-	sc.req.Commands = full[:0]
+	sc.req = BatchRequest{Commands: full[:0]}
 	if err := json.NewDecoder(r.Body).Decode(&sc.req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return nil, false
@@ -184,10 +313,14 @@ func (s *Server) decodeBatch(sc *batchScratch, w http.ResponseWriter, r *http.Re
 	return sc.cmds, true
 }
 
-// batchResponse is the wire envelope of the batched endpoints.
+// batchResponse is the wire envelope of the batched endpoints. Generation
+// is the engine generation the batch was served at: on authorize, the
+// staleness bound of every decision; on submit, the read-your-writes token
+// for subsequent min_generation reads against any replica.
 type batchResponse struct {
-	Results any    `json:"results"`
-	Error   string `json:"error,omitempty"`
+	Results    any    `json:"results"`
+	Generation uint64 `json:"generation"`
+	Error      string `json:"error,omitempty"`
 }
 
 func (s *Server) handleAuthorize(w http.ResponseWriter, r *http.Request) {
@@ -197,7 +330,11 @@ func (s *Server) handleAuthorize(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	results, err := s.reg.AuthorizeBatchInto(r.PathValue("tenant"), cmds, sc.results[:0])
+	name := r.PathValue("tenant")
+	if !s.ensureReplica(w, name) || !s.awaitGeneration(w, r, name, sc.req.MinGeneration) {
+		return
+	}
+	results, gen, err := s.reg.AuthorizeBatchInto(name, cmds, sc.results[:0])
 	if err != nil {
 		tenantError(w, err)
 		return
@@ -213,10 +350,14 @@ func (s *Server) handleAuthorize(w http.ResponseWriter, r *http.Request) {
 			out[i].Justification = res.Justification.String()
 		}
 	}
-	writeJSON(w, http.StatusOK, batchResponse{Results: out})
+	writeJSON(w, http.StatusOK, batchResponse{Results: out, Generation: gen})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.follower != nil {
+		s.redirectUpstream(w, r)
+		return
+	}
 	sc := getScratch()
 	defer putScratch(sc)
 	cmds, ok := s.decodeBatch(sc, w, r)
@@ -224,7 +365,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("tenant")
-	results, err := s.reg.SubmitBatch(name, cmds)
+	results, gen, err := s.reg.SubmitBatch(name, cmds)
 	if err != nil && len(results) == 0 {
 		tenantError(w, err)
 		return
@@ -239,7 +380,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			out[i].Justification = res.Justification.String()
 		}
 	}
-	body := batchResponse{Results: out}
+	body := batchResponse{Results: out, Generation: gen}
 	status := http.StatusOK
 	if err != nil {
 		// Commit-hook (durability) failure mid-batch: report what was
@@ -261,15 +402,23 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	text, err := s.reg.Explain(r.PathValue("tenant"), c)
+	name := r.PathValue("tenant")
+	if !s.ensureReplica(w, name) || !s.awaitGeneration(w, r, name, req.MinGeneration) {
+		return
+	}
+	text, gen, err := s.reg.Explain(name, c)
 	if err != nil {
 		tenantError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"explanation": text})
+	writeJSON(w, http.StatusOK, map[string]any{"explanation": text, "generation": gen})
 }
 
 func (s *Server) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
+	if s.follower != nil {
+		s.redirectUpstream(w, r)
+		return
+	}
 	src, err := io.ReadAll(r.Body)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
@@ -295,21 +444,43 @@ func (s *Server) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// statsResponse wraps tenant stats with the follower's replication
+// telemetry; the embedding keeps the primary's wire shape unchanged.
+type statsResponse struct {
+	tenant.Stats
+	Replication *replication.LagStats `json:"replication,omitempty"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st, err := s.reg.Stats(r.PathValue("tenant"))
+	name := r.PathValue("tenant")
+	if !s.ensureReplica(w, name) {
+		return
+	}
+	st, err := s.reg.Stats(name)
 	if err != nil {
 		tenantError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	out := statsResponse{Stats: st}
+	if s.follower != nil {
+		if lag, ok := s.follower.LagStats(name); ok {
+			out.Replication = &lag
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":   "ok",
+		"role":     s.role(),
 		"uptime":   time.Since(s.start).Round(time.Millisecond).String(),
 		"resident": s.reg.Resident(),
-	})
+	}
+	if s.follower != nil {
+		body["upstream"] = s.follower.Upstream()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

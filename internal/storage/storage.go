@@ -116,11 +116,29 @@ type Store struct {
 	opts Options
 	f    *os.File
 	seq  int
+	// snapBase is the sequence number the on-disk snapshot covers; the log
+	// holds exactly the records in (snapBase, seq]. A replication pull for
+	// records at or below snapBase cannot be served from the log — the
+	// follower needs a snapshot bootstrap (see ReadSince).
+	snapBase int
+	// tail caches the most recent records in memory (capped at maxTail,
+	// invariant: every record with Seq in (tailBase, seq], whether or not a
+	// head compaction already truncated it from the file), so the
+	// replication hot path — followers pulling at or near the head — never
+	// re-reads the log file and survives compactions without snapshot
+	// bootstraps. ReadSince falls back to the file only for a position older
+	// than tailBase but still at or above snapBase.
+	tail     []Record
+	tailBase int
 	// sinceCompact counts log records written since the last compaction
 	// (records already in the log at Open count too): the compaction-trigger
 	// signal.
 	sinceCompact int
 }
+
+// maxTail caps the in-memory record tail; with the default compaction
+// budget the whole log fits.
+const maxTail = 2048
 
 // snapshotMeta wraps the policy snapshot with its log position.
 type snapshotMeta struct {
@@ -153,6 +171,7 @@ func Open(dir string, opts Options) (*Store, *policy.Policy, Recovery, error) {
 	} else if !os.IsNotExist(err) {
 		return nil, nil, rec, err
 	}
+	snapSeq := seq
 
 	// Replay the log.
 	logPath := filepath.Join(dir, "wal.log")
@@ -204,8 +223,26 @@ func Open(dir string, opts Options) (*Store, *policy.Policy, Recovery, error) {
 		seq = r.Seq
 	}
 
-	s := &Store{dir: dir, opts: opts, f: f, seq: seq, sinceCompact: len(records)}
+	s := &Store{dir: dir, opts: opts, f: f, seq: seq, snapBase: snapSeq, sinceCompact: len(records)}
+	// Seed the in-memory tail with the decoded log (records at or below
+	// snapBase, if a crash mid-compaction left any, are filtered at serve
+	// time exactly as the file path would).
+	s.tailBase = snapSeq
+	for _, r := range records {
+		s.appendTailLocked(r)
+	}
 	return s, pol, rec, nil
+}
+
+// appendTailLocked adds one record to the in-memory tail, trimming the
+// oldest half past the cap. Caller holds s.mu (or owns s exclusively).
+func (s *Store) appendTailLocked(r Record) {
+	s.tail = append(s.tail, r)
+	if len(s.tail) > maxTail {
+		drop := len(s.tail) / 2
+		s.tailBase = s.tail[drop-1].Seq
+		s.tail = append(s.tail[:0], s.tail[drop:]...)
+	}
 }
 
 // OpenEngine opens the store and stands a snapshot engine up on the
@@ -248,14 +285,30 @@ func readAll(f *os.File) (validEnd int64, records []Record, err error) {
 	if len(data) < len(logMagic) || string(data[:len(logMagic)]) != logMagic {
 		return 0, nil, fmt.Errorf("storage: wal.log has no valid header")
 	}
-	off := len(logMagic)
+	n, records := DecodeFrames(data[len(logMagic):])
+	return int64(len(logMagic) + n), records, nil
+}
+
+// maxFrameBytes bounds one frame's payload; larger length prefixes are
+// treated as a torn/corrupt tail rather than an allocation request.
+const maxFrameBytes = 1 << 28
+
+// DecodeFrames parses length-prefixed, CRC-checked record frames from data:
+// the WAL record stream after the file magic, and exactly the body of a
+// replication pull response (the two wire formats agree by construction, so
+// a follower applies what the primary logged). It returns the offset one
+// past the last whole valid frame and the decoded records; a torn, corrupt
+// or undecodable tail simply ends the scan. DecodeFrames never panics on
+// arbitrary input (fuzzed by FuzzWALDecode).
+func DecodeFrames(data []byte) (validEnd int, records []Record) {
+	off := 0
 	for {
 		if off+8 > len(data) {
 			break // torn length/crc header
 		}
 		n := binary.LittleEndian.Uint32(data[off:])
 		crc := binary.LittleEndian.Uint32(data[off+4:])
-		if n > 1<<28 { // implausible record: treat as torn tail
+		if n > maxFrameBytes { // implausible record: treat as torn tail
 			break
 		}
 		if off+8+int(n) > len(data) {
@@ -272,7 +325,21 @@ func readAll(f *os.File) (validEnd int64, records []Record, err error) {
 		records = append(records, r)
 		off += 8 + int(n)
 	}
-	return int64(off), records, nil
+	return off, records
+}
+
+// EncodeFrame appends r's length-prefix + CRC frame to buf, returning the
+// extended buffer — the inverse of DecodeFrames for one record.
+func EncodeFrame(buf []byte, r Record) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return buf, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...), nil
 }
 
 // Append logs one audit entry. Safe for concurrent use.
@@ -318,14 +385,10 @@ func (s *Store) AppendStep(seq int, res command.StepResult) error {
 // AppendRecord logs one record with length-prefix + CRC framing. Safe for
 // concurrent use.
 func (s *Store) AppendRecord(r Record) error {
-	payload, err := json.Marshal(r)
+	buf, err := EncodeFrame(nil, r)
 	if err != nil {
 		return err
 	}
-	buf := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
-	copy(buf[8:], payload)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -343,6 +406,7 @@ func (s *Store) AppendRecord(r Record) error {
 	if r.Seq > s.seq {
 		s.seq = r.Seq
 	}
+	s.appendTailLocked(r)
 	s.sinceCompact++
 	return nil
 }
@@ -372,6 +436,23 @@ func (s *Store) Attach(m *monitor.Monitor, onErr func(error)) {
 func (s *Store) Compact(p *policy.Policy) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.compactLocked(p, s.seq)
+}
+
+// CompactAt installs p as the snapshot at an explicit sequence number at or
+// above the current one, truncating the log and advancing Seq — the follower
+// bootstrap path, where the snapshot state arrives from the upstream primary
+// rather than the local engine (see internal/replication).
+func (s *Store) CompactAt(p *policy.Policy, seq int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq < s.seq {
+		return fmt.Errorf("storage: CompactAt seq %d below current %d", seq, s.seq)
+	}
+	return s.compactLocked(p, seq)
+}
+
+func (s *Store) compactLocked(p *policy.Policy, seq int) error {
 	if s.f == nil {
 		return fmt.Errorf("storage: store closed")
 	}
@@ -379,7 +460,7 @@ func (s *Store) Compact(p *policy.Policy) error {
 	if err != nil {
 		return err
 	}
-	meta, err := json.Marshal(snapshotMeta{Seq: s.seq, Policy: polData})
+	meta, err := json.Marshal(snapshotMeta{Seq: seq, Policy: polData})
 	if err != nil {
 		return err
 	}
@@ -397,11 +478,81 @@ func (s *Store) Compact(p *policy.Policy) error {
 	if _, err := s.f.Seek(0, io.SeekEnd); err != nil {
 		return err
 	}
+	if seq != s.seq {
+		// Snapshot installed at a different position (replica bootstrap
+		// jump): the cached records do not connect to it — drop them.
+		s.tail = s.tail[:0]
+		s.tailBase = seq
+	}
+	// A compaction at the current head keeps the tail: the truncated
+	// records remain valid, servable history, so a follower lagging by a
+	// few records replays them incrementally instead of paying a snapshot
+	// bootstrap every compaction cycle.
+	s.seq = seq
+	s.snapBase = seq
 	s.sinceCompact = 0
 	if s.opts.Sync {
 		return s.f.Sync()
 	}
 	return nil
+}
+
+// SnapBase reports the sequence number the on-disk snapshot covers; the log
+// serves exactly the records in (SnapBase, Seq].
+func (s *Store) SnapBase() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapBase
+}
+
+// ReadSince returns the logged records with sequence numbers above afterSeq,
+// in order. gap reports that the log cannot serve that position because a
+// compaction folded records at or below its snapshot base into the snapshot;
+// the caller must bootstrap from a snapshot instead (see
+// internal/replication). Pulls at or near the head — the replication steady
+// state — are served from the in-memory tail without touching the file.
+func (s *Store) ReadSince(afterSeq int) (records []Record, gap bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil, false, fmt.Errorf("storage: store closed")
+	}
+	if afterSeq >= s.seq {
+		return nil, false, nil
+	}
+	if afterSeq >= s.tailBase {
+		// The tail holds every record with Seq > tailBase — including
+		// records a head compaction already truncated from the file, so
+		// near-head pulls keep replaying incrementally across compactions.
+		for _, r := range s.tail {
+			if r.Seq > afterSeq {
+				records = append(records, r)
+			}
+		}
+		return records, false, nil
+	}
+	if afterSeq < s.snapBase {
+		return nil, true, nil
+	}
+	// The position predates the cached tail but is still in the log (the
+	// tail cap trimmed it): fall back to decoding the file. Cold path — it
+	// only runs for a follower more than maxTail records behind yet not past
+	// the last compaction. readAll seeks to the start; restore the append
+	// position before inspecting its error so a failed read never leaves
+	// the next append mid-file.
+	_, recs, rerr := readAll(s.f)
+	if _, err := s.f.Seek(0, io.SeekEnd); err != nil {
+		return nil, false, err
+	}
+	if rerr != nil {
+		return nil, false, rerr
+	}
+	for _, r := range recs {
+		if r.Seq > afterSeq {
+			records = append(records, r)
+		}
+	}
+	return records, false, nil
 }
 
 // Seq returns the highest sequence number seen.

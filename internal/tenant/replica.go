@@ -1,0 +1,184 @@
+// Replication entry points of the Registry: the primary side serves its
+// per-tenant WAL to pullers (PullWAL, SnapshotDump) and the follower side
+// applies what it pulled (ApplyReplicated, InstallReplicaSnapshot). The
+// transport lives in internal/replication; this file is the storage/engine
+// coupling — a pulled record batch flows through engine.SubmitBatch, so a
+// follower re-runs the transition function on an identical pre-state and
+// readers never observe a half-applied batch.
+package tenant
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/policy"
+	"adminrefine/internal/storage"
+)
+
+// errOutOfSync marks a replication apply that cannot extend the local state:
+// a sequence gap (the primary compacted past us) or a divergent replay (a
+// replicated command stepped differently than the primary logged). Either
+// way the cure is a snapshot bootstrap, not a retry.
+var errOutOfSync = errors.New("replica out of sync")
+
+// IsOutOfSync reports whether err calls for a snapshot bootstrap: the
+// tenant's local state can no longer be extended record-by-record.
+func IsOutOfSync(err error) bool { return errors.Is(err, errOutOfSync) }
+
+// PullResult is one answer of the primary's log-shipping endpoint.
+type PullResult struct {
+	// Records are the WAL records with sequence numbers above the requested
+	// afterSeq, in order. Empty when the wait timed out with no new writes.
+	Records []storage.Record
+	// Head is the tenant's generation on the primary, measured together with
+	// Edges on one snapshot.
+	Head uint64
+	// SnapshotNeeded reports that the log no longer covers afterSeq (a
+	// compaction folded it into the snapshot): the puller must bootstrap
+	// from SnapshotDump instead.
+	SnapshotNeeded bool
+	// Edges counts the policy's edges at Head — a cheap state checksum. A
+	// follower that believes itself caught up (its generation equals Head and
+	// no records were returned) verifies its own edge count against this and
+	// treats a mismatch as out-of-sync. This closes the one hole generation
+	// numbers alone cannot see: a policy installed at generation 0 after the
+	// follower bootstrapped an empty tenant.
+	Edges int
+}
+
+// PullWAL serves one log-shipping round for a tenant: it long-polls (bounded
+// by wait and ctx) until the tenant's generation passes afterSeq, then
+// returns every logged record above afterSeq together with the current head.
+// Reads never create tenants, so pulling an unknown name reports not-found.
+func (r *Registry) PullWAL(ctx context.Context, name string, afterSeq uint64, wait time.Duration) (PullResult, error) {
+	t, err := r.acquire(name, false)
+	if err != nil {
+		return PullResult{}, err
+	}
+	defer t.release()
+	t.engine().WaitGenerationCtx(ctx, afterSeq+1, wait)
+	recs, gap, err := t.store.ReadSince(int(afterSeq))
+	if err != nil {
+		return PullResult{}, err
+	}
+	s := t.engine().Snapshot()
+	head := s.Generation()
+	edges := s.Policy().NumEdges()
+	s.Close()
+	// WAL appends run ahead of snapshot publication (write-ahead), so a
+	// mid-commit pull may ship records beyond the published generation;
+	// report a head covering them.
+	if n := len(recs); n > 0 && uint64(recs[n-1].Seq) > head {
+		head = uint64(recs[n-1].Seq)
+	}
+	return PullResult{Records: recs, Head: head, SnapshotNeeded: gap, Edges: edges}, nil
+}
+
+// EdgeCount reports the tenant policy's edge count (UA+RH+PA) — the
+// follower's half of the replication state checksum. O(1) per call, unlike
+// Stats (which walks the role hierarchy for chain depths).
+func (r *Registry) EdgeCount(name string) (int, error) {
+	t, err := r.acquire(name, false)
+	if err != nil {
+		return 0, err
+	}
+	defer t.release()
+	s := t.engine().Snapshot()
+	defer s.Close()
+	return s.Policy().NumEdges(), nil
+}
+
+// SnapshotDump serializes the tenant's current policy together with the
+// generation it reflects — the bootstrap payload a follower installs when it
+// has no local state or the primary's log was compacted past its position.
+func (r *Registry) SnapshotDump(name string) (uint64, []byte, error) {
+	t, err := r.acquire(name, false)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer t.release()
+	s := t.engine().Snapshot()
+	defer s.Close()
+	data, err := json.Marshal(s.Policy())
+	if err != nil {
+		return 0, nil, err
+	}
+	return s.Generation(), data, nil
+}
+
+// InstallReplicaSnapshot replaces the tenant's state with a snapshot pulled
+// from the upstream primary: the policy becomes the durable on-disk snapshot
+// at seq and a fresh engine resumes from there. Installing a snapshot behind
+// the local generation is refused — replication never moves a tenant
+// backwards.
+func (r *Registry) InstallReplicaSnapshot(name string, policyJSON []byte, seq uint64) error {
+	t, err := r.acquire(name, true)
+	if err != nil {
+		return err
+	}
+	defer t.release()
+	p := policy.New()
+	if err := json.Unmarshal(policyJSON, p); err != nil {
+		return fmt.Errorf("tenant %s: replica snapshot: %w", name, err)
+	}
+	t.submu.Lock()
+	defer t.submu.Unlock()
+	if gen := t.engine().Generation(); seq < gen {
+		return fmt.Errorf("tenant %s: replica snapshot at %d behind local generation %d", name, seq, gen)
+	}
+	return r.installAt(t, p, seq)
+}
+
+// ApplyReplicated extends the tenant's state with records pulled from the
+// upstream primary, feeding them as one engine.SubmitBatch so readers never
+// observe a half-applied batch and the local WAL (via the engine's commit
+// hook) logs exactly what the primary logged. Records at or below the local
+// generation are skipped (pull overlap on reconnect); a sequence gap or a
+// replay that converges to a different generation than the primary's reports
+// out-of-sync (see IsOutOfSync) and the caller bootstraps from a snapshot.
+// It returns the tenant's generation after the apply.
+func (r *Registry) ApplyReplicated(name string, records []storage.Record) (uint64, error) {
+	t, err := r.acquire(name, true)
+	if err != nil {
+		return 0, err
+	}
+	defer t.release()
+	t.submu.Lock()
+	defer t.submu.Unlock()
+	eng := t.eng.Load()
+	gen := eng.Generation()
+	cmds := make([]command.Command, 0, len(records))
+	next := gen
+	for _, rec := range records {
+		if uint64(rec.Seq) <= gen {
+			continue
+		}
+		if uint64(rec.Seq) != next+1 {
+			return gen, fmt.Errorf("tenant %s: replicated record seq %d does not extend generation %d: %w", name, rec.Seq, next, errOutOfSync)
+		}
+		c, err := rec.Command()
+		if err != nil {
+			return gen, err
+		}
+		cmds = append(cmds, c)
+		next++
+	}
+	if len(cmds) == 0 {
+		return gen, nil
+	}
+	t.submits.Add(uint64(len(cmds)))
+	if _, err := eng.SubmitBatch(cmds, nil); err != nil {
+		return eng.Generation(), err
+	}
+	if got := eng.Generation(); got != next {
+		// A replayed command stepped differently than on the primary (denied
+		// or no-change): the states diverged somewhere behind us.
+		return got, fmt.Errorf("tenant %s: replicated batch converged to generation %d, want %d: %w", name, got, next, errOutOfSync)
+	}
+	t.maybeCompact(r.opts.CompactEvery)
+	return next, nil
+}

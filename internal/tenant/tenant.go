@@ -19,6 +19,7 @@ package tenant
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -26,6 +27,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"adminrefine/internal/command"
 	"adminrefine/internal/decision"
@@ -149,17 +151,20 @@ func New(opts Options) *Registry {
 // Sentinels wrapped into returned errors so transports can map them onto
 // status codes without string matching.
 var (
-	errBadName     = errors.New("invalid tenant name")
 	errProvisioned = errors.New("already provisioned")
-	errNotFound    = errors.New("no such tenant")
+	// ErrBadName and ErrNotFound are exported so the replication follower
+	// can surface name/missing-tenant faults through the same status-code
+	// mapping transports use for the registry's own errors.
+	ErrBadName  = errors.New("invalid tenant name")
+	ErrNotFound = errors.New("no such tenant")
 )
 
 // IsBadName reports whether err came from an inadmissible tenant name.
-func IsBadName(err error) bool { return errors.Is(err, errBadName) }
+func IsBadName(err error) bool { return errors.Is(err, ErrBadName) }
 
 // IsNotFound reports whether err came from a read-only touch of a tenant
 // that has no durable state (reads never create tenants; see acquire).
-func IsNotFound(err error) bool { return errors.Is(err, errNotFound) }
+func IsNotFound(err error) bool { return errors.Is(err, ErrNotFound) }
 
 // IsProvisioned reports whether err came from installing a policy on a
 // tenant that already has administrative history.
@@ -191,14 +196,14 @@ func (r *Registry) shardOf(name string) *shard {
 // acquire resolves (lazily opening) the tenant and pins it against eviction.
 // Callers must release it. Write entry points pass create=true; read-only
 // entry points pass create=false so probing unknown names never mints
-// durable on-disk state (they get errNotFound instead, unless Bootstrap
+// durable on-disk state (they get ErrNotFound instead, unless Bootstrap
 // supplies a policy for the name).
 func (r *Registry) acquire(name string, create bool) (*tenant, error) {
 	if r.closed.Load() {
 		return nil, fmt.Errorf("tenant: registry closed")
 	}
 	if !ValidName(name) {
-		return nil, fmt.Errorf("tenant %q: %w", name, errBadName)
+		return nil, fmt.Errorf("tenant %q: %w", name, ErrBadName)
 	}
 	sh := r.shardOf(name)
 	sh.mu.Lock()
@@ -247,7 +252,7 @@ func (r *Registry) open(name string, create bool) (*tenant, error) {
 			seed = r.opts.Bootstrap(name)
 		}
 		if seed == nil && !create {
-			return nil, fmt.Errorf("tenant %s: %w", name, errNotFound)
+			return nil, fmt.Errorf("tenant %s: %w", name, ErrNotFound)
 		}
 	}
 	st, eng, rec, err := storage.OpenEngine(dir, r.opts.Mode, storage.Options{Sync: r.opts.Sync})
@@ -260,7 +265,7 @@ func (r *Registry) open(name string, create bool) (*tenant, error) {
 	t := &tenant{name: name, store: st, recovered: rec}
 	t.eng.Store(eng)
 	if seed != nil && !rec.SnapshotLoaded && rec.Records == 0 {
-		if err := r.install(t, seed); err != nil {
+		if err := r.installAt(t, seed, 0); err != nil {
 			st.Close()
 			return nil, fmt.Errorf("tenant %s: bootstrap: %w", name, err)
 		}
@@ -268,13 +273,15 @@ func (r *Registry) open(name string, create bool) (*tenant, error) {
 	return t, nil
 }
 
-// install replaces an empty tenant's state with p, durably (compacted
-// snapshot on disk), and rebuilds the engine over it.
-func (r *Registry) install(t *tenant, p *policy.Policy) error {
-	if err := t.store.Compact(p); err != nil {
+// installAt replaces the tenant's state with p, durably (compacted snapshot
+// on disk at seq), and rebuilds the engine over it at that generation. seq
+// is 0 for provisioning installs and the upstream generation for replica
+// snapshot bootstraps.
+func (r *Registry) installAt(t *tenant, p *policy.Policy, seq uint64) error {
+	if err := t.store.CompactAt(p, int(seq)); err != nil {
 		return err
 	}
-	eng := engine.NewAt(p, r.opts.Mode, t.engine().Generation())
+	eng := engine.NewAt(p, r.opts.Mode, seq)
 	if r.opts.CacheSlots != 0 {
 		eng.SetCacheSlots(r.opts.CacheSlots)
 	}
@@ -282,7 +289,11 @@ func (r *Registry) install(t *tenant, p *policy.Policy) error {
 	eng.SetCommitHook(func(gen uint64, res command.StepResult) error {
 		return st.AppendStep(int(gen), res)
 	})
+	old := t.engine()
 	t.eng.Store(eng)
+	// Wake generation waiters blocked on the replaced engine so they
+	// re-resolve the successor instead of sleeping out their timeout.
+	old.Retire()
 	return nil
 }
 
@@ -360,22 +371,58 @@ func (r *Registry) Authorize(name string, c command.Command) (engine.AuthzResult
 // policy: one registry resolve, one snapshot acquisition, one decider for
 // the whole batch.
 func (r *Registry) AuthorizeBatch(name string, cmds []command.Command) ([]engine.AuthzResult, error) {
-	return r.AuthorizeBatchInto(name, cmds, nil)
+	res, _, err := r.AuthorizeBatchInto(name, cmds, nil)
+	return res, err
 }
 
 // AuthorizeBatchInto is AuthorizeBatch writing results into out's backing
 // array when its capacity suffices, so request loops can reuse one buffer
-// across calls (see internal/server).
-func (r *Registry) AuthorizeBatchInto(name string, cmds []command.Command, out []engine.AuthzResult) ([]engine.AuthzResult, error) {
+// across calls (see internal/server). The returned generation is the engine
+// generation every decision in the batch was taken at — the token a client
+// passes back as min_generation to chain read-your-writes across replicas.
+func (r *Registry) AuthorizeBatchInto(name string, cmds []command.Command, out []engine.AuthzResult) ([]engine.AuthzResult, uint64, error) {
 	t, err := r.acquire(name, false)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer t.release()
 	t.authorizes.Add(uint64(len(cmds)))
 	s := t.engine().Snapshot()
 	defer s.Close()
-	return s.AuthorizeBatchInto(cmds, out), nil
+	return s.AuthorizeBatchInto(cmds, out), s.Generation(), nil
+}
+
+// WaitGeneration blocks until the tenant's engine generation reaches min or
+// the timeout elapses, returning the generation last observed and whether it
+// satisfies min — the serving side of the min_generation consistency token.
+// On a follower the generation advances as replicated records are applied;
+// on a primary it advances with local writes.
+func (r *Registry) WaitGeneration(name string, min uint64, timeout time.Duration) (uint64, bool, error) {
+	return r.WaitGenerationCtx(context.Background(), name, min, timeout)
+}
+
+// WaitGenerationCtx is WaitGeneration bounded additionally by ctx (a server
+// abandons the wait when its client disconnects). A wait survives engine
+// replacement: when a replica snapshot bootstrap installs a successor
+// engine mid-wait, the retired engine wakes its waiters and the wait
+// resumes against the successor for the remaining budget.
+func (r *Registry) WaitGenerationCtx(ctx context.Context, name string, min uint64, timeout time.Duration) (uint64, bool, error) {
+	t, err := r.acquire(name, false)
+	if err != nil {
+		return 0, false, err
+	}
+	defer t.release()
+	deadline := time.Now().Add(timeout)
+	for {
+		eng := t.engine()
+		gen, ok := eng.WaitGenerationCtx(ctx, min, time.Until(deadline))
+		if ok {
+			return gen, true, nil
+		}
+		if t.engine() == eng || ctx.Err() != nil || !time.Now().Before(deadline) {
+			return gen, false, nil
+		}
+	}
 }
 
 // Submit executes one administrative command through the tenant's transition
@@ -398,35 +445,40 @@ func (r *Registry) Submit(name string, c command.Command) (command.StepResult, e
 }
 
 // SubmitBatch executes the commands in order under one writer acquisition,
-// publishing at most one new snapshot (see engine.SubmitBatch).
-func (r *Registry) SubmitBatch(name string, cmds []command.Command) ([]command.StepResult, error) {
+// publishing at most one new snapshot (see engine.SubmitBatch). The returned
+// generation is the engine generation after the batch — the (tenant,
+// generation) token a client hands to a read replica as min_generation to
+// get read-your-writes without global coordination.
+func (r *Registry) SubmitBatch(name string, cmds []command.Command) ([]command.StepResult, uint64, error) {
 	t, err := r.acquire(name, true)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer t.release()
 	t.submits.Add(uint64(len(cmds)))
 	t.submu.Lock()
 	defer t.submu.Unlock()
-	out, err := t.eng.Load().SubmitBatch(cmds, nil)
+	eng := t.eng.Load()
+	out, err := eng.SubmitBatch(cmds, nil)
 	if err != nil {
-		return out, err
+		return out, eng.Generation(), err
 	}
 	t.maybeCompact(r.opts.CompactEvery)
-	return out, nil
+	return out, eng.Generation(), nil
 }
 
 // Explain describes why a command would be authorized or denied for the
-// tenant right now, without executing it.
-func (r *Registry) Explain(name string, c command.Command) (string, error) {
+// tenant right now, without executing it, together with the generation the
+// explanation was taken at.
+func (r *Registry) Explain(name string, c command.Command) (string, uint64, error) {
 	t, err := r.acquire(name, false)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	defer t.release()
 	s := t.engine().Snapshot()
 	defer s.Close()
-	return s.ExplainCommand(c), nil
+	return s.ExplainCommand(c), s.Generation(), nil
 }
 
 // InstallPolicy provisions a tenant with an initial policy. It only
@@ -444,7 +496,7 @@ func (r *Registry) InstallPolicy(name string, p *policy.Policy) error {
 	if t.engine().Generation() != 0 || t.store.Seq() != 0 {
 		return fmt.Errorf("tenant %s: %w (generation %d)", name, errProvisioned, t.engine().Generation())
 	}
-	return r.install(t, p)
+	return r.installAt(t, p, 0)
 }
 
 // Stats reports the tenant's current state, lazily opening it.

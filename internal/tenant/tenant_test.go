@@ -203,12 +203,15 @@ func TestBatchMatchesSingles(t *testing.T) {
 		}
 	}
 
-	sub, err := reg.SubmitBatch("t", cmds)
+	sub, gen, err := reg.SubmitBatch("t", cmds)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(sub) != len(cmds) {
 		t.Fatalf("submit batch returned %d results", len(sub))
+	}
+	if want := uint64(31); gen != want {
+		t.Fatalf("submit batch generation token = %d, want %d", gen, want)
 	}
 	if sub[7].Outcome != command.IllFormed {
 		t.Fatalf("ill-formed command outcome %v", sub[7].Outcome)
@@ -369,7 +372,7 @@ func TestAuthorizeBatchIntoReuse(t *testing.T) {
 		cmds[i] = workload.ChurnGrant(i, 16, 16)
 	}
 	buf := make([]engine.AuthzResult, 0, len(cmds))
-	got, err := reg.AuthorizeBatchInto("t", cmds, buf)
+	got, _, err := reg.AuthorizeBatchInto("t", cmds, buf)
 	if err != nil {
 		t.Fatal(err)
 	}

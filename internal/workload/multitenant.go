@@ -82,11 +82,13 @@ func (g *MultiTenantGen) Policy(i int) *policy.Policy {
 	return ChurnPolicy(g.cfg.Roles, g.cfg.Users)
 }
 
-// Bootstrap adapts the generator to tenant.Options.Bootstrap: it seeds any
-// tenant named by TenantName and leaves foreign names empty.
+// Bootstrap adapts the generator to tenant.Options.Bootstrap: it seeds
+// exactly the tenants TenantName produces and leaves foreign names empty
+// (Sscanf alone prefix-matches — "t1" would parse — so the round-trip check
+// is load-bearing).
 func (g *MultiTenantGen) Bootstrap(name string) *policy.Policy {
 	var i int
-	if _, err := fmt.Sscanf(name, "t%03d", &i); err != nil || i < 0 || i >= g.cfg.Tenants {
+	if _, err := fmt.Sscanf(name, "t%03d", &i); err != nil || i < 0 || i >= g.cfg.Tenants || name != g.TenantName(i) {
 		return nil
 	}
 	return g.Policy(i)

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/policy"
+)
+
+// ReplicatedConfig parameterises the multi-node churn generator: one primary
+// taking every write and a fleet of followers sharing the read fan-out, with
+// a fraction of reads carrying the latest write's generation token
+// (read-your-writes probes — the client pattern the min_generation contract
+// serves).
+type ReplicatedConfig struct {
+	Seed    int64
+	Tenants int
+	// Roles/Users size each tenant's churn fixture (see ChurnPolicy).
+	Roles, Users int
+	// Followers is the read-replica fleet size reads are spread over.
+	Followers int
+	// Skew is the Zipf s parameter over tenants (> 1; see MultiTenantConfig).
+	Skew float64
+	// SubmitFrac is the fraction of operations that are writes (always
+	// routed to the primary).
+	SubmitFrac float64
+	// TokenFrac is the fraction of reads that demand the tenant's latest
+	// write generation via min_generation; the rest accept any staleness.
+	TokenFrac float64
+}
+
+// DefaultReplicated returns a mid-sized skewed two-follower configuration.
+func DefaultReplicated(seed int64) ReplicatedConfig {
+	return ReplicatedConfig{
+		Seed: seed, Tenants: 8, Roles: 64, Users: 64, Followers: 2,
+		Skew: 1.1, SubmitFrac: 0.05, TokenFrac: 0.25,
+	}
+}
+
+// ReplicatedOp is one generated operation against the replicated topology.
+type ReplicatedOp struct {
+	Tenant string
+	// Node is the serving node: PrimaryNode for writes (and primary-routed
+	// reads), otherwise the follower index in [0, Followers).
+	Node int
+	// Submit distinguishes a write (always Node == PrimaryNode) from a read.
+	Submit bool
+	// MinGeneration, when nonzero on a read, is the tenant's latest write
+	// generation — the read-your-writes token to pass to the serving node.
+	MinGeneration uint64
+	Cmd           command.Command
+}
+
+// PrimaryNode is the Node value routing an operation to the primary.
+const PrimaryNode = -1
+
+// ReplicatedGen deterministically generates skewed multi-node traffic. The
+// generator tracks each tenant's write count, which — because every churn
+// grant applies — equals its generation on the primary, so generated tokens
+// are exact without querying any node. Not safe for concurrent use; give
+// each driver its own generator (same seed = same stream).
+type ReplicatedGen struct {
+	cfg  ReplicatedConfig
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	// writes counts per-tenant generated submits: the tenant's primary
+	// generation, and each tenant's position in its churn stream.
+	writes []int
+	next   int // round-robin follower cursor
+}
+
+// NewReplicatedGen builds the generator. Panics on a config without tenants
+// or followers, or a skew ≤ 1 (rand.Zipf's domain).
+func NewReplicatedGen(cfg ReplicatedConfig) *ReplicatedGen {
+	if cfg.Tenants < 1 {
+		panic("workload: ReplicatedConfig needs at least one tenant")
+	}
+	if cfg.Followers < 1 {
+		panic("workload: ReplicatedConfig needs at least one follower")
+	}
+	if cfg.Skew <= 1 {
+		panic("workload: Zipf skew must be > 1")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &ReplicatedGen{
+		cfg:    cfg,
+		rng:    rng,
+		zipf:   rand.NewZipf(rng, cfg.Skew, 1, uint64(cfg.Tenants-1)),
+		writes: make([]int, cfg.Tenants),
+	}
+}
+
+// TenantName names the i-th tenant.
+func (g *ReplicatedGen) TenantName(i int) string { return fmt.Sprintf("r%03d", i) }
+
+// Policy builds the i-th tenant's initial policy (the provisioning payload).
+func (g *ReplicatedGen) Policy(i int) *policy.Policy {
+	return ChurnPolicy(g.cfg.Roles, g.cfg.Users)
+}
+
+// Bootstrap adapts the generator to tenant.Options.Bootstrap on the primary:
+// it seeds exactly the tenants TenantName produces and leaves foreign names
+// empty (Sscanf alone prefix-matches, so the round-trip check is load-
+// bearing: "r1" or "r001x" must not mint durable state).
+func (g *ReplicatedGen) Bootstrap(name string) *policy.Policy {
+	var i int
+	if _, err := fmt.Sscanf(name, "r%03d", &i); err != nil || i < 0 || i >= g.cfg.Tenants || name != g.TenantName(i) {
+		return nil
+	}
+	return g.Policy(i)
+}
+
+// Generation reports the i-th tenant's expected primary generation: the
+// number of writes generated for it so far.
+func (g *ReplicatedGen) Generation(i int) uint64 { return uint64(g.writes[i]) }
+
+// Next generates one operation: a Zipf-skewed tenant pick, then a write on
+// the primary or a read on the next follower (round-robin), optionally
+// carrying the tenant's current generation token.
+func (g *ReplicatedGen) Next() ReplicatedOp {
+	i := int(g.zipf.Uint64())
+	op := ReplicatedOp{Tenant: g.TenantName(i)}
+	if g.rng.Float64() < g.cfg.SubmitFrac {
+		op.Submit = true
+		op.Node = PrimaryNode
+		op.Cmd = ChurnGrant(g.writes[i], g.cfg.Users, g.cfg.Roles)
+		g.writes[i]++
+		return op
+	}
+	op.Node = g.next
+	g.next = (g.next + 1) % g.cfg.Followers
+	op.Cmd = ChurnGrant(g.writes[i], g.cfg.Users, g.cfg.Roles)
+	if g.cfg.TokenFrac > 0 && g.rng.Float64() < g.cfg.TokenFrac {
+		op.MinGeneration = uint64(g.writes[i])
+	}
+	return op
+}

@@ -1,0 +1,71 @@
+package workload
+
+import "testing"
+
+func TestReplicatedGenDeterministicAndRouted(t *testing.T) {
+	cfg := DefaultReplicated(7)
+	a, b := NewReplicatedGen(cfg), NewReplicatedGen(cfg)
+	seenFollower := make(map[int]bool)
+	for i := 0; i < 4096; i++ {
+		opA, opB := a.Next(), b.Next()
+		if opA != opB {
+			t.Fatalf("op %d: same seed diverged: %+v vs %+v", i, opA, opB)
+		}
+		if opA.Submit {
+			if opA.Node != PrimaryNode {
+				t.Fatalf("op %d: write routed to node %d", i, opA.Node)
+			}
+			if opA.MinGeneration != 0 {
+				t.Fatalf("op %d: write carries a token", i)
+			}
+			continue
+		}
+		if opA.Node < 0 || opA.Node >= cfg.Followers {
+			t.Fatalf("op %d: read routed to node %d", i, opA.Node)
+		}
+		seenFollower[opA.Node] = true
+	}
+	if len(seenFollower) != cfg.Followers {
+		t.Fatalf("reads covered %d of %d followers", len(seenFollower), cfg.Followers)
+	}
+}
+
+func TestReplicatedGenTokensTrackWrites(t *testing.T) {
+	cfg := DefaultReplicated(3)
+	cfg.TokenFrac = 1 // every read carries the current token
+	g := NewReplicatedGen(cfg)
+	writes := make(map[string]uint64)
+	for i := 0; i < 4096; i++ {
+		op := g.Next()
+		if op.Submit {
+			writes[op.Tenant]++
+			continue
+		}
+		if op.MinGeneration != writes[op.Tenant] {
+			t.Fatalf("op %d: token %d, tenant %s has %d writes", i, op.MinGeneration, op.Tenant, writes[op.Tenant])
+		}
+	}
+}
+
+func TestReplicatedGenBootstrap(t *testing.T) {
+	g := NewReplicatedGen(DefaultReplicated(1))
+	if g.Bootstrap(g.TenantName(0)) == nil {
+		t.Fatal("own tenant name not seeded")
+	}
+	// Sscanf prefix-matches, so near-miss names must be rejected explicitly:
+	// a read probe of "r1" must not mint durable tenant state.
+	for _, name := range []string{"foreign", "r1", "r001x", "r0001", "r999"} {
+		if g.Bootstrap(name) != nil {
+			t.Fatalf("foreign name %q seeded", name)
+		}
+	}
+	m := NewMultiTenantGen(DefaultMultiTenant(1))
+	if m.Bootstrap(m.TenantName(0)) == nil {
+		t.Fatal("own tenant name not seeded")
+	}
+	for _, name := range []string{"t1", "t001x", "t0001"} {
+		if m.Bootstrap(name) != nil {
+			t.Fatalf("foreign name %q seeded", name)
+		}
+	}
+}

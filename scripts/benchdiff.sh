@@ -14,7 +14,15 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-base=$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)
+# Select the baseline by highest *numeric* suffix, not glob order: a plain
+# `ls | tail -1` would sort BENCH_10.json before BENCH_2.json and silently
+# compare against a stale baseline.
+latest=$(ls BENCH_*.json | sed -n 's/^BENCH_\([0-9][0-9]*\)\.json$/\1/p' | sort -n | tail -1)
+if [ -z "$latest" ]; then
+    echo "benchdiff: no BENCH_<n>.json baseline found" >&2
+    exit 1
+fi
+base="BENCH_${latest}.json"
 filter=${BENCHDIFF_FILTER:-Authorize,BatchVsSingle,IncrementalGrant}
 tol=${BENCHDIFF_TOLERANCE:-25}
 

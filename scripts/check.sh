@@ -1,15 +1,18 @@
 #!/bin/sh
-# CI gate without make: build + vet + tests + engine race pass + a short
-# incremental-benchmark smoke so regressions in the incremental path fail
-# fast, then the benchdiff gate comparing the authorize benchmarks against
-# the committed BENCH_*.json baseline. Mirrors `make check`.
+# Local one-shot gate without make: build + fmt + vet + tests + race pass
+# over the concurrent stack (engine, tenant registry, server, replication) +
+# a short hot-path benchmark smoke, then the benchdiff gate comparing the
+# authorize benchmarks against the newest committed BENCH_*.json baseline.
+# Mirrors `make check`; CI runs the same pieces as a job matrix (see
+# .github/workflows/ci.yml).
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go build ./...
+test -z "$(gofmt -l .)"
 go vet ./...
 go test ./...
-go test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/tenant/ ./internal/server/ ./internal/decision/ ./internal/command/
-go test -run XXX -bench 'Incremental|BatchVsSingle|CachedAuthorize|AuthorizeAllocs' -benchtime=100x .
+go test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/tenant/ ./internal/server/ ./internal/replication/ ./internal/decision/ ./internal/command/
+go test -run XXX -bench 'Incremental|BatchVsSingle|CachedAuthorize|AuthorizeAllocs|ReplicatedAuthorize' -benchtime=100x .
 scripts/benchdiff.sh
