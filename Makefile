@@ -28,10 +28,10 @@ test:
 # surface; graph/core feed it, and decision/command carry the lock-free
 # cache and interner under it.
 race:
-	$(GO) test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/tenant/ ./internal/server/ ./internal/replication/ ./internal/decision/ ./internal/command/
+	$(GO) test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/session/ ./internal/tenant/ ./internal/server/ ./internal/replication/ ./internal/decision/ ./internal/command/
 
 bench-smoke:
-	$(GO) test -run XXX -bench 'Incremental|CachedAuthorize|AuthorizeAllocs|ReplicatedAuthorize' -benchtime=100x .
+	$(GO) test -run XXX -bench 'Incremental|CachedAuthorize|AuthorizeAllocs|ReplicatedAuthorize|AccessCheck' -benchtime=100x .
 
 # Regression gate: authorize benchmarks vs the newest committed BENCH_*.json
 # baseline, selected by highest numeric suffix (>25% ns/op or any allocs/op

@@ -541,6 +541,19 @@ func BenchmarkMultiTenantAuthorize(b *testing.B) {
 // AuthorizeBatch of N, normalised per query: the batch amortises tenant
 // resolution, snapshot acquisition and decider pool traffic across the
 // batch, so per-query cost drops as the batch grows.
+// BenchmarkAccessCheck measures the session access-check fast path (see
+// internal/session): one snapshot acquisition, one interned privilege-id
+// lookup and one check-verdict cache probe per op, 0 allocs steady-state.
+// The body lives in cli.BenchSpecs so the rbacbench-emitted BENCH JSON
+// measures identical code.
+func BenchmarkAccessCheck(b *testing.B) {
+	for _, spec := range cli.BenchSpecs() {
+		if sub, ok := strings.CutPrefix(spec.Name, "AccessCheck/"); ok {
+			b.Run(sub, spec.F)
+		}
+	}
+}
+
 func BenchmarkBatchVsSingle(b *testing.B) {
 	for _, spec := range cli.BenchSpecs() {
 		if sub, ok := strings.CutPrefix(spec.Name, "BatchVsSingle/"); ok {

@@ -11,8 +11,16 @@
 //	curl -X PUT  localhost:8270/v1/tenants/acme/policy --data-binary @policy.rpl
 //	curl -X POST localhost:8270/v1/tenants/acme/authorize -d '{"commands":[...]}'
 //	curl -X POST localhost:8270/v1/tenants/acme/submit    -d '{"commands":[...]}'
+//	curl -X POST localhost:8270/v1/tenants/acme/sessions  -d '{"user":"diana","activate":["nurse"]}'
+//	curl -X POST localhost:8270/v1/tenants/acme/check     -d '{"session":1,"checks":[{"action":"read","object":"t1"}]}'
+//	curl         localhost:8270/v1/tenants/acme/audit
 //	curl         localhost:8270/v1/tenants/acme/stats
 //	curl         localhost:8270/healthz
+//
+// Sessions (the paper's §2–3 monitor sessions) are node-local runtime
+// state; the audit trail is durable in the WAL and replicated. Optional
+// separation-of-duty constraints (-constraints rules.json) guard every
+// write (SSD) and every session activation (DSD).
 //
 // Horizontal read fan-out: a primary streams its per-tenant WAL to follower
 // processes, which serve authorize/explain/stats from replayed engines and
@@ -46,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"adminrefine/internal/constraints"
 	"adminrefine/internal/engine"
 	"adminrefine/internal/replication"
 	"adminrefine/internal/server"
@@ -77,6 +86,7 @@ func run(args []string, out io.Writer) error {
 		upstream     = fs.String("upstream", "", "primary base URL (required with -role follower), e.g. http://host:8270")
 		pollWait     = fs.Duration("poll-wait", 10*time.Second, "follower: long-poll bound per replication pull")
 		minGenWait   = fs.Duration("min-gen-wait", 2*time.Second, "bound on how long a min_generation read waits for the replica to catch up before 409")
+		consPath     = fs.String("constraints", "", `separation-of-duty constraint file (JSON [{"name","kind":"ssd"|"dsd","roles":[...],"n":2},...]); SSD guards every write, DSD guards session activations`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,6 +113,17 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("rbacd: unknown -role %q (want primary or follower)", *role)
 	}
 
+	var cons *constraints.Set
+	if *consPath != "" {
+		data, err := os.ReadFile(*consPath)
+		if err != nil {
+			return fmt.Errorf("rbacd: read -constraints: %w", err)
+		}
+		if cons, err = constraints.ParseJSON(data); err != nil {
+			return fmt.Errorf("rbacd: %w", err)
+		}
+	}
+
 	reg := tenant.New(tenant.Options{
 		Dir:          *dataDir,
 		Mode:         emode,
@@ -111,6 +132,7 @@ func run(args []string, out io.Writer) error {
 		CompactEvery: *compactEvery,
 		Sync:         *sync,
 		CacheSlots:   *cacheSlots,
+		Constraints:  cons,
 	})
 
 	var follower *replication.Follower
@@ -136,9 +158,10 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "rbacd: listening on %s (mode=%s data=%s role=%s)\n", ln.Addr(), emode, *dataDir, *role)
 
 	handler := server.NewWithConfig(server.Config{
-		Registry:   reg,
-		Follower:   follower,
-		MinGenWait: *minGenWait,
+		Registry:    reg,
+		Follower:    follower,
+		MinGenWait:  *minGenWait,
+		Constraints: cons,
 	})
 	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
@@ -149,8 +172,13 @@ func run(args []string, out io.Writer) error {
 	select {
 	case sig := <-stop:
 		fmt.Fprintf(out, "rbacd: %v, draining\n", sig)
-		// Wake parked replication long-polls first, or they eat the drain
-		// budget (Shutdown waits for handlers without cancelling them).
+		// Drop open sessions (node-local state dies with the node, before
+		// the registry compacts below) and wake parked replication
+		// long-polls, or they eat the drain budget (Shutdown waits for
+		// handlers without cancelling them).
+		if n := handler.DrainSessions(); n > 0 {
+			fmt.Fprintf(out, "rbacd: dropped %d open sessions\n", n)
+		}
 		handler.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()

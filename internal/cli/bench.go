@@ -21,6 +21,7 @@ import (
 	"adminrefine/internal/graph"
 	"adminrefine/internal/model"
 	"adminrefine/internal/replication"
+	"adminrefine/internal/session"
 	"adminrefine/internal/tenant"
 	"adminrefine/internal/workload"
 )
@@ -318,6 +319,38 @@ func BenchSpecs() []BenchSpec {
 				}
 			}
 			b.StopTimer()
+		}},
+		{"AccessCheck/session-hit/depts=32", func(b *testing.B) {
+			// Steady-state session access check — the paper's primary
+			// end-user workload: snapshot acquisition + privilege-id lookup +
+			// check-verdict cache probe (falling back to the compiled role
+			// bitset), per op. Target ≤150 ns/op, 0 allocs/op.
+			e := engine.New(workload.Hospital(32), engine.Strict)
+			tbl := session.NewTable(session.Options{})
+			snap := e.Snapshot()
+			s, err := tbl.Create(snap, "nurseuser_0", []string{"nurse_0"})
+			if err != nil {
+				snap.Close()
+				b.Fatal(err)
+			}
+			probes := workload.CheckSlab(0)
+			for i := 0; i < 2*len(probes); i++ { // warm: intern, fp, compile
+				if ok, err := tbl.Check(snap, s.ID, probes[i%len(probes)]); err != nil || !ok {
+					snap.Close()
+					b.Fatalf("warm check: %v %v", ok, err)
+				}
+			}
+			snap.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap := e.Snapshot()
+				ok, err := tbl.Check(snap, s.ID, probes[i%len(probes)])
+				snap.Close()
+				if err != nil || !ok {
+					b.Fatalf("check denied: %v %v", ok, err)
+				}
+			}
 		}},
 		{"AuthorizeAllocs/strict-uncached/roles=256", func(b *testing.B) {
 			// Definition 5 without the cache: actor/privilege vertex lookup by

@@ -18,6 +18,7 @@
 package constraints
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -115,6 +116,38 @@ func NewSet(cs ...Constraint) (*Set, error) {
 // Constraints returns the rules in declaration order.
 func (s *Set) Constraints() []Constraint { return append([]Constraint(nil), s.cons...) }
 
+// constraintWire is the JSON form rbacd's -constraints file uses.
+type constraintWire struct {
+	Name  string   `json:"name"`
+	Kind  string   `json:"kind"` // "ssd" or "dsd"
+	Roles []string `json:"roles"`
+	N     int      `json:"n"`
+}
+
+// ParseJSON decodes a constraint set from its JSON wire form — a list of
+// {"name","kind","roles","n"} objects with kind "ssd" or "dsd" — validating
+// every rule. This is the deployment format (rbacd -constraints file).
+func ParseJSON(data []byte) (*Set, error) {
+	var wire []constraintWire
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return nil, fmt.Errorf("constraints: decode: %w", err)
+	}
+	cs := make([]Constraint, 0, len(wire))
+	for _, w := range wire {
+		var kind Kind
+		switch strings.ToLower(w.Kind) {
+		case "ssd":
+			kind = SSD
+		case "dsd":
+			kind = DSD
+		default:
+			return nil, fmt.Errorf("constraints: %s: unknown kind %q (want ssd or dsd)", w.Name, w.Kind)
+		}
+		cs = append(cs, Constraint{Name: w.Name, Kind: kind, Roles: w.Roles, N: w.N})
+	}
+	return NewSet(cs...)
+}
+
 // CheckPolicy evaluates every SSD constraint against the policy: for each
 // user, the authorized (hierarchy-closed) membership must stay below each
 // constraint's cardinality. It returns all violations, deterministically
@@ -165,6 +198,24 @@ func (s *Set) CheckActivation(user string, active []string) []Violation {
 		}
 	}
 	return out
+}
+
+// Guard adapts the set to the engine's write-path veto hook shape: a
+// function denying any command whose resulting policy would introduce a new
+// SSD violation. A nil set guards nothing. This is how constraint
+// enforcement rides the tenant write path (tenant.Options.Constraints) and
+// the monitor facade alike: every writer — HTTP submit, CLI, bootstrap
+// install — passes through the same check.
+func (s *Set) Guard() func(pre *policy.Policy, c command.Command) error {
+	if s == nil {
+		return nil
+	}
+	return func(pre *policy.Policy, c command.Command) error {
+		if vs := s.GuardCommand(pre, c); len(vs) > 0 {
+			return vs[0]
+		}
+		return nil
+	}
 }
 
 // GuardCommand reports whether applying the command to the policy would

@@ -155,6 +155,12 @@ func (r *replica) release(d *core.Decider) {
 	r.overflow.Put(d)
 }
 
+// Guard is a write-path veto hook: it runs against the up-to-date pre-state
+// under the writer lock, before the Definition 5 step, and a non-nil error
+// denies the command without effect (the error is surfaced for audit
+// trails). Constraint sets (SSD) hook in here — see constraints.Set.Guard.
+type Guard func(pre *policy.Policy, c command.Command) error
+
 // CommitHook is the engine's durability hook: it runs under the writer lock
 // after a command has been applied to the pre-publish replica and before the
 // new snapshot becomes visible to readers. gen is the generation the commit
@@ -304,7 +310,7 @@ func (e *Engine) Submit(c command.Command) command.StepResult {
 // up-to-date pre-state under the writer lock, and a non-nil error denies the
 // command without effect (the error is returned for audit trails).
 // Constraint sets (SSD) hook in here.
-func (e *Engine) SubmitGuarded(c command.Command, guard func(pre *policy.Policy) error) (command.StepResult, error) {
+func (e *Engine) SubmitGuarded(c command.Command, guard Guard) (command.StepResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
@@ -329,7 +335,7 @@ func (e *Engine) SubmitGuarded(c command.Command, guard func(pre *policy.Policy)
 // processed so far (the failed command reported as Denied) are returned
 // together with the hook error, and everything up to the failure is
 // published.
-func (e *Engine) SubmitBatch(cmds []command.Command, guard func(pre *policy.Policy) error) ([]command.StepResult, error) {
+func (e *Engine) SubmitBatch(cmds []command.Command, guard Guard) ([]command.StepResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
@@ -438,9 +444,9 @@ func (e *CommitError) Unwrap() error { return e.Err }
 // lock: guard veto, Definition 5 step, then the commit hook. An applied
 // command whose hook fails is rolled back (the inverse edge change restores
 // the pre-command policy) and reported as Denied with a *CommitError.
-func (e *Engine) stepLocked(next *replica, c command.Command, guard func(pre *policy.Policy) error) (command.StepResult, error) {
+func (e *Engine) stepLocked(next *replica, c command.Command, guard Guard) (command.StepResult, error) {
 	if guard != nil {
-		if err := guard(next.pol); err != nil {
+		if err := guard(next.pol, c); err != nil {
 			return command.StepResult{Cmd: c, Outcome: command.Denied}, err
 		}
 	}
@@ -548,6 +554,15 @@ func (s *Snapshot) Generation() uint64 { return s.gen }
 // Policy exposes the snapshot's policy for read-only use. Mutating it is a
 // bug (it would corrupt concurrent readers).
 func (s *Snapshot) Policy() *policy.Policy { return s.r.pol }
+
+// ValidityFloors returns the decision-cache validity watermarks this
+// snapshot decides under (see package decision): pos is the oldest
+// generation whose positive verdicts are still valid at this snapshot, neg
+// the oldest whose negative verdicts are. Layers that maintain their own
+// generation-tagged caches over snapshots — the session tables in
+// internal/session key their compiled role bitsets and check verdicts on
+// these — share the engine's invalidation rules through them.
+func (s *Snapshot) ValidityFloors() (pos, neg uint64) { return s.posFloor, s.negFloor }
 
 // decider claims a pre-bound decider from the replica's ring. Deciders
 // carry warm closures, memo tables and fingerprint tables across queries

@@ -118,7 +118,7 @@ func TestEngineSnapshotIsolation(t *testing.T) {
 func TestEngineGuard(t *testing.T) {
 	e := New(churnFixture(2), Refined)
 	veto := fmt.Errorf("constraint violated")
-	res, err := e.SubmitGuarded(grantCmd(0), func(pre *policy.Policy) error { return veto })
+	res, err := e.SubmitGuarded(grantCmd(0), func(pre *policy.Policy, _ command.Command) error { return veto })
 	if err != veto || res.Outcome != command.Denied {
 		t.Fatalf("guarded submit = (%v, %v)", res.Outcome, err)
 	}
@@ -351,7 +351,7 @@ func TestSubmitBatchPublishesOnce(t *testing.T) {
 func TestSubmitBatchGuardVetoContinues(t *testing.T) {
 	e := New(churnFixture(4), Refined)
 	calls := 0
-	out, err := e.SubmitBatch([]command.Command{grantCmd(0), grantCmd(1)}, func(pre *policy.Policy) error {
+	out, err := e.SubmitBatch([]command.Command{grantCmd(0), grantCmd(1)}, func(pre *policy.Policy, _ command.Command) error {
 		calls++
 		if calls == 1 {
 			return fmt.Errorf("vetoed")

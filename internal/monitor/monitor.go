@@ -1,18 +1,18 @@
-// Package monitor implements the RBAC reference monitor of the paper's §2–3:
-// sessions with selective role activation (the standard's least-privilege
-// mechanism), access checks, and the administrative interface that executes
-// commands through the transition function of Definition 5.
+// Package monitor is the single-process compatibility facade over the
+// layers that now implement the paper's §2–3 reference monitor: sessions
+// with selective role activation live in internal/session, administrative
+// transitions run through the internal/engine snapshot engine, and
+// constraint guarding is the shared engine.Guard produced by
+// constraints.Set.Guard — the same guard the multi-tenant write path
+// installs (tenant.Options.Constraints). The monitor keeps the original
+// in-process API (CLI, examples and experiments depend on it) while the
+// serving stack (internal/server) exposes the same three concerns — session,
+// check, audit — per tenant over HTTP with durable, replicated audit.
 //
-// Policy state lives in an internal/engine Engine: administrative commands
-// are serialised through the engine's single writer, while access checks and
-// other read-only queries evaluate against immutable lock-free snapshots, so
-// heavy read traffic never contends with session bookkeeping or with the
-// writer. The monitor's own mutex only guards sessions, the audit log,
-// observers and the constraint set. Administrative authorization is
-// pluggable: a monitor runs either in strict mode (literal Definition 5) or
-// refined mode (the ordering-based implicit authorization of §4.1). Every
-// administrative action is recorded in an audit log; package storage can
-// persist the log as a write-ahead journal.
+// Every administrative action is recorded in an in-memory audit log;
+// package storage can persist the log as a write-ahead journal (Attach).
+// In the distributed stack the audit log is instead a WAL record kind
+// appended under the engine commit hook — see storage.AppendCommit.
 package monitor
 
 import (
@@ -24,6 +24,7 @@ import (
 	"adminrefine/internal/engine"
 	"adminrefine/internal/model"
 	"adminrefine/internal/policy"
+	"adminrefine/internal/session"
 )
 
 // Mode selects the administrative authorization regime.
@@ -52,24 +53,19 @@ func (m Mode) engineMode() engine.Mode {
 	return engine.Strict
 }
 
-// Session is a user session with an explicitly activated role set. The
-// monitor re-validates activations against the current policy on every
-// access check, so policy changes take effect immediately (revocation
-// semantics: a revoked role silently stops contributing privileges).
+// Session is a user session with an explicitly activated role set. It is a
+// view over the session table entry; the table re-validates activations
+// against the current policy on every access check, so policy changes take
+// effect immediately (revocation semantics: a revoked role silently stops
+// contributing privileges).
 type Session struct {
-	ID     int
-	User   string
-	active map[string]struct{} // role names
+	ID   int
+	User string
+	s    *session.Session
 }
 
-// ActiveRoles returns the activated role names (unsorted copy).
-func (s *Session) ActiveRoles() []string {
-	out := make([]string, 0, len(s.active))
-	for r := range s.active {
-		out = append(out, r)
-	}
-	return out
-}
+// ActiveRoles returns the activated role names (sorted copy).
+func (s *Session) ActiveRoles() []string { return s.s.Roles() }
 
 // AuditEntry records one administrative command processed by the monitor.
 type AuditEntry struct {
@@ -99,14 +95,14 @@ func (e AuditEntry) String() string {
 type Monitor struct {
 	eng  *engine.Engine
 	mode Mode
+	tbl  *session.Table
 
-	mu       sync.Mutex
-	sessions map[int]*Session
-	nextSID  int
-	audit    []AuditEntry
+	mu    sync.Mutex
+	audit []AuditEntry
 	// observers are notified after each applied command (e.g. the WAL).
 	observers []func(AuditEntry)
-	// cons optionally guards commands (SSD) and activations (DSD).
+	// cons optionally guards commands (SSD); its DSD half is installed on
+	// the session table.
 	cons *constraints.Set
 }
 
@@ -114,10 +110,9 @@ type Monitor struct {
 // behind the monitor's back (the engine takes ownership of it).
 func New(p *policy.Policy, mode Mode) *Monitor {
 	return &Monitor{
-		eng:      engine.New(p, mode.engineMode()),
-		mode:     mode,
-		sessions: make(map[int]*Session),
-		nextSID:  1,
+		eng:  engine.New(p, mode.engineMode()),
+		mode: mode,
+		tbl:  session.NewTable(session.Options{}),
 	}
 }
 
@@ -130,6 +125,10 @@ func (m *Monitor) Mode() Mode { return m.mode }
 // constraint guard and audit log mediate every command.
 func (m *Monitor) Snapshot() *engine.Snapshot { return m.eng.Snapshot() }
 
+// Sessions exposes the monitor's session table — the layer CheckAccess is a
+// facade over (see internal/session for the fast-path contract).
+func (m *Monitor) Sessions() *session.Table { return m.tbl }
+
 // SetConstraints installs (or clears, with nil) a separation-of-duty
 // constraint set. SSD constraints veto administrative commands whose
 // resulting policy would violate them — the command is consumed without
@@ -137,8 +136,9 @@ func (m *Monitor) Snapshot() *engine.Snapshot { return m.eng.Snapshot() }
 // The current policy is not retro-checked: use cons.CheckPolicy to audit it.
 func (m *Monitor) SetConstraints(cons *constraints.Set) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.cons = cons
+	m.mu.Unlock()
+	m.tbl.SetConstraints(cons)
 }
 
 // Observe registers a callback invoked (under the monitor lock) for every
@@ -165,126 +165,48 @@ func (m *Monitor) PolicyStats() policy.Stats {
 
 // CreateSession starts a session for the user with no roles activated.
 func (m *Monitor) CreateSession(user string) (*Session, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if user == "" {
-		return nil, fmt.Errorf("monitor: empty user")
+	snap := m.eng.Snapshot()
+	defer snap.Close()
+	s, err := m.tbl.Create(snap, user, nil)
+	if err != nil {
+		return nil, err
 	}
-	s := &Session{ID: m.nextSID, User: user, active: make(map[string]struct{})}
-	m.nextSID++
-	m.sessions[s.ID] = s
-	return s, nil
+	return &Session{ID: int(s.ID), User: s.User, s: s}, nil
 }
 
 // DeleteSession ends a session.
 func (m *Monitor) DeleteSession(id int) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.sessions[id]; !ok {
-		return fmt.Errorf("monitor: no session %d", id)
-	}
-	delete(m.sessions, id)
-	return nil
+	return m.tbl.Drop(uint64(id))
 }
 
 // ActivateRole activates a role in the session. Permitted iff u →φ r (§2).
 func (m *Monitor) ActivateRole(sessionID int, role string) error {
 	snap := m.eng.Snapshot()
 	defer snap.Close()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s, ok := m.sessions[sessionID]
-	if !ok {
-		return fmt.Errorf("monitor: no session %d", sessionID)
-	}
-	if !snap.Policy().CanActivate(s.User, role) {
-		return fmt.Errorf("monitor: user %s may not activate role %s", s.User, role)
-	}
-	if m.cons != nil {
-		proposed := append(s.ActiveRoles(), role)
-		if vs := m.cons.CheckActivation(s.User, proposed); len(vs) > 0 {
-			return fmt.Errorf("monitor: activation rejected: %s", vs[0].Error())
-		}
-	}
-	s.active[role] = struct{}{}
-	return nil
+	return m.tbl.Activate(snap, uint64(sessionID), role)
 }
 
 // DropRole deactivates a role in the session (least privilege in action).
 func (m *Monitor) DropRole(sessionID int, role string) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s, ok := m.sessions[sessionID]
-	if !ok {
-		return fmt.Errorf("monitor: no session %d", sessionID)
-	}
-	if _, ok := s.active[role]; !ok {
-		return fmt.Errorf("monitor: role %s not active in session %d", role, sessionID)
-	}
-	delete(s.active, role)
-	return nil
-}
-
-// sessionView copies the session's user and active roles under the lock so
-// policy evaluation can proceed against a snapshot without holding it.
-func (m *Monitor) sessionView(sessionID int) (user string, roles []string, err error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s, ok := m.sessions[sessionID]
-	if !ok {
-		return "", nil, fmt.Errorf("monitor: no session %d", sessionID)
-	}
-	return s.User, s.ActiveRoles(), nil
+	return m.tbl.Deactivate(uint64(sessionID), role)
 }
 
 // CheckAccess reports whether the session may perform (action, object): some
 // activated role r that is still activatable (u →φ r under the current
-// policy) must reach the user privilege (r →φ p). The policy evaluation runs
-// lock-free against the current snapshot.
+// policy) must reach the user privilege (r →φ p). The check runs lock-free
+// against the current snapshot through the session fast path.
 func (m *Monitor) CheckAccess(sessionID int, action, object string) (bool, error) {
-	user, roles, err := m.sessionView(sessionID)
-	if err != nil {
-		return false, err
-	}
 	snap := m.eng.Snapshot()
 	defer snap.Close()
-	pol := snap.Policy()
-	perm := model.Perm(action, object)
-	for _, role := range roles {
-		if !pol.CanActivate(user, role) {
-			continue // assignment revoked since activation
-		}
-		if pol.Reaches(model.Role(role), perm) {
-			return true, nil
-		}
-	}
-	return false, nil
+	return m.tbl.Check(snap, uint64(sessionID), model.Perm(action, object))
 }
 
 // SessionPerms returns the user privileges currently granted to the session
 // through its active, still-valid roles.
 func (m *Monitor) SessionPerms(sessionID int) ([]model.UserPrivilege, error) {
-	user, roles, err := m.sessionView(sessionID)
-	if err != nil {
-		return nil, err
-	}
 	snap := m.eng.Snapshot()
 	defer snap.Close()
-	pol := snap.Policy()
-	seen := map[string]model.UserPrivilege{}
-	for _, role := range roles {
-		if !pol.CanActivate(user, role) {
-			continue
-		}
-		for _, q := range pol.AuthorizedPerms(model.Role(role)) {
-			seen[q.Key()] = q
-		}
-	}
-	out := make([]model.UserPrivilege, 0, len(seen))
-	for _, q := range seen {
-		out = append(out, q)
-	}
-	return out, nil
+	return m.tbl.Perms(snap, uint64(sessionID))
 }
 
 // Submit processes one administrative command through the transition
@@ -296,15 +218,7 @@ func (m *Monitor) Submit(c command.Command) command.StepResult {
 }
 
 func (m *Monitor) submitLocked(c command.Command) command.StepResult {
-	res, gerr := m.eng.SubmitGuarded(c, func(pre *policy.Policy) error {
-		if m.cons == nil {
-			return nil
-		}
-		if vs := m.cons.GuardCommand(pre, c); len(vs) > 0 {
-			return vs[0]
-		}
-		return nil
-	})
+	res, gerr := m.eng.SubmitGuarded(c, m.cons.Guard())
 	reason := ""
 	if gerr != nil {
 		reason = gerr.Error()

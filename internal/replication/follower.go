@@ -444,13 +444,14 @@ func (f *Follower) bootstrap(ft *followTenant) error {
 		return fmt.Errorf("replication: snapshot %s: upstream status %d", ft.name, resp.StatusCode)
 	}
 	var payload struct {
-		Seq    uint64          `json:"seq"`
-		Policy json.RawMessage `json:"policy"`
+		Seq    uint64           `json:"seq"`
+		Policy json.RawMessage  `json:"policy"`
+		Audit  []storage.Record `json:"audit"`
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, maxPullBody)).Decode(&payload); err != nil {
 		return fmt.Errorf("replication: snapshot %s: decode: %w", ft.name, err)
 	}
-	if err := f.reg.InstallReplicaSnapshot(ft.name, payload.Policy, payload.Seq); err != nil {
+	if err := f.reg.InstallReplicaSnapshot(ft.name, payload.Policy, payload.Seq, payload.Audit); err != nil {
 		return err
 	}
 	ft.update(func() {

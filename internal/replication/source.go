@@ -31,6 +31,7 @@ package replication
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -100,10 +101,12 @@ func (s *Source) Register(mux *http.ServeMux) {
 }
 
 // SnapshotPayload is the bootstrap document: the tenant's policy at one
-// generation. Its shape mirrors the on-disk snapshot.json.
+// generation plus the primary's retained audit window. Its shape extends
+// the on-disk snapshot.json.
 type SnapshotPayload struct {
-	Seq    uint64 `json:"seq"`
-	Policy any    `json:"policy"`
+	Seq    uint64           `json:"seq"`
+	Policy any              `json:"policy"`
+	Audit  []storage.Record `json:"audit,omitempty"`
 }
 
 func (s *Source) handlePull(w http.ResponseWriter, r *http.Request) {
@@ -168,14 +171,21 @@ func (s *Source) handlePull(w http.ResponseWriter, r *http.Request) {
 
 func (s *Source) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("tenant")
-	seq, policyJSON, err := s.reg.SnapshotDump(name)
+	seq, policyJSON, audit, err := s.reg.SnapshotDump(name)
 	if err != nil {
 		sourceError(w, err)
 		return
 	}
+	auditJSON, err := json.Marshal(audit)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	// Assemble by hand so the policy JSON passes through byte-exact.
-	fmt.Fprintf(w, `{"seq":%d,"policy":%s}`, seq, policyJSON)
+	// Assemble by hand so the policy JSON passes through byte-exact. The
+	// audit window rides along so a bootstrapping follower adopts the
+	// primary's trail instead of starting blind (older followers ignore it).
+	fmt.Fprintf(w, `{"seq":%d,"policy":%s,"audit":%s}`, seq, policyJSON, auditJSON)
 }
 
 func sourceError(w http.ResponseWriter, err error) {

@@ -1,0 +1,257 @@
+package scope_test
+
+import (
+	"testing"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/core"
+	"adminrefine/internal/domains"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+	"adminrefine/internal/scope"
+)
+
+// These tests cross-check the two related-work administrative baselines —
+// Crampton–Loizou administrative scope and Wang–Osborn administrative
+// domains — against the paper's own authorization regimes on one shared
+// fixture. The method: *compile* the baseline's administrative relation into
+// Definition 3 admin privileges (for every administrator role a and every
+// role r the baseline lets it administer, grant a the privilege ¤(u, r) for
+// every user u), then compare decisions.
+//
+// The compiled policy makes two properties checkable:
+//
+//  1. Exactness under strict Definition 5: the actor reaches ¤(u, r) iff
+//     some activatable role's baseline relation contains r — so strict
+//     authorization must agree with the baseline decision exactly, pair by
+//     pair. This pins the graph-reachability machinery to the published
+//     scope/domain definitions.
+//  2. Soundness under the refined regime (§4.1): refinement only adds
+//     implicitly-held privileges (Ãφ-weaker than held ones), so every
+//     baseline-allowed command must stay allowed, and every extra grant the
+//     refinement admits must come with a held-stronger witness the ordering
+//     validates — implicit authorization, never unexplained authorization.
+
+// crosscheckFixture is a two-branch hierarchy with one top administrator:
+//
+//	r0 → {a1, a2};  a1 → x1 → x2, a1 → x3;  a2 → y1 → y2
+//
+// uroot activates r0, ua activates a1, ub activates a2, unone nothing.
+func crosscheckFixture() *policy.Policy {
+	p := policy.New()
+	p.AddInherit("r0", "a1")
+	p.AddInherit("r0", "a2")
+	p.AddInherit("a1", "x1")
+	p.AddInherit("x1", "x2")
+	p.AddInherit("a1", "x3")
+	p.AddInherit("a2", "y1")
+	p.AddInherit("y1", "y2")
+	p.Assign("uroot", "r0")
+	p.Assign("ua", "a1")
+	p.Assign("ub", "a2")
+	p.DeclareUser("unone")
+	p.DeclareUser("target")
+	return p
+}
+
+var (
+	crosscheckActors = []string{"uroot", "ua", "ub", "unone"}
+	crosscheckUsers  = []string{"target", "ua", "ub"}
+)
+
+// compile clones the base policy and grants each administrator role the
+// ¤(u, r) privileges for exactly the (role → target) pairs in admin.
+func compile(t *testing.T, base *policy.Policy, admin func(adminRole, role string) bool) *policy.Policy {
+	t.Helper()
+	q := base.Clone()
+	for _, ar := range base.Roles() {
+		for _, r := range base.Roles() {
+			if !admin(ar, r) {
+				continue
+			}
+			for _, u := range crosscheckUsers {
+				if _, err := q.GrantPrivilege(ar, model.Grant(model.User(u), model.Role(r))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return q
+}
+
+// crosscheck runs the two-regime comparison of a compiled policy against the
+// baseline decision procedure.
+func crosscheck(t *testing.T, q *policy.Policy, baseline func(actor, role string) bool, what string) {
+	t.Helper()
+	strict := command.Strict{}
+	refined := core.NewRefinedAuthorizer(q)
+	checked, widened := 0, 0
+	for _, actor := range crosscheckActors {
+		for _, role := range q.Roles() {
+			for _, u := range crosscheckUsers {
+				c := command.Grant(actor, model.User(u), model.Role(role))
+				want := baseline(actor, role)
+				if _, got := strict.Authorize(q, c); got != want {
+					t.Fatalf("%s: strict Definition 5 for %s = %v, %s says %v", what, c, got, what, want)
+				}
+				just, got := refined.Authorize(q, c)
+				if want && !got {
+					t.Fatalf("%s: refined regime denies %s, which %s allows", what, c, what)
+				}
+				if got && !want {
+					// The refinement widened the baseline: that is its stated
+					// point (§4.1), but every widening must be *implicit
+					// authorization* — justified by a held Ãφ-stronger
+					// privilege the ordering validates.
+					widened++
+					priv, err := c.Privilege()
+					if err != nil {
+						t.Fatal(err)
+					}
+					d := core.NewDecider(q)
+					held, ok := d.HeldStronger(actor, priv)
+					if !ok {
+						t.Fatalf("%s: refined allows %s with no held-stronger witness", what, c)
+					}
+					if !d.Weaker(held, priv) {
+						t.Fatalf("%s: witness %s for %s is not Ãφ-stronger", what, held, c)
+					}
+					if just == nil {
+						t.Fatalf("%s: refined allows %s without a justification", what, c)
+					}
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatalf("%s: fixture produced no checks", what)
+	}
+	t.Logf("%s: %d decisions cross-checked, %d widened by refinement (each with a validated witness)", what, checked, widened)
+}
+
+// TestScopeAgreesWithRefinedCore asserts Crampton–Loizou strict-scope
+// decisions against the paper's strict and refined authorization on the
+// shared fixture.
+func TestScopeAgreesWithRefinedCore(t *testing.T) {
+	base := crosscheckFixture()
+	adm := scope.New(base)
+	q := compile(t, base, adm.InStrictScope)
+	baseline := func(actor, role string) bool { return scope.CanAssignUser(q, actor, role) }
+	// Sanity: the fixture exercises both verdicts of the baseline.
+	if !baseline("ua", "x2") || baseline("ua", "y1") || baseline("unone", "x2") {
+		t.Fatalf("fixture scope decisions off: ua/x2=%v ua/y1=%v unone/x2=%v",
+			baseline("ua", "x2"), baseline("ua", "y1"), baseline("unone", "x2"))
+	}
+	crosscheck(t, q, baseline, "scope")
+}
+
+// TestRefinedWidensBeyondCompiledScope pins the one asymmetry the
+// agreement tests cannot show (both baselines are downward-closed, so a
+// full compilation leaves refinement nothing to widen): compile only the
+// subtree *root* privilege and the refined regime still authorizes the
+// descendants through Ãφ — Example 5's implicit authorization — exactly
+// where strict Definition 5 denies them. Administrative scope reaches the
+// same verdict structurally (x2 is in a1's strict scope), so refinement
+// recovers the scope baseline's downward closure from a single compiled
+// privilege instead of one per descendant.
+func TestRefinedWidensBeyondCompiledScope(t *testing.T) {
+	q := crosscheckFixture()
+	if _, err := q.GrantPrivilege("a1", model.Grant(model.User("target"), model.Role("x1"))); err != nil {
+		t.Fatal(err)
+	}
+	c := command.Grant("ua", model.User("target"), model.Role("x2"))
+	if _, ok := (command.Strict{}).Authorize(q, c); ok {
+		t.Fatal("strict regime allows the descendant grant")
+	}
+	if !scope.CanAssignUser(q, "ua", "x2") {
+		t.Fatal("x2 left a1's strict scope — fixture drifted")
+	}
+	just, ok := core.NewRefinedAuthorizer(q).Authorize(q, c)
+	if !ok {
+		t.Fatal("refined regime denies the Ãφ-implied descendant grant")
+	}
+	want := model.Grant(model.User("target"), model.Role("x1"))
+	if !model.SamePrivilege(just, want) {
+		t.Fatalf("justification %s, want the held %s", just, want)
+	}
+	if d := core.NewDecider(q); !d.Weaker(want, mustPriv(t, c)) {
+		t.Fatal("ordering does not validate the witness")
+	}
+}
+
+func mustPriv(t *testing.T, c command.Command) model.Privilege {
+	t.Helper()
+	p, err := c.Privilege()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestDomainsAgreeWithRefinedCore does the same for Wang–Osborn
+// administrative domains: two sibling domains under a root domain.
+func TestDomainsAgreeWithRefinedCore(t *testing.T) {
+	base := crosscheckFixture()
+	sys := domains.NewSystem(base)
+	for _, d := range []struct {
+		name, owner, parent string
+		members             []string
+	}{
+		{"root", "r0", "", []string{"r0", "a1", "a2"}},
+		{"left", "a1", "root", []string{"x1", "x2", "x3"}},
+		{"right", "a2", "root", []string{"y1", "y2"}},
+	} {
+		if err := sys.AddDomain(d.name, d.owner, d.parent, d.members...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Compile the ownership relation role-wise: ar administers r when ar
+	// owns r's domain or an ancestor of it. (Administers additionally
+	// resolves which roles an *actor* activates; graph reachability plays
+	// that part in the compiled policy.)
+	byName := map[string]*domains.Domain{}
+	for _, d := range sys.Domains() {
+		byName[d.Name] = d
+	}
+	owners := map[string][]string{} // role → owner chain, innermost first
+	for _, r := range base.Roles() {
+		d, ok := sys.DomainOf(r)
+		for ok {
+			owners[r] = append(owners[r], d.Owner)
+			if d.Parent == "" {
+				break
+			}
+			d, ok = byName[d.Parent], byName[d.Parent] != nil
+		}
+	}
+	q := compile(t, base, func(ar, r string) bool {
+		for _, o := range owners[r] {
+			if o == ar {
+				return true
+			}
+		}
+		return false
+	})
+	// The baseline decision runs the real Administers over the compiled
+	// policy (same domain partition, same activation semantics).
+	qsys := domains.NewSystem(q)
+	for _, d := range sys.Domains() {
+		members := make([]string, 0, len(d.Members))
+		for m := range d.Members {
+			members = append(members, m)
+		}
+		if err := qsys.AddDomain(d.Name, d.Owner, d.Parent, members...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	baseline := qsys.Administers
+	if !baseline("ua", "x2") || baseline("ua", "y1") || !baseline("uroot", "y2") || baseline("unone", "x1") {
+		t.Fatalf("fixture domain decisions off: ua/x2=%v ua/y1=%v uroot/y2=%v unone/x1=%v",
+			baseline("ua", "x2"), baseline("ua", "y1"), baseline("uroot", "y2"), baseline("unone", "x1"))
+	}
+	crosscheck(t, q, baseline, "domains")
+}

@@ -7,16 +7,33 @@
 //
 // Routes (all under /v1, tenant names per tenant.ValidName):
 //
-//	POST /v1/tenants/{tenant}/authorize  {"commands":[...],"min_generation":G} → {"results":[{"allowed":...},...],"generation":G'}
-//	POST /v1/tenants/{tenant}/submit     {"commands":[...]}                    → {"results":[{"outcome":...},...],"generation":G'}
-//	POST /v1/tenants/{tenant}/explain    {"command":{...},"min_generation":G}  → {"explanation":"...","generation":G'}
-//	PUT  /v1/tenants/{tenant}/policy     RPL source                            → 204 (409 once provisioned)
-//	GET  /v1/tenants/{tenant}/stats                                            → tenant.Stats (+ "replication" on followers)
-//	GET  /healthz                                                              → liveness + uptime + role
-//	GET  /v1/replicate/{tenant}/...                                            → log shipping (primary only; see internal/replication)
+//	POST /v1/tenants/{tenant}/authorize      {"commands":[...],"min_generation":G}    → {"results":[{"allowed":...},...],"generation":G'}
+//	POST /v1/tenants/{tenant}/submit         {"commands":[...]}                       → {"results":[{"outcome":...},...],"generation":G'}
+//	POST /v1/tenants/{tenant}/explain        {"command":{...},"min_generation":G}     → {"explanation":"...","generation":G'}
+//	POST /v1/tenants/{tenant}/sessions       {"user":U,"activate":[roles...]}         → {"session":ID,"user":U,"roles":[...],"generation":G'}
+//	POST /v1/tenants/{tenant}/sessions/{sid} {"activate":[...],"deactivate":[...]}    → same shape (role updates)
+//	DELETE /v1/tenants/{tenant}/sessions/{sid}                                        → 204
+//	POST /v1/tenants/{tenant}/check          {"session":ID,"checks":[{"action","object"},...],"min_generation":G}
+//	                                                                                  → {"results":[{"allowed":...},...],"generation":G'}
+//	GET  /v1/tenants/{tenant}/audit?after=N&limit=K                                   → {"records":[...],"total":T,"generation":G'}
+//	PUT  /v1/tenants/{tenant}/policy         RPL source                               → 204 (409 once provisioned)
+//	GET  /v1/tenants/{tenant}/stats                                                   → tenant.Stats (+ "replication", "sessions")
+//	GET  /healthz                                                                     → liveness + uptime + role
+//	GET  /v1/replicate/{tenant}/...                                                   → log shipping (primary only; see internal/replication)
 //
-// Reads (authorize, explain, stats) of a tenant with no durable state return
-// 404 and never create one; writes (submit, policy) create the tenant.
+// Reads (authorize, explain, stats, sessions, check, audit) of a tenant with
+// no durable state return 404 and never create one; writes (submit, policy)
+// create the tenant.
+//
+// Sessions are node-local (see internal/session): a client creates its
+// session on the replica it reads from, and a SIGTERM drain drops them
+// (they are not replicated — the audit trail and policy are). Checks are
+// the paper's access-check workload: each one asks whether the session may
+// exercise a user privilege through its activated roles, served by the
+// session fast path with the same min_generation consistency contract as
+// authorize. The audit endpoint serves the durable audit trail recovered
+// from and retained alongside the WAL — on followers this is the replicated
+// trail, so audit survives losing the primary.
 //
 // Generation tokens: every response carries the engine generation it was
 // served at, and every write response's generation is the token for
@@ -42,14 +59,18 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"adminrefine/internal/command"
+	"adminrefine/internal/constraints"
 	"adminrefine/internal/engine"
 	"adminrefine/internal/model"
 	"adminrefine/internal/parser"
 	"adminrefine/internal/replication"
+	"adminrefine/internal/session"
+	"adminrefine/internal/storage"
 	"adminrefine/internal/tenant"
 )
 
@@ -60,17 +81,54 @@ const maxBodyBytes = 8 << 20
 // handlers: decode targets and result buffers recycled through a pool so a
 // steady request stream reuses storage instead of allocating per call. A
 // scratch is only pooled again after the response is written.
+//
+// Every field is request-scoped state and MUST be covered by reset():
+// encoding/json merges into existing values, so a decode target carrying a
+// previous request's data silently leaks it into any request that omits the
+// field (PR 4 shipped exactly this bug with MinGeneration). The regression
+// test TestScratchFieldsZeroedBetweenRequests enumerates the fields by
+// reflection and fails on any it does not know to be covered.
 type batchScratch struct {
-	req     BatchRequest
-	cmds    []command.Command
-	results []engine.AuthzResult
-	authOut []AuthorizeResult
-	subOut  []SubmitResult
+	// Decode targets: reset fully (elements and scalars) before every use.
+	req      BatchRequest
+	checkReq CheckRequest
+	// Result buffers: overwritten index-by-index up to the current request's
+	// length before any read, so only their lengths are reset.
+	cmds     []command.Command
+	results  []engine.AuthzResult
+	authOut  []AuthorizeResult
+	subOut   []SubmitResult
+	checkOut []CheckResult
+}
+
+// reset zeroes the request-visible state while keeping every buffer's
+// capacity warm. Called on every scratch acquisition.
+func (sc *batchScratch) reset() {
+	// Zero the reused elements before decoding: encoding/json merges into
+	// existing slice elements, so without this a command that omits a field
+	// would silently inherit that field from a previous request on the same
+	// pooled scratch. Rebuilding the structs zeroes the scalar fields
+	// (MinGeneration, Session) the same way.
+	cmds := sc.req.Commands[:cap(sc.req.Commands)]
+	clear(cmds)
+	sc.req = BatchRequest{Commands: cmds[:0]}
+	checks := sc.checkReq.Checks[:cap(sc.checkReq.Checks)]
+	clear(checks)
+	sc.checkReq = CheckRequest{Checks: checks[:0]}
+	sc.cmds = sc.cmds[:0]
+	sc.results = sc.results[:0]
+	sc.authOut = sc.authOut[:0]
+	sc.subOut = sc.subOut[:0]
+	sc.checkOut = sc.checkOut[:0]
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
 
-func getScratch() *batchScratch  { return scratchPool.Get().(*batchScratch) }
+func getScratch() *batchScratch {
+	sc := scratchPool.Get().(*batchScratch)
+	sc.reset()
+	return sc
+}
 func putScratch(s *batchScratch) { scratchPool.Put(s) }
 
 // Config configures a Server beyond its registry.
@@ -88,6 +146,13 @@ type Config struct {
 	// ReplicationMaxWait caps the primary's long-poll pull hold (default
 	// 30s; ignored in follower mode).
 	ReplicationMaxWait time.Duration
+	// Constraints optionally guards session role activations (DSD). Pass
+	// the same set as tenant.Options.Constraints so the write path (SSD)
+	// and the activation path enforce one regime.
+	Constraints *constraints.Set
+	// SessionCacheSlots sizes each tenant's session check-verdict cache
+	// (0 = default; negative disables).
+	SessionCacheSlots int
 }
 
 // Server is the HTTP facade over a tenant registry — a primary (serving its
@@ -96,6 +161,7 @@ type Server struct {
 	reg        *tenant.Registry
 	follower   *replication.Follower
 	source     *replication.Source
+	sessions   *session.Registry
 	minGenWait time.Duration
 	mux        *http.ServeMux
 	start      time.Time
@@ -115,8 +181,12 @@ func NewWithConfig(cfg Config) *Server {
 		cfg.MinGenWait = 2 * time.Second
 	}
 	s := &Server{
-		reg:        cfg.Registry,
-		follower:   cfg.Follower,
+		reg:      cfg.Registry,
+		follower: cfg.Follower,
+		sessions: session.NewRegistry(session.Options{
+			Constraints: cfg.Constraints,
+			CacheSlots:  cfg.SessionCacheSlots,
+		}),
 		minGenWait: cfg.MinGenWait,
 		mux:        http.NewServeMux(),
 		start:      time.Now(),
@@ -124,6 +194,11 @@ func NewWithConfig(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/authorize", s.handleAuthorize)
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/submit", s.handleSubmit)
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/explain", s.handleExplain)
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/sessions/{sid}", s.handleSessionUpdate)
+	s.mux.HandleFunc("DELETE /v1/tenants/{tenant}/sessions/{sid}", s.handleSessionDelete)
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/check", s.handleCheck)
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}/audit", s.handleAudit)
 	s.mux.HandleFunc("PUT /v1/tenants/{tenant}/policy", s.handlePutPolicy)
 	s.mux.HandleFunc("GET /v1/tenants/{tenant}/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -134,15 +209,22 @@ func NewWithConfig(cfg Config) *Server {
 	return s
 }
 
-// Close releases the server's replication resources: on a primary it wakes
-// every parked follower long-poll so http.Server.Shutdown can drain without
-// waiting out their poll budgets (Shutdown does not cancel in-flight request
-// contexts). Call it before or alongside Shutdown.
+// Close releases the server's serving-state resources: it drains the
+// node-local session tables (sessions die with the node — before the
+// registry compacts and closes) and, on a primary, wakes every parked
+// follower long-poll so http.Server.Shutdown can drain without waiting out
+// their poll budgets (Shutdown does not cancel in-flight request contexts).
+// Call it before or alongside Shutdown.
 func (s *Server) Close() {
+	s.DrainSessions()
 	if s.source != nil {
 		s.source.Close()
 	}
 }
+
+// DrainSessions drops every open session on this node, returning how many
+// were live — the SIGTERM hook (idempotent; Close calls it too).
+func (s *Server) DrainSessions() int { return s.sessions.DrainAll() }
 
 // role names the server's replication role for stats and health.
 func (s *Server) role() string {
@@ -279,17 +361,53 @@ type ExplainRequest struct {
 	MinGeneration uint64 `json:"min_generation,omitempty"`
 }
 
+// SessionRequest creates a session (User + initial Activate set) or updates
+// one (Activate / Deactivate role lists; User ignored).
+type SessionRequest struct {
+	User       string   `json:"user,omitempty"`
+	Activate   []string `json:"activate,omitempty"`
+	Deactivate []string `json:"deactivate,omitempty"`
+	// MinGeneration is the read-your-writes token: role validation runs
+	// against a replica state at least this fresh (e.g. right after a
+	// grant made the role activatable).
+	MinGeneration uint64 `json:"min_generation,omitempty"`
+}
+
+// SessionResponse describes a session's current state on this node.
+type SessionResponse struct {
+	Session    uint64   `json:"session"`
+	User       string   `json:"user"`
+	Roles      []string `json:"roles"`
+	Generation uint64   `json:"generation"`
+}
+
+// CheckQuery is one access check: may the session perform (action, object)?
+type CheckQuery struct {
+	Action string `json:"action"`
+	Object string `json:"object"`
+}
+
+// CheckRequest carries a batch of access checks for one session.
+type CheckRequest struct {
+	Session uint64       `json:"session"`
+	Checks  []CheckQuery `json:"checks"`
+	// MinGeneration is the same consistency token BatchRequest carries: the
+	// serving replica answers at a generation at least this large or fails
+	// with 409 — a follower never serves a check staler than the token.
+	MinGeneration uint64 `json:"min_generation,omitempty"`
+}
+
+// CheckResult is one access-check verdict on the wire.
+type CheckResult struct {
+	Allowed bool `json:"allowed"`
+}
+
 // decodeBatch decodes the request body into the scratch's reused command
 // slice. The returned commands alias sc's storage and are valid until the
 // scratch is pooled again.
 func (s *Server) decodeBatch(sc *batchScratch, w http.ResponseWriter, r *http.Request) ([]command.Command, bool) {
-	// Zero the reused elements before decoding: encoding/json merges into
-	// existing slice elements, so without this a command that omits a field
-	// would silently inherit that field from a previous request on the same
-	// pooled scratch. The scalar fields (MinGeneration) need the same reset.
-	full := sc.req.Commands[:cap(sc.req.Commands)]
-	clear(full)
-	sc.req = BatchRequest{Commands: full[:0]}
+	// The scratch arrived reset (see getScratch): decode targets hold no
+	// previous request's data for encoding/json to merge with.
 	if err := json.NewDecoder(r.Body).Decode(&sc.req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return nil, false
@@ -414,6 +532,186 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"explanation": text, "generation": gen})
 }
 
+// sessionResponse renders a session's state with the generation it was
+// validated at.
+func sessionResponse(sess *session.Session, gen uint64) SessionResponse {
+	return SessionResponse{Session: sess.ID, User: sess.User, Roles: sess.Roles(), Generation: gen}
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if req.User == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("session create needs a user"))
+		return
+	}
+	name := r.PathValue("tenant")
+	if !s.ensureReplica(w, name) || !s.awaitGeneration(w, r, name, req.MinGeneration) {
+		return
+	}
+	snap, release, err := s.reg.View(name)
+	if err != nil {
+		tenantError(w, err)
+		return
+	}
+	defer release()
+	sess, err := s.sessions.Table(name).Create(snap, req.User, req.Activate)
+	if err != nil {
+		// Capacity pressure is retryable elsewhere/later; everything else
+		// that survives the validation above is an activation denial.
+		if session.IsTableFull(err) {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		httpError(w, http.StatusForbidden, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionResponse(sess, snap.Generation()))
+}
+
+// resolveSession parses the {sid} path value and the tenant's table.
+func (s *Server) resolveSession(w http.ResponseWriter, r *http.Request) (*session.Table, uint64, bool) {
+	sid, err := strconv.ParseUint(r.PathValue("sid"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad session id %q", r.PathValue("sid")))
+		return nil, 0, false
+	}
+	tbl, ok := s.sessions.Peek(r.PathValue("tenant"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no session %d (sessions are node-local)", sid))
+		return nil, 0, false
+	}
+	return tbl, sid, true
+}
+
+func (s *Server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	name := r.PathValue("tenant")
+	if !s.ensureReplica(w, name) || !s.awaitGeneration(w, r, name, req.MinGeneration) {
+		return
+	}
+	tbl, sid, ok := s.resolveSession(w, r)
+	if !ok {
+		return
+	}
+	snap, release, err := s.reg.View(name)
+	if err != nil {
+		tenantError(w, err)
+		return
+	}
+	defer release()
+	// One atomic role-set change: a rejected update (unknown role, DSD
+	// veto, …) leaves the session exactly as it was.
+	sess, err := tbl.Update(snap, sid, req.Activate, req.Deactivate)
+	if err != nil {
+		httpError(w, http.StatusForbidden, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionResponse(sess, snap.Generation()))
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	tbl, sid, ok := s.resolveSession(w, r)
+	if !ok {
+		return
+	}
+	if err := tbl.Drop(sid); err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	sc := getScratch()
+	defer putScratch(sc)
+	if err := json.NewDecoder(r.Body).Decode(&sc.checkReq); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(sc.checkReq.Checks) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty check batch"))
+		return
+	}
+	name := r.PathValue("tenant")
+	if !s.ensureReplica(w, name) || !s.awaitGeneration(w, r, name, sc.checkReq.MinGeneration) {
+		return
+	}
+	tbl, ok := s.sessions.Peek(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no session %d (sessions are node-local)", sc.checkReq.Session))
+		return
+	}
+	snap, release, err := s.reg.View(name)
+	if err != nil {
+		tenantError(w, err)
+		return
+	}
+	defer release()
+	if cap(sc.checkOut) < len(sc.checkReq.Checks) {
+		sc.checkOut = make([]CheckResult, len(sc.checkReq.Checks))
+	}
+	out := sc.checkOut[:len(sc.checkReq.Checks)]
+	for i, q := range sc.checkReq.Checks {
+		allowed, err := tbl.Check(snap, sc.checkReq.Session, model.Perm(q.Action, q.Object))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		out[i] = CheckResult{Allowed: allowed}
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Results: out, Generation: snap.Generation()})
+}
+
+// auditResponse is the audit endpoint's envelope: the retained records, the
+// total ever seen (a larger total means the in-memory window trimmed older
+// entries), and the generation served at.
+type auditResponse struct {
+	Records    []storage.Record `json:"records"`
+	Total      uint64           `json:"total"`
+	Generation uint64           `json:"generation"`
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	if !s.ensureReplica(w, name) {
+		return
+	}
+	after, limit := uint64(0), 256
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad after %q", v))
+			return
+		}
+		after = n
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		limit = n
+	}
+	records, total, gen, err := s.reg.Audit(name, after, limit)
+	if err != nil {
+		tenantError(w, err)
+		return
+	}
+	if records == nil {
+		records = []storage.Record{}
+	}
+	writeJSON(w, http.StatusOK, auditResponse{Records: records, Total: total, Generation: gen})
+}
+
 func (s *Server) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
 	if s.follower != nil {
 		s.redirectUpstream(w, r)
@@ -445,10 +743,12 @@ func (s *Server) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
 }
 
 // statsResponse wraps tenant stats with the follower's replication
-// telemetry; the embedding keeps the primary's wire shape unchanged.
+// telemetry and this node's session-table counters; the embedding keeps the
+// primary's wire shape unchanged.
 type statsResponse struct {
 	tenant.Stats
 	Replication *replication.LagStats `json:"replication,omitempty"`
+	Sessions    *session.Stats        `json:"sessions,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -467,6 +767,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			out.Replication = &lag
 		}
 	}
+	if tbl, ok := s.sessions.Peek(name); ok {
+		sst := tbl.Stats()
+		out.Sessions = &sst
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -476,6 +780,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"role":     s.role(),
 		"uptime":   time.Since(s.start).Round(time.Millisecond).String(),
 		"resident": s.reg.Resident(),
+		"sessions": s.sessions.Sessions(),
 	}
 	if s.follower != nil {
 		body["upstream"] = s.follower.Upstream()

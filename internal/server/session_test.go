@@ -1,0 +1,293 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/constraints"
+	"adminrefine/internal/engine"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+	"adminrefine/internal/tenant"
+)
+
+func TestSessionAndCheckEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	if code := putPolicy(t, ts.URL, "acme", policy.Figure1()); code != http.StatusNoContent {
+		t.Fatalf("put policy status %d", code)
+	}
+
+	// Create: diana as nurse.
+	var sess SessionResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/sessions",
+		map[string]any{"user": policy.UserDiana, "activate": []string{policy.RoleNurse}}, &sess); code != http.StatusOK {
+		t.Fatalf("create session status %d", code)
+	}
+	if sess.User != policy.UserDiana || len(sess.Roles) != 1 || sess.Roles[0] != policy.RoleNurse {
+		t.Fatalf("session = %+v", sess)
+	}
+
+	// An unactivatable role is refused.
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/sessions",
+		map[string]any{"user": policy.UserDiana, "activate": []string{policy.RoleSO}}, nil); code != http.StatusForbidden {
+		t.Fatalf("SO activation status %d, want 403", code)
+	}
+
+	// Batched check: nurse reads t1/t2 but does not write t3.
+	check := func(queries []map[string]any, want []bool) {
+		t.Helper()
+		var out struct {
+			Results    []CheckResult `json:"results"`
+			Generation uint64        `json:"generation"`
+		}
+		if code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/check",
+			map[string]any{"session": sess.Session, "checks": queries}, &out); code != http.StatusOK {
+			t.Fatalf("check status %d", code)
+		}
+		if len(out.Results) != len(want) {
+			t.Fatalf("results %+v, want %d", out.Results, len(want))
+		}
+		for i, w := range want {
+			if out.Results[i].Allowed != w {
+				t.Fatalf("check %d (%v) = %v, want %v", i, queries[i], out.Results[i].Allowed, w)
+			}
+		}
+	}
+	check([]map[string]any{
+		{"action": "read", "object": "t1"},
+		{"action": "read", "object": "t2"},
+		{"action": "write", "object": "t3"},
+	}, []bool{true, true, false})
+
+	// Activate staff: write t3 opens up; deactivate: it closes again.
+	var upd SessionResponse
+	url := fmt.Sprintf("%s/v1/tenants/acme/sessions/%d", ts.URL, sess.Session)
+	if code := doJSON(t, http.MethodPost, url, map[string]any{"activate": []string{policy.RoleStaff}}, &upd); code != http.StatusOK {
+		t.Fatalf("activate status %d", code)
+	}
+	if len(upd.Roles) != 2 {
+		t.Fatalf("roles after activate = %v", upd.Roles)
+	}
+	check([]map[string]any{{"action": "write", "object": "t3"}}, []bool{true})
+	if code := doJSON(t, http.MethodPost, url, map[string]any{"deactivate": []string{policy.RoleStaff}}, &upd); code != http.StatusOK {
+		t.Fatalf("deactivate status %d", code)
+	}
+	check([]map[string]any{{"action": "write", "object": "t3"}}, []bool{false})
+
+	// Unknown session and empty batch are client errors.
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/check",
+		map[string]any{"session": 999, "checks": []map[string]any{{"action": "read", "object": "t1"}}}, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown session check status %d", code)
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/check",
+		map[string]any{"session": sess.Session}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty check batch status %d", code)
+	}
+
+	// Stats surfaces the session table; healthz counts live sessions.
+	var st struct {
+		Sessions *struct {
+			Sessions int    `json:"sessions"`
+			Checks   uint64 `json:"checks"`
+		} `json:"sessions"`
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/tenants/acme/stats", nil, &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Sessions == nil || st.Sessions.Sessions != 1 || st.Sessions.Checks == 0 {
+		t.Fatalf("stats sessions block = %+v", st.Sessions)
+	}
+
+	// Delete ends the session; further checks are 404.
+	req, _ := http.NewRequest(http.MethodDelete, url, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/check",
+		map[string]any{"session": sess.Session, "checks": []map[string]any{{"action": "read", "object": "t1"}}}, nil); code != http.StatusNotFound {
+		t.Fatalf("check on deleted session status %d", code)
+	}
+}
+
+func TestSessionDSDConstraintOverHTTP(t *testing.T) {
+	cons, err := constraints.ParseJSON([]byte(fmt.Sprintf(
+		`[{"name":"nd","kind":"dsd","roles":[%q,%q],"n":2}]`, policy.RoleNurse, policy.RoleStaff)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := tenant.New(tenant.Options{Dir: t.TempDir(), Mode: engine.Refined, Constraints: cons})
+	ts := httptest.NewServer(NewWithConfig(Config{Registry: reg, Constraints: cons}))
+	t.Cleanup(func() {
+		ts.Close()
+		reg.Close()
+	})
+	if code := putPolicy(t, ts.URL, "acme", policy.Figure1()); code != http.StatusNoContent {
+		t.Fatalf("put policy status %d", code)
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/sessions",
+		map[string]any{"user": policy.UserDiana, "activate": []string{policy.RoleNurse, policy.RoleStaff}}, nil); code != http.StatusForbidden {
+		t.Fatalf("DSD-violating create status %d, want 403", code)
+	}
+	var sess SessionResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/sessions",
+		map[string]any{"user": policy.UserDiana, "activate": []string{policy.RoleNurse}}, &sess); code != http.StatusOK {
+		t.Fatalf("create status %d", code)
+	}
+	url := fmt.Sprintf("%s/v1/tenants/acme/sessions/%d", ts.URL, sess.Session)
+	if code := doJSON(t, http.MethodPost, url, map[string]any{"activate": []string{policy.RoleStaff}}, nil); code != http.StatusForbidden {
+		t.Fatalf("DSD-violating activate status %d, want 403", code)
+	}
+}
+
+// ssdFixture is a minimal policy whose base state satisfies the {eng, qa}
+// SSD pair while jane holds the grant privileges to breach it: the
+// install-veto stays quiet and the write-path guard has something to catch.
+func ssdFixture() (*policy.Policy, *constraints.Set, error) {
+	p := policy.New()
+	p.Assign("jane", "HR")
+	for _, role := range []string{"eng", "qa"} {
+		p.DeclareRole(role)
+		if _, err := p.GrantPrivilege("HR", model.Grant(model.User("bob"), model.Role(role))); err != nil {
+			return nil, nil, err
+		}
+	}
+	cons, err := constraints.NewSet(constraints.Constraint{
+		Name: "eng-qa", Kind: constraints.SSD, Roles: []string{"eng", "qa"}, N: 2,
+	})
+	return p, cons, err
+}
+
+// TestAuditEndpoint drives applied, denied and constraint-vetoed submits and
+// asserts the audit trail surfaces all of them with outcomes and reasons.
+func TestAuditEndpoint(t *testing.T) {
+	pol, cons, err := ssdFixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := tenant.New(tenant.Options{Dir: t.TempDir(), Mode: engine.Refined, Constraints: cons})
+	ts := httptest.NewServer(NewWithConfig(Config{Registry: reg, Constraints: cons}))
+	t.Cleanup(func() {
+		ts.Close()
+		reg.Close()
+	})
+	if code := putPolicy(t, ts.URL, "acme", pol); code != http.StatusNoContent {
+		t.Fatalf("put policy status %d", code)
+	}
+
+	applied := command.Grant("jane", model.User("bob"), model.Role("eng"))
+	denied := command.Grant("bob", model.User("joe"), model.Role("eng"))
+	// bob already in eng: assigning him to qa would breach the SSD pair.
+	vetoed := command.Grant("jane", model.User("bob"), model.Role("qa"))
+	var sub struct {
+		Results []SubmitResult `json:"results"`
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/submit", wire(t, applied, denied, vetoed), &sub); code != http.StatusOK {
+		t.Fatalf("submit status %d", code)
+	}
+	wantOutcomes := []string{"applied", "denied", "denied"}
+	for i, w := range wantOutcomes {
+		if sub.Results[i].Outcome != w {
+			t.Fatalf("submit result %d = %+v, want %s", i, sub.Results[i], w)
+		}
+	}
+
+	var audit auditResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/tenants/acme/audit", nil, &audit); code != http.StatusOK {
+		t.Fatalf("audit status %d", code)
+	}
+	if audit.Total != 3 || len(audit.Records) != 3 {
+		t.Fatalf("audit total %d records %d, want 3/3", audit.Total, len(audit.Records))
+	}
+	byOutcome := map[string]int{}
+	for _, r := range audit.Records {
+		if !r.IsAudit() {
+			t.Fatalf("non-audit record on the audit endpoint: %+v", r)
+		}
+		byOutcome[r.Outcome]++
+		if r.Outcome == "applied" && r.Actor != "jane" {
+			t.Fatalf("applied audit actor %q", r.Actor)
+		}
+	}
+	if byOutcome["applied"] != 1 || byOutcome["denied"] != 2 {
+		t.Fatalf("audit outcomes %v", byOutcome)
+	}
+	// Exactly one denial carries the SSD veto reason.
+	reasons := 0
+	for _, r := range audit.Records {
+		if r.Reason != "" {
+			reasons++
+		}
+	}
+	if reasons != 1 {
+		t.Fatalf("%d audit records carry a veto reason, want 1", reasons)
+	}
+
+	// after= pages on the unique audit index (aseq), not the shared step
+	// sequence number: no-effect audits all share their generation's Seq,
+	// so Seq could never address them individually.
+	for i, r := range audit.Records {
+		if r.ASeq != uint64(i+1) {
+			t.Fatalf("audit record %d has aseq %d, want %d", i, r.ASeq, i+1)
+		}
+	}
+	var page auditResponse
+	if code := doJSON(t, http.MethodGet,
+		fmt.Sprintf("%s/v1/tenants/acme/audit?after=%d&limit=1", ts.URL, audit.Records[0].ASeq), nil, &page); code != http.StatusOK {
+		t.Fatalf("audit page status %d", code)
+	}
+	if len(page.Records) != 1 || page.Records[0].ASeq != audit.Records[1].ASeq {
+		t.Fatalf("audit page after aseq=1 limit=1 = %+v, want record 2", page.Records)
+	}
+	var tail auditResponse
+	if code := doJSON(t, http.MethodGet,
+		fmt.Sprintf("%s/v1/tenants/acme/audit?after=%d", ts.URL, audit.Records[len(audit.Records)-1].ASeq), nil, &tail); code != http.StatusOK {
+		t.Fatalf("audit after status %d", code)
+	}
+	if len(tail.Records) != 0 {
+		t.Fatalf("audit after the last index returned %d records", len(tail.Records))
+	}
+}
+
+// TestAuditSurvivesReopen asserts the audit trail is recovered from the WAL
+// on a fresh registry over the same directory — the in-process half of the
+// durability contract (the SIGKILL e2e lives in cmd/rbacd).
+func TestAuditSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	reg := tenant.New(tenant.Options{Dir: dir, Mode: engine.Refined})
+	if err := reg.InstallPolicy("acme", policy.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	applied := command.Grant(policy.UserJane, model.User(policy.UserBob), model.Role(policy.RoleStaff))
+	denied := command.Grant(policy.UserBob, model.User(policy.UserJoe), model.Role(policy.RoleHR))
+	if _, _, err := reg.SubmitBatch("acme", []command.Command{applied, denied}); err != nil {
+		t.Fatal(err)
+	}
+	before, _, _, err := reg.Audit("acme", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Close()
+
+	reg2 := tenant.New(tenant.Options{Dir: dir, Mode: engine.Refined})
+	defer reg2.Close()
+	after, total, _, err := reg2.Audit("acme", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) || total != uint64(len(before)) {
+		t.Fatalf("recovered %d audit records (total %d), want %d", len(after), total, len(before))
+	}
+	for i := range after {
+		if after[i].Outcome != before[i].Outcome || after[i].Seq != before[i].Seq || !after[i].IsAudit() {
+			t.Fatalf("recovered audit record %d = %+v, want %+v", i, after[i], before[i])
+		}
+	}
+}

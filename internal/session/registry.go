@@ -1,0 +1,62 @@
+package session
+
+import "sync"
+
+// Registry holds one session Table per tenant on this node. Tables are
+// created on first touch and live until DrainAll — they are runtime state,
+// deliberately decoupled from the tenant registry's residency/LRU lifecycle
+// (evicting a tenant's engine must not log out its users).
+type Registry struct {
+	opts   Options
+	mu     sync.Mutex
+	tables map[string]*Table
+}
+
+// NewRegistry builds an empty registry; every table inherits opts.
+func NewRegistry(opts Options) *Registry {
+	return &Registry{opts: opts, tables: make(map[string]*Table)}
+}
+
+// Table returns the tenant's session table, creating it on first touch.
+func (r *Registry) Table(tenant string) *Table {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.tables[tenant]
+	if !ok {
+		t = NewTable(r.opts)
+		r.tables[tenant] = t
+	}
+	return t
+}
+
+// Peek returns the tenant's table without creating one.
+func (r *Registry) Peek(tenant string) (*Table, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.tables[tenant]
+	return t, ok
+}
+
+// Sessions reports the live session count across all tables.
+func (r *Registry) Sessions() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, t := range r.tables {
+		n += t.Len()
+	}
+	return n
+}
+
+// DrainAll drops every session of every table, returning how many were
+// live — the server's SIGTERM hook, run before the registry compacts so
+// shutdown surfaces the sessions it is abandoning.
+func (r *Registry) DrainAll() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, t := range r.tables {
+		n += t.Drain()
+	}
+	return n
+}

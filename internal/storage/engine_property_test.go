@@ -95,9 +95,14 @@ func TestEngineRecoveryFromTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The engine-path commit writes two frames per applied command — the
+	// step record and its audit twin — so every cut below additionally
+	// exercises mixed step/audit tails: a tear between a step and its audit
+	// must recover the step (and its policy effect) while dropping only the
+	// audit observation.
 	ends := recordEnds(t, wal)
-	if len(ends) != ops+1 {
-		t.Fatalf("parsed %d records in the WAL, want %d", len(ends)-1, ops)
+	if len(ends) != 2*ops+1 {
+		t.Fatalf("parsed %d records in the WAL, want %d", len(ends)-1, 2*ops)
 	}
 
 	// Expected policy after k applied records.
@@ -111,13 +116,16 @@ func TestEngineRecoveryFromTornTail(t *testing.T) {
 		prefixes[i+1] = cur.Clone()
 	}
 
-	// prefixFor maps a surviving byte length to the number of whole records.
+	// prefixFor maps a surviving byte length to the number of whole *step*
+	// records: frames alternate step, audit, step, audit, …, so k surviving
+	// frames carry ceil(k/2) steps (a surviving step whose audit twin was
+	// torn away still counts — the effect is durable, the observation not).
 	prefixFor := func(cut int) int {
 		k := 0
 		for k+1 < len(ends) && ends[k+1] <= cut {
 			k++
 		}
-		return k
+		return (k + 1) / 2
 	}
 
 	check := func(cut, flip, wantK int, what string) {
@@ -166,10 +174,11 @@ func TestEngineRecoveryFromTornTail(t *testing.T) {
 		check(cut, -1, prefixFor(cut), "random cut")
 	}
 	// Bit flips inside the tail record: the CRC must reject the damaged
-	// record, truncating recovery to the previous boundary.
+	// record, truncating recovery to the previous boundary — whether the
+	// damaged frame is a step or an audit record.
 	for trial := 0; trial < 20; trial++ {
-		k := rng.Intn(ops)
+		k := rng.Intn(2 * ops)
 		flip := ends[k] + 8 + rng.Intn(ends[k+1]-ends[k]-8) // inside payload k
-		check(len(wal), flip, k, "flipped payload byte")
+		check(len(wal), flip, (k+1)/2, "flipped payload byte")
 	}
 }

@@ -119,12 +119,24 @@ func FuzzWALDecode(f *testing.F) {
 		From: json.RawMessage(`{"user":"bob"}`), To: json.RawMessage(`{"role":"staff"}`), Outcome: "applied"}
 	rec2 := rec
 	rec2.Seq, rec2.Op, rec2.Outcome = 2, "revoke", "denied"
+	// The audit record kind rides the same framing: a step with its audit
+	// twin (the commit-hook layout), a standalone veto audit, and a tear
+	// landing between a step and its audit.
+	audit := rec
+	audit.Kind, audit.Reason = KindAudit, ""
+	veto := rec2
+	veto.Kind, veto.Reason = KindAudit, "SSD eng-qa violated by bob"
 	f.Add([]byte{})
 	f.Add(frame(rec))
 	f.Add(frame(rec, rec2))
-	f.Add(frame(rec, rec2)[:len(frame(rec, rec2))-3]) // torn tail
-	f.Add(append(frame(rec), 0xff, 0x00, 0x13))       // garbage tail
-	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}) // implausible length
+	f.Add(frame(rec, audit))
+	f.Add(frame(rec, audit, veto))
+	f.Add(frame(rec, rec2)[:len(frame(rec, rec2))-3])   // torn tail
+	f.Add(frame(rec, audit)[:len(frame(rec, audit))-5]) // torn mixed step/audit tail
+	f.Add(frame(rec, audit, veto)[:len(frame(rec))+4])  // tear inside the audit header
+	f.Add(append(frame(veto), 0xff, 0x00, 0x13))        // garbage after an audit frame
+	f.Add(append(frame(rec), 0xff, 0x00, 0x13))         // garbage tail
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})   // implausible length
 	f.Fuzz(func(t *testing.T, data []byte) {
 		validEnd, records := DecodeFrames(data)
 		if validEnd < 0 || validEnd > len(data) {

@@ -39,15 +39,39 @@ import (
 
 const logMagic = "ARWAL1\n"
 
+// KindAudit marks an audit record: a logged observation of one processed
+// administrative command (any outcome, with an optional denial reason) that
+// is never replayed into the policy. An empty Kind is a step record — the
+// original WAL record kind, a command whose effect recovery replays.
+const KindAudit = "audit"
+
 // Record is one logged administrative command with its outcome.
 type Record struct {
+	// Kind distinguishes step records ("" — replayed into the policy on
+	// recovery) from audit records (KindAudit — collected into the audit
+	// log, never replayed).
+	Kind    string          `json:"kind,omitempty"`
 	Seq     int             `json:"seq"`
 	Actor   string          `json:"actor"`
 	Op      string          `json:"op"` // "grant" or "revoke"
 	From    json.RawMessage `json:"from"`
 	To      json.RawMessage `json:"to"`
 	Outcome string          `json:"outcome"` // "applied", "nochange", "denied", "illformed"
+	// Reason carries a denial explanation beyond Definition 5 (e.g. a
+	// separation-of-duty veto) on audit records.
+	Reason string `json:"reason,omitempty"`
+	// ASeq is the store-local audit index (1, 2, …), assigned at append
+	// time on audit records. Unlike Seq — the engine generation, which
+	// every no-effect audit at the same generation shares — ASeq is unique
+	// per record, so it is the pagination cursor of the audit log. It is
+	// node-local: a follower re-indexes adopted/replicated audit records
+	// into its own sequence.
+	ASeq uint64 `json:"aseq,omitempty"`
 }
+
+// IsAudit reports whether the record is an audit observation rather than a
+// replayable step.
+func (r Record) IsAudit() bool { return r.Kind == KindAudit }
 
 // NewRecord converts an audit entry into a loggable record.
 func NewRecord(e monitor.AuditEntry) (Record, error) {
@@ -99,6 +123,9 @@ type Recovery struct {
 	Records int
 	// Applied is the number of replayed records that mutated the policy.
 	Applied int
+	// AuditRecords is the number of audit records recovered into the audit
+	// log (they are collected, never replayed).
+	AuditRecords int `json:",omitempty"`
 	// DroppedBytes counts torn-tail bytes truncated from the log.
 	DroppedBytes int
 }
@@ -130,11 +157,26 @@ type Store struct {
 	// than tailBase but still at or above snapBase.
 	tail     []Record
 	tailBase int
+	// audit is the in-memory recent-audit log (capped at maxAudit): every
+	// audit record appended or recovered, in append order. It survives head
+	// compactions like the record tail does; the durable window on disk is
+	// bounded by compaction (a compaction folds the log, audit records
+	// included, into the snapshot).
+	audit []Record
+	// auditTotal counts every audit record ever seen by this store instance
+	// (recovered + appended), so consumers can detect ring truncation.
+	auditTotal uint64
+	// lastASeq is the highest audit index assigned or recovered; appends
+	// continue from it.
+	lastASeq uint64
 	// sinceCompact counts log records written since the last compaction
 	// (records already in the log at Open count too): the compaction-trigger
 	// signal.
 	sinceCompact int
 }
+
+// maxAudit caps the in-memory recent-audit log.
+const maxAudit = 1024
 
 // maxTail caps the in-memory record tail; with the default compaction
 // budget the whole log fits.
@@ -200,7 +242,16 @@ func Open(dir string, opts Options) (*Store, *policy.Policy, Recovery, error) {
 		f.Close()
 		return nil, nil, rec, err
 	}
+	var auditRecs []Record
 	for _, r := range records {
+		if r.IsAudit() {
+			// Audit records are observations, not effects: collect them for
+			// the audit log before the sequence filter (they share their
+			// step's sequence number) and never replay them.
+			auditRecs = append(auditRecs, r)
+			rec.AuditRecords++
+			continue
+		}
 		if r.Seq <= seq {
 			continue // already covered by the snapshot
 		}
@@ -223,7 +274,12 @@ func Open(dir string, opts Options) (*Store, *policy.Policy, Recovery, error) {
 		seq = r.Seq
 	}
 
-	s := &Store{dir: dir, opts: opts, f: f, seq: seq, snapBase: snapSeq, sinceCompact: len(records)}
+	// Seed the compaction trigger with the step records only: the log also
+	// carries the re-appended audit window (see compactLocked), and counting
+	// it would re-trigger a full compaction on the first submit after every
+	// restart of a store with a populated window.
+	s := &Store{dir: dir, opts: opts, f: f, seq: seq, snapBase: snapSeq,
+		sinceCompact: len(records) - len(auditRecs)}
 	// Seed the in-memory tail with the decoded log (records at or below
 	// snapBase, if a crash mid-compaction left any, are filtered at serve
 	// time exactly as the file path would).
@@ -231,7 +287,30 @@ func Open(dir string, opts Options) (*Store, *policy.Policy, Recovery, error) {
 	for _, r := range records {
 		s.appendTailLocked(r)
 	}
+	for _, r := range auditRecs {
+		// Records persisted before the audit index existed are indexed in
+		// file order; persisted indexes are preserved (cursor stability).
+		if r.ASeq == 0 {
+			r.ASeq = s.lastASeq + 1
+		}
+		s.appendAuditLocked(r)
+	}
 	return s, pol, rec, nil
+}
+
+// appendAuditLocked adds one record (its ASeq already assigned) to the
+// in-memory audit log, trimming the oldest half past the cap. Caller holds
+// s.mu (or owns s exclusively).
+func (s *Store) appendAuditLocked(r Record) {
+	if r.ASeq > s.lastASeq {
+		s.lastASeq = r.ASeq
+	}
+	s.audit = append(s.audit, r)
+	s.auditTotal++
+	if len(s.audit) > maxAudit {
+		drop := len(s.audit) / 2
+		s.audit = append(s.audit[:0], s.audit[drop:]...)
+	}
 }
 
 // appendTailLocked adds one record to the in-memory tail, trimming the
@@ -248,9 +327,10 @@ func (s *Store) appendTailLocked(r Record) {
 // OpenEngine opens the store and stands a snapshot engine up on the
 // recovered policy: the engine starts at the recovered generation (the
 // highest logged sequence number) and gets a commit hook that appends every
-// applied command to the WAL before its snapshot is published. A crash at
-// any point recovers, via OpenEngine, to exactly the decisions the last
-// published snapshot served. The engine takes ownership of the recovered
+// applied command — step record plus its audit record, in one write — to
+// the WAL before its snapshot is published. A crash at any point recovers,
+// via OpenEngine, to exactly the decisions the last published snapshot
+// served, audit trail included. The engine takes ownership of the recovered
 // policy; close the store only after the engine stops submitting.
 func OpenEngine(dir string, mode engine.Mode, opts Options) (*Store, *engine.Engine, Recovery, error) {
 	s, pol, rec, err := Open(dir, opts)
@@ -259,7 +339,7 @@ func OpenEngine(dir string, mode engine.Mode, opts Options) (*Store, *engine.Eng
 	}
 	eng := engine.NewAt(pol, mode, uint64(s.Seq()))
 	eng.SetCommitHook(func(gen uint64, res command.StepResult) error {
-		return s.AppendStep(int(gen), res)
+		return s.AppendCommit(int(gen), res)
 	})
 	return s, eng, rec, nil
 }
@@ -372,6 +452,20 @@ func NewStepRecord(seq int, res command.StepResult) (Record, error) {
 	}, nil
 }
 
+// NewAuditRecord converts an engine step result into the audit observation
+// of the command at the given sequence number: the engine generation after
+// the command for applied steps, the unchanged generation otherwise. reason
+// carries a veto explanation (e.g. an SSD violation) on denied commands.
+func NewAuditRecord(seq int, res command.StepResult, reason string) (Record, error) {
+	r, err := NewStepRecord(seq, res)
+	if err != nil {
+		return Record{}, err
+	}
+	r.Kind = KindAudit
+	r.Reason = reason
+	return r, nil
+}
+
 // AppendStep logs one engine step result — the engine commit hook. Safe for
 // concurrent use.
 func (s *Store) AppendStep(seq int, res command.StepResult) error {
@@ -382,18 +476,75 @@ func (s *Store) AppendStep(seq int, res command.StepResult) error {
 	return s.AppendRecord(r)
 }
 
-// AppendRecord logs one record with length-prefix + CRC framing. Safe for
-// concurrent use.
-func (s *Store) AppendRecord(r Record) error {
-	buf, err := EncodeFrame(nil, r)
+// AppendCommit logs one applied engine step together with its audit record
+// in a single write — the commit hook of the durable serving stack (see
+// tenant.Options). Both frames land with one file write, so a crash
+// mid-append truncates to a CRC-valid prefix: either nothing, the step
+// alone, or both. The step is never lost once the hook returned, and the
+// audit record shares its durability (write-ahead of snapshot publication).
+func (s *Store) AppendCommit(seq int, res command.StepResult) error {
+	step, err := NewStepRecord(seq, res)
 	if err != nil {
 		return err
 	}
+	audit, err := NewAuditRecord(seq, res, "")
+	if err != nil {
+		return err
+	}
+	return s.appendRecords(step, audit)
+}
 
+// AppendAudit logs the audit observation of a command that did not change
+// the policy (denied, vetoed, no-change or ill-formed) at the current
+// sequence number. Safe for concurrent use.
+func (s *Store) AppendAudit(seq int, res command.StepResult, reason string) error {
+	r, err := NewAuditRecord(seq, res, reason)
+	if err != nil {
+		return err
+	}
+	return s.AppendRecord(r)
+}
+
+// AppendRecord logs one record with length-prefix + CRC framing. Safe for
+// concurrent use.
+func (s *Store) AppendRecord(r Record) error {
+	return s.appendRecords(r)
+}
+
+// AppendRecords logs a batch of records in a single file write (one fsync
+// under Options.Sync) — the bulk path for adopting a replicated audit
+// window, where per-record appends would multiply bootstrap latency. Safe
+// for concurrent use.
+func (s *Store) AppendRecords(records ...Record) error {
+	if len(records) == 0 {
+		return nil
+	}
+	return s.appendRecords(records...)
+}
+
+// appendRecords frames every record into one buffer and lands them with a
+// single write, then updates the sequence, tail and audit bookkeeping.
+// Audit records are (re)assigned this store's next audit index before
+// encoding, so the persisted frame carries the same node-local pagination
+// cursor the in-memory log serves — incoming indexes from another node
+// (replicated denials, adopted bootstrap windows) are re-indexed here.
+func (s *Store) appendRecords(records ...Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.f == nil {
 		return fmt.Errorf("storage: store closed")
+	}
+	var buf []byte
+	var err error
+	next := s.lastASeq
+	for i := range records {
+		if records[i].IsAudit() {
+			next++
+			records[i].ASeq = next
+		}
+		if buf, err = EncodeFrame(buf, records[i]); err != nil {
+			return err
+		}
 	}
 	if _, err := s.f.Write(buf); err != nil {
 		return err
@@ -403,12 +554,42 @@ func (s *Store) AppendRecord(r Record) error {
 			return err
 		}
 	}
-	if r.Seq > s.seq {
-		s.seq = r.Seq
+	for _, r := range records {
+		if r.Seq > s.seq && !r.IsAudit() {
+			s.seq = r.Seq
+		}
+		s.appendTailLocked(r)
+		if r.IsAudit() {
+			s.appendAuditLocked(r)
+		}
+		s.sinceCompact++
 	}
-	s.appendTailLocked(r)
-	s.sinceCompact++
 	return nil
+}
+
+// Audit returns the retained audit records with audit indexes (Record.ASeq,
+// the unique per-record cursor — NOT the shared step sequence number) above
+// after, oldest first, capped at limit (<= 0 = no cap), together with the
+// total number of audit records this store has seen (recovered + appended;
+// a total exceeding the returned length means the retained window trimmed
+// older entries). Page forward by passing the last record's ASeq back as
+// after. Retention is the maxAudit window: compaction re-appends the window
+// after truncating the log (see compactLocked), so the trail survives
+// compaction cycles and restarts — graceful or SIGKILL — with at most the
+// oldest entries beyond the window aged out.
+func (s *Store) Audit(after uint64, limit int) ([]Record, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, 0, len(s.audit))
+	for _, r := range s.audit {
+		if r.ASeq > after {
+			out = append(out, r)
+		}
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, s.auditTotal
 }
 
 // SinceCompact reports how many log records have accumulated since the last
@@ -436,23 +617,35 @@ func (s *Store) Attach(m *monitor.Monitor, onErr func(error)) {
 func (s *Store) Compact(p *policy.Policy) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.compactLocked(p, s.seq)
+	return s.compactLocked(p, s.seq, true)
 }
 
 // CompactAt installs p as the snapshot at an explicit sequence number at or
-// above the current one, truncating the log and advancing Seq — the follower
-// bootstrap path, where the snapshot state arrives from the upstream primary
-// rather than the local engine (see internal/replication).
+// above the current one, truncating the log and advancing Seq — the install
+// path (provisioning and follower bootstrap), where the snapshot state
+// arrives from outside the local engine. Unlike a head compaction, an
+// install drops the local audit trail with the log: the installer replaces
+// the state wholesale and supplies the matching trail itself (see
+// tenant.InstallReplicaSnapshot), so keeping the old one would duplicate or
+// misattribute history.
 func (s *Store) CompactAt(p *policy.Policy, seq int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if seq < s.seq {
 		return fmt.Errorf("storage: CompactAt seq %d below current %d", seq, s.seq)
 	}
-	return s.compactLocked(p, seq)
+	if err := s.compactLocked(p, seq, false); err != nil {
+		// The install failed and the caller keeps serving the old state: the
+		// old audit trail stays with it (dropping it here would destroy it
+		// even though nothing was replaced).
+		return err
+	}
+	s.audit = s.audit[:0]
+	s.auditTotal = 0
+	return nil
 }
 
-func (s *Store) compactLocked(p *policy.Policy, seq int) error {
+func (s *Store) compactLocked(p *policy.Policy, seq int, keepAudit bool) error {
 	if s.f == nil {
 		return fmt.Errorf("storage: store closed")
 	}
@@ -477,6 +670,24 @@ func (s *Store) compactLocked(p *policy.Policy, seq int) error {
 	}
 	if _, err := s.f.Seek(0, io.SeekEnd); err != nil {
 		return err
+	}
+	// Re-append the retained audit window: compaction folds *state* into the
+	// snapshot, but audit records are observations with no representation in
+	// it, so truncating them away would erase the trail on every graceful
+	// restart. The window is bounded (maxAudit), so the re-append keeps the
+	// log small while audit history survives compaction cycles. Replay
+	// collects audit records regardless of their (old) sequence numbers.
+	if keepAudit && len(s.audit) > 0 {
+		var buf []byte
+		var err error
+		for _, r := range s.audit {
+			if buf, err = EncodeFrame(buf, r); err != nil {
+				return err
+			}
+		}
+		if _, err := s.f.Write(buf); err != nil {
+			return err
+		}
 	}
 	if seq != s.seq {
 		// Snapshot installed at a different position (replica bootstrap

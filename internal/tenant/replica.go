@@ -65,6 +65,19 @@ func (r *Registry) PullWAL(ctx context.Context, name string, afterSeq uint64, wa
 	if err != nil {
 		return PullResult{}, err
 	}
+	// Applied-command audit records are not shipped: the follower's own
+	// commit hook re-mints an identical audit record as it replays the step,
+	// so shipping them would only double the stream (and the apply would
+	// discard them anyway). No-effect audits — denials, vetoes — have no
+	// step to re-mint them from and pass through.
+	kept := recs[:0]
+	for _, rec := range recs {
+		if rec.IsAudit() && rec.Outcome == "applied" {
+			continue
+		}
+		kept = append(kept, rec)
+	}
+	recs = kept
 	s := t.engine().Snapshot()
 	head := s.Generation()
 	edges := s.Policy().NumEdges()
@@ -93,29 +106,35 @@ func (r *Registry) EdgeCount(name string) (int, error) {
 }
 
 // SnapshotDump serializes the tenant's current policy together with the
-// generation it reflects — the bootstrap payload a follower installs when it
-// has no local state or the primary's log was compacted past its position.
-func (r *Registry) SnapshotDump(name string) (uint64, []byte, error) {
+// generation it reflects and the retained audit window — the bootstrap
+// payload a follower installs when it has no local state or the primary's
+// log was compacted past its position. Shipping the audit window with the
+// state means a snapshot-bootstrapped follower serves the same trail a
+// step-replaying one does, instead of starting blind at its bootstrap
+// point.
+func (r *Registry) SnapshotDump(name string) (uint64, []byte, []storage.Record, error) {
 	t, err := r.acquire(name, false)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	defer t.release()
 	s := t.engine().Snapshot()
 	defer s.Close()
 	data, err := json.Marshal(s.Policy())
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
-	return s.Generation(), data, nil
+	audit, _ := t.store.Audit(0, 0)
+	return s.Generation(), data, audit, nil
 }
 
 // InstallReplicaSnapshot replaces the tenant's state with a snapshot pulled
 // from the upstream primary: the policy becomes the durable on-disk snapshot
-// at seq and a fresh engine resumes from there. Installing a snapshot behind
+// at seq, the primary's audit window (when provided) becomes the local audit
+// trail, and a fresh engine resumes from there. Installing a snapshot behind
 // the local generation is refused — replication never moves a tenant
 // backwards.
-func (r *Registry) InstallReplicaSnapshot(name string, policyJSON []byte, seq uint64) error {
+func (r *Registry) InstallReplicaSnapshot(name string, policyJSON []byte, seq uint64, audit []storage.Record) error {
 	t, err := r.acquire(name, true)
 	if err != nil {
 		return err
@@ -130,17 +149,42 @@ func (r *Registry) InstallReplicaSnapshot(name string, policyJSON []byte, seq ui
 	if gen := t.engine().Generation(); seq < gen {
 		return fmt.Errorf("tenant %s: replica snapshot at %d behind local generation %d", name, seq, gen)
 	}
-	return r.installAt(t, p, seq)
+	if err := r.installAt(t, p, seq); err != nil {
+		return err
+	}
+	// Adopt the upstream trail after the install: the install cleared the
+	// local audit state (see storage.CompactAt), so this append rebuilds it
+	// — durable in the local WAL, landed as one batched write.
+	adopt := audit[:0]
+	for _, a := range audit {
+		if a.IsAudit() {
+			adopt = append(adopt, a)
+		}
+	}
+	if err := t.store.AppendRecords(adopt...); err != nil {
+		return fmt.Errorf("tenant %s: replica audit: %w", name, err)
+	}
+	return nil
 }
 
 // ApplyReplicated extends the tenant's state with records pulled from the
-// upstream primary, feeding them as one engine.SubmitBatch so readers never
-// observe a half-applied batch and the local WAL (via the engine's commit
-// hook) logs exactly what the primary logged. Records at or below the local
-// generation are skipped (pull overlap on reconnect); a sequence gap or a
-// replay that converges to a different generation than the primary's reports
-// out-of-sync (see IsOutOfSync) and the caller bootstraps from a snapshot.
-// It returns the tenant's generation after the apply.
+// upstream primary, feeding the step records as one engine.SubmitBatch so
+// readers never observe a half-applied batch and the local WAL (via the
+// engine's commit hook) logs exactly what the primary logged. Records at or
+// below the local generation are skipped (pull overlap on reconnect); a
+// sequence gap or a replay that converges to a different generation than
+// the primary's reports out-of-sync (see IsOutOfSync) and the caller
+// bootstraps from a snapshot. It returns the tenant's generation after the
+// apply.
+//
+// Audit records ride the same stream but are observations, not effects:
+// applied-command audits are dropped here (the local commit hook re-mints
+// an identical one as the step replays, so the follower's audit trail is
+// exact without double entries), while no-effect audits — denials, vetoes —
+// are appended verbatim when they extend the local position (they only ship
+// while the follower is behind; a caught-up follower's pull cursor has
+// already passed their sequence number, so those stay on the node that
+// refused the command).
 func (r *Registry) ApplyReplicated(name string, records []storage.Record) (uint64, error) {
 	t, err := r.acquire(name, true)
 	if err != nil {
@@ -152,8 +196,15 @@ func (r *Registry) ApplyReplicated(name string, records []storage.Record) (uint6
 	eng := t.eng.Load()
 	gen := eng.Generation()
 	cmds := make([]command.Command, 0, len(records))
+	var audits []storage.Record
 	next := gen
 	for _, rec := range records {
+		if rec.IsAudit() {
+			if rec.Outcome != "applied" && uint64(rec.Seq) > gen {
+				audits = append(audits, rec)
+			}
+			continue
+		}
 		if uint64(rec.Seq) <= gen {
 			continue
 		}
@@ -167,18 +218,23 @@ func (r *Registry) ApplyReplicated(name string, records []storage.Record) (uint6
 		cmds = append(cmds, c)
 		next++
 	}
-	if len(cmds) == 0 {
+	if len(cmds) == 0 && len(audits) == 0 {
 		return gen, nil
 	}
-	t.submits.Add(uint64(len(cmds)))
-	if _, err := eng.SubmitBatch(cmds, nil); err != nil {
-		return eng.Generation(), err
+	if len(cmds) > 0 {
+		t.submits.Add(uint64(len(cmds)))
+		if _, err := eng.SubmitBatch(cmds, nil); err != nil {
+			return eng.Generation(), err
+		}
+		if got := eng.Generation(); got != next {
+			// A replayed command stepped differently than on the primary
+			// (denied or no-change): the states diverged somewhere behind us.
+			return got, fmt.Errorf("tenant %s: replicated batch converged to generation %d, want %d: %w", name, got, next, errOutOfSync)
+		}
 	}
-	if got := eng.Generation(); got != next {
-		// A replayed command stepped differently than on the primary (denied
-		// or no-change): the states diverged somewhere behind us.
-		return got, fmt.Errorf("tenant %s: replicated batch converged to generation %d, want %d: %w", name, got, next, errOutOfSync)
-	}
+	// Best-effort, one write, after the steps landed: a lost no-effect audit
+	// loses no state, and a failing WAL surfaces through the step path.
+	t.store.AppendRecords(audits...)
 	t.maybeCompact(r.opts.CompactEvery)
 	return next, nil
 }

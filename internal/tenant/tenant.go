@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"adminrefine/internal/command"
+	"adminrefine/internal/constraints"
 	"adminrefine/internal/decision"
 	"adminrefine/internal/engine"
 	"adminrefine/internal/policy"
@@ -55,6 +56,16 @@ type Options struct {
 	// CacheSlots sizes each tenant engine's decision cache (rounded up to a
 	// power of two). 0 uses the engine default; negative disables caching.
 	CacheSlots int
+	// Constraints optionally guards every write: administrative commands
+	// whose resulting policy would introduce a new SSD violation are denied
+	// (and audited with the veto reason), and policy installs — provisioning
+	// and bootstrap seeding alike — are refused outright when the policy
+	// violates a constraint. Enforcement lives here, on the tenant write
+	// path, so every writer (HTTP submit, CLI, bootstrap) passes through the
+	// same guard. Replicated applies are exempt: a follower replays the
+	// primary's already-guarded history verbatim, because vetoing it locally
+	// would fork the replica.
+	Constraints *constraints.Set
 	// Bootstrap, when non-nil, seeds a tenant that has no durable state yet:
 	// it is invoked on first touch of an empty tenant and the returned policy
 	// is compacted to disk immediately. Return nil to leave the tenant empty.
@@ -76,6 +87,9 @@ func (o Options) withDefaults() Options {
 type Registry struct {
 	opts   Options
 	shards []*shard
+	// guard is the write-path constraint veto (nil without constraints),
+	// shared by every tenant engine.
+	guard  engine.Guard
 	closed atomic.Bool
 }
 
@@ -141,7 +155,7 @@ type Stats struct {
 // touches no tenant state.
 func New(opts Options) *Registry {
 	opts = opts.withDefaults()
-	r := &Registry{opts: opts, shards: make([]*shard, opts.Shards)}
+	r := &Registry{opts: opts, guard: opts.Constraints.Guard(), shards: make([]*shard, opts.Shards)}
 	for i := range r.shards {
 		r.shards[i] = &shard{tenants: make(map[string]*tenant), lru: list.New()}
 	}
@@ -265,12 +279,30 @@ func (r *Registry) open(name string, create bool) (*tenant, error) {
 	t := &tenant{name: name, store: st, recovered: rec}
 	t.eng.Store(eng)
 	if seed != nil && !rec.SnapshotLoaded && rec.Records == 0 {
+		if err := r.checkInstall(seed); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("tenant %s: bootstrap: %w", name, err)
+		}
 		if err := r.installAt(t, seed, 0); err != nil {
 			st.Close()
 			return nil, fmt.Errorf("tenant %s: bootstrap: %w", name, err)
 		}
 	}
 	return t, nil
+}
+
+// checkInstall vetoes installing a policy that already violates the
+// registry's SSD constraints — the install-path half of the write guard
+// (bootstrap seeding and provisioning; replica snapshot installs are
+// exempt, see Options.Constraints).
+func (r *Registry) checkInstall(p *policy.Policy) error {
+	if r.opts.Constraints == nil {
+		return nil
+	}
+	if vs := r.opts.Constraints.CheckPolicy(p); len(vs) > 0 {
+		return fmt.Errorf("policy violates constraint: %s", vs[0].Error())
+	}
+	return nil
 }
 
 // installAt replaces the tenant's state with p, durably (compacted snapshot
@@ -287,7 +319,7 @@ func (r *Registry) installAt(t *tenant, p *policy.Policy, seq uint64) error {
 	}
 	st := t.store
 	eng.SetCommitHook(func(gen uint64, res command.StepResult) error {
-		return st.AppendStep(int(gen), res)
+		return st.AppendCommit(int(gen), res)
 	})
 	old := t.engine()
 	t.eng.Store(eng)
@@ -426,7 +458,9 @@ func (r *Registry) WaitGenerationCtx(ctx context.Context, name string, min uint6
 }
 
 // Submit executes one administrative command through the tenant's transition
-// function; applied commands are WAL-durable before the result returns.
+// function, guarded by the registry's constraint set; applied commands are
+// WAL-durable (step + audit record, via the commit hook) before the result
+// returns, and commands without effect are audited with their veto reason.
 func (r *Registry) Submit(name string, c command.Command) (command.StepResult, error) {
 	t, err := r.acquire(name, true)
 	if err != nil {
@@ -436,7 +470,9 @@ func (r *Registry) Submit(name string, c command.Command) (command.StepResult, e
 	t.submits.Add(1)
 	t.submu.Lock()
 	defer t.submu.Unlock()
-	res, err := t.eng.Load().SubmitGuarded(c, nil)
+	eng := t.eng.Load()
+	res, err := eng.SubmitGuarded(c, r.guard)
+	t.auditMisses(eng, []command.StepResult{res}, []error{err})
 	if err != nil {
 		return res, err
 	}
@@ -445,10 +481,11 @@ func (r *Registry) Submit(name string, c command.Command) (command.StepResult, e
 }
 
 // SubmitBatch executes the commands in order under one writer acquisition,
-// publishing at most one new snapshot (see engine.SubmitBatch). The returned
-// generation is the engine generation after the batch — the (tenant,
-// generation) token a client hands to a read replica as min_generation to
-// get read-your-writes without global coordination.
+// each guarded by the registry's constraint set, publishing at most one new
+// snapshot (see engine.SubmitBatch). The returned generation is the engine
+// generation after the batch — the (tenant, generation) token a client
+// hands to a read replica as min_generation to get read-your-writes without
+// global coordination.
 func (r *Registry) SubmitBatch(name string, cmds []command.Command) ([]command.StepResult, uint64, error) {
 	t, err := r.acquire(name, true)
 	if err != nil {
@@ -459,12 +496,49 @@ func (r *Registry) SubmitBatch(name string, cmds []command.Command) ([]command.S
 	t.submu.Lock()
 	defer t.submu.Unlock()
 	eng := t.eng.Load()
-	out, err := eng.SubmitBatch(cmds, nil)
+	// Wrap the guard to capture per-command veto reasons for the audit
+	// trail: the engine swallows guard errors batch-wise (a veto denies one
+	// command, the batch continues).
+	var vetoes []error
+	guard := r.guard
+	if guard != nil {
+		inner := guard
+		guard = func(pre *policy.Policy, c command.Command) error {
+			err := inner(pre, c)
+			vetoes = append(vetoes, err)
+			return err
+		}
+	}
+	out, err := eng.SubmitBatch(cmds, guard)
+	t.auditMisses(eng, out, vetoes)
 	if err != nil {
 		return out, eng.Generation(), err
 	}
 	t.maybeCompact(r.opts.CompactEvery)
 	return out, eng.Generation(), nil
+}
+
+// auditMisses appends audit records for the commands of a submission that
+// did not change the policy (denied, vetoed, no-change, ill-formed);
+// applied commands were already audited by the commit hook. vetoes[i], when
+// present, is the guard's verdict on the i-th command. Appends are
+// best-effort: a command without effect loses nothing on replay, and a
+// failing WAL already surfaces through the submit path itself. Caller holds
+// t.submu.
+func (t *tenant) auditMisses(eng *engine.Engine, results []command.StepResult, vetoes []error) {
+	gen := int(eng.Generation())
+	for i, res := range results {
+		if res.Outcome == command.Applied {
+			continue
+		}
+		reason := ""
+		if i < len(vetoes) && vetoes[i] != nil {
+			if _, fatal := vetoes[i].(*engine.CommitError); !fatal {
+				reason = vetoes[i].Error()
+			}
+		}
+		t.store.AppendAudit(gen, res, reason)
+	}
 }
 
 // Explain describes why a command would be authorized or denied for the
@@ -496,7 +570,44 @@ func (r *Registry) InstallPolicy(name string, p *policy.Policy) error {
 	if t.engine().Generation() != 0 || t.store.Seq() != 0 {
 		return fmt.Errorf("tenant %s: %w (generation %d)", name, errProvisioned, t.engine().Generation())
 	}
+	if err := r.checkInstall(p); err != nil {
+		return fmt.Errorf("tenant %s: %w", name, err)
+	}
 	return r.installAt(t, p, 0)
+}
+
+// View acquires a read snapshot of the tenant's engine, pinning the tenant
+// against eviction until release is called. This is how layers above the
+// registry — the session tables in internal/session — evaluate against
+// tenant state: checks run lock-free against the snapshot while the tenant
+// stays resident. Exactly one release call per successful View.
+func (r *Registry) View(name string) (snap *engine.Snapshot, release func(), err error) {
+	t, err := r.acquire(name, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Deliberately not counted under Stats.Authorizes: session/check
+	// traffic has its own counters (session.Stats.Checks), and mixing the
+	// two would make the authorize metric unusable for capacity planning.
+	s := t.engine().Snapshot()
+	return s, func() { s.Close(); t.release() }, nil
+}
+
+// Audit returns the tenant's retained audit records with audit indexes
+// (storage.Record.ASeq, the unique pagination cursor) above after, oldest
+// first (capped at limit; <= 0 = no cap), the total audit records seen,
+// and the generation the tenant currently serves at. On a follower
+// the audit trail is replicated: applied-command audit records are re-minted
+// by the local commit hook as the replicated steps replay, so the follower's
+// WAL carries the same trail the primary's does.
+func (r *Registry) Audit(name string, after uint64, limit int) (records []storage.Record, total uint64, gen uint64, err error) {
+	t, err := r.acquire(name, false)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer t.release()
+	records, total = t.store.Audit(after, limit)
+	return records, total, t.engine().Generation(), nil
 }
 
 // Stats reports the tenant's current state, lazily opening it.

@@ -23,7 +23,7 @@ if [ -z "$latest" ]; then
     exit 1
 fi
 base="BENCH_${latest}.json"
-filter=${BENCHDIFF_FILTER:-Authorize,BatchVsSingle,IncrementalGrant}
+filter=${BENCHDIFF_FILTER:-Authorize,BatchVsSingle,IncrementalGrant,MultiTenantAuthorize,AccessCheck}
 tol=${BENCHDIFF_TOLERANCE:-25}
 
 echo "benchdiff: comparing '$filter' against $base (tolerance ${tol}%)"
