@@ -1,14 +1,16 @@
 # Repo verification targets. `make check` is the CI gate: it builds, vets,
 # checks formatting, runs the full test suite, the race-detector pass over
-# the concurrent engine + replication stack, and a short smoke of the hot-
+# the concurrent engine + replication stack, the chaos pass (failover e2e +
+# storage fault injection, also under -race), and a short smoke of the hot-
 # path benchmarks so perf regressions fail fast. The CI workflow runs the
-# same pieces as a job matrix (build-test / race / bench-gate / lint).
+# same pieces as a job matrix (build-test / race / chaos / bench-gate /
+# lint).
 
 GO ?= go
 
-.PHONY: check build vet fmt-check test race bench-smoke bench-json bench benchdiff fuzz-smoke
+.PHONY: check build vet fmt-check test race chaos bench-smoke bench-json bench benchdiff fuzz-smoke
 
-check: build vet fmt-check test race bench-smoke benchdiff
+check: build vet fmt-check test race chaos bench-smoke benchdiff
 
 build:
 	$(GO) build ./...
@@ -29,6 +31,13 @@ test:
 # cache and interner under it.
 race:
 	$(GO) test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/session/ ./internal/tenant/ ./internal/server/ ./internal/replication/ ./internal/decision/ ./internal/command/
+
+# Failure paths under the race detector: the daemon chaos e2e (SIGKILL the
+# primary under load, promote, assert zero acknowledged-write loss and
+# fencing of the resurrected ex-primary) plus the storage layer under
+# seeded write/torn-write/fsync fault schedules.
+chaos:
+	$(GO) test -race ./cmd/rbacd/ ./internal/storage/
 
 bench-smoke:
 	$(GO) test -run XXX -bench 'Incremental|CachedAuthorize|AuthorizeAllocs|ReplicatedAuthorize|AccessCheck' -benchtime=100x .

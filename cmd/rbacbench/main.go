@@ -31,6 +31,7 @@ func main() {
 	benchFilter := flag.String("benchfilter", "", "with -benchjson/-benchdiff: only run benchmarks whose name contains one of these comma-separated substrings")
 	benchDiff := flag.String("benchdiff", "", "baseline path: re-run the matching benchmarks and exit non-zero on a regression vs this committed BENCH_*.json")
 	benchTolerance := flag.Float64("benchtolerance", 25, "with -benchdiff: allowed ns/op regression in percent (allocs/op always compares exactly)")
+	benchCanary := flag.String("benchcanary", "", "with -benchdiff: benchmark name measured in the same run but exempt from gating; its delta vs the baseline raises the machine-skew estimate")
 	flag.Parse()
 
 	if *list {
@@ -40,7 +41,7 @@ func main() {
 		return
 	}
 	if *benchDiff != "" {
-		if err := cli.BenchDiff(os.Stdout, *benchDiff, *benchFilter, *benchTolerance); err != nil {
+		if err := cli.BenchDiff(os.Stdout, *benchDiff, *benchFilter, *benchCanary, *benchTolerance); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

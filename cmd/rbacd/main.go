@@ -50,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -58,6 +59,7 @@ import (
 	"adminrefine/internal/engine"
 	"adminrefine/internal/replication"
 	"adminrefine/internal/server"
+	"adminrefine/internal/storage"
 	"adminrefine/internal/tenant"
 )
 
@@ -86,6 +88,9 @@ func run(args []string, out io.Writer) error {
 		upstream     = fs.String("upstream", "", "primary base URL (required with -role follower), e.g. http://host:8270")
 		pollWait     = fs.Duration("poll-wait", 10*time.Second, "follower: long-poll bound per replication pull")
 		minGenWait   = fs.Duration("min-gen-wait", 2*time.Second, "bound on how long a min_generation read waits for the replica to catch up before 409")
+		autoPromote  = fs.Bool("promote-on-upstream-loss", false, "follower: self-promote to primary after the upstream health probe fails -probe-threshold consecutive times")
+		probeEvery   = fs.Duration("probe-interval", time.Second, "follower: upstream health-probe period (with -promote-on-upstream-loss)")
+		probeAfter   = fs.Int("probe-threshold", 5, "follower: consecutive failed probes that depose the upstream (with -promote-on-upstream-loss)")
 		consPath     = fs.String("constraints", "", `separation-of-duty constraint file (JSON [{"name","kind":"ssd"|"dsd","roles":[...],"n":2},...]); SSD guards every write, DSD guards session activations`)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -104,6 +109,9 @@ func run(args []string, out io.Writer) error {
 	case "primary":
 		if *upstream != "" {
 			return fmt.Errorf("rbacd: -upstream is only meaningful with -role follower")
+		}
+		if *autoPromote {
+			return fmt.Errorf("rbacd: -promote-on-upstream-loss is only meaningful with -role follower")
 		}
 	case "follower":
 		if *upstream == "" {
@@ -124,6 +132,17 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// The node-level store at <data>/.node holds one durable fact: the
+	// fencing epoch (a '.'-prefixed name can never collide with a tenant —
+	// see tenant.ValidName). Promotion advances it, observing a higher peer
+	// epoch adopts it, and a restart recovers it — so a SIGKILLed ex-primary
+	// comes back still knowing it was deposed.
+	nodeStore, _, _, err := storage.Open(filepath.Join(*dataDir, ".node"), storage.Options{})
+	if err != nil {
+		return fmt.Errorf("rbacd: open node store: %w", err)
+	}
+	epoch := replication.NewEpoch(nodeStore.Epoch(), nodeStore.SetEpoch)
+
 	reg := tenant.New(tenant.Options{
 		Dir:          *dataDir,
 		Mode:         emode,
@@ -133,22 +152,28 @@ func run(args []string, out io.Writer) error {
 		Sync:         *sync,
 		CacheSlots:   *cacheSlots,
 		Constraints:  cons,
+		Epoch:        epoch.Current,
 	})
 
+	followerOpts := replication.FollowerOptions{
+		PollWait: *pollWait,
+		Epoch:    epoch,
+	}
 	var follower *replication.Follower
 	if *role == "follower" {
-		follower = replication.NewFollower(reg, replication.FollowerOptions{
-			Upstream: strings.TrimRight(*upstream, "/"),
-			PollWait: *pollWait,
-		})
+		followerOpts.Upstream = strings.TrimRight(*upstream, "/")
+		follower = replication.NewFollower(reg, followerOpts)
 	}
-	// Stop the pull loops before the registry so no applier writes into a
-	// closing registry; safe to call on every exit path below.
+	// The server owns the follower from here (promotion closes it, repoint
+	// swaps it); closeAll only tears down what outlives the handler. Close
+	// the registry before the node store so no applier writes after the
+	// epoch handle's backing store is gone.
 	closeAll := func() error {
-		if follower != nil {
-			follower.Close()
+		err := reg.Close()
+		if cerr := nodeStore.Close(); err == nil {
+			err = cerr
 		}
-		return reg.Close()
+		return err
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -158,10 +183,15 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "rbacd: listening on %s (mode=%s data=%s role=%s)\n", ln.Addr(), emode, *dataDir, *role)
 
 	handler := server.NewWithConfig(server.Config{
-		Registry:    reg,
-		Follower:    follower,
-		MinGenWait:  *minGenWait,
-		Constraints: cons,
+		Registry:              reg,
+		Follower:              follower,
+		MinGenWait:            *minGenWait,
+		Constraints:           cons,
+		Epoch:                 epoch,
+		FollowerOptions:       followerOpts,
+		PromoteOnUpstreamLoss: *autoPromote,
+		ProbeInterval:         *probeEvery,
+		ProbeThreshold:        *probeAfter,
 	})
 	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
@@ -188,6 +218,7 @@ func run(args []string, out io.Writer) error {
 		}
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
+			handler.Close()
 			closeAll()
 			return err
 		}

@@ -1,0 +1,355 @@
+// Package fault provides deterministic fault injection for the storage and
+// replication layers: a file implementation whose writes and fsyncs fail on
+// a seeded schedule (wired through storage.Options.OpenFile) and a flaky
+// http.RoundTripper that drops, delays and severs responses mid-body (wired
+// through replication.FollowerOptions.Client). Both consume faults from a
+// schedule fixed before the run, so a failing chaos test replays bit-for-bit
+// from its seed — no "flaky when the moon is wrong" failures.
+//
+// The package deliberately imports nothing from this repository: the
+// consumers adapt its concrete types through their own interface seams
+// (storage tests run in package storage, so an import the other way would
+// cycle), and the production paths never touch it.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the root cause of every injected failure; test assertions
+// use errors.Is against it to separate scheduled faults from real bugs.
+var ErrInjected = errors.New("fault: injected")
+
+// Kind enumerates the injectable storage faults.
+type Kind int
+
+const (
+	// None leaves the operation untouched.
+	None Kind = iota
+	// ErrWrite fails a Write before any byte lands.
+	ErrWrite
+	// TornWrite lands a prefix of the buffer (Fault.Keep bytes), then fails
+	// — the mid-append power cut.
+	TornWrite
+	// ErrSync fails an fsync after the bytes reached the page cache —
+	// durability unknown, the fsyncgate case.
+	ErrSync
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ErrWrite:
+		return "write-error"
+	case TornWrite:
+		return "torn-write"
+	case ErrSync:
+		return "sync-error"
+	default:
+		return "none"
+	}
+}
+
+// Fault is one scheduled storage fault.
+type Fault struct {
+	Kind Kind
+	// Keep is the number of bytes a TornWrite lands before failing (clamped
+	// to the buffer).
+	Keep int
+}
+
+// Plan is a deterministic schedule of storage faults keyed by mutation
+// index: the n-th Write or Sync across every file of one FS consults the
+// plan and fails as scheduled. Build one explicitly with At, or derive one
+// from a seed with SeededPlan.
+type Plan struct {
+	faults map[uint64]Fault
+}
+
+// NewPlan returns an empty schedule.
+func NewPlan() *Plan { return &Plan{faults: make(map[uint64]Fault)} }
+
+// At schedules f at mutation index step (0-based), returning the plan for
+// chaining.
+func (p *Plan) At(step uint64, f Fault) *Plan {
+	p.faults[step] = f
+	return p
+}
+
+// SeededPlan derives a schedule over the first steps mutation indexes from
+// seed: each step independently fails as a write error, torn write or sync
+// error with the given probabilities (torn writes keep a random prefix of
+// up to 64 bytes). The same seed always yields the same schedule.
+func SeededPlan(seed int64, steps uint64, pWrite, pTorn, pSync float64) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewPlan()
+	for i := uint64(0); i < steps; i++ {
+		switch r := rng.Float64(); {
+		case r < pWrite:
+			p.At(i, Fault{Kind: ErrWrite})
+		case r < pWrite+pTorn:
+			p.At(i, Fault{Kind: TornWrite, Keep: rng.Intn(64)})
+		case r < pWrite+pTorn+pSync:
+			p.At(i, Fault{Kind: ErrSync})
+		}
+	}
+	return p
+}
+
+// FS hands out files whose mutating operations (Write, Sync) consume
+// mutation indexes from one shared plan, in call order. Reads, seeks and
+// truncates pass through unfaulted: the schedule models a misbehaving disk
+// under append load, and the repair path (storage truncating a torn tail)
+// must be able to run.
+type FS struct {
+	mu   sync.Mutex
+	plan *Plan
+	step uint64
+	off  bool
+}
+
+// NewFS builds a fault-injecting file opener over plan (nil = no faults).
+func NewFS(plan *Plan) *FS {
+	if plan == nil {
+		plan = NewPlan()
+	}
+	return &FS{plan: plan}
+}
+
+// Open opens the real file at path and wraps it with the FS's schedule.
+// The signature matches storage.Options.OpenFile up to the concrete return
+// type; adapt with a closure.
+func (fs *FS) Open(path string, flag int, perm os.FileMode) (*File, error) {
+	f, err := os.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &File{f: f, fs: fs}, nil
+}
+
+// Step reports how many mutation indexes have been consumed so far.
+func (fs *FS) Step() uint64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.step
+}
+
+// Disarm stops injecting: every later operation passes through. Lets a test
+// run a faulty phase and then drive the same store cleanly.
+func (fs *FS) Disarm() {
+	fs.mu.Lock()
+	fs.off = true
+	fs.mu.Unlock()
+}
+
+// next consumes one mutation index and returns its scheduled fault.
+func (fs *FS) next() Fault {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	step := fs.step
+	fs.step++
+	if fs.off {
+		return Fault{}
+	}
+	return fs.plan.faults[step]
+}
+
+// File is a real file whose Write and Sync fail on the owning FS's
+// schedule. It satisfies storage.File.
+type File struct {
+	f  *os.File
+	fs *FS
+}
+
+// Write consults the schedule: an ErrWrite fails with no byte landed, a
+// TornWrite lands a prefix and then fails (exactly what a kernel crash
+// mid-append leaves behind), anything else passes through.
+func (f *File) Write(p []byte) (int, error) {
+	switch ft := f.fs.next(); ft.Kind {
+	case ErrWrite:
+		return 0, fmt.Errorf("write %d bytes: %w", len(p), ErrInjected)
+	case TornWrite:
+		keep := ft.Keep
+		if keep > len(p) {
+			keep = len(p)
+		}
+		if keep > 0 {
+			if n, err := f.f.Write(p[:keep]); err != nil {
+				return n, err
+			}
+		}
+		return keep, fmt.Errorf("torn after %d of %d bytes: %w", keep, len(p), ErrInjected)
+	default:
+		return f.f.Write(p)
+	}
+}
+
+// Sync consults the schedule: an ErrSync reports failure after the write
+// already reached the file (durability unknown — the caller must treat the
+// suffix as untrusted), anything else passes through.
+func (f *File) Sync() error {
+	if ft := f.fs.next(); ft.Kind == ErrSync {
+		return fmt.Errorf("fsync: %w", ErrInjected)
+	}
+	return f.f.Sync()
+}
+
+func (f *File) Read(p []byte) (int, error)                { return f.f.Read(p) }
+func (f *File) Seek(off int64, whence int) (int64, error) { return f.f.Seek(off, whence) }
+func (f *File) Truncate(size int64) error                 { return f.f.Truncate(size) }
+func (f *File) Close() error                              { return f.f.Close() }
+func (f *File) Stat() (os.FileInfo, error)                { return f.f.Stat() }
+
+// NetKind enumerates the injectable transport faults.
+type NetKind int
+
+const (
+	// NetNone passes the request through.
+	NetNone NetKind = iota
+	// NetDrop fails the round trip without sending — the connection-refused
+	// / blackholed-SYN case.
+	NetDrop
+	// NetDelay sleeps before sending — the congested-link case.
+	NetDelay
+	// NetSever delivers the response headers and a prefix of the body, then
+	// fails the read — the connection-reset-mid-transfer case.
+	NetSever
+)
+
+// NetFault is one scheduled transport fault.
+type NetFault struct {
+	Kind NetKind
+	// Delay is the NetDelay sleep.
+	Delay time.Duration
+	// Keep is the number of body bytes a NetSever delivers before failing.
+	Keep int64
+}
+
+// NetPlan is a deterministic schedule of transport faults keyed by request
+// index across one Transport.
+type NetPlan struct {
+	faults map[uint64]NetFault
+}
+
+// NewNetPlan returns an empty schedule.
+func NewNetPlan() *NetPlan { return &NetPlan{faults: make(map[uint64]NetFault)} }
+
+// At schedules f at request index step (0-based), returning the plan for
+// chaining.
+func (p *NetPlan) At(step uint64, f NetFault) *NetPlan {
+	p.faults[step] = f
+	return p
+}
+
+// SeededNetPlan derives a schedule over the first steps request indexes
+// from seed: each request independently drops, severs (keeping up to 512
+// body bytes) or delays (up to maxDelay) with the given probabilities.
+func SeededNetPlan(seed int64, steps uint64, pDrop, pSever, pDelay float64, maxDelay time.Duration) *NetPlan {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewNetPlan()
+	for i := uint64(0); i < steps; i++ {
+		switch r := rng.Float64(); {
+		case r < pDrop:
+			p.At(i, NetFault{Kind: NetDrop})
+		case r < pDrop+pSever:
+			p.At(i, NetFault{Kind: NetSever, Keep: rng.Int63n(512)})
+		case r < pDrop+pSever+pDelay:
+			p.At(i, NetFault{Kind: NetDelay, Delay: time.Duration(rng.Int63n(int64(maxDelay) + 1))})
+		}
+	}
+	return p
+}
+
+// Transport is a flaky http.RoundTripper: each round trip consumes one
+// request index from the schedule and fails, delays or severs as planned.
+// Wrap a follower's client with it to prove replication converges through
+// an unreliable network.
+type Transport struct {
+	// Base performs the real round trips (http.DefaultTransport when nil).
+	Base http.RoundTripper
+
+	mu   sync.Mutex
+	plan *NetPlan
+	step uint64
+}
+
+// NewTransport builds a fault-injecting round tripper over plan (nil = no
+// faults).
+func NewTransport(base http.RoundTripper, plan *NetPlan) *Transport {
+	if plan == nil {
+		plan = NewNetPlan()
+	}
+	return &Transport{Base: base, plan: plan}
+}
+
+// Step reports how many request indexes have been consumed so far.
+func (t *Transport) Step() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.step
+}
+
+func (t *Transport) next() NetFault {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	step := t.step
+	t.step++
+	return t.plan.faults[step]
+}
+
+// RoundTrip implements http.RoundTripper with the scheduled faults.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	ft := t.next()
+	switch ft.Kind {
+	case NetDrop:
+		return nil, fmt.Errorf("drop %s %s: %w", req.Method, req.URL.Path, ErrInjected)
+	case NetDelay:
+		select {
+		case <-time.After(ft.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || ft.Kind != NetSever {
+		return resp, err
+	}
+	resp.Body = &severedBody{rc: resp.Body, left: ft.Keep}
+	return resp, nil
+}
+
+// severedBody delivers at most left bytes, then fails the read — the
+// mid-body connection reset.
+type severedBody struct {
+	rc   io.ReadCloser
+	left int64
+}
+
+func (b *severedBody) Read(p []byte) (int, error) {
+	if b.left <= 0 {
+		return 0, fmt.Errorf("severed mid-body: %w", ErrInjected)
+	}
+	if int64(len(p)) > b.left {
+		p = p[:b.left]
+	}
+	n, err := b.rc.Read(p)
+	b.left -= int64(n)
+	if err == nil && b.left <= 0 {
+		// Report the sever on this read: returning the bytes with a nil
+		// error would let a short response complete successfully.
+		return n, fmt.Errorf("severed mid-body: %w", ErrInjected)
+	}
+	return n, err
+}
+
+func (b *severedBody) Close() error { return b.rc.Close() }

@@ -1,0 +1,92 @@
+// The fencing epoch: a monotonically increasing cluster-wide counter that
+// makes split-brain structurally impossible. Exactly one node mints writes
+// per epoch; a promotion advances the epoch durably *before* the new
+// primary takes its first write, and every replication exchange and write
+// acknowledgment carries the sender's epoch. A node that observes a higher
+// epoch than its own has, by construction, been deposed — it demotes on the
+// spot (see server) — and a stale-epoch node's pull is answered with a
+// fencing rejection or a rewinding bootstrap (see tenant.PullWAL), never
+// with records that would extend a forked history.
+package replication
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// errNilEpoch rejects an Advance on a node without an epoch handle —
+// promotion needs durable fencing to be meaningful.
+var errNilEpoch = errors.New("replication: no epoch configured")
+
+// Epoch is a node's view of the cluster fencing epoch: a current value plus
+// a persistence hook that makes transitions durable before they are
+// observable. The zero epoch is the birth epoch of a cluster that has never
+// failed over. All methods are safe for concurrent use and on a nil
+// receiver (a nil *Epoch reads as a permanently-zero epoch — the
+// single-node deployments that predate failover keep working unchanged).
+type Epoch struct {
+	mu  sync.Mutex
+	cur atomic.Uint64
+	// persist durably records an adopted epoch (the node-level WAL control
+	// record, see storage.SetEpoch); nil keeps the epoch in memory only
+	// (tests).
+	persist func(uint64) error
+}
+
+// NewEpoch builds an epoch handle starting at cur (the recovered durable
+// epoch) with the given persistence hook.
+func NewEpoch(cur uint64, persist func(uint64) error) *Epoch {
+	e := &Epoch{persist: persist}
+	e.cur.Store(cur)
+	return e
+}
+
+// Current reports the node's current epoch.
+func (e *Epoch) Current() uint64 {
+	if e == nil {
+		return 0
+	}
+	return e.cur.Load()
+}
+
+// Advance mints the next epoch — the promotion step. The new value is
+// persisted before it becomes observable: an epoch that could vanish in a
+// crash would let two nodes mint writes under the same fencing token.
+func (e *Epoch) Advance() (uint64, error) {
+	if e == nil {
+		return 0, errNilEpoch
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	next := e.cur.Load() + 1
+	if e.persist != nil {
+		if err := e.persist(next); err != nil {
+			return e.cur.Load(), err
+		}
+	}
+	e.cur.Store(next)
+	return next, nil
+}
+
+// Observe adopts v if it exceeds the current epoch (durably, like Advance),
+// returning the epoch after the call. Observing an older epoch is a no-op:
+// epochs only move forward.
+func (e *Epoch) Observe(v uint64) (uint64, error) {
+	if e == nil {
+		return 0, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.cur.Load()
+	if v <= cur {
+		return cur, nil
+	}
+	if e.persist != nil {
+		if err := e.persist(v); err != nil {
+			return cur, err
+		}
+	}
+	e.cur.Store(v)
+	return v, nil
+}

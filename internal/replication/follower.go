@@ -3,8 +3,10 @@ package replication
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
@@ -13,6 +15,17 @@ import (
 	"adminrefine/internal/storage"
 	"adminrefine/internal/tenant"
 )
+
+// ErrUpstreamFenced marks a pull or bootstrap answered with 421: the
+// upstream is not the primary of the follower's epoch (demoted, fenced, or
+// never was one). The follower keeps serving its local state and retries
+// with backoff; the cure is re-pointing at the current primary (see the
+// server's repoint endpoint).
+var ErrUpstreamFenced = errors.New("replication: upstream is not the primary")
+
+// IsUpstreamFenced reports whether err is a 421 fencing rejection from the
+// upstream.
+func IsUpstreamFenced(err error) bool { return errors.Is(err, ErrUpstreamFenced) }
 
 // maxPullBody bounds one pull response body. The primary's log is compacted
 // on a budget, so a batch ever approaching this signals a broken peer, not a
@@ -38,9 +51,26 @@ type FollowerOptions struct {
 	// re-Ensures and replication resumes from the local WAL position.
 	// Negative disables retirement.
 	IdleAfter time.Duration
-	// Client overrides the HTTP client (tests). Its timeout must exceed
-	// PollWait or every idle long-poll errors.
+	// SnapshotTimeout bounds one snapshot bootstrap round-trip (default
+	// 90s). Bootstraps get their own context deadline instead of riding
+	// Client's overall timeout: that timeout is sized for long-polls, and a
+	// large tenant's snapshot transfer should not share a budget chosen for
+	// an idle pull.
+	SnapshotTimeout time.Duration
+	// Client overrides the HTTP client (tests, fault injection — wrap its
+	// Transport with a fault.Transport to chaos-test convergence). Its
+	// timeout must exceed PollWait or every idle long-poll errors; snapshot
+	// bootstraps reuse its Transport but not its timeout (see
+	// SnapshotTimeout).
 	Client *http.Client
+	// Epoch is the node's fencing epoch handle, shared with the server and
+	// the node-level store. Every pull carries it and every response epoch
+	// above it is adopted durably before a single record is applied. Nil
+	// reads as a permanent epoch 0.
+	Epoch *Epoch
+	// JitterSeed seeds the retry-backoff jitter (0 = time-seeded). Fixed
+	// seeds make chaos tests replayable.
+	JitterSeed int64
 }
 
 func (o FollowerOptions) withDefaults() FollowerOptions {
@@ -55,6 +85,9 @@ func (o FollowerOptions) withDefaults() FollowerOptions {
 	}
 	if o.IdleAfter == 0 {
 		o.IdleAfter = 5 * time.Minute
+	}
+	if o.SnapshotTimeout <= 0 {
+		o.SnapshotTimeout = 90 * time.Second
 	}
 	if o.Client == nil {
 		o.Client = &http.Client{Timeout: o.PollWait + 15*time.Second}
@@ -71,10 +104,19 @@ func (o FollowerOptions) withDefaults() FollowerOptions {
 type Follower struct {
 	reg  *tenant.Registry
 	opts FollowerOptions
+	// snapClient shares Client's transport but drops its overall timeout:
+	// snapshot bootstraps are bounded per-request by SnapshotTimeout
+	// contexts instead of the long-poll-sized Client.Timeout.
+	snapClient *http.Client
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	// rngMu guards rng, the backoff-jitter source shared by the per-tenant
+	// pull loops.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	mu      sync.Mutex
 	tenants map[string]*followTenant
@@ -94,13 +136,16 @@ type followTenant struct {
 	// retires itself past IdleAfter.
 	lastTouch time.Time
 	gen       uint64
-	head      uint64
-	healthy   bool
-	lastOK    time.Time
-	lastErr   string
-	pulls     uint64
-	bootstr   uint64
-	applied   uint64
+	// epoch is the fencing epoch of the local record at gen — the
+	// after_epoch half of the pull cursor (see tenant.PullWAL).
+	epoch   uint64
+	head    uint64
+	healthy bool
+	lastOK  time.Time
+	lastErr string
+	pulls   uint64
+	bootstr uint64
+	applied uint64
 }
 
 // LagStats is one tenant's replication telemetry, surfaced on the follower's
@@ -128,18 +173,43 @@ type LagStats struct {
 // Close it to stop the pull loops.
 func NewFollower(reg *tenant.Registry, opts FollowerOptions) *Follower {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Follower{
-		reg:     reg,
-		opts:    opts.withDefaults(),
-		ctx:     ctx,
-		cancel:  cancel,
-		tenants: make(map[string]*followTenant),
+	opts = opts.withDefaults()
+	snap := *opts.Client
+	snap.Timeout = 0
+	seed := opts.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
 	}
+	return &Follower{
+		reg:        reg,
+		opts:       opts,
+		snapClient: &snap,
+		ctx:        ctx,
+		cancel:     cancel,
+		rng:        rand.New(rand.NewSource(seed)),
+		tenants:    make(map[string]*followTenant),
+	}
+}
+
+// WithUpstream builds a fresh follower over the same registry and options
+// pointed at a different primary — the repoint primitive (see the server's
+// /v1/repoint). The receiver is left untouched; the caller closes it once
+// the replacement is in place, and each tenant's new pull loop resumes from
+// the durable local WAL position.
+func (f *Follower) WithUpstream(upstream string) *Follower {
+	opts := f.opts
+	opts.Upstream = upstream
+	return NewFollower(f.reg, opts)
 }
 
 // Upstream returns the primary's base URL (the follower's redirect target
 // for writes).
 func (f *Follower) Upstream() string { return f.opts.Upstream }
+
+// Options returns a copy of the follower's effective options (defaults
+// applied) — the template a server reuses when it must build a replacement
+// follower pointing at a different upstream.
+func (f *Follower) Options() FollowerOptions { return f.opts }
 
 // Close stops every pull loop and waits for them to exit.
 func (f *Follower) Close() {
@@ -245,10 +315,10 @@ func (f *Follower) run(ft *followTenant) {
 	// A SIGKILLed follower restarts with durable local state: serve reads
 	// from it immediately (and catch up in the background) so losing the
 	// upstream never takes reads down with it.
-	gen, err := f.localGen(ft.name)
+	gen, epoch, err := f.localPosition(ft.name)
 	switch {
 	case err == nil:
-		ft.update(func() { ft.gen, ft.haveLocal = gen, true })
+		ft.update(func() { ft.gen, ft.epoch, ft.haveLocal = gen, epoch, true })
 		ft.finishSync(nil)
 	case !tenant.IsNotFound(err):
 		ft.update(func() { ft.lastErr = err.Error() })
@@ -293,7 +363,7 @@ func (f *Follower) run(ft *followTenant) {
 		default:
 			ft.update(func() { ft.healthy, ft.lastErr = false, err.Error() })
 			ft.finishSync(err)
-			f.sleep(backoff)
+			f.sleep(f.jitter(backoff))
 			if backoff < 16*f.opts.Backoff {
 				backoff *= 2
 			}
@@ -312,8 +382,8 @@ func (f *Follower) step(ft *followTenant) (advanced bool, err error) {
 		ft.finishSync(nil)
 		return true, nil
 	}
-	gen := ft.generation()
-	res, err := f.pull(ft.name, gen)
+	gen, epoch := ft.position()
+	res, err := f.pull(ft.name, gen, epoch)
 	if err != nil {
 		return false, err
 	}
@@ -358,6 +428,15 @@ func (f *Follower) step(ft *followTenant) (advanced bool, err error) {
 	ft.update(func() {
 		ft.applied += uint64(len(res.records))
 		ft.gen = newGen
+		// Advance the epoch half of the cursor to the epoch stamped on the
+		// record now at the head — records keep their primary's stamp
+		// through the apply, so the cursor matches the local WAL exactly.
+		for i := len(res.records) - 1; i >= 0; i-- {
+			if r := res.records[i]; !r.IsAudit() && uint64(r.Seq) <= newGen {
+				ft.epoch = r.Epoch
+				break
+			}
+		}
 	})
 	return true, nil
 }
@@ -371,13 +450,14 @@ type pullResult struct {
 }
 
 // pull performs one long-poll GET against the primary's pull endpoint.
-func (f *Follower) pull(name string, afterSeq uint64) (pullResult, error) {
-	url := fmt.Sprintf("%s/v1/replicate/%s/pull?after_seq=%d&wait_ms=%d",
-		f.opts.Upstream, name, afterSeq, f.opts.PollWait.Milliseconds())
+func (f *Follower) pull(name string, afterSeq, afterEpoch uint64) (pullResult, error) {
+	url := fmt.Sprintf("%s/v1/replicate/%s/pull?after_seq=%d&after_epoch=%d&wait_ms=%d",
+		f.opts.Upstream, name, afterSeq, afterEpoch, f.opts.PollWait.Milliseconds())
 	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return pullResult{}, err
 	}
+	req.Header.Set(HeaderEpoch, strconv.FormatUint(f.opts.Epoch.Current(), 10))
 	resp, err := f.opts.Client.Do(req)
 	if err != nil {
 		return pullResult{}, err
@@ -387,8 +467,13 @@ func (f *Follower) pull(name string, afterSeq uint64) (pullResult, error) {
 	case http.StatusOK, http.StatusGone:
 	case http.StatusNotFound:
 		return pullResult{}, fmt.Errorf("replication: pull %s: %w", name, tenant.ErrNotFound)
+	case http.StatusMisdirectedRequest:
+		return pullResult{}, f.fencedByUpstream("pull", name, resp)
 	default:
 		return pullResult{}, fmt.Errorf("replication: pull %s: upstream status %d", name, resp.StatusCode)
+	}
+	if err := f.adoptEpoch("pull", name, resp); err != nil {
+		return pullResult{}, err
 	}
 	var res pullResult
 	head, err := strconv.ParseUint(resp.Header.Get(HeaderHead), 10, 64)
@@ -424,14 +509,20 @@ func (f *Follower) pull(name string, afterSeq uint64) (pullResult, error) {
 }
 
 // bootstrap fetches the primary's snapshot and installs it locally, leaving
-// the tenant at the snapshot's generation.
+// the tenant at the snapshot's generation. The request runs under its own
+// SnapshotTimeout deadline on the timeout-free snapshot client: a large
+// tenant's transfer must not be cut off by the long-poll-sized
+// Client.Timeout.
 func (f *Follower) bootstrap(ft *followTenant) error {
+	ctx, cancel := context.WithTimeout(f.ctx, f.opts.SnapshotTimeout)
+	defer cancel()
 	url := fmt.Sprintf("%s/v1/replicate/%s/snapshot", f.opts.Upstream, ft.name)
-	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, url, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
 	}
-	resp, err := f.opts.Client.Do(req)
+	req.Header.Set(HeaderEpoch, strconv.FormatUint(f.opts.Epoch.Current(), 10))
+	resp, err := f.snapClient.Do(req)
 	if err != nil {
 		return err
 	}
@@ -440,23 +531,30 @@ func (f *Follower) bootstrap(ft *followTenant) error {
 	case http.StatusOK:
 	case http.StatusNotFound:
 		return fmt.Errorf("replication: snapshot %s: %w", ft.name, tenant.ErrNotFound)
+	case http.StatusMisdirectedRequest:
+		return f.fencedByUpstream("snapshot", ft.name, resp)
 	default:
 		return fmt.Errorf("replication: snapshot %s: upstream status %d", ft.name, resp.StatusCode)
 	}
+	if err := f.adoptEpoch("snapshot", ft.name, resp); err != nil {
+		return err
+	}
 	var payload struct {
-		Seq    uint64           `json:"seq"`
-		Policy json.RawMessage  `json:"policy"`
-		Audit  []storage.Record `json:"audit"`
+		Seq      uint64           `json:"seq"`
+		SeqEpoch uint64           `json:"seq_epoch"`
+		Policy   json.RawMessage  `json:"policy"`
+		Audit    []storage.Record `json:"audit"`
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, maxPullBody)).Decode(&payload); err != nil {
 		return fmt.Errorf("replication: snapshot %s: decode: %w", ft.name, err)
 	}
-	if err := f.reg.InstallReplicaSnapshot(ft.name, payload.Policy, payload.Seq, payload.Audit); err != nil {
+	if err := f.reg.InstallReplicaSnapshot(ft.name, payload.Policy, payload.Seq, payload.SeqEpoch, payload.Audit); err != nil {
 		return err
 	}
 	ft.update(func() {
 		ft.bootstr++
 		ft.gen = payload.Seq
+		ft.epoch = payload.SeqEpoch
 		if payload.Seq > ft.head {
 			ft.head = payload.Seq
 		}
@@ -468,11 +566,57 @@ func (f *Follower) bootstrap(ft *followTenant) error {
 	return nil
 }
 
-// localGen reads the tenant's local generation without blocking
+// fencedByUpstream turns a 421 into ErrUpstreamFenced, first adopting the
+// epoch the upstream proved exists (a deposed ex-primary answering 421
+// still teaches us the current epoch).
+func (f *Follower) fencedByUpstream(what, name string, resp *http.Response) error {
+	if peer, err := parseEpoch(resp.Header.Get(HeaderEpoch)); err == nil {
+		f.opts.Epoch.Observe(peer)
+	}
+	return fmt.Errorf("replication: %s %s: upstream at epoch %s: %w",
+		what, name, resp.Header.Get(HeaderEpoch), ErrUpstreamFenced)
+}
+
+// adoptEpoch processes a successful response's epoch header: an epoch above
+// ours is adopted durably BEFORE any record or snapshot from the response
+// is applied (so local stamps always match the primary's), and an upstream
+// behind our own epoch is refused — a deposed primary that somehow still
+// answers 200 must not feed us history.
+func (f *Follower) adoptEpoch(what, name string, resp *http.Response) error {
+	respEpoch, err := parseEpoch(resp.Header.Get(HeaderEpoch))
+	if err != nil {
+		return fmt.Errorf("replication: %s %s: bad %s header", what, name, HeaderEpoch)
+	}
+	own := f.opts.Epoch.Current()
+	switch {
+	case respEpoch < own:
+		return fmt.Errorf("replication: %s %s: upstream epoch %d behind ours %d: %w",
+			what, name, respEpoch, own, ErrUpstreamFenced)
+	case respEpoch > own:
+		if _, err := f.opts.Epoch.Observe(respEpoch); err != nil {
+			return fmt.Errorf("replication: %s %s: adopt epoch %d: %w", what, name, respEpoch, err)
+		}
+	}
+	return nil
+}
+
+// localPosition reads the tenant's local replication position — WAL head
+// sequence plus the epoch of the record there — without blocking
 // (tenant.IsNotFound when there is no durable local state).
-func (f *Follower) localGen(name string) (uint64, error) {
-	gen, _, err := f.reg.WaitGeneration(name, 0, 0)
-	return gen, err
+func (f *Follower) localPosition(name string) (uint64, uint64, error) {
+	return f.reg.ReplicaPosition(name)
+}
+
+// jitter spreads a retry delay over [d/2, 3d/2): deterministic doubling
+// alone would reconnect every follower in lockstep after a primary restart
+// — a thundering herd aimed at exactly the node that just recovered.
+func (f *Follower) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	f.rngMu.Lock()
+	defer f.rngMu.Unlock()
+	return d/2 + time.Duration(f.rng.Int63n(int64(d)))
 }
 
 // localEdges counts the local policy's edges — the follower half of the
@@ -503,10 +647,10 @@ func (ft *followTenant) hasLocal() bool {
 	return ft.haveLocal
 }
 
-func (ft *followTenant) generation() uint64 {
+func (ft *followTenant) position() (uint64, uint64) {
 	ft.mu.Lock()
 	defer ft.mu.Unlock()
-	return ft.gen
+	return ft.gen, ft.epoch
 }
 
 func (ft *followTenant) touched() time.Time {

@@ -17,16 +17,24 @@
 // coordination, staleness bounded exactly the way the decision cache bounds
 // validity.
 //
-// Wire protocol (mounted under the primary's /v1 mux):
+// Wire protocol (mounted under the primary's /v1 mux; every request and
+// response carries the sender's fencing epoch in X-Replication-Epoch):
 //
-//	GET /v1/replicate/{tenant}/pull?after_seq=N&wait_ms=M
+//	GET /v1/replicate/{tenant}/pull?after_seq=N&after_epoch=T&wait_ms=M
 //	    200: body = WAL frames of the records with seq > N
 //	         X-Replication-Head: primary generation
 //	         X-Replication-Edges: policy edge count at head (state checksum)
-//	    410: the log was compacted past N — bootstrap from /snapshot
+//	         X-Replication-Epoch: primary fencing epoch (follower adopts)
+//	    410: the log was compacted past N, or the follower's record at N is
+//	         not on the primary's history (after_epoch mismatch — a fork
+//	         across a failover) — bootstrap from /snapshot
+//	    421: the serving node is not the primary of the follower's epoch
+//	         (demoted, fenced, or just deposed by this very request) — the
+//	         follower must re-point at the current primary
 //	    404: no such tenant
 //	GET /v1/replicate/{tenant}/snapshot
-//	    200: {"seq":G,"policy":{...}} — install, then pull from after_seq=G
+//	    200: {"seq":G,"seq_epoch":T,"policy":{...}} — install, then pull
+//	         from after_seq=G&after_epoch=T
 package replication
 
 import (
@@ -35,6 +43,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"adminrefine/internal/storage"
@@ -49,6 +58,13 @@ const (
 	// HeaderEdges carries the policy edge count at head — the cheap state
 	// checksum a caught-up follower verifies (see tenant.PullResult.Edges).
 	HeaderEdges = "X-Replication-Edges"
+	// HeaderEpoch carries the sender's fencing epoch: followers send theirs
+	// on every pull/snapshot request, the source answers with its own. A
+	// request epoch above the source's proves the source was deposed — it
+	// demotes before answering 421 (see SourceOptions.OnFenced). A response
+	// epoch above the follower's is adopted durably before any record from
+	// that response is applied.
+	HeaderEpoch = "X-Replication-Epoch"
 )
 
 // SourceOptions configures the primary's log-shipping endpoints.
@@ -61,19 +77,32 @@ type SourceOptions struct {
 	// the cap ships across several pulls — the follower re-pulls from its
 	// new position immediately — so a response is never truncated mid-frame.
 	MaxBatchBytes int
+	// Epoch is the node's fencing epoch handle (nil reads as a permanent
+	// epoch 0 — the pre-failover deployments).
+	Epoch *Epoch
+	// OnFenced, when non-nil, is invoked (before the 421 goes out) when a
+	// request proves a higher epoch exists: this node was deposed and must
+	// demote. The callback adopts the epoch and stops serving writes (see
+	// server.Server).
+	OnFenced func(peer uint64)
 }
 
 // Source serves a registry's per-tenant WALs to pulling followers.
 type Source struct {
 	reg  *tenant.Registry
 	opts SourceOptions
+	// serving gates the endpoints: a follower or demoted node keeps them
+	// mounted but answers 421 + its epoch, which is exactly the re-point
+	// signal a stray puller needs. Promotion flips it on (see server).
+	serving atomic.Bool
 	// done, when closed, aborts in-flight long-polls: http.Server.Shutdown
 	// waits for active handlers but does not cancel their request contexts,
 	// so a draining primary must wake its parked pulls itself (see Close).
 	done chan struct{}
 }
 
-// NewSource builds the log-shipping source over a registry.
+// NewSource builds the log-shipping source over a registry, initially
+// serving.
 func NewSource(reg *tenant.Registry, opts SourceOptions) *Source {
 	if opts.MaxWait <= 0 {
 		opts.MaxWait = 30 * time.Second
@@ -81,7 +110,57 @@ func NewSource(reg *tenant.Registry, opts SourceOptions) *Source {
 	if opts.MaxBatchBytes <= 0 {
 		opts.MaxBatchBytes = 4 << 20
 	}
-	return &Source{reg: reg, opts: opts, done: make(chan struct{})}
+	s := &Source{reg: reg, opts: opts, done: make(chan struct{})}
+	s.serving.Store(true)
+	return s
+}
+
+// SetServing flips whether the endpoints serve (primary) or answer 421
+// (follower / demoted node).
+func (s *Source) SetServing(on bool) { s.serving.Store(on) }
+
+// Serving reports whether the endpoints currently serve pulls.
+func (s *Source) Serving() bool { return s.serving.Load() }
+
+// gate runs the fencing protocol for one request: it demotes this node if
+// the peer proves a higher epoch exists, then rejects the request with 421
+// unless this node is the serving primary. It reports whether the handler
+// may proceed.
+func (s *Source) gate(w http.ResponseWriter, r *http.Request) bool {
+	if peer, err := parseEpoch(r.Header.Get(HeaderEpoch)); err != nil {
+		http.Error(w, "bad "+HeaderEpoch, http.StatusBadRequest)
+		return false
+	} else if peer > s.opts.Epoch.Current() {
+		if s.opts.OnFenced != nil {
+			s.opts.OnFenced(peer)
+		} else {
+			s.opts.Epoch.Observe(peer)
+		}
+		s.fenced(w)
+		return false
+	}
+	if !s.serving.Load() {
+		s.fenced(w)
+		return false
+	}
+	return true
+}
+
+// fenced answers 421 Misdirected Request with this node's (possibly just
+// raised) epoch — the re-point signal.
+func (s *Source) fenced(w http.ResponseWriter) {
+	w.Header().Set(HeaderEpoch, strconv.FormatUint(s.opts.Epoch.Current(), 10))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusMisdirectedRequest)
+	fmt.Fprintf(w, `{"error":"not the primary of epoch %d"}`+"\n", s.opts.Epoch.Current())
+}
+
+// parseEpoch decodes an epoch header value ("" = 0, the pre-epoch peers).
+func parseEpoch(v string) (uint64, error) {
+	if v == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(v, 10, 64)
 }
 
 // Close wakes every in-flight long-poll so a graceful server shutdown is
@@ -101,20 +180,32 @@ func (s *Source) Register(mux *http.ServeMux) {
 }
 
 // SnapshotPayload is the bootstrap document: the tenant's policy at one
-// generation plus the primary's retained audit window. Its shape extends
-// the on-disk snapshot.json.
+// generation (plus the fencing epoch of the record at that generation) and
+// the primary's retained audit window. Its shape extends the on-disk
+// snapshot.json.
 type SnapshotPayload struct {
-	Seq    uint64           `json:"seq"`
-	Policy any              `json:"policy"`
-	Audit  []storage.Record `json:"audit,omitempty"`
+	Seq uint64 `json:"seq"`
+	// SeqEpoch is the fencing epoch of the record at Seq; the follower
+	// resumes pulling from after_seq=Seq&after_epoch=SeqEpoch.
+	SeqEpoch uint64           `json:"seq_epoch,omitempty"`
+	Policy   any              `json:"policy"`
+	Audit    []storage.Record `json:"audit,omitempty"`
 }
 
 func (s *Source) handlePull(w http.ResponseWriter, r *http.Request) {
+	if !s.gate(w, r) {
+		return
+	}
 	name := r.PathValue("tenant")
 	q := r.URL.Query()
 	afterSeq, err := strconv.ParseUint(q.Get("after_seq"), 10, 64)
 	if err != nil && q.Get("after_seq") != "" {
 		http.Error(w, "bad after_seq", http.StatusBadRequest)
+		return
+	}
+	afterEpoch, err := parseEpoch(q.Get("after_epoch"))
+	if err != nil {
+		http.Error(w, "bad after_epoch", http.StatusBadRequest)
 		return
 	}
 	wait := time.Duration(0)
@@ -140,13 +231,14 @@ func (s *Source) handlePull(w http.ResponseWriter, r *http.Request) {
 		case <-ctx.Done():
 		}
 	}()
-	res, err := s.reg.PullWAL(ctx, name, afterSeq, wait)
+	res, err := s.reg.PullWAL(ctx, name, afterSeq, afterEpoch, wait)
 	if err != nil {
 		sourceError(w, err)
 		return
 	}
 	w.Header().Set(HeaderHead, strconv.FormatUint(res.Head, 10))
 	w.Header().Set(HeaderEdges, strconv.Itoa(res.Edges))
+	w.Header().Set(HeaderEpoch, strconv.FormatUint(s.opts.Epoch.Current(), 10))
 	if res.SnapshotNeeded {
 		// The log no longer covers after_seq: the follower must bootstrap.
 		w.WriteHeader(http.StatusGone)
@@ -170,8 +262,11 @@ func (s *Source) handlePull(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Source) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !s.gate(w, r) {
+		return
+	}
 	name := r.PathValue("tenant")
-	seq, policyJSON, audit, err := s.reg.SnapshotDump(name)
+	seq, seqEpoch, policyJSON, audit, err := s.reg.SnapshotDump(name)
 	if err != nil {
 		sourceError(w, err)
 		return
@@ -181,11 +276,12 @@ func (s *Source) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	w.Header().Set(HeaderEpoch, strconv.FormatUint(s.opts.Epoch.Current(), 10))
 	w.Header().Set("Content-Type", "application/json")
 	// Assemble by hand so the policy JSON passes through byte-exact. The
 	// audit window rides along so a bootstrapping follower adopts the
 	// primary's trail instead of starting blind (older followers ignore it).
-	fmt.Fprintf(w, `{"seq":%d,"policy":%s,"audit":%s}`, seq, policyJSON, auditJSON)
+	fmt.Fprintf(w, `{"seq":%d,"seq_epoch":%d,"policy":%s,"audit":%s}`, seq, seqEpoch, policyJSON, auditJSON)
 }
 
 func sourceError(w http.ResponseWriter, err error) {

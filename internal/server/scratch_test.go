@@ -22,6 +22,7 @@ import (
 var scratchCoverage = map[string]string{
 	"req":      "decode target: struct rebuilt and element storage cleared by reset()",
 	"checkReq": "decode target: struct rebuilt and element storage cleared by reset()",
+	"adminReq": "decode target: scalar struct zeroed by reset() (a leaked IfEpoch would veto a promotion; a leaked Upstream would redirect a repoint)",
 	"cmds":     "overwrite-before-read result buffer: length zeroed by reset()",
 	"results":  "overwrite-before-read result buffer: length zeroed by reset()",
 	"authOut":  "overwrite-before-read result buffer: length zeroed by reset()",
@@ -60,6 +61,7 @@ func TestScratchFieldsZeroedBetweenRequests(t *testing.T) {
 			Checks:        []CheckQuery{{Action: "read", Object: "t1"}},
 			MinGeneration: 42,
 		},
+		adminReq: AdminRequest{Upstream: "http://leak:1", IfEpoch: 3},
 		cmds:     make([]command.Command, 3),
 		results:  make([]engine.AuthzResult, 3),
 		authOut:  []AuthorizeResult{{Allowed: true, Justification: "leak"}},
@@ -80,6 +82,9 @@ func TestScratchFieldsZeroedBetweenRequests(t *testing.T) {
 	}
 	if sc.checkReq.Session != 0 || sc.checkReq.MinGeneration != 0 || len(sc.checkReq.Checks) != 0 {
 		t.Fatalf("checkReq not reset: %+v", sc.checkReq)
+	}
+	if sc.adminReq != (AdminRequest{}) {
+		t.Fatalf("adminReq not reset: %+v", sc.adminReq)
 	}
 	for i, q := range sc.checkReq.Checks[:cap(sc.checkReq.Checks)] {
 		if q != (CheckQuery{}) {

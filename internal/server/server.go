@@ -43,11 +43,28 @@
 // stale answer. On a primary the generation is current by construction; on a
 // follower it advances as the replication pull loop applies records.
 //
-// Roles: a primary additionally serves the replication source endpoints; a
-// follower (Config.Follower non-nil) serves reads from its replicated state
-// — starting a tenant's replication on first touch — and answers writes with
-// a 307 redirect to the upstream primary, so a client that follows
-// redirects can talk to any replica.
+// Roles: the server is a role state machine — primary, follower or fenced —
+// and the replication source endpoints are always mounted (a non-primary
+// answers them 421 + its epoch, the re-point signal). A primary serves
+// writes and streams its WAL; a follower (Config.Follower non-nil) serves
+// reads from its replicated state — starting a tenant's replication on first
+// touch — and answers writes with a 307 redirect to the upstream primary,
+// so a client that follows redirects can talk to any replica; a fenced node
+// is a deposed ex-primary with no upstream yet: reads keep serving, writes
+// answer 421.
+//
+// Transitions: POST /v1/promote flips a follower (or fenced node) to
+// primary — the fencing epoch advances durably BEFORE the first write is
+// accepted, the pull loops stop, and the source starts serving. POST
+// /v1/repoint points a follower (or rejoins a fenced ex-primary) at a new
+// upstream; each tenant resumes pulling from its durable local WAL position,
+// and any history the dead primary acknowledged but never replicated is
+// discarded by a rewinding snapshot bootstrap (see internal/replication).
+// A primary that observes a higher epoch on any replication exchange
+// demotes itself to fenced on the spot (split-brain is structurally
+// impossible: at most one node serves writes per epoch). With
+// Config.PromoteOnUpstreamLoss a follower probes its upstream's /healthz
+// and self-promotes after ProbeThreshold consecutive failures.
 //
 // Commands travel as {"actor","op","from","to"} with vertices in the wire
 // form of model.MarshalVertex — the same encoding the WAL uses, so a logged
@@ -55,11 +72,14 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -92,6 +112,8 @@ type batchScratch struct {
 	// Decode targets: reset fully (elements and scalars) before every use.
 	req      BatchRequest
 	checkReq CheckRequest
+	// adminReq is the decode target of the promote/repoint control plane.
+	adminReq AdminRequest
 	// Result buffers: overwritten index-by-index up to the current request's
 	// length before any read, so only their lengths are reset.
 	cmds     []command.Command
@@ -115,6 +137,7 @@ func (sc *batchScratch) reset() {
 	checks := sc.checkReq.Checks[:cap(sc.checkReq.Checks)]
 	clear(checks)
 	sc.checkReq = CheckRequest{Checks: checks[:0]}
+	sc.adminReq = AdminRequest{}
 	sc.cmds = sc.cmds[:0]
 	sc.results = sc.results[:0]
 	sc.authOut = sc.authOut[:0]
@@ -153,18 +176,58 @@ type Config struct {
 	// SessionCacheSlots sizes each tenant's session check-verdict cache
 	// (0 = default; negative disables).
 	SessionCacheSlots int
+	// Epoch is the node's fencing epoch handle, shared with the follower and
+	// the registry's stamp hook. Nil gets an in-memory epoch starting at 0 —
+	// fine for tests and single-node deployments, but a real cluster must
+	// pass a durably-persisted one (see replication.NewEpoch) or a crashed
+	// promotion could resurrect a fenced epoch.
+	Epoch *replication.Epoch
+	// FollowerOptions is the template the server uses to build a follower it
+	// was not constructed with: a fenced ex-primary rejoining the cluster via
+	// /v1/repoint (Upstream is overwritten per repoint). When Follower is
+	// non-nil its own options take precedence as the template.
+	FollowerOptions replication.FollowerOptions
+	// PromoteOnUpstreamLoss, on a follower, self-promotes this node after its
+	// upstream's /healthz fails ProbeThreshold consecutive probes — unattended
+	// failover for two-node deployments. Leave it off when an external
+	// orchestrator calls /v1/promote (two followers probing the same dead
+	// primary would both promote).
+	PromoteOnUpstreamLoss bool
+	// ProbeInterval is the upstream health-probe period (default 1s).
+	ProbeInterval time.Duration
+	// ProbeThreshold is how many consecutive probe failures depose the
+	// upstream (default 5).
+	ProbeThreshold int
 }
 
-// Server is the HTTP facade over a tenant registry — a primary (serving its
-// WAL to followers) or a follower (serving replicated reads).
+// Server is the HTTP facade over a tenant registry — a role state machine
+// over primary (serving writes and its WAL), follower (serving replicated
+// reads) and fenced (a deposed ex-primary awaiting a repoint).
 type Server struct {
 	reg        *tenant.Registry
-	follower   *replication.Follower
+	epoch      *replication.Epoch
 	source     *replication.Source
 	sessions   *session.Registry
 	minGenWait time.Duration
 	mux        *http.ServeMux
 	start      time.Time
+
+	// roleMu guards the role state below. Handlers take a read lock only to
+	// resolve the current role; transitions (Promote, Repoint, fence) take
+	// the write lock — including across follower.Close, which is fast
+	// (cancelling the pull context aborts in-flight requests).
+	roleMu sync.RWMutex
+	// follower is non-nil exactly in follower role.
+	follower *replication.Follower
+	// fenced marks a deposed ex-primary: no upstream, writes answer 421.
+	fenced bool
+	// followerTmpl seeds replacement followers (repoint from fenced).
+	followerTmpl replication.FollowerOptions
+
+	probeThreshold int
+	probeInterval  time.Duration
+	probeCancel    context.CancelFunc
+	probeWG        sync.WaitGroup
 }
 
 // New builds a primary server. The registry stays owned by the caller (close
@@ -180,16 +243,35 @@ func NewWithConfig(cfg Config) *Server {
 	if cfg.MinGenWait <= 0 {
 		cfg.MinGenWait = 2 * time.Second
 	}
+	if cfg.Epoch == nil {
+		cfg.Epoch = replication.NewEpoch(0, nil)
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.ProbeThreshold <= 0 {
+		cfg.ProbeThreshold = 5
+	}
 	s := &Server{
 		reg:      cfg.Registry,
+		epoch:    cfg.Epoch,
 		follower: cfg.Follower,
 		sessions: session.NewRegistry(session.Options{
 			Constraints: cfg.Constraints,
 			CacheSlots:  cfg.SessionCacheSlots,
 		}),
-		minGenWait: cfg.MinGenWait,
-		mux:        http.NewServeMux(),
-		start:      time.Now(),
+		minGenWait:     cfg.MinGenWait,
+		mux:            http.NewServeMux(),
+		start:          time.Now(),
+		followerTmpl:   cfg.FollowerOptions,
+		probeInterval:  cfg.ProbeInterval,
+		probeThreshold: cfg.ProbeThreshold,
+	}
+	if cfg.Follower != nil {
+		s.followerTmpl = cfg.Follower.Options()
+	}
+	if s.followerTmpl.Epoch == nil {
+		s.followerTmpl.Epoch = s.epoch
 	}
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/authorize", s.handleAuthorize)
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/submit", s.handleSubmit)
@@ -202,20 +284,46 @@ func NewWithConfig(cfg Config) *Server {
 	s.mux.HandleFunc("PUT /v1/tenants/{tenant}/policy", s.handlePutPolicy)
 	s.mux.HandleFunc("GET /v1/tenants/{tenant}/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	if s.follower == nil {
-		s.source = replication.NewSource(s.reg, replication.SourceOptions{MaxWait: cfg.ReplicationMaxWait})
-		s.source.Register(s.mux)
+	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
+	s.mux.HandleFunc("POST /v1/repoint", s.handleRepoint)
+	// The source is always mounted: a non-primary answers its endpoints 421
+	// plus its epoch — exactly the re-point signal a stray puller (or a
+	// resurrected ex-primary's follower) needs.
+	s.source = replication.NewSource(s.reg, replication.SourceOptions{
+		MaxWait:  cfg.ReplicationMaxWait,
+		Epoch:    s.epoch,
+		OnFenced: s.fence,
+	})
+	s.source.Register(s.mux)
+	s.source.SetServing(s.follower == nil)
+	if s.follower != nil && cfg.PromoteOnUpstreamLoss {
+		ctx, cancel := context.WithCancel(context.Background())
+		s.probeCancel = cancel
+		s.probeWG.Add(1)
+		go s.probeUpstream(ctx)
 	}
 	return s
 }
 
-// Close releases the server's serving-state resources: it drains the
+// Close releases the server's serving-state resources: it stops the
+// auto-promotion probe, closes the current follower's pull loops (the server
+// owns the follower's lifecycle — repoints swap it at runtime), drains the
 // node-local session tables (sessions die with the node — before the
-// registry compacts and closes) and, on a primary, wakes every parked
-// follower long-poll so http.Server.Shutdown can drain without waiting out
-// their poll budgets (Shutdown does not cancel in-flight request contexts).
-// Call it before or alongside Shutdown.
+// registry compacts and closes) and wakes every parked follower long-poll so
+// http.Server.Shutdown can drain without waiting out their poll budgets
+// (Shutdown does not cancel in-flight request contexts). Call it before or
+// alongside Shutdown.
 func (s *Server) Close() {
+	if s.probeCancel != nil {
+		s.probeCancel()
+	}
+	s.probeWG.Wait()
+	s.roleMu.Lock()
+	f := s.follower
+	s.roleMu.Unlock()
+	if f != nil {
+		f.Close()
+	}
 	s.DrainSessions()
 	if s.source != nil {
 		s.source.Close()
@@ -226,21 +334,189 @@ func (s *Server) Close() {
 // were live — the SIGTERM hook (idempotent; Close calls it too).
 func (s *Server) DrainSessions() int { return s.sessions.DrainAll() }
 
-// role names the server's replication role for stats and health.
-func (s *Server) role() string {
-	if s.follower != nil {
+// curFollower resolves the follower handle under the current role (nil on a
+// primary or fenced node).
+func (s *Server) curFollower() *replication.Follower {
+	s.roleMu.RLock()
+	defer s.roleMu.RUnlock()
+	return s.follower
+}
+
+// Role names the server's replication role: "primary", "follower" or
+// "fenced" (a deposed ex-primary with no upstream yet).
+func (s *Server) Role() string {
+	s.roleMu.RLock()
+	defer s.roleMu.RUnlock()
+	return s.roleLocked()
+}
+
+func (s *Server) roleLocked() string {
+	switch {
+	case s.follower != nil:
 		return "follower"
+	case s.fenced:
+		return "fenced"
+	default:
+		return "primary"
 	}
-	return "primary"
+}
+
+// Epoch reports the node's current fencing epoch.
+func (s *Server) Epoch() uint64 { return s.epoch.Current() }
+
+// errStaleEpoch rejects a conditional transition whose if_epoch guard
+// missed: another transition won the race.
+var errStaleEpoch = errors.New("if_epoch does not match the node's epoch")
+
+// errPrimaryRepoint refuses to silently demote a serving primary by
+// repointing it; depose it first by promoting another node (which fences
+// this one) or restart it as a follower.
+var errPrimaryRepoint = errors.New("node is the serving primary; promote its successor first")
+
+// Promote flips this node to primary: the fencing epoch advances durably
+// BEFORE a single write is accepted (a crash between the two leaves a fenced
+// epoch on disk, never a split brain), the pull loops stop, and the
+// replication source starts serving. ifEpoch, when non-zero, is a
+// compare-and-swap guard: the promotion only proceeds while the node's epoch
+// is exactly that value. Promoting a serving primary is a no-op reporting
+// the current epoch.
+func (s *Server) Promote(ifEpoch uint64) (uint64, error) {
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	if ifEpoch != 0 && s.epoch.Current() != ifEpoch {
+		return s.epoch.Current(), errStaleEpoch
+	}
+	if s.follower == nil && !s.fenced {
+		return s.epoch.Current(), nil
+	}
+	next, err := s.epoch.Advance()
+	if err != nil {
+		return s.epoch.Current(), err
+	}
+	if s.follower != nil {
+		// Stop pulling before serving: a promoted node must not apply records
+		// from the old history after it started minting its own.
+		s.follower.Close()
+		s.follower = nil
+	}
+	s.fenced = false
+	s.source.SetServing(true)
+	return next, nil
+}
+
+// Repoint points this node at a new upstream primary: a follower swaps its
+// pull loops over (each tenant resumes from its durable local WAL position),
+// and a fenced ex-primary rejoins as a follower — its first pull carries its
+// stale (seq, epoch) cursor, and the new primary's prefix check turns any
+// forked suffix into a rewinding snapshot bootstrap. ifEpoch is the same CAS
+// guard Promote takes. A serving primary refuses (errPrimaryRepoint).
+func (s *Server) Repoint(upstream string, ifEpoch uint64) error {
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	if ifEpoch != 0 && s.epoch.Current() != ifEpoch {
+		return errStaleEpoch
+	}
+	if s.follower == nil && !s.fenced {
+		return errPrimaryRepoint
+	}
+	old := s.follower
+	if old != nil {
+		s.follower = old.WithUpstream(upstream)
+	} else {
+		tmpl := s.followerTmpl
+		tmpl.Upstream = upstream
+		s.follower = replication.NewFollower(s.reg, tmpl)
+	}
+	s.fenced = false
+	s.source.SetServing(false)
+	if old != nil {
+		old.Close()
+	}
+	return nil
+}
+
+// fence demotes this node after a replication exchange proved a higher epoch
+// exists (the source's OnFenced hook): adopt the epoch durably, stop serving
+// writes and the WAL stream, and drop the node-local sessions — their
+// min_generation contracts were made against a primaryship that just ended.
+// On a follower this is just the adoption (a follower cannot be deposed).
+func (s *Server) fence(peer uint64) {
+	s.epoch.Observe(peer)
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	if s.follower != nil || s.fenced {
+		return
+	}
+	s.fenced = true
+	s.source.SetServing(false)
+	s.sessions.DrainAll()
+}
+
+// probeUpstream is the unattended-failover loop: it probes the upstream's
+// /healthz every probeInterval and promotes this node after probeThreshold
+// consecutive failures. A successful probe or a repoint resets the count.
+func (s *Server) probeUpstream(ctx context.Context) {
+	defer s.probeWG.Done()
+	client := &http.Client{Timeout: s.probeInterval}
+	fails := 0
+	last := ""
+	t := time.NewTicker(s.probeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		f := s.curFollower()
+		if f == nil {
+			// Promoted (by us or an operator) or fenced: nothing to probe.
+			// Keep ticking — a later repoint re-arms the probe.
+			fails = 0
+			continue
+		}
+		up := f.Upstream()
+		if up != last {
+			fails, last = 0, up
+		}
+		if s.upstreamHealthy(ctx, client, up) {
+			fails = 0
+			continue
+		}
+		fails++
+		if fails >= s.probeThreshold {
+			if _, err := s.Promote(0); err == nil {
+				return
+			}
+			fails = 0
+		}
+	}
+}
+
+// upstreamHealthy performs one health probe.
+func (s *Server) upstreamHealthy(ctx context.Context, client *http.Client, upstream string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, upstream+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
 }
 
 // ensureReplica starts/joins replication of the tenant in follower mode; a
-// no-op on primaries. It reports whether the request may proceed.
+// no-op on primaries and fenced nodes (which keep serving their local
+// state). It reports whether the request may proceed.
 func (s *Server) ensureReplica(w http.ResponseWriter, name string) bool {
-	if s.follower == nil {
+	f := s.curFollower()
+	if f == nil {
 		return true
 	}
-	if err := s.follower.Ensure(name); err != nil {
+	if err := f.Ensure(name); err != nil {
 		tenantError(w, err)
 		return false
 	}
@@ -271,15 +547,33 @@ func (s *Server) awaitGeneration(w http.ResponseWriter, r *http.Request, name st
 	return true
 }
 
-// redirectUpstream answers a write on a follower: 307 preserves the method
-// and body, so redirect-following clients transparently write to the
-// primary.
-func (s *Server) redirectUpstream(w http.ResponseWriter, r *http.Request) {
-	target := s.follower.Upstream() + r.URL.Path
-	if r.URL.RawQuery != "" {
-		target += "?" + r.URL.RawQuery
+// gateWrite resolves a write for the node's current role, reporting whether
+// it may proceed locally: a follower answers 307 to its upstream (the method
+// and body survive the redirect), a fenced ex-primary answers 421 plus its
+// epoch (it has no upstream to point at — the client must find the epoch's
+// primary), and a primary proceeds.
+func (s *Server) gateWrite(w http.ResponseWriter, r *http.Request) bool {
+	s.roleMu.RLock()
+	f, fenced := s.follower, s.fenced
+	s.roleMu.RUnlock()
+	switch {
+	case f != nil:
+		target := f.Upstream() + r.URL.Path
+		if r.URL.RawQuery != "" {
+			target += "?" + r.URL.RawQuery
+		}
+		http.Redirect(w, r, target, http.StatusTemporaryRedirect)
+		return false
+	case fenced:
+		w.Header().Set(replication.HeaderEpoch, strconv.FormatUint(s.epoch.Current(), 10))
+		writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
+			"error": fmt.Sprintf("node was deposed (epoch %d): not accepting writes", s.epoch.Current()),
+			"epoch": s.epoch.Current(),
+		})
+		return false
+	default:
+		return true
 	}
-	http.Redirect(w, r, target, http.StatusTemporaryRedirect)
 }
 
 // ServeHTTP implements http.Handler.
@@ -438,7 +732,11 @@ func (s *Server) decodeBatch(sc *batchScratch, w http.ResponseWriter, r *http.Re
 type batchResponse struct {
 	Results    any    `json:"results"`
 	Generation uint64 `json:"generation"`
-	Error      string `json:"error,omitempty"`
+	// Epoch is the fencing epoch a write ack was served under (absent means
+	// epoch 0, the birth epoch). A jump between two acks tells the client a
+	// failover happened in between.
+	Epoch uint64 `json:"epoch,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 func (s *Server) handleAuthorize(w http.ResponseWriter, r *http.Request) {
@@ -472,8 +770,7 @@ func (s *Server) handleAuthorize(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	if s.follower != nil {
-		s.redirectUpstream(w, r)
+	if !s.gateWrite(w, r) {
 		return
 	}
 	sc := getScratch()
@@ -498,7 +795,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			out[i].Justification = res.Justification.String()
 		}
 	}
-	body := batchResponse{Results: out, Generation: gen}
+	// Write acks carry the fencing epoch (header + body): the token a client
+	// or proxy uses to notice a failover happened between its writes.
+	body := batchResponse{Results: out, Generation: gen, Epoch: s.epoch.Current()}
+	w.Header().Set(replication.HeaderEpoch, strconv.FormatUint(body.Epoch, 10))
 	status := http.StatusOK
 	if err != nil {
 		// Commit-hook (durability) failure mid-batch: report what was
@@ -713,8 +1013,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
-	if s.follower != nil {
-		s.redirectUpstream(w, r)
+	if !s.gateWrite(w, r) {
 		return
 	}
 	src, err := io.ReadAll(r.Body)
@@ -739,6 +1038,7 @@ func (s *Server) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
 		tenantError(w, err)
 		return
 	}
+	w.Header().Set(replication.HeaderEpoch, strconv.FormatUint(s.epoch.Current(), 10))
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -749,6 +1049,9 @@ type statsResponse struct {
 	tenant.Stats
 	Replication *replication.LagStats `json:"replication,omitempty"`
 	Sessions    *session.Stats        `json:"sessions,omitempty"`
+	// Role and Epoch locate this node in the failover topology.
+	Role  string `json:"role"`
+	Epoch uint64 `json:"epoch"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -761,9 +1064,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		tenantError(w, err)
 		return
 	}
-	out := statsResponse{Stats: st}
-	if s.follower != nil {
-		if lag, ok := s.follower.LagStats(name); ok {
+	out := statsResponse{Stats: st, Role: s.Role(), Epoch: s.epoch.Current()}
+	if f := s.curFollower(); f != nil {
+		if lag, ok := f.LagStats(name); ok {
 			out.Replication = &lag
 		}
 	}
@@ -777,15 +1080,84 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body := map[string]any{
 		"status":   "ok",
-		"role":     s.role(),
+		"role":     s.Role(),
+		"epoch":    s.epoch.Current(),
 		"uptime":   time.Since(s.start).Round(time.Millisecond).String(),
 		"resident": s.reg.Resident(),
 		"sessions": s.sessions.Sessions(),
 	}
-	if s.follower != nil {
-		body["upstream"] = s.follower.Upstream()
+	if f := s.curFollower(); f != nil {
+		body["upstream"] = f.Upstream()
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// AdminRequest is the body of the role-transition control endpoints
+// (/v1/promote, /v1/repoint).
+type AdminRequest struct {
+	// Upstream is the new primary's base URL (repoint only).
+	Upstream string `json:"upstream,omitempty"`
+	// IfEpoch, when non-zero, makes the transition conditional: it proceeds
+	// only while the node's epoch is exactly this value — the CAS guard that
+	// keeps two racing operators (or probe loops) from double-promoting.
+	IfEpoch uint64 `json:"if_epoch,omitempty"`
+}
+
+// adminResponse reports the node's role and epoch after a transition.
+type adminResponse struct {
+	Role     string `json:"role"`
+	Epoch    uint64 `json:"epoch"`
+	Upstream string `json:"upstream,omitempty"`
+}
+
+// decodeAdmin decodes an AdminRequest body (an empty body is a zero
+// request — unconditional promote).
+func (s *Server) decodeAdmin(sc *batchScratch, w http.ResponseWriter, r *http.Request) bool {
+	if err := json.NewDecoder(r.Body).Decode(&sc.adminReq); err != nil && !errors.Is(err, io.EOF) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	sc := getScratch()
+	defer putScratch(sc)
+	if !s.decodeAdmin(sc, w, r) {
+		return
+	}
+	epoch, err := s.Promote(sc.adminReq.IfEpoch)
+	if err != nil {
+		if errors.Is(err, errStaleEpoch) {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, adminResponse{Role: s.Role(), Epoch: epoch})
+}
+
+func (s *Server) handleRepoint(w http.ResponseWriter, r *http.Request) {
+	sc := getScratch()
+	defer putScratch(sc)
+	if !s.decodeAdmin(sc, w, r) {
+		return
+	}
+	upstream := strings.TrimRight(sc.adminReq.Upstream, "/")
+	if upstream == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("repoint needs an upstream"))
+		return
+	}
+	if err := s.Repoint(upstream, sc.adminReq.IfEpoch); err != nil {
+		if errors.Is(err, errStaleEpoch) || errors.Is(err, errPrimaryRepoint) {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, adminResponse{Role: s.Role(), Epoch: s.epoch.Current(), Upstream: upstream})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -89,7 +89,7 @@ func TestReadSinceSurvivesCompaction(t *testing.T) {
 	}
 	// A snapshot installed at a jumped position disconnects the tail: the
 	// old records no longer extend to the new state.
-	if err := st.CompactAt(pol, n+10); err != nil {
+	if err := st.CompactAt(pol, n+10, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	if _, gap, err := st.ReadSince(n); err != nil || !gap {

@@ -23,6 +23,7 @@ package storage
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -44,6 +45,15 @@ const logMagic = "ARWAL1\n"
 // is never replayed into the policy. An empty Kind is a step record — the
 // original WAL record kind, a command whose effect recovery replays.
 const KindAudit = "audit"
+
+// KindEpoch marks a fencing-epoch control record: a durable note that the
+// node adopted (or minted, at promotion) the given cluster epoch. Epoch
+// records carry no command — only Record.Epoch is meaningful — and are never
+// replayed into the policy or shipped to replication pullers; recovery takes
+// the highest one as the store's durable epoch. The node-level store (see
+// cmd/rbacd) is their home; per-tenant WALs carry epochs on the step records
+// themselves instead.
+const KindEpoch = "epoch"
 
 // Record is one logged administrative command with its outcome.
 type Record struct {
@@ -67,11 +77,22 @@ type Record struct {
 	// node-local: a follower re-indexes adopted/replicated audit records
 	// into its own sequence.
 	ASeq uint64 `json:"aseq,omitempty"`
+	// Epoch is the cluster fencing epoch the record was written under. On
+	// step and audit records it is stamped at append time from the store's
+	// stamp epoch and preserved verbatim by replication — the Raft-style
+	// (term, index) pair that lets a new primary distinguish a follower
+	// whose history is a prefix of its own (serve from its WAL seq) from one
+	// that forked across a failover (force a rewinding snapshot bootstrap).
+	// On KindEpoch control records it is the adopted epoch itself.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // IsAudit reports whether the record is an audit observation rather than a
 // replayable step.
 func (r Record) IsAudit() bool { return r.Kind == KindAudit }
+
+// IsEpoch reports whether the record is a fencing-epoch control record.
+func (r Record) IsEpoch() bool { return r.Kind == KindEpoch }
 
 // NewRecord converts an audit entry into a loggable record.
 func NewRecord(e monitor.AuditEntry) (Record, error) {
@@ -130,19 +151,65 @@ type Recovery struct {
 	DroppedBytes int
 }
 
+// File is the slice of *os.File the WAL needs. The default path opens real
+// files; tests substitute a fault-injecting implementation through
+// Options.OpenFile (see internal/fault) — the production path pays only the
+// interface dispatch.
+type File interface {
+	io.ReadWriteSeeker
+	io.Closer
+	Truncate(size int64) error
+	Sync() error
+	Stat() (os.FileInfo, error)
+}
+
 // Options configures a Store.
 type Options struct {
 	// Sync forces an fsync after every append (slow, durable). Default off.
 	Sync bool
+	// OpenFile, when non-nil, opens the WAL file instead of os.OpenFile —
+	// the deterministic fault-injection seam (see internal/fault). Snapshot
+	// files are written atomically via temp-file + rename and are not routed
+	// through it.
+	OpenFile func(path string, flag int, perm os.FileMode) (File, error)
 }
+
+// ErrDamaged marks a store wedged by an unrepaired write failure: a WAL
+// append failed and the truncate restoring the last known-good offset failed
+// too, so the on-disk suffix is untrusted. Every later append or compaction
+// fails fast with it; recovery is a reopen (which re-reads the file and
+// truncates the torn tail).
+var ErrDamaged = errors.New("storage: wal damaged by earlier write failure")
 
 // Store is a directory-backed policy store: snapshot.json + wal.log.
 type Store struct {
 	mu   sync.Mutex
 	dir  string
 	opts Options
-	f    *os.File
+	f    File
 	seq  int
+	// off is the file offset one past the last fully landed frame — the
+	// truncation point that repairs a torn append (a partial write or a
+	// failed fsync leaves bytes of unknown durability; see appendLocked).
+	off int64
+	// damaged is set when that repair itself failed; see ErrDamaged.
+	damaged bool
+	// epoch is the durable fencing epoch: the highest KindEpoch control
+	// record in the log (or snapshot meta). Only the node-level store (see
+	// cmd/rbacd) writes these; per-tenant stores leave it zero.
+	epoch uint64
+	// stampEpoch is the in-memory epoch stamped onto locally minted step and
+	// audit records (SetStampEpoch). The registry syncs it from the node
+	// epoch before writes; replication apply sets it per pulled-record run
+	// so replicated records keep the epoch the primary stamped.
+	stampEpoch uint64
+	// lastEpoch is the epoch of the step record at seq (== the snapshot's
+	// epoch when the log holds no steps) — the follower's half of the
+	// prefix-validation check (see EpochAt).
+	lastEpoch uint64
+	// snapEpoch is the epoch of the record the on-disk snapshot covers
+	// (snapshotMeta.SeqEpoch).
+	snapEpoch uint64
 	// snapBase is the sequence number the on-disk snapshot covers; the log
 	// holds exactly the records in (snapBase, seq]. A replication pull for
 	// records at or below snapBase cannot be served from the log — the
@@ -184,7 +251,15 @@ const maxTail = 2048
 
 // snapshotMeta wraps the policy snapshot with its log position.
 type snapshotMeta struct {
-	Seq    int             `json:"seq"`
+	Seq int `json:"seq"`
+	// SeqEpoch is the fencing epoch of the record at Seq — kept so a store
+	// whose log was compacted (or installed from a snapshot) can still
+	// answer EpochAt(SnapBase) and stamp its replication position.
+	SeqEpoch uint64 `json:"seq_epoch,omitempty"`
+	// Epoch is the durable fencing epoch at compaction time (see
+	// Store.Epoch); folding it into the snapshot keeps it recoverable even
+	// if every KindEpoch control record was truncated with the log.
+	Epoch  uint64          `json:"epoch,omitempty"`
 	Policy json.RawMessage `json:"policy"`
 }
 
@@ -197,6 +272,7 @@ func Open(dir string, opts Options) (*Store, *policy.Policy, Recovery, error) {
 	}
 	pol := policy.New()
 	seq := 0
+	var epoch, snapEpoch uint64
 
 	// Load snapshot if present.
 	snapPath := filepath.Join(dir, "snapshot.json")
@@ -209,6 +285,8 @@ func Open(dir string, opts Options) (*Store, *policy.Policy, Recovery, error) {
 			return nil, nil, rec, fmt.Errorf("storage: corrupt snapshot policy: %w", err)
 		}
 		seq = meta.Seq
+		epoch = meta.Epoch
+		snapEpoch = meta.SeqEpoch
 		rec.SnapshotLoaded = true
 	} else if !os.IsNotExist(err) {
 		return nil, nil, rec, err
@@ -216,8 +294,14 @@ func Open(dir string, opts Options) (*Store, *policy.Policy, Recovery, error) {
 	snapSeq := seq
 
 	// Replay the log.
+	openFile := opts.OpenFile
+	if openFile == nil {
+		openFile = func(path string, flag int, perm os.FileMode) (File, error) {
+			return os.OpenFile(path, flag, perm)
+		}
+	}
 	logPath := filepath.Join(dir, "wal.log")
-	f, err := os.OpenFile(logPath, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := openFile(logPath, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, rec, err
 	}
@@ -243,7 +327,18 @@ func Open(dir string, opts Options) (*Store, *policy.Policy, Recovery, error) {
 		return nil, nil, rec, err
 	}
 	var auditRecs []Record
+	lastEpoch := snapEpoch
+	epochRecs := 0
 	for _, r := range records {
+		if r.IsEpoch() {
+			// Fencing-epoch control records: adopt the highest, replay
+			// nothing.
+			if r.Epoch > epoch {
+				epoch = r.Epoch
+			}
+			epochRecs++
+			continue
+		}
 		if r.IsAudit() {
 			// Audit records are observations, not effects: collect them for
 			// the audit log before the sequence filter (they share their
@@ -272,20 +367,26 @@ func Open(dir string, opts Options) (*Store, *policy.Policy, Recovery, error) {
 			}
 		}
 		seq = r.Seq
+		lastEpoch = r.Epoch
 	}
 
 	// Seed the compaction trigger with the step records only: the log also
-	// carries the re-appended audit window (see compactLocked), and counting
-	// it would re-trigger a full compaction on the first submit after every
-	// restart of a store with a populated window.
+	// carries the re-appended audit window (see compactLocked) and control
+	// records, and counting those would re-trigger a full compaction on the
+	// first submit after every restart of a store with a populated window.
 	s := &Store{dir: dir, opts: opts, f: f, seq: seq, snapBase: snapSeq,
-		sinceCompact: len(records) - len(auditRecs)}
+		off: validEnd, epoch: epoch, stampEpoch: lastEpoch,
+		lastEpoch: lastEpoch, snapEpoch: snapEpoch,
+		sinceCompact: len(records) - len(auditRecs) - epochRecs}
 	// Seed the in-memory tail with the decoded log (records at or below
 	// snapBase, if a crash mid-compaction left any, are filtered at serve
-	// time exactly as the file path would).
+	// time exactly as the file path would; epoch control records never enter
+	// the replication stream).
 	s.tailBase = snapSeq
 	for _, r := range records {
-		s.appendTailLocked(r)
+		if !r.IsEpoch() {
+			s.appendTailLocked(r)
+		}
 	}
 	for _, r := range auditRecs {
 		// Records persisted before the audit index existed are indexed in
@@ -347,7 +448,7 @@ func OpenEngine(dir string, mode engine.Mode, opts Options) (*Store, *engine.Eng
 // readAll parses records from the start of the log, returning the offset of
 // the end of the last valid record. A missing or wrong magic on a non-empty
 // file is an error; a torn tail simply ends the scan.
-func readAll(f *os.File) (validEnd int64, records []Record, err error) {
+func readAll(f File) (validEnd int64, records []Record, err error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, nil, err
 	}
@@ -491,7 +592,7 @@ func (s *Store) AppendCommit(seq int, res command.StepResult) error {
 	if err != nil {
 		return err
 	}
-	return s.appendRecords(step, audit)
+	return s.appendRecords(true, step, audit)
 }
 
 // AppendAudit logs the audit observation of a command that did not change
@@ -505,21 +606,23 @@ func (s *Store) AppendAudit(seq int, res command.StepResult, reason string) erro
 	return s.AppendRecord(r)
 }
 
-// AppendRecord logs one record with length-prefix + CRC framing. Safe for
-// concurrent use.
+// AppendRecord logs one locally minted record with length-prefix + CRC
+// framing, stamping it with the store's current epoch. Safe for concurrent
+// use.
 func (s *Store) AppendRecord(r Record) error {
-	return s.appendRecords(r)
+	return s.appendRecords(true, r)
 }
 
 // AppendRecords logs a batch of records in a single file write (one fsync
 // under Options.Sync) — the bulk path for adopting a replicated audit
-// window, where per-record appends would multiply bootstrap latency. Safe
-// for concurrent use.
+// window, where per-record appends would multiply bootstrap latency. The
+// records keep the epochs their origin node stamped. Safe for concurrent
+// use.
 func (s *Store) AppendRecords(records ...Record) error {
 	if len(records) == 0 {
 		return nil
 	}
-	return s.appendRecords(records...)
+	return s.appendRecords(false, records...)
 }
 
 // appendRecords frames every record into one buffer and lands them with a
@@ -528,11 +631,14 @@ func (s *Store) AppendRecords(records ...Record) error {
 // encoding, so the persisted frame carries the same node-local pagination
 // cursor the in-memory log serves — incoming indexes from another node
 // (replicated denials, adopted bootstrap windows) are re-indexed here.
-func (s *Store) appendRecords(records ...Record) error {
+// stamp marks locally minted records, whose Epoch becomes the store's stamp
+// epoch; records arriving from another node keep the epoch their primary
+// stamped (the prefix-validation invariant EpochAt depends on).
+func (s *Store) appendRecords(stamp bool, records ...Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.f == nil {
-		return fmt.Errorf("storage: store closed")
+	if err := s.writableLocked(); err != nil {
+		return err
 	}
 	var buf []byte
 	var err error
@@ -542,21 +648,20 @@ func (s *Store) appendRecords(records ...Record) error {
 			next++
 			records[i].ASeq = next
 		}
+		if stamp {
+			records[i].Epoch = s.stampEpoch
+		}
 		if buf, err = EncodeFrame(buf, records[i]); err != nil {
 			return err
 		}
 	}
-	if _, err := s.f.Write(buf); err != nil {
+	if err := s.writeLocked(buf, s.opts.Sync); err != nil {
 		return err
-	}
-	if s.opts.Sync {
-		if err := s.f.Sync(); err != nil {
-			return err
-		}
 	}
 	for _, r := range records {
 		if r.Seq > s.seq && !r.IsAudit() {
 			s.seq = r.Seq
+			s.lastEpoch = r.Epoch
 		}
 		s.appendTailLocked(r)
 		if r.IsAudit() {
@@ -565,6 +670,133 @@ func (s *Store) appendRecords(records ...Record) error {
 		s.sinceCompact++
 	}
 	return nil
+}
+
+// writableLocked reports whether the store can take appends. Caller holds
+// s.mu.
+func (s *Store) writableLocked() error {
+	if s.f == nil {
+		return fmt.Errorf("storage: store closed")
+	}
+	if s.damaged {
+		return ErrDamaged
+	}
+	return nil
+}
+
+// writeLocked lands buf at the current append offset, fsyncs when asked, and
+// — on any failure — truncates back to the last known-good offset so a torn
+// frame (or bytes of unknown durability after a failed fsync) never corrupts
+// the records appended after it. A caller seeing an error knows the write is
+// not durable AND the log still ends at a CRC-valid frame boundary; the
+// engine's commit hook turns that into a rollback, so acknowledged state and
+// recovered state agree. If the repair itself fails the store wedges
+// (ErrDamaged) rather than risk appending after garbage. Caller holds s.mu.
+func (s *Store) writeLocked(buf []byte, sync bool) error {
+	pos := s.off
+	n, err := s.f.Write(buf)
+	if err == nil && n < len(buf) {
+		err = io.ErrShortWrite
+	}
+	if err == nil && sync {
+		err = s.f.Sync()
+	}
+	if err != nil {
+		if s.repairLocked(pos) != nil {
+			s.damaged = true
+		}
+		return err
+	}
+	s.off = pos + int64(len(buf))
+	return nil
+}
+
+// repairLocked truncates the log back to pos and restores the append
+// position, fsyncing the shrunken length so the discarded suffix cannot
+// resurface after a crash. Caller holds s.mu.
+func (s *Store) repairLocked(pos int64) error {
+	if err := s.f.Truncate(pos); err != nil {
+		return err
+	}
+	if _, err := s.f.Seek(pos, io.SeekStart); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// Epoch reports the store's durable fencing epoch: the highest KindEpoch
+// control record persisted (see SetEpoch).
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// SetEpoch durably adopts fencing epoch e by appending a KindEpoch control
+// record, fsynced regardless of Options.Sync — an epoch adoption that could
+// vanish in a crash would let a deposed primary resurrect split-brain.
+// Adopting an epoch at or below the current one is a no-op (epochs only
+// move forward). Control records stay out of the tail, the audit log and the
+// compaction trigger: they are node state, not tenant history.
+func (s *Store) SetEpoch(e uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e <= s.epoch {
+		return nil
+	}
+	if err := s.writableLocked(); err != nil {
+		return err
+	}
+	buf, err := EncodeFrame(nil, Record{Kind: KindEpoch, Epoch: e})
+	if err != nil {
+		return err
+	}
+	if err := s.writeLocked(buf, true); err != nil {
+		return err
+	}
+	s.epoch = e
+	return nil
+}
+
+// SetStampEpoch sets the epoch stamped onto locally minted records from now
+// on. In-memory only: durability rides on the stamped records themselves.
+func (s *Store) SetStampEpoch(e uint64) {
+	s.mu.Lock()
+	s.stampEpoch = e
+	s.mu.Unlock()
+}
+
+// Position reports the replication position as a (seq, epoch) pair: the
+// highest step sequence together with the fencing epoch stamped on that
+// record — what a follower sends with a pull so the upstream can check the
+// follower's history is a prefix of its own (see EpochAt).
+func (s *Store) Position() (int, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq, s.lastEpoch
+}
+
+// EpochAt reports the fencing epoch of the step record at seq, when the
+// store can still determine it: from the in-memory tail, or from the
+// snapshot meta when seq is exactly the snapshot base. The second return is
+// false when the position was compacted away — the caller (PullWAL) forces a
+// snapshot bootstrap then, exactly as it does for a sequence gap.
+func (s *Store) EpochAt(seq int) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.tail) - 1; i >= 0; i-- {
+		r := s.tail[i]
+		if r.Seq == seq && !r.IsAudit() {
+			return r.Epoch, true
+		}
+		if r.Seq < seq {
+			break
+		}
+	}
+	if seq == s.snapBase {
+		return s.snapEpoch, true
+	}
+	return 0, false
 }
 
 // Audit returns the retained audit records with audit indexes (Record.ASeq,
@@ -617,24 +849,27 @@ func (s *Store) Attach(m *monitor.Monitor, onErr func(error)) {
 func (s *Store) Compact(p *policy.Policy) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.compactLocked(p, s.seq, true)
+	return s.compactLocked(p, s.seq, s.lastEpoch, true)
 }
 
-// CompactAt installs p as the snapshot at an explicit sequence number at or
-// above the current one, truncating the log and advancing Seq — the install
-// path (provisioning and follower bootstrap), where the snapshot state
-// arrives from outside the local engine. Unlike a head compaction, an
-// install drops the local audit trail with the log: the installer replaces
-// the state wholesale and supplies the matching trail itself (see
-// tenant.InstallReplicaSnapshot), so keeping the old one would duplicate or
-// misattribute history.
-func (s *Store) CompactAt(p *policy.Policy, seq int) error {
+// CompactAt installs p as the snapshot at an explicit sequence number —
+// the install path (provisioning and follower bootstrap), where the
+// snapshot state arrives from outside the local engine — stamped with the
+// fencing epoch of the record the snapshot covers. Installing below the
+// current sequence is refused unless rewind is set: replication never moves
+// a tenant backwards within an epoch, but healing a fork after a failover
+// (a deposed primary's unreplicated tail, see tenant.InstallReplicaSnapshot)
+// is exactly a rewind to the new primary's history. Unlike a head
+// compaction, an install drops the local audit trail with the log: the
+// installer replaces the state wholesale and supplies the matching trail
+// itself, so keeping the old one would duplicate or misattribute history.
+func (s *Store) CompactAt(p *policy.Policy, seq int, seqEpoch uint64, rewind bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if seq < s.seq {
+	if seq < s.seq && !rewind {
 		return fmt.Errorf("storage: CompactAt seq %d below current %d", seq, s.seq)
 	}
-	if err := s.compactLocked(p, seq, false); err != nil {
+	if err := s.compactLocked(p, seq, seqEpoch, false); err != nil {
 		// The install failed and the caller keeps serving the old state: the
 		// old audit trail stays with it (dropping it here would destroy it
 		// even though nothing was replaced).
@@ -645,15 +880,15 @@ func (s *Store) CompactAt(p *policy.Policy, seq int) error {
 	return nil
 }
 
-func (s *Store) compactLocked(p *policy.Policy, seq int, keepAudit bool) error {
-	if s.f == nil {
-		return fmt.Errorf("storage: store closed")
+func (s *Store) compactLocked(p *policy.Policy, seq int, seqEpoch uint64, keepAudit bool) error {
+	if err := s.writableLocked(); err != nil {
+		return err
 	}
 	polData, err := json.Marshal(p)
 	if err != nil {
 		return err
 	}
-	meta, err := json.Marshal(snapshotMeta{Seq: seq, Policy: polData})
+	meta, err := json.Marshal(snapshotMeta{Seq: seq, SeqEpoch: seqEpoch, Epoch: s.epoch, Policy: polData})
 	if err != nil {
 		return err
 	}
@@ -671,6 +906,7 @@ func (s *Store) compactLocked(p *policy.Policy, seq int, keepAudit bool) error {
 	if _, err := s.f.Seek(0, io.SeekEnd); err != nil {
 		return err
 	}
+	s.off = int64(len(logMagic))
 	// Re-append the retained audit window: compaction folds *state* into the
 	// snapshot, but audit records are observations with no representation in
 	// it, so truncating them away would erase the trail on every graceful
@@ -685,15 +921,17 @@ func (s *Store) compactLocked(p *policy.Policy, seq int, keepAudit bool) error {
 				return err
 			}
 		}
-		if _, err := s.f.Write(buf); err != nil {
+		if err := s.writeLocked(buf, false); err != nil {
 			return err
 		}
 	}
-	if seq != s.seq {
+	if seq != s.seq || seqEpoch != s.lastEpoch {
 		// Snapshot installed at a different position (replica bootstrap
-		// jump): the cached records do not connect to it — drop them.
+		// jump, forward or — healing a fork — backward) or across an epoch
+		// boundary: the cached records do not connect to it — drop them.
 		s.tail = s.tail[:0]
 		s.tailBase = seq
+		s.lastEpoch = seqEpoch
 	}
 	// A compaction at the current head keeps the tail: the truncated
 	// records remain valid, servable history, so a follower lagging by a
@@ -701,6 +939,7 @@ func (s *Store) compactLocked(p *policy.Policy, seq int, keepAudit bool) error {
 	// bootstrap every compaction cycle.
 	s.seq = seq
 	s.snapBase = seq
+	s.snapEpoch = seqEpoch
 	s.sinceCompact = 0
 	if s.opts.Sync {
 		return s.f.Sync()

@@ -54,12 +54,30 @@ type PullResult struct {
 // by wait and ctx) until the tenant's generation passes afterSeq, then
 // returns every logged record above afterSeq together with the current head.
 // Reads never create tenants, so pulling an unknown name reports not-found.
-func (r *Registry) PullWAL(ctx context.Context, name string, afterSeq uint64, wait time.Duration) (PullResult, error) {
+//
+// afterEpoch is the fencing epoch of the puller's record at afterSeq — the
+// Raft-style prefix check that makes promotion fork-proof. Serving a pull
+// is only sound when the puller's history up to afterSeq is a prefix of
+// ours; a sequence number alone cannot tell a lagging follower from one
+// whose records past the failover branch point came from the deposed
+// primary. If the epoch stamped on our record at afterSeq differs from
+// afterEpoch (or the position was compacted away), the puller's suffix
+// forked and SnapshotNeeded forces a rewinding bootstrap instead of serving
+// records that would silently extend divergent history.
+func (r *Registry) PullWAL(ctx context.Context, name string, afterSeq uint64, afterEpoch uint64, wait time.Duration) (PullResult, error) {
 	t, err := r.acquire(name, false)
 	if err != nil {
 		return PullResult{}, err
 	}
 	defer t.release()
+	if afterSeq > 0 {
+		if e, ok := t.store.EpochAt(int(afterSeq)); !ok || e != afterEpoch {
+			s := t.engine().Snapshot()
+			res := PullResult{SnapshotNeeded: true, Head: s.Generation(), Edges: s.Policy().NumEdges()}
+			s.Close()
+			return res, nil
+		}
+	}
 	t.engine().WaitGenerationCtx(ctx, afterSeq+1, wait)
 	recs, gap, err := t.store.ReadSince(int(afterSeq))
 	if err != nil {
@@ -91,6 +109,19 @@ func (r *Registry) PullWAL(ctx context.Context, name string, afterSeq uint64, wa
 	return PullResult{Records: recs, Head: head, SnapshotNeeded: gap, Edges: edges}, nil
 }
 
+// ReplicaPosition reports the tenant's local replication position: the WAL
+// head sequence and the fencing epoch stamped on the record there — exactly
+// the (after_seq, after_epoch) pair a follower resumes pulling from.
+func (r *Registry) ReplicaPosition(name string) (uint64, uint64, error) {
+	t, err := r.acquire(name, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer t.release()
+	seq, epoch := t.store.Position()
+	return uint64(seq), epoch, nil
+}
+
 // EdgeCount reports the tenant policy's edge count (UA+RH+PA) — the
 // follower's half of the replication state checksum. O(1) per call, unlike
 // Stats (which walks the role hierarchy for chain depths).
@@ -106,35 +137,47 @@ func (r *Registry) EdgeCount(name string) (int, error) {
 }
 
 // SnapshotDump serializes the tenant's current policy together with the
-// generation it reflects and the retained audit window — the bootstrap
-// payload a follower installs when it has no local state or the primary's
-// log was compacted past its position. Shipping the audit window with the
-// state means a snapshot-bootstrapped follower serves the same trail a
+// generation it reflects, the fencing epoch of the record at that
+// generation, and the retained audit window — the bootstrap payload a
+// follower installs when it has no local state or the primary's log was
+// compacted past its position. Shipping the audit window with the state
+// means a snapshot-bootstrapped follower serves the same trail a
 // step-replaying one does, instead of starting blind at its bootstrap
 // point.
-func (r *Registry) SnapshotDump(name string) (uint64, []byte, []storage.Record, error) {
+func (r *Registry) SnapshotDump(name string) (uint64, uint64, []byte, []storage.Record, error) {
 	t, err := r.acquire(name, false)
 	if err != nil {
-		return 0, nil, nil, err
+		return 0, 0, nil, nil, err
 	}
 	defer t.release()
 	s := t.engine().Snapshot()
 	defer s.Close()
 	data, err := json.Marshal(s.Policy())
 	if err != nil {
-		return 0, nil, nil, err
+		return 0, 0, nil, nil, err
+	}
+	gen := s.Generation()
+	epoch, ok := t.store.EpochAt(int(gen))
+	if !ok {
+		// The published generation should always be determinable (tail or
+		// snapshot base); fall back to the WAL head's epoch.
+		_, epoch = t.store.Position()
 	}
 	audit, _ := t.store.Audit(0, 0)
-	return s.Generation(), data, audit, nil
+	return gen, epoch, data, audit, nil
 }
 
 // InstallReplicaSnapshot replaces the tenant's state with a snapshot pulled
 // from the upstream primary: the policy becomes the durable on-disk snapshot
-// at seq, the primary's audit window (when provided) becomes the local audit
-// trail, and a fresh engine resumes from there. Installing a snapshot behind
-// the local generation is refused — replication never moves a tenant
-// backwards.
-func (r *Registry) InstallReplicaSnapshot(name string, policyJSON []byte, seq uint64, audit []storage.Record) error {
+// at seq (stamped with seqEpoch, the fencing epoch of the record it covers),
+// the primary's audit window (when provided) becomes the local audit trail,
+// and a fresh engine resumes from there. Installing a snapshot behind the
+// local generation is refused within an epoch — replication never moves a
+// tenant backwards — but allowed across one: a snapshot from a newer epoch
+// rewinding us is the fork-healing install, discarding a suffix the deposed
+// primary acknowledged but the promoted one never had (the puller was
+// fenced off extending it record-by-record by PullWAL's prefix check).
+func (r *Registry) InstallReplicaSnapshot(name string, policyJSON []byte, seq uint64, seqEpoch uint64, audit []storage.Record) error {
 	t, err := r.acquire(name, true)
 	if err != nil {
 		return err
@@ -146,10 +189,14 @@ func (r *Registry) InstallReplicaSnapshot(name string, policyJSON []byte, seq ui
 	}
 	t.submu.Lock()
 	defer t.submu.Unlock()
+	rewind := false
 	if gen := t.engine().Generation(); seq < gen {
-		return fmt.Errorf("tenant %s: replica snapshot at %d behind local generation %d", name, seq, gen)
+		if _, localEpoch := t.store.Position(); seqEpoch <= localEpoch {
+			return fmt.Errorf("tenant %s: replica snapshot at %d behind local generation %d", name, seq, gen)
+		}
+		rewind = true
 	}
-	if err := r.installAt(t, p, seq); err != nil {
+	if err := r.installAt(t, p, seq, seqEpoch, rewind); err != nil {
 		return err
 	}
 	// Adopt the upstream trail after the install: the install cleared the
@@ -196,6 +243,7 @@ func (r *Registry) ApplyReplicated(name string, records []storage.Record) (uint6
 	eng := t.eng.Load()
 	gen := eng.Generation()
 	cmds := make([]command.Command, 0, len(records))
+	epochs := make([]uint64, 0, len(records))
 	var audits []storage.Record
 	next := gen
 	for _, rec := range records {
@@ -216,6 +264,7 @@ func (r *Registry) ApplyReplicated(name string, records []storage.Record) (uint6
 			return gen, err
 		}
 		cmds = append(cmds, c)
+		epochs = append(epochs, rec.Epoch)
 		next++
 	}
 	if len(cmds) == 0 && len(audits) == 0 {
@@ -223,8 +272,23 @@ func (r *Registry) ApplyReplicated(name string, records []storage.Record) (uint6
 	}
 	if len(cmds) > 0 {
 		t.submits.Add(uint64(len(cmds)))
-		if _, err := eng.SubmitBatch(cmds, nil); err != nil {
-			return eng.Generation(), err
+		// Apply in runs of equal epoch, syncing the store's stamp epoch per
+		// run: the commit hook re-logs each replayed step, and the local
+		// record must carry the epoch the primary stamped — not the node's
+		// current one — or the prefix check (PullWAL) would see phantom
+		// forks. Runs are almost always the whole batch; a batch spanning an
+		// epoch boundary (records from before and after a failover in one
+		// pull) splits once.
+		for i := 0; i < len(cmds); {
+			j := i + 1
+			for j < len(cmds) && epochs[j] == epochs[i] {
+				j++
+			}
+			t.store.SetStampEpoch(epochs[i])
+			if _, err := eng.SubmitBatch(cmds[i:j], nil); err != nil {
+				return eng.Generation(), err
+			}
+			i = j
 		}
 		if got := eng.Generation(); got != next {
 			// A replayed command stepped differently than on the primary

@@ -33,7 +33,7 @@ func TestPullWALAndApplyReplicated(t *testing.T) {
 	prim := primaryWithWrites(t, t.TempDir(), 10)
 	defer prim.Close()
 
-	res, err := prim.PullWAL(context.Background(), "t", 0, 0)
+	res, err := prim.PullWAL(context.Background(), "t", 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestPullWALAndApplyReplicated(t *testing.T) {
 
 	// A follower registry bootstraps from the snapshot dump and applies the
 	// pulled records through the engine.
-	seq, polJSON, _, err := prim.SnapshotDump("t")
+	seq, seqEpoch, polJSON, _, err := prim.SnapshotDump("t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestPullWALAndApplyReplicated(t *testing.T) {
 	defer fol.Close()
 	// Snapshot carries the whole state: installing at seq makes the pulled
 	// suffix after seq a no-op overlap.
-	if err := fol.InstallReplicaSnapshot("t", polJSON, seq, nil); err != nil {
+	if err := fol.InstallReplicaSnapshot("t", polJSON, seq, seqEpoch, nil); err != nil {
 		t.Fatal(err)
 	}
 	gen, err := fol.ApplyReplicated("t", res.Records)
@@ -95,10 +95,10 @@ func TestApplyReplicatedFromInitialPolicy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fol.InstallReplicaSnapshot("t", initJSON, 0, nil); err != nil {
+	if err := fol.InstallReplicaSnapshot("t", initJSON, 0, 0, nil); err != nil {
 		t.Fatal(err)
 	}
-	all, err := prim.PullWAL(context.Background(), "t", 0, 0)
+	all, err := prim.PullWAL(context.Background(), "t", 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestApplyReplicatedFromInitialPolicy(t *testing.T) {
 func TestApplyReplicatedGapIsOutOfSync(t *testing.T) {
 	prim := primaryWithWrites(t, t.TempDir(), 5)
 	defer prim.Close()
-	res, err := prim.PullWAL(context.Background(), "t", 2, 0)
+	res, err := prim.PullWAL(context.Background(), "t", 2, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestApplyReplicatedGapIsOutOfSync(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fol.InstallReplicaSnapshot("t", initJSON, 0, nil); err != nil {
+	if err := fol.InstallReplicaSnapshot("t", initJSON, 0, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Records 3..5 cannot extend generation 0: seq gap.
@@ -149,7 +149,7 @@ func TestApplyReplicatedGapIsOutOfSync(t *testing.T) {
 func TestInstallReplicaSnapshotRefusesRewind(t *testing.T) {
 	prim := primaryWithWrites(t, t.TempDir(), 4)
 	defer prim.Close()
-	seq, polJSON, _, err := prim.SnapshotDump("t")
+	seq, seqEpoch, polJSON, _, err := prim.SnapshotDump("t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,10 +158,10 @@ func TestInstallReplicaSnapshotRefusesRewind(t *testing.T) {
 	}
 	fol := New(Options{Dir: t.TempDir(), Mode: engine.Refined})
 	defer fol.Close()
-	if err := fol.InstallReplicaSnapshot("t", polJSON, seq, nil); err != nil {
+	if err := fol.InstallReplicaSnapshot("t", polJSON, seq, seqEpoch, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := fol.InstallReplicaSnapshot("t", polJSON, seq-1, nil); err == nil {
+	if err := fol.InstallReplicaSnapshot("t", polJSON, seq-1, seqEpoch, nil); err == nil {
 		t.Fatal("installing a snapshot behind the local generation must fail")
 	}
 }
@@ -181,7 +181,7 @@ func TestPullWALAcrossCompaction(t *testing.T) {
 	// The compaction budget (4) fired and truncated the log file, but the
 	// in-memory tail still covers seq 0: a slightly-behind follower replays
 	// incrementally instead of paying a snapshot bootstrap per compaction.
-	res, err := reg.PullWAL(context.Background(), "t", 0, 0)
+	res, err := reg.PullWAL(context.Background(), "t", 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestPullWALAcrossCompaction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err = reg.PullWAL(context.Background(), "t", st.Generation, 0)
+	res, err = reg.PullWAL(context.Background(), "t", st.Generation, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestPullWALAcrossCompaction(t *testing.T) {
 	if !reg.Evict("t") {
 		t.Fatal("evict failed")
 	}
-	res, err = reg.PullWAL(context.Background(), "t", 0, 0)
+	res, err = reg.PullWAL(context.Background(), "t", 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +223,7 @@ func TestPullWALAcrossCompaction(t *testing.T) {
 func TestWaitGenerationSurvivesEngineSwap(t *testing.T) {
 	prim := primaryWithWrites(t, t.TempDir(), 4)
 	defer prim.Close()
-	seq, polJSON, _, err := prim.SnapshotDump("t")
+	seq, seqEpoch, polJSON, _, err := prim.SnapshotDump("t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestWaitGenerationSurvivesEngineSwap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fol.InstallReplicaSnapshot("t", initJSON, 0, nil); err != nil {
+	if err := fol.InstallReplicaSnapshot("t", initJSON, 0, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -249,7 +249,7 @@ func TestWaitGenerationSurvivesEngineSwap(t *testing.T) {
 		done <- result{gen, ok, err}
 	}()
 	time.Sleep(50 * time.Millisecond) // let the waiter block on the old engine
-	if err := fol.InstallReplicaSnapshot("t", polJSON, seq, nil); err != nil {
+	if err := fol.InstallReplicaSnapshot("t", polJSON, seq, seqEpoch, nil); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -267,7 +267,7 @@ func TestPullWALLongPollWakesOnWrite(t *testing.T) {
 	defer prim.Close()
 	done := make(chan PullResult, 1)
 	go func() {
-		res, err := prim.PullWAL(context.Background(), "t", 1, 5*time.Second)
+		res, err := prim.PullWAL(context.Background(), "t", 1, 0, 5*time.Second)
 		if err != nil {
 			t.Error(err)
 		}

@@ -70,6 +70,13 @@ type Options struct {
 	// it is invoked on first touch of an empty tenant and the returned policy
 	// is compacted to disk immediately. Return nil to leave the tenant empty.
 	Bootstrap func(name string) *policy.Policy
+	// Epoch, when non-nil, reports the node's current fencing epoch (see
+	// internal/replication). The registry stamps it onto locally minted WAL
+	// records before every write, which is what lets a post-failover primary
+	// tell followers whose history is a prefix of its own from ones that
+	// forked (see PullWAL). Nil reads as epoch 0 — a never-failed-over
+	// cluster where every record agrees by construction.
+	Epoch func() uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -283,12 +290,31 @@ func (r *Registry) open(name string, create bool) (*tenant, error) {
 			st.Close()
 			return nil, fmt.Errorf("tenant %s: bootstrap: %w", name, err)
 		}
-		if err := r.installAt(t, seed, 0); err != nil {
+		if err := r.installAt(t, seed, 0, r.epochNow(), false); err != nil {
 			st.Close()
 			return nil, fmt.Errorf("tenant %s: bootstrap: %w", name, err)
 		}
 	}
 	return t, nil
+}
+
+// epochNow reports the node's current fencing epoch (0 without an epoch
+// source).
+func (r *Registry) epochNow() uint64 {
+	if r.opts.Epoch == nil {
+		return 0
+	}
+	return r.opts.Epoch()
+}
+
+// stampEpoch syncs the tenant store's record-stamp epoch with the node
+// epoch before a local write — after a promotion bumps the node epoch, the
+// next write on each tenant starts the tenant's new-epoch history. Caller
+// holds t.submu.
+func (r *Registry) stampEpoch(t *tenant) {
+	if r.opts.Epoch != nil {
+		t.store.SetStampEpoch(r.opts.Epoch())
+	}
 }
 
 // checkInstall vetoes installing a policy that already violates the
@@ -306,11 +332,13 @@ func (r *Registry) checkInstall(p *policy.Policy) error {
 }
 
 // installAt replaces the tenant's state with p, durably (compacted snapshot
-// on disk at seq), and rebuilds the engine over it at that generation. seq
-// is 0 for provisioning installs and the upstream generation for replica
-// snapshot bootstraps.
-func (r *Registry) installAt(t *tenant, p *policy.Policy, seq uint64) error {
-	if err := t.store.CompactAt(p, int(seq)); err != nil {
+// on disk at seq, stamped with seqEpoch — the fencing epoch of the record
+// the snapshot covers), and rebuilds the engine over it at that generation.
+// seq is 0 for provisioning installs and the upstream generation for replica
+// snapshot bootstraps; rewind permits moving below the local generation (the
+// fork-healing install, see InstallReplicaSnapshot).
+func (r *Registry) installAt(t *tenant, p *policy.Policy, seq, seqEpoch uint64, rewind bool) error {
+	if err := t.store.CompactAt(p, int(seq), seqEpoch, rewind); err != nil {
 		return err
 	}
 	eng := engine.NewAt(p, r.opts.Mode, seq)
@@ -470,6 +498,7 @@ func (r *Registry) Submit(name string, c command.Command) (command.StepResult, e
 	t.submits.Add(1)
 	t.submu.Lock()
 	defer t.submu.Unlock()
+	r.stampEpoch(t)
 	eng := t.eng.Load()
 	res, err := eng.SubmitGuarded(c, r.guard)
 	t.auditMisses(eng, []command.StepResult{res}, []error{err})
@@ -495,6 +524,7 @@ func (r *Registry) SubmitBatch(name string, cmds []command.Command) ([]command.S
 	t.submits.Add(uint64(len(cmds)))
 	t.submu.Lock()
 	defer t.submu.Unlock()
+	r.stampEpoch(t)
 	eng := t.eng.Load()
 	// Wrap the guard to capture per-command veto reasons for the audit
 	// trail: the engine swallows guard errors batch-wise (a veto denies one
@@ -573,7 +603,7 @@ func (r *Registry) InstallPolicy(name string, p *policy.Policy) error {
 	if err := r.checkInstall(p); err != nil {
 		return fmt.Errorf("tenant %s: %w", name, err)
 	}
-	return r.installAt(t, p, 0)
+	return r.installAt(t, p, 0, r.epochNow(), false)
 }
 
 // View acquires a read snapshot of the tenant's engine, pinning the tenant

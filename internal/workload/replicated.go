@@ -28,6 +28,13 @@ type ReplicatedConfig struct {
 	// TokenFrac is the fraction of reads that demand the tenant's latest
 	// write generation via min_generation; the rest accept any staleness.
 	TokenFrac float64
+	// ConfirmWrites stamps every generated write with its post-apply
+	// generation in MinGeneration — the token a semi-synchronous driver
+	// passes to a designated replica (as a min_generation read) to confirm
+	// the write replicated before counting it as acknowledged. The chaos
+	// harness's zero-loss accounting is built on exactly this: a write is
+	// only "confirmed" once a surviving node proves it holds it.
+	ConfirmWrites bool
 }
 
 // DefaultReplicated returns a mid-sized skewed two-follower configuration.
@@ -126,6 +133,9 @@ func (g *ReplicatedGen) Next() ReplicatedOp {
 		op.Node = PrimaryNode
 		op.Cmd = ChurnGrant(g.writes[i], g.cfg.Users, g.cfg.Roles)
 		g.writes[i]++
+		if g.cfg.ConfirmWrites {
+			op.MinGeneration = uint64(g.writes[i])
+		}
 		return op
 	}
 	op.Node = g.next

@@ -47,6 +47,44 @@ func TestReplicatedGenTokensTrackWrites(t *testing.T) {
 	}
 }
 
+func TestReplicatedGenConfirmWritesStampsAcks(t *testing.T) {
+	cfg := DefaultReplicated(5)
+	cfg.ConfirmWrites = true
+	g := NewReplicatedGen(cfg)
+	writes := make(map[string]uint64)
+	stamped := 0
+	for i := 0; i < 4096; i++ {
+		op := g.Next()
+		if !op.Submit {
+			continue
+		}
+		writes[op.Tenant]++
+		stamped++
+		// The stamp is the post-apply generation: exactly the token a
+		// semi-synchronous driver passes to its confirmation read.
+		if op.MinGeneration != writes[op.Tenant] {
+			t.Fatalf("op %d: write stamped %d, tenant %s is at write %d", i, op.MinGeneration, op.Tenant, writes[op.Tenant])
+		}
+		if op.MinGeneration != g.Generation(tenantIdx(t, g, op.Tenant)) {
+			t.Fatalf("op %d: stamp %d disagrees with Generation()", i, op.MinGeneration)
+		}
+	}
+	if stamped == 0 {
+		t.Fatal("no writes generated")
+	}
+}
+
+func tenantIdx(t *testing.T, g *ReplicatedGen, name string) int {
+	t.Helper()
+	for i := 0; i < g.cfg.Tenants; i++ {
+		if g.TenantName(i) == name {
+			return i
+		}
+	}
+	t.Fatalf("generated op for unknown tenant %q", name)
+	return -1
+}
+
 func TestReplicatedGenBootstrap(t *testing.T) {
 	g := NewReplicatedGen(DefaultReplicated(1))
 	if g.Bootstrap(g.TenantName(0)) == nil {

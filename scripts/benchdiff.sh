@@ -1,10 +1,13 @@
 #!/bin/sh
 # Benchmark regression gate: re-run the authorize-path benchmarks and
 # compare them against the newest committed BENCH_*.json baseline. Fails on
-# a >25% ns/op regression beyond the run's machine-skew estimate (the
-# median delta across all compared benchmarks, so a uniformly slow or fast
-# machine does not flap the gate; override the band with
-# BENCHDIFF_TOLERANCE) or on an allocs/op increase: exact for 0-alloc
+# a >25% ns/op regression beyond the run's machine-skew estimate — the
+# larger of the median delta across all compared benchmarks and the delta
+# of an ungated same-run canary benchmark (ClosureBuild, a stable
+# CPU-bound workload whose drift against its baseline can only be the
+# machine), so a uniformly slow or fast machine does not flap the gate;
+# override the band with BENCHDIFF_TOLERANCE and the canary with
+# BENCHDIFF_CANARY — or on an allocs/op increase: exact for 0-alloc
 # baselines (the zero-allocation authorize fast path must stay at 0), with
 # a small band for nonzero baselines whose amortized allocations round
 # differently depending on the iteration count.
@@ -25,6 +28,7 @@ fi
 base="BENCH_${latest}.json"
 filter=${BENCHDIFF_FILTER:-Authorize,BatchVsSingle,IncrementalGrant,MultiTenantAuthorize,AccessCheck}
 tol=${BENCHDIFF_TOLERANCE:-25}
+canary=${BENCHDIFF_CANARY:-ClosureBuild/roles=1024}
 
-echo "benchdiff: comparing '$filter' against $base (tolerance ${tol}%)"
-go run ./cmd/rbacbench -benchdiff "$base" -benchfilter "$filter" -benchtolerance "$tol"
+echo "benchdiff: comparing '$filter' against $base (tolerance ${tol}%, canary $canary)"
+go run ./cmd/rbacbench -benchdiff "$base" -benchfilter "$filter" -benchcanary "$canary" -benchtolerance "$tol"

@@ -1,10 +1,11 @@
 #!/bin/sh
 # Local one-shot gate without make: build + fmt + vet + tests + race pass
 # over the concurrent stack (engine, tenant registry, server, replication) +
-# a short hot-path benchmark smoke, then the benchdiff gate comparing the
-# authorize benchmarks against the newest committed BENCH_*.json baseline.
-# Mirrors `make check`; CI runs the same pieces as a job matrix (see
-# .github/workflows/ci.yml).
+# the failure-path pass (daemon chaos e2e and storage fault injection, also
+# under -race) + a short hot-path benchmark smoke, then the benchdiff gate
+# comparing the authorize benchmarks against the newest committed
+# BENCH_*.json baseline. Mirrors `make check`; CI runs the same pieces as a
+# job matrix (see .github/workflows/ci.yml).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -14,5 +15,6 @@ test -z "$(gofmt -l .)"
 go vet ./...
 go test ./...
 go test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/session/ ./internal/tenant/ ./internal/server/ ./internal/replication/ ./internal/decision/ ./internal/command/
+go test -race ./cmd/rbacd/ ./internal/storage/
 go test -run XXX -bench 'Incremental|BatchVsSingle|CachedAuthorize|AuthorizeAllocs|ReplicatedAuthorize|AccessCheck' -benchtime=100x .
 scripts/benchdiff.sh
