@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt-check test race chaos bench-smoke bench-json bench benchdiff fuzz-smoke
+.PHONY: check build vet fmt-check test race chaos bench-smoke serve-smoke bench-json bench benchdiff fuzz-smoke
 
-check: build vet fmt-check test race chaos bench-smoke benchdiff
+check: build vet fmt-check test race chaos bench-smoke serve-smoke benchdiff
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,12 @@ chaos:
 
 bench-smoke:
 	$(GO) test -run XXX -bench 'Incremental|CachedAuthorize|AuthorizeAllocs|ReplicatedAuthorize|AccessCheck' -benchtime=100x .
+
+# Bounded open-loop socket smoke: stands up an in-process rbacd (group-commit
+# fsync on) behind a real loopback listener, offers a few seconds of mixed
+# load, and fails on any op error, 409 or drop.
+serve-smoke:
+	$(GO) run ./cmd/rbacbench -serve -serve-rate 300 -serve-duration 3s
 
 # Regression gate: authorize benchmarks vs the newest committed BENCH_*.json
 # baseline, selected by highest numeric suffix (>25% ns/op or any allocs/op

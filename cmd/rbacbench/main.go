@@ -9,17 +9,23 @@
 //	rbacbench -benchjson BENCH_3.json # run registered benchmarks, write JSON
 //	rbacbench -benchjson out.json -benchfilter BatchVsSingle
 //	rbacbench -benchdiff BENCH_3.json -benchfilter Authorize,BatchVsSingle
+//	rbacbench -serve -serve-duration 3s  # open-loop socket load vs live rbacd
 //
 // -benchdiff re-runs the matching benchmarks and fails (exit 1) when any
 // regresses against the committed baseline: >25% on ns/op (override with
 // -benchtolerance) or any increase in allocs/op. scripts/benchdiff.sh wires
 // this into CI.
+//
+// -serve stands up an in-process rbacd on a loopback socket (or dials
+// -serve-target) and drives the open-loop load harness against it, printing
+// coordinated-omission-free latency quantiles per op kind.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"adminrefine/internal/cli"
 )
@@ -27,6 +33,14 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment ID to run (F1 F2 F3 E5 E6 T1 L1 C1 S1 H1 A1 P1, or all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	serve := flag.Bool("serve", false, "run the open-loop socket load harness against a live rbacd and print latency quantiles")
+	serveTarget := flag.String("serve-target", "", "with -serve: base URL of an already-running rbacd (default: stand one up in-process)")
+	serveRate := flag.Float64("serve-rate", 800, "with -serve: offered arrival rate in ops/sec")
+	serveDuration := flag.Duration("serve-duration", 6*time.Second, "with -serve: load window")
+	serveWorkers := flag.Int("serve-workers", 16, "with -serve: concurrent harness issuers")
+	serveFollower := flag.Bool("serve-follower", false, "with -serve: stand up a WAL-streaming follower and point reads at it")
+	serveSync := flag.Bool("serve-sync", true, "with -serve: fsync each commit group on the primary (durable submits)")
+	serveJSON := flag.String("serve-json", "", "with -serve: also write the harness entries as BENCH-style JSON to this file")
 	benchJSON := flag.String("benchjson", "", "output path: run the registered benchmarks and write results (name -> ns/op, allocs/op) to this file, e.g. BENCH_3.json")
 	benchFilter := flag.String("benchfilter", "", "with -benchjson/-benchdiff: only run benchmarks whose name contains one of these comma-separated substrings")
 	benchDiff := flag.String("benchdiff", "", "baseline path: re-run the matching benchmarks and exit non-zero on a regression vs this committed BENCH_*.json")
@@ -37,6 +51,28 @@ func main() {
 	if *list {
 		for _, e := range cli.Experiments() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *serve {
+		results, err := cli.RunServeBench(os.Stdout, cli.ServeBenchOptions{
+			Rate:      *serveRate,
+			Duration:  *serveDuration,
+			Workers:   *serveWorkers,
+			Sync:      *serveSync,
+			Follower:  *serveFollower,
+			TargetURL: *serveTarget,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *serveJSON != "" {
+			if err := cli.WriteResultsJSON(*serveJSON, results); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *serveJSON)
 		}
 		return
 	}

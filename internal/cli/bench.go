@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"text/tabwriter"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"adminrefine/internal/engine"
 	"adminrefine/internal/graph"
 	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
 	"adminrefine/internal/replication"
 	"adminrefine/internal/session"
 	"adminrefine/internal/tenant"
@@ -352,6 +354,8 @@ func BenchSpecs() []BenchSpec {
 				}
 			}
 		}},
+		{"GroupCommit/sync-submit/conc=1", func(b *testing.B) { benchGroupCommit(b, 1) }},
+		{"GroupCommit/sync-submit/conc=32", func(b *testing.B) { benchGroupCommit(b, 32) }},
 		{"AuthorizeAllocs/strict-uncached/roles=256", func(b *testing.B) {
 			// Definition 5 without the cache: actor/privilege vertex lookup by
 			// fingerprint plus one closure bit test per op, 0 allocs/op. The
@@ -378,6 +382,65 @@ func BenchSpecs() []BenchSpec {
 			}
 		}},
 	}
+}
+
+// benchGroupCommit measures durable (-sync) submit throughput per op with
+// conc concurrent submitters against one tenant — the group-commit
+// acceptance pair. At conc=1 every submit pays its own fsync; at conc=32
+// the tenant's commit-group queue coalesces waiters behind the in-flight
+// fsync, so per-op cost must drop by at least the grouping factor the
+// acceptance gate demands (4x). The fixture is sized so the fsync, not the
+// policy step, dominates; compaction is disabled to keep its fsyncs out of
+// the measurement.
+func benchGroupCommit(b *testing.B, conc int) {
+	b.Helper()
+	const gcRoles, gcUsers = 64, 4096
+	dir, err := os.MkdirTemp("", "rbacbench-gc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	reg := tenant.New(tenant.Options{
+		Dir:          dir,
+		Mode:         engine.Refined,
+		Sync:         true,
+		CompactEvery: -1,
+		Bootstrap: func(name string) *policy.Policy {
+			return workload.ChurnPolicy(gcRoles, gcUsers)
+		},
+	})
+	defer reg.Close()
+	// First touch outside the timer: recovery + the WAL file create.
+	if res, err := reg.Submit("t", workload.ChurnGrant(0, gcUsers, gcRoles)); err != nil || res.Outcome != command.Applied {
+		b.Fatalf("warm submit: outcome=%v err=%v", res.Outcome, err)
+	}
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i > int64(b.N) {
+					return
+				}
+				c := workload.ChurnGrant(int(i)%(gcUsers*gcRoles-1)+1, gcUsers, gcRoles)
+				res, err := reg.Submit("t", c)
+				if err != nil {
+					b.Errorf("submit %d: %v", i, err)
+					return
+				}
+				if res.Outcome == command.Denied || res.Outcome == command.IllFormed {
+					b.Errorf("submit %d: outcome %v", i, res.Outcome)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
 }
 
 // benchAuthorizeEngine builds the shared fixture of the authorize-path
@@ -575,8 +638,46 @@ func matchesFilter(name, filter string) bool {
 	return false
 }
 
-// runSpecs measures the registered benchmarks passing the filter.
-func runSpecs(progress io.Writer, filter string) map[string]BenchResult {
+// serveBenchNames pre-enumerates the serve-mode entries so a filter decides
+// whether the socket harness has to stand up at all. The names mirror what
+// RunServeBench emits under the default (Sync) configuration.
+var serveBenchNames = []string{
+	"ServeAuthorize/p50", "ServeAuthorize/p99", "ServeAuthorize/p999",
+	"ServeCheck/p50", "ServeCheck/p99", "ServeCheck/p999",
+	"ServeDurableSubmit/p50", "ServeDurableSubmit/p99", "ServeDurableSubmit/p999",
+	"ServeThroughput/achieved",
+}
+
+// serveSpecs runs the socket-level serve bench when the filter asks for any
+// of its entries, and returns only the entries the filter matched — the
+// harness is one run regardless of how many of its series are wanted.
+func serveSpecs(progress io.Writer, filter string) (map[string]BenchResult, error) {
+	wanted := false
+	for _, name := range serveBenchNames {
+		if matchesFilter(name, filter) {
+			wanted = true
+			break
+		}
+	}
+	if !wanted {
+		return nil, nil
+	}
+	all, err := RunServeBench(progress, ServeBenchOptions{Sync: true})
+	if err != nil {
+		return nil, fmt.Errorf("serve bench: %w", err)
+	}
+	out := make(map[string]BenchResult, len(all))
+	for name, r := range all {
+		if matchesFilter(name, filter) {
+			out[name] = r
+		}
+	}
+	return out, nil
+}
+
+// runSpecs measures the registered benchmarks passing the filter, plus the
+// serve-mode socket entries when the filter wants them.
+func runSpecs(progress io.Writer, filter string) (map[string]BenchResult, error) {
 	results := make(map[string]BenchResult, len(BenchSpecs()))
 	for _, spec := range BenchSpecs() {
 		if !matchesFilter(spec.Name, filter) {
@@ -598,7 +699,14 @@ func runSpecs(progress io.Writer, filter string) map[string]BenchResult {
 				spec.Name, results[spec.Name].NsPerOp, results[spec.Name].AllocsPerOp)
 		}
 	}
-	return results
+	serve, err := serveSpecs(progress, filter)
+	if err != nil {
+		return nil, err
+	}
+	for name, r := range serve {
+		results[name] = r
+	}
+	return results, nil
 }
 
 // WriteBenchJSON runs the registered benchmarks (all of them, or only those
@@ -607,7 +715,10 @@ func runSpecs(progress io.Writer, filter string) map[string]BenchResult {
 // name → measurement), the machine-readable perf trajectory consumed across
 // PRs (BENCH_1.json, BENCH_2.json, …).
 func WriteBenchJSON(out io.Writer, progress io.Writer, filter string) error {
-	results := runSpecs(progress, filter)
+	results, err := runSpecs(progress, filter)
+	if err != nil {
+		return err
+	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(results)
@@ -641,7 +752,10 @@ func BenchDiff(out io.Writer, baselinePath, filter, canary string, tolerancePct 
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("benchdiff: parse baseline %s: %w", baselinePath, err)
 	}
-	cur := runSpecs(nil, filter)
+	cur, err := runSpecs(nil, filter)
+	if err != nil {
+		return err
+	}
 	if len(cur) == 0 {
 		return fmt.Errorf("benchdiff: no benchmarks match filter %q", filter)
 	}
@@ -650,7 +764,10 @@ func BenchDiff(out io.Writer, baselinePath, filter, canary string, tolerancePct 
 			// The canary rides along outside the filter: same process, same
 			// machine state, measured under the same conditions as the gated
 			// set it normalizes.
-			extra := runSpecs(nil, canary)
+			extra, err := runSpecs(nil, canary)
+			if err != nil {
+				return err
+			}
 			if _, ok := extra[canary]; !ok {
 				return fmt.Errorf("benchdiff: canary %q is not a registered benchmark", canary)
 			}
@@ -674,6 +791,9 @@ func BenchDiff(out io.Writer, baselinePath, filter, canary string, tolerancePct 
 	}
 	var deltas []float64
 	for _, name := range names {
+		if strings.HasSuffix(name, "/p99") || strings.HasSuffix(name, "/p999") {
+			continue // ungated tails stay out of the skew estimate too
+		}
 		if d, ok := deltaOf(name); ok {
 			deltas = append(deltas, d)
 		}
@@ -721,6 +841,14 @@ func BenchDiff(out io.Writer, baselinePath, filter, canary string, tolerancePct 
 			// The canary measures the machine, not the change: it normalizes
 			// the gated set and is never itself an offender here.
 			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%d\t%d\tcanary\n",
+				name, want.NsPerOp, got.NsPerOp, delta, want.AllocsPerOp, got.AllocsPerOp)
+			continue
+		}
+		if strings.HasSuffix(name, "/p99") || strings.HasSuffix(name, "/p999") {
+			// Tail quantiles of the socket harness are dominated by
+			// scheduler and disk jitter a shared runner cannot hold steady;
+			// they ride along for the record while the medians gate.
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%d\t%d\ttail (ungated)\n",
 				name, want.NsPerOp, got.NsPerOp, delta, want.AllocsPerOp, got.AllocsPerOp)
 			continue
 		}

@@ -1,0 +1,502 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"adminrefine/internal/engine"
+	"adminrefine/internal/policy"
+	"adminrefine/internal/replication"
+	"adminrefine/internal/server"
+	"adminrefine/internal/tenant"
+	"adminrefine/internal/workload"
+)
+
+// HTTPTarget drives a live rbacd over its real HTTP API — the socket-level
+// workload.Target of the serve-mode bench. Reads (authorize, check) go to
+// ReadBase, writes (submit) to WriteBase, so a primary+follower pair can be
+// loaded with reads on the replica and writes on the primary, the deployment
+// shape. Session checks lazily create one session per tenant against the
+// read node (sessions are node-local) and cache it.
+type HTTPTarget struct {
+	// ReadBase and WriteBase are server base URLs (no trailing slash), e.g.
+	// "http://127.0.0.1:8080". WriteBase defaults to ReadBase.
+	ReadBase  string
+	WriteBase string
+	// Client defaults to a pooled client with a sane timeout.
+	Client *http.Client
+	// SessionUser/SessionRoles shape the per-tenant check session. Defaults
+	// match workload.ChurnPolicy: user "u0" activating the chain-bottom role
+	// "c0000", which holds the fixture's read permission.
+	SessionUser  string
+	SessionRoles []string
+
+	sessions sync.Map // tenant name -> uint64 session id
+}
+
+// NewHTTPTarget builds a target for a single node serving reads and writes.
+func NewHTTPTarget(base string) *HTTPTarget {
+	return &HTTPTarget{ReadBase: base}
+}
+
+func (t *HTTPTarget) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+func (t *HTTPTarget) writeBase() string {
+	if t.WriteBase != "" {
+		return t.WriteBase
+	}
+	return t.ReadBase
+}
+
+// batchReply mirrors the server's batch response envelope for authorize,
+// submit and check.
+type batchReply struct {
+	Results    json.RawMessage `json:"results"`
+	Generation uint64          `json:"generation"`
+	Error      string          `json:"error,omitempty"`
+}
+
+// post sends body as JSON and returns the raw 200 response, translating the
+// server's staleness answer (409) into workload.ErrStale so the harness
+// counts it separately from hard failures.
+func (t *HTTPTarget) post(url string, body any) ([]byte, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := t.client().Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusConflict {
+		return nil, workload.ErrStale
+	}
+	if resp.StatusCode != http.StatusOK {
+		var reply batchReply
+		if json.Unmarshal(raw, &reply) == nil && reply.Error != "" {
+			return nil, fmt.Errorf("%s: %d: %s", url, resp.StatusCode, reply.Error)
+		}
+		return nil, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return raw, nil
+}
+
+// postBatch posts and decodes the server's batch envelope.
+func (t *HTTPTarget) postBatch(url string, body any) (*batchReply, error) {
+	raw, err := t.post(url, body)
+	if err != nil {
+		return nil, err
+	}
+	var reply batchReply
+	if err := json.Unmarshal(raw, &reply); err != nil {
+		return nil, fmt.Errorf("%s: decode: %w", url, err)
+	}
+	return &reply, nil
+}
+
+// session returns the tenant's cached check session, creating it on first
+// use. Creation carries minGen so a follower target has replicated the
+// tenant before the session activates roles against it.
+func (t *HTTPTarget) session(tenantName string, minGen uint64) (uint64, error) {
+	if v, ok := t.sessions.Load(tenantName); ok {
+		return v.(uint64), nil
+	}
+	user, roles := t.SessionUser, t.SessionRoles
+	if user == "" {
+		user = "u0"
+	}
+	if roles == nil {
+		roles = []string{"c0000"}
+	}
+	raw, err := t.post(
+		t.ReadBase+"/v1/tenants/"+tenantName+"/sessions",
+		server.SessionRequest{User: user, Activate: roles, MinGeneration: minGen},
+	)
+	if err != nil {
+		return 0, fmt.Errorf("create session for %s: %w", tenantName, err)
+	}
+	// Session create returns the SessionResponse directly, not the batch
+	// envelope.
+	var sr server.SessionResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		return 0, fmt.Errorf("create session for %s: %w", tenantName, err)
+	}
+	actual, _ := t.sessions.LoadOrStore(tenantName, sr.Session)
+	return actual.(uint64), nil
+}
+
+// Do implements workload.Target over the wire API.
+func (t *HTTPTarget) Do(op *workload.ServeOp, minGen uint64) (uint64, error) {
+	switch op.Kind {
+	case workload.OpSubmit:
+		req := server.BatchRequest{Commands: make([]server.WireCommand, len(op.Cmds))}
+		for i, c := range op.Cmds {
+			wc, err := server.EncodeCommand(c)
+			if err != nil {
+				return 0, err
+			}
+			req.Commands[i] = wc
+		}
+		reply, err := t.postBatch(t.writeBase()+"/v1/tenants/"+op.Tenant+"/submit", req)
+		if err != nil {
+			return 0, err
+		}
+		var results []server.SubmitResult
+		if err := json.Unmarshal(reply.Results, &results); err != nil {
+			return 0, err
+		}
+		for i, res := range results {
+			if res.Outcome != "applied" {
+				return 0, fmt.Errorf("submit %s cmd %d: outcome %s", op.Tenant, i, res.Outcome)
+			}
+		}
+		return reply.Generation, nil
+
+	case workload.OpAuthorize:
+		req := server.BatchRequest{
+			Commands:      make([]server.WireCommand, len(op.Cmds)),
+			MinGeneration: minGen,
+		}
+		for i, c := range op.Cmds {
+			wc, err := server.EncodeCommand(c)
+			if err != nil {
+				return 0, err
+			}
+			req.Commands[i] = wc
+		}
+		reply, err := t.postBatch(t.ReadBase+"/v1/tenants/"+op.Tenant+"/authorize", req)
+		if err != nil {
+			return 0, err
+		}
+		var results []server.AuthorizeResult
+		if err := json.Unmarshal(reply.Results, &results); err != nil {
+			return 0, err
+		}
+		for i, res := range results {
+			if !res.Allowed {
+				return 0, fmt.Errorf("authorize %s cmd %d denied", op.Tenant, i)
+			}
+		}
+		return reply.Generation, nil
+
+	case workload.OpCheck:
+		sess, err := t.session(op.Tenant, minGen)
+		if err != nil {
+			return 0, err
+		}
+		req := server.CheckRequest{
+			Session:       sess,
+			Checks:        make([]server.CheckQuery, len(op.Checks)),
+			MinGeneration: minGen,
+		}
+		for i, c := range op.Checks {
+			req.Checks[i] = server.CheckQuery{Action: c.Action, Object: c.Object}
+		}
+		reply, err := t.postBatch(t.ReadBase+"/v1/tenants/"+op.Tenant+"/check", req)
+		if err != nil {
+			return 0, err
+		}
+		var results []server.CheckResult
+		if err := json.Unmarshal(reply.Results, &results); err != nil {
+			return 0, err
+		}
+		for i, res := range results {
+			if !res.Allowed {
+				return 0, fmt.Errorf("check %s probe %d denied", op.Tenant, i)
+			}
+		}
+		return reply.Generation, nil
+	}
+	return 0, fmt.Errorf("unknown op kind %v", op.Kind)
+}
+
+// ServeBenchOptions configures a serve-mode bench run: a live rbacd stood up
+// on a loopback socket (plus an optional follower for the read path), loaded
+// open-loop at a fixed offered rate.
+type ServeBenchOptions struct {
+	// Rate is the offered arrival rate in ops/sec (default 800).
+	Rate float64
+	// Duration is the load window (default 6s).
+	Duration time.Duration
+	// Workers is the harness issuer count (default 16).
+	Workers int
+	// Sync makes the primary fsync each commit group — the durable-submit
+	// configuration the group-commit path exists for (default true; the
+	// bench names the submit series ServeDurableSubmit when set, ServeSubmit
+	// otherwise).
+	Sync bool
+	// Follower stands up a WAL-streaming replica and points all reads at it,
+	// writes at the primary.
+	Follower bool
+	// TargetURL, when set, skips standing up a server and loads an already
+	// running rbacd at that base URL instead (reads and writes both).
+	TargetURL string
+	// Seed fixes the op-slab generator (default 1).
+	Seed int64
+	// Mix overrides the generated op mix; zero value means
+	// workload.DefaultServeMix(Seed).
+	Mix *workload.ServeMix
+}
+
+func (o *ServeBenchOptions) fill() {
+	if o.Rate <= 0 {
+		o.Rate = 800
+	}
+	if o.Duration <= 0 {
+		o.Duration = 6 * time.Second
+	}
+	if o.Workers <= 0 {
+		o.Workers = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// serveNode is one in-process rbacd on a real loopback TCP socket.
+type serveNode struct {
+	url   string
+	srv   *server.Server
+	hsrv  *http.Server
+	reg   *tenant.Registry
+	extra func() // extra teardown (follower, temp dirs)
+}
+
+func (n *serveNode) close() {
+	n.hsrv.Close()
+	n.srv.Close()
+	if n.reg != nil {
+		n.reg.Close()
+	}
+	if n.extra != nil {
+		n.extra()
+	}
+}
+
+// listenNode serves srv on 127.0.0.1:0 and returns its base URL.
+func listenNode(srv *server.Server, reg *tenant.Registry) (*serveNode, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hsrv := &http.Server{Handler: srv}
+	go hsrv.Serve(ln)
+	return &serveNode{
+		url:  "http://" + ln.Addr().String(),
+		srv:  srv,
+		hsrv: hsrv,
+		reg:  reg,
+	}, nil
+}
+
+// serveStack stands up the system under load: a primary registry (bootstrap
+// = the serve mix's multi-tenant churn fixture) behind a real socket, and
+// optionally a follower replicating every tenant with reads pointed at it.
+func serveStack(mix workload.ServeMix, sync, follower bool) (read, write *serveNode, cleanup func(), err error) {
+	primDir, err := os.MkdirTemp("", "rbacbench-serve")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	g := workload.NewMultiTenantGen(mix.MultiTenantConfig)
+	bootstrap := func(name string) *policy.Policy { return g.Bootstrap(name) }
+	prim := tenant.New(tenant.Options{
+		Dir:       primDir,
+		Mode:      engine.Refined,
+		Sync:      sync,
+		Bootstrap: bootstrap,
+	})
+	// Pre-open every tenant so first-touch recovery stays out of the
+	// measured window.
+	for i := 0; i < mix.Tenants; i++ {
+		if _, err := prim.Stats(g.TenantName(i)); err != nil {
+			prim.Close()
+			os.RemoveAll(primDir)
+			return nil, nil, nil, err
+		}
+	}
+	primSrv := server.New(prim)
+	primNode, err := listenNode(primSrv, prim)
+	if err != nil {
+		prim.Close()
+		os.RemoveAll(primDir)
+		return nil, nil, nil, err
+	}
+	primNode.extra = func() { os.RemoveAll(primDir) }
+	if !follower {
+		return primNode, primNode, primNode.close, nil
+	}
+
+	folDir, err := os.MkdirTemp("", "rbacbench-serve-fol")
+	if err != nil {
+		primNode.close()
+		return nil, nil, nil, err
+	}
+	folReg := tenant.New(tenant.Options{Dir: folDir, Mode: engine.Refined})
+	fol := replication.NewFollower(folReg, replication.FollowerOptions{
+		Upstream: primNode.url,
+		PollWait: 10 * time.Second,
+		Backoff:  20 * time.Millisecond,
+	})
+	fail := func(err error) (*serveNode, *serveNode, func(), error) {
+		fol.Close()
+		folReg.Close()
+		os.RemoveAll(folDir)
+		primNode.close()
+		return nil, nil, nil, err
+	}
+	for i := 0; i < mix.Tenants; i++ {
+		name := g.TenantName(i)
+		if err := fol.Ensure(name); err != nil {
+			return fail(err)
+		}
+		st, err := prim.Stats(name)
+		if err != nil {
+			return fail(err)
+		}
+		if gen, ok, err := folReg.WaitGeneration(name, st.Generation, 30*time.Second); err != nil || !ok {
+			return fail(fmt.Errorf("follower stuck at generation %d of %d for %s (err %v)", gen, st.Generation, name, err))
+		}
+	}
+	folSrv := server.NewWithConfig(server.Config{Registry: folReg, Follower: fol})
+	folNode, err := listenNode(folSrv, folReg)
+	if err != nil {
+		return fail(err)
+	}
+	folNode.extra = func() {
+		fol.Close()
+		os.RemoveAll(folDir)
+	}
+	cleanup = func() {
+		folNode.close()
+		primNode.close()
+	}
+	return folNode, primNode, cleanup, nil
+}
+
+// WriteResultsJSON writes a result map in the BENCH JSON shape (benchmark
+// name → measurement), the same format WriteBenchJSON emits.
+func WriteResultsJSON(path string, results map[string]BenchResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// serveEntryName maps an op kind to its BENCH JSON series prefix.
+func serveEntryName(kind string, sync bool) string {
+	switch kind {
+	case "authorize":
+		return "ServeAuthorize"
+	case "check":
+		return "ServeCheck"
+	case "submit":
+		if sync {
+			return "ServeDurableSubmit"
+		}
+		return "ServeSubmit"
+	}
+	return "Serve" + kind
+}
+
+// RunServeBench stands up (or dials) a live rbacd, drives the open-loop
+// socket harness against it, and returns BENCH JSON entries: per-kind
+// latency quantiles (ns, measured from intended arrival — no coordinated
+// omission) plus achieved throughput. Entries report zero allocs because the
+// harness measures wire latency, not allocation; the alloc gate never fires
+// on them.
+func RunServeBench(progress io.Writer, opts ServeBenchOptions) (map[string]BenchResult, error) {
+	opts.fill()
+	mix := workload.DefaultServeMix(opts.Seed)
+	if opts.Mix != nil {
+		mix = *opts.Mix
+	}
+
+	var target *HTTPTarget
+	if opts.TargetURL != "" {
+		target = NewHTTPTarget(opts.TargetURL)
+	} else {
+		read, write, cleanup, err := serveStack(mix, opts.Sync, opts.Follower)
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+		target = &HTTPTarget{ReadBase: read.url, WriteBase: write.url}
+	}
+	target.Client = &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: opts.Workers * 2,
+		},
+	}
+
+	// The slab is reused round-robin; size it past the schedule so submits
+	// do not wrap into duplicate grants within one run.
+	slab := int(opts.Rate*opts.Duration.Seconds()) + opts.Workers
+	ops := workload.GenServeOps(mix, slab)
+	res, err := workload.RunOpenLoop(workload.OpenLoopConfig{
+		Rate:     opts.Rate,
+		Duration: opts.Duration,
+		Workers:  opts.Workers,
+	}, ops, target)
+	if err != nil {
+		return nil, err
+	}
+	if res.Completed == 0 {
+		return nil, fmt.Errorf("serve bench completed no ops")
+	}
+	if res.Errors > 0 {
+		return nil, fmt.Errorf("serve bench: %d/%d ops failed (%d stale)", res.Errors, res.Completed, res.Stale)
+	}
+
+	out := make(map[string]BenchResult)
+	for kind, ks := range res.Kinds {
+		name := serveEntryName(kind, opts.Sync)
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"p50", 0.50}, {"p99", 0.99}, {"p999", 0.999}} {
+			out[name+"/"+q.label] = BenchResult{
+				NsPerOp: float64(ks.Hist.Quantile(q.q)),
+				N:       int(ks.Count),
+			}
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "%-28s %s\n", name, ks.Hist.Summary("ms", 1e6))
+		}
+	}
+	// Achieved throughput as ns-per-op so benchdiff's lower-is-better
+	// comparison gates saturation regressions too.
+	out["ServeThroughput/achieved"] = BenchResult{
+		NsPerOp: 1e9 / res.Achieved,
+		N:       int(res.Completed),
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "offered %.0f ops/s, achieved %.0f ops/s, %d ops, %d dropped, %d stale\n",
+			res.Offered, res.Achieved, res.Completed, res.Dropped(), res.Stale)
+	}
+	return out, nil
+}

@@ -17,8 +17,10 @@
 // Both sides of the engine batch: SubmitBatch applies a whole command queue
 // under one writer-lock acquisition and publishes at most one snapshot, and
 // Snapshot.AuthorizeBatch decides many queries with one borrowed decider.
-// Durability hooks in through SetCommitHook — a WAL append that runs before
-// a state change becomes visible (see storage.OpenEngine) — and NewAt
+// Durability hooks in through SetCommitHook — a WAL record staged before a
+// state change becomes visible — plus SetCommitFlush, the group-commit seam
+// that lands every staged record of a submission with one write and one
+// fsync before the snapshot publishes (see storage.OpenEngine); NewAt
 // restarts an engine at the generation a store recovered to.
 //
 // See README.md in this package for the invalidation rules: what survives a
@@ -184,6 +186,7 @@ type Engine struct {
 	logBase  int
 	replicas []*replica
 	hook     CommitHook
+	flush    func() error
 
 	// interner assigns fingerprints to commands at the read boundary; it is
 	// shared by every replica and survives publication cycles.
@@ -273,6 +276,23 @@ func (e *Engine) SetCommitHook(fn CommitHook) {
 	e.hook = fn
 }
 
+// SetCommitFlush installs the group half of the durability contract: it runs
+// once per submission (Submit, SubmitGuarded or SubmitBatch), after every
+// applied command's CommitHook and before the covering snapshot publishes.
+// A storage layer stages per-command records in the CommitHook and lands them
+// all here with one file write and one fsync — group commit. A non-nil error
+// rolls back every applied-but-unflushed command of the submission: nothing
+// publishes, their results report Denied with a *CommitError, and the engine
+// state is exactly what the last successful flush covered, so an acknowledged
+// change always has its records durable even when many submitters share the
+// flush. Pass nil to clear (the per-command hook then carries durability
+// alone). Like the CommitHook, it must not call back into the write path.
+func (e *Engine) SetCommitFlush(fn func() error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.flush = fn
+}
+
 // Mode returns the engine's authorization mode.
 func (e *Engine) Mode() Mode { return e.mode }
 
@@ -317,11 +337,18 @@ func (e *Engine) SubmitGuarded(c command.Command, guard Guard) (command.StepResu
 	cur := e.cur.Load()
 	next := e.writable(cur)
 	e.catchUp(next)
+	posFloor0, negFloor0 := e.posFloor, e.negFloor
 	res, err := e.stepLocked(next, c, guard)
 	if err != nil || res.Outcome != command.Applied {
 		// State unchanged: keep the current snapshot published; next stays a
 		// caught-up spare.
 		return res, err
+	}
+	if e.flush != nil {
+		if ferr := e.flush(); ferr != nil {
+			e.rollbackLocked(next, []command.Command{c}, posFloor0, negFloor0)
+			return command.StepResult{Cmd: c, Outcome: command.Denied}, &CommitError{Err: ferr}
+		}
 	}
 	e.publishLocked(next)
 	return res, nil
@@ -333,8 +360,10 @@ func (e *Engine) SubmitGuarded(c command.Command, guard Guard) (command.StepResu
 // partially applied batch, and one publication amortises replica ping-pong
 // across many writes. A commit-hook failure stops the batch: the results
 // processed so far (the failed command reported as Denied) are returned
-// together with the hook error, and everything up to the failure is
-// published.
+// together with the hook error, and the applied prefix is flushed and
+// published. A commit-flush failure is total: every applied command of the
+// batch rolls back (reported Denied), nothing publishes — no waiter in a
+// commit group is ever acknowledged without the covering fsync.
 func (e *Engine) SubmitBatch(cmds []command.Command, guard Guard) ([]command.StepResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -342,14 +371,15 @@ func (e *Engine) SubmitBatch(cmds []command.Command, guard Guard) ([]command.Ste
 	cur := e.cur.Load()
 	next := e.writable(cur)
 	e.catchUp(next)
+	posFloor0, negFloor0 := e.posFloor, e.negFloor
 	out := make([]command.StepResult, 0, len(cmds))
-	applied := false
+	var applied []command.Command
 	var hookErr error
 	for _, c := range cmds {
 		res, err := e.stepLocked(next, c, guard)
 		out = append(out, res)
 		if res.Outcome == command.Applied {
-			applied = true
+			applied = append(applied, c)
 		}
 		// A guard veto denies one command and the batch continues; a
 		// commit-hook failure means durability is gone and the batch stops.
@@ -358,10 +388,45 @@ func (e *Engine) SubmitBatch(cmds []command.Command, guard Guard) ([]command.Ste
 			break
 		}
 	}
-	if applied {
-		e.publishLocked(next)
+	if len(applied) == 0 {
+		return out, hookErr
 	}
+	if e.flush != nil {
+		if ferr := e.flush(); ferr != nil {
+			e.rollbackLocked(next, applied, posFloor0, negFloor0)
+			for i := range out {
+				if out[i].Outcome == command.Applied {
+					out[i] = command.StepResult{Cmd: out[i].Cmd, Outcome: command.Denied}
+				}
+			}
+			return out, &CommitError{Err: ferr}
+		}
+	}
+	e.publishLocked(next)
 	return out, hookErr
+}
+
+// rollbackLocked undoes applied-but-unpublished commands after a failed
+// commit flush: the inverse edge changes (applied in reverse order) restore
+// the pre-submission policy on the unpublished replica, the engine log and
+// position rewind, and the cache validity floors return to their captured
+// values — nothing was published, so no snapshot ever observed the advance.
+// When the submission outgrew the bounded log (trimLog dropped some of its
+// own entries) the log is cleared instead: replicas behind the new logBase
+// resynchronise by cloning the published state, which this rollback leaves
+// untouched at exactly the rewound position.
+func (e *Engine) rollbackLocked(next *replica, applied []command.Command, posFloor0, negFloor0 uint64) {
+	for i := len(applied) - 1; i >= 0; i-- {
+		command.Apply(next.pol, inverse(applied[i]))
+	}
+	next.pos -= len(applied)
+	if len(e.log) >= len(applied) {
+		e.log = e.log[:len(e.log)-len(applied)]
+	} else {
+		e.log = e.log[:0]
+		e.logBase = next.pos
+	}
+	e.posFloor, e.negFloor = posFloor0, negFloor0
 }
 
 // publishLocked makes next the published replica and wakes generation

@@ -1,0 +1,205 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"adminrefine/internal/command"
+	"adminrefine/internal/engine"
+	"adminrefine/internal/fault"
+	"adminrefine/internal/workload"
+)
+
+// seedChurn compacts the churn fixture into dir so a later OpenEngine
+// recovers it as the starting policy.
+func seedChurn(t *testing.T, dir string) {
+	t.Helper()
+	st, _, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Compact(workload.ChurnPolicy(8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+}
+
+// A whole batch lands with one file write and one fsync, no matter how many
+// commands (and therefore step + audit record pairs) it carries — the
+// storage half of group commit, counted through the fault FS's mutation
+// index without scheduling any fault.
+func TestGroupCommitBatchCostsOneWriteOneFsync(t *testing.T) {
+	dir := t.TempDir()
+	seedChurn(t, dir)
+	fs := fault.NewFS(nil)
+	st, eng, _, err := OpenEngine(dir, engine.Refined, Options{Sync: true, OpenFile: faulty(fs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const batch = 16
+	cmds := make([]command.Command, batch)
+	for i := range cmds {
+		cmds[i] = workload.ChurnGrant(i, 8, 8)
+	}
+	before := fs.Step()
+	out, err := eng.SubmitBatch(cmds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range out {
+		if res.Outcome != command.Applied {
+			t.Fatalf("cmd %d outcome %v", i, res.Outcome)
+		}
+	}
+	if got := fs.Step() - before; got != 2 {
+		t.Fatalf("batch of %d consumed %d mutations, want exactly 2 (one write + one fsync)", batch, got)
+	}
+	if got := st.Seq(); got != batch {
+		t.Fatalf("seq %d, want %d", got, batch)
+	}
+	// Every step + audit pair still landed: reopen and check.
+	st2, pol, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Seq(); got != batch {
+		t.Fatalf("recovered to seq %d, want %d", got, batch)
+	}
+	for i, c := range cmds {
+		if !pol.HasEdge(c.From, c.To) {
+			t.Fatalf("recovered policy missing edge of cmd %d", i)
+		}
+	}
+}
+
+// A failed covering fsync fails the whole group: every command of the batch
+// rolls back (policy, generation, WAL seq and validity floors), nothing
+// publishes, and once the disk heals the same commands go through — the
+// no-ack-without-durability, no-partial-group contract.
+func TestGroupCommitFlushFailureRollsBackWholeBatch(t *testing.T) {
+	dir := t.TempDir()
+	seedChurn(t, dir)
+	plan := fault.NewPlan()
+	fs := fault.NewFS(plan)
+	st, eng, _, err := OpenEngine(dir, engine.Refined, Options{Sync: true, OpenFile: faulty(fs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// One acknowledged write first, so the rollback has a nonzero floor to
+	// preserve.
+	if res := eng.Submit(workload.ChurnGrant(0, 8, 8)); res.Outcome != command.Applied {
+		t.Fatalf("seed submit outcome %v", res.Outcome)
+	}
+
+	// Schedule the next fsync to fail: the group's write lands in the page
+	// cache, the covering fsync errors, and the store truncates back.
+	plan.At(fs.Step()+1, fault.Fault{Kind: fault.ErrSync})
+	cmds := []command.Command{
+		workload.ChurnGrant(1, 8, 8),
+		workload.ChurnGrant(2, 8, 8),
+		workload.ChurnGrant(3, 8, 8),
+	}
+	out, err := eng.SubmitBatch(cmds, nil)
+	if err == nil {
+		t.Fatal("expected the covering fsync failure to surface")
+	}
+	var ce *engine.CommitError
+	if !errors.As(err, &ce) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("error %v, want *engine.CommitError wrapping the injected fault", err)
+	}
+	for i, res := range out {
+		if res.Outcome != command.Denied {
+			t.Fatalf("cmd %d outcome %v, want Denied — a partial group leaked", i, res.Outcome)
+		}
+	}
+	if got := eng.Generation(); got != 1 {
+		t.Fatalf("generation %d after failed group, want 1", got)
+	}
+	if got := st.Seq(); got != 1 {
+		t.Fatalf("WAL seq %d after failed group, want 1", got)
+	}
+	s := eng.Snapshot()
+	for i := 1; i <= 3; i++ {
+		c := workload.ChurnGrant(i, 8, 8)
+		if s.Policy().HasEdge(c.From, c.To) {
+			t.Fatalf("rolled-back cmd %d left its edge in the policy", i)
+		}
+	}
+	s.Close()
+
+	// The disk heals: the identical batch commits, and a crash-reopen agrees
+	// with everything acknowledged.
+	fs.Disarm()
+	out, err = eng.SubmitBatch(cmds, nil)
+	if err != nil {
+		t.Fatalf("post-heal batch: %v", err)
+	}
+	for i, res := range out {
+		if res.Outcome != command.Applied {
+			t.Fatalf("post-heal cmd %d outcome %v", i, res.Outcome)
+		}
+	}
+	if eng.Generation() != 4 || st.Seq() != 4 {
+		t.Fatalf("post-heal generation/seq = %d/%d, want 4/4", eng.Generation(), st.Seq())
+	}
+	st2, pol, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Seq(); got != 4 {
+		t.Fatalf("recovered seq %d, want 4", got)
+	}
+	for i := 0; i <= 3; i++ {
+		c := workload.ChurnGrant(i, 8, 8)
+		if !pol.HasEdge(c.From, c.To) {
+			t.Fatalf("recovery lost acknowledged cmd %d", i)
+		}
+	}
+}
+
+// The cache validity floors rewind with a failed group: a rolled-back revoke
+// must not poison positive-verdict validity (posFloor only advances when a
+// revoke actually commits).
+func TestGroupCommitRollbackRestoresValidityFloors(t *testing.T) {
+	dir := t.TempDir()
+	seedChurn(t, dir)
+	plan := fault.NewPlan()
+	fs := fault.NewFS(plan)
+	st, eng, _, err := OpenEngine(dir, engine.Refined, Options{Sync: true, OpenFile: faulty(fs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	grant := workload.ChurnGrant(0, 8, 8)
+	if res := eng.Submit(grant); res.Outcome != command.Applied {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+
+	plan.At(fs.Step()+1, fault.Fault{Kind: fault.ErrSync})
+	if _, err := eng.SubmitBatch([]command.Command{
+		command.Revoke(grant.Actor, grant.From, grant.To),
+		workload.ChurnGrant(1, 8, 8),
+	}, nil); err == nil {
+		t.Fatal("expected flush failure")
+	}
+	fs.Disarm()
+	// Publish once more so a fresh snapshot captures the floors.
+	if res := eng.Submit(workload.ChurnGrant(2, 8, 8)); res.Outcome != command.Applied {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	s := eng.Snapshot()
+	defer s.Close()
+	pos, neg := s.ValidityFloors()
+	if pos != 0 {
+		t.Fatalf("posFloor %d after rolled-back revoke, want 0 (no committed revoke)", pos)
+	}
+	if neg != s.Generation() {
+		t.Fatalf("negFloor %d, want generation %d", neg, s.Generation())
+	}
+}

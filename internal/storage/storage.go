@@ -240,6 +240,10 @@ type Store struct {
 	// (records already in the log at Open count too): the compaction-trigger
 	// signal.
 	sinceCompact int
+	// staged buffers records accepted by StageCommit but not yet landed by
+	// FlushStaged — the group-commit window. Nothing in it is durable or
+	// acknowledged; a flush failure or DiscardStaged simply drops it.
+	staged []Record
 }
 
 // maxAudit caps the in-memory recent-audit log.
@@ -427,12 +431,13 @@ func (s *Store) appendTailLocked(r Record) {
 
 // OpenEngine opens the store and stands a snapshot engine up on the
 // recovered policy: the engine starts at the recovered generation (the
-// highest logged sequence number) and gets a commit hook that appends every
-// applied command — step record plus its audit record, in one write — to
-// the WAL before its snapshot is published. A crash at any point recovers,
-// via OpenEngine, to exactly the decisions the last published snapshot
-// served, audit trail included. The engine takes ownership of the recovered
-// policy; close the store only after the engine stops submitting.
+// highest logged sequence number) and gets the group-commit hook pair — the
+// per-command hook stages every applied command's step + audit records, and
+// the commit flush lands the whole submission's staged records with one
+// write and one fsync before its snapshot is published. A crash at any point
+// recovers, via OpenEngine, to exactly the decisions the last published
+// snapshot served, audit trail included. The engine takes ownership of the
+// recovered policy; close the store only after the engine stops submitting.
 func OpenEngine(dir string, mode engine.Mode, opts Options) (*Store, *engine.Engine, Recovery, error) {
 	s, pol, rec, err := Open(dir, opts)
 	if err != nil {
@@ -440,8 +445,9 @@ func OpenEngine(dir string, mode engine.Mode, opts Options) (*Store, *engine.Eng
 	}
 	eng := engine.NewAt(pol, mode, uint64(s.Seq()))
 	eng.SetCommitHook(func(gen uint64, res command.StepResult) error {
-		return s.AppendCommit(int(gen), res)
+		return s.StageCommit(int(gen), res)
 	})
+	eng.SetCommitFlush(s.FlushStaged)
 	return s, eng, rec, nil
 }
 
@@ -595,6 +601,60 @@ func (s *Store) AppendCommit(seq int, res command.StepResult) error {
 	return s.appendRecords(true, step, audit)
 }
 
+// StageCommit buffers one applied engine step — step record plus its audit
+// record, exactly what AppendCommit writes — for the next FlushStaged. It
+// performs no file I/O: the per-command half of group commit, run from the
+// engine's CommitHook while the covering flush hook amortises the write and
+// fsync across every command (and every submitter) in the group. The records
+// are not durable, and the step must not be acknowledged, until FlushStaged
+// returns nil. Safe for concurrent use, though the engine already serialises
+// stage/flush pairs under its writer lock.
+func (s *Store) StageCommit(seq int, res command.StepResult) error {
+	step, err := NewStepRecord(seq, res)
+	if err != nil {
+		return err
+	}
+	audit, err := NewAuditRecord(seq, res, "")
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writableLocked(); err != nil {
+		return err
+	}
+	s.staged = append(s.staged, step, audit)
+	return nil
+}
+
+// FlushStaged lands every staged record with one file write (and one fsync
+// under Options.Sync) — the group half of group commit. The records are
+// epoch-stamped and audit-indexed at flush time, in stage order. On failure
+// the staged buffer is discarded and writeLocked has already truncated the
+// log back to the last known-good frame boundary, so the on-disk state is
+// exactly as if the group never happened — the engine turns that into a
+// rollback of every command the group covered. A flush with nothing staged
+// is a no-op. Safe for concurrent use.
+func (s *Store) FlushStaged() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.staged) == 0 {
+		return nil
+	}
+	recs := s.staged
+	s.staged = nil
+	return s.appendRecordsLocked(true, recs...)
+}
+
+// DiscardStaged drops staged-but-unflushed records without writing — the
+// escape hatch for a caller abandoning a submission before its flush. Records
+// never staged or already flushed are unaffected.
+func (s *Store) DiscardStaged() {
+	s.mu.Lock()
+	s.staged = nil
+	s.mu.Unlock()
+}
+
 // AppendAudit logs the audit observation of a command that did not change
 // the policy (denied, vetoed, no-change or ill-formed) at the current
 // sequence number. Safe for concurrent use.
@@ -637,6 +697,12 @@ func (s *Store) AppendRecords(records ...Record) error {
 func (s *Store) appendRecords(stamp bool, records ...Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.appendRecordsLocked(stamp, records...)
+}
+
+// appendRecordsLocked is appendRecords under an already-held s.mu — shared by
+// the direct append paths and the group-commit flush.
+func (s *Store) appendRecordsLocked(stamp bool, records ...Record) error {
 	if err := s.writableLocked(); err != nil {
 		return err
 	}

@@ -51,8 +51,16 @@ type Options struct {
 	// CompactEvery triggers a compaction after this many WAL records
 	// accumulate on a tenant (default 1024; negative disables).
 	CompactEvery int
-	// Sync fsyncs every WAL append (slow, crash-durable). Default off.
+	// Sync fsyncs every WAL append (crash-durable). Concurrent submitters on
+	// one tenant share their fsync: the write path coalesces whatever queued
+	// while the previous group was flushing into one write + one fsync (group
+	// commit), so durable throughput scales with concurrency instead of fsync
+	// count. Default off.
 	Sync bool
+	// OpenFile, when non-nil, opens every tenant's WAL through this hook
+	// instead of os.OpenFile — the deterministic fault-injection seam (see
+	// internal/fault and storage.Options.OpenFile).
+	OpenFile func(path string, flag int, perm os.FileMode) (storage.File, error)
 	// CacheSlots sizes each tenant engine's decision cache (rounded up to a
 	// power of two). 0 uses the engine default; negative disables caching.
 	CacheSlots int
@@ -121,7 +129,14 @@ type tenant struct {
 	// subMu serialises submissions and compactions so a compaction always
 	// snapshots the WAL head (no record can land between the policy snapshot
 	// and the log truncation).
-	submu      sync.Mutex
+	submu sync.Mutex
+	// qmu guards queue, the tenant's pending commit group: submitters enqueue
+	// under qmu and then contend on submu; whoever wins drains the queue and
+	// commits the whole group as one engine batch — one WAL write, one fsync —
+	// releasing every drained waiter only after the covering flush. See
+	// Registry.submitGrouped.
+	qmu        sync.Mutex
+	queue      []*submitWaiter
 	recovered  storage.Recovery
 	authorizes atomic.Uint64
 	submits    atomic.Uint64
@@ -276,7 +291,7 @@ func (r *Registry) open(name string, create bool) (*tenant, error) {
 			return nil, fmt.Errorf("tenant %s: %w", name, ErrNotFound)
 		}
 	}
-	st, eng, rec, err := storage.OpenEngine(dir, r.opts.Mode, storage.Options{Sync: r.opts.Sync})
+	st, eng, rec, err := storage.OpenEngine(dir, r.opts.Mode, storage.Options{Sync: r.opts.Sync, OpenFile: r.opts.OpenFile})
 	if err != nil {
 		return nil, fmt.Errorf("tenant %s: %w", name, err)
 	}
@@ -347,8 +362,9 @@ func (r *Registry) installAt(t *tenant, p *policy.Policy, seq, seqEpoch uint64, 
 	}
 	st := t.store
 	eng.SetCommitHook(func(gen uint64, res command.StepResult) error {
-		return st.AppendCommit(int(gen), res)
+		return st.StageCommit(int(gen), res)
 	})
+	eng.SetCommitFlush(st.FlushStaged)
 	old := t.engine()
 	t.eng.Store(eng)
 	// Wake generation waiters blocked on the replaced engine so they
@@ -487,8 +503,10 @@ func (r *Registry) WaitGenerationCtx(ctx context.Context, name string, min uint6
 
 // Submit executes one administrative command through the tenant's transition
 // function, guarded by the registry's constraint set; applied commands are
-// WAL-durable (step + audit record, via the commit hook) before the result
-// returns, and commands without effect are audited with their veto reason.
+// WAL-durable (step + audit record, fsynced under Options.Sync via the
+// group-commit flush) before the result returns, and commands without effect
+// are audited with their veto reason. Concurrent submitters on one tenant
+// are coalesced into commit groups sharing a single write and fsync.
 func (r *Registry) Submit(name string, c command.Command) (command.StepResult, error) {
 	t, err := r.acquire(name, true)
 	if err != nil {
@@ -496,16 +514,18 @@ func (r *Registry) Submit(name string, c command.Command) (command.StepResult, e
 	}
 	defer t.release()
 	t.submits.Add(1)
-	t.submu.Lock()
-	defer t.submu.Unlock()
-	r.stampEpoch(t)
-	eng := t.eng.Load()
-	res, err := eng.SubmitGuarded(c, r.guard)
-	t.auditMisses(eng, []command.StepResult{res}, []error{err})
-	if err != nil {
-		return res, err
+	w := r.submitGrouped(t, []command.Command{c})
+	res := command.StepResult{Cmd: c, Outcome: command.Denied}
+	if len(w.results) > 0 {
+		res = w.results[0]
 	}
-	t.maybeCompact(r.opts.CompactEvery)
+	if w.err != nil {
+		return res, w.err
+	}
+	if len(w.vetoes) > 0 && w.vetoes[0] != nil {
+		// Surface the guard's veto like SubmitGuarded does for a direct call.
+		return res, w.vetoes[0]
+	}
 	return res, nil
 }
 
@@ -514,7 +534,8 @@ func (r *Registry) Submit(name string, c command.Command) (command.StepResult, e
 // snapshot (see engine.SubmitBatch). The returned generation is the engine
 // generation after the batch — the (tenant, generation) token a client
 // hands to a read replica as min_generation to get read-your-writes without
-// global coordination.
+// global coordination. Like Submit, concurrent batches on one tenant share
+// a commit group's single write and fsync.
 func (r *Registry) SubmitBatch(name string, cmds []command.Command) ([]command.StepResult, uint64, error) {
 	t, err := r.acquire(name, true)
 	if err != nil {
@@ -522,10 +543,74 @@ func (r *Registry) SubmitBatch(name string, cmds []command.Command) ([]command.S
 	}
 	defer t.release()
 	t.submits.Add(uint64(len(cmds)))
+	w := r.submitGrouped(t, cmds)
+	return w.results, w.gen, w.err
+}
+
+// submitWaiter is one submitter's slot in a tenant commit group: its commands
+// going in and — once the group's covering flush succeeded or failed — its
+// results, read-your-writes generation, per-command guard vetoes and group
+// error coming out. done is closed by the group leader after the output
+// fields are final.
+type submitWaiter struct {
+	cmds    []command.Command
+	done    chan struct{}
+	results []command.StepResult
+	vetoes  []error
+	gen     uint64
+	err     error
+}
+
+// submitGrouped funnels one submission through the tenant's commit group:
+// enqueue, contend for the writer lock, and whichever submitter wins commits
+// every queued submission as one engine batch — one WAL write, one fsync
+// (see storage.FlushStaged) — before releasing the drained waiters. Group
+// size self-tunes: an uncontended submitter forms a group of one (identical
+// to the direct path), while under N concurrent -sync submitters the fsync
+// is amortised across whatever queued while the previous group was flushing.
+func (r *Registry) submitGrouped(t *tenant, cmds []command.Command) *submitWaiter {
+	w := &submitWaiter{cmds: cmds, done: make(chan struct{})}
+	t.qmu.Lock()
+	t.queue = append(t.queue, w)
+	t.qmu.Unlock()
+
 	t.submu.Lock()
-	defer t.submu.Unlock()
+	t.qmu.Lock()
+	group := t.queue
+	t.queue = nil
+	t.qmu.Unlock()
+	if len(group) > 0 {
+		r.commitGroup(t, group)
+	}
+	t.submu.Unlock()
+	// w was committed either by this call (w ∈ group) or by an earlier
+	// leader that drained it before we won the lock.
+	<-w.done
+	return w
+}
+
+// commitGroup commits the drained waiters as one engine batch and
+// distributes the outcome. The group shares fate on fatal errors: a failed
+// covering flush rolled back every staged command (no waiter was
+// acknowledged — see engine.SubmitBatch), and a mid-batch commit-hook stop
+// leaves later waiters unprocessed, so every waiter sees the error. The
+// generation handed to each waiter is the engine generation after the whole
+// group — monotone, hence a valid read-your-writes token for every member.
+// Caller holds t.submu.
+func (r *Registry) commitGroup(t *tenant, group []*submitWaiter) {
 	r.stampEpoch(t)
 	eng := t.eng.Load()
+	cmds := group[0].cmds
+	if len(group) > 1 {
+		total := 0
+		for _, w := range group {
+			total += len(w.cmds)
+		}
+		cmds = make([]command.Command, 0, total)
+		for _, w := range group {
+			cmds = append(cmds, w.cmds...)
+		}
+	}
 	// Wrap the guard to capture per-command veto reasons for the audit
 	// trail: the engine swallows guard errors batch-wise (a veto denies one
 	// command, the batch continues).
@@ -541,11 +626,26 @@ func (r *Registry) SubmitBatch(name string, cmds []command.Command) ([]command.S
 	}
 	out, err := eng.SubmitBatch(cmds, guard)
 	t.auditMisses(eng, out, vetoes)
-	if err != nil {
-		return out, eng.Generation(), err
+	gen := eng.Generation()
+	off := 0
+	for _, w := range group {
+		end := off + len(w.cmds)
+		// Copy this waiter's slices: out and vetoes are shared across the
+		// group and the engine may have stopped before reaching its segment.
+		if off < len(out) {
+			w.results = append(w.results, out[off:min(end, len(out))]...)
+		}
+		if off < len(vetoes) {
+			w.vetoes = append(w.vetoes, vetoes[off:min(end, len(vetoes))]...)
+		}
+		w.gen = gen
+		w.err = err
+		off = end
+		close(w.done)
 	}
-	t.maybeCompact(r.opts.CompactEvery)
-	return out, eng.Generation(), nil
+	if err == nil {
+		t.maybeCompact(r.opts.CompactEvery)
+	}
 }
 
 // auditMisses appends audit records for the commands of a submission that

@@ -1,0 +1,345 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adminrefine/internal/command"
+)
+
+// OpKind enumerates the operations the socket-level load harness drives.
+type OpKind uint8
+
+const (
+	// OpAuthorize is a batched authorization query (read path).
+	OpAuthorize OpKind = iota
+	// OpCheck is a session access check (read path).
+	OpCheck
+	// OpSubmit is an administrative submit (durable write path).
+	OpSubmit
+	numOpKinds
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpAuthorize:
+		return "authorize"
+	case OpCheck:
+		return "check"
+	case OpSubmit:
+		return "submit"
+	default:
+		return fmt.Sprintf("opkind(%d)", uint8(k))
+	}
+}
+
+// Check is one session access-check probe (mirrors the server's check API
+// without importing it).
+type Check struct {
+	Action string
+	Object string
+}
+
+// ServeOp is one pre-generated operation of a serve-mode run. Ops are built
+// ahead of time (GenServeOps) because the generator is not concurrency-safe
+// and per-op generation cost must not pollute latency measurements; workers
+// claim indexes from a shared counter at send time.
+type ServeOp struct {
+	Kind OpKind
+	// TenantIdx/Tenant name the Zipf-picked tenant.
+	TenantIdx int
+	Tenant    string
+	// Cmds carries the authorize or submit payload.
+	Cmds []command.Command
+	// Checks carries the session-check payload.
+	Checks []Check
+	// RYW marks a read that must carry the tenant's last acknowledged write
+	// generation as its min_generation token (read-your-writes).
+	RYW bool
+}
+
+// ErrStale marks a read whose read-your-writes token the serving replica
+// could not honor within its wait budget — the HTTP 409 staleness answer.
+// The driver counts these separately from hard errors: at steady state an
+// open-loop run should record zero.
+var ErrStale = errors.New("workload: min_generation not reached")
+
+// Target is the system under load: an HTTP client against a live rbacd (see
+// internal/cli) or an in-process stub in tests. Do executes op, carrying
+// minGen as the read-your-writes token on read ops (0 = none), and returns
+// the generation the response reported. Implementations must be safe for
+// concurrent use by the harness workers.
+type Target interface {
+	Do(op *ServeOp, minGen uint64) (gen uint64, err error)
+}
+
+// ServeMix parameterises serve-mode op generation: the multi-tenant Zipf
+// shape plus the authorize/check/submit mix. SubmitFrac (from the embedded
+// config) is the durable-write fraction; CheckFrac of the remainder are
+// session checks; everything else is batched authorize.
+type ServeMix struct {
+	MultiTenantConfig
+	// CheckFrac is the fraction of ops that are session access checks.
+	CheckFrac float64
+	// RYWFrac is the fraction of reads carrying a read-your-writes token.
+	RYWFrac float64
+	// Batch is the number of commands per authorize/submit op (default 1).
+	Batch int
+}
+
+// DefaultServeMix is the standard serve-bench shape: skewed tenants, a
+// read-dominant mix with a durable-write stream and a quarter of reads
+// demanding read-your-writes.
+func DefaultServeMix(seed int64) ServeMix {
+	cfg := DefaultMultiTenant(seed)
+	cfg.Tenants = 16
+	cfg.SubmitFrac = 0.10
+	return ServeMix{MultiTenantConfig: cfg, CheckFrac: 0.30, RYWFrac: 0.25, Batch: 1}
+}
+
+// GenServeOps deterministically pre-generates n serve ops from the mix:
+// Zipf-distributed tenants, each walking its own churn-grant stream for
+// submits and probing ahead of it for authorizes (ChurnPolicy authorizes
+// every probe), with session checks issuing the chain fixture's read
+// permission. Same mix = same ops.
+func GenServeOps(mix ServeMix, n int) []ServeOp {
+	g := NewMultiTenantGen(mix.MultiTenantConfig)
+	rng := rand.New(rand.NewSource(mix.Seed ^ 0x5eed))
+	batch := mix.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	ops := make([]ServeOp, n)
+	for i := range ops {
+		ti := g.PickTenant()
+		op := &ops[i]
+		op.TenantIdx = ti
+		op.Tenant = g.TenantName(ti)
+		r := rng.Float64()
+		switch {
+		case r < mix.SubmitFrac:
+			op.Kind = OpSubmit
+			op.Cmds = make([]command.Command, batch)
+			for j := range op.Cmds {
+				op.Cmds[j] = ChurnGrant(g.ops[ti], mix.Users, mix.Roles)
+				g.ops[ti]++
+			}
+		case r < mix.SubmitFrac+(1-mix.SubmitFrac)*mix.CheckFrac:
+			op.Kind = OpCheck
+			op.Checks = []Check{{Action: "read", Object: "obj"}}
+			op.RYW = rng.Float64() < mix.RYWFrac
+		default:
+			op.Kind = OpAuthorize
+			op.Cmds = make([]command.Command, batch)
+			for j := range op.Cmds {
+				// Probe ahead of the tenant's stream without advancing it.
+				op.Cmds[j] = ChurnGrant(g.ops[ti]+j, mix.Users, mix.Roles)
+			}
+			op.RYW = rng.Float64() < mix.RYWFrac
+		}
+	}
+	return ops
+}
+
+// Clock abstracts time for the open-loop pacer so the coordinated-omission
+// test can run against a fake clock. The wall clock is the nil default.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time        { return time.Now() }
+func (wallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// OpenLoopConfig paces an open-loop run: ops arrive at a fixed rate for a
+// fixed window regardless of how fast the target answers — the arrival
+// process is independent of service time, which is what makes the recorded
+// latencies free of coordinated omission.
+type OpenLoopConfig struct {
+	// Rate is the offered arrival rate in ops/second (> 0).
+	Rate float64
+	// Duration is the offered-load window; Rate*Duration ops are scheduled.
+	Duration time.Duration
+	// Workers is the number of concurrent issuers (default 8). Workers gate
+	// only how much lateness can be absorbed — arrival times are fixed.
+	Workers int
+	// MaxOverrun bounds how long past the window stragglers may still be
+	// issued (default: one extra Duration, at least 5s). Ops not issued by
+	// then count as dropped, so a wedged target cannot hang a CI run.
+	MaxOverrun time.Duration
+	// Clock abstracts time for tests (default: wall clock).
+	Clock Clock
+}
+
+// KindStats aggregates one op kind's outcome across all workers.
+type KindStats struct {
+	Count  int64
+	Errors int64
+	Hist   *Histogram
+}
+
+// OpenLoopResult is one open-loop run's outcome.
+type OpenLoopResult struct {
+	// Offered and Achieved are arrival and completion rates in ops/sec; a
+	// healthy run has Achieved ~= Offered, and a saturated target shows up
+	// as Achieved < Offered plus growing latencies.
+	Offered  float64
+	Achieved float64
+	Elapsed  time.Duration
+	// Scheduled is the total arrival count; Completed the ops that ran
+	// (successfully or not); Dropped the ops abandoned at the overrun cap.
+	Scheduled int64
+	Completed int64
+	Errors    int64
+	// Stale counts reads whose read-your-writes token was answered 409
+	// (ErrStale); they are included in Errors.
+	Stale int64
+	// Kinds maps OpKind.String() to per-kind stats with merged histograms of
+	// latency in nanoseconds, measured from the op's intended arrival time.
+	Kinds map[string]*KindStats
+}
+
+// Dropped reports ops that were scheduled but never issued because the
+// overrun cap fired — nonzero means the target could not absorb the offered
+// load within the allotted window.
+func (r *OpenLoopResult) Dropped() int64 { return r.Scheduled - r.Completed }
+
+// RunOpenLoop drives target with the pre-generated ops at the configured
+// rate and returns merged latency statistics. Latency is measured from each
+// op's intended arrival time (start + i/Rate), not from when a worker got
+// around to sending it, so queueing delay behind a slow target is charged to
+// the target — the open-loop, coordinated-omission-free methodology. Ops are
+// reused round-robin when the schedule outruns the slab. Read-your-writes
+// ops carry the generation of the owning tenant's last acknowledged write.
+func RunOpenLoop(cfg OpenLoopConfig, ops []ServeOp, target Target) (*OpenLoopResult, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("workload: open loop needs a positive rate, got %v", cfg.Rate)
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("workload: open loop needs at least one op")
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = wallClock{}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	overrun := cfg.MaxOverrun
+	if overrun <= 0 {
+		overrun = cfg.Duration
+		if overrun < 5*time.Second {
+			overrun = 5 * time.Second
+		}
+	}
+	total := int64(cfg.Rate * cfg.Duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	tenants := 0
+	for i := range ops {
+		if ops[i].TenantIdx >= tenants {
+			tenants = ops[i].TenantIdx + 1
+		}
+	}
+	lastGen := make([]atomic.Uint64, tenants)
+
+	type workerStats struct {
+		kinds [numOpKinds]KindStats
+		stale int64
+	}
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	start := clk.Now()
+	deadline := start.Add(cfg.Duration + overrun)
+	var next atomic.Int64
+	stats := make([]workerStats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(ws *workerStats) {
+			defer wg.Done()
+			for k := range ws.kinds {
+				ws.kinds[k].Hist = &Histogram{}
+			}
+			for {
+				i := next.Add(1) - 1
+				if i >= total {
+					return
+				}
+				intended := start.Add(time.Duration(i) * interval)
+				now := clk.Now()
+				if now.After(deadline) {
+					// Overrun cap: stop issuing; unclaimed ops count dropped.
+					next.Store(total)
+					return
+				}
+				if d := intended.Sub(now); d > 0 {
+					clk.Sleep(d)
+				}
+				op := &ops[i%int64(len(ops))]
+				var minGen uint64
+				if op.RYW {
+					minGen = lastGen[op.TenantIdx].Load()
+				}
+				gen, err := target.Do(op, minGen)
+				lat := clk.Now().Sub(intended)
+				ks := &ws.kinds[op.Kind]
+				ks.Count++
+				ks.Hist.Record(int64(lat))
+				if err != nil {
+					ks.Errors++
+					if errors.Is(err, ErrStale) {
+						ws.stale++
+					}
+					continue
+				}
+				if op.Kind == OpSubmit {
+					// Publish the ack'd generation as the tenant's RYW token.
+					for {
+						cur := lastGen[op.TenantIdx].Load()
+						if gen <= cur || lastGen[op.TenantIdx].CompareAndSwap(cur, gen) {
+							break
+						}
+					}
+				}
+			}
+		}(&stats[w])
+	}
+	wg.Wait()
+	elapsed := clk.Now().Sub(start)
+
+	res := &OpenLoopResult{
+		Offered:   cfg.Rate,
+		Elapsed:   elapsed,
+		Scheduled: total,
+		Kinds:     make(map[string]*KindStats),
+	}
+	for k := OpKind(0); k < numOpKinds; k++ {
+		merged := &KindStats{Hist: &Histogram{}}
+		for w := range stats {
+			ks := &stats[w].kinds[k]
+			merged.Count += ks.Count
+			merged.Errors += ks.Errors
+			merged.Hist.Merge(ks.Hist)
+		}
+		if merged.Count > 0 {
+			res.Kinds[k.String()] = merged
+		}
+		res.Completed += merged.Count
+		res.Errors += merged.Errors
+	}
+	for w := range stats {
+		res.Stale += stats[w].stale
+	}
+	if elapsed > 0 {
+		res.Achieved = float64(res.Completed) / elapsed.Seconds()
+	}
+	return res, nil
+}

@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock: Sleep jumps time forward, so a
+// single-worker open-loop run is fully deterministic.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// slowTarget models a server with a fixed 5ms service time on the fake
+// clock; gen echoes a counter so submit acks advance.
+type slowTarget struct {
+	clk     *fakeClock
+	service time.Duration
+	gen     uint64
+	mu      sync.Mutex
+}
+
+func (s *slowTarget) Do(op *ServeOp, minGen uint64) (uint64, error) {
+	s.clk.Sleep(s.service)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if op.Kind == OpSubmit {
+		s.gen++
+	}
+	return s.gen, nil
+}
+
+// The coordinated-omission pin: at 1000 ops/s against a 5ms server, a single
+// closed-loop worker would record a flat 5ms per op — the queueing delay
+// behind the slow responses would vanish from the data. Open-loop latency is
+// measured from each op's intended arrival time, so op i (intended at i ms,
+// started only when the worker frees up at 5i ms) records 5+4i ms. The exact
+// arithmetic series is the proof the harness charges queueing to the target.
+func TestOpenLoopCoordinatedOmissionFree(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tgt := &slowTarget{clk: clk, service: 5 * time.Millisecond}
+	ops := []ServeOp{{Kind: OpAuthorize, Tenant: "t000"}}
+	const n = 20
+	res, err := RunOpenLoop(OpenLoopConfig{
+		Rate:       1000,
+		Duration:   n * time.Millisecond,
+		Workers:    1,
+		MaxOverrun: time.Hour,
+		Clock:      clk,
+	}, ops, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != n || res.Errors != 0 || res.Dropped() != 0 {
+		t.Fatalf("completed=%d errors=%d dropped=%d, want %d/0/0", res.Completed, res.Errors, res.Dropped(), n)
+	}
+	ks := res.Kinds[OpAuthorize.String()]
+	if ks == nil || ks.Count != n {
+		t.Fatalf("authorize stats missing: %+v", res.Kinds)
+	}
+	// lat_i = 5ms + 4ms*i, i = 0..n-1: mean = 5 + 4*(n-1)/2 = 43ms exactly
+	// (the histogram tracks sums outside the buckets, so Mean has no
+	// bucketing error). A coordinated-omission-suffering harness would
+	// report a flat 5ms.
+	wantMean := float64((5 + 2*(n-1)) * time.Millisecond)
+	if got := ks.Hist.Mean(); got != wantMean {
+		t.Fatalf("mean latency %.2fms, want %.2fms (closed-loop bias would show ~5ms)",
+			got/1e6, wantMean/1e6)
+	}
+	// Max latency is the last op's 5 + 4*(n-1) = 81ms, exact via clamping.
+	wantMax := int64((5 + 4*(n-1)) * time.Millisecond)
+	if got := ks.Hist.Max(); got != wantMax {
+		t.Fatalf("max latency %dms, want %dms", got/1e6, wantMax/1e6)
+	}
+	if got := ks.Hist.Min(); got != int64(5*time.Millisecond) {
+		t.Fatalf("min latency %dns, want 5ms", got)
+	}
+}
+
+// A fast target keeps up: every op runs at its intended time and latency is
+// the pure service time.
+func TestOpenLoopKeepsPaceWithFastTarget(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	tgt := &slowTarget{clk: clk, service: 100 * time.Microsecond}
+	ops := []ServeOp{{Kind: OpCheck, Tenant: "t000"}}
+	res, err := RunOpenLoop(OpenLoopConfig{
+		Rate:       500, // 2ms interval >> 0.1ms service
+		Duration:   40 * time.Millisecond,
+		Workers:    1,
+		MaxOverrun: time.Hour,
+		Clock:      clk,
+	}, ops, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := res.Kinds[OpCheck.String()]
+	if ks == nil || ks.Count != res.Scheduled {
+		t.Fatalf("stats: %+v", res.Kinds)
+	}
+	if got, want := ks.Hist.Max(), int64(100*time.Microsecond); got != want {
+		t.Fatalf("max latency %d, want pure service time %d — pacing leaked queueing", got, want)
+	}
+}
+
+func TestGenServeOpsDeterministicAndWellFormed(t *testing.T) {
+	mix := DefaultServeMix(99)
+	a := GenServeOps(mix, 2000)
+	b := GenServeOps(mix, 2000)
+	counts := map[OpKind]int{}
+	ryw := 0
+	for i := range a {
+		if a[i].Tenant != b[i].Tenant || a[i].Kind != b[i].Kind || a[i].RYW != b[i].RYW {
+			t.Fatalf("op %d differs across identical mixes", i)
+		}
+		counts[a[i].Kind]++
+		if a[i].RYW {
+			ryw++
+		}
+		switch a[i].Kind {
+		case OpSubmit, OpAuthorize:
+			if len(a[i].Cmds) == 0 {
+				t.Fatalf("op %d (%v) has no commands", i, a[i].Kind)
+			}
+		case OpCheck:
+			if len(a[i].Checks) == 0 {
+				t.Fatalf("op %d check has no probes", i)
+			}
+		}
+		if a[i].TenantIdx < 0 || a[i].TenantIdx >= mix.Tenants {
+			t.Fatalf("op %d tenant index %d out of range", i, a[i].TenantIdx)
+		}
+	}
+	for _, k := range []OpKind{OpAuthorize, OpCheck, OpSubmit} {
+		if counts[k] == 0 {
+			t.Fatalf("mix generated no %v ops: %v", k, counts)
+		}
+	}
+	if ryw == 0 {
+		t.Fatal("mix generated no read-your-writes ops")
+	}
+	// Submit streams advance: consecutive submits of one tenant carry
+	// distinct grants (each advances the tenant's churn position).
+	lastSubmit := map[string]ServeOp{}
+	for i := range a {
+		if a[i].Kind != OpSubmit {
+			continue
+		}
+		if prev, ok := lastSubmit[a[i].Tenant]; ok && prev.Cmds[0] == a[i].Cmds[0] {
+			t.Fatalf("tenant %s repeated submit %v", a[i].Tenant, prev.Cmds[0])
+		}
+		lastSubmit[a[i].Tenant] = a[i]
+	}
+}

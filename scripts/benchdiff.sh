@@ -26,7 +26,10 @@ if [ -z "$latest" ]; then
     exit 1
 fi
 base="BENCH_${latest}.json"
-filter=${BENCHDIFF_FILTER:-Authorize,BatchVsSingle,IncrementalGrant,MultiTenantAuthorize,AccessCheck}
+# ServeAuthorize/ServeDurableSubmit p50s gate the socket serving stack
+# end-to-end (one bounded open-loop harness run feeds every Serve entry);
+# medians only — tail quantiles are too noisy for a shared-runner gate.
+filter=${BENCHDIFF_FILTER:-Authorize,BatchVsSingle,IncrementalGrant,MultiTenantAuthorize,AccessCheck,ServeAuthorize/p50,ServeDurableSubmit/p50}
 tol=${BENCHDIFF_TOLERANCE:-25}
 canary=${BENCHDIFF_CANARY:-ClosureBuild/roles=1024}
 
