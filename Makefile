@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt-check test race chaos bench-smoke serve-smoke bench-json bench benchdiff fuzz-smoke
+.PHONY: check build vet fmt-check test race chaos bench-smoke serve-smoke overload-smoke bench-json bench benchdiff fuzz-smoke
 
-check: build vet fmt-check test race chaos bench-smoke serve-smoke benchdiff
+check: build vet fmt-check test race chaos bench-smoke serve-smoke overload-smoke benchdiff
 
 build:
 	$(GO) build ./...
@@ -27,17 +27,18 @@ test:
 	$(GO) test ./...
 
 # The engine/tenant/server/replication stack is the concurrency-critical
-# surface; graph/core feed it, and decision/command carry the lock-free
-# cache and interner under it.
+# surface; graph/core feed it, decision/command carry the lock-free cache
+# and interner under it, and admission is the semaphore/breaker layer every
+# request crosses.
 race:
-	$(GO) test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/session/ ./internal/tenant/ ./internal/server/ ./internal/replication/ ./internal/decision/ ./internal/command/
+	$(GO) test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/session/ ./internal/tenant/ ./internal/server/ ./internal/replication/ ./internal/decision/ ./internal/command/ ./internal/admission/
 
 # Failure paths under the race detector: the daemon chaos e2e (SIGKILL the
 # primary under load, promote, assert zero acknowledged-write loss and
 # fencing of the resurrected ex-primary) plus the storage layer under
 # seeded write/torn-write/fsync fault schedules.
 chaos:
-	$(GO) test -race ./cmd/rbacd/ ./internal/storage/
+	$(GO) test -race ./cmd/rbacd/ ./internal/storage/ ./internal/fault/
 
 bench-smoke:
 	$(GO) test -run XXX -bench 'Incremental|CachedAuthorize|AuthorizeAllocs|ReplicatedAuthorize|AccessCheck' -benchtime=100x .
@@ -47,6 +48,13 @@ bench-smoke:
 # load, and fails on any op error, 409 or drop.
 serve-smoke:
 	$(GO) run ./cmd/rbacbench -serve -serve-rate 300 -serve-duration 3s
+
+# Saturation smoke: steady baseline, then 3x that rate against an
+# admission-limited stack with fault-stalled fsyncs; fails unless the
+# degradation contract holds (shed with 429/503 + Retry-After, admitted p99
+# bounded, client/server shed accounting reconciled, zero acked writes lost).
+overload-smoke:
+	$(GO) run ./cmd/rbacbench -serve -overload -serve-duration 3s
 
 # Regression gate: authorize benchmarks vs the newest committed BENCH_*.json
 # baseline, selected by highest numeric suffix (>25% ns/op or any allocs/op

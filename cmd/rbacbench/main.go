@@ -40,6 +40,8 @@ func main() {
 	serveWorkers := flag.Int("serve-workers", 16, "with -serve: concurrent harness issuers")
 	serveFollower := flag.Bool("serve-follower", false, "with -serve: stand up a WAL-streaming follower and point reads at it")
 	serveSync := flag.Bool("serve-sync", true, "with -serve: fsync each commit group on the primary (durable submits)")
+	overload := flag.Bool("overload", false, "with -serve: run the saturation proof instead — a steady phase, then -overload-mult x that rate against an admission-limited stack, asserting the degradation contract (shed with 429/503, admitted p99 bounded, zero acked writes lost)")
+	overloadMult := flag.Float64("overload-mult", 3, "with -serve -overload: overload-phase rate multiplier")
 	serveJSON := flag.String("serve-json", "", "with -serve: also write the harness entries as BENCH-style JSON to this file")
 	benchJSON := flag.String("benchjson", "", "output path: run the registered benchmarks and write results (name -> ns/op, allocs/op) to this file, e.g. BENCH_3.json")
 	benchFilter := flag.String("benchfilter", "", "with -benchjson/-benchdiff: only run benchmarks whose name contains one of these comma-separated substrings")
@@ -52,6 +54,34 @@ func main() {
 		for _, e := range cli.Experiments() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
+		return
+	}
+	if *serve && *overload {
+		// The serve-mode defaults (800 ops/s for 6s) describe a healthy-load
+		// run; the overload bench picks its own steady baseline unless the
+		// operator explicitly set a rate or window.
+		oopts := cli.OverloadBenchOptions{Multiplier: *overloadMult, Workers: *serveWorkers}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "serve-rate":
+				oopts.Rate = *serveRate
+			case "serve-duration":
+				oopts.Duration = *serveDuration
+			}
+		})
+		results, err := cli.RunOverloadBench(os.Stdout, oopts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *serveJSON != "" {
+			if err := cli.WriteResultsJSON(*serveJSON, results); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *serveJSON)
+		}
+		fmt.Println("overload: degradation contract held")
 		return
 	}
 	if *serve {

@@ -55,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"adminrefine/internal/admission"
 	"adminrefine/internal/constraints"
 	"adminrefine/internal/engine"
 	"adminrefine/internal/replication"
@@ -92,6 +93,20 @@ func run(args []string, out io.Writer) error {
 		probeEvery   = fs.Duration("probe-interval", time.Second, "follower: upstream health-probe period (with -promote-on-upstream-loss)")
 		probeAfter   = fs.Int("probe-threshold", 5, "follower: consecutive failed probes that depose the upstream (with -promote-on-upstream-loss)")
 		consPath     = fs.String("constraints", "", `separation-of-duty constraint file (JSON [{"name","kind":"ssd"|"dsd","roles":[...],"n":2},...]); SSD guards every write, DSD guards session activations`)
+
+		// Overload protection: every data-plane request runs under a deadline
+		// and an admission slot; saturation sheds 429 (reads) / 503 (writes)
+		// with Retry-After instead of queueing unboundedly.
+		maxRequestTime = fs.Duration("max-request-time", 10*time.Second, "per-request deadline budget for data-plane requests; clients may tighten it with X-Request-Deadline (0 disables)")
+		maxReads       = fs.Int("max-inflight-reads", 256, "concurrently admitted read-class requests (0 = unlimited)")
+		readQueue      = fs.Int("read-queue", 0, "reads allowed to wait for a slot beyond -max-inflight-reads; excess sheds 429 on arrival")
+		maxWrites      = fs.Int("max-inflight-writes", 64, "concurrently admitted write-class requests (0 = unlimited)")
+		writeQueue     = fs.Int("write-queue", 256, "writes allowed to wait for a slot beyond -max-inflight-writes; excess sheds 503 on arrival")
+		maxSubmitQueue = fs.Int("max-submit-queue", 1024, "per-tenant commit-group queue hard cap; submits beyond it shed 503 (0 = unlimited)")
+		readHeaderTime = fs.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout: slowloris bound on request headers")
+		readTimeout    = fs.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout: bound on reading a whole request")
+		idleTimeout    = fs.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout: keep-alive connection reaper")
+		maxHeaderBytes = fs.Int("max-header-bytes", 1<<20, "http.Server MaxHeaderBytes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -144,20 +159,27 @@ func run(args []string, out io.Writer) error {
 	epoch := replication.NewEpoch(nodeStore.Epoch(), nodeStore.SetEpoch)
 
 	reg := tenant.New(tenant.Options{
-		Dir:          *dataDir,
-		Mode:         emode,
-		Shards:       *shards,
-		MaxResident:  *maxResident,
-		CompactEvery: *compactEvery,
-		Sync:         *sync,
-		CacheSlots:   *cacheSlots,
-		Constraints:  cons,
-		Epoch:        epoch.Current,
+		Dir:              *dataDir,
+		Mode:             emode,
+		Shards:           *shards,
+		MaxResident:      *maxResident,
+		CompactEvery:     *compactEvery,
+		Sync:             *sync,
+		CacheSlots:       *cacheSlots,
+		Constraints:      cons,
+		Epoch:            epoch.Current,
+		MaxQueuedSubmits: *maxSubmitQueue,
 	})
 
+	// One breaker guards the whole upstream relationship: the follower's
+	// pull/bootstrap client records its failures, and while open the
+	// server's write-forwarding path answers 503 + Retry-After instead of a
+	// 307 to a dead primary. Repoint resets it along with the upstream.
+	breaker := admission.NewBreaker(admission.BreakerOptions{})
 	followerOpts := replication.FollowerOptions{
 		PollWait: *pollWait,
 		Epoch:    epoch,
+		Breaker:  breaker,
 	}
 	var follower *replication.Follower
 	if *role == "follower" {
@@ -192,8 +214,20 @@ func run(args []string, out io.Writer) error {
 		PromoteOnUpstreamLoss: *autoPromote,
 		ProbeInterval:         *probeEvery,
 		ProbeThreshold:        *probeAfter,
+		MaxRequestTime:        *maxRequestTime,
+		Admission: admission.New(admission.Config{
+			Read:  admission.Limits{MaxInFlight: *maxReads, MaxQueue: *readQueue},
+			Write: admission.Limits{MaxInFlight: *maxWrites, MaxQueue: *writeQueue},
+		}),
+		Breaker: breaker,
 	})
-	srv := &http.Server{Handler: handler}
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: *readHeaderTime,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 

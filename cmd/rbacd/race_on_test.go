@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled relaxes timing bounds when the race detector multiplies
+// service times (see TestOverloadDegradationEndToEnd).
+const raceEnabled = true

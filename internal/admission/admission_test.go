@@ -1,0 +1,195 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A saturated class with MaxQueue 0 sheds on arrival with ErrOverloaded.
+func TestShedOnArrivalWhenQueueZero(t *testing.T) {
+	c := New(Config{Read: Limits{MaxInFlight: 1, MaxQueue: 0}})
+	rel, err := c.Acquire(context.Background(), Read)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if _, err := c.Acquire(context.Background(), Read); !IsOverloaded(err) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	rel()
+	// Slot free again: admits.
+	rel2, err := c.Acquire(context.Background(), Read)
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	rel2()
+	st := c.Stats().Read
+	if st.Admitted != 2 || st.ShedOverload != 1 || st.InFlight != 0 {
+		t.Fatalf("stats = %+v, want 2 admitted / 1 shed / 0 inflight", st)
+	}
+}
+
+// A queued waiter whose context expires is refused with ErrDeadline and
+// gives its queue slot back.
+func TestQueuedWaiterDeadline(t *testing.T) {
+	c := New(Config{Write: Limits{MaxInFlight: 1, MaxQueue: 2}})
+	rel, err := c.Acquire(context.Background(), Write)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := c.Acquire(ctx, Write); !IsDeadline(err) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+	st := c.Stats().Write
+	if st.ShedDeadline != 1 || st.Queued != 0 {
+		t.Fatalf("stats = %+v, want 1 deadline shed / 0 queued", st)
+	}
+	rel()
+}
+
+// A queued waiter is admitted when the slot frees before its deadline.
+func TestQueuedWaiterAdmittedOnRelease(t *testing.T) {
+	c := New(Config{Write: Limits{MaxInFlight: 1, MaxQueue: 1}})
+	rel, err := c.Acquire(context.Background(), Write)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		rel2, err := c.Acquire(context.Background(), Write)
+		if err == nil {
+			rel2()
+		}
+		got <- err
+	}()
+	// Give the waiter time to queue, then free the slot.
+	for c.Stats().Write.Queued == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	rel()
+	if err := <-got; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+}
+
+// The queue itself is bounded: arrivals beyond MaxQueue shed immediately
+// even though earlier waiters are still waiting.
+func TestQueueDepthBounded(t *testing.T) {
+	c := New(Config{Write: Limits{MaxInFlight: 1, MaxQueue: 1}})
+	rel, err := c.Acquire(context.Background(), Write)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Acquire(ctx, Write) // parks in the queue until cancel
+	}()
+	for c.Stats().Write.Queued == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.Acquire(context.Background(), Write); !IsOverloaded(err) {
+		t.Fatalf("want ErrOverloaded beyond queue depth, got %v", err)
+	}
+	cancel()
+	wg.Wait()
+}
+
+// Unlimited classes admit everything but still account in-flight load.
+func TestUnlimitedClassAccounts(t *testing.T) {
+	c := New(Config{})
+	rel1, _ := c.Acquire(context.Background(), Read)
+	rel2, _ := c.Acquire(context.Background(), Replication)
+	st := c.Stats()
+	if st.Read.InFlight != 1 || st.Replication.InFlight != 1 {
+		t.Fatalf("stats = %+v, want 1 inflight read + replication", st)
+	}
+	rel1()
+	rel2()
+	if got := c.Stats().Read.InFlight; got != 0 {
+		t.Fatalf("inflight after release = %d", got)
+	}
+}
+
+// A nil controller admits everything — call sites wire it unconditionally.
+func TestNilController(t *testing.T) {
+	var c *Controller
+	rel, err := c.Acquire(context.Background(), Write)
+	if err != nil {
+		t.Fatalf("nil acquire: %v", err)
+	}
+	rel()
+	if got := c.Stats().Shed(); got != 0 {
+		t.Fatalf("nil stats shed = %d", got)
+	}
+}
+
+// Hammer one limited class from many goroutines under -race: the in-flight
+// count never exceeds the limit and the books balance.
+func TestConcurrentAdmissionInvariant(t *testing.T) {
+	const limit = 4
+	c := New(Config{Read: Limits{MaxInFlight: limit, MaxQueue: 8}})
+	var inflight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+				rel, err := c.Acquire(ctx, Read)
+				cancel()
+				if err != nil {
+					if !IsOverloaded(err) && !IsDeadline(err) {
+						t.Errorf("unexpected error: %v", err)
+					}
+					continue
+				}
+				n := inflight.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				inflight.Add(-1)
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > limit {
+		t.Fatalf("peak in-flight %d exceeds limit %d", p, limit)
+	}
+	st := c.Stats().Read
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("books unbalanced after drain: %+v", st)
+	}
+	if st.Admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+}
+
+// Error text carries the class for log greppability.
+func TestErrorMentionsClass(t *testing.T) {
+	c := New(Config{Write: Limits{MaxInFlight: 1, MaxQueue: 0}})
+	rel, _ := c.Acquire(context.Background(), Write)
+	defer rel()
+	_, err := c.Acquire(context.Background(), Write)
+	if err == nil || !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want overload, got %v", err)
+	}
+	if want := "write"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention class %q", err, want)
+	}
+}

@@ -1,0 +1,410 @@
+package cli
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"adminrefine/internal/admission"
+	"adminrefine/internal/command"
+	"adminrefine/internal/engine"
+	"adminrefine/internal/fault"
+	"adminrefine/internal/policy"
+	"adminrefine/internal/server"
+	"adminrefine/internal/storage"
+	"adminrefine/internal/tenant"
+	"adminrefine/internal/workload"
+)
+
+// OverloadBenchOptions configures the saturation proof: a steady phase
+// measures the system's healthy latency yardstick, then an overload phase
+// offers Multiplier× that rate against deliberately bounded capacity and
+// asserts the degradation contract — excess load shed with 429/503 (never
+// hard errors), admitted latency bounded relative to steady state, shed
+// accounting reconciling between client and server, and every acknowledged
+// write still readable afterwards.
+type OverloadBenchOptions struct {
+	// Rate is the steady-phase offered arrival rate in ops/sec (default 150).
+	Rate float64
+	// Multiplier scales Rate for the overload phase (default 3).
+	Multiplier float64
+	// Duration is each phase's load window (default 4s).
+	Duration time.Duration
+	// Workers is the harness issuer count (default 24).
+	Workers int
+	// Seed fixes the op slab and the fsync latency schedule (default 1).
+	Seed int64
+	// P99Floor is the minimum admitted-p99 bound, guarding the 5×-steady
+	// comparison against a near-zero steady p99 on a fast machine (default
+	// 400ms).
+	P99Floor time.Duration
+}
+
+func (o *OverloadBenchOptions) fill() {
+	if o.Rate <= 0 {
+		o.Rate = 150
+	}
+	if o.Multiplier <= 1 {
+		o.Multiplier = 3
+	}
+	if o.Duration <= 0 {
+		o.Duration = 4 * time.Second
+	}
+	if o.Workers <= 0 {
+		o.Workers = 24
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.P99Floor <= 0 {
+		o.P99Floor = 400 * time.Millisecond
+	}
+}
+
+// overloadMix is the storm shape: a handful of tenants under a write-heavy
+// administrative churn (40% durable submits), the workload that saturates
+// the fsync-bound write path fastest.
+func overloadMix(seed int64) workload.ServeMix {
+	cfg := workload.DefaultMultiTenant(seed)
+	cfg.Tenants = 4
+	cfg.SubmitFrac = 0.40
+	return workload.ServeMix{MultiTenantConfig: cfg, CheckFrac: 0.20, RYWFrac: 0.25, Batch: 1}
+}
+
+// overloadAdmission bounds the stack's capacity so Multiplier× the steady
+// rate reliably exceeds it: one read slot shedding on arrival (reads shed
+// first, cheaply, with 429) and one write slot with a short queue (writes
+// queue briefly, then shed with 503).
+func overloadAdmission() admission.Config {
+	return admission.Config{
+		Read:  admission.Limits{MaxInFlight: 1, MaxQueue: 0},
+		Write: admission.Limits{MaxInFlight: 1, MaxQueue: 8},
+	}
+}
+
+// overloadStack stands up the admission-limited system under storm: a
+// primary whose fsyncs carry a seeded latency schedule (internal/fault), so
+// the write path's capacity is deterministic enough that Multiplier× the
+// steady rate saturates it on any machine.
+func overloadStack(mix workload.ServeMix, seed int64) (*serveNode, error) {
+	dir, err := os.MkdirTemp("", "rbacbench-overload")
+	if err != nil {
+		return nil, err
+	}
+	// Every fsync stalls up to 12ms on a schedule keyed by mutation index:
+	// replayable (same seed, same storm) and bounding write throughput to
+	// roughly a hundred commit groups per second — a capacity the storm's
+	// submit rate decisively exceeds on any machine.
+	plan := fault.SeededLatencyPlan(seed, 1<<20, 0, 1.0, 12*time.Millisecond)
+	fs := fault.NewFS(plan)
+	g := workload.NewMultiTenantGen(mix.MultiTenantConfig)
+	reg := tenant.New(tenant.Options{
+		Dir:              dir,
+		Mode:             engine.Refined,
+		Sync:             true,
+		Bootstrap:        func(name string) *policy.Policy { return g.Bootstrap(name) },
+		MaxQueuedSubmits: 256,
+		OpenFile: func(path string, flag int, perm os.FileMode) (storage.File, error) {
+			return fs.Open(path, flag, perm)
+		},
+	})
+	for i := 0; i < mix.Tenants; i++ {
+		if _, err := reg.Stats(g.TenantName(i)); err != nil {
+			reg.Close()
+			os.RemoveAll(dir)
+			return nil, err
+		}
+	}
+	srv := server.NewWithConfig(server.Config{
+		Registry:       reg,
+		MaxRequestTime: 2 * time.Second,
+		Admission:      admission.New(overloadAdmission()),
+	})
+	node, err := listenNode(srv, reg)
+	if err != nil {
+		reg.Close()
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	node.extra = func() { os.RemoveAll(dir) }
+	return node, nil
+}
+
+// statsOverload fetches the node-level overload block from /stats.
+func statsOverload(base, tenantName string) (map[string]any, error) {
+	resp, err := http.Get(base + "/v1/tenants/" + tenantName + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stats: status %d", resp.StatusCode)
+	}
+	var body struct {
+		Overload map[string]any `json:"overload"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	if body.Overload == nil {
+		return nil, fmt.Errorf("stats response has no overload block")
+	}
+	return body.Overload, nil
+}
+
+// shedTotal sums the server's shed counters out of the overload block.
+func shedTotal(ov map[string]any) uint64 {
+	total := 0.0
+	for _, k := range []string{"shed_read", "shed_write", "shed_deadline", "breaker_fast_fail"} {
+		if v, ok := ov[k].(float64); ok {
+			total += v
+		}
+	}
+	return uint64(total)
+}
+
+// runPhase drives one open-loop phase and renders its per-kind summary.
+func runPhase(progress io.Writer, label string, rate float64, opts OverloadBenchOptions, ops []workload.ServeOp, target *HTTPTarget) (*workload.OpenLoopResult, error) {
+	res, err := workload.RunOpenLoop(workload.OpenLoopConfig{
+		Rate:     rate,
+		Duration: opts.Duration,
+		Workers:  opts.Workers,
+	}, ops, target)
+	if err != nil {
+		return nil, err
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "[%s] offered %.0f ops/s, achieved %.0f ops/s, %d completed, %d shed, %d errors (%d stale)\n",
+			label, res.Offered, res.Achieved, res.Completed, res.Shed, res.Errors, res.Stale)
+		for kind, ks := range res.Kinds {
+			admitted := ks.Count - ks.Shed
+			fmt.Fprintf(progress, "[%s] %-10s admitted %5d shed %5d  %s\n",
+				label, kind, admitted, ks.Shed, ks.Hist.Summary("ms", 1e6))
+		}
+	}
+	return res, nil
+}
+
+// RunOverloadBench is the saturation proof behind `rbacbench -serve
+// -overload`: phase A measures steady-state admitted latency, phase B offers
+// Multiplier× that rate against the same deliberately capacity-bounded
+// stack, and the run fails unless the degradation contract holds:
+//
+//   - excess load is shed with 429 (reads) and 503 (writes), never hard
+//     errors — admitted ops all succeed in both phases;
+//   - admitted p99 in the storm stays within 5× the steady-state p99 (or
+//     P99Floor, whichever is larger) for every op kind — shedding, not
+//     collapsing;
+//   - the server's /stats shed counters reconcile exactly with the client's
+//     count of 429/503 answers;
+//   - every write acknowledged during either phase is still readable at its
+//     acked generation after the storm (zero acknowledged writes lost).
+//
+// Returned entries (OverloadSteady*/OverloadStorm* quantiles, OverloadShed
+// counts) go to -serve-json for the record; they are not benchdiff-gated.
+func RunOverloadBench(progress io.Writer, opts OverloadBenchOptions) (map[string]BenchResult, error) {
+	opts.fill()
+	mix := overloadMix(opts.Seed)
+	node, err := overloadStack(mix, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	defer node.close()
+	target := NewHTTPTarget(node.url)
+	target.Client = &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: opts.Workers * 2,
+		},
+	}
+
+	// One continuous slab sliced across the phases: the storm must not
+	// replay the steady phase's grants (a duplicate grant is "nochange" —
+	// an op error, not a shed).
+	stormRate := opts.Rate * opts.Multiplier
+	steadyN := int(opts.Rate*opts.Duration.Seconds()) + opts.Workers
+	stormN := int(stormRate*opts.Duration.Seconds()) + opts.Workers
+	slab := workload.GenServeOps(mix, steadyN+stormN)
+
+	steady, err := runPhase(progress, "steady", opts.Rate, opts, slab[:steadyN], target)
+	if err != nil {
+		return nil, err
+	}
+	if steady.Errors > 0 {
+		return nil, fmt.Errorf("overload bench: steady phase had %d hard errors (%d stale)", steady.Errors, steady.Stale)
+	}
+	steady429, steady503 := target.ShedCounts()
+
+	// The storm is the open-loop harness at Multiplier× rate PLUS a greedy
+	// closed-loop client hammering the read path flat out: the misbehaving
+	// tenant whose flood the admission layer exists to contain. The harness
+	// measures what a well-behaved client experiences while the flood runs.
+	g := workload.NewMultiTenantGen(mix.MultiTenantConfig)
+	hammerStop := make(chan struct{})
+	hammerWG := readHammer(hammerStop, target, g.TenantName(0), 4, []command.Command{
+		workload.ChurnGrant(0, mix.Users, mix.Roles),
+	})
+	storm, err := runPhase(progress, "storm", stormRate, opts, slab[steadyN:], target)
+	close(hammerStop)
+	hammerWG.Wait()
+	if err != nil {
+		return nil, err
+	}
+	total429, total503 := target.ShedCounts()
+	storm429, storm503 := total429-steady429, total503-steady503
+
+	// Contract 1: excess load shed with the right codes, admitted ops clean.
+	if storm.Errors > 0 {
+		return nil, fmt.Errorf("overload bench: %d admitted ops failed during the storm (%d stale) — sheds must be 429/503, not errors", storm.Errors, storm.Stale)
+	}
+	if storm.Shed == 0 {
+		return nil, fmt.Errorf("overload bench: %.0fx offered rate shed nothing from the harness — admission limits are not engaging", opts.Multiplier)
+	}
+	if storm429 == 0 {
+		return nil, fmt.Errorf("overload bench: storm shed but produced no 429s — reads are not shedding first")
+	}
+	if storm503 == 0 {
+		return nil, fmt.Errorf("overload bench: storm shed but produced no 503s — the write path is not shedding")
+	}
+
+	// Contract 2: admitted latency bounded — shed, don't collapse.
+	out := make(map[string]BenchResult)
+	for kind, sks := range steady.Kinds {
+		admitted := sks.Count - sks.Shed
+		if admitted <= 0 {
+			continue
+		}
+		steadyP99 := time.Duration(sks.Hist.Quantile(0.99))
+		bound := 5 * steadyP99
+		if bound < opts.P99Floor {
+			bound = opts.P99Floor
+		}
+		out["OverloadSteady"+serveEntryName(kind, true)+"/p99"] = BenchResult{NsPerOp: float64(steadyP99), N: int(admitted)}
+		oks, ok := storm.Kinds[kind]
+		if !ok || oks.Count == oks.Shed {
+			continue
+		}
+		stormP99 := time.Duration(oks.Hist.Quantile(0.99))
+		out["OverloadStorm"+serveEntryName(kind, true)+"/p99"] = BenchResult{NsPerOp: float64(stormP99), N: int(oks.Count - oks.Shed)}
+		if stormP99 > bound {
+			return nil, fmt.Errorf("overload bench: %s admitted p99 %v under storm exceeds bound %v (5x steady %v, floor %v) — overload is collapsing latency, not shedding load",
+				kind, stormP99, bound, steadyP99, opts.P99Floor)
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "%-10s admitted p99 steady %v -> storm %v (bound %v)\n", kind, steadyP99, stormP99, bound)
+		}
+	}
+
+	// Contract 3: server-side shed accounting reconciles with the client's
+	// (the harness and the hammer share one target, so the target's counters
+	// are the complete client-side view).
+	ov, err := statsOverload(node.url, g.TenantName(0))
+	if err != nil {
+		return nil, err
+	}
+	if got, want := shedTotal(ov), total429+total503; got != want {
+		return nil, fmt.Errorf("overload bench: server shed counters total %d, client observed %d (429 %d + 503 %d)", got, want, total429, total503)
+	}
+
+	// Contract 4: no acknowledged write lost — every tenant still serves
+	// reads at its last acked generation, post-storm.
+	audited := 0
+	for ti := range storm.LastAcked {
+		gen := storm.LastAcked[ti]
+		if sg := steady.LastAcked[ti]; sg > gen {
+			gen = sg
+		}
+		if gen == 0 {
+			continue
+		}
+		probe := workload.ServeOp{
+			Kind:   workload.OpAuthorize,
+			Tenant: g.TenantName(ti),
+			Cmds:   []command.Command{workload.ChurnGrant(0, mix.Users, mix.Roles)},
+			RYW:    true,
+		}
+		if _, err := doWithRetry(target, &probe, gen); err != nil {
+			return nil, fmt.Errorf("overload bench: tenant %s lost acked generation %d: %w", probe.Tenant, gen, err)
+		}
+		audited++
+	}
+	if audited == 0 {
+		return nil, fmt.Errorf("overload bench: no tenant acknowledged a write — the storm never exercised the write path")
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "storm shed %d (429 %d / 503 %d), server counters reconcile, %d tenants' acked writes verified\n",
+			storm.Shed, storm429, storm503, audited)
+	}
+	out["OverloadShed/429"] = BenchResult{N: int(storm429)}
+	out["OverloadShed/503"] = BenchResult{N: int(storm503)}
+	return out, nil
+}
+
+// readHammer is the storm's greedy client against one tenant's read path —
+// the flood the read class's admission limit exists to contain. Fast reads
+// alone cannot reliably saturate MaxInFlight=1 (on one core the scheduler
+// serialises sub-millisecond requests so they rarely overlap), so goroutine
+// 0 parks: it authorizes read-your-writes against the next unborn
+// generation, and the server holds its read slot while the generation wait
+// runs — a commit interval at a time, deterministically pinning the class
+// at capacity. The remaining goroutines probe the saturated class and
+// collect 429s. Shed answers land in the shared target's counters; outcomes
+// are otherwise discarded.
+func readHammer(stop chan struct{}, target *HTTPTarget, tenantName string, conc int, cmds []command.Command) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	for i := 0; i < conc; i++ {
+		parker := i == 0
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			op := workload.ServeOp{Kind: workload.OpAuthorize, Tenant: tenantName, Cmds: cmds}
+			var minGen uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				gen, err := target.Do(&op, minGen)
+				switch {
+				case err == nil && parker:
+					minGen = gen + 1
+				case err == nil:
+				case errors.Is(err, workload.ErrShed):
+					// Refused; stay greedy but yield the core briefly so
+					// the harness's own load keeps flowing.
+					time.Sleep(time.Millisecond)
+				default:
+					// Stale (the tenant's writes paused) or a transport
+					// hiccup: re-anchor on the live generation.
+					minGen = 0
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+	}
+	return &wg
+}
+
+// doWithRetry retries an op through post-storm stragglers: the storm's
+// queued writes may still be draining, so a shed answer backs off briefly.
+func doWithRetry(target *HTTPTarget, op *workload.ServeOp, minGen uint64) (uint64, error) {
+	var lastErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		gen, err := target.Do(op, minGen)
+		if err == nil {
+			return gen, nil
+		}
+		lastErr = err
+		if !errors.Is(err, workload.ErrShed) {
+			return 0, err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return 0, lastErr
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adminrefine/internal/engine"
@@ -39,6 +40,19 @@ type HTTPTarget struct {
 	SessionRoles []string
 
 	sessions sync.Map // tenant name -> uint64 session id
+
+	// Shed accounting: how many requests the server refused with 429 (reads
+	// at capacity) and 503 (writes at capacity, expired deadlines, open
+	// breaker). Both surface as workload.ErrShed to the harness.
+	shed429 atomic.Uint64
+	shed503 atomic.Uint64
+}
+
+// ShedCounts reports the 429s and 503s this target has absorbed — the
+// client-side half of the overload accounting, reconciled against the
+// server's /stats shed counters by the overload bench.
+func (t *HTTPTarget) ShedCounts() (s429, s503 uint64) {
+	return t.shed429.Load(), t.shed503.Load()
 }
 
 // NewHTTPTarget builds a target for a single node serving reads and writes.
@@ -87,6 +101,16 @@ func (t *HTTPTarget) post(url string, body any) ([]byte, error) {
 	}
 	if resp.StatusCode == http.StatusConflict {
 		return nil, workload.ErrStale
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		t.shed429.Add(1)
+		return nil, fmt.Errorf("%s: 429: %w", url, workload.ErrShed)
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "" {
+		// A 503 carrying Retry-After is the overload contract (admission,
+		// deadline or breaker shed); a bare 503 stays a hard error.
+		t.shed503.Add(1)
+		return nil, fmt.Errorf("%s: 503: %w", url, workload.ErrShed)
 	}
 	if resp.StatusCode != http.StatusOK {
 		var reply batchReply

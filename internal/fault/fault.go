@@ -41,6 +41,13 @@ const (
 	// ErrSync fails an fsync after the bytes reached the page cache —
 	// durability unknown, the fsyncgate case.
 	ErrSync
+	// SlowWrite stalls a Write for Fault.Delay before completing it — the
+	// congested-disk case, mirroring NetDelay on the transport side.
+	SlowWrite
+	// SlowSync stalls an fsync for Fault.Delay before completing it — the
+	// saturated-write-cache case that turns group commit into a queue. This
+	// is the primitive behind replayable stalled-fsync overload scenarios.
+	SlowSync
 )
 
 func (k Kind) String() string {
@@ -51,6 +58,10 @@ func (k Kind) String() string {
 		return "torn-write"
 	case ErrSync:
 		return "sync-error"
+	case SlowWrite:
+		return "slow-write"
+	case SlowSync:
+		return "slow-sync"
 	default:
 		return "none"
 	}
@@ -62,6 +73,8 @@ type Fault struct {
 	// Keep is the number of bytes a TornWrite lands before failing (clamped
 	// to the buffer).
 	Keep int
+	// Delay is how long a SlowWrite/SlowSync stalls before completing.
+	Delay time.Duration
 }
 
 // Plan is a deterministic schedule of storage faults keyed by mutation
@@ -97,6 +110,30 @@ func SeededPlan(seed int64, steps uint64, pWrite, pTorn, pSync float64) *Plan {
 			p.At(i, Fault{Kind: TornWrite, Keep: rng.Intn(64)})
 		case r < pWrite+pTorn+pSync:
 			p.At(i, Fault{Kind: ErrSync})
+		}
+	}
+	return p
+}
+
+// SeededLatencyPlan derives a latency schedule over the first steps mutation
+// indexes from seed: each step independently stalls as a SlowWrite or
+// SlowSync (for up to maxDelay) with the given probabilities. The same seed
+// always yields the same schedule, so a stalled-fsync overload scenario
+// replays bit-for-bit. Compose with an error plan by building both from
+// seeds and merging via At.
+func SeededLatencyPlan(seed int64, steps uint64, pSlowWrite, pSlowSync float64, maxDelay time.Duration) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewPlan()
+	for i := uint64(0); i < steps; i++ {
+		r := rng.Float64()
+		// One delay draw per step keeps the schedule stable whether or not
+		// the step stalls.
+		d := time.Duration(rng.Int63n(int64(maxDelay) + 1))
+		switch {
+		case r < pSlowWrite:
+			p.At(i, Fault{Kind: SlowWrite, Delay: d})
+		case r < pSlowWrite+pSlowSync:
+			p.At(i, Fault{Kind: SlowSync, Delay: d})
 		}
 	}
 	return p
@@ -169,7 +206,8 @@ type File struct {
 
 // Write consults the schedule: an ErrWrite fails with no byte landed, a
 // TornWrite lands a prefix and then fails (exactly what a kernel crash
-// mid-append leaves behind), anything else passes through.
+// mid-append leaves behind), a SlowWrite stalls and then completes, anything
+// else passes through.
 func (f *File) Write(p []byte) (int, error) {
 	switch ft := f.fs.next(); ft.Kind {
 	case ErrWrite:
@@ -185,6 +223,9 @@ func (f *File) Write(p []byte) (int, error) {
 			}
 		}
 		return keep, fmt.Errorf("torn after %d of %d bytes: %w", keep, len(p), ErrInjected)
+	case SlowWrite:
+		time.Sleep(ft.Delay)
+		return f.f.Write(p)
 	default:
 		return f.f.Write(p)
 	}
@@ -192,12 +233,19 @@ func (f *File) Write(p []byte) (int, error) {
 
 // Sync consults the schedule: an ErrSync reports failure after the write
 // already reached the file (durability unknown — the caller must treat the
-// suffix as untrusted), anything else passes through.
+// suffix as untrusted), a SlowSync stalls and then completes — the overload
+// case where durability is fine but the disk is the queue — anything else
+// passes through.
 func (f *File) Sync() error {
-	if ft := f.fs.next(); ft.Kind == ErrSync {
+	switch ft := f.fs.next(); ft.Kind {
+	case ErrSync:
 		return fmt.Errorf("fsync: %w", ErrInjected)
+	case SlowSync:
+		time.Sleep(ft.Delay)
+		return f.f.Sync()
+	default:
+		return f.f.Sync()
 	}
-	return f.f.Sync()
 }
 
 func (f *File) Read(p []byte) (int, error)                { return f.f.Read(p) }

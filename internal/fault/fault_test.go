@@ -1,0 +1,85 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// SeededLatencyPlan is deterministic: the same seed yields the same
+// schedule, so a stalled-fsync overload scenario replays bit-for-bit.
+func TestSeededLatencyPlanDeterministic(t *testing.T) {
+	a := SeededLatencyPlan(7, 1000, 0.1, 0.2, 50*time.Millisecond)
+	b := SeededLatencyPlan(7, 1000, 0.1, 0.2, 50*time.Millisecond)
+	if !reflect.DeepEqual(a.faults, b.faults) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a.faults) == 0 {
+		t.Fatal("empty schedule at 30% fault probability over 1000 steps")
+	}
+	c := SeededLatencyPlan(8, 1000, 0.1, 0.2, 50*time.Millisecond)
+	if reflect.DeepEqual(a.faults, c.faults) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	slow, syncs := 0, 0
+	for _, f := range a.faults {
+		switch f.Kind {
+		case SlowWrite:
+			slow++
+		case SlowSync:
+			syncs++
+		default:
+			t.Fatalf("latency plan scheduled a %v fault", f.Kind)
+		}
+		if f.Delay < 0 || f.Delay > 50*time.Millisecond {
+			t.Fatalf("delay %v outside [0, maxDelay]", f.Delay)
+		}
+	}
+	if slow == 0 || syncs == 0 {
+		t.Fatalf("schedule has %d slow writes / %d slow syncs, want both kinds", slow, syncs)
+	}
+}
+
+// SlowWrite and SlowSync stall the scheduled mutation, then complete it —
+// the data lands and no error surfaces.
+func TestSlowFaultsStallThenComplete(t *testing.T) {
+	plan := NewPlan().
+		At(0, Fault{Kind: SlowWrite, Delay: 30 * time.Millisecond}).
+		At(2, Fault{Kind: SlowSync, Delay: 30 * time.Millisecond})
+	fs := NewFS(plan)
+	f, err := fs.Open(filepath.Join(t.TempDir(), "wal"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	start := time.Now()
+	if _, err := f.Write([]byte("hello")); err != nil { // index 0: slow write
+		t.Fatalf("slow write failed: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("slow write completed in %v, want >= 30ms stall", d)
+	}
+	if _, err := f.Write([]byte(" world")); err != nil { // index 1: clean
+		t.Fatal(err)
+	}
+	start = time.Now()
+	if err := f.Sync(); err != nil { // index 2: slow sync
+		t.Fatalf("slow sync failed: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("slow sync completed in %v, want >= 30ms stall", d)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 11)
+	if _, err := f.Read(buf); err != nil || string(buf) != "hello world" {
+		t.Fatalf("read back %q (%v): slow faults must not lose bytes", buf, err)
+	}
+	if fs.Step() != 3 {
+		t.Fatalf("consumed %d mutation indexes, want 3", fs.Step())
+	}
+}

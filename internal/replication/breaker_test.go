@@ -1,0 +1,103 @@
+package replication
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adminrefine/internal/admission"
+	"adminrefine/internal/engine"
+	"adminrefine/internal/tenant"
+	"adminrefine/internal/workload"
+)
+
+// switchableTransport counts round trips and fails them all while fail is
+// set — a dead upstream the test can resurrect.
+type switchableTransport struct {
+	fail  atomic.Bool
+	calls atomic.Int64
+	base  http.RoundTripper
+}
+
+func (t *switchableTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.calls.Add(1)
+	if t.fail.Load() {
+		return nil, fmt.Errorf("switchable transport: upstream dead")
+	}
+	return t.base.RoundTrip(req)
+}
+
+// With a breaker wired, a dead upstream costs a handful of dials and then
+// fast local failures: after the trip, the transport sees only half-open
+// probes instead of one connect attempt per backoff tick. When the upstream
+// comes back, a probe closes the breaker and replication converges.
+func TestFollowerBreakerStopsDialingDeadUpstreamThenRecovers(t *testing.T) {
+	prim := tenant.New(tenant.Options{Dir: t.TempDir(), Mode: engine.Refined})
+	t.Cleanup(func() { prim.Close() })
+	if err := prim.InstallPolicy("alpha", workload.ChurnPolicy(8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	NewSource(prim, SourceOptions{}).Register(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	tr := &switchableTransport{base: http.DefaultTransport}
+	tr.fail.Store(true)
+	br := admission.NewBreaker(admission.BreakerOptions{
+		Threshold:   3,
+		Cooldown:    100 * time.Millisecond,
+		MaxCooldown: 200 * time.Millisecond,
+		JitterSeed:  9,
+	})
+	folReg := tenant.New(tenant.Options{Dir: t.TempDir(), Mode: engine.Refined})
+	t.Cleanup(func() { folReg.Close() })
+	fol := NewFollower(folReg, FollowerOptions{
+		Upstream:   ts.URL,
+		PollWait:   200 * time.Millisecond,
+		Backoff:    2 * time.Millisecond,
+		SyncWait:   200 * time.Millisecond,
+		JitterSeed: 9,
+		Client:     &http.Client{Transport: tr, Timeout: 2 * time.Second},
+		Breaker:    br,
+	})
+	t.Cleanup(fol.Close)
+
+	if err := fol.Ensure("alpha"); err == nil {
+		t.Fatal("Ensure succeeded against a dead upstream")
+	}
+	waitFor(t, "breaker to trip", func() bool { return br.Open() })
+	if st := br.Stats(); st.Trips == 0 {
+		t.Fatalf("breaker stats after trip: %+v", st)
+	}
+
+	// While open, the pull loop keeps retrying every few ms but the
+	// transport sees only the sparse half-open probes (cooldown >= 50ms
+	// after jitter, doubling): a bounded trickle, not a dial storm.
+	before := tr.calls.Load()
+	time.Sleep(400 * time.Millisecond)
+	probes := tr.calls.Load() - before
+	if probes > 6 {
+		t.Fatalf("%d transport calls in 400ms with the breaker open — it is not gating", probes)
+	}
+
+	// Upstream resurrects: the next probe answers, the breaker closes, and
+	// the follower converges from where it left off.
+	tr.fail.Store(false)
+	waitFor(t, "follower to converge after recovery", func() bool {
+		if err := fol.Ensure("alpha"); err != nil {
+			return false
+		}
+		st, ok := fol.LagStats("alpha")
+		return ok && st.Healthy
+	})
+	if br.Open() {
+		t.Fatal("breaker still open after successful probe")
+	}
+	if st := br.Stats(); st.State != "closed" {
+		t.Fatalf("breaker state %q after recovery", st.State)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"adminrefine/internal/admission"
 	"adminrefine/internal/storage"
 	"adminrefine/internal/tenant"
 )
@@ -71,6 +72,15 @@ type FollowerOptions struct {
 	// JitterSeed seeds the retry-backoff jitter (0 = time-seeded). Fixed
 	// seeds make chaos tests replayable.
 	JitterSeed int64
+	// Breaker, when non-nil, gates every upstream round trip (pull and
+	// snapshot bootstrap): after its threshold of consecutive transport
+	// failures the follower stops dialing a dead upstream and fails fast
+	// until a half-open probe gets an answer. Share the same breaker with
+	// the server (server.Config.Breaker) so the write-forwarding 307 path
+	// learns about upstream death from replication traffic and vice versa.
+	// Any HTTP response — including 421/404 — counts as upstream-alive; only
+	// transport-level failures feed the breaker.
+	Breaker *admission.Breaker
 }
 
 func (o FollowerOptions) withDefaults() FollowerOptions {
@@ -458,10 +468,17 @@ func (f *Follower) pull(name string, afterSeq, afterEpoch uint64) (pullResult, e
 		return pullResult{}, err
 	}
 	req.Header.Set(HeaderEpoch, strconv.FormatUint(f.opts.Epoch.Current(), 10))
+	if err := f.opts.Breaker.Allow(); err != nil {
+		return pullResult{}, fmt.Errorf("replication: pull %s: %w", name, err)
+	}
 	resp, err := f.opts.Client.Do(req)
 	if err != nil {
+		f.opts.Breaker.Failure()
 		return pullResult{}, err
 	}
+	// Any response means the upstream is alive; what it said is a protocol
+	// matter, not a transport one.
+	f.opts.Breaker.Success()
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK, http.StatusGone:
@@ -522,10 +539,15 @@ func (f *Follower) bootstrap(ft *followTenant) error {
 		return err
 	}
 	req.Header.Set(HeaderEpoch, strconv.FormatUint(f.opts.Epoch.Current(), 10))
+	if err := f.opts.Breaker.Allow(); err != nil {
+		return fmt.Errorf("replication: snapshot %s: %w", ft.name, err)
+	}
 	resp, err := f.snapClient.Do(req)
 	if err != nil {
+		f.opts.Breaker.Failure()
 		return err
 	}
+	f.opts.Breaker.Success()
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:

@@ -81,8 +81,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"adminrefine/internal/admission"
 	"adminrefine/internal/command"
 	"adminrefine/internal/constraints"
 	"adminrefine/internal/engine"
@@ -96,6 +98,12 @@ import (
 
 // maxBodyBytes bounds request bodies (policies and batches alike).
 const maxBodyBytes = 8 << 20
+
+// HeaderRequestDeadline is the client's per-request time budget: a plain
+// integer is milliseconds, anything else is a Go duration ("250ms", "2s").
+// The server honors it when it is shorter than Config.MaxRequestTime — a
+// client may tighten its deadline but never extend the server's.
+const HeaderRequestDeadline = "X-Request-Deadline"
 
 // batchScratch is the per-request working set of the batched data-plane
 // handlers: decode targets and result buffers recycled through a pool so a
@@ -198,6 +206,28 @@ type Config struct {
 	// ProbeThreshold is how many consecutive probe failures depose the
 	// upstream (default 5).
 	ProbeThreshold int
+	// MaxRequestTime is the server-side time budget every data-plane request
+	// runs under: the handler's context expires after this long, so a request
+	// stuck behind a stalled fsync or a saturated queue is cut loose with 503
+	// instead of holding its goroutine (and its admission slot) indefinitely.
+	// A client's X-Request-Deadline header tightens (never extends) the
+	// budget. Zero means no server-imposed deadline. Replication long-polls
+	// are exempt — their hold time is the protocol, bounded by
+	// ReplicationMaxWait.
+	MaxRequestTime time.Duration
+	// Admission, when non-nil, gates data-plane requests by class
+	// (read / write / replication) before any handler work: a class at its
+	// concurrency limit queues up to its queue cap, and beyond that sheds
+	// immediately — reads with 429, writes with 503, both with Retry-After.
+	// Nil admits everything (no limits, no accounting).
+	Admission *admission.Controller
+	// Breaker, when non-nil, fast-fails the follower's write-forwarding path
+	// while the upstream primary is unreachable: instead of a 307 redirect
+	// pointing clients at a dead node, the follower answers 503 with a
+	// Retry-After derived from the breaker's cooldown. Share the same breaker
+	// with FollowerOptions.Breaker so the pull loop's transport failures are
+	// what trip it. Repoint resets it (new upstream, fresh verdict).
+	Breaker *admission.Breaker
 }
 
 // Server is the HTTP facade over a tenant registry — a role state machine
@@ -211,6 +241,20 @@ type Server struct {
 	minGenWait time.Duration
 	mux        *http.ServeMux
 	start      time.Time
+
+	// Overload machinery (see Config.MaxRequestTime/Admission/Breaker).
+	maxRequestTime time.Duration
+	admission      *admission.Controller
+	breaker        *admission.Breaker
+	// Wire-level shed accounting: what this server refused and how. shedRead
+	// counts 429s, shedWrite counts overload 503s (write and replication
+	// classes plus tenant-queue caps), shedDeadline counts requests cut by an
+	// expired budget, breakerFastFail counts writes answered 503 instead of a
+	// redirect to a dead upstream.
+	shedRead        atomic.Uint64
+	shedWrite       atomic.Uint64
+	shedDeadline    atomic.Uint64
+	breakerFastFail atomic.Uint64
 
 	// roleMu guards the role state below. Handlers take a read lock only to
 	// resolve the current role; transitions (Promote, Repoint, fence) take
@@ -266,12 +310,20 @@ func NewWithConfig(cfg Config) *Server {
 		followerTmpl:   cfg.FollowerOptions,
 		probeInterval:  cfg.ProbeInterval,
 		probeThreshold: cfg.ProbeThreshold,
+		maxRequestTime: cfg.MaxRequestTime,
+		admission:      cfg.Admission,
+		breaker:        cfg.Breaker,
 	}
 	if cfg.Follower != nil {
 		s.followerTmpl = cfg.Follower.Options()
 	}
 	if s.followerTmpl.Epoch == nil {
 		s.followerTmpl.Epoch = s.epoch
+	}
+	if s.followerTmpl.Breaker == nil {
+		// A repoint-built follower shares the write path's breaker, so its
+		// pull failures are what trip the 503 fast-fail.
+		s.followerTmpl.Breaker = cfg.Breaker
 	}
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/authorize", s.handleAuthorize)
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/submit", s.handleSubmit)
@@ -429,6 +481,9 @@ func (s *Server) Repoint(upstream string, ifEpoch uint64) error {
 	}
 	s.fenced = false
 	s.source.SetServing(false)
+	// New upstream, fresh verdict: failures against the dead primary must
+	// not fast-fail writes headed for its successor.
+	s.breaker.Reset()
 	if old != nil {
 		old.Close()
 	}
@@ -537,6 +592,19 @@ func (s *Server) awaitGeneration(w http.ResponseWriter, r *http.Request, name st
 		return false
 	}
 	if !ok {
+		if r.Context().Err() != nil {
+			// The request's time budget ran out while waiting — that is
+			// overload (or a stalled replica), not staleness: 503 so the
+			// client retries instead of treating it as a consistency miss.
+			s.shedDeadline.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error":          fmt.Sprintf("deadline expired at generation %d waiting for %d", gen, min),
+				"generation":     gen,
+				"min_generation": min,
+			})
+			return false
+		}
 		writeJSON(w, http.StatusConflict, map[string]any{
 			"error":          fmt.Sprintf("replica at generation %d, need %d", gen, min),
 			"generation":     gen,
@@ -558,6 +626,17 @@ func (s *Server) gateWrite(w http.ResponseWriter, r *http.Request) bool {
 	s.roleMu.RUnlock()
 	switch {
 	case f != nil:
+		if s.breaker.Open() {
+			// The pull loop proved the upstream unreachable: a 307 would
+			// point the client at a dead node and burn its retry budget on a
+			// connect timeout. Fail fast here with the breaker's own horizon.
+			s.breakerFastFail.Add(1)
+			w.Header().Set("Retry-After", retryAfterSeconds(s.breaker.RetryAfter()))
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error": fmt.Sprintf("upstream primary %s unreachable (circuit open)", f.Upstream()),
+			})
+			return false
+		}
 		target := f.Upstream() + r.URL.Path
 		if r.URL.RawQuery != "" {
 			target += "?" + r.URL.RawQuery
@@ -576,9 +655,111 @@ func (s *Server) gateWrite(w http.ResponseWriter, r *http.Request) bool {
 	}
 }
 
-// ServeHTTP implements http.Handler.
+// classify maps a request onto its admission class and reports whether the
+// overload machinery (deadline + admission) applies to it at all. The
+// control plane (/healthz, /v1/promote, /v1/repoint) and the per-tenant
+// stats endpoint are never gated: observability and operator intervention
+// must keep working precisely when the node is saturated. Replication
+// endpoints are admission-gated (their class has its own limits) but never
+// deadline-bounded — a long-poll's hold time is the protocol.
+func classify(r *http.Request) (admission.Class, bool) {
+	p := r.URL.Path
+	if strings.HasPrefix(p, "/v1/replicate/") {
+		return admission.Replication, true
+	}
+	if !strings.HasPrefix(p, "/v1/tenants/") || strings.HasSuffix(p, "/stats") {
+		return admission.Read, false
+	}
+	if (r.Method == http.MethodPost && strings.HasSuffix(p, "/submit")) ||
+		(r.Method == http.MethodPut && strings.HasSuffix(p, "/policy")) {
+		return admission.Write, true
+	}
+	return admission.Read, true
+}
+
+// parseRequestDeadline parses an X-Request-Deadline value: a bare integer is
+// milliseconds, anything else a Go duration. The budget must be positive.
+func parseRequestDeadline(v string) (time.Duration, error) {
+	var d time.Duration
+	if ms, err := strconv.ParseInt(v, 10, 64); err == nil {
+		d = time.Duration(ms) * time.Millisecond
+	} else if d, err = time.ParseDuration(v); err != nil {
+		return 0, fmt.Errorf("bad %s %q: integer milliseconds or Go duration", HeaderRequestDeadline, v)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("bad %s %q: budget must be positive", HeaderRequestDeadline, v)
+	}
+	return d, nil
+}
+
+// retryAfterSeconds renders a Retry-After header value: d rounded up to
+// whole seconds, at least 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// shed answers a request the overload machinery refused. The status-code
+// contract: reads refused for capacity get 429 Too Many Requests (the node
+// is healthy, just busy — back off and retry here); writes refused for
+// capacity and anything cut by its deadline get 503 Service Unavailable.
+// Both carry Retry-After.
+func (s *Server) shed(w http.ResponseWriter, cl admission.Class, err error) {
+	status := http.StatusServiceUnavailable
+	switch {
+	case admission.IsDeadline(err):
+		s.shedDeadline.Add(1)
+	case cl == admission.Read && admission.IsOverloaded(err):
+		status = http.StatusTooManyRequests
+		s.shedRead.Add(1)
+	default:
+		s.shedWrite.Add(1)
+	}
+	w.Header().Set("Retry-After", "1")
+	httpError(w, status, err)
+}
+
+// ServeHTTP implements http.Handler. Every data-plane request passes the
+// overload gauntlet before its handler runs: derive the per-request deadline
+// from the server budget (tightened by the client's X-Request-Deadline),
+// then acquire an admission slot for the request's class — queueing bounded
+// by the class's queue cap and the deadline, shedding with 429/503 beyond
+// it. The slot is held for the handler's whole run, so in-flight work per
+// class is bounded no matter how slow the disk below it is.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	cl, gated := classify(r)
+	if !gated {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	if cl != admission.Replication {
+		budget := s.maxRequestTime
+		if h := r.Header.Get(HeaderRequestDeadline); h != "" {
+			d, err := parseRequestDeadline(h)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			if budget <= 0 || d < budget {
+				budget = d
+			}
+		}
+		if budget > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), budget)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+	}
+	release, err := s.admission.Acquire(r.Context(), cl)
+	if err != nil {
+		s.shed(w, cl, err)
+		return
+	}
+	defer release()
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -780,8 +961,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("tenant")
-	results, gen, err := s.reg.SubmitBatch(name, cmds)
+	results, gen, err := s.reg.SubmitBatchCtx(r.Context(), name, cmds)
 	if err != nil && len(results) == 0 {
+		// Backpressure from the tenant's commit-group queue (hard cap, or
+		// the request's budget expiring while queued) is a shed, not a
+		// server fault: 503 + Retry-After, slot already reclaimed.
+		if admission.IsOverloaded(err) || admission.IsDeadline(err) {
+			s.shed(w, admission.Write, err)
+			return
+		}
 		tenantError(w, err)
 		return
 	}
@@ -1052,6 +1240,42 @@ type statsResponse struct {
 	// Role and Epoch locate this node in the failover topology.
 	Role  string `json:"role"`
 	Epoch uint64 `json:"epoch"`
+	// Overload is the node's shed accounting — served even (especially)
+	// while saturated, since /stats is never admission-gated.
+	Overload overloadStats `json:"overload"`
+}
+
+// overloadStats is the wire shape of the node's overload telemetry: the
+// admission controller's per-class gauges and counters, the upstream
+// breaker's state, and the server's own shed counters.
+type overloadStats struct {
+	Admission *admission.Stats        `json:"admission,omitempty"`
+	Breaker   *admission.BreakerStats `json:"breaker,omitempty"`
+	// ShedRead counts 429s, ShedWrite overload 503s, ShedDeadline
+	// budget-expiry 503s, BreakerFastFail 503s served in place of a redirect
+	// to an unreachable upstream.
+	ShedRead        uint64 `json:"shed_read"`
+	ShedWrite       uint64 `json:"shed_write"`
+	ShedDeadline    uint64 `json:"shed_deadline"`
+	BreakerFastFail uint64 `json:"breaker_fast_fail"`
+}
+
+func (s *Server) overloadStats() overloadStats {
+	o := overloadStats{
+		ShedRead:        s.shedRead.Load(),
+		ShedWrite:       s.shedWrite.Load(),
+		ShedDeadline:    s.shedDeadline.Load(),
+		BreakerFastFail: s.breakerFastFail.Load(),
+	}
+	if s.admission != nil {
+		st := s.admission.Stats()
+		o.Admission = &st
+	}
+	if s.breaker != nil {
+		st := s.breaker.Stats()
+		o.Breaker = &st
+	}
+	return o
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -1064,7 +1288,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		tenantError(w, err)
 		return
 	}
-	out := statsResponse{Stats: st, Role: s.Role(), Epoch: s.epoch.Current()}
+	out := statsResponse{Stats: st, Role: s.Role(), Epoch: s.epoch.Current(), Overload: s.overloadStats()}
 	if f := s.curFollower(); f != nil {
 		if lag, ok := f.LagStats(name); ok {
 			out.Replication = &lag
@@ -1085,6 +1309,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime":   time.Since(s.start).Round(time.Millisecond).String(),
 		"resident": s.reg.Resident(),
 		"sessions": s.sessions.Sessions(),
+		"overload": s.overloadStats(),
 	}
 	if f := s.curFollower(); f != nil {
 		body["upstream"] = f.Upstream()

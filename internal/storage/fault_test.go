@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"testing"
+	"time"
 
 	"adminrefine/internal/command"
 	"adminrefine/internal/engine"
@@ -259,5 +260,55 @@ func TestAppendRecordsInjectedFaultsLeaveStoreConsistent(t *testing.T) {
 	}
 	if !pol.Equal(want) {
 		t.Fatalf("recovered policy diverged from the %d-batch churn prefix", batches)
+	}
+}
+
+// TestInjectedStorageLatencyStallsAppends pins the seeded latency seam the
+// overload scenarios replay: a SlowWrite or SlowSync armed on the mutation
+// schedule stalls the covering append for its delay but loses nothing — the
+// batch acknowledges, the sequence advances, and a clean reopen replays it.
+// This is what turns "the disk got slow" into a deterministic test input.
+func TestInjectedStorageLatencyStallsAppends(t *testing.T) {
+	dir := t.TempDir()
+	plan := fault.NewPlan()
+	fs := fault.NewFS(plan)
+	st, _, _, err := Open(dir, Options{Sync: true, OpenFile: faulty(fs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const stall = 40 * time.Millisecond
+	appendTimed := func(wantStall bool) {
+		t.Helper()
+		start := time.Now()
+		if err := st.AppendRecords(stepAndAudit(t, st.Seq()+1)...); err != nil {
+			t.Fatalf("append under latency fault: %v", err)
+		}
+		if d := time.Since(start); wantStall && d < stall {
+			t.Fatalf("append took %v, want >= %v stall", d, stall)
+		}
+	}
+
+	appendTimed(false) // clean baseline
+
+	// A slow write: the frame stalls on its way to the page cache.
+	plan.At(fs.Step(), fault.Fault{Kind: fault.SlowWrite, Delay: stall})
+	appendTimed(true)
+
+	// A slow fsync: the bytes landed fast, durability is what stalls — the
+	// group-commit overload case.
+	plan.At(fs.Step()+1, fault.Fault{Kind: fault.SlowSync, Delay: stall})
+	appendTimed(true)
+
+	want := st.Seq()
+	st.Close()
+
+	st2, _, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after latency faults: %v", err)
+	}
+	defer st2.Close()
+	if st2.Seq() != want || rec.Records != want {
+		t.Fatalf("recovered seq %d (replayed %d), want %d: latency faults must lose nothing", st2.Seq(), rec.Records, want)
 	}
 }

@@ -1,0 +1,237 @@
+package tenant
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"adminrefine/internal/admission"
+	"adminrefine/internal/command"
+	"adminrefine/internal/fault"
+	"adminrefine/internal/storage"
+	"adminrefine/internal/workload"
+)
+
+// resident returns the live *tenant for name (test-only peek at queue and
+// writer-lock state, used to sequence leader/waiter interleavings without
+// sleeps).
+func resident(t *testing.T, reg *Registry, name string) *tenant {
+	t.Helper()
+	sh := reg.shardOf(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	tn, ok := sh.tenants[name]
+	if !ok {
+		t.Fatalf("tenant %s not resident", name)
+	}
+	return tn
+}
+
+// waitFor polls until cond holds or the budget runs out.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// armSlowSyncs schedules a long stall on every upcoming fsync so the next
+// group leader parks inside its covering flush — the replayable
+// stalled-disk overload scenario from internal/fault.
+func armSlowSyncs(plan *fault.Plan, from uint64, d time.Duration) {
+	for i := from; i < from+64; i++ {
+		plan.At(i, fault.Fault{Kind: fault.SlowSync, Delay: d})
+	}
+}
+
+// A waiter whose deadline expires while queued behind a stalled commit
+// group gets admission.ErrDeadline, its commands never commit, and the
+// group's fsync-covered ack semantics hold for the remaining waiters: the
+// leader's write is durable across a crash-view reopen, the expired
+// waiter's is absent, and a retry after the stall lands cleanly.
+func TestQueuedSubmitterDeadlineExpiresSlotReclaimed(t *testing.T) {
+	dir := t.TempDir()
+	reg := gcRegistry(t, dir, nil)
+	if _, err := reg.Stats("t"); err != nil {
+		t.Fatal(err)
+	}
+	reg.Close()
+
+	plan := fault.NewPlan()
+	fs := fault.NewFS(plan)
+	reg = gcRegistry(t, dir, fs)
+	defer reg.Close()
+	if _, err := reg.Stats("t"); err != nil { // open before arming
+		t.Fatal(err)
+	}
+	armSlowSyncs(plan, fs.Step(), 600*time.Millisecond)
+
+	leaderCmd := workload.ChurnGrant(0, gcUsers, gcRoles)
+	waiterCmd := workload.ChurnGrant(1, gcUsers, gcRoles)
+
+	type ack struct {
+		res command.StepResult
+		err error
+	}
+	leaderDone := make(chan ack, 1)
+	go func() {
+		res, err := reg.Submit("t", leaderCmd)
+		leaderDone <- ack{res, err}
+	}()
+
+	// The leader is committing once it holds the writer lock with the queue
+	// drained — from there it is parked inside the slow fsync.
+	tn := resident(t, reg, "t")
+	waitFor(t, "leader inside commit group", func() bool {
+		tn.qmu.Lock()
+		queued := len(tn.queue)
+		tn.qmu.Unlock()
+		return len(tn.submu) == 1 && queued == 0
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := reg.SubmitBatchCtx(ctx, "t", []command.Command{waiterCmd})
+	if !admission.IsDeadline(err) {
+		t.Fatalf("queued waiter got %v, want admission.ErrDeadline", err)
+	}
+	if waited := time.Since(start); waited > 450*time.Millisecond {
+		t.Fatalf("expired waiter was held %v — it must not ride out the group's stall", waited)
+	}
+	// The reclaimed slot really is gone: no later leader may drain it.
+	tn.qmu.Lock()
+	if len(tn.queue) != 0 {
+		t.Fatalf("expired waiter left %d queue entries", len(tn.queue))
+	}
+	tn.qmu.Unlock()
+
+	la := <-leaderDone
+	if la.err != nil || la.res.Outcome != command.Applied {
+		t.Fatalf("leader submit: outcome %v err %v — the waiter's expiry must not touch the group", la.res.Outcome, la.err)
+	}
+
+	// Crash view: the leader's acknowledged write is fsync-covered, the
+	// expired waiter's command never reached the WAL.
+	st, pol, _, err := storage.Open(filepath.Join(dir, "t"), storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pol.HasEdge(leaderCmd.From, leaderCmd.To) {
+		t.Fatal("leader's acknowledged write lost")
+	}
+	if pol.HasEdge(waiterCmd.From, waiterCmd.To) {
+		t.Fatal("deadline-expired waiter's command was committed anyway")
+	}
+	st.Close()
+
+	// The tenant is healthy after the expiry: the same command resubmitted
+	// with headroom lands.
+	fs.Disarm()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	out, gen, err := reg.SubmitBatchCtx(ctx2, "t", []command.Command{waiterCmd})
+	if err != nil || out[0].Outcome != command.Applied {
+		t.Fatalf("retry after expiry: outcome %+v err %v", out, err)
+	}
+	if gen != 2 {
+		t.Fatalf("generation %d after leader+retry, want 2 (expired attempt must not consume one)", gen)
+	}
+}
+
+// The commit-group queue is hard-capped: submitters beyond MaxQueuedSubmits
+// are refused on arrival with admission.ErrOverloaded while queued-in-time
+// waiters still commit.
+func TestSubmitQueueHardCapSheds(t *testing.T) {
+	dir := t.TempDir()
+	reg := gcRegistry(t, dir, nil)
+	if _, err := reg.Stats("t"); err != nil {
+		t.Fatal(err)
+	}
+	reg.Close()
+
+	plan := fault.NewPlan()
+	fs := fault.NewFS(plan)
+	opts := Options{
+		Dir: dir, Mode: reg.opts.Mode, Sync: true, CompactEvery: -1,
+		MaxQueuedSubmits: 1,
+		OpenFile: func(path string, flag int, perm os.FileMode) (storage.File, error) {
+			return fs.Open(path, flag, perm)
+		},
+	}
+	reg = New(opts)
+	defer reg.Close()
+	if _, err := reg.Stats("t"); err != nil {
+		t.Fatal(err)
+	}
+	armSlowSyncs(plan, fs.Step(), 400*time.Millisecond)
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := reg.Submit("t", workload.ChurnGrant(0, gcUsers, gcRoles))
+		leaderDone <- err
+	}()
+	tn := resident(t, reg, "t")
+	waitFor(t, "leader inside commit group", func() bool {
+		tn.qmu.Lock()
+		queued := len(tn.queue)
+		tn.qmu.Unlock()
+		return len(tn.submu) == 1 && queued == 0
+	})
+
+	queuedDone := make(chan error, 1)
+	go func() {
+		_, err := reg.Submit("t", workload.ChurnGrant(1, gcUsers, gcRoles))
+		queuedDone <- err
+	}()
+	waitFor(t, "one waiter queued", func() bool {
+		tn.qmu.Lock()
+		defer tn.qmu.Unlock()
+		return len(tn.queue) == 1
+	})
+
+	// Queue at cap: the next arrival sheds immediately, without waiting out
+	// the stall.
+	start := time.Now()
+	_, err := reg.Submit("t", workload.ChurnGrant(2, gcUsers, gcRoles))
+	if !admission.IsOverloaded(err) {
+		t.Fatalf("over-cap submit got %v, want admission.ErrOverloaded", err)
+	}
+	if waited := time.Since(start); waited > 200*time.Millisecond {
+		t.Fatalf("over-cap submit blocked %v, want immediate refusal", waited)
+	}
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	if err := <-queuedDone; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}
+
+// A submit arriving with an already-expired context is refused before it
+// takes a queue slot.
+func TestSubmitDeadOnArrival(t *testing.T) {
+	dir := t.TempDir()
+	reg := gcRegistry(t, dir, nil)
+	defer reg.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := reg.SubmitBatchCtx(ctx, "t", []command.Command{workload.ChurnGrant(0, gcUsers, gcRoles)})
+	if !admission.IsDeadline(err) {
+		t.Fatalf("dead-on-arrival submit got %v, want admission.ErrDeadline", err)
+	}
+	// Nothing committed.
+	st, err := reg.Stats("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Generation != 0 {
+		t.Fatalf("generation %d after refused submit", st.Generation)
+	}
+}

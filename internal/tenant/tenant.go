@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"adminrefine/internal/admission"
 	"adminrefine/internal/command"
 	"adminrefine/internal/constraints"
 	"adminrefine/internal/decision"
@@ -85,6 +86,13 @@ type Options struct {
 	// forked (see PullWAL). Nil reads as epoch 0 — a never-failed-over
 	// cluster where every record agrees by construction.
 	Epoch func() uint64
+	// MaxQueuedSubmits hard-caps each tenant's commit-group queue: submitters
+	// arriving while that many are already queued behind the in-flight group
+	// are refused immediately with admission.ErrOverloaded instead of growing
+	// the queue without bound (0 = unlimited). This is the write path's
+	// backpressure floor — under a sustained overload the queue otherwise
+	// absorbs the excess as unbounded latency for every later submitter.
+	MaxQueuedSubmits int
 }
 
 func (o Options) withDefaults() Options {
@@ -116,6 +124,17 @@ type shard struct {
 	lru *list.List
 }
 
+// wlock is the tenant writer lock: a one-slot semaphore with mutex-shaped
+// methods. Unlike sync.Mutex its acquisition is selectable, which is what
+// lets a queued submitter race the lock against its own deadline and the
+// group leader's completion signal (see submitGrouped) instead of blocking
+// unboundedly once the commit path saturates.
+type wlock chan struct{}
+
+func newWlock() wlock   { return make(wlock, 1) }
+func (l wlock) Lock()   { l <- struct{}{} }
+func (l wlock) Unlock() { <-l }
+
 // tenant is one resident policy: engine + store + bookkeeping.
 type tenant struct {
 	name string
@@ -126,10 +145,10 @@ type tenant struct {
 	elem  *list.Element
 	// inuse counts in-flight operations; eviction skips busy tenants.
 	inuse atomic.Int64
-	// subMu serialises submissions and compactions so a compaction always
+	// submu serialises submissions and compactions so a compaction always
 	// snapshots the WAL head (no record can land between the policy snapshot
 	// and the log truncation).
-	submu sync.Mutex
+	submu wlock
 	// qmu guards queue, the tenant's pending commit group: submitters enqueue
 	// under qmu and then contend on submu; whoever wins drains the queue and
 	// commits the whole group as one engine batch — one WAL write, one fsync —
@@ -298,7 +317,7 @@ func (r *Registry) open(name string, create bool) (*tenant, error) {
 	if r.opts.CacheSlots != 0 {
 		eng.SetCacheSlots(r.opts.CacheSlots)
 	}
-	t := &tenant{name: name, store: st, recovered: rec}
+	t := &tenant{name: name, store: st, recovered: rec, submu: newWlock()}
 	t.eng.Store(eng)
 	if seed != nil && !rec.SnapshotLoaded && rec.Records == 0 {
 		if err := r.checkInstall(seed); err != nil {
@@ -508,13 +527,23 @@ func (r *Registry) WaitGenerationCtx(ctx context.Context, name string, min uint6
 // are audited with their veto reason. Concurrent submitters on one tenant
 // are coalesced into commit groups sharing a single write and fsync.
 func (r *Registry) Submit(name string, c command.Command) (command.StepResult, error) {
+	return r.SubmitCtx(context.Background(), name, c)
+}
+
+// SubmitCtx is Submit bounded by ctx: a submitter whose context expires
+// while queued behind the in-flight commit group is refused with
+// admission.ErrDeadline and its queue slot is reclaimed before the next
+// leader drains — the commands never reach the WAL. Once a leader has
+// drained the waiter the commit's verdict is authoritative: an acknowledged
+// write is never reported as expired.
+func (r *Registry) SubmitCtx(ctx context.Context, name string, c command.Command) (command.StepResult, error) {
 	t, err := r.acquire(name, true)
 	if err != nil {
 		return command.StepResult{}, err
 	}
 	defer t.release()
 	t.submits.Add(1)
-	w := r.submitGrouped(t, []command.Command{c})
+	w := r.submitGrouped(ctx, t, []command.Command{c})
 	res := command.StepResult{Cmd: c, Outcome: command.Denied}
 	if len(w.results) > 0 {
 		res = w.results[0]
@@ -537,13 +566,21 @@ func (r *Registry) Submit(name string, c command.Command) (command.StepResult, e
 // global coordination. Like Submit, concurrent batches on one tenant share
 // a commit group's single write and fsync.
 func (r *Registry) SubmitBatch(name string, cmds []command.Command) ([]command.StepResult, uint64, error) {
+	return r.SubmitBatchCtx(context.Background(), name, cmds)
+}
+
+// SubmitBatchCtx is SubmitBatch bounded by ctx, with the same queued-expiry
+// semantics as SubmitCtx: admission.ErrDeadline while queued (slot
+// reclaimed, nothing committed), admission.ErrOverloaded when the tenant's
+// commit queue is at its MaxQueuedSubmits cap.
+func (r *Registry) SubmitBatchCtx(ctx context.Context, name string, cmds []command.Command) ([]command.StepResult, uint64, error) {
 	t, err := r.acquire(name, true)
 	if err != nil {
 		return nil, 0, err
 	}
 	defer t.release()
 	t.submits.Add(uint64(len(cmds)))
-	w := r.submitGrouped(t, cmds)
+	w := r.submitGrouped(ctx, t, cmds)
 	return w.results, w.gen, w.err
 }
 
@@ -568,23 +605,70 @@ type submitWaiter struct {
 // size self-tunes: an uncontended submitter forms a group of one (identical
 // to the direct path), while under N concurrent -sync submitters the fsync
 // is amortised across whatever queued while the previous group was flushing.
-func (r *Registry) submitGrouped(t *tenant, cmds []command.Command) *submitWaiter {
+//
+// The wait is bounded two ways. The queue has a hard cap
+// (Options.MaxQueuedSubmits → admission.ErrOverloaded, checked on entry),
+// and a queued waiter races the writer lock against its own ctx: on expiry
+// it removes itself from the queue — reclaiming the slot before any leader
+// drains it — and returns admission.ErrDeadline with nothing committed. The
+// race has exactly two clean outcomes for an expiring waiter: either it was
+// still queued (removed, never committed) or a leader had already drained
+// it, in which case the commit is in flight and its verdict, not the
+// deadline, is what the submitter must hear — an acknowledged write
+// reported as expired would be a lost-write lie in the other direction.
+func (r *Registry) submitGrouped(ctx context.Context, t *tenant, cmds []command.Command) *submitWaiter {
 	w := &submitWaiter{cmds: cmds, done: make(chan struct{})}
+	if err := ctx.Err(); err != nil {
+		// Dead on arrival: don't burn commit-group capacity on a client that
+		// already gave up.
+		w.err = fmt.Errorf("tenant %s: submit: %w (%v)", t.name, admission.ErrDeadline, err)
+		close(w.done)
+		return w
+	}
 	t.qmu.Lock()
+	if max := r.opts.MaxQueuedSubmits; max > 0 && len(t.queue) >= max {
+		t.qmu.Unlock()
+		w.err = fmt.Errorf("tenant %s: commit queue full (%d queued): %w", t.name, max, admission.ErrOverloaded)
+		close(w.done)
+		return w
+	}
 	t.queue = append(t.queue, w)
 	t.qmu.Unlock()
 
-	t.submu.Lock()
-	t.qmu.Lock()
-	group := t.queue
-	t.queue = nil
-	t.qmu.Unlock()
-	if len(group) > 0 {
-		r.commitGroup(t, group)
+	select {
+	case t.submu <- struct{}{}:
+		// Leader: drain and commit whatever queued. w is either in the group
+		// or was drained by an earlier leader (its done already closed).
+		t.qmu.Lock()
+		group := t.queue
+		t.queue = nil
+		t.qmu.Unlock()
+		if len(group) > 0 {
+			r.commitGroup(t, group)
+		}
+		t.submu.Unlock()
+	case <-w.done:
+		// An earlier leader committed w's group.
+		return w
+	case <-ctx.Done():
+		t.qmu.Lock()
+		removed := false
+		for i, q := range t.queue {
+			if q == w {
+				t.queue = append(t.queue[:i], t.queue[i+1:]...)
+				removed = true
+				break
+			}
+		}
+		t.qmu.Unlock()
+		if removed {
+			w.err = fmt.Errorf("tenant %s: submit queued behind commit group: %w (%v)", t.name, admission.ErrDeadline, ctx.Err())
+			close(w.done)
+			return w
+		}
+		// Too late to withdraw: a leader drained w and its commit is in
+		// flight. Wait for the authoritative verdict.
 	}
-	t.submu.Unlock()
-	// w was committed either by this call (w ∈ group) or by an earlier
-	// leader that drained it before we won the lock.
 	<-w.done
 	return w
 }

@@ -68,6 +68,12 @@ type ServeOp struct {
 // open-loop run should record zero.
 var ErrStale = errors.New("workload: min_generation not reached")
 
+// ErrShed marks an op the target refused for capacity — the HTTP 429/503
+// overload answers. Shed ops are the degradation contract working as
+// designed: the driver counts them separately from hard errors and keeps
+// them out of the latency histograms, which describe admitted work only.
+var ErrShed = errors.New("workload: shed by overload protection")
+
 // Target is the system under load: an HTTP client against a live rbacd (see
 // internal/cli) or an in-process stub in tests. Do executes op, carrying
 // minGen as the read-your-writes token on read ops (0 = none), and returns
@@ -177,10 +183,13 @@ type OpenLoopConfig struct {
 	Clock Clock
 }
 
-// KindStats aggregates one op kind's outcome across all workers.
+// KindStats aggregates one op kind's outcome across all workers. Shed ops
+// (ErrShed) count toward Count but not Errors, and are excluded from Hist —
+// the histogram describes the latency of admitted work.
 type KindStats struct {
 	Count  int64
 	Errors int64
+	Shed   int64
 	Hist   *Histogram
 }
 
@@ -200,6 +209,15 @@ type OpenLoopResult struct {
 	// Stale counts reads whose read-your-writes token was answered 409
 	// (ErrStale); they are included in Errors.
 	Stale int64
+	// Shed counts ops the target refused for capacity (ErrShed) — 429/503
+	// under overload. Shed ops are completed arrivals but neither errors nor
+	// histogram samples: under deliberate saturation a nonzero Shed with zero
+	// Errors is the degradation contract holding.
+	Shed int64
+	// LastAcked is each tenant's highest acknowledged submit generation at
+	// the end of the run (indexed by TenantIdx) — the tokens an acked-write
+	// durability audit replays as min_generation reads after the storm.
+	LastAcked []uint64
 	// Kinds maps OpKind.String() to per-kind stats with merged histograms of
 	// latency in nanoseconds, measured from the op's intended arrival time.
 	Kinds map[string]*KindStats
@@ -292,6 +310,13 @@ func RunOpenLoop(cfg OpenLoopConfig, ops []ServeOp, target Target) (*OpenLoopRes
 				lat := clk.Now().Sub(intended)
 				ks := &ws.kinds[op.Kind]
 				ks.Count++
+				if errors.Is(err, ErrShed) {
+					// Shed is the overload contract answering, not the target
+					// failing — and its fast refusal must not dilute the
+					// admitted-work latency distribution.
+					ks.Shed++
+					continue
+				}
 				ks.Hist.Record(int64(lat))
 				if err != nil {
 					ks.Errors++
@@ -327,6 +352,7 @@ func RunOpenLoop(cfg OpenLoopConfig, ops []ServeOp, target Target) (*OpenLoopRes
 			ks := &stats[w].kinds[k]
 			merged.Count += ks.Count
 			merged.Errors += ks.Errors
+			merged.Shed += ks.Shed
 			merged.Hist.Merge(ks.Hist)
 		}
 		if merged.Count > 0 {
@@ -334,9 +360,14 @@ func RunOpenLoop(cfg OpenLoopConfig, ops []ServeOp, target Target) (*OpenLoopRes
 		}
 		res.Completed += merged.Count
 		res.Errors += merged.Errors
+		res.Shed += merged.Shed
 	}
 	for w := range stats {
 		res.Stale += stats[w].stale
+	}
+	res.LastAcked = make([]uint64, tenants)
+	for i := range lastGen {
+		res.LastAcked[i] = lastGen[i].Load()
 	}
 	if elapsed > 0 {
 		res.Achieved = float64(res.Completed) / elapsed.Seconds()
