@@ -28,15 +28,18 @@ test:
 
 # The engine/tenant/server/replication stack is the concurrency-critical
 # surface; graph/core feed it, decision/command carry the lock-free cache
-# and interner under it, and admission is the semaphore/breaker layer every
-# request crosses.
+# and interner under it, admission is the semaphore/breaker layer every
+# request crosses, placement is the lock-free routing map every request
+# consults in cluster mode, and api is the error envelope on every non-2xx.
 race:
-	$(GO) test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/session/ ./internal/tenant/ ./internal/server/ ./internal/replication/ ./internal/decision/ ./internal/command/ ./internal/admission/
+	$(GO) test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/session/ ./internal/tenant/ ./internal/server/ ./internal/replication/ ./internal/decision/ ./internal/command/ ./internal/admission/ ./internal/placement/ ./internal/api/
 
-# Failure paths under the race detector: the daemon chaos e2e (SIGKILL the
+# Failure paths under the race detector: the daemon chaos e2es (SIGKILL the
 # primary under load, promote, assert zero acknowledged-write loss and
-# fencing of the resurrected ex-primary) plus the storage layer under
-# seeded write/torn-write/fsync fault schedules.
+# fencing of the resurrected ex-primary; plus the 3-primary sharded-cluster
+# e2e — routed load sprayed at every node, live migration mid-load, SIGKILL
+# + promotion + placement repoint, exact zero-loss accounting) and the
+# storage layer under seeded write/torn-write/fsync fault schedules.
 chaos:
 	$(GO) test -race ./cmd/rbacd/ ./internal/storage/ ./internal/fault/
 

@@ -39,6 +39,7 @@ func main() {
 	serveDuration := flag.Duration("serve-duration", 6*time.Second, "with -serve: load window")
 	serveWorkers := flag.Int("serve-workers", 16, "with -serve: concurrent harness issuers")
 	serveFollower := flag.Bool("serve-follower", false, "with -serve: stand up a WAL-streaming follower and point reads at it")
+	serveRouted := flag.Bool("serve-routed", false, "with -serve: stand up a two-primary placement cluster and drive all load at a node owning none of the tenants, so every op crosses the routing front (emits Routed* series)")
 	serveSync := flag.Bool("serve-sync", true, "with -serve: fsync each commit group on the primary (durable submits)")
 	overload := flag.Bool("overload", false, "with -serve: run the saturation proof instead — a steady phase, then -overload-mult x that rate against an admission-limited stack, asserting the degradation contract (shed with 429/503, admitted p99 bounded, zero acked writes lost)")
 	overloadMult := flag.Float64("overload-mult", 3, "with -serve -overload: overload-phase rate multiplier")
@@ -91,6 +92,7 @@ func main() {
 			Workers:   *serveWorkers,
 			Sync:      *serveSync,
 			Follower:  *serveFollower,
+			Routed:    *serveRouted,
 			TargetURL: *serveTarget,
 		})
 		if err != nil {

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"testing"
 	"time"
 
+	"adminrefine/internal/api"
 	"adminrefine/internal/command"
 	"adminrefine/internal/server"
 	"adminrefine/internal/storage"
@@ -77,8 +79,9 @@ func (d *daemon) repoint(t *testing.T, upstream string) roleChange {
 }
 
 // submitStatus is d.post's non-fatal sibling: it submits and reports the raw
-// HTTP status, so tests can assert a fenced node's 421 refusal.
-func (d *daemon) submitStatus(t *testing.T, name string, cmds ...command.Command) (int, []server.SubmitResult, uint64) {
+// HTTP status, so tests can assert a fenced node's 421 refusal. On non-2xx
+// it also hands back the decoded error envelope for typed-code assertions.
+func (d *daemon) submitStatus(t *testing.T, name string, cmds ...command.Command) (int, []server.SubmitResult, *api.Error) {
 	t.Helper()
 	data, err := json.Marshal(batchOf(t, cmds...))
 	if err != nil {
@@ -89,12 +92,18 @@ func (d *daemon) submitStatus(t *testing.T, name string, cmds ...command.Command
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out struct {
-		Results    []server.SubmitResult `json:"results"`
-		Generation uint64                `json:"generation"`
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
 	}
-	json.NewDecoder(resp.Body).Decode(&out)
-	return resp.StatusCode, out.Results, out.Generation
+	var out struct {
+		Results []server.SubmitResult `json:"results"`
+	}
+	json.Unmarshal(raw, &out)
+	if resp.StatusCode == http.StatusOK {
+		return resp.StatusCode, out.Results, nil
+	}
+	return resp.StatusCode, out.Results, api.Decode(resp.StatusCode, raw)
 }
 
 // auditTrail fetches a tenant's full retained audit trail with the
@@ -286,9 +295,11 @@ func TestFailoverChaosEndToEnd(t *testing.T) {
 		t.Fatalf("fenced ex-primary adopted epoch %d, want 1", h.Epoch)
 	}
 
-	// A fenced node refuses writes outright: 421, no redirect, no ack.
-	if code, _, _ := prim2.submitStatus(t, forkTenant, forkCmd); code != http.StatusMisdirectedRequest {
-		t.Fatalf("write to fenced ex-primary: status %d, want 421", code)
+	// A fenced node refuses writes outright: 421 with the typed fenced code
+	// and its deposing epoch in the envelope — no redirect, no ack.
+	if code, _, e := prim2.submitStatus(t, forkTenant, forkCmd); code != http.StatusMisdirectedRequest ||
+		e == nil || e.Code != api.CodeFenced || e.Epoch != 1 {
+		t.Fatalf("write to fenced ex-primary: status %d envelope %+v, want 421 %q at epoch 1", code, e, api.CodeFenced)
 	}
 
 	// Rejoin the fleet: B back to the real primary, the deposed node as a

@@ -1,0 +1,346 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"adminrefine/internal/api"
+	"adminrefine/internal/command"
+	"adminrefine/internal/placement"
+	"adminrefine/internal/server"
+	"adminrefine/internal/workload"
+)
+
+// reserveAddr grabs a free 127.0.0.1 port and releases it, so a cluster's
+// node addresses can appear in every member's -cluster-seed before any of
+// them has started. The tiny reuse race is acceptable in a test.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// clusterHealth is healthz plus the cluster fields the sharding tests read.
+type clusterHealth struct {
+	Role             string `json:"role"`
+	Epoch            uint64 `json:"epoch"`
+	NodeID           string `json:"node_id"`
+	PlacementVersion uint64 `json:"placement_version"`
+}
+
+func (d *daemon) clusterHealth(t *testing.T) clusterHealth {
+	t.Helper()
+	resp, err := http.Get(d.base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h clusterHealth
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// submitRouted submits one command at base, following any redirect the
+// routing front answers (bytes.Reader sets GetBody, so the client re-sends
+// the body through a 307). It returns the status, the acked generation, and
+// the decoded error envelope on non-200.
+func submitRouted(t *testing.T, base, name string, cmd command.Command) (int, uint64, *api.Error) {
+	t.Helper()
+	data, err := json.Marshal(batchOf(t, cmd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/tenants/"+name+"/submit", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, 0, &api.Error{Code: api.CodeUnavailable, Message: err.Error()}
+	}
+	defer resp.Body.Close()
+	var raw bytes.Buffer
+	if _, err := raw.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, 0, api.Decode(resp.StatusCode, raw.Bytes())
+	}
+	var out struct {
+		Results    []server.SubmitResult `json:"results"`
+		Generation uint64                `json:"generation"`
+	}
+	if err := json.Unmarshal(raw.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 1 || (out.Results[0].Outcome != "applied" && out.Results[0].Outcome != "nochange") {
+		t.Fatalf("submit %s at %s: unexpected results %+v", name, base, out.Results)
+	}
+	return resp.StatusCode, out.Generation, nil
+}
+
+// retrySubmit drives one command through the fleet until a node acks it,
+// tolerating the transients a live cluster emits: fenced migration windows
+// (421), stale-map misroutes (421), dead-peer forwards (502/503), and raw
+// connection errors while a node is down. Every retry is the SAME command,
+// so a duplicate of an already-committed attempt lands as "nochange" and
+// does not double-apply.
+func retrySubmit(t *testing.T, fleet []*daemon, name string, cmd command.Command) uint64 {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; time.Now().Before(deadline); i++ {
+		base := fleet[i%len(fleet)].base
+		code, gen, e := submitRouted(t, base, name, cmd)
+		if code == http.StatusOK {
+			return gen
+		}
+		switch e.Code {
+		case api.CodeFenced, api.CodeMisrouted, api.CodeUnavailable, api.CodeOverloaded, api.CodeDeadline, api.CodeInternal:
+			time.Sleep(20 * time.Millisecond)
+		default:
+			t.Fatalf("submit %s at %s: status %d, unretryable envelope %+v", name, base, code, e)
+		}
+	}
+	t.Fatalf("submit %s: no node acked within the retry budget", name)
+	return 0
+}
+
+// TestClusterShardingChaosEndToEnd is the acceptance test of multi-primary
+// sharding: three real rbacd primaries splitting the tenant space by one
+// placement map, clients spraying every node (reads follow 307s, writes
+// forward server-side), one tenant migrated live under concurrent writes,
+// then the SIGKILL of a primary healed by promoting its follower and
+// re-pointing the node identity — with zero acknowledged-write loss, a
+// byte-identical audit trail for the migrated tenant (ASeq zeroed), and the
+// placement version strictly monotone on every survivor.
+func TestClusterShardingChaosEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	addrA, addrB, addrC := reserveAddr(t), reserveAddr(t), reserveAddr(t)
+	seed := fmt.Sprintf("n1=http://%s,n2=http://%s,n3=http://%s", addrA, addrB, addrC)
+	start := func(addr, id string, extra ...string) *daemon {
+		args := append([]string{"-addr", addr, "-data", t.TempDir(),
+			"-node-id", id, "-cluster-seed", seed}, extra...)
+		return startDaemon(t, args...)
+	}
+	a := start(addrA, "n1")
+	b := start(addrB, "n2")
+	c := start(addrC, "n3")
+	// d is C's follower and shares its placement identity: the promotion
+	// target that will BECOME n3 when C dies.
+	d := start("127.0.0.1:0", "n3", "-role", "follower", "-upstream", c.base, "-poll-wait", "250ms")
+
+	// An offline copy of the seed map (addresses don't feed the ring) picks
+	// tenant names for each owner deterministically.
+	seedNodes := []placement.Node{{ID: "n1"}, {ID: "n2"}, {ID: "n3"}}
+	m, err := placement.New(1, seedNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenantsOf := func(id string, n int) []string {
+		var names []string
+		for i := 0; len(names) < n && i < 100000; i++ {
+			name := fmt.Sprintf("shard%05d", i)
+			if o, _ := m.Owner(name); o.ID == id {
+				names = append(names, name)
+			}
+		}
+		if len(names) < n {
+			t.Fatalf("found only %d tenants for %s", len(names), id)
+		}
+		return names
+	}
+	n1Tenants, n2Tenants, n3Tenants := tenantsOf("n1", 2), tenantsOf("n2", 2), tenantsOf("n3", 2)
+	all := append(append(append([]string(nil), n1Tenants...), n2Tenants...), n3Tenants...)
+	owned := map[string]string{}
+	for _, name := range n1Tenants {
+		owned[name] = "n1"
+	}
+	for _, name := range n2Tenants {
+		owned[name] = "n2"
+	}
+	for _, name := range n3Tenants {
+		owned[name] = "n3"
+	}
+
+	// Provision every tenant through a NON-owner: the PUT must forward
+	// server-side and materialise on the owner only.
+	fleet := []*daemon{a, b, c}
+	for i, name := range all {
+		fleet[(i+1)%3].putPolicy(t, name, workload.ChurnPolicy(8, 8))
+	}
+
+	// versionWatch asserts the placement version never moves backwards on
+	// any watched node — the strict-monotonicity guarantee survivors give.
+	lastVersion := map[*daemon]uint64{}
+	versionWatch := func(watch ...*daemon) {
+		t.Helper()
+		for _, n := range watch {
+			v := n.clusterHealth(t).PlacementVersion
+			if v < lastVersion[n] {
+				t.Fatalf("placement version on %s moved backwards: %d after %d", n.base, v, lastVersion[n])
+			}
+			lastVersion[n] = v
+		}
+	}
+	waitVersion := func(want uint64, watch ...*daemon) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for _, n := range watch {
+			for n.clusterHealth(t).PlacementVersion != want {
+				if time.Now().After(deadline) {
+					t.Fatalf("%s never converged on placement v%d (at v%d)", n.base, want, n.clusterHealth(t).PlacementVersion)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+		versionWatch(watch...)
+	}
+
+	// Phase 1: routed churn spraying all three primaries. Every write to an
+	// n3 tenant is confirmed on D (a min_generation read) before its ack is
+	// counted — the semi-sync discipline that makes the zero-loss assertion
+	// checkable after C is killed.
+	gens := map[string]uint64{} // last acked generation per tenant
+	counts := map[string]int{}  // distinct applied grants per tenant
+	churn := func(spray []*daemon, confirmOn *daemon, rounds int) {
+		t.Helper()
+		for r := 0; r < rounds; r++ {
+			for i, name := range all {
+				gen := retrySubmit(t, []*daemon{spray[(r+i)%len(spray)]}, name, workload.ChurnGrant(counts[name], 8, 8))
+				if want := uint64(counts[name] + 1); gen != want {
+					t.Fatalf("tenant %s: acked generation %d, want %d (stream not monotone)", name, gen, want)
+				}
+				counts[name]++
+				gens[name] = gen
+				if owned[name] == "n3" && confirmOn != nil {
+					if _, served, code := confirmOn.authorizeMin(t, name, gen, []command.Command{deniedProbe()}); code != http.StatusOK || served < gen {
+						t.Fatalf("confirm %s gen %d on %s: status %d served %d", name, gen, confirmOn.base, code, served)
+					}
+				}
+			}
+			versionWatch(spray...)
+		}
+	}
+	churn([]*daemon{a, b, c}, d, 8)
+
+	// Phase 2: live migration under concurrent writes. shard tenant
+	// n1Tenants[0] moves n1 → n2 while a hammer keeps submitting through
+	// every node; writes that land in the fence window or on a stale map
+	// retry until the new owner acks them.
+	mig := n1Tenants[0]
+	beforeTrail := a.auditTrail(t, mig)
+	hammerGens := make(chan uint64, 64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(hammerGens)
+		for i := 0; i < 12; i++ {
+			hammerGens <- retrySubmit(t, fleet, mig, workload.ChurnGrant(counts[mig]+i, 8, 8))
+		}
+	}()
+	var mres server.MigrateResponse
+	// Drive the migration through a non-owner: it forwards to the source.
+	c.post(t, "/v1/cluster/migrate", map[string]any{"tenant": mig, "to": "n2"}, &mres)
+	if mres.Owner != "n2" || mres.Version != 2 {
+		t.Fatalf("migrate response %+v, want owner n2 at placement v2", mres)
+	}
+	wg.Wait()
+	counts[mig] += 12
+	for gen := range hammerGens {
+		if gen > gens[mig] {
+			gens[mig] = gen
+		}
+	}
+	owned[mig] = "n2"
+	waitVersion(2, a, b, c)
+
+	// Every hammered ack survived the flip, and the stream stayed exact:
+	// the new owner's generation is precisely the applied count.
+	if st := b.stats(t, mig); st.Generation != uint64(counts[mig]) || st.Generation < gens[mig] {
+		t.Fatalf("migrated tenant at generation %d on the new owner, want %d (max acked %d)",
+			st.Generation, counts[mig], gens[mig])
+	}
+	// The audit trail moved byte-identically: the pre-migration snapshot is
+	// a prefix of the new owner's trail, ASeq zeroed on both sides.
+	afterTrail := b.auditTrail(t, mig)
+	if len(afterTrail) < len(beforeTrail) {
+		t.Fatalf("migrated audit shrank: %d records, had %d", len(afterTrail), len(beforeTrail))
+	}
+	for i := range beforeTrail {
+		want, _ := json.Marshal(beforeTrail[i])
+		got, _ := json.Marshal(afterTrail[i])
+		if !bytes.Equal(want, got) {
+			t.Fatalf("migrated audit record %d diverged:\n  src %s\n  dst %s", i, want, got)
+		}
+	}
+
+	// Phase 3: more spray churn on the post-migration map, still confirming
+	// n3 writes on D.
+	churn([]*daemon{a, b, c}, d, 4)
+
+	// Phase 4: SIGKILL primary C mid-stream — no flush, no shutdown hook —
+	// promote D in its place (epoch fencing first), and re-point the n3
+	// identity at D's address under a placement CAS on a survivor.
+	c.kill(t)
+	var pr roleChange
+	d.post(t, "/v1/cluster/promote", map[string]any{}, &pr)
+	if pr.Role != "primary" || pr.Epoch != 1 {
+		t.Fatalf("promote D: %+v, want primary at epoch 1", pr)
+	}
+	// Zero acknowledged-write loss: every confirmed n3 generation is on D.
+	for _, name := range n3Tenants {
+		st := d.stats(t, name)
+		if st.Generation < gens[name] {
+			t.Fatalf("tenant %s: promoted node at generation %d, acked %d — acknowledged write lost",
+				name, st.Generation, gens[name])
+		}
+	}
+	var push struct {
+		Version uint64 `json:"version"`
+	}
+	a.post(t, "/v1/cluster/nodes", map[string]any{"id": "n3", "addr": d.base, "if_version": 2}, &push)
+	if push.Version != 3 {
+		t.Fatalf("repoint n3: placement v%d, want 3", push.Version)
+	}
+	// The re-point gossips to the survivors AND to D (it is n3's address
+	// now); D jumps v1 → v3, which is still monotone.
+	waitVersion(3, a, b, d)
+
+	// Phase 5: the same streams continue against the healed fleet — n3
+	// tenants now answer at D, generations continuing exactly where the
+	// dead primary's acks left them.
+	churn([]*daemon{a, b, d}, nil, 4)
+
+	// Final topology: every survivor agrees on placement v3, A and B are
+	// unfenced primaries at epoch 0, D is the n3 primary at epoch 1.
+	for _, n := range []struct {
+		d     *daemon
+		id    string
+		epoch uint64
+	}{{a, "n1", 0}, {b, "n2", 0}, {d, "n3", 1}} {
+		h := n.d.clusterHealth(t)
+		if h.Role != "primary" || h.NodeID != n.id || h.Epoch != n.epoch || h.PlacementVersion != 3 {
+			t.Fatalf("final topology: %s = %+v, want primary %s epoch %d placement v3", n.d.base, h, n.id, n.epoch)
+		}
+	}
+	// And every tenant holds exactly its applied count — nothing lost,
+	// nothing double-applied, across routing, migration, and failover.
+	for _, name := range all {
+		st := fleet[0].stats(t, name)
+		if st.Generation != uint64(counts[name]) {
+			t.Fatalf("tenant %s: final generation %d, want %d", name, st.Generation, counts[name])
+		}
+	}
+}

@@ -35,6 +35,23 @@
 // either waits (bounded) for the follower to catch up or gets 409 — never a
 // stale answer.
 //
+// Multi-primary sharding: with -node-id and -cluster-seed the daemon joins a
+// cluster of primaries that splits the tenant space by a versioned
+// consistent-hash placement map (see internal/placement). Any node answers
+// any tenant — foreign reads 307 to the owner, foreign writes forward
+// transparently — and POST /v1/cluster/migrate moves a tenant live,
+//
+//	rbacd -addr :8270 -data ./a-data -node-id n1 \
+//	      -cluster-seed n1=http://localhost:8270,n2=http://localhost:8271
+//	rbacd -addr :8271 -data ./b-data -node-id n2 \
+//	      -cluster-seed n1=http://localhost:8270,n2=http://localhost:8271
+//
+// with the adopted map persisted in the node store, gossiped between nodes,
+// and stamped on every response as X-Placement-Version. A follower shares
+// its primary's -node-id: it serves that identity's reads and redirects its
+// writes upstream, and a promotion re-points the identity's address (POST
+// /v1/cluster/nodes) without moving any tenants.
+//
 // On SIGINT/SIGTERM the daemon drains in-flight requests, compacts every
 // resident tenant and exits; on SIGKILL the WAL recovers the state on the
 // next start — followers resume pulling from their local WAL position.
@@ -58,6 +75,7 @@ import (
 	"adminrefine/internal/admission"
 	"adminrefine/internal/constraints"
 	"adminrefine/internal/engine"
+	"adminrefine/internal/placement"
 	"adminrefine/internal/replication"
 	"adminrefine/internal/server"
 	"adminrefine/internal/storage"
@@ -93,6 +111,14 @@ func run(args []string, out io.Writer) error {
 		probeEvery   = fs.Duration("probe-interval", time.Second, "follower: upstream health-probe period (with -promote-on-upstream-loss)")
 		probeAfter   = fs.Int("probe-threshold", 5, "follower: consecutive failed probes that depose the upstream (with -promote-on-upstream-loss)")
 		consPath     = fs.String("constraints", "", `separation-of-duty constraint file (JSON [{"name","kind":"ssd"|"dsd","roles":[...],"n":2},...]); SSD guards every write, DSD guards session activations`)
+
+		// Multi-primary cluster mode: a stable node identity plus a seed node
+		// list build the version-1 placement map; restarts recover whatever
+		// newer map the node last persisted (the recovered map always wins
+		// over the seed — install-if-newer).
+		nodeID        = fs.String("node-id", "", "this node's stable placement identity (cluster mode; a follower shares its primary's id)")
+		clusterSeed   = fs.String("cluster-seed", "", "comma-separated id=url list seeding the version-1 placement map, e.g. n1=http://a:8270,n2=http://b:8270 (requires -node-id)")
+		placementSeed = fs.Uint64("placement-seed", 1, "consistent-hash seed of the placement ring; every node of one cluster must agree")
 
 		// Overload protection: every data-plane request runs under a deadline
 		// and an admission slot; saturation sheds 429 (reads) / 503 (writes)
@@ -158,6 +184,50 @@ func run(args []string, out io.Writer) error {
 	}
 	epoch := replication.NewEpoch(nodeStore.Epoch(), nodeStore.SetEpoch)
 
+	// Cluster mode: recover the node's persisted placement map, overlay the
+	// seed map (adopted only when the store held nothing newer), and refuse
+	// to start as a cluster node with no map or an identity outside it.
+	var placeTable *placement.Table
+	if *nodeID != "" || *clusterSeed != "" {
+		if *nodeID == "" {
+			nodeStore.Close()
+			return fmt.Errorf("rbacd: -cluster-seed requires -node-id")
+		}
+		var recovered *placement.Map
+		if data := nodeStore.Placement(); len(data) > 0 {
+			if recovered, err = placement.DecodeMap(data); err != nil {
+				nodeStore.Close()
+				return fmt.Errorf("rbacd: recover placement map: %w", err)
+			}
+		}
+		placeTable = placement.NewTable(recovered, nodeStore.SetPlacement)
+		if *clusterSeed != "" {
+			nodes, err := parseClusterSeed(*clusterSeed)
+			if err != nil {
+				nodeStore.Close()
+				return err
+			}
+			seedMap, err := placement.New(*placementSeed, nodes)
+			if err != nil {
+				nodeStore.Close()
+				return fmt.Errorf("rbacd: %w", err)
+			}
+			if _, err := placeTable.Install(seedMap); err != nil {
+				nodeStore.Close()
+				return fmt.Errorf("rbacd: persist placement map: %w", err)
+			}
+		}
+		m := placeTable.Current()
+		if m == nil {
+			nodeStore.Close()
+			return fmt.Errorf("rbacd: -node-id %s has no placement map (pass -cluster-seed on first start)", *nodeID)
+		}
+		if _, ok := m.NodeByID(*nodeID); !ok {
+			nodeStore.Close()
+			return fmt.Errorf("rbacd: -node-id %s is not in the placement map (version %d)", *nodeID, m.Version)
+		}
+	}
+
 	reg := tenant.New(tenant.Options{
 		Dir:              *dataDir,
 		Mode:             emode,
@@ -202,7 +272,11 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "rbacd: listening on %s (mode=%s data=%s role=%s)\n", ln.Addr(), emode, *dataDir, *role)
+	clusterNote := ""
+	if placeTable != nil {
+		clusterNote = fmt.Sprintf(" node=%s placement=v%d", *nodeID, placeTable.Current().Version)
+	}
+	fmt.Fprintf(out, "rbacd: listening on %s (mode=%s data=%s role=%s%s)\n", ln.Addr(), emode, *dataDir, *role, clusterNote)
 
 	handler := server.NewWithConfig(server.Config{
 		Registry:              reg,
@@ -219,7 +293,9 @@ func run(args []string, out io.Writer) error {
 			Read:  admission.Limits{MaxInFlight: *maxReads, MaxQueue: *readQueue},
 			Write: admission.Limits{MaxInFlight: *maxWrites, MaxQueue: *writeQueue},
 		}),
-		Breaker: breaker,
+		Breaker:   breaker,
+		Placement: placeTable,
+		NodeID:    *nodeID,
 	})
 	srv := &http.Server{
 		Handler:           handler,
@@ -258,4 +334,24 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return closeAll()
+}
+
+// parseClusterSeed parses the -cluster-seed node list ("id=url,id=url,...").
+func parseClusterSeed(s string) ([]placement.Node, error) {
+	var nodes []placement.Node
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("rbacd: bad -cluster-seed entry %q (want id=url)", part)
+		}
+		nodes = append(nodes, placement.Node{ID: id, Addr: strings.TrimRight(addr, "/")})
+	}
+	if len(nodes) == 0 {
+		return nil, errors.New("rbacd: -cluster-seed has no nodes")
+	}
+	return nodes, nil
 }

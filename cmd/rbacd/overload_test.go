@@ -3,12 +3,14 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"adminrefine/internal/api"
 	"adminrefine/internal/cli"
 	"adminrefine/internal/command"
 	"adminrefine/internal/server"
@@ -270,7 +272,9 @@ func TestOverloadDegradationEndToEnd(t *testing.T) {
 
 // pollFor429 issues authorize reads until one sheds with 429, returning its
 // Retry-After header. The parker holds the single read slot for a commit
-// interval at a time, so a shed arrives within a few probes.
+// interval at a time, so a shed arrives within a few probes. The shed body
+// must be the unified envelope with the overloaded code — clients dispatch
+// on it, not on prose.
 func pollFor429(t *testing.T, base, tenantName string, mix workload.ServeMix) string {
 	t.Helper()
 	body := authorizeBody(t, mix)
@@ -280,8 +284,15 @@ func pollFor429(t *testing.T, base, tenantName string, mix workload.ServeMix) st
 		if err != nil {
 			t.Fatal(err)
 		}
+		raw, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if resp.StatusCode == http.StatusTooManyRequests {
+			if e := api.Decode(resp.StatusCode, raw); e.Code != api.CodeOverloaded {
+				t.Fatalf("shed read code %q, want %q (body %s)", e.Code, api.CodeOverloaded, raw)
+			}
 			return resp.Header.Get("Retry-After")
 		}
 		time.Sleep(2 * time.Millisecond)
@@ -291,7 +302,8 @@ func pollFor429(t *testing.T, base, tenantName string, mix workload.ServeMix) st
 }
 
 // deadlineProbe authorizes against a far-future generation under a client
-// X-Request-Deadline, returning the status and Retry-After it got.
+// X-Request-Deadline, returning the status and Retry-After it got. A non-2xx
+// answer must carry the deadline code in the unified envelope.
 func deadlineProbe(t *testing.T, base, tenantName string, mix workload.ServeMix, budget string) (int, string) {
 	t.Helper()
 	body := authorizeBody(t, mix, 1<<40)
@@ -305,7 +317,16 @@ func deadlineProbe(t *testing.T, base, tenantName string, mix workload.ServeMix,
 	if err != nil {
 		t.Fatal(err)
 	}
+	raw, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		if e := api.Decode(resp.StatusCode, raw); e.Code != api.CodeDeadline {
+			t.Fatalf("deadline-cut code %q, want %q (body %s)", e.Code, api.CodeDeadline, raw)
+		}
+	}
 	return resp.StatusCode, resp.Header.Get("Retry-After")
 }
 
@@ -369,10 +390,17 @@ func TestFollowerBreakerFastFailsWhenUpstreamDies(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		raw, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if resp.StatusCode == http.StatusServiceUnavailable {
 			if resp.Header.Get("Retry-After") == "" {
 				t.Fatal("breaker fast-fail 503 without Retry-After")
+			}
+			if e := api.Decode(resp.StatusCode, raw); e.Code != api.CodeUnavailable || e.Node == "" {
+				t.Fatalf("breaker fast-fail envelope %+v, want %q with the dead upstream", e, api.CodeUnavailable)
 			}
 			break
 		}

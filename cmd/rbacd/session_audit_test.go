@@ -35,10 +35,12 @@ func sessionFixture() *policy.Policy {
 // token so role validation runs against fresh-enough state.
 func (d *daemon) createSession(t *testing.T, tenant, user string, roles []string, minGen uint64) server.SessionResponse {
 	t.Helper()
-	var out server.SessionResponse
+	var out struct {
+		Results server.SessionResponse `json:"results"`
+	}
 	d.post(t, "/v1/tenants/"+tenant+"/sessions",
 		map[string]any{"user": user, "activate": roles, "min_generation": minGen}, &out)
-	return out
+	return out.Results
 }
 
 // checkMin runs a batched access check with a min_generation token,

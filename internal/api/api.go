@@ -1,0 +1,135 @@
+// Package api defines the v1 wire contract shared by the server and every
+// client (CLI, workload drivers, peer nodes). Its centrepiece is the unified
+// error envelope: every non-2xx data-plane response body is
+//
+//	{"error":{"code":"...","message":"...", ...}}
+//
+// with a machine-readable code drawn from the constants below, so clients
+// dispatch on codes rather than string-matching messages or inventing a
+// decoder per status. The envelope refines the single-node contract: routing,
+// placement, and migration surface only as new codes (misrouted, fenced) a
+// naive client may treat as retryable, never as divergent response shapes.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Error codes. These are the wire contract: stable, lowercase, additive-only.
+const (
+	// CodeBadRequest: malformed body, invalid tenant/field, unparseable CAS
+	// token. Not retryable.
+	CodeBadRequest = "bad_request"
+	// CodeNotFound: tenant or session does not exist (or a deprecated path).
+	CodeNotFound = "not_found"
+	// CodeForbidden: the request is well-formed but denied by policy
+	// constraints (e.g. a session over unauthorizable roles).
+	CodeForbidden = "forbidden"
+	// CodeConflict: a CAS precondition failed (if_epoch/if_version mismatch,
+	// policy already provisioned). Re-read current state before retrying.
+	CodeConflict = "conflict"
+	// CodeStaleGeneration: the read carried min_generation ahead of what the
+	// node could serve within its wait budget. Envelope carries both the
+	// node's generation and the requested min_generation.
+	CodeStaleGeneration = "stale_generation"
+	// CodeOverloaded: admission control shed the request (queue full or
+	// inflight cap). Retry after the envelope's retry_after seconds.
+	CodeOverloaded = "overloaded"
+	// CodeDeadline: the request's deadline budget expired before the node
+	// could finish (or was too small to start). Retryable with a larger
+	// budget.
+	CodeDeadline = "deadline"
+	// CodeUnavailable: a dependency is unreachable (peer breaker open,
+	// upstream down). Retryable.
+	CodeUnavailable = "unavailable"
+	// CodeFenced: the node (or the tenant, during a migration flip window)
+	// cannot accept writes under its current epoch/placement. Envelope
+	// carries the fencing epoch; re-point and retry.
+	CodeFenced = "fenced"
+	// CodeMisrouted: the request reached a node that does not own the tenant
+	// under the current placement map. Envelope carries the owning node's
+	// address and the placement version; refresh placement and go direct.
+	CodeMisrouted = "misrouted"
+	// CodeInternal: the node failed while applying the request. The batch's
+	// staged effects were rolled back; nothing was acknowledged.
+	CodeInternal = "internal"
+)
+
+// Error is the typed payload inside the envelope. Zero-valued optional
+// fields are omitted on the wire.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Epoch is the fencing epoch of the answering node (fenced/conflict).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Generation and MinGeneration qualify stale_generation responses.
+	Generation    uint64 `json:"generation,omitempty"`
+	MinGeneration uint64 `json:"min_generation,omitempty"`
+	// RetryAfter is a hint in seconds (overloaded/deadline/fenced).
+	RetryAfter int `json:"retry_after,omitempty"`
+	// Node is the base URL of the node that should be asked instead
+	// (misrouted → owner, fenced → new primary when known).
+	Node string `json:"node,omitempty"`
+	// PlacementVersion is the answering node's placement map version
+	// (misrouted), so clients know whether their map is the stale one.
+	PlacementVersion uint64 `json:"placement_version,omitempty"`
+}
+
+// Error implements the error interface so decoded envelopes can flow
+// through client call chains unchanged.
+func (e *Error) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("%s: %s", e.Code, e.Message)
+	}
+	return e.Code
+}
+
+// envelope is the wire shape wrapping Error.
+type envelope struct {
+	Error *Error `json:"error"`
+}
+
+// HeaderPlacementVersion stamps the answering node's placement map version
+// on every data-plane response, successful or not, so clients and peers
+// learn about newer maps passively.
+const HeaderPlacementVersion = "X-Placement-Version"
+
+// HeaderRoutedBy marks a server-side forwarded request with the forwarding
+// node's ID — the single-hop loop guard: a node receiving a request already
+// carrying it answers misrouted instead of forwarding again, so two nodes
+// holding maps that disagree bounce a request exactly once.
+const HeaderRoutedBy = "X-Routed-By"
+
+// Write emits the envelope with the given status. A positive RetryAfter is
+// mirrored into the standard Retry-After header so generic HTTP clients
+// back off without decoding the body.
+func Write(w http.ResponseWriter, status int, e *Error) {
+	if e.Code == "" {
+		e.Code = CodeInternal
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if e.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter))
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(envelope{Error: e})
+}
+
+// Decode parses an envelope out of a non-2xx body. It always returns a
+// non-nil *Error: bodies that are not the typed shape (proxies, panics,
+// truncation) degrade to CodeInternal with the raw body as message, so
+// callers can rely on Code being set.
+func Decode(status int, body []byte) *Error {
+	var env envelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+		return env.Error
+	}
+	msg := string(body)
+	if len(msg) > 256 {
+		msg = msg[:256]
+	}
+	return &Error{Code: CodeInternal, Message: fmt.Sprintf("http %d: %s", status, msg)}
+}

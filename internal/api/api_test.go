@@ -1,0 +1,83 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWriteDecodeRoundTrip(t *testing.T) {
+	in := &Error{
+		Code:             CodeMisrouted,
+		Message:          "tenant r001 owned elsewhere",
+		Node:             "http://127.0.0.1:9001",
+		PlacementVersion: 7,
+	}
+	rec := httptest.NewRecorder()
+	Write(rec, 421, in)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	out := Decode(rec.Code, rec.Body.Bytes())
+	if out.Code != CodeMisrouted || out.Node != in.Node || out.PlacementVersion != 7 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if out.Error() != "misrouted: tenant r001 owned elsewhere" {
+		t.Fatalf("Error() = %q", out.Error())
+	}
+}
+
+func TestWriteSetsRetryAfterHeader(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Write(rec, 429, &Error{Code: CodeOverloaded, Message: "shed", RetryAfter: 3})
+	if got := rec.Header().Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q", got)
+	}
+	out := Decode(rec.Code, rec.Body.Bytes())
+	if out.RetryAfter != 3 {
+		t.Fatalf("retry_after = %d", out.RetryAfter)
+	}
+}
+
+func TestWriteDefaultsEmptyCode(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Write(rec, 500, &Error{Message: "boom"})
+	if out := Decode(rec.Code, rec.Body.Bytes()); out.Code != CodeInternal {
+		t.Fatalf("code = %q", out.Code)
+	}
+}
+
+func TestDecodeToleratesUntypedBodies(t *testing.T) {
+	cases := []string{
+		"plain text from a proxy",
+		`{"error":"legacy string body"}`,
+		`{"error":{}}`, // typed shape but no code
+		"",
+		strings.Repeat("x", 1024),
+	}
+	for _, body := range cases {
+		e := Decode(502, []byte(body))
+		if e == nil || e.Code != CodeInternal {
+			t.Fatalf("body %q: got %+v", body[:min(len(body), 32)], e)
+		}
+		if len(e.Message) > 300 {
+			t.Fatalf("message not truncated: %d bytes", len(e.Message))
+		}
+	}
+}
+
+func TestOptionalFieldsOmitted(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Write(rec, 409, &Error{Code: CodeConflict, Message: "stale epoch"})
+	var raw map[string]map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	inner := raw["error"]
+	for _, k := range []string{"epoch", "generation", "min_generation", "retry_after", "node", "placement_version"} {
+		if _, ok := inner[k]; ok {
+			t.Fatalf("zero field %q not omitted: %v", k, inner)
+		}
+	}
+}

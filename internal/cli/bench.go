@@ -648,29 +648,53 @@ var serveBenchNames = []string{
 	"ServeThroughput/achieved",
 }
 
+// routedBenchNames are the routed-mode counterparts: the same ops driven at
+// a node that owns none of the tenants, so every request crosses the routing
+// front to the owning primary. RoutedAuthorize/p50 vs ServeAuthorize/p50 is
+// the priced routing hop the acceptance gate bounds.
+var routedBenchNames = []string{
+	"RoutedAuthorize/p50", "RoutedAuthorize/p99", "RoutedAuthorize/p999",
+	"RoutedCheck/p50", "RoutedCheck/p99", "RoutedCheck/p999",
+	"RoutedDurableSubmit/p50", "RoutedDurableSubmit/p99", "RoutedDurableSubmit/p999",
+	"RoutedThroughput/achieved",
+}
+
 // serveSpecs runs the socket-level serve bench when the filter asks for any
 // of its entries, and returns only the entries the filter matched — the
-// harness is one run regardless of how many of its series are wanted.
+// harness is one run regardless of how many of its series are wanted. The
+// routed harness is a second, independent run gated the same way by its own
+// names.
 func serveSpecs(progress io.Writer, filter string) (map[string]BenchResult, error) {
-	wanted := false
-	for _, name := range serveBenchNames {
-		if matchesFilter(name, filter) {
-			wanted = true
-			break
+	out := make(map[string]BenchResult)
+	for _, pass := range []struct {
+		names  []string
+		routed bool
+	}{
+		{serveBenchNames, false},
+		{routedBenchNames, true},
+	} {
+		wanted := false
+		for _, name := range pass.names {
+			if matchesFilter(name, filter) {
+				wanted = true
+				break
+			}
+		}
+		if !wanted {
+			continue
+		}
+		all, err := RunServeBench(progress, ServeBenchOptions{Sync: true, Routed: pass.routed})
+		if err != nil {
+			return nil, fmt.Errorf("serve bench (routed=%v): %w", pass.routed, err)
+		}
+		for name, r := range all {
+			if matchesFilter(name, filter) {
+				out[name] = r
+			}
 		}
 	}
-	if !wanted {
+	if len(out) == 0 {
 		return nil, nil
-	}
-	all, err := RunServeBench(progress, ServeBenchOptions{Sync: true})
-	if err != nil {
-		return nil, fmt.Errorf("serve bench: %w", err)
-	}
-	out := make(map[string]BenchResult, len(all))
-	for name, r := range all {
-		if matchesFilter(name, filter) {
-			out[name] = r
-		}
 	}
 	return out, nil
 }

@@ -8,11 +8,14 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"adminrefine/internal/api"
 	"adminrefine/internal/engine"
+	"adminrefine/internal/placement"
 	"adminrefine/internal/policy"
 	"adminrefine/internal/replication"
 	"adminrefine/internal/server"
@@ -79,12 +82,14 @@ func (t *HTTPTarget) writeBase() string {
 type batchReply struct {
 	Results    json.RawMessage `json:"results"`
 	Generation uint64          `json:"generation"`
-	Error      string          `json:"error,omitempty"`
+	Error      *api.Error      `json:"error,omitempty"`
 }
 
-// post sends body as JSON and returns the raw 200 response, translating the
-// server's staleness answer (409) into workload.ErrStale so the harness
-// counts it separately from hard failures.
+// post sends body as JSON and returns the raw 200 response. Non-2xx bodies
+// decode through the unified envelope (api.Decode) and dispatch on the typed
+// code: stale_generation becomes workload.ErrStale, the overload codes
+// (overloaded, deadline, breaker-open unavailable) become workload.ErrShed,
+// everything else surfaces as the decoded *api.Error.
 func (t *HTTPTarget) post(url string, body any) ([]byte, error) {
 	buf, err := json.Marshal(body)
 	if err != nil {
@@ -99,27 +104,24 @@ func (t *HTTPTarget) post(url string, body any) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if resp.StatusCode == http.StatusConflict {
+	if resp.StatusCode == http.StatusOK {
+		return raw, nil
+	}
+	e := api.Decode(resp.StatusCode, raw)
+	switch {
+	case e.Code == api.CodeStaleGeneration || resp.StatusCode == http.StatusConflict:
 		return nil, workload.ErrStale
-	}
-	if resp.StatusCode == http.StatusTooManyRequests {
+	case resp.StatusCode == http.StatusTooManyRequests:
 		t.shed429.Add(1)
-		return nil, fmt.Errorf("%s: 429: %w", url, workload.ErrShed)
-	}
-	if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "" {
-		// A 503 carrying Retry-After is the overload contract (admission,
+		return nil, fmt.Errorf("%s: 429 %s: %w", url, e.Code, workload.ErrShed)
+	case resp.StatusCode == http.StatusServiceUnavailable && e.RetryAfter > 0:
+		// A 503 carrying retry_after is the overload contract (admission,
 		// deadline or breaker shed); a bare 503 stays a hard error.
 		t.shed503.Add(1)
-		return nil, fmt.Errorf("%s: 503: %w", url, workload.ErrShed)
+		return nil, fmt.Errorf("%s: 503 %s: %w", url, e.Code, workload.ErrShed)
+	default:
+		return nil, fmt.Errorf("%s: %d: %w", url, resp.StatusCode, e)
 	}
-	if resp.StatusCode != http.StatusOK {
-		var reply batchReply
-		if json.Unmarshal(raw, &reply) == nil && reply.Error != "" {
-			return nil, fmt.Errorf("%s: %d: %s", url, resp.StatusCode, reply.Error)
-		}
-		return nil, fmt.Errorf("%s: status %d", url, resp.StatusCode)
-	}
-	return raw, nil
 }
 
 // postBatch posts and decodes the server's batch envelope.
@@ -156,13 +158,13 @@ func (t *HTTPTarget) session(tenantName string, minGen uint64) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("create session for %s: %w", tenantName, err)
 	}
-	// Session create returns the SessionResponse directly, not the batch
-	// envelope.
-	var sr server.SessionResponse
-	if err := json.Unmarshal(raw, &sr); err != nil {
+	var reply struct {
+		Results server.SessionResponse `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &reply); err != nil {
 		return 0, fmt.Errorf("create session for %s: %w", tenantName, err)
 	}
-	actual, _ := t.sessions.LoadOrStore(tenantName, sr.Session)
+	actual, _ := t.sessions.LoadOrStore(tenantName, reply.Results.Session)
 	return actual.(uint64), nil
 }
 
@@ -269,6 +271,12 @@ type ServeBenchOptions struct {
 	// Follower stands up a WAL-streaming replica and points all reads at it,
 	// writes at the primary.
 	Follower bool
+	// Routed stands up a two-primary placement cluster with EVERY benchmark
+	// tenant pinned to the second node, and drives the whole load at the
+	// first: each op crosses the routing front (bodies forward server-side),
+	// so the Routed* series price the cross-node tax against the Serve*
+	// baseline. Mutually exclusive with Follower and TargetURL.
+	Routed bool
 	// TargetURL, when set, skips standing up a server and loads an already
 	// running rbacd at that base URL instead (reads and writes both).
 	TargetURL string
@@ -414,6 +422,92 @@ func serveStack(mix workload.ServeMix, sync, follower bool) (read, write *serveN
 	return folNode, primNode, cleanup, nil
 }
 
+// serveStackRouted stands up the routed-mode system: two cluster-mode
+// primaries sharing a placement map whose Overrides pin every benchmark
+// tenant to the second node ("n2", which holds the data), with all load
+// aimed at the first ("n1", which holds nothing). Every op the harness
+// issues is a POST, so the front transparently forwards each request to the
+// owner — the measured series price one routing hop over the Serve baseline.
+func serveStackRouted(mix workload.ServeMix, sync bool) (front *serveNode, cleanup func(), err error) {
+	ownerDir, err := os.MkdirTemp("", "rbacbench-routed-owner")
+	if err != nil {
+		return nil, nil, err
+	}
+	g := workload.NewMultiTenantGen(mix.MultiTenantConfig)
+	owner := tenant.New(tenant.Options{
+		Dir:       ownerDir,
+		Mode:      engine.Refined,
+		Sync:      sync,
+		Bootstrap: func(name string) *policy.Policy { return g.Bootstrap(name) },
+	})
+	failOwner := func(err error) (*serveNode, func(), error) {
+		owner.Close()
+		os.RemoveAll(ownerDir)
+		return nil, nil, err
+	}
+	for i := 0; i < mix.Tenants; i++ {
+		if _, err := owner.Stats(g.TenantName(i)); err != nil {
+			return failOwner(err)
+		}
+	}
+	ownerTable := placement.NewTable(nil, nil)
+	ownerNode, err := listenNode(server.NewWithConfig(server.Config{
+		Registry:  owner,
+		Placement: ownerTable,
+		NodeID:    "n2",
+	}), owner)
+	if err != nil {
+		return failOwner(err)
+	}
+	ownerNode.extra = func() { os.RemoveAll(ownerDir) }
+
+	frontDir, err := os.MkdirTemp("", "rbacbench-routed-front")
+	if err != nil {
+		ownerNode.close()
+		return nil, nil, err
+	}
+	frontReg := tenant.New(tenant.Options{Dir: frontDir, Mode: engine.Refined})
+	frontTable := placement.NewTable(nil, nil)
+	frontNode, err := listenNode(server.NewWithConfig(server.Config{
+		Registry:  frontReg,
+		Placement: frontTable,
+		NodeID:    "n1",
+	}), frontReg)
+	if err != nil {
+		frontReg.Close()
+		os.RemoveAll(frontDir)
+		ownerNode.close()
+		return nil, nil, err
+	}
+	frontNode.extra = func() { os.RemoveAll(frontDir) }
+	cleanup = func() {
+		frontNode.close()
+		ownerNode.close()
+	}
+
+	m, err := placement.New(1, []placement.Node{
+		{ID: "n1", Addr: frontNode.url},
+		{ID: "n2", Addr: ownerNode.url},
+	})
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	// Pin every benchmark tenant to the owner before the map's lazy ring is
+	// ever consulted, so n1 never serves locally and each op pays the hop.
+	m.Overrides = make(map[string]string, mix.Tenants)
+	for i := 0; i < mix.Tenants; i++ {
+		m.Overrides[g.TenantName(i)] = "n2"
+	}
+	for _, tbl := range []*placement.Table{frontTable, ownerTable} {
+		if _, err := tbl.Install(m); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+	}
+	return frontNode, cleanup, nil
+}
+
 // WriteResultsJSON writes a result map in the BENCH JSON shape (benchmark
 // name → measurement), the same format WriteBenchJSON emits.
 func WriteResultsJSON(path string, results map[string]BenchResult) error {
@@ -460,9 +554,17 @@ func RunServeBench(progress io.Writer, opts ServeBenchOptions) (map[string]Bench
 	}
 
 	var target *HTTPTarget
-	if opts.TargetURL != "" {
+	switch {
+	case opts.TargetURL != "":
 		target = NewHTTPTarget(opts.TargetURL)
-	} else {
+	case opts.Routed:
+		front, cleanup, err := serveStackRouted(mix, opts.Sync)
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+		target = &HTTPTarget{ReadBase: front.url, WriteBase: front.url}
+	default:
 		read, write, cleanup, err := serveStack(mix, opts.Sync, opts.Follower)
 		if err != nil {
 			return nil, err
@@ -499,6 +601,9 @@ func RunServeBench(progress io.Writer, opts ServeBenchOptions) (map[string]Bench
 	out := make(map[string]BenchResult)
 	for kind, ks := range res.Kinds {
 		name := serveEntryName(kind, opts.Sync)
+		if opts.Routed {
+			name = "Routed" + strings.TrimPrefix(name, "Serve")
+		}
 		for _, q := range []struct {
 			label string
 			q     float64
@@ -514,7 +619,11 @@ func RunServeBench(progress io.Writer, opts ServeBenchOptions) (map[string]Bench
 	}
 	// Achieved throughput as ns-per-op so benchdiff's lower-is-better
 	// comparison gates saturation regressions too.
-	out["ServeThroughput/achieved"] = BenchResult{
+	tpKey := "ServeThroughput/achieved"
+	if opts.Routed {
+		tpKey = "RoutedThroughput/achieved"
+	}
+	out[tpKey] = BenchResult{
 		NsPerOp: 1e9 / res.Achieved,
 		N:       int(res.Completed),
 	}

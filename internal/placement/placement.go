@@ -1,0 +1,305 @@
+// Package placement decides which primary owns each tenant in a
+// multi-primary cluster. The decision is a pure function of a versioned Map:
+// a deterministic consistent-hash ring (fixed seed, fixed virtual-node
+// count) over the node set, plus an explicit override table recording
+// tenants that migrations have pinned elsewhere. Two nodes holding the same
+// Map version always agree on every owner — the property the routing front
+// and the cross-node tests lean on.
+//
+// Maps are immutable; every change (override, node re-point) produces a new
+// Map with Version+1. A node-local Table guards the current Map, persists
+// candidates durably before exposing them, and adopts pushed maps only when
+// strictly newer, mirroring how replication.Epoch handles fencing epochs.
+package placement
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultVNodes is the virtual-node count per physical node. 64 points per
+// node keeps the keyspace split even to within a few percent for small
+// clusters while the ring stays tiny (N*64 entries, rebuilt only on
+// unmarshal).
+const DefaultVNodes = 64
+
+// Node is one primary in the cluster: a stable identity plus the base URL
+// peers and redirected clients use to reach it. Addr may change (promotion
+// re-points a dead node's ID at its promoted follower); ID never does, so
+// ring positions survive failover.
+type Node struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// Map is one version of the cluster's tenant→primary assignment.
+type Map struct {
+	Version uint64 `json:"version"`
+	Seed    uint64 `json:"seed"`
+	VNodes  int    `json:"vnodes"`
+	// Nodes is kept sorted by ID so the JSON form is canonical.
+	Nodes []Node `json:"nodes"`
+	// Overrides pins individual tenants to a node ID regardless of the
+	// ring — the durable record of completed migrations.
+	Overrides map[string]string `json:"overrides,omitempty"`
+
+	ringOnce sync.Once
+	ring     []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	node int // index into Nodes
+}
+
+// New builds a version-1 map over the given nodes. Node IDs must be unique
+// and non-empty.
+func New(seed uint64, nodes []Node) (*Map, error) {
+	m := &Map{Version: 1, Seed: seed, VNodes: DefaultVNodes, Nodes: append([]Node(nil), nodes...)}
+	sort.Slice(m.Nodes, func(i, j int) bool { return m.Nodes[i].ID < m.Nodes[j].ID })
+	seen := make(map[string]bool, len(m.Nodes))
+	for _, n := range m.Nodes {
+		if n.ID == "" {
+			return nil, errors.New("placement: empty node id")
+		}
+		if seen[n.ID] {
+			return nil, fmt.Errorf("placement: duplicate node id %q", n.ID)
+		}
+		seen[n.ID] = true
+	}
+	return m, nil
+}
+
+func hash64(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return mix64(h.Sum64())
+}
+
+// mix64 is a splitmix64-style finalizer. Raw FNV-64a mixes its trailing
+// bytes weakly into the high bits, so sequential names ("tenant-0001",
+// "tenant-0002", …) cluster on one arc of the ring and the split goes 70/20/10
+// instead of even; full avalanche restores the uniformity consistent hashing
+// assumes.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (m *Map) buildRing() {
+	pts := make([]ringPoint, 0, len(m.Nodes)*m.vnodes())
+	for i, n := range m.Nodes {
+		for v := 0; v < m.vnodes(); v++ {
+			pts = append(pts, ringPoint{hash64(fmt.Sprintf("%d", m.Seed), n.ID, fmt.Sprintf("%d", v)), i})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].hash != pts[j].hash {
+			return pts[i].hash < pts[j].hash
+		}
+		// Tie-break on node index so equal hashes (vanishingly rare but
+		// possible) still order identically on every node.
+		return pts[i].node < pts[j].node
+	})
+	m.ring = pts
+}
+
+func (m *Map) vnodes() int {
+	if m.VNodes <= 0 {
+		return DefaultVNodes
+	}
+	return m.VNodes
+}
+
+// Owner returns the node that owns tenant under this map. ok is false only
+// when the map has no nodes.
+func (m *Map) Owner(tenant string) (Node, bool) {
+	if m == nil || len(m.Nodes) == 0 {
+		return Node{}, false
+	}
+	if id, pinned := m.Overrides[tenant]; pinned {
+		if n, ok := m.NodeByID(id); ok {
+			return n, true
+		}
+		// Override pointing at a removed node: fall through to the ring.
+	}
+	m.ringOnce.Do(m.buildRing)
+	h := hash64("tenant", tenant)
+	i := sort.Search(len(m.ring), func(i int) bool { return m.ring[i].hash >= h })
+	if i == len(m.ring) {
+		i = 0
+	}
+	return m.Nodes[m.ring[i].node], true
+}
+
+// NodeByID resolves a node identity to its current address.
+func (m *Map) NodeByID(id string) (Node, bool) {
+	if m == nil {
+		return Node{}, false
+	}
+	for _, n := range m.Nodes {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// clone copies the mutable parts (ring is rebuilt lazily on the copy).
+func (m *Map) clone() *Map {
+	c := &Map{Version: m.Version, Seed: m.Seed, VNodes: m.VNodes, Nodes: append([]Node(nil), m.Nodes...)}
+	if len(m.Overrides) > 0 {
+		c.Overrides = make(map[string]string, len(m.Overrides))
+		for k, v := range m.Overrides {
+			c.Overrides[k] = v
+		}
+	}
+	return c
+}
+
+// WithOverride returns a Version+1 copy pinning tenant to node id. An
+// override matching the ring assignment is stored anyway: it documents the
+// migration and keeps the tenant stable across later node-set changes.
+func (m *Map) WithOverride(tenant, id string) (*Map, error) {
+	if _, ok := m.NodeByID(id); !ok {
+		return nil, fmt.Errorf("placement: unknown node %q", id)
+	}
+	c := m.clone()
+	if c.Overrides == nil {
+		c.Overrides = make(map[string]string, 1)
+	}
+	c.Overrides[tenant] = id
+	c.Version++
+	return c, nil
+}
+
+// WithNodeAddr returns a Version+1 copy with node id re-pointed at addr —
+// the cluster-level repoint after a follower is promoted in a dead
+// primary's place.
+func (m *Map) WithNodeAddr(id, addr string) (*Map, error) {
+	c := m.clone()
+	for i := range c.Nodes {
+		if c.Nodes[i].ID == id {
+			c.Nodes[i].Addr = addr
+			c.Version++
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("placement: unknown node %q", id)
+}
+
+// Encode renders the canonical JSON form used on the wire and in the node
+// store's placement record.
+func (m *Map) Encode() ([]byte, error) { return json.Marshal(m) }
+
+// DecodeMap parses a Map from its JSON form.
+func DecodeMap(data []byte) (*Map, error) {
+	var m Map
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	if len(m.Nodes) == 0 {
+		return nil, errors.New("placement: map has no nodes")
+	}
+	return &m, nil
+}
+
+// ErrVersionConflict reports a CAS miss against the Table.
+var ErrVersionConflict = errors.New("placement: version conflict")
+
+// IsVersionConflict reports whether err is a Table CAS miss.
+func IsVersionConflict(err error) bool { return errors.Is(err, ErrVersionConflict) }
+
+// Table is a node's handle on its current placement map. All transitions
+// persist the candidate map durably before exposing it, so a restarted node
+// never resurrects an older version it already acknowledged. A nil Table
+// (or one holding no map) means placement routing is disabled — the
+// single-node deployments of earlier PRs.
+type Table struct {
+	mu      sync.Mutex
+	cur     atomic.Pointer[Map]
+	persist func([]byte) error
+}
+
+// NewTable wraps the recovered map (nil when the node store held none) and
+// a persistence hook receiving the encoded map.
+func NewTable(cur *Map, persist func([]byte) error) *Table {
+	t := &Table{persist: persist}
+	if cur != nil {
+		t.cur.Store(cur)
+	}
+	return t
+}
+
+// Current returns the live map, or nil when none is installed. The returned
+// Map must be treated as immutable.
+func (t *Table) Current() *Map {
+	if t == nil {
+		return nil
+	}
+	return t.cur.Load()
+}
+
+// Install adopts m iff it is strictly newer than the current map (install-
+// if-newer is what makes gossip pushes idempotent and immune to reordering).
+// It reports whether the map was adopted. Persist failures leave the
+// current map unchanged.
+func (t *Table) Install(m *Map) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur := t.cur.Load(); cur != nil && m.Version <= cur.Version {
+		return false, nil
+	}
+	if err := t.persistLocked(m); err != nil {
+		return false, err
+	}
+	t.cur.Store(m)
+	return true, nil
+}
+
+// CAS applies mutate to the current map iff its version equals ifVersion,
+// persists the result, and installs it. A version mismatch (or no map)
+// returns ErrVersionConflict.
+func (t *Table) CAS(ifVersion uint64, mutate func(*Map) (*Map, error)) (*Map, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.cur.Load()
+	if cur == nil || cur.Version != ifVersion {
+		return nil, ErrVersionConflict
+	}
+	next, err := mutate(cur)
+	if err != nil {
+		return nil, err
+	}
+	if next.Version <= cur.Version {
+		return nil, fmt.Errorf("placement: mutation did not advance version (%d -> %d)", cur.Version, next.Version)
+	}
+	if err := t.persistLocked(next); err != nil {
+		return nil, err
+	}
+	t.cur.Store(next)
+	return next, nil
+}
+
+func (t *Table) persistLocked(m *Map) error {
+	if t.persist == nil {
+		return nil
+	}
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	return t.persist(data)
+}

@@ -1,0 +1,287 @@
+package placement
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func nodeSet(n int) []Node {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{ID: fmt.Sprintf("n%d", i+1), Addr: fmt.Sprintf("http://10.0.0.%d:8270", i+1)}
+	}
+	return nodes
+}
+
+func tenants(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("tenant-%04d", i)
+	}
+	return names
+}
+
+// Two nodes that agree on (version, seed, node set) must agree on every
+// owner — even when one of them rebuilt its Map from the wire form. This is
+// the property the routing front leans on: a forwarded request lands on a
+// node whose own map assigns it to itself.
+func TestOwnerDeterministicAcrossDecodes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 9} {
+		m, err := New(1, nodeSet(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := m.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote, err := DecodeMap(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range tenants(500) {
+			a, okA := m.Owner(name)
+			b, okB := remote.Owner(name)
+			if !okA || !okB || a.ID != b.ID {
+				t.Fatalf("N=%d tenant %s: local %v(%v) remote %v(%v)", n, name, a.ID, okA, b.ID, okB)
+			}
+		}
+	}
+}
+
+// Shuffled node order and JSON field order must not change ownership: New
+// sorts the node list, and the ring points hash (seed, id, vnode) only.
+func TestOwnerIgnoresInputOrder(t *testing.T) {
+	nodes := nodeSet(4)
+	m1, err := New(7, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reversed := make([]Node, len(nodes))
+	for i, n := range nodes {
+		reversed[len(nodes)-1-i] = n
+	}
+	m2, err := New(7, reversed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range tenants(300) {
+		a, _ := m1.Owner(name)
+		b, _ := m2.Owner(name)
+		if a.ID != b.ID {
+			t.Fatalf("tenant %s: %s vs %s under shuffled input", name, a.ID, b.ID)
+		}
+	}
+}
+
+// Different seeds produce different rings (the seed is a real input, not
+// decoration): at least some tenants move between seed 1 and seed 2.
+func TestSeedChangesRing(t *testing.T) {
+	m1, _ := New(1, nodeSet(3))
+	m2, _ := New(2, nodeSet(3))
+	moved := 0
+	for _, name := range tenants(300) {
+		a, _ := m1.Owner(name)
+		b, _ := m2.Owner(name)
+		if a.ID != b.ID {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("seed change moved no tenants — seed is not feeding the ring")
+	}
+}
+
+// Consistent hashing's minimal-movement bound: growing N nodes by one moves
+// roughly tenants/(N+1) tenants, never more than ceil(tenants/(N+1)) plus
+// slack for vnode imbalance; and every move lands on the new node (a tenant
+// never moves between two surviving nodes).
+func TestAddNodeMovesBoundedFraction(t *testing.T) {
+	const T = 2000
+	names := tenants(T)
+	for _, n := range []int{2, 3, 4, 7} {
+		before, err := New(1, nodeSet(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := New(1, nodeSet(n+1)) // adds node n+1, keeps n1..n
+		if err != nil {
+			t.Fatal(err)
+		}
+		newID := fmt.Sprintf("n%d", n+1)
+		moved := 0
+		for _, name := range names {
+			a, _ := before.Owner(name)
+			b, _ := after.Owner(name)
+			if a.ID == b.ID {
+				continue
+			}
+			if b.ID != newID {
+				t.Fatalf("N=%d tenant %s moved %s→%s, not to the new node", n, name, a.ID, b.ID)
+			}
+			moved++
+		}
+		// Expected share is T/(N+1); allow 2× for 64-vnode imbalance. The
+		// property being guarded is "no cascade": naive modulo hashing would
+		// move ~N/(N+1) of all tenants (e.g. 2/3 at N=2), far above this.
+		bound := 2 * (T/(n+1) + 1)
+		if moved > bound {
+			t.Fatalf("N=%d→%d moved %d of %d tenants, bound %d", n, n+1, moved, T, bound)
+		}
+		if moved == 0 {
+			t.Fatalf("N=%d→%d moved nothing — new node owns no keyspace", n, n+1)
+		}
+	}
+}
+
+// Dropping a node relocates only its own tenants, spread over survivors.
+func TestRemoveNodeStrandsOnlyItsTenants(t *testing.T) {
+	const T = 1500
+	names := tenants(T)
+	before, _ := New(1, nodeSet(4))
+	after, _ := New(1, nodeSet(3)) // drops n4
+	for _, name := range names {
+		a, _ := before.Owner(name)
+		b, _ := after.Owner(name)
+		if a.ID != "n4" && a.ID != b.ID {
+			t.Fatalf("tenant %s moved %s→%s though its node survived", name, a.ID, b.ID)
+		}
+	}
+}
+
+// The vnode count keeps the split roughly even: no node owns more than ~2×
+// its fair share at N=3 over a large tenant population.
+func TestRingBalance(t *testing.T) {
+	const T = 3000
+	m, _ := New(1, nodeSet(3))
+	counts := map[string]int{}
+	for _, name := range tenants(T) {
+		o, _ := m.Owner(name)
+		counts[o.ID]++
+	}
+	for id, c := range counts {
+		if c > 2*T/3 || c < T/8 {
+			t.Fatalf("node %s owns %d of %d tenants — ring badly unbalanced (%v)", id, c, T, counts)
+		}
+	}
+}
+
+func TestOverridesAndVersioning(t *testing.T) {
+	m, err := New(1, nodeSet(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := m.Owner("acme")
+	target := "n1"
+	if owner.ID == "n1" {
+		target = "n2"
+	}
+	m2, err := m.WithOverride("acme", target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Version != m.Version+1 {
+		t.Fatalf("override version %d, want %d", m2.Version, m.Version+1)
+	}
+	if o, _ := m2.Owner("acme"); o.ID != target {
+		t.Fatalf("override ignored: owner %s, want %s", o.ID, target)
+	}
+	// The original is untouched (maps are immutable values).
+	if o, _ := m.Owner("acme"); o.ID != owner.ID {
+		t.Fatalf("WithOverride mutated its receiver")
+	}
+	// Round-trip preserves the override.
+	data, _ := m2.Encode()
+	back, err := DecodeMap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o, _ := back.Owner("acme"); o.ID != target {
+		t.Fatalf("decoded override lost: owner %s, want %s", o.ID, target)
+	}
+	// Unknown node refused.
+	if _, err := m.WithOverride("acme", "nope"); err == nil {
+		t.Fatal("override to unknown node accepted")
+	}
+
+	// Re-point: same version bump, same identity, new address, same owners.
+	m3, err := m2.WithNodeAddr(target, "http://promoted:9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Version != m2.Version+1 {
+		t.Fatalf("repoint version %d, want %d", m3.Version, m2.Version+1)
+	}
+	if o, _ := m3.Owner("acme"); o.ID != target || o.Addr != "http://promoted:9999" {
+		t.Fatalf("repoint owner %+v", o)
+	}
+	for _, name := range tenants(200) {
+		a, _ := m2.Owner(name)
+		b, _ := m3.Owner(name)
+		if a.ID != b.ID {
+			t.Fatalf("repoint moved tenant %s (%s→%s)", name, a.ID, b.ID)
+		}
+	}
+}
+
+func TestTableInstallAndCAS(t *testing.T) {
+	var persisted [][]byte
+	persist := func(data []byte) error {
+		persisted = append(persisted, append([]byte(nil), data...))
+		return nil
+	}
+	m1, _ := New(1, nodeSet(2))
+	tbl := NewTable(nil, persist)
+	if tbl.Current() != nil {
+		t.Fatal("empty table holds a map")
+	}
+	if ok, err := tbl.Install(m1); err != nil || !ok {
+		t.Fatalf("install v1: %v %v", ok, err)
+	}
+	// Install-if-newer: an equal or older push is a no-op.
+	if ok, _ := tbl.Install(m1); ok {
+		t.Fatal("re-install of same version adopted")
+	}
+
+	m2, err := tbl.CAS(1, func(cur *Map) (*Map, error) { return cur.WithOverride("acme", "n2") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Version != 2 || tbl.Current().Version != 2 {
+		t.Fatalf("CAS result v%d table v%d", m2.Version, tbl.Current().Version)
+	}
+	// Stale CAS misses.
+	if _, err := tbl.CAS(1, func(cur *Map) (*Map, error) { return cur.WithOverride("acme", "n1") }); !IsVersionConflict(err) {
+		t.Fatalf("stale CAS: %v, want version conflict", err)
+	}
+	// Older gossip after CAS is refused, newer adopted.
+	if ok, _ := tbl.Install(m1); ok {
+		t.Fatal("older gossip adopted after CAS")
+	}
+	m5 := m2.clone()
+	m5.Version = 5
+	if ok, _ := tbl.Install(m5); !ok {
+		t.Fatal("newer gossip refused")
+	}
+	// Everything exposed was persisted first, in order.
+	if len(persisted) != 3 {
+		t.Fatalf("persisted %d maps, want 3", len(persisted))
+	}
+	var last Map
+	if err := json.Unmarshal(persisted[len(persisted)-1], &last); err != nil || last.Version != 5 {
+		t.Fatalf("last persisted version %d err %v", last.Version, err)
+	}
+}
+
+func TestTableCASPersistFailureLeavesCurrent(t *testing.T) {
+	m1, _ := New(1, nodeSet(2))
+	fail := fmt.Errorf("disk gone")
+	tbl := NewTable(m1, func([]byte) error { return fail })
+	if _, err := tbl.CAS(1, func(cur *Map) (*Map, error) { return cur.WithOverride("a", "n1") }); err == nil {
+		t.Fatal("CAS survived persist failure")
+	}
+	if tbl.Current().Version != 1 {
+		t.Fatalf("failed CAS advanced the table to v%d", tbl.Current().Version)
+	}
+}

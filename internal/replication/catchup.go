@@ -1,0 +1,233 @@
+package replication
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"adminrefine/internal/storage"
+	"adminrefine/internal/tenant"
+)
+
+// CatchUpOptions configures a one-shot migration catch-up (see CatchUp).
+type CatchUpOptions struct {
+	// Upstream is the source primary's base URL.
+	Upstream string
+	// Client performs the round trips (default: 30s-timeout client).
+	Client *http.Client
+	// Epoch is the node's fencing-epoch handle. CatchUp never SENDS an epoch
+	// — the source and target are independent primaries, and presenting the
+	// target's (possibly higher) epoch would make the source demote itself,
+	// a fencing rule meant for rivals within one lineage, not for a
+	// migration peer. Response epochs above ours are still adopted durably,
+	// so records the target will stamp after the flip never move the
+	// tenant's epoch backwards. Nil reads as a permanent epoch 0.
+	Epoch *Epoch
+	// MaxAttempts bounds transient-error retries (default 3).
+	MaxAttempts int
+	// Backoff is the delay between retries (default 100ms).
+	Backoff time.Duration
+}
+
+func (o CatchUpOptions) withDefaults() CatchUpOptions {
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	return o
+}
+
+// CatchUp replicates one tenant from opts.Upstream into reg until the local
+// copy reaches the source's head, returning the generation it stopped at —
+// the target half of a live migration. It reuses the replication wire
+// protocol (snapshot bootstrap + pull) but runs to completion instead of
+// looping forever: a pull answering "no records, head == local generation,
+// edge counts match" ends it. The migration flip protocol calls it twice —
+// once unfenced for the bulk transfer, once after the source fenced the
+// tenant's writes, when the head is frozen and the returned generation is
+// exactly the value the source verifies before flipping placement.
+func CatchUp(ctx context.Context, reg *tenant.Registry, name string, opts CatchUpOptions) (uint64, error) {
+	opts = opts.withDefaults()
+	gen, epoch, err := reg.ReplicaPosition(name)
+	haveLocal := err == nil
+	if err != nil && !tenant.IsNotFound(err) {
+		return 0, err
+	}
+	attempts := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("replication: catch up %s: %w", name, err)
+		}
+		done, newGen, newEpoch, err := catchUpStep(ctx, reg, name, gen, epoch, haveLocal, opts)
+		if err != nil {
+			if tenant.IsNotFound(err) || IsUpstreamFenced(err) {
+				return 0, err // no amount of retrying fixes these
+			}
+			attempts++
+			if attempts >= opts.MaxAttempts {
+				return 0, err
+			}
+			t := time.NewTimer(opts.Backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return 0, ctx.Err()
+			}
+			continue
+		}
+		attempts = 0
+		gen, epoch, haveLocal = newGen, newEpoch, true
+		if done {
+			return gen, nil
+		}
+	}
+}
+
+// catchUpStep performs one replication round: a snapshot bootstrap when
+// there is no local state (or the source signalled a gap/fork), else one
+// immediate pull + apply. done reports the caught-up-and-verified state.
+func catchUpStep(ctx context.Context, reg *tenant.Registry, name string, gen, epoch uint64, haveLocal bool, opts CatchUpOptions) (done bool, newGen, newEpoch uint64, err error) {
+	if !haveLocal {
+		newGen, newEpoch, err = catchUpBootstrap(ctx, reg, name, opts)
+		return false, newGen, newEpoch, err
+	}
+	url := fmt.Sprintf("%s/v1/replicate/%s/pull?after_seq=%d&after_epoch=%d&wait_ms=0",
+		opts.Upstream, name, gen, epoch)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, gen, epoch, err
+	}
+	resp, err := opts.Client.Do(req)
+	if err != nil {
+		return false, gen, epoch, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusGone:
+	case http.StatusNotFound:
+		return false, gen, epoch, fmt.Errorf("replication: catch up %s: %w", name, tenant.ErrNotFound)
+	case http.StatusMisdirectedRequest:
+		return false, gen, epoch, fmt.Errorf("replication: catch up %s: source at epoch %s: %w",
+			name, resp.Header.Get(HeaderEpoch), ErrUpstreamFenced)
+	default:
+		return false, gen, epoch, fmt.Errorf("replication: catch up %s: source status %d", name, resp.StatusCode)
+	}
+	if err := catchUpAdoptEpoch(name, resp, opts.Epoch); err != nil {
+		return false, gen, epoch, err
+	}
+	head, err := strconv.ParseUint(resp.Header.Get(HeaderHead), 10, 64)
+	if err != nil {
+		return false, gen, epoch, fmt.Errorf("replication: catch up %s: bad %s header", name, HeaderHead)
+	}
+	if resp.StatusCode == http.StatusGone {
+		newGen, newEpoch, err = catchUpBootstrap(ctx, reg, name, opts)
+		return false, newGen, newEpoch, err
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPullBody))
+	if err != nil {
+		return false, gen, epoch, fmt.Errorf("replication: catch up %s: read body: %w", name, err)
+	}
+	_, records := storage.DecodeFrames(body)
+	if len(records) == 0 {
+		if gen != head {
+			// The source served nothing yet claims a different head — a
+			// fresh compaction window; bootstrap resolves it.
+			newGen, newEpoch, err = catchUpBootstrap(ctx, reg, name, opts)
+			return false, newGen, newEpoch, err
+		}
+		// Caught up; run the same state checksum the steady-state follower
+		// uses (generation equality alone misses a policy installed at
+		// generation 0 after an empty bootstrap).
+		if edges, err := strconv.Atoi(resp.Header.Get(HeaderEdges)); err == nil && edges >= 0 {
+			if local, err := reg.EdgeCount(name); err == nil && local != edges {
+				newGen, newEpoch, err = catchUpBootstrap(ctx, reg, name, opts)
+				return false, newGen, newEpoch, err
+			}
+		}
+		return true, gen, epoch, nil
+	}
+	newGen, err = reg.ApplyReplicated(name, records)
+	if err != nil {
+		if tenant.IsOutOfSync(err) {
+			newGen, newEpoch, err = catchUpBootstrap(ctx, reg, name, opts)
+			return false, newGen, newEpoch, err
+		}
+		return false, gen, epoch, err
+	}
+	newEpoch = epoch
+	for i := len(records) - 1; i >= 0; i-- {
+		if r := records[i]; !r.IsAudit() && uint64(r.Seq) <= newGen {
+			newEpoch = r.Epoch
+			break
+		}
+	}
+	return false, newGen, newEpoch, nil
+}
+
+// catchUpBootstrap installs the source's snapshot locally and returns the
+// position it covers.
+func catchUpBootstrap(ctx context.Context, reg *tenant.Registry, name string, opts CatchUpOptions) (uint64, uint64, error) {
+	url := fmt.Sprintf("%s/v1/replicate/%s/snapshot", opts.Upstream, name)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := opts.Client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return 0, 0, fmt.Errorf("replication: catch up %s: %w", name, tenant.ErrNotFound)
+	case http.StatusMisdirectedRequest:
+		return 0, 0, fmt.Errorf("replication: catch up %s: source at epoch %s: %w",
+			name, resp.Header.Get(HeaderEpoch), ErrUpstreamFenced)
+	default:
+		return 0, 0, fmt.Errorf("replication: catch up %s: source status %d", name, resp.StatusCode)
+	}
+	if err := catchUpAdoptEpoch(name, resp, opts.Epoch); err != nil {
+		return 0, 0, err
+	}
+	var payload struct {
+		Seq      uint64           `json:"seq"`
+		SeqEpoch uint64           `json:"seq_epoch"`
+		Policy   json.RawMessage  `json:"policy"`
+		Audit    []storage.Record `json:"audit"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxPullBody)).Decode(&payload); err != nil {
+		return 0, 0, fmt.Errorf("replication: catch up %s: decode snapshot: %w", name, err)
+	}
+	if err := reg.InstallReplicaSnapshot(name, payload.Policy, payload.Seq, payload.SeqEpoch, payload.Audit); err != nil {
+		return 0, 0, err
+	}
+	return payload.Seq, payload.SeqEpoch, nil
+}
+
+// catchUpAdoptEpoch adopts a response epoch above our own durably before any
+// of the response is applied. Unlike the steady-state follower it never
+// refuses a source behind our epoch: source and target are separate
+// lineages, and placement-version CAS — not epochs — fences the migration.
+func catchUpAdoptEpoch(name string, resp *http.Response, epoch *Epoch) error {
+	respEpoch, err := parseEpoch(resp.Header.Get(HeaderEpoch))
+	if err != nil {
+		return fmt.Errorf("replication: catch up %s: bad %s header", name, HeaderEpoch)
+	}
+	if respEpoch > epoch.Current() {
+		if _, err := epoch.Observe(respEpoch); err != nil {
+			return fmt.Errorf("replication: catch up %s: adopt epoch %d: %w", name, respEpoch, err)
+		}
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"adminrefine/internal/api"
 	"adminrefine/internal/engine"
 	"adminrefine/internal/policy"
 	"adminrefine/internal/replication"
@@ -137,7 +138,7 @@ func TestServerFencesOnDeposedEpoch(t *testing.T) {
 	if code := putPolicy(t, ts.URL, "acme", policy.Figure1()); code != http.StatusNoContent {
 		t.Fatalf("put policy: %d", code)
 	}
-	var sess SessionResponse
+	var sess sessionEnvelope
 	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/sessions",
 		map[string]any{"user": policy.UserDiana, "activate": []string{policy.RoleNurse}}, &sess); code != http.StatusOK {
 		t.Fatalf("create session: %d", code)
@@ -178,11 +179,12 @@ func TestServerFencesOnDeposedEpoch(t *testing.T) {
 	// Writes are refused with the fencing signal; reads keep serving the
 	// local state (stale but available, same as a follower).
 	var errBody struct {
-		Epoch uint64 `json:"epoch"`
+		Error api.Error `json:"error"`
 	}
 	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/submit",
-		wire(t, workload.ChurnGrant(0, 8, 8)), &errBody); code != http.StatusMisdirectedRequest || errBody.Epoch != 5 {
-		t.Fatalf("write on fenced node: %d epoch %d, want 421 at epoch 5", code, errBody.Epoch)
+		wire(t, workload.ChurnGrant(0, 8, 8)), &errBody); code != http.StatusMisdirectedRequest ||
+		errBody.Error.Code != api.CodeFenced || errBody.Error.Epoch != 5 {
+		t.Fatalf("write on fenced node: %d %+v, want 421 code fenced at epoch 5", code, errBody.Error)
 	}
 	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/authorize",
 		wire(t, workload.ChurnGrant(0, 8, 8)), nil); code != http.StatusOK {

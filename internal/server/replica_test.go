@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"adminrefine/internal/api"
 	"adminrefine/internal/command"
 	"adminrefine/internal/engine"
 	"adminrefine/internal/model"
@@ -103,16 +104,14 @@ func TestMinGenerationUnreachableIs409(t *testing.T) {
 	req := wire(t, workload.ChurnGrant(0, 8, 8))
 	req.MinGeneration = 1 << 40
 	var stale struct {
-		Error         string `json:"error"`
-		Generation    uint64 `json:"generation"`
-		MinGeneration uint64 `json:"min_generation"`
+		Error api.Error `json:"error"`
 	}
 	code := doJSON(t, http.MethodPost, follower.URL+"/v1/tenants/acme/authorize", req, &stale)
 	if code != http.StatusConflict {
 		t.Fatalf("unreachable min_generation: status %d, want 409", code)
 	}
-	if stale.MinGeneration != req.MinGeneration || stale.Error == "" {
-		t.Fatalf("409 body %+v", stale)
+	if stale.Error.Code != api.CodeStaleGeneration || stale.Error.MinGeneration != req.MinGeneration {
+		t.Fatalf("409 body %+v", stale.Error)
 	}
 }
 

@@ -19,6 +19,10 @@ import (
 // scratch without deciding its reset story does not compile into a silent
 // cross-request leak — PR 4 shipped exactly that bug when MinGeneration
 // joined BatchRequest without a scalar reset.
+// The cluster control plane (migrate/adopt/nodes/placement push) decodes
+// into stack-local structs on purpose: those handlers run a few times per
+// topology change, not per request, so they do not earn a pooled slot — and
+// every pooled slot is one more reset obligation this table must carry.
 var scratchCoverage = map[string]string{
 	"req":      "decode target: struct rebuilt and element storage cleared by reset()",
 	"checkReq": "decode target: struct rebuilt and element storage cleared by reset()",
@@ -115,11 +119,12 @@ func TestCheckScratchDoesNotLeakMinGeneration(t *testing.T) {
 	if code := putPolicy(t, ts.URL, "acme", policy.Figure1()); code != http.StatusNoContent {
 		t.Fatalf("put policy status %d", code)
 	}
-	var sess SessionResponse
+	var env sessionEnvelope
 	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/sessions",
-		map[string]any{"user": policy.UserDiana, "activate": []string{policy.RoleNurse}}, &sess); code != http.StatusOK {
+		map[string]any{"user": policy.UserDiana, "activate": []string{policy.RoleNurse}}, &env); code != http.StatusOK {
 		t.Fatalf("create session status %d", code)
 	}
+	sess := env.Results
 	checks := []map[string]any{{"action": "read", "object": "t1"}}
 	// Unreachable min_generation: every pass must 409, stamping the pooled
 	// scratches with MinGeneration=7.

@@ -10,7 +10,7 @@
 //	POST /v1/tenants/{tenant}/authorize      {"commands":[...],"min_generation":G}    → {"results":[{"allowed":...},...],"generation":G'}
 //	POST /v1/tenants/{tenant}/submit         {"commands":[...]}                       → {"results":[{"outcome":...},...],"generation":G'}
 //	POST /v1/tenants/{tenant}/explain        {"command":{...},"min_generation":G}     → {"explanation":"...","generation":G'}
-//	POST /v1/tenants/{tenant}/sessions       {"user":U,"activate":[roles...]}         → {"session":ID,"user":U,"roles":[...],"generation":G'}
+//	POST /v1/tenants/{tenant}/sessions       {"user":U,"activate":[roles...]}         → {"results":{"session":ID,"user":U,"roles":[...]},"generation":G'}
 //	POST /v1/tenants/{tenant}/sessions/{sid} {"activate":[...],"deactivate":[...]}    → same shape (role updates)
 //	DELETE /v1/tenants/{tenant}/sessions/{sid}                                        → 204
 //	POST /v1/tenants/{tenant}/check          {"session":ID,"checks":[{"action","object"},...],"min_generation":G}
@@ -20,6 +20,12 @@
 //	GET  /v1/tenants/{tenant}/stats                                                   → tenant.Stats (+ "replication", "sessions")
 //	GET  /healthz                                                                     → liveness + uptime + role
 //	GET  /v1/replicate/{tenant}/...                                                   → log shipping (primary only; see internal/replication)
+//	GET|POST /v1/cluster/...                                                          → multi-primary control plane (see cluster.go);
+//	                                                                                    /v1/promote and /v1/repoint remain as deprecated aliases
+//
+// Every non-2xx data-plane response body is the unified error envelope of
+// internal/api: {"error":{"code":...,"message":...,...}} — clients dispatch
+// on the code, never on message text.
 //
 // Reads (authorize, explain, stats, sessions, check, audit) of a tenant with
 // no durable state return 404 and never create one; writes (submit, policy)
@@ -85,11 +91,13 @@ import (
 	"time"
 
 	"adminrefine/internal/admission"
+	"adminrefine/internal/api"
 	"adminrefine/internal/command"
 	"adminrefine/internal/constraints"
 	"adminrefine/internal/engine"
 	"adminrefine/internal/model"
 	"adminrefine/internal/parser"
+	"adminrefine/internal/placement"
 	"adminrefine/internal/replication"
 	"adminrefine/internal/session"
 	"adminrefine/internal/storage"
@@ -228,6 +236,23 @@ type Config struct {
 	// with FollowerOptions.Breaker so the pull loop's transport failures are
 	// what trip it. Repoint resets it (new upstream, fresh verdict).
 	Breaker *admission.Breaker
+	// Placement, together with NodeID, switches the node into cluster mode:
+	// the routing front consults the table's current map on every data-plane
+	// request (see cluster.go) and the /v1/cluster/* mutations operate on it.
+	// Nil (or a table holding no map) disables routing — the single-primary
+	// deployments of earlier PRs.
+	Placement *placement.Table
+	// NodeID is this node's stable placement identity. In a primary/follower
+	// pair both nodes carry the SAME ID: the follower serves the ID's reads
+	// from its replicated state and 307s the ID's writes upstream, and a
+	// promotion re-points the ID's address without moving any tenants.
+	NodeID string
+	// PeerClient performs node-to-node requests (forwards, gossip, adopt).
+	// The default client passes redirects through to the caller untouched.
+	PeerClient *http.Client
+	// PeerBreakerOptions configures the per-peer circuit breakers guarding
+	// the forwarding path (zero value = admission defaults).
+	PeerBreakerOptions admission.BreakerOptions
 }
 
 // Server is the HTTP facade over a tenant registry — a role state machine
@@ -255,6 +280,15 @@ type Server struct {
 	shedWrite       atomic.Uint64
 	shedDeadline    atomic.Uint64
 	breakerFastFail atomic.Uint64
+
+	// Cluster plane (see cluster.go): nil placement (or one holding no map)
+	// disables the routing front and the /v1/cluster mutations.
+	placement       *placement.Table
+	nodeID          string
+	peerClient      *http.Client
+	peerBreakerOpts admission.BreakerOptions
+	peersMu         sync.Mutex
+	peerBreakers    map[string]*admission.Breaker
 
 	// roleMu guards the role state below. Handlers take a read lock only to
 	// resolve the current role; transitions (Promote, Repoint, fence) take
@@ -304,15 +338,28 @@ func NewWithConfig(cfg Config) *Server {
 			Constraints: cfg.Constraints,
 			CacheSlots:  cfg.SessionCacheSlots,
 		}),
-		minGenWait:     cfg.MinGenWait,
-		mux:            http.NewServeMux(),
-		start:          time.Now(),
-		followerTmpl:   cfg.FollowerOptions,
-		probeInterval:  cfg.ProbeInterval,
-		probeThreshold: cfg.ProbeThreshold,
-		maxRequestTime: cfg.MaxRequestTime,
-		admission:      cfg.Admission,
-		breaker:        cfg.Breaker,
+		minGenWait:      cfg.MinGenWait,
+		mux:             http.NewServeMux(),
+		start:           time.Now(),
+		followerTmpl:    cfg.FollowerOptions,
+		probeInterval:   cfg.ProbeInterval,
+		probeThreshold:  cfg.ProbeThreshold,
+		maxRequestTime:  cfg.MaxRequestTime,
+		admission:       cfg.Admission,
+		breaker:         cfg.Breaker,
+		placement:       cfg.Placement,
+		nodeID:          cfg.NodeID,
+		peerClient:      cfg.PeerClient,
+		peerBreakerOpts: cfg.PeerBreakerOptions,
+		peerBreakers:    make(map[string]*admission.Breaker),
+	}
+	if s.peerClient == nil {
+		// Redirects from a peer (e.g. a follower sharing the owner's node ID)
+		// pass through verbatim: the original client follows them, exactly as
+		// it would a direct 307.
+		s.peerClient = &http.Client{
+			CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+		}
 	}
 	if cfg.Follower != nil {
 		s.followerTmpl = cfg.Follower.Options()
@@ -336,6 +383,17 @@ func NewWithConfig(cfg Config) *Server {
 	s.mux.HandleFunc("PUT /v1/tenants/{tenant}/policy", s.handlePutPolicy)
 	s.mux.HandleFunc("GET /v1/tenants/{tenant}/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// Control plane: role transitions and cluster topology live under
+	// /v1/cluster/*; the bare /v1/promote and /v1/repoint paths remain as
+	// deprecated aliases for pre-cluster operators and harnesses.
+	s.mux.HandleFunc("POST /v1/cluster/promote", s.handlePromote)
+	s.mux.HandleFunc("POST /v1/cluster/repoint", s.handleRepoint)
+	s.mux.HandleFunc("GET /v1/cluster/placement", s.handlePlacementGet)
+	s.mux.HandleFunc("POST /v1/cluster/placement", s.handlePlacementPush)
+	s.mux.HandleFunc("GET /v1/cluster/nodes", s.handleNodesGet)
+	s.mux.HandleFunc("POST /v1/cluster/nodes", s.handleNodeRepoint)
+	s.mux.HandleFunc("POST /v1/cluster/migrate", s.handleMigrate)
+	s.mux.HandleFunc("POST /v1/cluster/adopt", s.handleAdopt)
 	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
 	s.mux.HandleFunc("POST /v1/repoint", s.handleRepoint)
 	// The source is always mounted: a non-primary answers its endpoints 421
@@ -597,18 +655,20 @@ func (s *Server) awaitGeneration(w http.ResponseWriter, r *http.Request, name st
 			// overload (or a stalled replica), not staleness: 503 so the
 			// client retries instead of treating it as a consistency miss.
 			s.shedDeadline.Add(1)
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-				"error":          fmt.Sprintf("deadline expired at generation %d waiting for %d", gen, min),
-				"generation":     gen,
-				"min_generation": min,
+			api.Write(w, http.StatusServiceUnavailable, &api.Error{
+				Code:          api.CodeDeadline,
+				Message:       fmt.Sprintf("deadline expired at generation %d waiting for %d", gen, min),
+				Generation:    gen,
+				MinGeneration: min,
+				RetryAfter:    1,
 			})
 			return false
 		}
-		writeJSON(w, http.StatusConflict, map[string]any{
-			"error":          fmt.Sprintf("replica at generation %d, need %d", gen, min),
-			"generation":     gen,
-			"min_generation": min,
+		api.Write(w, http.StatusConflict, &api.Error{
+			Code:          api.CodeStaleGeneration,
+			Message:       fmt.Sprintf("replica at generation %d, need %d", gen, min),
+			Generation:    gen,
+			MinGeneration: min,
 		})
 		return false
 	}
@@ -631,9 +691,11 @@ func (s *Server) gateWrite(w http.ResponseWriter, r *http.Request) bool {
 			// point the client at a dead node and burn its retry budget on a
 			// connect timeout. Fail fast here with the breaker's own horizon.
 			s.breakerFastFail.Add(1)
-			w.Header().Set("Retry-After", retryAfterSeconds(s.breaker.RetryAfter()))
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-				"error": fmt.Sprintf("upstream primary %s unreachable (circuit open)", f.Upstream()),
+			api.Write(w, http.StatusServiceUnavailable, &api.Error{
+				Code:       api.CodeUnavailable,
+				Message:    fmt.Sprintf("upstream primary %s unreachable (circuit open)", f.Upstream()),
+				RetryAfter: retryAfterSecondsInt(s.breaker.RetryAfter()),
+				Node:       f.Upstream(),
 			})
 			return false
 		}
@@ -645,9 +707,10 @@ func (s *Server) gateWrite(w http.ResponseWriter, r *http.Request) bool {
 		return false
 	case fenced:
 		w.Header().Set(replication.HeaderEpoch, strconv.FormatUint(s.epoch.Current(), 10))
-		writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
-			"error": fmt.Sprintf("node was deposed (epoch %d): not accepting writes", s.epoch.Current()),
-			"epoch": s.epoch.Current(),
+		api.Write(w, http.StatusMisdirectedRequest, &api.Error{
+			Code:    api.CodeFenced,
+			Message: fmt.Sprintf("node was deposed (epoch %d): not accepting writes", s.epoch.Current()),
+			Epoch:   s.epoch.Current(),
 		})
 		return false
 	default:
@@ -709,17 +772,18 @@ func retryAfterSeconds(d time.Duration) string {
 // Both carry Retry-After.
 func (s *Server) shed(w http.ResponseWriter, cl admission.Class, err error) {
 	status := http.StatusServiceUnavailable
+	code := api.CodeOverloaded
 	switch {
 	case admission.IsDeadline(err):
 		s.shedDeadline.Add(1)
+		code = api.CodeDeadline
 	case cl == admission.Read && admission.IsOverloaded(err):
 		status = http.StatusTooManyRequests
 		s.shedRead.Add(1)
 	default:
 		s.shedWrite.Add(1)
 	}
-	w.Header().Set("Retry-After", "1")
-	httpError(w, status, err)
+	api.Write(w, status, &api.Error{Code: code, Message: err.Error(), RetryAfter: 1})
 }
 
 // ServeHTTP implements http.Handler. Every data-plane request passes the
@@ -731,6 +795,16 @@ func (s *Server) shed(w http.ResponseWriter, cl admission.Class, err error) {
 // class is bounded no matter how slow the disk below it is.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	// Cluster mode: stamp the placement version on every response, and route
+	// data-plane requests for tenants this node does not own (redirect,
+	// forward, or 421 misrouted — see cluster.go) before spending any local
+	// admission capacity on them.
+	if m := s.placementMap(); m != nil {
+		s.stampPlacement(w.Header())
+		if s.routeTenant(w, r, m) {
+			return
+		}
+	}
 	cl, gated := classify(r)
 	if !gated {
 		s.mux.ServeHTTP(w, r)
@@ -848,12 +922,13 @@ type SessionRequest struct {
 	MinGeneration uint64 `json:"min_generation,omitempty"`
 }
 
-// SessionResponse describes a session's current state on this node.
+// SessionResponse describes a session's current state on this node. It
+// travels as the results of the standard batch envelope — the generation it
+// was validated at is the envelope's, like every other data-plane response.
 type SessionResponse struct {
-	Session    uint64   `json:"session"`
-	User       string   `json:"user"`
-	Roles      []string `json:"roles"`
-	Generation uint64   `json:"generation"`
+	Session uint64   `json:"session"`
+	User    string   `json:"user"`
+	Roles   []string `json:"roles"`
 }
 
 // CheckQuery is one access check: may the session perform (action, object)?
@@ -917,7 +992,9 @@ type batchResponse struct {
 	// epoch 0, the birth epoch). A jump between two acks tells the client a
 	// failover happened in between.
 	Epoch uint64 `json:"epoch,omitempty"`
-	Error string `json:"error,omitempty"`
+	// Error reports a mid-batch durability fault in the envelope's typed
+	// shape, alongside the results that were processed before it.
+	Error *api.Error `json:"error,omitempty"`
 }
 
 func (s *Server) handleAuthorize(w http.ResponseWriter, r *http.Request) {
@@ -970,6 +1047,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.shed(w, admission.Write, err)
 			return
 		}
+		if tenant.IsFenced(err) {
+			// The tenant's writes are fenced for a migration flip — a short
+			// window; the retry lands after the flip and gets routed to the
+			// new owner.
+			api.Write(w, http.StatusMisdirectedRequest, &api.Error{
+				Code:       api.CodeFenced,
+				Message:    err.Error(),
+				RetryAfter: 1,
+			})
+			return
+		}
 		tenantError(w, err)
 		return
 	}
@@ -991,7 +1079,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Commit-hook (durability) failure mid-batch: report what was
 		// processed together with the fault.
-		body.Error = err.Error()
+		body.Error = &api.Error{Code: api.CodeInternal, Message: err.Error()}
 		status = http.StatusInternalServerError
 	}
 	writeJSON(w, status, body)
@@ -1020,10 +1108,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"explanation": text, "generation": gen})
 }
 
-// sessionResponse renders a session's state with the generation it was
-// validated at.
-func sessionResponse(sess *session.Session, gen uint64) SessionResponse {
-	return SessionResponse{Session: sess.ID, User: sess.User, Roles: sess.Roles(), Generation: gen}
+// sessionResponse renders a session's state inside the batch envelope with
+// the generation it was validated at. Earlier revisions answered a bare
+// SessionResponse with an inline generation — the one data-plane response
+// that dodged the envelope; unified here.
+func sessionResponse(sess *session.Session, gen uint64) batchResponse {
+	return batchResponse{
+		Results:    SessionResponse{Session: sess.ID, User: sess.User, Roles: sess.Roles()},
+		Generation: gen,
+	}
 }
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
@@ -1051,7 +1144,9 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		// Capacity pressure is retryable elsewhere/later; everything else
 		// that survives the validation above is an activation denial.
 		if session.IsTableFull(err) {
-			httpError(w, http.StatusServiceUnavailable, err)
+			api.Write(w, http.StatusServiceUnavailable, &api.Error{
+				Code: api.CodeOverloaded, Message: err.Error(), RetryAfter: 1,
+			})
 			return
 		}
 		httpError(w, http.StatusForbidden, err)
@@ -1099,6 +1194,10 @@ func (s *Server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 	// veto, …) leaves the session exactly as it was.
 	sess, err := tbl.Update(snap, sid, req.Activate, req.Deactivate)
 	if err != nil {
+		if session.IsNoSession(err) {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
 		httpError(w, http.StatusForbidden, err)
 		return
 	}
@@ -1314,6 +1413,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if f := s.curFollower(); f != nil {
 		body["upstream"] = f.Upstream()
 	}
+	if s.nodeID != "" {
+		body["node_id"] = s.nodeID
+	}
+	if m := s.placementMap(); m != nil {
+		body["placement_version"] = m.Version
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -1405,6 +1510,34 @@ func tenantError(w http.ResponseWriter, err error) {
 	}
 }
 
+// httpError writes the unified error envelope (see internal/api) with the
+// status's default code. Paths that carry richer context (staleness tokens,
+// fencing epochs, owner addresses) call api.Write directly instead.
 func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	api.Write(w, status, &api.Error{Code: codeForStatus(status), Message: err.Error()})
+}
+
+// codeForStatus is the default status→code mapping for error paths with no
+// richer context.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return api.CodeBadRequest
+	case http.StatusNotFound:
+		return api.CodeNotFound
+	case http.StatusForbidden:
+		return api.CodeForbidden
+	case http.StatusConflict:
+		return api.CodeConflict
+	case http.StatusTooManyRequests:
+		return api.CodeOverloaded
+	case http.StatusServiceUnavailable:
+		return api.CodeUnavailable
+	case http.StatusBadGateway:
+		return api.CodeUnavailable
+	case http.StatusMisdirectedRequest:
+		return api.CodeFenced
+	default:
+		return api.CodeInternal
+	}
 }

@@ -14,6 +14,13 @@ import (
 	"adminrefine/internal/tenant"
 )
 
+// sessionEnvelope decodes the batch envelope every session mutation answers
+// with (SessionResponse as the results, the validating generation alongside).
+type sessionEnvelope struct {
+	Results    SessionResponse `json:"results"`
+	Generation uint64          `json:"generation"`
+}
+
 func TestSessionAndCheckEndpoints(t *testing.T) {
 	ts := newTestServer(t)
 	if code := putPolicy(t, ts.URL, "acme", policy.Figure1()); code != http.StatusNoContent {
@@ -21,11 +28,12 @@ func TestSessionAndCheckEndpoints(t *testing.T) {
 	}
 
 	// Create: diana as nurse.
-	var sess SessionResponse
+	var env sessionEnvelope
 	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/sessions",
-		map[string]any{"user": policy.UserDiana, "activate": []string{policy.RoleNurse}}, &sess); code != http.StatusOK {
+		map[string]any{"user": policy.UserDiana, "activate": []string{policy.RoleNurse}}, &env); code != http.StatusOK {
 		t.Fatalf("create session status %d", code)
 	}
+	sess := env.Results
 	if sess.User != policy.UserDiana || len(sess.Roles) != 1 || sess.Roles[0] != policy.RoleNurse {
 		t.Fatalf("session = %+v", sess)
 	}
@@ -63,13 +71,13 @@ func TestSessionAndCheckEndpoints(t *testing.T) {
 	}, []bool{true, true, false})
 
 	// Activate staff: write t3 opens up; deactivate: it closes again.
-	var upd SessionResponse
+	var upd sessionEnvelope
 	url := fmt.Sprintf("%s/v1/tenants/acme/sessions/%d", ts.URL, sess.Session)
 	if code := doJSON(t, http.MethodPost, url, map[string]any{"activate": []string{policy.RoleStaff}}, &upd); code != http.StatusOK {
 		t.Fatalf("activate status %d", code)
 	}
-	if len(upd.Roles) != 2 {
-		t.Fatalf("roles after activate = %v", upd.Roles)
+	if len(upd.Results.Roles) != 2 {
+		t.Fatalf("roles after activate = %v", upd.Results.Roles)
 	}
 	check([]map[string]any{{"action": "write", "object": "t3"}}, []bool{true})
 	if code := doJSON(t, http.MethodPost, url, map[string]any{"deactivate": []string{policy.RoleStaff}}, &upd); code != http.StatusOK {
@@ -136,12 +144,12 @@ func TestSessionDSDConstraintOverHTTP(t *testing.T) {
 		map[string]any{"user": policy.UserDiana, "activate": []string{policy.RoleNurse, policy.RoleStaff}}, nil); code != http.StatusForbidden {
 		t.Fatalf("DSD-violating create status %d, want 403", code)
 	}
-	var sess SessionResponse
+	var sess sessionEnvelope
 	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/tenants/acme/sessions",
 		map[string]any{"user": policy.UserDiana, "activate": []string{policy.RoleNurse}}, &sess); code != http.StatusOK {
 		t.Fatalf("create status %d", code)
 	}
-	url := fmt.Sprintf("%s/v1/tenants/acme/sessions/%d", ts.URL, sess.Session)
+	url := fmt.Sprintf("%s/v1/tenants/acme/sessions/%d", ts.URL, sess.Results.Session)
 	if code := doJSON(t, http.MethodPost, url, map[string]any{"activate": []string{policy.RoleStaff}}, nil); code != http.StatusForbidden {
 		t.Fatalf("DSD-violating activate status %d, want 403", code)
 	}

@@ -62,6 +62,14 @@ var ErrTableFull = errors.New("session table at capacity")
 // IsTableFull reports whether err is the MaxSessions capacity refusal.
 func IsTableFull(err error) bool { return errors.Is(err, ErrTableFull) }
 
+// ErrNoSession marks an operation against a session id this table never
+// issued (or already dropped) — an addressing miss, not an authorization
+// denial; transports map it to 404.
+var ErrNoSession = errors.New("no such session")
+
+// IsNoSession reports whether err is an unknown-session miss.
+func IsNoSession(err error) bool { return errors.Is(err, ErrNoSession) }
+
 // Options configures a Table (and, through a Registry, every table).
 type Options struct {
 	// Constraints optionally guards role activations (DSD). SSD constraints
@@ -237,7 +245,7 @@ func (t *Table) Get(id uint64) (*Session, bool) {
 func (t *Table) session(id uint64) (*Session, error) {
 	s, ok := t.Get(id)
 	if !ok {
-		return nil, fmt.Errorf("session: no session %d", id)
+		return nil, fmt.Errorf("session: no session %d: %w", id, ErrNoSession)
 	}
 	return s, nil
 }
@@ -358,7 +366,7 @@ func (t *Table) Deactivate(id uint64, role string) error {
 // Drop ends the session.
 func (t *Table) Drop(id uint64) error {
 	if _, ok := t.sessions.LoadAndDelete(id); !ok {
-		return fmt.Errorf("session: no session %d", id)
+		return fmt.Errorf("session: no session %d: %w", id, ErrNoSession)
 	}
 	t.count.Add(-1)
 	return nil

@@ -55,6 +55,16 @@ const KindAudit = "audit"
 // themselves instead.
 const KindEpoch = "epoch"
 
+// KindPlacement marks a placement-map control record: the durable copy of
+// the cluster's tenant→primary placement map (see internal/placement) as
+// last adopted by this node. Like epoch records they carry no command, are
+// never replayed or shipped to replication pullers, and live only in the
+// node-level store; the payload is the encoded map in Record.Data. Recovery
+// keeps the last one in file order — the placement Table enforces version
+// monotonicity before anything is persisted, so append order is version
+// order.
+const KindPlacement = "placement"
+
 // Record is one logged administrative command with its outcome.
 type Record struct {
 	// Kind distinguishes step records ("" — replayed into the policy on
@@ -85,6 +95,9 @@ type Record struct {
 	// that forked across a failover (force a rewinding snapshot bootstrap).
 	// On KindEpoch control records it is the adopted epoch itself.
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Data is the opaque payload of KindPlacement control records (the
+	// encoded placement map); empty on every other kind.
+	Data json.RawMessage `json:"data,omitempty"`
 }
 
 // IsAudit reports whether the record is an audit observation rather than a
@@ -93,6 +106,14 @@ func (r Record) IsAudit() bool { return r.Kind == KindAudit }
 
 // IsEpoch reports whether the record is a fencing-epoch control record.
 func (r Record) IsEpoch() bool { return r.Kind == KindEpoch }
+
+// IsPlacement reports whether the record is a placement-map control record.
+func (r Record) IsPlacement() bool { return r.Kind == KindPlacement }
+
+// IsControl reports whether the record is node-level control state (epoch
+// or placement) rather than tenant history: never replayed, never tailed,
+// never replicated, excluded from the compaction trigger.
+func (r Record) IsControl() bool { return r.IsEpoch() || r.IsPlacement() }
 
 // NewRecord converts an audit entry into a loggable record.
 func NewRecord(e monitor.AuditEntry) (Record, error) {
@@ -236,6 +257,10 @@ type Store struct {
 	// lastASeq is the highest audit index assigned or recovered; appends
 	// continue from it.
 	lastASeq uint64
+	// placement is the payload of the most recent KindPlacement control
+	// record (or the snapshot meta's copy), nil when none was ever adopted.
+	// Like epoch it is node state: only the node-level store writes it.
+	placement []byte
 	// sinceCompact counts log records written since the last compaction
 	// (records already in the log at Open count too): the compaction-trigger
 	// signal.
@@ -263,8 +288,12 @@ type snapshotMeta struct {
 	// Epoch is the durable fencing epoch at compaction time (see
 	// Store.Epoch); folding it into the snapshot keeps it recoverable even
 	// if every KindEpoch control record was truncated with the log.
-	Epoch  uint64          `json:"epoch,omitempty"`
-	Policy json.RawMessage `json:"policy"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Placement is the adopted placement map at compaction time (see
+	// Store.Placement), kept recoverable across log truncation exactly like
+	// Epoch.
+	Placement json.RawMessage `json:"placement,omitempty"`
+	Policy    json.RawMessage `json:"policy"`
 }
 
 // Open opens (or initialises) the store in dir, returning the recovered
@@ -277,6 +306,7 @@ func Open(dir string, opts Options) (*Store, *policy.Policy, Recovery, error) {
 	pol := policy.New()
 	seq := 0
 	var epoch, snapEpoch uint64
+	var placementData []byte
 
 	// Load snapshot if present.
 	snapPath := filepath.Join(dir, "snapshot.json")
@@ -291,6 +321,7 @@ func Open(dir string, opts Options) (*Store, *policy.Policy, Recovery, error) {
 		seq = meta.Seq
 		epoch = meta.Epoch
 		snapEpoch = meta.SeqEpoch
+		placementData = meta.Placement
 		rec.SnapshotLoaded = true
 	} else if !os.IsNotExist(err) {
 		return nil, nil, rec, err
@@ -332,7 +363,7 @@ func Open(dir string, opts Options) (*Store, *policy.Policy, Recovery, error) {
 	}
 	var auditRecs []Record
 	lastEpoch := snapEpoch
-	epochRecs := 0
+	ctrlRecs := 0
 	for _, r := range records {
 		if r.IsEpoch() {
 			// Fencing-epoch control records: adopt the highest, replay
@@ -340,7 +371,14 @@ func Open(dir string, opts Options) (*Store, *policy.Policy, Recovery, error) {
 			if r.Epoch > epoch {
 				epoch = r.Epoch
 			}
-			epochRecs++
+			ctrlRecs++
+			continue
+		}
+		if r.IsPlacement() {
+			// Placement control records: the last in file order wins (appends
+			// are version-ordered; see SetPlacement), replay nothing.
+			placementData = r.Data
+			ctrlRecs++
 			continue
 		}
 		if r.IsAudit() {
@@ -380,15 +418,15 @@ func Open(dir string, opts Options) (*Store, *policy.Policy, Recovery, error) {
 	// first submit after every restart of a store with a populated window.
 	s := &Store{dir: dir, opts: opts, f: f, seq: seq, snapBase: snapSeq,
 		off: validEnd, epoch: epoch, stampEpoch: lastEpoch,
-		lastEpoch: lastEpoch, snapEpoch: snapEpoch,
-		sinceCompact: len(records) - len(auditRecs) - epochRecs}
+		lastEpoch: lastEpoch, snapEpoch: snapEpoch, placement: placementData,
+		sinceCompact: len(records) - len(auditRecs) - ctrlRecs}
 	// Seed the in-memory tail with the decoded log (records at or below
 	// snapBase, if a crash mid-compaction left any, are filtered at serve
 	// time exactly as the file path would; epoch control records never enter
 	// the replication stream).
 	s.tailBase = snapSeq
 	for _, r := range records {
-		if !r.IsEpoch() {
+		if !r.IsControl() {
 			s.appendTailLocked(r)
 		}
 	}
@@ -824,6 +862,39 @@ func (s *Store) SetEpoch(e uint64) error {
 	return nil
 }
 
+// Placement reports the payload of the node's most recent placement-map
+// control record, nil when none was ever adopted (see SetPlacement).
+func (s *Store) Placement() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.placement
+}
+
+// SetPlacement durably adopts an encoded placement map by appending a
+// KindPlacement control record, fsynced regardless of Options.Sync — a
+// placement adoption that vanished in a crash could resurrect an owner the
+// cluster already migrated away from. The store does not order payloads;
+// the placement Table persists strictly version-increasing maps, so the
+// last record in file order is the newest (see Open). Like epoch records,
+// placement records stay out of the tail, the audit log and the compaction
+// trigger: node state, not tenant history.
+func (s *Store) SetPlacement(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writableLocked(); err != nil {
+		return err
+	}
+	buf, err := EncodeFrame(nil, Record{Kind: KindPlacement, Data: data})
+	if err != nil {
+		return err
+	}
+	if err := s.writeLocked(buf, true); err != nil {
+		return err
+	}
+	s.placement = append([]byte(nil), data...)
+	return nil
+}
+
 // SetStampEpoch sets the epoch stamped onto locally minted records from now
 // on. In-memory only: durability rides on the stamped records themselves.
 func (s *Store) SetStampEpoch(e uint64) {
@@ -954,7 +1025,7 @@ func (s *Store) compactLocked(p *policy.Policy, seq int, seqEpoch uint64, keepAu
 	if err != nil {
 		return err
 	}
-	meta, err := json.Marshal(snapshotMeta{Seq: seq, SeqEpoch: seqEpoch, Epoch: s.epoch, Policy: polData})
+	meta, err := json.Marshal(snapshotMeta{Seq: seq, SeqEpoch: seqEpoch, Epoch: s.epoch, Placement: s.placement, Policy: polData})
 	if err != nil {
 		return err
 	}

@@ -316,3 +316,52 @@ func TestSnapshotSkipsOldRecords(t *testing.T) {
 		t.Fatal("state mismatch")
 	}
 }
+
+func TestPlacementRecordSurvivesRestartAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Placement(); got != nil {
+		t.Fatalf("fresh store placement = %q, want nil", got)
+	}
+	if err := s.SetPlacement([]byte(`{"version":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPlacement([]byte(`{"version":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Restart: the last placement record in file order wins, and the control
+	// records neither replay into the policy nor count as recovered steps.
+	s2, _, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Records != 0 {
+		t.Errorf("control records counted as steps: %d", rec.Records)
+	}
+	if got := string(s2.Placement()); got != `{"version":2}` {
+		t.Fatalf("recovered placement = %q", got)
+	}
+	if s2.SinceCompact() != 0 {
+		t.Errorf("control records primed the compaction trigger: %d", s2.SinceCompact())
+	}
+
+	// Compaction folds the placement into the snapshot meta: it must survive
+	// a compaction that truncates every control record plus a restart.
+	if err := s2.Compact(policy.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, _, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if got := string(s3.Placement()); got != `{"version":2}` {
+		t.Fatalf("placement after compaction+restart = %q", got)
+	}
+}

@@ -164,6 +164,11 @@ type tenant struct {
 	// WAL already holds every applied record — so they surface via Stats,
 	// not the submit path.
 	compactErr atomic.Pointer[string]
+	// fenced refuses new submissions while a migration flips the tenant to
+	// another primary (see Registry.FenceWrites). Checked on entry and again
+	// by the commit leader under submu, so once FenceWrites returns no later
+	// group can commit.
+	fenced atomic.Bool
 }
 
 func (t *tenant) engine() *engine.Engine { return t.eng.Load() }
@@ -212,6 +217,10 @@ var (
 	// mapping transports use for the registry's own errors.
 	ErrBadName  = errors.New("invalid tenant name")
 	ErrNotFound = errors.New("no such tenant")
+	// ErrFenced refuses a write to a tenant whose ownership is mid-flip to
+	// another primary (see Registry.FenceWrites). Transient: clients retry
+	// and land on the new owner once placement flips.
+	ErrFenced = errors.New("tenant writes fenced for migration")
 )
 
 // IsBadName reports whether err came from an inadmissible tenant name.
@@ -224,6 +233,10 @@ func IsNotFound(err error) bool { return errors.Is(err, ErrNotFound) }
 // IsProvisioned reports whether err came from installing a policy on a
 // tenant that already has administrative history.
 func IsProvisioned(err error) bool { return errors.Is(err, errProvisioned) }
+
+// IsFenced reports whether err came from a write refused during a migration
+// flip window.
+func IsFenced(err error) bool { return errors.Is(err, ErrFenced) }
 
 // ValidName reports whether a tenant name is admissible: 1–64 characters
 // drawn from [A-Za-z0-9_-], so every name maps to a safe directory name.
@@ -625,6 +638,11 @@ func (r *Registry) submitGrouped(ctx context.Context, t *tenant, cmds []command.
 		close(w.done)
 		return w
 	}
+	if t.fenced.Load() {
+		w.err = fmt.Errorf("tenant %s: %w", t.name, ErrFenced)
+		close(w.done)
+		return w
+	}
 	t.qmu.Lock()
 	if max := r.opts.MaxQueuedSubmits; max > 0 && len(t.queue) >= max {
 		t.qmu.Unlock()
@@ -682,6 +700,17 @@ func (r *Registry) submitGrouped(ctx context.Context, t *tenant, cmds []command.
 // group — monotone, hence a valid read-your-writes token for every member.
 // Caller holds t.submu.
 func (r *Registry) commitGroup(t *tenant, group []*submitWaiter) {
+	if t.fenced.Load() {
+		// A submitter that passed the entry check before the fence landed can
+		// still become a leader afterwards; FenceWrites sets the flag before
+		// taking submu, so re-checking here (under submu) guarantees no group
+		// commits once FenceWrites has returned.
+		for _, w := range group {
+			w.err = fmt.Errorf("tenant %s: %w", t.name, ErrFenced)
+			close(w.done)
+		}
+		return
+	}
 	r.stampEpoch(t)
 	eng := t.eng.Load()
 	cmds := group[0].cmds
@@ -860,6 +889,48 @@ func (r *Registry) Resident() int {
 		sh.mu.Unlock()
 	}
 	return n
+}
+
+// FenceWrites refuses further submissions on the tenant and drains the
+// in-flight commit group before returning: afterwards the tenant's
+// generation is stable until UnfenceWrites (or eviction). This is the
+// source-side flip window of a live migration — the migrating primary
+// fences, waits for the head to stop moving, verifies the target caught up
+// to exactly that head, and only then flips placement. Queued submitters
+// are refused with ErrFenced; nothing of theirs was committed.
+func (r *Registry) FenceWrites(name string) error {
+	t, err := r.acquire(name, true)
+	if err != nil {
+		return err
+	}
+	defer t.release()
+	t.fenced.Store(true)
+	// Barrier: once we hold submu, no commit group is in flight, and any
+	// leader acquiring it later re-checks the fence before committing.
+	t.submu.Lock()
+	t.qmu.Lock()
+	queued := t.queue
+	t.queue = nil
+	t.qmu.Unlock()
+	for _, w := range queued {
+		w.err = fmt.Errorf("tenant %s: %w", t.name, ErrFenced)
+		close(w.done)
+	}
+	t.submu.Unlock()
+	return nil
+}
+
+// UnfenceWrites lifts a FenceWrites fence — the rollback path of a failed
+// migration. No-op when the tenant is not resident (an evicted tenant
+// reopens unfenced).
+func (r *Registry) UnfenceWrites(name string) {
+	sh := r.shardOf(name)
+	sh.mu.Lock()
+	t, ok := sh.tenants[name]
+	sh.mu.Unlock()
+	if ok {
+		t.fenced.Store(false)
+	}
 }
 
 // Evict compacts and closes the tenant if it is resident and idle, reporting

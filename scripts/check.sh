@@ -17,7 +17,7 @@ go build ./...
 test -z "$(gofmt -l .)"
 go vet ./...
 go test ./...
-go test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/session/ ./internal/tenant/ ./internal/server/ ./internal/replication/ ./internal/decision/ ./internal/command/ ./internal/admission/
+go test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/session/ ./internal/tenant/ ./internal/server/ ./internal/replication/ ./internal/decision/ ./internal/command/ ./internal/admission/ ./internal/placement/ ./internal/api/
 go test -race ./cmd/rbacd/ ./internal/storage/ ./internal/fault/
 go test -run XXX -bench 'Incremental|BatchVsSingle|CachedAuthorize|AuthorizeAllocs|ReplicatedAuthorize|AccessCheck' -benchtime=100x .
 go run ./cmd/rbacbench -serve -serve-rate 300 -serve-duration 3s
