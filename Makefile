@@ -30,9 +30,10 @@ test:
 # surface; graph/core feed it, decision/command carry the lock-free cache
 # and interner under it, admission is the semaphore/breaker layer every
 # request crosses, placement is the lock-free routing map every request
-# consults in cluster mode, and api is the error envelope on every non-2xx.
+# consults in cluster mode, api is the error envelope on every non-2xx, and
+# wire is the binary data plane (pipelined connections, pooled decode).
 race:
-	$(GO) test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/session/ ./internal/tenant/ ./internal/server/ ./internal/replication/ ./internal/decision/ ./internal/command/ ./internal/admission/ ./internal/placement/ ./internal/api/
+	$(GO) test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/session/ ./internal/tenant/ ./internal/server/ ./internal/replication/ ./internal/decision/ ./internal/command/ ./internal/admission/ ./internal/placement/ ./internal/api/ ./internal/wire/
 
 # Failure paths under the race detector: the daemon chaos e2es (SIGKILL the
 # primary under load, promote, assert zero acknowledged-write loss and
@@ -48,9 +49,10 @@ bench-smoke:
 
 # Bounded open-loop socket smoke: stands up an in-process rbacd (group-commit
 # fsync on) behind a real loopback listener, offers a few seconds of mixed
-# load, and fails on any op error, 409 or drop.
+# load over HTTP and then over the binary wire protocol, and fails on any op
+# error, 409 or drop in either pass.
 serve-smoke:
-	$(GO) run ./cmd/rbacbench -serve -serve-rate 300 -serve-duration 3s
+	$(GO) run ./cmd/rbacbench -serve -wire -serve-rate 300 -serve-duration 3s
 
 # Saturation smoke: steady baseline, then 3x that rate against an
 # admission-limited stack with fault-stalled fsyncs; fails unless the
@@ -69,6 +71,7 @@ benchdiff:
 fuzz-smoke:
 	$(GO) test ./internal/command/ -fuzz FuzzCommandFingerprint -fuzztime 10s
 	$(GO) test ./internal/storage/ -fuzz FuzzWALDecode -fuzztime 10s
+	$(GO) test ./internal/wire/ -fuzz FuzzWireDecode -fuzztime 10s
 
 # Full benchmark sweep (slow).
 bench:

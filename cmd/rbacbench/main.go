@@ -10,6 +10,7 @@
 //	rbacbench -benchjson out.json -benchfilter BatchVsSingle
 //	rbacbench -benchdiff BENCH_3.json -benchfilter Authorize,BatchVsSingle
 //	rbacbench -serve -serve-duration 3s  # open-loop socket load vs live rbacd
+//	rbacbench -serve -wire               # + binary-protocol pass (Wire* series)
 //
 // -benchdiff re-runs the matching benchmarks and fails (exit 1) when any
 // regresses against the committed baseline: >25% on ns/op (override with
@@ -41,6 +42,7 @@ func main() {
 	serveFollower := flag.Bool("serve-follower", false, "with -serve: stand up a WAL-streaming follower and point reads at it")
 	serveRouted := flag.Bool("serve-routed", false, "with -serve: stand up a two-primary placement cluster and drive all load at a node owning none of the tenants, so every op crosses the routing front (emits Routed* series)")
 	serveSync := flag.Bool("serve-sync", true, "with -serve: fsync each commit group on the primary (durable submits)")
+	serveWire := flag.Bool("wire", false, "with -serve: also run the binary-protocol pass (persistent framed connections) and emit Wire* series next to the HTTP Serve* baseline")
 	overload := flag.Bool("overload", false, "with -serve: run the saturation proof instead — a steady phase, then -overload-mult x that rate against an admission-limited stack, asserting the degradation contract (shed with 429/503, admitted p99 bounded, zero acked writes lost)")
 	overloadMult := flag.Float64("overload-mult", 3, "with -serve -overload: overload-phase rate multiplier")
 	serveJSON := flag.String("serve-json", "", "with -serve: also write the harness entries as BENCH-style JSON to this file")
@@ -94,6 +96,7 @@ func main() {
 			Follower:  *serveFollower,
 			Routed:    *serveRouted,
 			TargetURL: *serveTarget,
+			Wire:      *serveWire,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

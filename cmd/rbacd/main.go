@@ -17,6 +17,12 @@
 //	curl         localhost:8270/v1/tenants/acme/stats
 //	curl         localhost:8270/healthz
 //
+// A second, binary data plane can listen beside HTTP (-wire-addr :8271):
+// the same authorize/check/submit/session operations over persistent framed
+// connections with pipelining and server-side batching, sharing admission,
+// deadlines, generation tokens and epoch fencing with the HTTP plane (see
+// internal/wire and ARCHITECTURE.md).
+//
 // Sessions (the paper's §2–3 monitor sessions) are node-local runtime
 // state; the audit trail is durable in the WAL and replicated. Optional
 // separation-of-duty constraints (-constraints rules.json) guard every
@@ -80,6 +86,7 @@ import (
 	"adminrefine/internal/server"
 	"adminrefine/internal/storage"
 	"adminrefine/internal/tenant"
+	wirep "adminrefine/internal/wire"
 )
 
 func main() {
@@ -96,6 +103,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rbacd", flag.ContinueOnError)
 	var (
 		addr         = fs.String("addr", ":8270", "listen address (host:port; port 0 picks a free port)")
+		wireAddr     = fs.String("wire-addr", "", "binary wire-protocol listen address alongside HTTP (host:port; port 0 picks a free port; empty disables)")
 		dataDir      = fs.String("data", "rbacd-data", "root data directory; each tenant persists in its own subdirectory")
 		mode         = fs.String("mode", "refined", "authorization regime: strict (literal Definition 5) or refined (ordering-based §4.1)")
 		shards       = fs.Int("shards", 8, "lock-striped tenant shards")
@@ -304,14 +312,43 @@ func run(args []string, out io.Writer) error {
 		IdleTimeout:       *idleTimeout,
 		MaxHeaderBytes:    *maxHeaderBytes,
 	}
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() { errc <- srv.Serve(ln) }()
+
+	// The binary data plane listens beside HTTP on the same machinery:
+	// identical admission, deadlines, generation tokens and epoch fencing,
+	// just without the JSON.
+	var wireSrv *wirep.Server
+	if *wireAddr != "" {
+		wln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			srv.Close()
+			handler.Close()
+			closeAll()
+			return err
+		}
+		fmt.Fprintf(out, "rbacd: wire listening on %s\n", wln.Addr())
+		wireSrv = wirep.NewServer(handler.WireConfig())
+		go func() {
+			if werr := wireSrv.Serve(wln); werr != nil {
+				errc <- fmt.Errorf("rbacd: wire: %w", werr)
+			}
+		}()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-stop:
 		fmt.Fprintf(out, "rbacd: %v, draining\n", sig)
+		// Drain the binary plane first: Close wakes blocked connection
+		// reads, lets every request already on the wire finish against live
+		// sessions, flushes the responses and waits — so no in-flight binary
+		// call sees the session drop below.
+		if wireSrv != nil {
+			wireSrv.Close()
+			fmt.Fprintf(out, "rbacd: wire drained\n")
+		}
 		// Drop open sessions (node-local state dies with the node, before
 		// the registry compacts below) and wake parked replication
 		// long-polls, or they eat the drain budget (Shutdown waits for
@@ -328,6 +365,9 @@ func run(args []string, out io.Writer) error {
 		}
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
+			if wireSrv != nil {
+				wireSrv.Close()
+			}
 			handler.Close()
 			closeAll()
 			return err

@@ -648,6 +648,18 @@ var serveBenchNames = []string{
 	"ServeThroughput/achieved",
 }
 
+// wireBenchNames are the binary-protocol counterparts: the same ops driven
+// over the persistent framed wire (rbacbench -serve -wire). They ride the
+// same harness run as serveBenchNames so WireAuthorize/p50 vs
+// ServeAuthorize/p50 is a same-run, same-rate comparison — the ≥3× socket
+// win the binary plane exists for.
+var wireBenchNames = []string{
+	"WireAuthorize/p50", "WireAuthorize/p99", "WireAuthorize/p999",
+	"WireCheck/p50", "WireCheck/p99", "WireCheck/p999",
+	"WireDurableSubmit/p50", "WireDurableSubmit/p99", "WireDurableSubmit/p999",
+	"WireThroughput/achieved",
+}
+
 // routedBenchNames are the routed-mode counterparts: the same ops driven at
 // a node that owns none of the tenants, so every request crosses the routing
 // front to the owning primary. RoutedAuthorize/p50 vs ServeAuthorize/p50 is
@@ -665,27 +677,33 @@ var routedBenchNames = []string{
 // routed harness is a second, independent run gated the same way by its own
 // names.
 func serveSpecs(progress io.Writer, filter string) (map[string]BenchResult, error) {
-	out := make(map[string]BenchResult)
-	for _, pass := range []struct {
-		names  []string
-		routed bool
-	}{
-		{serveBenchNames, false},
-		{routedBenchNames, true},
-	} {
-		wanted := false
-		for _, name := range pass.names {
+	wanted := func(names []string) bool {
+		for _, name := range names {
 			if matchesFilter(name, filter) {
-				wanted = true
-				break
+				return true
 			}
 		}
-		if !wanted {
-			continue
-		}
-		all, err := RunServeBench(progress, ServeBenchOptions{Sync: true, Routed: pass.routed})
+		return false
+	}
+	out := make(map[string]BenchResult)
+	// The wire pass rides the serve harness run (RunServeBench with Wire set
+	// emits both series), so a filter wanting either stands the stack up once
+	// and Wire* vs Serve* stays a same-run comparison.
+	if serveWanted, wireWanted := wanted(serveBenchNames), wanted(wireBenchNames); serveWanted || wireWanted {
+		all, err := RunServeBench(progress, ServeBenchOptions{Sync: true, Wire: wireWanted})
 		if err != nil {
-			return nil, fmt.Errorf("serve bench (routed=%v): %w", pass.routed, err)
+			return nil, fmt.Errorf("serve bench (wire=%v): %w", wireWanted, err)
+		}
+		for name, r := range all {
+			if matchesFilter(name, filter) {
+				out[name] = r
+			}
+		}
+	}
+	if wanted(routedBenchNames) {
+		all, err := RunServeBench(progress, ServeBenchOptions{Sync: true, Routed: true})
+		if err != nil {
+			return nil, fmt.Errorf("serve bench (routed): %w", err)
 		}
 		for name, r := range all {
 			if matchesFilter(name, filter) {

@@ -280,6 +280,12 @@ type ServeBenchOptions struct {
 	// TargetURL, when set, skips standing up a server and loads an already
 	// running rbacd at that base URL instead (reads and writes both).
 	TargetURL string
+	// Wire additionally runs the binary-protocol pass: a second stack with a
+	// wire listener alongside, loaded with the identical open-loop schedule
+	// through a WireTarget, emitting Wire* entries next to the same run's
+	// Serve* HTTP baseline. Incompatible with Routed and TargetURL (the
+	// routing front and remote daemons are HTTP-plane concerns).
+	Wire bool
 	// Seed fixes the op-slab generator (default 1).
 	Seed int64
 	// Mix overrides the generated op mix; zero value means
@@ -548,6 +554,9 @@ func serveEntryName(kind string, sync bool) string {
 // on them.
 func RunServeBench(progress io.Writer, opts ServeBenchOptions) (map[string]BenchResult, error) {
 	opts.fill()
+	if opts.Wire && (opts.Routed || opts.TargetURL != "") {
+		return nil, fmt.Errorf("serve bench: -wire is incompatible with -routed and -target-url")
+	}
 	mix := workload.DefaultServeMix(opts.Seed)
 	if opts.Mix != nil {
 		mix = *opts.Mix
@@ -630,6 +639,15 @@ func RunServeBench(progress io.Writer, opts ServeBenchOptions) (map[string]Bench
 	if progress != nil {
 		fmt.Fprintf(progress, "offered %.0f ops/s, achieved %.0f ops/s, %d ops, %d dropped, %d stale\n",
 			res.Offered, res.Achieved, res.Completed, res.Dropped(), res.Stale)
+	}
+	if opts.Wire {
+		wireOut, err := runWirePass(progress, opts, mix)
+		if err != nil {
+			return nil, fmt.Errorf("wire pass: %w", err)
+		}
+		for name, r := range wireOut {
+			out[name] = r
+		}
 	}
 	return out, nil
 }

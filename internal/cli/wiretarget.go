@@ -1,0 +1,273 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adminrefine/internal/api"
+	"adminrefine/internal/wire"
+	"adminrefine/internal/workload"
+)
+
+// WireTarget drives a live rbacd over the binary wire protocol — the
+// workload.Target the Wire* bench series measure against the HTTP Serve*
+// baseline. Reads go to Read, writes to Write (same split as HTTPTarget);
+// session checks lazily create one session per tenant on the read node and
+// cache it. Requests and responses are pooled so the client side stays as
+// allocation-light as the server it is measuring.
+type WireTarget struct {
+	Read  *wire.Client
+	Write *wire.Client
+	// SessionUser/SessionRoles shape the per-tenant check session; defaults
+	// match workload.ChurnPolicy (u0 activating c0000), like HTTPTarget.
+	SessionUser  string
+	SessionRoles []string
+
+	sessions sync.Map // tenant name -> uint64 session id
+	shed     atomic.Uint64
+}
+
+// ShedCount reports how many requests the server refused with an overload,
+// deadline or unavailable status (the binary twins of 429/503-with-retry).
+func (t *WireTarget) ShedCount() uint64 { return t.shed.Load() }
+
+func (t *WireTarget) write() *wire.Client {
+	if t.Write != nil {
+		return t.Write
+	}
+	return t.Read
+}
+
+// wireCall is a pooled request/response pair; Reset keeps slice capacity so
+// steady-state encode allocates nothing.
+type wireCall struct {
+	req  wire.Request
+	resp wire.Response
+}
+
+var wireCallPool = sync.Pool{New: func() any { return new(wireCall) }}
+
+// mapErr translates the client's typed errors into the harness sentinels:
+// staleness to ErrStale, the overload family to ErrShed, everything else
+// surfaces as the *api.Error itself.
+func (t *WireTarget) mapErr(err error) error {
+	var e *api.Error
+	if errors.As(err, &e) {
+		switch e.Code {
+		case api.CodeStaleGeneration:
+			return workload.ErrStale
+		case api.CodeOverloaded, api.CodeDeadline, api.CodeUnavailable:
+			t.shed.Add(1)
+			return fmt.Errorf("wire %s: %w", e.Code, workload.ErrShed)
+		}
+	}
+	return err
+}
+
+// session returns the tenant's cached check session, creating it over the
+// wire on first use (minGen makes a follower replicate the tenant first).
+func (t *WireTarget) session(tenantName string, minGen uint64) (uint64, error) {
+	if v, ok := t.sessions.Load(tenantName); ok {
+		return v.(uint64), nil
+	}
+	user, roles := t.SessionUser, t.SessionRoles
+	if user == "" {
+		user = "u0"
+	}
+	if roles == nil {
+		roles = []string{"c0000"}
+	}
+	c := wireCallPool.Get().(*wireCall)
+	defer wireCallPool.Put(c)
+	c.req.Reset()
+	c.req.Op = wire.OpSessionCreate
+	c.req.Tenant = tenantName
+	c.req.MinGen = minGen
+	c.req.User = user
+	c.req.Roles = append(c.req.Roles[:0], roles...)
+	if err := t.Read.Do(&c.req, &c.resp); err != nil {
+		return 0, fmt.Errorf("create session for %s: %w", tenantName, t.mapErr(err))
+	}
+	actual, _ := t.sessions.LoadOrStore(tenantName, c.resp.Session)
+	return actual.(uint64), nil
+}
+
+// Do implements workload.Target over the binary protocol.
+func (t *WireTarget) Do(op *workload.ServeOp, minGen uint64) (uint64, error) {
+	c := wireCallPool.Get().(*wireCall)
+	defer wireCallPool.Put(c)
+	req, resp := &c.req, &c.resp
+
+	switch op.Kind {
+	case workload.OpSubmit:
+		req.Reset()
+		req.Op = wire.OpSubmit
+		req.Tenant = op.Tenant
+		req.Cmds = append(req.Cmds[:0], op.Cmds...)
+		if err := t.write().Do(req, resp); err != nil {
+			return 0, t.mapErr(err)
+		}
+		if len(resp.Steps) != len(op.Cmds) {
+			return 0, fmt.Errorf("submit %s: %d results for %d commands", op.Tenant, len(resp.Steps), len(op.Cmds))
+		}
+		for i := range resp.Steps {
+			if resp.Steps[i].Outcome != wire.OutcomeApplied {
+				return 0, fmt.Errorf("submit %s cmd %d: outcome %s", op.Tenant, i, wire.OutcomeName(resp.Steps[i].Outcome))
+			}
+		}
+		return resp.Generation, nil
+
+	case workload.OpAuthorize:
+		req.Reset()
+		req.Op = wire.OpAuthorize
+		req.Tenant = op.Tenant
+		req.MinGen = minGen
+		req.Cmds = append(req.Cmds[:0], op.Cmds...)
+		if err := t.Read.Do(req, resp); err != nil {
+			return 0, t.mapErr(err)
+		}
+		if len(resp.Authz) != len(op.Cmds) {
+			return 0, fmt.Errorf("authorize %s: %d results for %d commands", op.Tenant, len(resp.Authz), len(op.Cmds))
+		}
+		for i := range resp.Authz {
+			if !resp.Authz[i].Allowed {
+				return 0, fmt.Errorf("authorize %s cmd %d denied", op.Tenant, i)
+			}
+		}
+		return resp.Generation, nil
+
+	case workload.OpCheck:
+		sess, err := t.session(op.Tenant, minGen)
+		if err != nil {
+			return 0, err
+		}
+		req.Reset()
+		req.Op = wire.OpCheck
+		req.Tenant = op.Tenant
+		req.MinGen = minGen
+		req.Session = sess
+		req.Checks = req.Checks[:0]
+		for _, q := range op.Checks {
+			req.Checks = append(req.Checks, wire.Check{Action: q.Action, Object: q.Object})
+		}
+		if err := t.Read.Do(req, resp); err != nil {
+			return 0, t.mapErr(err)
+		}
+		if len(resp.Allowed) != len(op.Checks) {
+			return 0, fmt.Errorf("check %s: %d results for %d probes", op.Tenant, len(resp.Allowed), len(op.Checks))
+		}
+		for i, ok := range resp.Allowed {
+			if !ok {
+				return 0, fmt.Errorf("check %s probe %d denied", op.Tenant, i)
+			}
+		}
+		return resp.Generation, nil
+	}
+	return 0, fmt.Errorf("unknown op kind %v", op.Kind)
+}
+
+// wireListen serves node's machinery on a binary loopback listener and
+// returns its address plus a closer.
+func wireListen(node *serveNode) (addr string, closer func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	wsrv := wire.NewServer(node.srv.WireConfig())
+	go wsrv.Serve(ln)
+	return ln.Addr().String(), func() { wsrv.Close() }, nil
+}
+
+// runWirePass stands up a fresh stack (same mix, same durability) with the
+// binary listener alongside, drives the identical open-loop schedule through
+// a WireTarget, and returns Wire* BENCH entries. A fresh stack — rather than
+// reusing the HTTP pass's — keeps the submit stream's applied-only assertion
+// intact (replaying the slab against already-granted state would answer
+// nochange) and prices both planes from the same cold-start line.
+func runWirePass(progress io.Writer, opts ServeBenchOptions, mix workload.ServeMix) (map[string]BenchResult, error) {
+	read, write, cleanup, err := serveStack(mix, opts.Sync, opts.Follower)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	readAddr, closeRead, err := wireListen(read)
+	if err != nil {
+		return nil, err
+	}
+	defer closeRead()
+	writeAddr := readAddr
+	if write != read {
+		var closeWrite func()
+		if writeAddr, closeWrite, err = wireListen(write); err != nil {
+			return nil, err
+		}
+		defer closeWrite()
+	}
+
+	copts := wire.ClientOptions{Conns: 4, CallTimeout: 30 * time.Second}
+	readClient, err := wire.Dial(readAddr, copts)
+	if err != nil {
+		return nil, err
+	}
+	defer readClient.Close()
+	// Submits get their own pool even against a single node: a pipelined
+	// connection answers FIFO, so one fsync-bound submit would otherwise
+	// head-of-line-block every read queued behind it and leak the commit
+	// latency tail into the read histograms.
+	writeClient, err := wire.Dial(writeAddr, copts)
+	if err != nil {
+		return nil, err
+	}
+	defer writeClient.Close()
+	target := &WireTarget{Read: readClient, Write: writeClient}
+
+	slab := int(opts.Rate*opts.Duration.Seconds()) + opts.Workers
+	ops := workload.GenServeOps(mix, slab)
+	res, err := workload.RunOpenLoop(workload.OpenLoopConfig{
+		Rate:     opts.Rate,
+		Duration: opts.Duration,
+		Workers:  opts.Workers,
+	}, ops, target)
+	if err != nil {
+		return nil, err
+	}
+	if res.Completed == 0 {
+		return nil, fmt.Errorf("wire bench completed no ops")
+	}
+	if res.Errors > 0 {
+		return nil, fmt.Errorf("wire bench: %d/%d ops failed (%d stale)", res.Errors, res.Completed, res.Stale)
+	}
+
+	out := make(map[string]BenchResult)
+	for kind, ks := range res.Kinds {
+		name := "Wire" + strings.TrimPrefix(serveEntryName(kind, opts.Sync), "Serve")
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"p50", 0.50}, {"p99", 0.99}, {"p999", 0.999}} {
+			out[name+"/"+q.label] = BenchResult{
+				NsPerOp: float64(ks.Hist.Quantile(q.q)),
+				N:       int(ks.Count),
+			}
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "%-28s %s\n", name, ks.Hist.Summary("ms", 1e6))
+		}
+	}
+	out["WireThroughput/achieved"] = BenchResult{
+		NsPerOp: 1e9 / res.Achieved,
+		N:       int(res.Completed),
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "wire: offered %.0f ops/s, achieved %.0f ops/s, %d ops, %d dropped, %d stale\n",
+			res.Offered, res.Achieved, res.Completed, res.Dropped(), res.Stale)
+	}
+	return out, nil
+}

@@ -1,0 +1,748 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adminrefine/internal/admission"
+	"adminrefine/internal/api"
+	"adminrefine/internal/command"
+	"adminrefine/internal/engine"
+	"adminrefine/internal/model"
+	"adminrefine/internal/policy"
+	"adminrefine/internal/session"
+	"adminrefine/internal/tenant"
+	"adminrefine/internal/workload"
+)
+
+// testRegistry opens a registry whose tenants bootstrap to the churn fixture:
+// u0 holds c0000 (so sessions over c0000 check read/obj), churnadmin is
+// authorized for every ChurnGrant.
+func testRegistry(t testing.TB) *tenant.Registry {
+	t.Helper()
+	reg := tenant.New(tenant.Options{
+		Dir:       t.TempDir(),
+		Mode:      engine.Refined,
+		Bootstrap: func(string) *policy.Policy { return workload.ChurnPolicy(8, 8) },
+	})
+	t.Cleanup(func() { _ = reg.Close() })
+	return reg
+}
+
+// startServer serves cfg on a loopback listener and tears it down with the
+// test, filling in a session registry when the test didn't bring one.
+func startServer(t testing.TB, cfg Config) (*Server, string) {
+	t.Helper()
+	if cfg.Sessions == nil {
+		cfg.Sessions = session.NewRegistry(session.Options{})
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(cfg)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+func testClient(t testing.TB, addr string, opts ClientOptions) *Client {
+	t.Helper()
+	if opts.CallTimeout == 0 {
+		opts.CallTimeout = 10 * time.Second
+	}
+	c, err := Dial(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// reqEqual compares the decoded fields of two requests, treating empty and
+// nil slices as equal (reset keeps capacity, so decoded requests carry empty
+// non-nil slices).
+func reqEqual(a, b *Request) bool {
+	slices := func(x, y []string) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if a.Op != b.Op || a.ID != b.ID || a.MinGen != b.MinGen ||
+		a.DeadlineMS != b.DeadlineMS || a.Flags != b.Flags ||
+		a.Tenant != b.Tenant || a.Session != b.Session || a.User != b.User {
+		return false
+	}
+	if len(a.Cmds) != len(b.Cmds) {
+		return false
+	}
+	for i := range a.Cmds {
+		if !reflect.DeepEqual(a.Cmds[i], b.Cmds[i]) {
+			return false
+		}
+	}
+	if len(a.Checks) != len(b.Checks) {
+		return false
+	}
+	for i := range a.Checks {
+		if a.Checks[i] != b.Checks[i] {
+			return false
+		}
+	}
+	return slices(a.Roles, b.Roles) && slices(a.Activate, b.Activate) && slices(a.Deactivate, b.Deactivate)
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	nested := command.Command{
+		Actor: "so",
+		Op:    model.OpGrant,
+		From:  model.Role("hr"),
+		To:    model.Grant(model.Role("flex"), model.Grant(model.User("u1"), model.Role("staff"))),
+	}
+	cases := []Request{
+		{Op: OpAuthorize, ID: 7, MinGen: 42, DeadlineMS: 250, Flags: FlagJustify, Tenant: "t0",
+			Cmds: []command.Command{workload.ChurnGrant(0, 8, 8), nested}},
+		{Op: OpSubmit, ID: 8, Tenant: "t1", Cmds: []command.Command{workload.ChurnGrant(3, 8, 8)}},
+		{Op: OpCheck, ID: 9, Tenant: "t0", Session: 11,
+			Checks: []Check{{Action: "read", Object: "obj"}, {Action: "write", Object: "obj"}}},
+		{Op: OpSessionCreate, ID: 10, Tenant: "t0", User: "u0", Roles: []string{"c0000", "c0001"}},
+		{Op: OpSessionUpdate, ID: 11, Tenant: "t0", Session: 3,
+			Activate: []string{"c0001"}, Deactivate: []string{"c0000"}},
+		{Op: OpSessionDelete, ID: 12, Tenant: "t0", Session: 4},
+		{Op: OpPing, ID: 13},
+	}
+	for _, in := range NewInterner().interners() {
+		for i := range cases {
+			want := &cases[i]
+			buf, err := AppendRequest(nil, want)
+			if err != nil {
+				t.Fatalf("%v: encode: %v", want.Op, err)
+			}
+			payload, n, ok, err := NextFrame(buf)
+			if err != nil || !ok || n != len(buf) {
+				t.Fatalf("%v: frame: n=%d ok=%v err=%v", want.Op, n, ok, err)
+			}
+			var got Request
+			if err := ParseRequest(payload, &got, in); err != nil {
+				t.Fatalf("%v: decode: %v", want.Op, err)
+			}
+			if !reqEqual(want, &got) {
+				t.Fatalf("%v: round trip mismatch:\n want %+v\n  got %+v", want.Op, want, &got)
+			}
+		}
+	}
+}
+
+// interners gives round-trip tests both decode paths: interned and plain.
+func (in *Interner) interners() []*Interner { return []*Interner{nil, in} }
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		resp Response
+	}{
+		{OpAuthorize, Response{Status: StatusOK, ID: 1, Generation: 5, Epoch: 2,
+			Authz: []AuthzResult{{Allowed: true, Justification: "¤(member, c0000)"}, {Allowed: false}}}},
+		{OpSubmit, Response{Status: StatusOK, ID: 2, Generation: 6,
+			Steps: []StepOutcome{{Outcome: OutcomeApplied}, {Outcome: OutcomeDenied, Justification: "x"}}}},
+		{OpCheck, Response{Status: StatusOK, ID: 3, Generation: 7, Allowed: []bool{true, false, true}}},
+		{OpSessionCreate, Response{Status: StatusOK, ID: 4, Generation: 8,
+			Session: 77, User: "u0", Roles: []string{"c0000"}}},
+		{OpSessionDelete, Response{Status: StatusOK, ID: 5}},
+		{OpPing, Response{Status: StatusOK, ID: 6, Epoch: 9}},
+		{OpSubmit, Response{Status: StatusFenced, ID: 7, Epoch: 3,
+			Message: "node was deposed", RetryAfterSec: 1, Node: "n2:4100", MinGen: 12}},
+		{OpAuthorize, Response{Status: StatusStaleGeneration, ID: 8, Generation: 4,
+			Message: "replica behind requested generation", MinGen: 9}},
+	}
+	for _, tc := range cases {
+		buf, err := AppendResponse(nil, &tc.resp)
+		if err != nil {
+			t.Fatalf("%v/%v: encode: %v", tc.op, tc.resp.Status, err)
+		}
+		payload, _, ok, err := NextFrame(buf)
+		if err != nil || !ok {
+			t.Fatalf("%v: frame: ok=%v err=%v", tc.op, ok, err)
+		}
+		var got Response
+		if err := ParseResponse(payload, tc.op, &got); err != nil {
+			t.Fatalf("%v/%v: decode: %v", tc.op, tc.resp.Status, err)
+		}
+		want := tc.resp
+		// reset leaves empty non-nil slices; normalize before comparing.
+		if len(want.Authz) == 0 {
+			want.Authz, got.Authz = nil, nil
+		}
+		if len(want.Steps) == 0 {
+			want.Steps, got.Steps = nil, nil
+		}
+		if len(want.Allowed) == 0 {
+			want.Allowed, got.Allowed = nil, nil
+		}
+		if len(want.Roles) == 0 {
+			want.Roles, got.Roles = nil, nil
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%v/%v: round trip mismatch:\n want %+v\n  got %+v", tc.op, tc.resp.Status, want, got)
+		}
+	}
+}
+
+func TestStatusCodeMappingBijective(t *testing.T) {
+	for st := StatusBadRequest; st <= statusMax; st++ {
+		if got := StatusFromCode(st.Code()); got != st {
+			t.Errorf("status %d -> code %q -> status %d", st, st.Code(), got)
+		}
+	}
+	if StatusOK.Code() != api.CodeInternal {
+		// Code() on OK is never used; it falls through to internal. Pin that
+		// so a refactor doesn't silently invent a 12th code.
+		t.Errorf("StatusOK.Code() = %q", StatusOK.Code())
+	}
+}
+
+func TestDecodeFramesExactValidPrefix(t *testing.T) {
+	mk := func(payload []byte) []byte { return AppendFrame(nil, payload) }
+	f1, f2, f3 := mk([]byte("one")), mk([]byte("two!")), mk([]byte("three"))
+	stream := append(append(append([]byte{}, f1...), f2...), f3...)
+
+	validEnd, payloads := DecodeFrames(stream)
+	if validEnd != len(stream) || len(payloads) != 3 {
+		t.Fatalf("clean stream: validEnd=%d payloads=%d", validEnd, len(payloads))
+	}
+
+	// Bit flip inside the second frame's payload: decode stops exactly after
+	// the first frame.
+	corrupt := append([]byte{}, stream...)
+	corrupt[len(f1)+frameHeaderLen] ^= 0x40
+	validEnd, payloads = DecodeFrames(corrupt)
+	if validEnd != len(f1) || len(payloads) != 1 || string(payloads[0]) != "one" {
+		t.Fatalf("corrupt middle: validEnd=%d (want %d) payloads=%d", validEnd, len(f1), len(payloads))
+	}
+
+	// Torn tail: the partial third frame is invisible.
+	torn := stream[:len(f1)+len(f2)+3]
+	validEnd, payloads = DecodeFrames(torn)
+	if validEnd != len(f1)+len(f2) || len(payloads) != 2 {
+		t.Fatalf("torn tail: validEnd=%d payloads=%d", validEnd, len(payloads))
+	}
+
+	// Implausible length: nothing decodes, no panic, no allocation attempt.
+	validEnd, payloads = DecodeFrames([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+	if validEnd != 0 || len(payloads) != 0 {
+		t.Fatalf("implausible length: validEnd=%d payloads=%d", validEnd, len(payloads))
+	}
+}
+
+func TestEndToEnd(t *testing.T) {
+	reg := testRegistry(t)
+	_, addr := startServer(t, Config{Registry: reg, MinGenWait: 200 * time.Millisecond})
+	c := testClient(t, addr, ClientOptions{Conns: 1})
+
+	var req Request
+	var resp Response
+
+	// Ping: ungated, epoch 0 on a standalone node.
+	epoch, err := c.Ping()
+	if err != nil || epoch != 0 {
+		t.Fatalf("ping: epoch=%d err=%v", epoch, err)
+	}
+
+	// Durable submit: the churn grant is authorized and applies.
+	req = Request{Op: OpSubmit, Tenant: "t0", Cmds: []command.Command{workload.ChurnGrant(0, 8, 8)}}
+	if err := c.Do(&req, &resp); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if len(resp.Steps) != 1 || resp.Steps[0].Outcome != OutcomeApplied {
+		t.Fatalf("submit: steps %+v", resp.Steps)
+	}
+	gen := resp.Generation
+	if gen == 0 {
+		t.Fatal("submit: generation 0")
+	}
+
+	// Authorize with the submit's generation as min_generation: read-your-writes.
+	req = Request{Op: OpAuthorize, MinGen: gen, Tenant: "t0", Cmds: []command.Command{workload.ChurnGrant(1, 8, 8)}}
+	if err := c.Do(&req, &resp); err != nil {
+		t.Fatalf("authorize: %v", err)
+	}
+	if len(resp.Authz) != 1 || !resp.Authz[0].Allowed || resp.Authz[0].Justification != "" {
+		t.Fatalf("authorize: %+v", resp.Authz)
+	}
+
+	// FlagJustify turns the justification on.
+	req = Request{Op: OpAuthorize, Flags: FlagJustify, Tenant: "t0", Cmds: []command.Command{workload.ChurnGrant(1, 8, 8)}}
+	if err := c.Do(&req, &resp); err != nil {
+		t.Fatalf("authorize justify: %v", err)
+	}
+	if len(resp.Authz) != 1 || !resp.Authz[0].Allowed || resp.Authz[0].Justification == "" {
+		t.Fatalf("authorize justify: %+v", resp.Authz)
+	}
+
+	// Unreachable min_generation, no deadline: stale within MinGenWait.
+	req = Request{Op: OpAuthorize, MinGen: gen + 1000, Tenant: "t0", Cmds: []command.Command{workload.ChurnGrant(1, 8, 8)}}
+	err = c.Do(&req, &resp)
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeStaleGeneration {
+		t.Fatalf("stale read: %v", err)
+	}
+	if apiErr.MinGeneration != gen+1000 || apiErr.Generation == 0 {
+		t.Fatalf("stale read envelope: %+v", apiErr)
+	}
+
+	// Same unreachable token with a deadline tighter than MinGenWait: the
+	// budget blows first and the binary twin of the 503 shed answers.
+	req = Request{Op: OpAuthorize, MinGen: gen + 1000, DeadlineMS: 30, Tenant: "t0",
+		Cmds: []command.Command{workload.ChurnGrant(1, 8, 8)}}
+	err = c.Do(&req, &resp)
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeDeadline {
+		t.Fatalf("deadline read: %v", err)
+	}
+
+	// Session lifecycle: create, check, update, delete — all one framing.
+	req = Request{Op: OpSessionCreate, Tenant: "t0", User: "u0", Roles: []string{"c0000"}}
+	if err := c.Do(&req, &resp); err != nil {
+		t.Fatalf("session create: %v", err)
+	}
+	sid := resp.Session
+	if sid == 0 || resp.User != "u0" || len(resp.Roles) != 1 || resp.Roles[0] != "c0000" {
+		t.Fatalf("session create: %+v", resp)
+	}
+
+	req = Request{Op: OpCheck, Tenant: "t0", Session: sid,
+		Checks: []Check{{Action: "read", Object: "obj"}, {Action: "write", Object: "obj"}}}
+	if err := c.Do(&req, &resp); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if len(resp.Allowed) != 2 || !resp.Allowed[0] || resp.Allowed[1] {
+		t.Fatalf("check: %v", resp.Allowed)
+	}
+
+	req = Request{Op: OpSessionUpdate, Tenant: "t0", Session: sid, Deactivate: []string{"c0000"}}
+	if err := c.Do(&req, &resp); err != nil {
+		t.Fatalf("session update: %v", err)
+	}
+	if len(resp.Roles) != 0 {
+		t.Fatalf("session update roles: %v", resp.Roles)
+	}
+
+	// With the role dropped, the read check denies.
+	req = Request{Op: OpCheck, Tenant: "t0", Session: sid, Checks: []Check{{Action: "read", Object: "obj"}}}
+	if err := c.Do(&req, &resp); err != nil {
+		t.Fatalf("check after drop: %v", err)
+	}
+	if len(resp.Allowed) != 1 || resp.Allowed[0] {
+		t.Fatalf("check after drop: %v", resp.Allowed)
+	}
+
+	req = Request{Op: OpSessionDelete, Tenant: "t0", Session: sid}
+	if err := c.Do(&req, &resp); err != nil {
+		t.Fatalf("session delete: %v", err)
+	}
+	// Deleting again is an addressing miss, like the HTTP 404.
+	req = Request{Op: OpSessionDelete, Tenant: "t0", Session: sid}
+	if err := c.Do(&req, &resp); !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound {
+		t.Fatalf("double delete: %v", err)
+	}
+
+	// Bad tenant name: the registry's refusal maps to bad_request.
+	req = Request{Op: OpAuthorize, Tenant: ".hidden", Cmds: []command.Command{workload.ChurnGrant(0, 8, 8)}}
+	if err := c.Do(&req, &resp); !errors.As(err, &apiErr) || apiErr.Code != api.CodeBadRequest {
+		t.Fatalf("bad tenant: %v", err)
+	}
+
+	// Session create without a user is malformed at the semantic level.
+	req = Request{Op: OpSessionCreate, Tenant: "t0"}
+	if err := c.Do(&req, &resp); !errors.As(err, &apiErr) || apiErr.Code != api.CodeBadRequest {
+		t.Fatalf("userless session create: %v", err)
+	}
+}
+
+// TestWriteGate pins the binary write-path role gates: a fenced ex-primary
+// answers fenced (421 twin, epoch stamped), a follower answers misrouted
+// with its upstream, and reads keep flowing through both.
+func TestWriteGate(t *testing.T) {
+	reg := testRegistry(t)
+	gate := GateResult{Status: StatusOK}
+	var mu sync.Mutex
+	_, addr := startServer(t, Config{
+		Registry: reg,
+		WriteGate: func() GateResult {
+			mu.Lock()
+			defer mu.Unlock()
+			return gate
+		},
+	})
+	c := testClient(t, addr, ClientOptions{Conns: 1})
+
+	var req Request
+	var resp Response
+	var apiErr *api.Error
+
+	setGate := func(g GateResult) { mu.Lock(); gate = g; mu.Unlock() }
+
+	setGate(GateResult{Status: StatusFenced, Message: "node was deposed (epoch 3): not accepting writes"})
+	req = Request{Op: OpSubmit, Tenant: "t0", Cmds: []command.Command{workload.ChurnGrant(0, 8, 8)}}
+	if err := c.Do(&req, &resp); !errors.As(err, &apiErr) || apiErr.Code != api.CodeFenced {
+		t.Fatalf("fenced submit: %v", err)
+	}
+
+	setGate(GateResult{Status: StatusMisrouted, Message: "node is a follower", Node: "127.0.0.1:9999"})
+	if err := c.Do(&req, &resp); !errors.As(err, &apiErr) || apiErr.Code != api.CodeMisrouted || apiErr.Node != "127.0.0.1:9999" {
+		t.Fatalf("follower submit: %v", err)
+	}
+
+	// Reads bypass the write gate entirely.
+	req = Request{Op: OpAuthorize, Tenant: "t0", Cmds: []command.Command{workload.ChurnGrant(0, 8, 8)}}
+	if err := c.Do(&req, &resp); err != nil {
+		t.Fatalf("read under misrouted gate: %v", err)
+	}
+
+	setGate(GateResult{Status: StatusOK})
+	req = Request{Op: OpSubmit, Tenant: "t0", Cmds: []command.Command{workload.ChurnGrant(0, 8, 8)}}
+	if err := c.Do(&req, &resp); err != nil {
+		t.Fatalf("submit after gate reopens: %v", err)
+	}
+}
+
+// TestAdmissionShed parks a min_generation wait on the single read slot and
+// drives a second read into it: the second answers overloaded immediately
+// and the shared shed counter moves — the binary twin of the 429.
+func TestAdmissionShed(t *testing.T) {
+	reg := testRegistry(t)
+	var shedRead atomic.Uint64
+	_, addr := startServer(t, Config{
+		Registry:   reg,
+		MinGenWait: 2 * time.Second,
+		Admission:  admission.New(admission.Config{Read: admission.Limits{MaxInFlight: 1}}),
+		ShedRead:   &shedRead,
+	})
+	// Two independent connections: pipelined requests on one connection are
+	// processed sequentially and would never contend for the slot.
+	parked := testClient(t, addr, ClientOptions{Conns: 1})
+	probe := testClient(t, addr, ClientOptions{Conns: 1})
+
+	done := make(chan error, 1)
+	go func() {
+		var req Request
+		var resp Response
+		req = Request{Op: OpAuthorize, MinGen: 1 << 40, DeadlineMS: 800, Tenant: "t0",
+			Cmds: []command.Command{workload.ChurnGrant(0, 8, 8)}}
+		done <- parked.Do(&req, &resp)
+	}()
+
+	// Wait until the parked read holds the slot, then probe.
+	var apiErr *api.Error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var req Request
+		var resp Response
+		req = Request{Op: OpAuthorize, Tenant: "t0", Cmds: []command.Command{workload.ChurnGrant(0, 8, 8)}}
+		err := probe.Do(&req, &resp)
+		if errors.As(err, &apiErr) && apiErr.Code == api.CodeOverloaded {
+			break
+		}
+		if err != nil {
+			t.Fatalf("probe: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("probe never shed while a read parked on the admission slot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if shedRead.Load() == 0 {
+		t.Fatal("shed counter did not move")
+	}
+	err := <-done
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeDeadline {
+		t.Fatalf("parked read: %v", err)
+	}
+}
+
+// TestMalformedPayloadKeepsConnection sends a CRC-valid frame whose body is
+// garbage: the server answers bad_request on that request and the connection
+// survives for the next one.
+func TestMalformedPayloadKeepsConnection(t *testing.T) {
+	reg := testRegistry(t)
+	_, addr := startServer(t, Config{Registry: reg})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Garbage body (framing intact), then a valid ping, in one write.
+	buf := AppendFrame(nil, []byte{0xff, 0x01, 0x02})
+	ping := Request{Op: OpPing, ID: 99}
+	if buf, err = AppendRequest(buf, &ping); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var in []byte
+	tmp := make([]byte, 4096)
+	var resps []Response
+	for len(resps) < 2 {
+		n, err := conn.Read(tmp)
+		if err != nil {
+			t.Fatalf("read after %d responses: %v", len(resps), err)
+		}
+		in = append(in, tmp[:n]...)
+		for {
+			payload, n, ok, err := NextFrame(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			op := OpPing // first response is an error envelope; op is moot
+			var resp Response
+			if err := ParseResponse(payload, op, &resp); err != nil {
+				t.Fatal(err)
+			}
+			resps = append(resps, resp)
+			in = in[n:]
+		}
+	}
+	if resps[0].Status != StatusBadRequest {
+		t.Fatalf("garbage frame: status %v", resps[0].Status)
+	}
+	if resps[1].Status != StatusOK || resps[1].ID != 99 {
+		t.Fatalf("ping after garbage: %+v", resps[1])
+	}
+
+	// A corrupt frame (bad CRC) is a transport lie: the connection drops.
+	bad := AppendFrame(nil, []byte("x"))
+	bad[frameHeaderLen] ^= 0x01
+	if _, err := conn.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Read(tmp); err == nil {
+		t.Fatal("connection survived a corrupt frame")
+	}
+}
+
+// TestPipelinedMerge pins the batching payoff end-to-end: many requests
+// written in one burst on one connection all answer correctly and in order.
+func TestPipelinedMerge(t *testing.T) {
+	reg := testRegistry(t)
+	_, addr := startServer(t, Config{Registry: reg})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const n = 64
+	var buf []byte
+	for i := 1; i <= n; i++ {
+		req := Request{Op: OpAuthorize, ID: uint64(i), Tenant: "t0",
+			Cmds: []command.Command{workload.ChurnGrant(i, 8, 8)}}
+		if buf, err = AppendRequest(buf, &req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var in []byte
+	tmp := make([]byte, 64<<10)
+	next := uint64(1)
+	for next <= n {
+		rn, err := conn.Read(tmp)
+		if err != nil {
+			t.Fatalf("read at response %d: %v", next, err)
+		}
+		in = append(in, tmp[:rn]...)
+		for {
+			payload, fn, ok, err := NextFrame(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			var resp Response
+			if err := ParseResponse(payload, OpAuthorize, &resp); err != nil {
+				t.Fatal(err)
+			}
+			if resp.ID != next {
+				t.Fatalf("response %d arrived when %d expected", resp.ID, next)
+			}
+			if resp.Status != StatusOK || len(resp.Authz) != 1 || !resp.Authz[0].Allowed {
+				t.Fatalf("response %d: %+v", resp.ID, resp)
+			}
+			next++
+			in = in[fn:]
+		}
+	}
+}
+
+// TestConcurrentPipelinedLoad drives mixed ops from many goroutines over a
+// small pool — the -race workout for the server's per-connection state and
+// the client's pipeline correlation.
+func TestConcurrentPipelinedLoad(t *testing.T) {
+	reg := testRegistry(t)
+	_, addr := startServer(t, Config{Registry: reg})
+	c := testClient(t, addr, ClientOptions{Conns: 2})
+
+	const goroutines = 8
+	const opsEach = 60
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var req Request
+			var resp Response
+			for i := 0; i < opsEach; i++ {
+				switch i % 4 {
+				case 0:
+					req = Request{Op: OpAuthorize, Tenant: "t0",
+						Cmds: []command.Command{workload.ChurnGrant(g*opsEach+i, 8, 8)}}
+				case 1:
+					req = Request{Op: OpSubmit, Tenant: "t0",
+						Cmds: []command.Command{workload.ChurnGrant(g*opsEach+i, 8, 8)}}
+				case 2:
+					req = Request{Op: OpPing}
+				default:
+					req = Request{Op: OpAuthorize, Tenant: "t1", Flags: FlagJustify,
+						Cmds: []command.Command{workload.ChurnGrant(i, 8, 8)}}
+				}
+				if err := c.Do(&req, &resp); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseDrainsInFlight parks a request in a min_generation wait, closes
+// the server mid-flight, and requires the response to arrive before EOF —
+// the SIGTERM drain contract.
+func TestCloseDrainsInFlight(t *testing.T) {
+	reg := testRegistry(t)
+	srv, addr := startServer(t, Config{Registry: reg, MinGenWait: 300 * time.Millisecond})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	req := Request{Op: OpAuthorize, ID: 1, MinGen: 1 << 40, Tenant: "t0",
+		Cmds: []command.Command{workload.ChurnGrant(0, 8, 8)}}
+	buf, err := AppendRequest(nil, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	// Give the server a moment to read the frame and park in the wait.
+	time.Sleep(50 * time.Millisecond)
+
+	closed := make(chan struct{})
+	go func() { srv.Close(); close(closed) }()
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var in []byte
+	tmp := make([]byte, 4096)
+	for {
+		n, rerr := conn.Read(tmp)
+		in = append(in, tmp[:n]...)
+		if payload, _, ok, ferr := NextFrame(in); ferr == nil && ok {
+			var resp Response
+			if err := ParseResponse(payload, OpAuthorize, &resp); err != nil {
+				t.Fatal(err)
+			}
+			if resp.ID != 1 || resp.Status != StatusStaleGeneration {
+				t.Fatalf("drained response: %+v", resp)
+			}
+			break
+		}
+		if rerr != nil {
+			t.Fatalf("connection died before the in-flight response: %v", rerr)
+		}
+	}
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after the drain")
+	}
+}
+
+// TestConsumeAllocs pins the per-request server-side allocation budget on
+// the steady-state hot path: consume() is the whole drain minus the socket
+// syscalls. After warmup (interner, vertex cache, scratch growth), a drain
+// of pipelined authorizes must not allocate per request.
+func TestConsumeAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement")
+	}
+	reg := testRegistry(t)
+	srv := NewServer(Config{Registry: reg})
+	c := newConnState(srv, nil)
+
+	const reqsPerDrain = 16
+	var frames []byte
+	var err error
+	for i := 0; i < reqsPerDrain; i++ {
+		req := Request{Op: OpAuthorize, ID: uint64(i + 1), Tenant: "t0",
+			Cmds: []command.Command{workload.ChurnGrant(i%4, 8, 8)}}
+		if frames, err = AppendRequest(frames, &req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drain := func() {
+		c.in = append(c.in[:0], frames...)
+		if err := c.consume(); err != nil {
+			t.Fatal(err)
+		}
+		if len(c.out) == 0 {
+			t.Fatal("no responses emitted")
+		}
+		c.out = c.out[:0]
+	}
+	for i := 0; i < 100; i++ {
+		drain() // warm interner, vertex cache, scratch slices, engine caches
+	}
+	perDrain := testing.AllocsPerRun(200, drain)
+	perReq := perDrain / reqsPerDrain
+	t.Logf("allocs: %.1f per drain, %.3f per request", perDrain, perReq)
+	if perReq > 0.5 {
+		t.Fatalf("hot path allocates %.2f per request (want ~0)", perReq)
+	}
+}

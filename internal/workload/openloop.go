@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -163,6 +164,36 @@ type wallClock struct{}
 func (wallClock) Now() time.Time        { return time.Now() }
 func (wallClock) Sleep(d time.Duration) { time.Sleep(d) }
 
+// spinWindow is how far before an intended arrival the pacer switches from
+// sleeping to a yielding spin. time.Sleep overshoots by hundreds of
+// microseconds on this class of machine — as much as a whole fast RPC — and
+// the overshoot is charged to the target by the intended-arrival methodology,
+// so an imprecise pacer puts a floor under every recorded p50. The spin only
+// burns slack: a worker running behind schedule (the saturated case) never
+// enters it, and Gosched keeps the core available to runnable goroutines.
+// The window is sized to the median overshoot (~400µs), not its tail: each
+// extra microsecond of window is CPU the spin steals from in-process bench
+// targets on small boxes (a 1ms window measurably inflates the two-node
+// routed pass on one core), while overshoot beyond the window only shifts
+// already-noisy tail samples.
+const spinWindow = 500 * time.Microsecond
+
+// sleepUntil pauses the worker until intended (d = time remaining). On the
+// wall clock it sleeps coarse and spins the last spinWindow for precision;
+// fake clocks take the plain sleep, whose jump IS the arrival.
+func sleepUntil(clk Clock, intended time.Time, d time.Duration) {
+	if _, wall := clk.(wallClock); !wall {
+		clk.Sleep(d)
+		return
+	}
+	if d > spinWindow {
+		time.Sleep(d - spinWindow)
+	}
+	for time.Now().Before(intended) {
+		runtime.Gosched()
+	}
+}
+
 // OpenLoopConfig paces an open-loop run: ops arrive at a fixed rate for a
 // fixed window regardless of how fast the target answers — the arrival
 // process is independent of service time, which is what makes the recorded
@@ -299,7 +330,7 @@ func RunOpenLoop(cfg OpenLoopConfig, ops []ServeOp, target Target) (*OpenLoopRes
 					return
 				}
 				if d := intended.Sub(now); d > 0 {
-					clk.Sleep(d)
+					sleepUntil(clk, intended, d)
 				}
 				op := &ops[i%int64(len(ops))]
 				var minGen uint64

@@ -28,10 +28,12 @@ fi
 base="BENCH_${latest}.json"
 # ServeAuthorize/ServeDurableSubmit p50s gate the socket serving stack
 # end-to-end (one bounded open-loop harness run feeds every Serve entry);
-# RoutedAuthorize/p50 gates the cross-node routing hop the same way (a
-# second harness run against a two-primary placement cluster); medians
-# only — tail quantiles are too noisy for a shared-runner gate.
-filter=${BENCHDIFF_FILTER:-Authorize,BatchVsSingle,IncrementalGrant,MultiTenantAuthorize,AccessCheck,ServeAuthorize/p50,ServeDurableSubmit/p50,RoutedAuthorize/p50}
+# WireAuthorize/p50 gates the binary data plane from the same run (the wire
+# pass rides the serve run, so the HTTP-vs-wire comparison is same-machine
+# same-moment); RoutedAuthorize/p50 gates the cross-node routing hop the
+# same way (a second harness run against a two-primary placement cluster);
+# medians only — tail quantiles are too noisy for a shared-runner gate.
+filter=${BENCHDIFF_FILTER:-Authorize,BatchVsSingle,IncrementalGrant,MultiTenantAuthorize,AccessCheck,ServeAuthorize/p50,ServeDurableSubmit/p50,WireAuthorize/p50,RoutedAuthorize/p50}
 tol=${BENCHDIFF_TOLERANCE:-25}
 canary=${BENCHDIFF_CANARY:-ClosureBuild/roles=1024}
 

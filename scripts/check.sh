@@ -3,8 +3,8 @@
 # over the concurrent stack (engine, tenant registry, server, replication) +
 # the failure-path pass (daemon chaos e2e and storage fault injection, also
 # under -race) + a short hot-path benchmark smoke + a bounded serve-mode
-# smoke (open-loop socket load against a live in-process rbacd; fails on any
-# op error) + the overload saturation smoke (3x an admission-limited
+# smoke (open-loop socket load against a live in-process rbacd, HTTP and
+# binary wire passes; fails on any op error) + the overload saturation smoke (3x an admission-limited
 # stack's capacity; fails unless the degradation contract holds), then the
 # benchdiff gate comparing the authorize and serving
 # benchmarks against the newest committed BENCH_*.json baseline. Mirrors `make check`; CI runs the same pieces as a
@@ -17,9 +17,9 @@ go build ./...
 test -z "$(gofmt -l .)"
 go vet ./...
 go test ./...
-go test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/session/ ./internal/tenant/ ./internal/server/ ./internal/replication/ ./internal/decision/ ./internal/command/ ./internal/admission/ ./internal/placement/ ./internal/api/
+go test -race ./internal/engine/ ./internal/graph/ ./internal/core/ ./internal/monitor/ ./internal/session/ ./internal/tenant/ ./internal/server/ ./internal/replication/ ./internal/decision/ ./internal/command/ ./internal/admission/ ./internal/placement/ ./internal/api/ ./internal/wire/
 go test -race ./cmd/rbacd/ ./internal/storage/ ./internal/fault/
 go test -run XXX -bench 'Incremental|BatchVsSingle|CachedAuthorize|AuthorizeAllocs|ReplicatedAuthorize|AccessCheck' -benchtime=100x .
-go run ./cmd/rbacbench -serve -serve-rate 300 -serve-duration 3s
+go run ./cmd/rbacbench -serve -wire -serve-rate 300 -serve-duration 3s
 go run ./cmd/rbacbench -serve -overload -serve-duration 3s
 scripts/benchdiff.sh
